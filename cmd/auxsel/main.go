@@ -1,0 +1,156 @@
+// Command auxsel computes the optimal auxiliary neighbor set for one
+// node from an observed-frequency CSV, for offline use or integration
+// with a real deployment's telemetry.
+//
+// Input (stdin or -in): one "peer_id,frequency" pair per line; peer ids
+// are decimal, hex (0x...) or binary (0b...); lines starting with '#'
+// are skipped. Core neighbors are listed with -core. Output: one
+// selected peer id per line, plus a cost summary on stderr.
+//
+// Usage:
+//
+//	auxsel -protocol chord -bits 32 -self 12345 -core 1,17,300 -k 8 < freqs.csv
+//	auxsel -protocol pastry -bits 32 -core 0xdeadbeef -k 8 -in freqs.csv
+//	auxsel ... -bounds 42:2,99:1      # QoS: peer 42 within 2 hops, 99 within 1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"peercache"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "chord", "routing geometry: chord or pastry")
+		bits     = flag.Uint("bits", 32, "identifier length in bits")
+		self     = flag.String("self", "0", "this node's id (chord only)")
+		coreArg  = flag.String("core", "", "comma-separated core neighbor ids")
+		k        = flag.Int("k", 8, "number of auxiliary neighbors to select")
+		in       = flag.String("in", "", "input CSV path (default stdin)")
+		bounds   = flag.String("bounds", "", "QoS bounds as id:maxdist pairs, comma-separated")
+		exact    = flag.Bool("exact", false, "use the exact dynamic program instead of the fast algorithm")
+	)
+	flag.Parse()
+
+	var core []uint64
+	if *coreArg != "" {
+		for _, tok := range strings.Split(*coreArg, ",") {
+			core = append(core, parseID(tok))
+		}
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	peers, err := readPeers(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var qos map[uint64]uint
+	if *bounds != "" {
+		qos = make(map[uint64]uint)
+		for _, tok := range strings.Split(*bounds, ",") {
+			parts := strings.SplitN(tok, ":", 2)
+			if len(parts) != 2 {
+				fatalf("invalid -bounds entry %q (want id:maxdist)", tok)
+			}
+			d, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+			if err != nil {
+				fatalf("invalid bound in %q: %v", tok, err)
+			}
+			qos[parseID(parts[0])] = uint(d)
+		}
+	}
+
+	var sel *peercache.Selection
+	switch *protocol {
+	case "chord":
+		s := parseID(*self)
+		switch {
+		case qos != nil:
+			sel, err = peercache.SelectChordQoS(*bits, s, core, peers, *k, qos)
+		case *exact:
+			sel, err = peercache.SelectChordExact(*bits, s, core, peers, *k)
+		default:
+			sel, err = peercache.SelectChord(*bits, s, core, peers, *k)
+		}
+	case "pastry":
+		switch {
+		case qos != nil:
+			sel, err = peercache.SelectPastryQoS(*bits, core, peers, *k, qos)
+		case *exact:
+			sel, err = peercache.SelectPastryExact(*bits, core, peers, *k)
+		default:
+			sel, err = peercache.SelectPastry(*bits, core, peers, *k)
+		}
+	default:
+		fatalf("unknown protocol %q", *protocol)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	for _, a := range sel.Aux {
+		fmt.Println(a)
+	}
+	fmt.Fprintf(os.Stderr, "auxsel: selected %d of %d candidates; cost %.4f (weighted distance %.4f)\n",
+		len(sel.Aux), len(peers), sel.Cost, sel.WeightedDist)
+}
+
+// readPeers parses "id,frequency" lines.
+func readPeers(r io.Reader) ([]peercache.Peer, error) {
+	var peers []peercache.Peer
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("line %d: want id,frequency", lineNo)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad frequency: %v", lineNo, err)
+		}
+		peers = append(peers, peercache.Peer{ID: parseID(parts[0]), Freq: f})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no peers in input")
+	}
+	return peers, nil
+}
+
+// parseID accepts decimal, 0x-hex and 0b-binary node ids.
+func parseID(s string) uint64 {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		fatalf("invalid id %q: %v", s, err)
+	}
+	return v
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "auxsel: "+format+"\n", args...)
+	os.Exit(1)
+}

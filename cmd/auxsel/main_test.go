@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadPeers(t *testing.T) {
+	input := `# comment line
+5000,50
+0x100,3
+
+0b1010,1.5
+`
+	peers, err := readPeers(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("parsed %d peers, want 3", len(peers))
+	}
+	if peers[0].ID != 5000 || peers[0].Freq != 50 {
+		t.Errorf("peers[0] = %+v", peers[0])
+	}
+	if peers[1].ID != 0x100 || peers[1].Freq != 3 {
+		t.Errorf("peers[1] = %+v", peers[1])
+	}
+	if peers[2].ID != 0b1010 || peers[2].Freq != 1.5 {
+		t.Errorf("peers[2] = %+v", peers[2])
+	}
+}
+
+func TestReadPeersErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing field": "123\n",
+		"bad frequency": "123,abc\n",
+		"empty input":   "# only comments\n",
+	}
+	for name, input := range cases {
+		if _, err := readPeers(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseID(t *testing.T) {
+	tests := []struct {
+		in   string
+		want uint64
+	}{
+		{"42", 42},
+		{" 0x2a ", 42},
+		{"0b101010", 42},
+	}
+	for _, tt := range tests {
+		if got := parseID(tt.in); got != tt.want {
+			t.Errorf("parseID(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

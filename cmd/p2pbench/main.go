@@ -1,0 +1,134 @@
+// Command p2pbench regenerates the paper's evaluation figures
+// (Section VI) as text tables.
+//
+// Usage:
+//
+//	p2pbench -experiment fig3|fig4|fig5|fig6|all [-quick] [-seed N]
+//	         [-sizes 256,512,1024] [-n 1024] [-items 16] [-bits 32]
+//	         [-warmup 900] [-duration 3600] [-format text|csv]
+//
+// Extension experiments: -experiment qos|estimate|sketch|replication|
+// global|maintenance|digits, or "extensions" for all of them.
+//
+// Full-scale runs use the paper's parameters (n up to 2048, 32-bit ids,
+// hour-long simulated churn windows) and take minutes; -quick shrinks
+// everything for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"peercache/internal/experiment"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "figure to reproduce: fig3, fig4, fig5, fig6 or all")
+		quick    = flag.Bool("quick", false, "shrink every parameter for a fast sanity run")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		sizes    = flag.String("sizes", "", "comma-separated n values overriding the sweep (fig3/fig5)")
+		fixedN   = flag.Int("n", 0, "fixed n for the k sweeps (fig4/fig6; default 1024)")
+		items    = flag.Int("items", 0, "items per node (default 16)")
+		bits     = flag.Uint("bits", 0, "identifier length in bits (default 32)")
+		warmup   = flag.Float64("warmup", 0, "churn warmup seconds (default 900)")
+		duration = flag.Float64("duration", 0, "churn measured seconds (default 3600)")
+		format   = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	scale := experiment.Scale{
+		FixedN:       *fixedN,
+		Bits:         *bits,
+		ItemsPerNode: *items,
+		Warmup:       *warmup,
+		Duration:     *duration,
+		Seed:         *seed,
+	}
+	if *sizes != "" {
+		for _, tok := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 2 {
+				fatalf("invalid -sizes entry %q", tok)
+			}
+			scale.Sizes = append(scale.Sizes, n)
+		}
+	}
+	if *quick {
+		if len(scale.Sizes) == 0 {
+			scale.Sizes = []int{128, 256}
+		}
+		if scale.FixedN == 0 {
+			scale.FixedN = 256
+		}
+		if scale.Bits == 0 {
+			scale.Bits = 20
+		}
+		if scale.ItemsPerNode == 0 {
+			scale.ItemsPerNode = 4
+		}
+		if scale.Warmup == 0 {
+			scale.Warmup = 300
+		}
+		if scale.Duration == 0 {
+			scale.Duration = 1200
+		}
+	}
+
+	figures := map[string]func(experiment.Scale) (experiment.Table, error){
+		"fig3":        experiment.Fig3,
+		"fig4":        experiment.Fig4,
+		"fig5":        experiment.Fig5,
+		"fig6":        experiment.Fig6,
+		"qos":         experiment.ExtQoS,
+		"estimate":    experiment.ExtEstimate,
+		"sketch":      experiment.ExtSketch,
+		"replication": experiment.ExtReplication,
+		"global":      experiment.ExtGlobal,
+		"maintenance": experiment.ExtMaintenance,
+		"digits":      experiment.ExtDigits,
+		"portability": experiment.ExtPortability,
+	}
+	var order []string
+	switch *exp {
+	case "all":
+		order = []string{"fig3", "fig4", "fig5", "fig6"}
+	case "extensions":
+		order = []string{"qos", "estimate", "sketch", "replication", "global", "maintenance", "digits", "portability"}
+	default:
+		if _, ok := figures[*exp]; !ok {
+			fatalf("unknown experiment %q (want fig3..fig6, qos, estimate, sketch, extensions or all)", *exp)
+		}
+		order = []string{*exp}
+	}
+
+	for _, name := range order {
+		start := time.Now()
+		table, err := figures[name](scale)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		switch *format {
+		case "text":
+			if err := table.Render(os.Stdout); err != nil {
+				fatalf("render %s: %v", name, err)
+			}
+			fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		case "csv":
+			if err := table.RenderCSV(os.Stdout); err != nil {
+				fatalf("render %s: %v", name, err)
+			}
+		default:
+			fatalf("unknown format %q (want text or csv)", *format)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "p2pbench: "+format+"\n", args...)
+	os.Exit(1)
+}

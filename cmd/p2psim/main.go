@@ -1,0 +1,116 @@
+// Command p2psim runs a single overlay simulation with full parameter
+// control and prints detailed per-scheme statistics — the companion
+// "explore one configuration" tool to cmd/p2pbench's figure sweeps.
+//
+// Usage:
+//
+//	p2psim -protocol chord|pastry -mode stable|churn -n 512
+//	       [-k 9] [-kfactor 1] [-alpha 1.2] [-rankings 5] [-items 16]
+//	       [-bits 32] [-seed 1] [-warmup 900] [-duration 3600]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peercache/internal/experiment"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "chord", "overlay protocol: chord or pastry")
+		mode     = flag.String("mode", "stable", "evaluation mode: stable or churn")
+		n        = flag.Int("n", 512, "number of nodes")
+		k        = flag.Int("k", 0, "auxiliary neighbors per node (default kfactor*log2 n)")
+		kfactor  = flag.Int("kfactor", 1, "k as a multiple of log2 n when -k is 0")
+		alpha    = flag.Float64("alpha", 1.2, "zipf exponent for item popularity")
+		rankings = flag.Int("rankings", 0, "distinct popularity rankings (default 1 pastry, 5 chord)")
+		items    = flag.Int("items", 16, "items per node")
+		bits     = flag.Uint("bits", 32, "identifier length in bits")
+		seed     = flag.Int64("seed", 1, "random seed")
+		warmup   = flag.Float64("warmup", 900, "churn warmup seconds")
+		duration = flag.Float64("duration", 3600, "churn measured seconds")
+		observe  = flag.Int("observe", 0, "stable mode: sampled observations per node (0 = exact masses)")
+	)
+	flag.Parse()
+
+	var proto experiment.Protocol
+	switch *protocol {
+	case "chord":
+		proto = experiment.Chord
+	case "pastry":
+		proto = experiment.Pastry
+	default:
+		fatalf("unknown protocol %q", *protocol)
+	}
+	if *rankings == 0 {
+		if proto == experiment.Chord {
+			*rankings = 5
+		} else {
+			*rankings = 1
+		}
+	}
+
+	switch *mode {
+	case "stable":
+		res, err := experiment.RunStable(experiment.StableConfig{
+			Protocol:       proto,
+			N:              *n,
+			Bits:           *bits,
+			K:              *k,
+			KFactor:        *kfactor,
+			Alpha:          *alpha,
+			ItemsPerNode:   *items,
+			NumRankings:    *rankings,
+			ObserveQueries: *observe,
+			Seed:           *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("protocol=%v mode=stable n=%d k=%d alpha=%g rankings=%d items/node=%d bits=%d seed=%d\n",
+			proto, *n, res.K, *alpha, *rankings, *items, *bits, *seed)
+		for _, s := range []experiment.Scheme{experiment.CoreOnly, experiment.Oblivious, experiment.Optimal} {
+			st := res.PerScheme[s]
+			fmt.Printf("  %-10s avg hops %.4f  max hops %d  p50 %d  p99 %d\n",
+				s, st.AvgHops, st.MaxHops, st.PairHops.Percentile(50), st.PairHops.Percentile(99))
+			fmt.Printf("             pair-hop histogram: %s\n", st.PairHops)
+		}
+		fmt.Printf("  reduction vs oblivious: %.1f%%\n", res.Reduction)
+		fmt.Printf("  reduction vs core-only: %.1f%%\n", res.ReductionVsCore)
+	case "churn":
+		cmp, err := experiment.RunChurnComparison(experiment.ChurnConfig{
+			Protocol:     proto,
+			N:            *n,
+			Bits:         *bits,
+			K:            *k,
+			KFactor:      *kfactor,
+			Alpha:        *alpha,
+			ItemsPerNode: *items,
+			NumRankings:  *rankings,
+			Warmup:       *warmup,
+			Duration:     *duration,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("protocol=%v mode=churn n=%d k=%d alpha=%g rankings=%d seed=%d warmup=%gs duration=%gs\n",
+			proto, *n, cmp.K, *alpha, *rankings, *seed, *warmup, *duration)
+		print := func(name string, st experiment.ChurnStats) {
+			fmt.Printf("  %-10s avg eff hops %.4f  timeouts/lookup %.3f  queries %d  failures %d  membership events %d\n",
+				name, st.AvgEffHops, st.AvgTimeouts, st.Queries, st.Failures, st.MembershipEvents)
+		}
+		print("oblivious", cmp.Oblivious)
+		print("optimal", cmp.Optimal)
+		fmt.Printf("  reduction vs oblivious: %.1f%%\n", cmp.Reduction)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "p2psim: "+format+"\n", args...)
+	os.Exit(1)
+}

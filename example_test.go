@@ -1,0 +1,84 @@
+package peercache_test
+
+import (
+	"fmt"
+
+	"peercache"
+)
+
+// The basic flow: track where lookups go, then select the k best
+// auxiliary neighbors for a Chord node.
+func ExampleSelectChord() {
+	counter := peercache.NewCounter()
+	for i := 0; i < 90; i++ {
+		counter.Observe(0xBEEF) // a hot peer
+	}
+	for i := 0; i < 10; i++ {
+		counter.Observe(0x1234) // a warm peer
+	}
+
+	sel, err := peercache.SelectChord(
+		16,              // identifier bits
+		0,               // this node's id
+		[]uint64{1, 9},  // core neighbors (finger table)
+		counter.Peers(), // observed frequencies
+		1,               // k
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("aux: %#x\n", sel.Aux)
+	// Output:
+	// aux: [0xbeef]
+}
+
+// Pastry selection with hex digits (footnote 2 of the paper): distances
+// count 4-bit digits, as FreePastry routes them.
+func ExampleSelectPastryDigits() {
+	peers := []peercache.Peer{
+		{ID: 0xFF00, Freq: 80},
+		{ID: 0x00FF, Freq: 20},
+	}
+	sel, err := peercache.SelectPastryDigits(16, 4, []uint64{0x1000}, peers, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("aux: %#x cost: %.0f\n", sel.Aux, sel.Cost)
+	// Output:
+	// aux: [0xff00] cost: 180
+}
+
+// QoS bounds guarantee rarely queried peers a maximum distance; an
+// impossible demand is reported rather than silently violated.
+func ExampleSelectChordQoS() {
+	peers := []peercache.Peer{
+		{ID: 500, Freq: 1000}, // hot
+		{ID: 900, Freq: 1},    // cold but latency-critical
+	}
+	sel, err := peercache.SelectChordQoS(10, 0, []uint64{1}, peers, 1,
+		map[uint64]uint{900: 0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("aux: %v\n", sel.Aux)
+	// Output:
+	// aux: [900]
+}
+
+// The incremental maintainer keeps the optimum current in O(bk) per
+// popularity change.
+func ExampleMaintainer() {
+	m, err := peercache.NewPastryMaintainer(8, []uint64{0}, []peercache.Peer{
+		{ID: 0xF0, Freq: 5},
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("before: %#x\n", m.Select().Aux)
+
+	m.SetFreq(0x0F, 50) // a new peer becomes hot
+	fmt.Printf("after:  %#x\n", m.Select().Aux)
+	// Output:
+	// before: [0xf0]
+	// after:  [0xf]
+}

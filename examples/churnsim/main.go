@@ -1,0 +1,56 @@
+// Churn-intensive Chord (Section VI-C): nodes crash and re-join with
+// exponential mean 900 s lifetimes while queries flow; stabilization
+// runs every 25 s and auxiliary neighbors are recomputed every 62.5 s.
+// The example runs the paper's paired comparison — frequency-optimal
+// versus frequency-oblivious auxiliary selection on identical churn and
+// query streams — and prints both sides.
+//
+//	go run ./examples/churnsim [-n 256] [-duration 3600]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"peercache"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 256, "total node population (about half alive at steady state)")
+		duration = flag.Float64("duration", 3600, "measured simulated seconds")
+		warmup   = flag.Float64("warmup", 600, "warmup simulated seconds")
+		rate     = flag.Float64("rate", 4, "network-wide queries per second")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := peercache.ExperimentChurnConfig{
+		Protocol:     peercache.Chord,
+		N:            *n,
+		ItemsPerNode: 4,
+		QueryRate:    *rate,
+		Warmup:       *warmup,
+		Duration:     *duration,
+		Seed:         *seed,
+	}
+	cmp, err := peercache.RunChurnComparison(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("churn-intensive Chord: %d nodes, %.0f q/s, exp(900 s) lifetimes,\n", *n, *rate)
+	fmt.Printf("stabilize 25 s, aux recompute 62.5 s, %.0f s measured (k = %d)\n\n", *duration, cmp.K)
+	fmt.Printf("membership events (crashes + rejoins): %d\n\n", cmp.Optimal.MembershipEvents)
+
+	fmt.Printf("%-12s  %14s  %16s  %9s  %9s\n", "scheme", "avg eff. hops", "timeouts/lookup", "queries", "failures")
+	fmt.Printf("%-12s  %14.3f  %16.3f  %9d  %9d\n", "oblivious",
+		cmp.Oblivious.AvgEffHops, cmp.Oblivious.AvgTimeouts, cmp.Oblivious.Queries, cmp.Oblivious.Failures)
+	fmt.Printf("%-12s  %14.3f  %16.3f  %9d  %9d\n", "optimal",
+		cmp.Optimal.AvgEffHops, cmp.Optimal.AvgTimeouts, cmp.Optimal.Queries, cmp.Optimal.Failures)
+	fmt.Printf("\nreduction in average effective hops: %.1f%%\n", cmp.Reduction)
+	fmt.Println("\n(the same run without churn — cmd/p2psim -mode stable — shows a much larger")
+	fmt.Println("reduction: stale pointers and scarcer query history are exactly the churn")
+	fmt.Println("penalty Figure 5 of the paper reports)")
+}

@@ -1,0 +1,217 @@
+// P2P DNS with mobile IP — the paper's motivating application
+// (Section I): DNS served from a Chord overlay of stable name servers,
+// where record values (IP addresses of mobile hosts) change frequently.
+//
+// The example pits three client strategies against each other on an
+// identical query and update stream:
+//
+//   - plain:  vanilla Chord lookups, no caching of any kind;
+//   - items:  classic TTL item caching (what hierarchical DNS does) —
+//     cheap hits, but cached answers go stale whenever the
+//     mobile host moves;
+//   - peers:  the paper's pointer caching — every lookup still reaches
+//     the live owner (answers are always fresh), but the
+//     frequency-optimal auxiliary neighbors cut the path short.
+//
+// Run it with different -updates rates to see the staleness of item
+// caching grow while pointer caching stays fresh at near-cached speeds.
+//
+//	go run ./examples/p2pdns [-updates 0.5] [-ttl 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"peercache/internal/chord"
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/itemcache"
+	"peercache/internal/randx"
+	"peercache/internal/sim"
+	"peercache/internal/workload"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 256, "number of DNS server nodes")
+		numRecords = flag.Int("records", 2048, "number of DNS records")
+		updateRate = flag.Float64("updates", 0.5, "record updates per second, network-wide")
+		queryRate  = flag.Float64("queries", 50, "lookups per second, network-wide")
+		ttl        = flag.Float64("ttl", 60, "item-cache TTL in seconds")
+		duration   = flag.Float64("duration", 1800, "simulated seconds")
+		k          = flag.Int("k", 8, "auxiliary neighbors per node")
+		seed       = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	space := id.NewSpace(32)
+	nw := chord.New(chord.Config{Space: space})
+	nodeRNG := randx.New(randx.DeriveSeed(*seed, "nodes"))
+	var nodes []id.ID
+	for _, raw := range randx.UniqueIDs(nodeRNG, *n, space.Size()) {
+		x := id.ID(raw)
+		if _, err := nw.AddNode(x); err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, x)
+	}
+	nw.StabilizeAll()
+
+	// Records hashed into the id space, zipf-popular, owned by their
+	// predecessor node; every node resolves with the same popularity
+	// ranking (a shared global hot set, as in public DNS).
+	w := workload.New(workload.Config{
+		Space:    space,
+		NumItems: *numRecords,
+		Alpha:    1.2,
+		Seed:     randx.DeriveSeed(*seed, "records"),
+	})
+	store := itemcache.NewVersionedStore()
+	caches := make(map[id.ID]*itemcache.Cache, *n)
+	for _, x := range nodes {
+		caches[x] = itemcache.New(256, *ttl)
+	}
+
+	eng := sim.New()
+	updRNG := randx.New(randx.DeriveSeed(*seed, "updates"))
+	qryRNG := randx.New(randx.DeriveSeed(*seed, "queries"))
+
+	// Mobile hosts move: records update at the configured rate; which
+	// record updates follows the same zipf popularity (hot hosts are
+	// mobile too — the adversarial case for item caching).
+	var scheduleUpdate func()
+	scheduleUpdate = func() {
+		eng.After(randx.Exp(updRNG, 1 / *updateRate), func() {
+			rec := w.SampleItem(updRNG, nodes[0])
+			store.Update(w.Key(rec))
+			scheduleUpdate()
+		})
+	}
+	if *updateRate > 0 {
+		scheduleUpdate()
+	}
+
+	// Aux recomputation from observed frequencies, once a minute.
+	recompute := func() {
+		for _, x := range nodes {
+			node := nw.Node(x)
+			snap := node.Counter.Snapshot()
+			if len(snap) == 0 {
+				continue
+			}
+			peers := make([]core.Peer, 0, len(snap))
+			for _, e := range snap {
+				peers = append(peers, core.Peer{ID: e.Peer, Freq: float64(e.Count)})
+			}
+			kEff := *k
+			if kEff > len(peers) {
+				kEff = len(peers)
+			}
+			res, err := core.SelectChordFast(space, x, node.Fingers(), peers, kEff)
+			if err != nil {
+				continue
+			}
+			if err := nw.SetAux(x, res.Aux); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	eng.Every(60, func() bool { recompute(); return true })
+
+	// Statistics per strategy.
+	type strat struct {
+		lookups, stale uint64
+		hops           uint64
+	}
+	var plain, items, peersStrat strat
+
+	var scheduleQuery func()
+	scheduleQuery = func() {
+		eng.After(randx.Exp(qryRNG, 1 / *queryRate), func() {
+			src := nodes[qryRNG.Intn(len(nodes))]
+			rec := w.SampleItem(qryRNG, src)
+			key := w.Key(rec)
+
+			res, err := nw.Route(src, key)
+			if err != nil || !res.OK {
+				scheduleQuery()
+				return
+			}
+			dest := res.Dest
+
+			// peers strategy: the routed lookup, always fresh.
+			peersStrat.lookups++
+			peersStrat.hops += uint64(res.Hops + res.Timeouts)
+			nw.Node(src).Counter.Observe(dest)
+
+			// items strategy: TTL cache in front of the same lookup.
+			items.lookups++
+			if e, ok := caches[src].Lookup(key, eng.Now()); ok {
+				if !store.Fresh(key, e.Version) {
+					items.stale++
+				}
+			} else {
+				items.hops += uint64(res.Hops + res.Timeouts)
+				caches[src].Fill(key, store.Version(key), eng.Now())
+			}
+
+			scheduleQuery()
+		})
+	}
+	scheduleQuery()
+	eng.RunUntil(*duration)
+
+	// The plain strategy is measured on a twin overlay without aux.
+	twin := chord.New(chord.Config{Space: space})
+	for _, x := range nodes {
+		if _, err := twin.AddNode(x); err != nil {
+			log.Fatal(err)
+		}
+	}
+	twin.StabilizeAll()
+	twinRNG := randx.New(randx.DeriveSeed(*seed, "queries"))
+	twinEng := sim.New()
+	var scheduleTwin func()
+	scheduleTwin = func() {
+		twinEng.After(randx.Exp(twinRNG, 1 / *queryRate), func() {
+			src := nodes[twinRNG.Intn(len(nodes))]
+			rec := w.SampleItem(twinRNG, src)
+			res, err := twin.Route(src, w.Key(rec))
+			if err == nil && res.OK {
+				plain.lookups++
+				plain.hops += uint64(res.Hops)
+			}
+			scheduleTwin()
+		})
+	}
+	scheduleTwin()
+	twinEng.RunUntil(*duration)
+
+	avg := func(s strat) float64 {
+		if s.lookups == 0 {
+			return 0
+		}
+		return float64(s.hops) / float64(s.lookups)
+	}
+	stalePct := func(s strat) float64 {
+		if s.lookups == 0 {
+			return 0
+		}
+		return 100 * float64(s.stale) / float64(s.lookups)
+	}
+
+	fmt.Printf("P2P DNS: %d servers, %d records, %.1f updates/s, %.0f lookups/s, TTL %.0fs, %.0fs simulated\n\n",
+		*n, *numRecords, *updateRate, *queryRate, *ttl, *duration)
+	fmt.Printf("record updates applied: %d\n\n", store.Updates())
+	fmt.Printf("%-22s  %12s  %12s\n", "strategy", "avg hops", "stale answers")
+	fmt.Printf("%-22s  %12s  %12s\n", "--------", "--------", "-------------")
+	fmt.Printf("%-22s  %12.3f  %12s\n", "plain Chord", avg(plain), "0.0%")
+	fmt.Printf("%-22s  %12.3f  %11.1f%%\n", "item caching (TTL)", avg(items), stalePct(items))
+	fmt.Printf("%-22s  %12.3f  %12s\n", "peer caching (paper)", avg(peersStrat), "0.0%")
+	fmt.Printf("\npeer caching answers every lookup from the live owner — zero staleness —\n")
+	fmt.Printf("while cutting %.1f%% of plain Chord's hops; item caching is cheaper per hit\n",
+		100*(avg(plain)-avg(peersStrat))/avg(plain))
+	fmt.Printf("but served %.1f%% stale answers at this update rate.\n", stalePct(items))
+}

@@ -1,0 +1,87 @@
+// QoS-aware auxiliary selection (Sections IV-D and V-C): some lookups —
+// a VoIP session-setup service, a real-time location query — must
+// resolve within a bounded number of hops, even when their targets are
+// unpopular. The plain optimizer ignores them; the QoS variant
+// guarantees the bound while staying optimal for everything else.
+//
+//	go run ./examples/qos
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"peercache"
+)
+
+func main() {
+	const (
+		bits = 24
+		self = uint64(0)
+		k    = 4
+	)
+	rng := rand.New(rand.NewSource(3))
+
+	// Core fingers at exponential distances.
+	var core []uint64
+	for i := 6; i < bits; i += 4 {
+		core = append(core, uint64(1)<<i|uint64(rng.Intn(1<<i)))
+	}
+
+	// Observed traffic: heavy mass on a few peers, plus two rarely
+	// queried real-time services far from any core finger.
+	rtA := uint64(0x7f1234)
+	rtB := uint64(0x3ab001)
+	peers := []peercache.Peer{
+		{ID: 0x900001, Freq: 400},
+		{ID: 0x910003, Freq: 350},
+		{ID: 0x100200, Freq: 300},
+		{ID: 0x450000, Freq: 250},
+		{ID: 0x660000, Freq: 200},
+		{ID: rtA, Freq: 2},
+		{ID: rtB, Freq: 1},
+	}
+
+	plain, err := peercache.SelectChord(bits, self, core, peers, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unconstrained optimum (pure frequency):")
+	printSelection(plain)
+
+	// Demand that both real-time services resolve within one estimated
+	// hop beyond the first: distance bound 0 forces a direct pointer.
+	bounds := map[uint64]uint{rtA: 0, rtB: 0}
+	qos, err := peercache.SelectChordQoS(bits, self, core, peers, k, bounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQoS optimum (real-time peers bounded to distance 0):")
+	printSelection(qos)
+	fmt.Printf("\nQoS premium: +%.0f cost to honor the delay bounds\n", qos.Cost-plain.Cost)
+
+	// With too small a budget the bounds cannot be met: the library
+	// reports infeasibility instead of silently violating them.
+	_, err = peercache.SelectChordQoS(bits, self, core, peers, 1, bounds)
+	if errors.Is(err, peercache.ErrInfeasible) {
+		fmt.Println("\nwith k = 1 the two distance-0 bounds are correctly reported infeasible")
+	} else {
+		log.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+
+	// The Pastry variant works the same way, with prefix distances.
+	pastryQoS, err := peercache.SelectPastryQoS(bits, core, peers, k, map[uint64]uint{rtA: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPastry QoS selection (rtA within prefix distance 2): %#x\n", pastryQoS.Aux)
+}
+
+func printSelection(s *peercache.Selection) {
+	for _, a := range s.Aux {
+		fmt.Printf("  aux %#06x\n", a)
+	}
+	fmt.Printf("  cost %.0f (weighted distance %.0f)\n", s.Cost, s.WeightedDist)
+}

@@ -1,0 +1,83 @@
+// Quickstart: observe lookups at a Chord node, select the optimal
+// auxiliary neighbors with the public API, and see the lookup-cost
+// drop the paper's eq. 1 predicts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"peercache"
+)
+
+func main() {
+	const (
+		bits = 32
+		self = uint64(0)
+		k    = 8
+	)
+
+	// A node's core neighbors in Chord: fingers at exponentially
+	// increasing distances (here: the first node found after each 2^i).
+	var core []uint64
+	for i := 8; i < bits; i += 3 {
+		core = append(core, uint64(1)<<i+uint64(i))
+	}
+
+	// The node records every lookup destination in a frequency counter,
+	// as Section III of the paper prescribes. We synthesize a skewed
+	// history: a handful of hot peers (a name service's popular zones)
+	// and a long uniform tail.
+	rng := rand.New(rand.NewSource(7))
+	hot := make([]uint64, 5)
+	for i := range hot {
+		hot[i] = rng.Uint64() >> (64 - bits)
+	}
+	counter := peercache.NewCounter()
+	for q := 0; q < 20000; q++ {
+		if rng.Intn(100) < 70 { // 70% of lookups go to the hot five
+			counter.Observe(hot[rng.Intn(len(hot))])
+		} else {
+			counter.Observe(rng.Uint64() >> (64 - bits))
+		}
+	}
+
+	// Select the k best auxiliary neighbors (fast algorithm, Section
+	// V-B) and compare against keeping none.
+	peers := counter.Peers()
+	withAux, err := peercache.SelectChord(bits, self, core, peers, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withoutAux, err := peercache.SelectChord(bits, self, core, peers, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("observed %d lookups over %d distinct peers\n", counter.Total(), len(peers))
+	fmt.Printf("core neighbors: %d, auxiliary budget k = %d\n\n", len(core), k)
+	fmt.Printf("selected auxiliary neighbors:\n")
+	for _, a := range withAux.Aux {
+		fmt.Printf("  %#08x\n", a)
+	}
+	fmt.Printf("\nexpected lookup cost (eq. 1, hops weighted by frequency):\n")
+	fmt.Printf("  core only:        %.0f\n", withoutAux.Cost)
+	fmt.Printf("  with auxiliaries: %.0f  (%.1f%% lower)\n",
+		withAux.Cost, 100*(withoutAux.Cost-withAux.Cost)/withoutAux.Cost)
+
+	// The hot peers should all have been captured.
+	selected := make(map[uint64]bool, len(withAux.Aux))
+	for _, a := range withAux.Aux {
+		selected[a] = true
+	}
+	captured := 0
+	for _, h := range hot {
+		if selected[h] {
+			captured++
+		}
+	}
+	fmt.Printf("\nhot peers captured by the selection: %d of %d\n", captured, len(hot))
+}

@@ -1,0 +1,3 @@
+module peercache
+
+go 1.22

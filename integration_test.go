@@ -1,0 +1,181 @@
+package peercache
+
+// End-to-end integration tests: the public selection API drives the
+// internal overlay simulators, confirming that the chosen auxiliary
+// pointers actually shorten real routed lookups — the whole point of the
+// paper — and that the improvement survives protocol-level effects the
+// cost model abstracts away.
+
+import (
+	"testing"
+
+	"peercache/internal/chord"
+	"peercache/internal/id"
+	"peercache/internal/pastry"
+	"peercache/internal/randx"
+)
+
+// TestChordSelectionImprovesRealRouting wires the facade into the Chord
+// simulator: sample lookups, select with the public API, install the aux
+// set, and verify measured hops drop on the same query mix.
+func TestChordSelectionImprovesRealRouting(t *testing.T) {
+	const bits = 24
+	space := id.NewSpace(bits)
+	nw := chord.New(chord.Config{Space: space})
+	rng := randx.New(606)
+	var nodes []id.ID
+	for _, raw := range randx.UniqueIDs(rng, 300, space.Size()) {
+		x := id.ID(raw)
+		if _, err := nw.AddNode(x); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, x)
+	}
+	nw.StabilizeAll()
+
+	src := nodes[0]
+	// A zipf-skewed destination mix.
+	alias := randx.NewAlias(randx.ZipfWeights(len(nodes)-1, 1.2))
+	perm := rng.Perm(len(nodes) - 1)
+	mix := make([]id.ID, 4000)
+	counter := NewCounter()
+	for i := range mix {
+		mix[i] = nodes[1+perm[alias.Sample(rng)]]
+		counter.Observe(uint64(mix[i]))
+	}
+
+	measure := func() float64 {
+		total := 0
+		for _, dst := range mix {
+			res, err := nw.Route(src, dst)
+			if err != nil || !res.OK {
+				t.Fatalf("lookup failed: %v %+v", err, res)
+			}
+			total += res.Hops
+		}
+		return float64(total) / float64(len(mix))
+	}
+
+	before := measure()
+
+	fingers := nw.Node(src).Fingers()
+	coreIDs := make([]uint64, len(fingers))
+	for i, f := range fingers {
+		coreIDs[i] = uint64(f)
+	}
+	sel, err := SelectChord(bits, uint64(src), coreIDs, counter.Peers(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := make([]id.ID, len(sel.Aux))
+	for i, a := range sel.Aux {
+		aux[i] = id.ID(a)
+	}
+	if err := nw.SetAux(src, aux); err != nil {
+		t.Fatal(err)
+	}
+
+	after := measure()
+	if after >= before {
+		t.Fatalf("aux did not help: %.3f -> %.3f hops", before, after)
+	}
+	if reduction := 100 * (before - after) / before; reduction < 20 {
+		t.Errorf("reduction only %.1f%% (before %.3f, after %.3f)", reduction, before, after)
+	}
+}
+
+// TestPastrySelectionImprovesRealRouting does the same through the
+// Pastry simulator with locality-aware routing.
+func TestPastrySelectionImprovesRealRouting(t *testing.T) {
+	const bits = 24
+	space := id.NewSpace(bits)
+	nw := pastry.New(pastry.Config{Space: space, LocalityAware: true})
+	rng := randx.New(707)
+	var nodes []id.ID
+	for _, raw := range randx.UniqueIDs(rng, 300, space.Size()) {
+		x := id.ID(raw)
+		if _, err := nw.AddNode(x, pastry.Coord{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, x)
+	}
+	nw.StabilizeAll()
+
+	src := nodes[0]
+	alias := randx.NewAlias(randx.ZipfWeights(len(nodes)-1, 1.2))
+	perm := rng.Perm(len(nodes) - 1)
+	mix := make([]id.ID, 4000)
+	counter := NewCounter()
+	for i := range mix {
+		mix[i] = nodes[1+perm[alias.Sample(rng)]]
+		counter.Observe(uint64(mix[i]))
+	}
+
+	measure := func() float64 {
+		total := 0
+		for _, dst := range mix {
+			res, err := nw.Route(src, dst)
+			if err != nil || !res.OK {
+				t.Fatalf("lookup failed: %v %+v", err, res)
+			}
+			total += res.Hops
+		}
+		return float64(total) / float64(len(mix))
+	}
+
+	before := measure()
+
+	coreNbrs := nw.Node(src).CoreNeighbors()
+	coreIDs := make([]uint64, len(coreNbrs))
+	for i, c := range coreNbrs {
+		coreIDs[i] = uint64(c)
+	}
+	sel, err := SelectPastry(bits, coreIDs, counter.Peers(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := make([]id.ID, len(sel.Aux))
+	for i, a := range sel.Aux {
+		aux[i] = id.ID(a)
+	}
+	if err := nw.SetAux(src, aux); err != nil {
+		t.Fatal(err)
+	}
+
+	after := measure()
+	if after >= before {
+		t.Fatalf("aux did not help: %.3f -> %.3f hops", before, after)
+	}
+	if reduction := 100 * (before - after) / before; reduction < 20 {
+		t.Errorf("reduction only %.1f%% (before %.3f, after %.3f)", reduction, before, after)
+	}
+}
+
+// TestTopNCounterFeedsSelection runs the constrained-memory path: a
+// Space-Saving sketch with capacity far below the number of distinct
+// destinations still recovers the heavy hitters for selection.
+func TestTopNCounterFeedsSelection(t *testing.T) {
+	rng := randx.New(808)
+	sketch := NewTopNCounter(32)
+	hot := []uint64{111111, 222222, 333333}
+	for i := 0; i < 50000; i++ {
+		if rng.Intn(10) < 6 {
+			sketch.Observe(hot[rng.Intn(3)])
+		} else {
+			sketch.Observe(rng.Uint64() >> 44) // huge tail of distinct ids
+		}
+	}
+	sel, err := SelectChord(20, 0, []uint64{1}, sketch.Peers(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	for _, a := range sel.Aux {
+		got[a] = true
+	}
+	for _, h := range hot {
+		if !got[h] {
+			t.Errorf("hot peer %d not selected from sketch (aux %v)", h, sel.Aux)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package baseline implements the frequency-oblivious auxiliary-neighbor
+// selection the paper compares against (Section VI-A): in Chord, with
+// k = r·log n, it picks r auxiliary neighbors at random in each range
+// (self + 2^i, self + 2^{i+1}]; in Pastry, r random neighbors per prefix
+// match length. It draws from the same candidate pool the optimizing
+// selector sees — the peers the node has observed queries for — but
+// ignores their frequencies entirely.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peercache/internal/id"
+)
+
+// ChordOblivious picks up to k auxiliary neighbors for node self by
+// distributing slots round-robin over the populated distance ranges
+// (self + 2^i, self + 2^{i+1}] and sampling uniformly without replacement
+// within each range. Candidates equal to self or in the core set are
+// excluded. The result is sorted by id.
+func ChordOblivious(space id.Space, self id.ID, core []id.ID, candidates []id.ID, k int, rng *rand.Rand) []id.ID {
+	buckets := make([][]id.ID, space.Bits())
+	coreSet := make(map[id.ID]bool, len(core))
+	for _, c := range core {
+		coreSet[c] = true
+	}
+	seen := make(map[id.ID]bool, len(candidates))
+	for _, c := range candidates {
+		if c == self || coreSet[c] || seen[c] {
+			continue
+		}
+		seen[c] = true
+		g := space.Gap(self, c)
+		// g in (2^i, 2^{i+1}] -> bucket i; g == 1 lands in bucket 0.
+		i := id.CeilLog2(g)
+		if i > 0 {
+			i--
+		}
+		buckets[i] = append(buckets[i], c)
+	}
+	return drawRoundRobin(buckets, k, rng)
+}
+
+// PastryOblivious picks up to k auxiliary neighbors for node self by
+// distributing slots round-robin over the populated prefix-length rows
+// (candidates sharing exactly l leading bits with self) and sampling
+// uniformly within each row. The result is sorted by id.
+func PastryOblivious(space id.Space, self id.ID, core []id.ID, candidates []id.ID, k int, rng *rand.Rand) []id.ID {
+	return PastryObliviousDigits(space, self, core, candidates, k, 1, rng)
+}
+
+// PastryObliviousDigits is PastryOblivious for base-2^digitBits digit
+// routing: rows are shared digit-prefix lengths. digitBits must divide
+// the identifier length; it panics otherwise (a configuration error).
+func PastryObliviousDigits(space id.Space, self id.ID, core []id.ID, candidates []id.ID, k int, digitBits uint, rng *rand.Rand) []id.ID {
+	if digitBits == 0 || space.Bits()%digitBits != 0 {
+		panic(fmt.Sprintf("baseline: digit size %d does not divide %d-bit ids", digitBits, space.Bits()))
+	}
+	buckets := make([][]id.ID, space.Bits()/digitBits)
+	coreSet := make(map[id.ID]bool, len(core))
+	for _, c := range core {
+		coreSet[c] = true
+	}
+	seen := make(map[id.ID]bool, len(candidates))
+	for _, c := range candidates {
+		if c == self || coreSet[c] || seen[c] {
+			continue
+		}
+		seen[c] = true
+		l := space.CommonPrefixLen(self, c) / digitBits
+		if int(l) >= len(buckets) {
+			l = uint(len(buckets) - 1) // c == self is excluded, cannot happen
+		}
+		buckets[l] = append(buckets[l], c)
+	}
+	return drawRoundRobin(buckets, k, rng)
+}
+
+// drawRoundRobin cycles over the non-empty buckets, drawing one uniform
+// sample without replacement from each, until k picks are made or all
+// buckets are exhausted. Buckets are pre-sorted so the output depends
+// only on the rng stream, not on candidate order.
+func drawRoundRobin(buckets [][]id.ID, k int, rng *rand.Rand) []id.ID {
+	for _, b := range buckets {
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	}
+	picked := make([]id.ID, 0, k)
+	for len(picked) < k {
+		progress := false
+		for i := range buckets {
+			if len(picked) >= k {
+				break
+			}
+			b := buckets[i]
+			if len(b) == 0 {
+				continue
+			}
+			j := rng.Intn(len(b))
+			picked = append(picked, b[j])
+			b[j] = b[len(b)-1]
+			buckets[i] = b[:len(b)-1]
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+	return picked
+}

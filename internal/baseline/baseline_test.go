@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"testing"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func TestChordObliviousBasics(t *testing.T) {
+	space := id.NewSpace(8)
+	self := id.ID(0)
+	core := []id.ID{1, 5}
+	var candidates []id.ID
+	for i := 1; i < 200; i++ {
+		candidates = append(candidates, id.ID(i))
+	}
+	rng := randx.New(1)
+	aux := ChordOblivious(space, self, core, candidates, 8, rng)
+	if len(aux) != 8 {
+		t.Fatalf("got %d aux, want 8", len(aux))
+	}
+	seen := map[id.ID]bool{}
+	for _, a := range aux {
+		if a == self || a == 1 || a == 5 {
+			t.Fatalf("invalid aux %d", a)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate aux %d", a)
+		}
+		seen[a] = true
+	}
+	// Sorted output.
+	for i := 1; i < len(aux); i++ {
+		if aux[i-1] >= aux[i] {
+			t.Fatal("aux not sorted")
+		}
+	}
+}
+
+// Round-robin across ranges: with abundant candidates everywhere, the
+// picks must span several distinct distance ranges, not cluster.
+func TestChordObliviousSpreadsAcrossRanges(t *testing.T) {
+	space := id.NewSpace(8)
+	self := id.ID(0)
+	var candidates []id.ID
+	for i := 1; i < 256; i++ {
+		candidates = append(candidates, id.ID(i))
+	}
+	aux := ChordOblivious(space, self, nil, candidates, 8, randx.New(2))
+	ranges := map[uint]bool{}
+	for _, a := range aux {
+		ranges[space.ChordDist(self, a)] = true
+	}
+	if len(ranges) < 6 {
+		t.Errorf("picks cover only %d distance ranges: %v", len(ranges), aux)
+	}
+}
+
+func TestChordObliviousFewCandidates(t *testing.T) {
+	space := id.NewSpace(8)
+	aux := ChordOblivious(space, 0, []id.ID{10}, []id.ID{10, 20, 0}, 5, randx.New(3))
+	if len(aux) != 1 || aux[0] != 20 {
+		t.Fatalf("aux = %v, want [20]", aux)
+	}
+}
+
+func TestChordObliviousKZero(t *testing.T) {
+	space := id.NewSpace(8)
+	if aux := ChordOblivious(space, 0, nil, []id.ID{3}, 0, randx.New(4)); len(aux) != 0 {
+		t.Fatalf("aux = %v, want empty", aux)
+	}
+}
+
+func TestPastryObliviousBasics(t *testing.T) {
+	space := id.NewSpace(8)
+	self := id.ID(0b10101010)
+	var candidates []id.ID
+	for i := 0; i < 256; i++ {
+		if id.ID(i) != self {
+			candidates = append(candidates, id.ID(i))
+		}
+	}
+	aux := PastryOblivious(space, self, []id.ID{0}, candidates, 8, randx.New(5))
+	if len(aux) != 8 {
+		t.Fatalf("got %d aux, want 8", len(aux))
+	}
+	rows := map[uint]bool{}
+	for _, a := range aux {
+		if a == self || a == 0 {
+			t.Fatalf("invalid aux %d", a)
+		}
+		rows[space.CommonPrefixLen(self, a)] = true
+	}
+	if len(rows) < 6 {
+		t.Errorf("picks cover only %d prefix rows", len(rows))
+	}
+}
+
+func TestObliviousDeterministicGivenRNG(t *testing.T) {
+	space := id.NewSpace(8)
+	var candidates []id.ID
+	for i := 1; i < 100; i++ {
+		candidates = append(candidates, id.ID(i))
+	}
+	// Same stream, different candidate order: identical result.
+	shuffled := append([]id.ID(nil), candidates...)
+	randx.New(77).Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	a := ChordOblivious(space, 0, nil, candidates, 6, randx.New(6))
+	b := ChordOblivious(space, 0, nil, shuffled, 6, randx.New(6))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestObliviousDuplicateCandidatesIgnored(t *testing.T) {
+	space := id.NewSpace(8)
+	aux := ChordOblivious(space, 0, nil, []id.ID{7, 7, 7, 9}, 4, randx.New(8))
+	if len(aux) != 2 {
+		t.Fatalf("aux = %v, want 2 distinct picks", aux)
+	}
+}

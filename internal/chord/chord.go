@@ -1,0 +1,360 @@
+// Package chord is an event-driven Chord overlay simulator implementing
+// the paper's protocol variant (Section II-B): keys are assigned to their
+// predecessor, the i-th finger of node x is the first node with id in
+// (x + 2^i, x + 2^{i+1}], and routing forwards to the known neighbor —
+// core finger, successor-list entry or auxiliary neighbor — closest to
+// the target without overshooting.
+//
+// The package models the state machine (membership, routing tables,
+// lookups with timeout accounting); the experiment layer drives churn,
+// stabilization and auxiliary recomputation schedules on top of it.
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"peercache/internal/freq"
+	"peercache/internal/id"
+)
+
+// Config parameterizes a simulated overlay.
+type Config struct {
+	// Space is the identifier space (the paper uses 32-bit ids).
+	Space id.Space
+	// SuccessorListLen is the number of immediate successors each node
+	// tracks for routing robustness. Defaults to 8 when 0.
+	SuccessorListLen int
+	// MaxHops caps a lookup before it is declared failed, guarding
+	// against pathological stale-state walks. Defaults to 4·b when 0.
+	MaxHops int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuccessorListLen == 0 {
+		c.SuccessorListLen = 8
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 4 * int(c.Space.Bits())
+	}
+	return c
+}
+
+// Node is one Chord peer. Routing state (fingers, successors) reflects
+// the membership as of the node's last stabilization; auxiliary
+// neighbors are set by the selection layer and only pruned of dead
+// entries during stabilization, mirroring Section III's maintenance
+// discussion.
+type Node struct {
+	id      id.ID
+	alive   bool
+	fingers []id.ID
+	succ    []id.ID
+	aux     []id.ID
+
+	// Counter accumulates the destinations of lookups this node
+	// originated, the access-frequency input to auxiliary selection.
+	Counter *freq.Exact
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() id.ID { return n.id }
+
+// Alive reports whether the node is currently up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Fingers returns a copy of the node's core neighbor set (deduplicated
+// finger table).
+func (n *Node) Fingers() []id.ID { return append([]id.ID(nil), n.fingers...) }
+
+// Successors returns a copy of the node's successor list.
+func (n *Node) Successors() []id.ID { return append([]id.ID(nil), n.succ...) }
+
+// Aux returns a copy of the node's auxiliary neighbor set.
+func (n *Node) Aux() []id.ID { return append([]id.ID(nil), n.aux...) }
+
+// Network is the simulated overlay.
+type Network struct {
+	cfg   Config
+	nodes map[id.ID]*Node
+	alive []id.ID // sorted
+}
+
+// New returns an empty overlay.
+func New(cfg Config) *Network {
+	return &Network{cfg: cfg.withDefaults(), nodes: make(map[id.ID]*Node)}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Space returns the identifier space.
+func (nw *Network) Space() id.Space { return nw.cfg.Space }
+
+// NumAlive returns the number of live nodes.
+func (nw *Network) NumAlive() int { return len(nw.alive) }
+
+// AliveIDs returns a copy of the live node ids in ascending order.
+func (nw *Network) AliveIDs() []id.ID { return append([]id.ID(nil), nw.alive...) }
+
+// Node returns the node with the given id, or nil.
+func (nw *Network) Node(x id.ID) *Node { return nw.nodes[x] }
+
+// AddNode creates a live node with empty routing state. Call Stabilize
+// (or StabilizeAll) to build its tables. Duplicate ids are an error.
+func (nw *Network) AddNode(x id.ID) (*Node, error) {
+	if uint64(x) >= nw.cfg.Space.Size() {
+		return nil, fmt.Errorf("chord: node %d outside %d-bit space", x, nw.cfg.Space.Bits())
+	}
+	if _, ok := nw.nodes[x]; ok {
+		return nil, fmt.Errorf("chord: duplicate node %d", x)
+	}
+	n := &Node{id: x, alive: true, Counter: freq.NewExact()}
+	nw.nodes[x] = n
+	nw.insertAlive(x)
+	return n, nil
+}
+
+// Crash marks a node dead. Its routing state is retained (it is simply
+// unreachable); other nodes discover the failure through timeouts and
+// stabilization. Crashing an absent or dead node is an error.
+func (nw *Network) Crash(x id.ID) error {
+	n := nw.nodes[x]
+	if n == nil || !n.alive {
+		return fmt.Errorf("chord: crash of absent or dead node %d", x)
+	}
+	n.alive = false
+	nw.removeAlive(x)
+	return nil
+}
+
+// Rejoin brings a crashed node back: auxiliary neighbors are dropped
+// (they are stale) and routing tables are rebuilt from the current
+// membership. The node's observed-frequency history is retained — a
+// rejoining peer remembers what it used to look up; callers that want
+// fresh counters can Reset them explicitly.
+func (nw *Network) Rejoin(x id.ID) error {
+	n := nw.nodes[x]
+	if n == nil || n.alive {
+		return fmt.Errorf("chord: rejoin of absent or live node %d", x)
+	}
+	n.alive = true
+	n.aux = nil
+	nw.insertAlive(x)
+	nw.Stabilize(x)
+	return nil
+}
+
+// insertAlive adds x to the sorted membership slice.
+func (nw *Network) insertAlive(x id.ID) {
+	i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] >= x })
+	nw.alive = append(nw.alive, 0)
+	copy(nw.alive[i+1:], nw.alive[i:])
+	nw.alive[i] = x
+}
+
+// removeAlive drops x from the sorted membership slice.
+func (nw *Network) removeAlive(x id.ID) {
+	i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] >= x })
+	if i < len(nw.alive) && nw.alive[i] == x {
+		nw.alive = append(nw.alive[:i], nw.alive[i+1:]...)
+	}
+}
+
+// successorOf returns the first live node with id >= v (wrapping), or
+// false when the overlay is empty.
+func (nw *Network) successorOf(v id.ID) (id.ID, bool) {
+	if len(nw.alive) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] >= v })
+	if i == len(nw.alive) {
+		i = 0
+	}
+	return nw.alive[i], true
+}
+
+// Owner returns the live node responsible for key under the paper's
+// predecessor assignment: the node whose id most closely precedes (or
+// equals) the key. The second result is false when the overlay is empty.
+func (nw *Network) Owner(key id.ID) (id.ID, bool) {
+	if len(nw.alive) == 0 {
+		return 0, false
+	}
+	// Predecessor-or-equal: the successor of key+1, stepped back one.
+	i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] > key })
+	if i == 0 {
+		i = len(nw.alive)
+	}
+	return nw.alive[i-1], true
+}
+
+// Stabilize rebuilds x's routing state from the current membership —
+// the effect of a completed ping/repair round (the paper stabilizes
+// every 25 s under churn): fingers per the (x+2^i, x+2^{i+1}] rule,
+// successor list, and pruning of dead auxiliary entries.
+func (nw *Network) Stabilize(x id.ID) {
+	n := nw.nodes[x]
+	if n == nil || !n.alive {
+		return
+	}
+	s := nw.cfg.Space
+	n.fingers = n.fingers[:0]
+	var last id.ID
+	haveLast := false
+	for i := uint(0); i < s.Bits(); i++ {
+		lo := s.Add(x, (uint64(1)<<i)+1) // first id in (x+2^i, x+2^{i+1}]
+		cand, ok := nw.successorOf(lo)
+		if !ok || cand == x {
+			continue
+		}
+		g := s.Gap(x, cand)
+		if g <= uint64(1)<<i || g > uint64(1)<<(i+1) {
+			continue // interval empty
+		}
+		if haveLast && cand == last {
+			continue
+		}
+		n.fingers = append(n.fingers, cand)
+		last, haveLast = cand, true
+	}
+	// Successor list: the next L live nodes clockwise.
+	n.succ = n.succ[:0]
+	if len(nw.alive) > 1 {
+		i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] > x })
+		for c := 0; c < nw.cfg.SuccessorListLen && c < len(nw.alive)-1; c++ {
+			n.succ = append(n.succ, nw.alive[(i+c)%len(nw.alive)])
+		}
+	}
+	// Prune dead auxiliary entries (Section III: stale entries are
+	// removed and refilled at the next selection round).
+	live := n.aux[:0]
+	for _, a := range n.aux {
+		if an := nw.nodes[a]; an != nil && an.alive {
+			live = append(live, a)
+		}
+	}
+	n.aux = live
+}
+
+// StabilizeAll stabilizes every live node (initial network build, or a
+// global stabilization round).
+func (nw *Network) StabilizeAll() {
+	for _, x := range nw.AliveIDs() {
+		nw.Stabilize(x)
+	}
+}
+
+// SetAux installs the auxiliary neighbor set of node x, replacing any
+// previous set. Entries equal to x are rejected.
+func (nw *Network) SetAux(x id.ID, aux []id.ID) error {
+	n := nw.nodes[x]
+	if n == nil {
+		return fmt.Errorf("chord: SetAux on unknown node %d", x)
+	}
+	for _, a := range aux {
+		if a == x {
+			return fmt.Errorf("chord: aux of node %d contains itself", x)
+		}
+	}
+	n.aux = append(n.aux[:0:0], aux...)
+	return nil
+}
+
+// RouteResult describes one lookup.
+type RouteResult struct {
+	// Dest is the node that owned the key at lookup time.
+	Dest id.ID
+	// Hops is the number of successful forwardings (0 when the source
+	// owns the key).
+	Hops int
+	// Timeouts counts forwarding attempts to dead neighbors; each
+	// costs one timeout before the router falls back to the next-best
+	// entry.
+	Timeouts int
+	// OK is false when the lookup could not reach the owner (routing
+	// dead end or hop cap exceeded).
+	OK bool
+
+	path []id.ID // populated only by RoutePath
+}
+
+// RoutePath is Route but additionally returns the sequence of nodes the
+// lookup visited, source first, owner last (on success). Replication
+// schemes use it to find where along the path a replica would have
+// answered.
+func (nw *Network) RoutePath(from id.ID, key id.ID) (RouteResult, []id.ID, error) {
+	res, err := nw.route(from, key, true)
+	return res, res.path, err
+}
+
+// Route performs a lookup for key starting at node from, using the
+// paper's policy: at each step forward to the known neighbor closest to
+// the key's owner without overshooting; dead entries cost a timeout and
+// the next-best entry is tried.
+func (nw *Network) Route(from id.ID, key id.ID) (RouteResult, error) {
+	res, err := nw.route(from, key, false)
+	return res, err
+}
+
+func (nw *Network) route(from id.ID, key id.ID, wantPath bool) (RouteResult, error) {
+	src := nw.nodes[from]
+	if src == nil || !src.alive {
+		return RouteResult{}, fmt.Errorf("chord: route from absent or dead node %d", from)
+	}
+	dest, ok := nw.Owner(key)
+	if !ok {
+		return RouteResult{}, fmt.Errorf("chord: empty overlay")
+	}
+	res := RouteResult{Dest: dest}
+	s := nw.cfg.Space
+	cur := src
+	if wantPath {
+		res.path = append(res.path, cur.id)
+	}
+	for cur.id != dest {
+		if res.Hops >= nw.cfg.MaxHops {
+			return res, nil // OK stays false
+		}
+		gt := s.Gap(cur.id, dest)
+		// Gather candidates in (cur, dest], best (closest to dest,
+		// i.e. largest forward gap) first.
+		var cands []id.ID
+		for _, set := range [][]id.ID{cur.fingers, cur.aux, cur.succ} {
+			for _, w := range set {
+				if g := s.Gap(cur.id, w); g > 0 && g <= gt {
+					cands = append(cands, w)
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			return s.Gap(cur.id, cands[i]) > s.Gap(cur.id, cands[j])
+		})
+		advanced := false
+		var lastTried id.ID
+		triedAny := false
+		for _, w := range cands {
+			if triedAny && w == lastTried {
+				continue // duplicate entry across tables
+			}
+			lastTried, triedAny = w, true
+			next := nw.nodes[w]
+			if next == nil || !next.alive {
+				res.Timeouts++
+				continue
+			}
+			cur = next
+			res.Hops++
+			if wantPath {
+				res.path = append(res.path, cur.id)
+			}
+			advanced = true
+			break
+		}
+		if !advanced {
+			return res, nil // dead end; OK stays false
+		}
+	}
+	res.OK = true
+	return res, nil
+}

@@ -1,0 +1,344 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func buildNetwork(t *testing.T, bits uint, ids []uint64) *Network {
+	t.Helper()
+	nw := New(Config{Space: id.NewSpace(bits)})
+	for _, x := range ids {
+		if _, err := nw.AddNode(id.ID(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll()
+	return nw
+}
+
+func randomNetwork(t *testing.T, rng *rand.Rand, bits uint, n int) *Network {
+	t.Helper()
+	return buildNetwork(t, bits, randx.UniqueIDs(rng, n, uint64(1)<<bits))
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	nw := New(Config{Space: id.NewSpace(4)})
+	if _, err := nw.AddNode(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode(5); err == nil {
+		t.Error("duplicate AddNode: no error")
+	}
+	if _, err := nw.AddNode(16); err == nil {
+		t.Error("out-of-space AddNode: no error")
+	}
+}
+
+func TestOwnerPredecessorAssignment(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{2, 7, 12})
+	tests := []struct {
+		key  id.ID
+		want id.ID
+	}{
+		{2, 2}, {3, 2}, {6, 2}, {7, 7}, {11, 7}, {12, 12}, {15, 12}, {0, 12}, {1, 12},
+	}
+	for _, tt := range tests {
+		got, ok := nw.Owner(tt.key)
+		if !ok || got != tt.want {
+			t.Errorf("Owner(%d) = %d, want %d", tt.key, got, tt.want)
+		}
+	}
+}
+
+func TestOwnerEmpty(t *testing.T) {
+	nw := New(Config{Space: id.NewSpace(4)})
+	if _, ok := nw.Owner(3); ok {
+		t.Error("Owner on empty overlay reported ok")
+	}
+}
+
+func TestFingersFollowPaperRule(t *testing.T) {
+	// Nodes 0..15 all present in a 4-bit space: node 0's fingers are
+	// the first nodes in (1,2], (2,4], (4,8], (8,16] = 2, 3, 5, 9.
+	ids := make([]uint64, 16)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	nw := buildNetwork(t, 4, ids)
+	got := nw.Node(0).Fingers()
+	want := []id.ID{2, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("fingers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fingers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFingersSkipEmptyIntervals(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{0, 9})
+	got := nw.Node(0).Fingers()
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("fingers = %v, want [9]", got)
+	}
+}
+
+func TestSuccessorList(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{1, 4, 8, 12})
+	succ := nw.Node(12).Successors()
+	want := []id.ID{1, 4, 8}
+	if len(succ) != 3 {
+		t.Fatalf("succ = %v, want %v", succ, want)
+	}
+	for i := range want {
+		if succ[i] != want[i] {
+			t.Fatalf("succ = %v, want %v", succ, want)
+		}
+	}
+}
+
+func TestRouteReachesOwnerStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nw := randomNetwork(t, rng, 16, 200)
+	ids := nw.AliveIDs()
+	for i := 0; i < 3000; i++ {
+		from := ids[rng.Intn(len(ids))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("lookup failed in stable network: from=%d key=%d", from, key)
+		}
+		if res.Timeouts != 0 {
+			t.Fatalf("timeouts in stable network: %+v", res)
+		}
+		want, _ := nw.Owner(key)
+		if res.Dest != want {
+			t.Fatalf("Dest = %d, want %d", res.Dest, want)
+		}
+	}
+}
+
+// In the steady state a lookup takes at most b hops (eq. 6 is an upper
+// bound with d <= b).
+func TestRouteHopBoundStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	nw := randomNetwork(t, rng, 16, 512)
+	ids := nw.AliveIDs()
+	for i := 0; i < 3000; i++ {
+		from := ids[rng.Intn(len(ids))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops > 16 {
+			t.Fatalf("lookup took %d hops, bound is 16", res.Hops)
+		}
+	}
+}
+
+// The measured hop count must never exceed the eq. 6 estimate used by
+// the selection algorithms (it is an upper bound in the steady state).
+func TestRouteHopsAtMostEq6Estimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	s := id.NewSpace(16)
+	nw := randomNetwork(t, rng, 16, 300)
+	ids := nw.AliveIDs()
+	for i := 0; i < 2000; i++ {
+		from := ids[rng.Intn(len(ids))]
+		to := ids[rng.Intn(len(ids))]
+		res, err := nw.Route(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || res.Dest != to {
+			t.Fatalf("direct lookup failed: %+v", res)
+		}
+		if est := int(s.ChordDist(from, to)); res.Hops > est {
+			t.Fatalf("hops %d exceed eq.6 estimate %d (from=%d to=%d)", res.Hops, est, from, to)
+		}
+	}
+}
+
+func TestRouteSelfOwned(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{3, 10})
+	res, err := nw.Route(3, 5) // key 5 owned by 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Hops != 0 || res.Dest != 3 {
+		t.Fatalf("res = %+v, want 0-hop self-owned", res)
+	}
+}
+
+func TestRouteFromDeadNodeErrors(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{3, 10})
+	if err := nw.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Route(3, 5); err == nil {
+		t.Error("route from dead node: no error")
+	}
+	if _, err := nw.Route(9, 5); err == nil {
+		t.Error("route from unknown node: no error")
+	}
+}
+
+func TestAuxShortcutsReduceHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	nw := randomNetwork(t, rng, 16, 300)
+	ids := nw.AliveIDs()
+	from := ids[0]
+	// Find a destination several hops away.
+	var far id.ID
+	base := 0
+	for _, to := range ids[1:] {
+		res, err := nw.Route(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops > base {
+			base, far = res.Hops, to
+		}
+	}
+	if base < 2 {
+		t.Skip("no multi-hop destination found")
+	}
+	if err := nw.SetAux(from, []id.ID{far}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Route(from, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 1 {
+		t.Fatalf("hops with direct aux = %d, want 1", res.Hops)
+	}
+}
+
+func TestSetAuxValidation(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{3, 10})
+	if err := nw.SetAux(3, []id.ID{3}); err == nil {
+		t.Error("self-aux: no error")
+	}
+	if err := nw.SetAux(9, []id.ID{3}); err == nil {
+		t.Error("aux on unknown node: no error")
+	}
+}
+
+func TestCrashRejoinLifecycle(t *testing.T) {
+	nw := buildNetwork(t, 8, []uint64{10, 50, 90, 130, 170, 210})
+	if err := nw.Crash(90); err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumAlive() != 5 {
+		t.Fatalf("NumAlive = %d, want 5", nw.NumAlive())
+	}
+	if err := nw.Crash(90); err == nil {
+		t.Error("double crash: no error")
+	}
+	// Ownership shifted to the predecessor of 90's range.
+	owner, _ := nw.Owner(95)
+	if owner != 50 {
+		t.Errorf("Owner(95) = %d, want 50", owner)
+	}
+	if err := nw.Rejoin(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Rejoin(90); err == nil {
+		t.Error("double rejoin: no error")
+	}
+	owner, _ = nw.Owner(95)
+	if owner != 90 {
+		t.Errorf("Owner(95) after rejoin = %d, want 90", owner)
+	}
+	n := nw.Node(90)
+	if len(n.Aux()) != 0 {
+		t.Error("rejoin did not drop stale aux")
+	}
+}
+
+// After crashes without stabilization, lookups may time out on stale
+// entries but the successor-list fallback keeps them succeeding; after
+// stabilization everything is clean again.
+func TestChurnThenStabilizeRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	nw := randomNetwork(t, rng, 16, 300)
+	ids := nw.AliveIDs()
+	// Crash 20% of nodes without telling anyone.
+	for i := 0; i < 60; i++ {
+		nw.Crash(ids[i*5])
+	}
+	alive := nw.AliveIDs()
+	timeouts := 0
+	for i := 0; i < 500; i++ {
+		from := alive[rng.Intn(len(alive))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("lookup failed despite successor lists: %+v", res)
+		}
+		timeouts += res.Timeouts
+	}
+	if timeouts == 0 {
+		t.Error("expected some timeouts on stale entries after churn")
+	}
+	nw.StabilizeAll()
+	for i := 0; i < 500; i++ {
+		from := alive[rng.Intn(len(alive))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || res.Timeouts != 0 {
+			t.Fatalf("post-stabilization lookup not clean: %+v", res)
+		}
+	}
+}
+
+func TestStabilizePrunesDeadAux(t *testing.T) {
+	nw := buildNetwork(t, 8, []uint64{10, 50, 90, 130})
+	if err := nw.SetAux(10, []id.ID{90, 130}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Crash(90)
+	nw.Stabilize(10)
+	aux := nw.Node(10).Aux()
+	if len(aux) != 1 || aux[0] != 130 {
+		t.Fatalf("aux after prune = %v, want [130]", aux)
+	}
+}
+
+func TestCounterRecordsLookups(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{1, 8})
+	n := nw.Node(1)
+	n.Counter.Observe(8)
+	n.Counter.Observe(8)
+	if n.Counter.Count(8) != 2 {
+		t.Errorf("counter = %d, want 2", n.Counter.Count(8))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	nw := New(Config{Space: id.NewSpace(8)})
+	cfg := nw.Config()
+	if cfg.SuccessorListLen != 8 {
+		t.Errorf("SuccessorListLen = %d, want 8", cfg.SuccessorListLen)
+	}
+	if cfg.MaxHops != 32 {
+		t.Errorf("MaxHops = %d, want 32", cfg.MaxHops)
+	}
+}

@@ -1,0 +1,188 @@
+package chord
+
+// Model-based testing: the Network's membership and ownership behaviour
+// is compared against a trivially correct reference model (a plain map)
+// under long random operation sequences, with routing invariants checked
+// along the way.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+type refModel struct {
+	space id.Space
+	alive map[id.ID]bool
+	known map[id.ID]bool
+}
+
+func (m *refModel) owner(key id.ID) (id.ID, bool) {
+	var ids []id.ID
+	for x := range m.alive {
+		ids = append(ids, x)
+	}
+	if len(ids) == 0 {
+		return 0, false
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Predecessor-or-equal with wraparound.
+	best := ids[len(ids)-1]
+	for _, x := range ids {
+		if x <= key {
+			best = x
+		}
+	}
+	return best, true
+}
+
+func TestModelBasedMembership(t *testing.T) {
+	space := id.NewSpace(12)
+	nw := New(Config{Space: space})
+	model := &refModel{space: space, alive: map[id.ID]bool{}, known: map[id.ID]bool{}}
+	rng := rand.New(rand.NewSource(4242))
+
+	for step := 0; step < 5000; step++ {
+		x := id.ID(rng.Intn(1 << 12))
+		switch rng.Intn(5) {
+		case 0: // add
+			_, err := nw.AddNode(x)
+			if model.known[x] {
+				if err == nil {
+					t.Fatalf("step %d: duplicate add of %d succeeded", step, x)
+				}
+			} else if err != nil {
+				t.Fatalf("step %d: add %d failed: %v", step, x, err)
+			} else {
+				model.known[x] = true
+				model.alive[x] = true
+			}
+		case 1: // crash
+			err := nw.Crash(x)
+			if model.alive[x] {
+				if err != nil {
+					t.Fatalf("step %d: crash %d failed: %v", step, x, err)
+				}
+				delete(model.alive, x)
+			} else if err == nil {
+				t.Fatalf("step %d: crash of dead/absent %d succeeded", step, x)
+			}
+		case 2: // rejoin
+			err := nw.Rejoin(x)
+			if model.known[x] && !model.alive[x] {
+				if err != nil {
+					t.Fatalf("step %d: rejoin %d failed: %v", step, x, err)
+				}
+				model.alive[x] = true
+			} else if err == nil {
+				t.Fatalf("step %d: rejoin of alive/absent %d succeeded", step, x)
+			}
+		case 3: // ownership check
+			key := id.ID(rng.Intn(1 << 12))
+			got, gotOK := nw.Owner(key)
+			want, wantOK := model.owner(key)
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("step %d: Owner(%d) = %d,%v want %d,%v", step, key, got, gotOK, want, wantOK)
+			}
+		case 4: // alive set check
+			if nw.NumAlive() != len(model.alive) {
+				t.Fatalf("step %d: NumAlive %d, model %d", step, nw.NumAlive(), len(model.alive))
+			}
+			ids := nw.AliveIDs()
+			for i := 1; i < len(ids); i++ {
+				if ids[i-1] >= ids[i] {
+					t.Fatalf("step %d: AliveIDs not strictly sorted", step)
+				}
+			}
+			for _, a := range ids {
+				if !model.alive[a] {
+					t.Fatalf("step %d: %d alive in network but not model", step, a)
+				}
+			}
+		}
+	}
+
+	// End-state routing sanity: after a full stabilization, every
+	// lookup from every live node succeeds cleanly.
+	nw.StabilizeAll()
+	alive := nw.AliveIDs()
+	if len(alive) < 2 {
+		t.Skip("membership collapsed; routing check not meaningful")
+	}
+	for i := 0; i < 500; i++ {
+		from := alive[rng.Intn(len(alive))]
+		key := id.ID(rng.Intn(1 << 12))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || res.Timeouts != 0 {
+			t.Fatalf("post-stabilization lookup dirty: %+v", res)
+		}
+		want, _ := model.owner(key)
+		if res.Dest != want {
+			t.Fatalf("Dest %d, model owner %d", res.Dest, want)
+		}
+	}
+}
+
+// Fingers must match a from-scratch reference computation on arbitrary
+// memberships.
+func TestFingersAgainstReference(t *testing.T) {
+	space := id.NewSpace(10)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		nw := New(Config{Space: space})
+		n := 2 + rng.Intn(60)
+		members := map[id.ID]bool{}
+		for len(members) < n {
+			x := id.ID(rng.Intn(1 << 10))
+			if !members[x] {
+				members[x] = true
+				nw.AddNode(x)
+			}
+		}
+		nw.StabilizeAll()
+		var sorted []id.ID
+		for x := range members {
+			sorted = append(sorted, x)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		for x := range members {
+			// Reference: for each i, the first node in (x+2^i, x+2^{i+1}].
+			var want []id.ID
+			var prev id.ID
+			hasPrev := false
+			for i := uint(0); i < 10; i++ {
+				var best id.ID
+				bestGap := uint64(1) << 63
+				found := false
+				for _, w := range sorted {
+					if w == x {
+						continue
+					}
+					g := space.Gap(x, w)
+					if g > uint64(1)<<i && g <= uint64(1)<<(i+1) && g < bestGap {
+						best, bestGap, found = w, g, true
+					}
+				}
+				if found && (!hasPrev || best != prev) {
+					want = append(want, best)
+					prev, hasPrev = best, true
+				}
+			}
+			got := nw.Node(x).Fingers()
+			if len(got) != len(want) {
+				t.Fatalf("node %d: fingers %v, want %v", x, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("node %d: fingers %v, want %v", x, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package chordproto is a message-level Chord implementation: nodes
+// maintain their rings with the classic join / stabilize / notify /
+// fix-fingers protocol of Stoica et al., exchanging request/response
+// messages over the discrete-event engine with configurable link
+// latency. Nothing reads global state: every routing-table entry a node
+// holds was learned through a message.
+//
+// The package serves two purposes in this reproduction:
+//
+//   - it validates the oracle-stabilization abstraction used by
+//     internal/chord (tests show the protocol converges to exactly the
+//     finger tables the oracle computes), and
+//   - it meters maintenance traffic — the cost side of the paper's
+//     routing-table size trade-off (Section I discusses how the ping
+//     and refresh load grows with the table size; auxiliary neighbors
+//     add to that load and the ExtMaintenance experiment quantifies it).
+package chordproto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peercache/internal/id"
+	"peercache/internal/sim"
+)
+
+// Config parameterizes a protocol network.
+type Config struct {
+	// Space is the identifier space.
+	Space id.Space
+	// SuccessorListLen is the successor-list length (default 4).
+	SuccessorListLen int
+	// StabilizeEvery is the period of the stabilize/notify round
+	// (default 25 s, the paper's setting).
+	StabilizeEvery float64
+	// FixFingersEvery is the period between fix-fingers steps; each
+	// step refreshes one finger, round-robin (default 5 s).
+	FixFingersEvery float64
+	// MinDelay and MaxDelay bound the one-way message latency, drawn
+	// uniformly per message (defaults 10 ms and 100 ms).
+	MinDelay, MaxDelay float64
+	// RPCTimeout is how long a caller waits before declaring a peer
+	// dead (default 1 s).
+	RPCTimeout float64
+	// Seed drives latency sampling and stabilization phases.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuccessorListLen == 0 {
+		c.SuccessorListLen = 4
+	}
+	if c.StabilizeEvery == 0 {
+		c.StabilizeEvery = 25
+	}
+	if c.FixFingersEvery == 0 {
+		c.FixFingersEvery = 5
+	}
+	if c.MinDelay == 0 {
+		c.MinDelay = 0.01
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 0.1
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 1
+	}
+	return c
+}
+
+// Node is one protocol participant. All fields reflect protocol state
+// learned through messages, never global knowledge.
+type Node struct {
+	id    id.ID
+	alive bool
+
+	succ    []id.ID // successor list; succ[0] is THE successor
+	pred    id.ID
+	hasPred bool
+
+	fingers    []id.ID // fingers[i] covers (id+2^i, id+2^{i+1}]
+	hasFinger  []bool
+	nextFinger uint
+
+	// auxPing is the number of auxiliary neighbors this node pings
+	// every stabilization round (Section III: the ping process checks
+	// auxiliary entries alongside core ones).
+	auxPing int
+}
+
+// ID returns the node id.
+func (n *Node) ID() id.ID { return n.id }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Successor returns the node's current successor pointer.
+func (n *Node) Successor() (id.ID, bool) {
+	if len(n.succ) == 0 {
+		return 0, false
+	}
+	return n.succ[0], true
+}
+
+// Predecessor returns the node's current predecessor pointer.
+func (n *Node) Predecessor() (id.ID, bool) { return n.pred, n.hasPred }
+
+// Fingers returns the populated finger entries, deduplicated, ascending
+// by interval.
+func (n *Node) Fingers() []id.ID {
+	var out []id.ID
+	var last id.ID
+	has := false
+	for i, ok := range n.hasFinger {
+		if !ok {
+			continue
+		}
+		f := n.fingers[i]
+		if has && f == last {
+			continue
+		}
+		out = append(out, f)
+		last, has = f, true
+	}
+	return out
+}
+
+// Stats counts protocol traffic.
+type Stats struct {
+	// Messages is the total number of protocol messages delivered
+	// (requests and responses).
+	Messages uint64
+	// Timeouts counts RPCs abandoned because the callee was dead.
+	Timeouts uint64
+	// Joins completed.
+	Joins uint64
+}
+
+// Network is the protocol simulation.
+type Network struct {
+	cfg   Config
+	eng   *sim.Engine
+	rng   *rand.Rand
+	nodes map[id.ID]*Node
+	stats Stats
+}
+
+// New returns an empty protocol network driven by the given engine.
+func New(cfg Config, eng *sim.Engine, rng *rand.Rand) *Network {
+	return &Network{cfg: cfg.withDefaults(), eng: eng, rng: rng, nodes: make(map[id.ID]*Node)}
+}
+
+// Engine returns the driving event engine.
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Stats returns cumulative traffic counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Node returns the node with the given id, or nil.
+func (nw *Network) Node(x id.ID) *Node { return nw.nodes[x] }
+
+// delay samples a one-way message latency.
+func (nw *Network) delay() float64 {
+	return nw.cfg.MinDelay + nw.rng.Float64()*(nw.cfg.MaxDelay-nw.cfg.MinDelay)
+}
+
+// rpc delivers a request to the callee and its response back to the
+// caller, counting two messages; if the callee is dead at delivery time
+// the caller learns it after RPCTimeout.
+func (nw *Network) rpc(callee id.ID, handle func(*Node), onDead func()) {
+	nw.eng.After(nw.delay(), func() {
+		c := nw.nodes[callee]
+		if c == nil || !c.alive {
+			nw.stats.Timeouts++
+			nw.eng.After(nw.cfg.RPCTimeout, onDead)
+			return
+		}
+		nw.stats.Messages += 2 // request + response
+		resp := nw.delay()
+		nw.eng.After(resp, func() { handle(c) })
+	})
+}
+
+// Bootstrap creates the first node, which forms a ring of one.
+func (nw *Network) Bootstrap(x id.ID) (*Node, error) {
+	if err := nw.checkNew(x); err != nil {
+		return nil, err
+	}
+	n := nw.newNode(x)
+	n.succ = []id.ID{x}
+	nw.scheduleMaintenance(n)
+	return n, nil
+}
+
+// Join starts the join protocol for x through the given bootstrap peer:
+// x learns its successor via a find-successor lookup and lets
+// stabilization integrate it into the ring. done (optional) fires when
+// the successor pointer is set.
+func (nw *Network) Join(x, bootstrap id.ID, done func()) error {
+	if err := nw.checkNew(x); err != nil {
+		return err
+	}
+	if b := nw.nodes[bootstrap]; b == nil || !b.alive {
+		return fmt.Errorf("chordproto: bootstrap %d absent or dead", bootstrap)
+	}
+	n := nw.newNode(x)
+	var attempt func()
+	attempt = func() {
+		if !n.alive {
+			return
+		}
+		nw.findSuccessor(bootstrap, nw.cfg.Space.Add(x, 1), 0, func(s id.ID, ok bool, _ int) {
+			if !ok {
+				// Retry through the same bootstrap later.
+				nw.eng.After(nw.cfg.RPCTimeout, attempt)
+				return
+			}
+			n.succ = []id.ID{s}
+			nw.stats.Joins++
+			nw.scheduleMaintenance(n)
+			if done != nil {
+				done()
+			}
+		})
+	}
+	attempt()
+	return nil
+}
+
+func (nw *Network) checkNew(x id.ID) error {
+	if uint64(x) >= nw.cfg.Space.Size() {
+		return fmt.Errorf("chordproto: node %d outside %d-bit space", x, nw.cfg.Space.Bits())
+	}
+	if _, ok := nw.nodes[x]; ok {
+		return fmt.Errorf("chordproto: duplicate node %d", x)
+	}
+	return nil
+}
+
+func (nw *Network) newNode(x id.ID) *Node {
+	b := nw.cfg.Space.Bits()
+	n := &Node{
+		id:        x,
+		alive:     true,
+		fingers:   make([]id.ID, b),
+		hasFinger: make([]bool, b),
+	}
+	nw.nodes[x] = n
+	return n
+}
+
+// SetAuxPingCount sets how many auxiliary entries node x keeps alive by
+// pinging each stabilization round; the pings are counted as
+// maintenance traffic. Unknown nodes are ignored.
+func (nw *Network) SetAuxPingCount(x id.ID, k int) {
+	if n := nw.nodes[x]; n != nil && k >= 0 {
+		n.auxPing = k
+	}
+}
+
+// Crash kills a node silently; peers discover via timeouts.
+func (nw *Network) Crash(x id.ID) error {
+	n := nw.nodes[x]
+	if n == nil || !n.alive {
+		return fmt.Errorf("chordproto: crash of absent or dead node %d", x)
+	}
+	n.alive = false
+	return nil
+}
+
+// scheduleMaintenance starts the node's periodic stabilize and
+// fix-fingers loops, with a random phase so rings do not synchronize.
+func (nw *Network) scheduleMaintenance(n *Node) {
+	nw.eng.After(nw.rng.Float64()*nw.cfg.StabilizeEvery, func() {
+		nw.eng.Every(nw.cfg.StabilizeEvery, func() bool {
+			if !n.alive {
+				return false
+			}
+			nw.stabilize(n)
+			return true
+		})
+		nw.stabilize(n)
+	})
+	nw.eng.After(nw.rng.Float64()*nw.cfg.FixFingersEvery, func() {
+		nw.eng.Every(nw.cfg.FixFingersEvery, func() bool {
+			if !n.alive {
+				return false
+			}
+			nw.fixNextFinger(n)
+			return true
+		})
+	})
+}
+
+// stabilize is the classic round: ask the successor for its predecessor,
+// adopt it if it sits between, then notify the successor of ourselves,
+// and refresh the successor list from its list.
+func (nw *Network) stabilize(n *Node) {
+	// Liveness pings for the auxiliary entries ride on the same round:
+	// one request/response pair per entry.
+	nw.stats.Messages += 2 * uint64(n.auxPing)
+	s, ok := n.Successor()
+	if !ok {
+		return
+	}
+	if s == n.id {
+		// Ring of one: adopt any known predecessor as successor.
+		if n.hasPred && n.pred != n.id {
+			n.succ = []id.ID{n.pred}
+		}
+		return
+	}
+	space := nw.cfg.Space
+	nw.rpc(s, func(sn *Node) {
+		if sn.hasPred && space.Between(sn.pred, n.id, s) {
+			if p := nw.nodes[sn.pred]; p != nil && p.alive {
+				n.succ = append([]id.ID{sn.pred}, n.succ...)
+			}
+		}
+		// notify + successor-list refresh piggybacked on one more RPC.
+		cur, _ := n.Successor()
+		nw.rpc(cur, func(cn *Node) {
+			if !cn.hasPred || space.Between(n.id, cn.pred, cn.id) || !nw.isAlive(cn.pred) {
+				cn.pred = n.id
+				cn.hasPred = true
+			}
+			list := append([]id.ID{cn.id}, cn.succ...)
+			if len(list) > nw.cfg.SuccessorListLen {
+				list = list[:nw.cfg.SuccessorListLen]
+			}
+			n.succ = list
+		}, func() {
+			n.dropSuccessor(cur)
+		})
+	}, func() {
+		n.dropSuccessor(s)
+	})
+}
+
+// isAlive is the failure-detector outcome a node would get from a ping;
+// modeled as current liveness (counted as traffic by the caller's rpc).
+func (nw *Network) isAlive(x id.ID) bool {
+	n := nw.nodes[x]
+	return n != nil && n.alive
+}
+
+// dropSuccessor removes a dead successor, falling back on the list.
+func (n *Node) dropSuccessor(dead id.ID) {
+	out := n.succ[:0]
+	for _, s := range n.succ {
+		if s != dead {
+			out = append(out, s)
+		}
+	}
+	n.succ = out
+	if len(n.succ) == 0 {
+		n.succ = []id.ID{n.id} // last resort: ring of one until re-join
+	}
+}
+
+// fixNextFinger refreshes one finger per the paper's interval rule:
+// finger i is the first node in (id+2^i, id+2^{i+1}], found with a
+// find-successor lookup; an out-of-interval answer clears the entry.
+func (nw *Network) fixNextFinger(n *Node) {
+	i := n.nextFinger
+	n.nextFinger = (n.nextFinger + 1) % nw.cfg.Space.Bits()
+	space := nw.cfg.Space
+	start := space.Add(n.id, (uint64(1)<<i)+1)
+	nw.findSuccessor(n.id, start, 0, func(s id.ID, ok bool, _ int) {
+		if !ok {
+			return
+		}
+		g := space.Gap(n.id, s)
+		if s != n.id && g > uint64(1)<<i && g <= uint64(1)<<(i+1) {
+			n.fingers[i] = s
+			n.hasFinger[i] = true
+		} else {
+			n.hasFinger[i] = false
+		}
+	})
+}
+
+// findSuccessor resolves the first live node whose id is >= target
+// (wrapping), by iteratively asking nodes for their closest preceding
+// entry — each step is one RPC. cb receives the answer, whether the
+// lookup succeeded, and the number of hops taken.
+func (nw *Network) findSuccessor(from id.ID, target id.ID, hops int, cb func(id.ID, bool, int)) {
+	const maxHops = 256
+	if hops > maxHops {
+		cb(0, false, hops)
+		return
+	}
+	space := nw.cfg.Space
+	nw.rpc(from, func(n *Node) {
+		s, ok := n.Successor()
+		if !ok {
+			cb(0, false, hops)
+			return
+		}
+		// target in (n, successor] -> the successor is the answer.
+		if s == n.id || space.BetweenIncl(target, n.id, s) {
+			cb(s, true, hops+1)
+			return
+		}
+		next := n.closestPreceding(space, target)
+		if next == n.id {
+			// No progress possible from local state; hand to the
+			// successor.
+			nw.findSuccessor(s, target, hops+1, cb)
+			return
+		}
+		nw.findSuccessor(next, target, hops+1, cb)
+	}, func() {
+		cb(0, false, hops)
+	})
+}
+
+// closestPreceding returns the entry from the node's fingers and
+// successor list that most closely precedes target.
+func (n *Node) closestPreceding(space id.Space, target id.ID) id.ID {
+	best := n.id
+	bestGap := uint64(0)
+	consider := func(w id.ID) {
+		if w == n.id {
+			return
+		}
+		if !space.Between(w, n.id, target) {
+			return
+		}
+		if g := space.Gap(n.id, w); g > bestGap {
+			best, bestGap = w, g
+		}
+	}
+	for i, ok := range n.hasFinger {
+		if ok {
+			consider(n.fingers[i])
+		}
+	}
+	for _, s := range n.succ {
+		consider(s)
+	}
+	return best
+}
+
+// Lookup resolves the owner of key (its successor under the protocol's
+// assignment) from the given origin node, reporting hops.
+func (nw *Network) Lookup(from id.ID, key id.ID, cb func(owner id.ID, ok bool, hops int)) error {
+	n := nw.nodes[from]
+	if n == nil || !n.alive {
+		return fmt.Errorf("chordproto: lookup from absent or dead node %d", from)
+	}
+	nw.findSuccessor(from, key, 0, cb)
+	return nil
+}

@@ -1,0 +1,235 @@
+package chordproto
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"peercache/internal/chord"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/sim"
+)
+
+// buildRing bootstraps one node and joins the rest through it at
+// 5-second intervals (simultaneous joins through a one-node ring are the
+// protocol's worst case: every successor pointer starts at the bootstrap
+// and walks back one position per stabilize round), then runs the
+// protocol for settle further seconds.
+func buildRing(t *testing.T, bits uint, ids []uint64, settle float64) (*Network, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	nw := New(Config{Space: id.NewSpace(bits), Seed: 1}, eng, rand.New(rand.NewSource(1)))
+	if _, err := nw.Bootstrap(id.ID(ids[0])); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range ids[1:] {
+		x := x
+		eng.At(float64(i)*5, func() {
+			if err := nw.Join(id.ID(x), id.ID(ids[0]), nil); err != nil {
+				t.Errorf("join %d: %v", x, err)
+			}
+		})
+	}
+	eng.RunUntil(float64(len(ids))*5 + settle)
+	return nw, eng
+}
+
+func sortedIDs(ids []uint64) []id.ID {
+	out := make([]id.ID, len(ids))
+	for i, x := range ids {
+		out[i] = id.ID(x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// After enough stabilization rounds in a static network, every node's
+// successor and predecessor pointers must form the sorted ring.
+func TestRingConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids := randx.UniqueIDs(rng, 40, 1<<16)
+	nw, _ := buildRing(t, 16, ids, 600)
+
+	ring := sortedIDs(ids)
+	for i, x := range ring {
+		n := nw.Node(x)
+		wantSucc := ring[(i+1)%len(ring)]
+		wantPred := ring[(i+len(ring)-1)%len(ring)]
+		succ, ok := n.Successor()
+		if !ok || succ != wantSucc {
+			t.Errorf("node %d successor = %d (%v), want %d", x, succ, ok, wantSucc)
+		}
+		pred, ok := n.Predecessor()
+		if !ok || pred != wantPred {
+			t.Errorf("node %d predecessor = %d (%v), want %d", x, pred, ok, wantPred)
+		}
+	}
+}
+
+// The protocol's converged finger tables must equal what the oracle
+// simulator computes from global state — the abstraction-soundness check
+// for internal/chord.
+func TestFingersMatchOracleSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ids := randx.UniqueIDs(rng, 30, 1<<12)
+	// Long settle: every finger refreshed several times (12 fingers at
+	// one per 5 s needs 60 s; allow many rounds).
+	nw, _ := buildRing(t, 12, ids, 1200)
+
+	oracle := chord.New(chord.Config{Space: id.NewSpace(12)})
+	for _, x := range ids {
+		if _, err := oracle.AddNode(id.ID(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle.StabilizeAll()
+
+	for _, x := range ids {
+		got := nw.Node(id.ID(x)).Fingers()
+		want := oracle.Node(id.ID(x)).Fingers()
+		if len(got) != len(want) {
+			t.Fatalf("node %d fingers %v, oracle %v", x, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d fingers %v, oracle %v", x, got, want)
+			}
+		}
+	}
+}
+
+// Lookups from every node resolve the same owner the sorted ring
+// implies, within O(log n)-ish hops.
+func TestLookupCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ids := randx.UniqueIDs(rng, 50, 1<<16)
+	nw, eng := buildRing(t, 16, ids, 1200)
+	ring := sortedIDs(ids)
+
+	ownerOf := func(key id.ID) id.ID {
+		i := sort.Search(len(ring), func(i int) bool { return ring[i] >= key })
+		return ring[i%len(ring)]
+	}
+
+	type result struct {
+		owner id.ID
+		ok    bool
+		hops  int
+		want  id.ID
+	}
+	var results []result
+	for i := 0; i < 300; i++ {
+		from := id.ID(ids[rng.Intn(len(ids))])
+		key := id.ID(rng.Intn(1 << 16))
+		want := ownerOf(key)
+		if err := nw.Lookup(from, key, func(owner id.ID, ok bool, hops int) {
+			results = append(results, result{owner, ok, hops, want})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(eng.Now() + 120)
+
+	if len(results) != 300 {
+		t.Fatalf("only %d of 300 lookups completed", len(results))
+	}
+	for _, r := range results {
+		if !r.ok {
+			t.Fatalf("lookup failed: %+v", r)
+		}
+		if r.owner != r.want {
+			t.Fatalf("lookup owner %d, want %d", r.owner, r.want)
+		}
+		if r.hops > 40 {
+			t.Errorf("lookup took %d hops", r.hops)
+		}
+	}
+}
+
+// After crashes, stabilization heals the ring around the dead nodes.
+func TestCrashHealing(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ids := randx.UniqueIDs(rng, 40, 1<<16)
+	nw, eng := buildRing(t, 16, ids, 900)
+
+	// Kill every fourth node silently.
+	dead := map[id.ID]bool{}
+	for i := 0; i < len(ids); i += 4 {
+		if err := nw.Crash(id.ID(ids[i])); err != nil {
+			t.Fatal(err)
+		}
+		dead[id.ID(ids[i])] = true
+	}
+	// Give the survivors time to heal (several stabilize rounds).
+	eng.RunUntil(eng.Now() + 600)
+
+	var ring []id.ID
+	for _, x := range sortedIDs(ids) {
+		if !dead[x] {
+			ring = append(ring, x)
+		}
+	}
+	for i, x := range ring {
+		n := nw.Node(x)
+		succ, ok := n.Successor()
+		want := ring[(i+1)%len(ring)]
+		if !ok || succ != want {
+			t.Errorf("node %d successor = %d (%v), want %d after healing", x, succ, ok, want)
+		}
+	}
+	if nw.Stats().Timeouts == 0 {
+		t.Error("expected timeout-driven failure detection")
+	}
+}
+
+// Protocol traffic counters move and scale with the population.
+func TestMaintenanceTrafficCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	small := randx.UniqueIDs(rng, 10, 1<<16)
+	big := randx.UniqueIDs(rng, 40, 1<<16)
+	nwS, _ := buildRing(t, 16, small, 300)
+	nwB, _ := buildRing(t, 16, big, 300)
+	if nwS.Stats().Messages == 0 {
+		t.Fatal("no protocol traffic counted")
+	}
+	if nwB.Stats().Messages <= nwS.Stats().Messages {
+		t.Errorf("traffic did not grow with population: %d vs %d",
+			nwB.Stats().Messages, nwS.Stats().Messages)
+	}
+	if nwS.Stats().Joins != 9 {
+		t.Errorf("joins = %d, want 9", nwS.Stats().Joins)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	eng := sim.New()
+	nw := New(Config{Space: id.NewSpace(8)}, eng, rand.New(rand.NewSource(1)))
+	if _, err := nw.Bootstrap(999); err == nil {
+		t.Error("out-of-space bootstrap accepted")
+	}
+	if _, err := nw.Bootstrap(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Bootstrap(5); err == nil {
+		t.Error("duplicate bootstrap accepted")
+	}
+	if err := nw.Join(5, 5, nil); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	if err := nw.Join(7, 99, nil); err == nil {
+		t.Error("join via absent bootstrap accepted")
+	}
+	if err := nw.Crash(99); err == nil {
+		t.Error("crash of absent node accepted")
+	}
+	if err := nw.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Crash(5); err == nil {
+		t.Error("double crash accepted")
+	}
+	if err := nw.Lookup(5, 1, nil); err == nil {
+		t.Error("lookup from dead node accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+
+	"peercache/internal/id"
+)
+
+// bruteForce enumerates every size-k subset of candidates and returns the
+// minimum of eval over them. It is the reference optimizer the selection
+// algorithms are verified against; exponential, test-sized inputs only.
+func bruteForce(candidates []id.ID, k int, eval func(aux []id.ID) float64) (float64, []id.ID) {
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	best := math.Inf(1)
+	var bestSet []id.ID
+	subset := make([]id.ID, 0, k)
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		if remaining == 0 {
+			if c := eval(subset); c < best {
+				best = c
+				bestSet = append([]id.ID(nil), subset...)
+			}
+			return
+		}
+		for i := start; i+remaining <= len(candidates); i++ {
+			subset = append(subset, candidates[i])
+			rec(i+1, remaining-1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0, k)
+	return best, bestSet
+}
+
+// BrutePastry returns the optimal weighted distance for a Pastry instance
+// by exhaustive search. Exported for benchmarks and examples that want a
+// ground-truth comparison; exponential in k.
+func BrutePastry(space id.Space, core []id.ID, peers []Peer, k int) (float64, []id.ID, error) {
+	in, err := newInstance(space, core, peers, k)
+	if err != nil {
+		return 0, nil, err
+	}
+	wd, aux := bruteForce(in.selectablePeers(), k, func(aux []id.ID) float64 {
+		return EvalPastry(space, in.coreIDs, in.peers, aux)
+	})
+	return wd, aux, nil
+}
+
+// BruteChord returns the optimal weighted distance for a Chord instance
+// by exhaustive search. Exponential in k; testing and calibration only.
+func BruteChord(space id.Space, self id.ID, core []id.ID, peers []Peer, k int) (float64, []id.ID, error) {
+	p, err := newChordProblem(space, self, core, peers, k)
+	if err != nil {
+		return 0, nil, err
+	}
+	wd, aux := bruteForce(p.in.selectablePeers(), k, func(aux []id.ID) float64 {
+		return EvalChord(space, self, p.in.coreIDs, p.in.peers, aux)
+	})
+	return wd, aux, nil
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"peercache/internal/id"
+)
+
+// chordProblem is the canonical geometry of a Chord selection: all known
+// nodes (queried peers plus core neighbors) sorted by clockwise gap from
+// the selecting node, with prefix frequency sums and the best
+// core-neighbor distance per node.
+//
+// Node indices are 1-based to mirror the paper's successor numbering;
+// index 0 is the virtual "no auxiliary pointer yet" position.
+type chordProblem struct {
+	in   *instance
+	self id.ID
+
+	n    int
+	ids  []id.ID   // ids[1..n]
+	gaps []uint64  // clockwise gap from self, strictly increasing
+	fs   []float64 // query frequency (0 for unqueried core neighbors)
+	sel  []bool    // eligible as auxiliary pointer (not core)
+	cumF []float64 // cumF[i] = fs[1] + ... + fs[i]
+
+	// bestCoreD[l] is min over core neighbors c with index <= l of
+	// ChordDist(c, l): the distance via core routing alone. +Inf when no
+	// core neighbor precedes l.
+	bestCoreD []float64
+	coreIdx   []int // indices of core neighbors, ascending
+}
+
+// newChordProblem validates and lays out the instance around self.
+func newChordProblem(space id.Space, self id.ID, core []id.ID, peers []Peer, k int) (*chordProblem, error) {
+	if uint64(self) >= space.Size() {
+		return nil, fmt.Errorf("core: self %d outside %d-bit space", self, space.Bits())
+	}
+	in, err := newInstance(space, core, peers, k)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range in.peers {
+		if p.ID == self {
+			return nil, fmt.Errorf("core: self %d appears among peers", self)
+		}
+	}
+	if in.core[self] {
+		return nil, fmt.Errorf("core: self %d appears among core neighbors", self)
+	}
+
+	type node struct {
+		id  id.ID
+		gap uint64
+		f   float64
+		sel bool
+	}
+	nodes := make([]node, 0, len(in.peers)+len(in.coreIDs))
+	for _, p := range in.peers {
+		nodes = append(nodes, node{id: p.ID, gap: space.Gap(self, p.ID), f: p.Freq, sel: !in.core[p.ID]})
+	}
+	seen := make(map[id.ID]bool, len(in.peers))
+	for _, p := range in.peers {
+		seen[p.ID] = true
+	}
+	for _, c := range in.coreIDs {
+		if !seen[c] {
+			nodes = append(nodes, node{id: c, gap: space.Gap(self, c)})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].gap < nodes[j].gap })
+
+	n := len(nodes)
+	p := &chordProblem{
+		in:        in,
+		self:      self,
+		n:         n,
+		ids:       make([]id.ID, n+1),
+		gaps:      make([]uint64, n+1),
+		fs:        make([]float64, n+1),
+		sel:       make([]bool, n+1),
+		cumF:      make([]float64, n+1),
+		bestCoreD: make([]float64, n+1),
+	}
+	lastCore := -1
+	for i, nd := range nodes {
+		l := i + 1
+		p.ids[l] = nd.id
+		p.gaps[l] = nd.gap
+		p.fs[l] = nd.f
+		p.sel[l] = nd.sel
+		p.cumF[l] = p.cumF[l-1] + nd.f
+		if !nd.sel {
+			p.coreIdx = append(p.coreIdx, l)
+			lastCore = l
+		}
+		if !nd.sel {
+			p.bestCoreD[l] = 0
+		} else if lastCore < 0 {
+			p.bestCoreD[l] = math.Inf(1)
+		} else {
+			p.bestCoreD[l] = float64(space.ChordDist(p.ids[lastCore], nd.id))
+		}
+	}
+	return p, nil
+}
+
+// dist returns the eq. 6 hop distance from node index j (or the virtual
+// index 0, meaning "core routing only") to node index l >= j: the minimum
+// of the distance via j itself and via the best core neighbor at or
+// before l.
+func (p *chordProblem) dist(j, l int) float64 {
+	d := p.bestCoreD[l]
+	if j >= 1 {
+		if dj := float64(p.in.space.ChordDist(p.ids[j], p.ids[l])); dj < d {
+			d = dj
+		}
+	}
+	return d
+}
+
+// selectAll returns the trivial result when k covers every selectable
+// peer.
+func (p *chordProblem) selectAll() Result {
+	aux := p.in.selectablePeers()
+	wd := EvalChord(p.in.space, p.self, p.in.coreIDs, p.in.peers, aux)
+	return p.in.result(aux, wd)
+}
+
+// auxFromChoice backtracks a (k x n) choice table: choice[i][m] holds the
+// index of the i-th (last) pointer covering prefix m, or 0 when C_i(m) is
+// infeasible.
+func (p *chordProblem) auxFromChoice(choice [][]int32, k int) []id.ID {
+	aux := make([]id.ID, 0, k)
+	m := p.n
+	for i := k; i >= 1; i-- {
+		j := int(choice[i][m])
+		if j <= 0 {
+			break
+		}
+		aux = append(aux, p.ids[j])
+		m = j - 1
+	}
+	return aux
+}
+
+// chordDPCore runs the O(n²k) dynamic program of Section V-A (eq. 7).
+// bounds, when non-nil, holds per-node maximum distances (QoS,
+// Section V-C); a segment that would violate a bound is forbidden.
+// It returns the optimal weighted distance and the selected set.
+func (p *chordProblem) chordDPCore(k int, bounds []float64) (float64, []id.ID, error) {
+	n := p.n
+	inf := math.Inf(1)
+
+	// C_0(m): core-only routing cost for the first m successors.
+	prev := make([]float64, n+1)
+	for m := 1; m <= n; m++ {
+		c := prev[m-1]
+		d := p.bestCoreD[m]
+		if bounds != nil && d > bounds[m] {
+			c = inf
+		}
+		if p.fs[m] > 0 {
+			c += p.fs[m] * d
+		}
+		prev[m] = c
+	}
+
+	choice := make([][]int32, k+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= k; i++ {
+		choice[i] = make([]int32, n+1)
+		for m := 0; m <= n; m++ {
+			cur[m] = inf
+		}
+		for j := 1; j <= n; j++ {
+			if !p.sel[j] || math.IsInf(prev[j-1], 1) {
+				continue
+			}
+			// Sweep m forward accumulating s(j, m) (eq. 8/10 folded
+			// into the per-node min with core neighbors).
+			acc := 0.0
+			for m := j; m <= n; m++ {
+				d := p.dist(j, m)
+				if bounds != nil && d > bounds[m] {
+					break // s(j, m') is infeasible for all m' >= m
+				}
+				if p.fs[m] > 0 {
+					acc += p.fs[m] * d
+				}
+				if c := prev[j-1] + acc; c < cur[m] {
+					cur[m] = c
+					choice[i][m] = int32(j)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+
+	wd := prev[n]
+	if math.IsInf(wd, 1) {
+		return wd, nil, ErrInfeasible
+	}
+	return wd, p.auxFromChoice(choice, k), nil
+}
+
+// SelectChordDP selects the optimal k auxiliary neighbors for the Chord
+// node self using the O(n²k) dynamic program of Section V-A. core is N_s
+// (the finger table); peers is V with observed frequencies. If k exceeds
+// the number of selectable peers, all of them are returned.
+//
+// The weighted distance may be +Inf when some queried peer is unreachable
+// under the estimate (no neighbor at or before it); this cannot happen
+// when core contains the node's successor, as it always does in Chord.
+func SelectChordDP(space id.Space, self id.ID, core []id.ID, peers []Peer, k int) (Result, error) {
+	p, err := newChordProblem(space, self, core, peers, k)
+	if err != nil {
+		return Result{}, err
+	}
+	if k >= p.in.selectable {
+		return p.selectAll(), nil
+	}
+	wd, aux, err := p.chordDPCore(k, nil)
+	if err != nil {
+		// Without bounds, an infinite optimum still has a well-defined
+		// argmin prefix; fall back to the best effort: select greedily
+		// nothing and report the infinite cost.
+		return p.in.result(nil, wd), nil
+	}
+	return p.in.result(aux, wd), nil
+}
+
+// SelectChordQoS selects the optimal k auxiliary neighbors subject to
+// per-peer distance bounds (Section V-C): for each entry (v, x) in
+// bounds, the selection guarantees d(v, N ∪ A) <= x under the eq. 6
+// estimate. It returns ErrInfeasible when the bounds cannot be met. Bound
+// ids must refer to known peers.
+func SelectChordQoS(space id.Space, self id.ID, core []id.ID, peers []Peer, k int, bounds map[id.ID]uint) (Result, error) {
+	p, err := newChordProblem(space, self, core, peers, k)
+	if err != nil {
+		return Result{}, err
+	}
+	bv := make([]float64, p.n+1)
+	for l := 1; l <= p.n; l++ {
+		bv[l] = math.Inf(1)
+	}
+	byID := make(map[id.ID]int, p.n)
+	for l := 1; l <= p.n; l++ {
+		byID[p.ids[l]] = l
+	}
+	for v, x := range bounds {
+		l, ok := byID[v]
+		if !ok {
+			return Result{}, fmt.Errorf("core: QoS bound for unknown peer %d", v)
+		}
+		bv[l] = float64(x)
+	}
+	kEff := min(k, p.in.selectable)
+	wd, aux, err := p.chordDPCore(kEff, bv)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.in.result(aux, wd), nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"peercache/internal/id"
+)
+
+// segOracle answers segment-cost queries s(j, m) — the cost of routing
+// queries to nodes j..m when the last auxiliary pointer is at j — in
+// O(log) time after O(n·b·log n) preprocessing, following Section V-B.
+//
+// For each node j it tabulates the jump points p_j(r) (the farthest node
+// within distance r of j, eq. 9) and the prefix sums
+//
+//	W_j(r) = Σ_{r'=1..r} r' · (F(p_j(r')) − F(p_j(r'−1))),
+//
+// so a core-free segment cost is two lookups. Core neighbors split a
+// segment per eq. 10; consecutive inter-core segment costs are
+// pre-summed, so the split needs one binary search over the core indices.
+type segOracle struct {
+	p *chordProblem
+	b int
+
+	// jump[j][r] and w[j][r], r in [0, b]; jump[j][0] = j, w[j][0] = 0.
+	jump [][]int32
+	w    [][]float64
+
+	// corePrefix[t] = Σ_{u<t} snc(coreIdx[u], coreIdx[u+1]−1).
+	corePrefix []float64
+}
+
+func newSegOracle(p *chordProblem) *segOracle {
+	b := int(p.in.space.Bits())
+	o := &segOracle{
+		p:    p,
+		b:    b,
+		jump: make([][]int32, p.n+1),
+		w:    make([][]float64, p.n+1),
+	}
+	for j := 1; j <= p.n; j++ {
+		jr := make([]int32, b+1)
+		wr := make([]float64, b+1)
+		jr[0] = int32(j)
+		for r := 1; r <= b; r++ {
+			// Farthest node at distance <= r: gap <= 2^r − 1.
+			limit := p.gaps[j] + (uint64(1)<<uint(r) - 1)
+			lo := int(jr[r-1])
+			hi := sort.Search(p.n-lo, func(x int) bool {
+				return p.gaps[lo+1+x] > limit
+			}) + lo
+			jr[r] = int32(hi)
+			wr[r] = wr[r-1] + float64(r)*(p.cumF[hi]-p.cumF[jr[r-1]])
+		}
+		o.jump[j] = jr
+		o.w[j] = wr
+	}
+	o.corePrefix = make([]float64, len(p.coreIdx))
+	for t := 1; t < len(p.coreIdx); t++ {
+		o.corePrefix[t] = o.corePrefix[t-1] + o.snc(p.coreIdx[t-1], p.coreIdx[t]-1)
+	}
+	return o
+}
+
+// snc is the core-free segment cost s(j, m) of eq. 9: every node l in
+// (j, m] pays f_l times its eq. 6 distance from j.
+func (o *segOracle) snc(j, m int) float64 {
+	if m <= j {
+		return 0
+	}
+	d := int(o.p.in.space.ChordDist(o.p.ids[j], o.p.ids[m]))
+	pj := int(o.jump[j][d-1])
+	return o.w[j][d-1] + float64(d)*(o.p.cumF[m]-o.p.cumF[pj])
+}
+
+// s is the full segment cost with core-neighbor splitting (eq. 10).
+func (o *segOracle) s(j, m int) float64 {
+	ci := o.p.coreIdx
+	// Cores strictly after j and at most m.
+	lo := sort.SearchInts(ci, j+1)
+	hi := sort.SearchInts(ci, m+1) - 1
+	if lo > hi {
+		return o.snc(j, m)
+	}
+	return o.snc(j, ci[lo]-1) + (o.corePrefix[hi] - o.corePrefix[lo]) + o.snc(ci[hi], m)
+}
+
+// SelectChordFast selects the optimal k auxiliary neighbors for the Chord
+// node self using the fast algorithm of Section V-B: O(log b)-amortized
+// segment-cost queries over precomputed jump tables, combined with a
+// monotone divide-and-conquer solver per DP layer — O(n log n) segment
+// queries per layer instead of the O(n²) of SelectChordDP. The two return
+// the same optimal cost.
+func SelectChordFast(space id.Space, self id.ID, core []id.ID, peers []Peer, k int) (Result, error) {
+	p, err := newChordProblem(space, self, core, peers, k)
+	if err != nil {
+		return Result{}, err
+	}
+	if k >= p.in.selectable {
+		return p.selectAll(), nil
+	}
+	o := newSegOracle(p)
+	n := p.n
+	inf := math.Inf(1)
+
+	// C_0(m): core-only routing prefix cost.
+	prev := make([]float64, n+1)
+	for m := 1; m <= n; m++ {
+		prev[m] = prev[m-1]
+		if p.fs[m] > 0 {
+			prev[m] += p.fs[m] * p.bestCoreD[m]
+		}
+	}
+
+	choice := make([][]int32, k+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= k; i++ {
+		choice[i] = make([]int32, n+1)
+		cur[0] = inf
+		val := func(j, m int) float64 {
+			if !p.sel[j] || math.IsInf(prev[j-1], 1) {
+				return inf
+			}
+			return prev[j-1] + o.s(j, m)
+		}
+		dncRowMinima(n, val, cur, choice[i])
+		prev, cur = cur, prev
+	}
+
+	wd := prev[n]
+	if math.IsInf(wd, 1) {
+		return p.in.result(nil, wd), nil
+	}
+	return p.in.result(p.auxFromChoice(choice, k), wd), nil
+}

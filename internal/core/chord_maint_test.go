@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+func TestChordMaintainerValidation(t *testing.T) {
+	space := id.NewSpace(16)
+	if _, err := NewChordMaintainer(space, 0, []id.ID{1}, -1, 0.1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := NewChordMaintainer(space, 0, []id.ID{1}, 2, 0); err == nil {
+		t.Error("zero drift accepted")
+	}
+	if _, err := NewChordMaintainer(space, 0, []id.ID{1}, 2, 1.5); err == nil {
+		t.Error("drift > 1 accepted")
+	}
+	if _, err := NewChordMaintainer(space, 5, []id.ID{5}, 2, 0.1); err == nil {
+		t.Error("self in core accepted")
+	}
+	m, err := NewChordMaintainer(space, 0, []id.ID{1}, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCore([]id.ID{0}); err == nil {
+		t.Error("SetCore with self accepted")
+	}
+}
+
+// The cache must serve while the distribution is stable and recompute
+// once it drifts.
+func TestChordMaintainerDriftTriggeredRecompute(t *testing.T) {
+	space := id.NewSpace(16)
+	m, err := NewChordMaintainer(space, 0, []id.ID{1}, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Observe(5000)
+	}
+	first, err := m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recomputes != 1 || first.Aux[0] != 5000 {
+		t.Fatalf("first select: recomputes=%d aux=%v", m.Recomputes, first.Aux)
+	}
+	// A few more identical observations: distribution unchanged, the
+	// cached result must be served.
+	for i := 0; i < 20; i++ {
+		m.Observe(5000)
+	}
+	if _, err := m.Select(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Recomputes != 1 {
+		t.Fatalf("recomputed without drift (recomputes=%d)", m.Recomputes)
+	}
+	// Shift most of the mass to a new peer: drift > 0.3 forces a
+	// recomputation and the selection moves.
+	for i := 0; i < 400; i++ {
+		m.Observe(9000)
+	}
+	res, err := m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recomputes != 2 {
+		t.Fatalf("no recompute after drift (recomputes=%d)", m.Recomputes)
+	}
+	if res.Aux[0] != 9000 {
+		t.Fatalf("selection did not follow the drift: %v", res.Aux)
+	}
+}
+
+// The maintainer's recomputed result must equal a fresh SelectChordFast
+// on the same normalized distribution.
+func TestChordMaintainerMatchesDirectSelection(t *testing.T) {
+	space := id.NewSpace(16)
+	m, err := NewChordMaintainer(space, 0, []id.ID{1, 64, 900}, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := map[id.ID]int{4000: 50, 8000: 30, 200: 5, 60000: 15}
+	for p, c := range obs {
+		for i := 0; i < c; i++ {
+			m.Observe(p)
+		}
+	}
+	got, err := m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peers []Peer
+	total := 100.0
+	for p, c := range obs {
+		peers = append(peers, Peer{ID: p, Freq: float64(c) / total})
+	}
+	want, err := SelectChordFast(space, 0, []id.ID{1, 64, 900}, peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.WeightedDist-want.WeightedDist) > 1e-9 {
+		t.Fatalf("maintainer %g vs direct %g", got.WeightedDist, want.WeightedDist)
+	}
+}
+
+func TestChordMaintainerSetCoreInvalidates(t *testing.T) {
+	space := id.NewSpace(16)
+	m, err := NewChordMaintainer(space, 0, []id.ID{1}, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(5000)
+	if _, err := m.Select(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCore([]id.ID{1, 5000}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recomputes != 2 {
+		t.Fatalf("SetCore did not invalidate cache (recomputes=%d)", m.Recomputes)
+	}
+	for _, a := range res.Aux {
+		if a == 5000 {
+			t.Fatal("promoted core neighbor still selected as aux")
+		}
+	}
+}
+
+func TestChordMaintainerSelfObservationsIgnored(t *testing.T) {
+	space := id.NewSpace(16)
+	m, err := NewChordMaintainer(space, 7, []id.ID{1}, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(7) // self: ignored
+	m.Observe(5000)
+	res, err := m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 1 || res.Aux[0] != 5000 {
+		t.Fatalf("Aux = %v", res.Aux)
+	}
+}
+
+func TestChordMaintainerNoObservations(t *testing.T) {
+	space := id.NewSpace(16)
+	m, err := NewChordMaintainer(space, 0, []id.ID{1}, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 0 {
+		t.Fatalf("Aux = %v, want empty with no history", res.Aux)
+	}
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+// randChordInstance draws a random small instance around a random self.
+// When withSuccessor is true the core set contains self's immediate
+// successor, as real Chord finger tables always do, making every peer
+// reachable (finite costs).
+func randChordInstance(rng *rand.Rand, withSuccessor bool) (id.Space, id.ID, []id.ID, []Peer, int) {
+	bits := uint(5 + rng.Intn(5))
+	space := id.NewSpace(bits)
+	n := 3 + rng.Intn(12)
+	raw := rng.Perm(int(space.Size()))[:n+3]
+	self := id.ID(raw[n+2])
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{ID: id.ID(raw[i]), Freq: float64(rng.Intn(20))}
+	}
+	var core []id.ID
+	if withSuccessor {
+		succ := peers[0].ID
+		bestGap := space.Gap(self, succ)
+		for _, p := range peers[1:] {
+			if g := space.Gap(self, p.ID); g < bestGap {
+				succ, bestGap = p.ID, g
+			}
+		}
+		if g := space.Gap(self, id.ID(raw[n])); g < bestGap {
+			succ = id.ID(raw[n])
+		}
+		core = append(core, succ)
+	}
+	nc := 1 + rng.Intn(2)
+	for i := 0; i < nc; i++ {
+		if rng.Intn(2) == 0 {
+			core = append(core, peers[rng.Intn(n)].ID)
+		} else {
+			core = append(core, id.ID(raw[n+1]))
+		}
+	}
+	k := 1 + rng.Intn(4)
+	return space, self, core, peers, k
+}
+
+func TestChordHandExample(t *testing.T) {
+	// 4-bit ring, self = 0. Core = {1} (successor). Peers: 9 (f=10),
+	// 10 (f=1), 2 (f=1). Distances via core 1: d(1,9)=4 (gap 8),
+	// d(1,10)=4 (gap 9 -> leftmost 1 pos 4), d(1,2)=1.
+	// One pointer at 9 gives: 9 -> 0, 10 -> d(9,10)=1, 2 -> 1. Total 2.
+	space := id.NewSpace(4)
+	res, err := SelectChordDP(space, 0, []id.ID{1}, []Peer{
+		{ID: 9, Freq: 10}, {ID: 10, Freq: 1}, {ID: 2, Freq: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 1 || res.Aux[0] != 9 {
+		t.Fatalf("Aux = %v, want [9]", res.Aux)
+	}
+	if res.WeightedDist != 2 {
+		t.Errorf("WeightedDist = %g, want 2", res.WeightedDist)
+	}
+}
+
+func TestChordDPEqualsFastEqualsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 300; trial++ {
+		space, self, core, peers, k := randChordInstance(rng, true)
+		dp, err := SelectChordDP(space, self, core, peers, k)
+		if err != nil {
+			t.Fatalf("trial %d: DP error: %v", trial, err)
+		}
+		fast, err := SelectChordFast(space, self, core, peers, k)
+		if err != nil {
+			t.Fatalf("trial %d: fast error: %v", trial, err)
+		}
+		want, _, err := BruteChord(space, self, core, peers, k)
+		if err != nil {
+			t.Fatalf("trial %d: brute error: %v", trial, err)
+		}
+		if math.Abs(dp.WeightedDist-want) > 1e-9 {
+			t.Fatalf("trial %d: DP cost %g, brute %g", trial, dp.WeightedDist, want)
+		}
+		if math.Abs(fast.WeightedDist-want) > 1e-9 {
+			t.Fatalf("trial %d: fast cost %g, brute %g", trial, fast.WeightedDist, want)
+		}
+	}
+}
+
+// Instances whose peers may precede every core neighbor exercise the
+// +Inf paths: both algorithms must still agree.
+func TestChordAgreementWithUnreachablePeers(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 200; trial++ {
+		space, self, core, peers, k := randChordInstance(rng, false)
+		dp, err := SelectChordDP(space, self, core, peers, k)
+		if err != nil {
+			t.Fatalf("trial %d: DP error: %v", trial, err)
+		}
+		fast, err := SelectChordFast(space, self, core, peers, k)
+		if err != nil {
+			t.Fatalf("trial %d: fast error: %v", trial, err)
+		}
+		want, _, err := BruteChord(space, self, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bothInf := math.IsInf(dp.WeightedDist, 1) && math.IsInf(want, 1)
+		if !bothInf && math.Abs(dp.WeightedDist-want) > 1e-9 {
+			t.Fatalf("trial %d: DP cost %v, brute %v", trial, dp.WeightedDist, want)
+		}
+		bothInf = math.IsInf(fast.WeightedDist, 1) && math.IsInf(want, 1)
+		if !bothInf && math.Abs(fast.WeightedDist-want) > 1e-9 {
+			t.Fatalf("trial %d: fast cost %v, brute %v", trial, fast.WeightedDist, want)
+		}
+	}
+}
+
+func TestChordReportedCostMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 300; trial++ {
+		space, self, core, peers, k := randChordInstance(rng, true)
+		for _, sel := range []func(id.Space, id.ID, []id.ID, []Peer, int) (Result, error){
+			SelectChordDP, SelectChordFast,
+		} {
+			res, err := sel(space, self, core, peers, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := EvalChord(space, self, core, peers, res.Aux)
+			if math.Abs(got-res.WeightedDist) > 1e-9 {
+				t.Fatalf("trial %d: eval %g vs reported %g (aux %v)", trial, got, res.WeightedDist, res.Aux)
+			}
+		}
+	}
+}
+
+func TestChordCostMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 50; trial++ {
+		space, self, core, peers, _ := randChordInstance(rng, true)
+		prev := math.Inf(1)
+		for k := 0; k <= 6; k++ {
+			res, err := SelectChordFast(space, self, core, peers, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.WeightedDist > prev+1e-9 {
+				t.Fatalf("trial %d: cost increased at k=%d: %g -> %g", trial, k, prev, res.WeightedDist)
+			}
+			prev = res.WeightedDist
+		}
+	}
+}
+
+func TestChordAuxNeverContainsCoreOrSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1010))
+	for trial := 0; trial < 200; trial++ {
+		space, self, core, peers, k := randChordInstance(rng, true)
+		res, err := SelectChordFast(space, self, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreSet := make(map[id.ID]bool)
+		for _, c := range core {
+			coreSet[c] = true
+		}
+		for _, a := range res.Aux {
+			if coreSet[a] || a == self {
+				t.Fatalf("trial %d: invalid aux %d", trial, a)
+			}
+		}
+	}
+}
+
+func TestChordKExceedsSelectable(t *testing.T) {
+	space := id.NewSpace(4)
+	res, err := SelectChordFast(space, 0, []id.ID{1}, []Peer{
+		{ID: 5, Freq: 1}, {ID: 9, Freq: 2}, {ID: 1, Freq: 1},
+	}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 2 {
+		t.Fatalf("Aux = %v, want the 2 selectable peers", res.Aux)
+	}
+	if res.WeightedDist != 0 {
+		t.Errorf("WeightedDist = %g, want 0", res.WeightedDist)
+	}
+}
+
+func TestChordValidationErrors(t *testing.T) {
+	space := id.NewSpace(4)
+	cases := []struct {
+		name  string
+		self  id.ID
+		core  []id.ID
+		peers []Peer
+		k     int
+	}{
+		{"self among peers", 3, []id.ID{1}, []Peer{{ID: 3, Freq: 1}}, 1},
+		{"self among core", 3, []id.ID{3}, []Peer{{ID: 1, Freq: 1}}, 1},
+		{"self out of space", 16, []id.ID{1}, []Peer{{ID: 1, Freq: 1}}, 1},
+		{"negative k", 0, []id.ID{1}, []Peer{{ID: 2, Freq: 1}}, -2},
+	}
+	for _, tc := range cases {
+		if _, err := SelectChordDP(space, tc.self, tc.core, tc.peers, tc.k); err == nil {
+			t.Errorf("%s: no error from DP", tc.name)
+		}
+		if _, err := SelectChordFast(space, tc.self, tc.core, tc.peers, tc.k); err == nil {
+			t.Errorf("%s: no error from fast", tc.name)
+		}
+	}
+}
+
+// The paper's key intuition: frequency-aware placement beats putting the
+// pointer anywhere else when popularity is skewed.
+func TestChordSkewRewardsPopularRegion(t *testing.T) {
+	space := id.NewSpace(10)
+	self := id.ID(0)
+	core := []id.ID{1, 3, 6, 12, 24, 48, 100, 200, 400, 800}
+	var peers []Peer
+	// A hot cluster far from self plus cold peers elsewhere.
+	for i := 0; i < 8; i++ {
+		peers = append(peers, Peer{ID: id.ID(900 + i), Freq: 50})
+	}
+	for i := 0; i < 8; i++ {
+		peers = append(peers, Peer{ID: id.ID(30 + 7*i), Freq: 1})
+	}
+	res, err := SelectChordFast(space, self, core, peers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 1 || res.Aux[0] < 900 {
+		t.Fatalf("Aux = %v, want a pointer into the hot cluster", res.Aux)
+	}
+}
+
+func TestSegOracleMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1111))
+	for trial := 0; trial < 100; trial++ {
+		space, self, core, peers, k := randChordInstance(rng, true)
+		p, err := newChordProblem(space, self, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newSegOracle(p)
+		for j := 1; j <= p.n; j++ {
+			for m := j; m <= p.n; m++ {
+				want := 0.0
+				for l := j; l <= m; l++ {
+					if p.fs[l] > 0 {
+						want += p.fs[l] * p.dist(j, l)
+					}
+				}
+				if got := o.s(j, m); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d: s(%d,%d) = %g, want %g", trial, j, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The inverse quadrangle inequality the fast layer solver relies on:
+// s(j, m+1) - s(j, m) is non-increasing in j.
+func TestSegmentCostInverseQuadrangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1212))
+	for trial := 0; trial < 100; trial++ {
+		space, self, core, peers, k := randChordInstance(rng, true)
+		p, err := newChordProblem(space, self, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newSegOracle(p)
+		for m := 1; m < p.n; m++ {
+			prevDelta := math.Inf(1)
+			for j := 1; j <= m; j++ {
+				delta := o.s(j, m+1) - o.s(j, m)
+				if delta > prevDelta+1e-9 {
+					t.Fatalf("trial %d: IQI violated at j=%d m=%d: %g > %g", trial, j, m, delta, prevDelta)
+				}
+				prevDelta = delta
+			}
+		}
+	}
+}
+
+func TestDncRowMinimaAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1313))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		// Build a random matrix satisfying the inverse quadrangle
+		// inequality: val(j,m) = E(j) + w(j,m) with w built from
+		// per-column increment sequences that are non-increasing in j.
+		e := make([]float64, n+1)
+		for j := 1; j <= n; j++ {
+			e[j] = rng.Float64() * 10
+			if rng.Intn(5) == 0 {
+				e[j] = math.Inf(1)
+			}
+		}
+		// incr[m] values shared across columns, scaled down as j grows.
+		base := make([]float64, n+1)
+		for m := range base {
+			base[m] = rng.Float64() * 5
+		}
+		w := make([][]float64, n+2)
+		for j := 0; j <= n+1; j++ {
+			w[j] = make([]float64, n+1)
+		}
+		for j := 1; j <= n; j++ {
+			for m := j + 1; m <= n; m++ {
+				// increment from m-1 to m for column j: must be
+				// non-increasing in j; base[m]/(1+j) is.
+				w[j][m] = w[j][m-1] + base[m]/(1+float64(j))
+			}
+		}
+		val := func(j, m int) float64 { return e[j] + w[j][m] }
+
+		cost := make([]float64, n+1)
+		bestJ := make([]int32, n+1)
+		dncRowMinima(n, val, cost, bestJ)
+
+		for m := 1; m <= n; m++ {
+			want := math.Inf(1)
+			for j := 1; j <= m; j++ {
+				if v := val(j, m); v < want {
+					want = v
+				}
+			}
+			if math.IsInf(want, 1) {
+				if !math.IsInf(cost[m], 1) || bestJ[m] != 0 {
+					t.Fatalf("trial %d m=%d: want inf, got %g (j=%d)", trial, m, cost[m], bestJ[m])
+				}
+				continue
+			}
+			if math.Abs(cost[m]-want) > 1e-9 {
+				t.Fatalf("trial %d m=%d: cost %g, want %g", trial, m, cost[m], want)
+			}
+			if got := val(int(bestJ[m]), m); math.Abs(got-cost[m]) > 1e-9 {
+				t.Fatalf("trial %d m=%d: bestJ does not achieve cost", trial, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package core implements the paper's contribution: optimal selection of k
+// auxiliary neighbor pointers that minimize the frequency-weighted average
+// lookup distance (eq. 1),
+//
+//	Cost(A_s) = Σ_v f_v · (1 + d(v, N_s ∪ A_s)),   A_s ⊆ V − N_s, |A_s| = k,
+//
+// for the two routing geometries the paper studies:
+//
+//   - Pastry (Section IV): d is the prefix distance b − LCP. The package
+//     provides the O(nk²b) trie dynamic program (eq. 3), the O(nkb)
+//     greedy/merge algorithm built on the nesting property (P) (eq. 4),
+//     an O(bk) incremental maintainer (Section IV-C), and the QoS-aware
+//     variant (Section IV-D).
+//   - Chord (Section V): d is the ring distance of eq. 6. The package
+//     provides the O(n²k) dynamic program (eq. 7) and the fast algorithm
+//     of Section V-B that combines O(log b) segment-cost queries with a
+//     monotone divide-and-conquer layer solver, plus the QoS variant.
+//
+// A brute-force reference optimizer is included for verification.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"peercache/internal/id"
+)
+
+// Peer is one candidate peer with its observed access frequency at the
+// selecting node.
+type Peer struct {
+	ID   id.ID
+	Freq float64
+}
+
+// Result is the outcome of a selection.
+type Result struct {
+	// Aux is the selected set of auxiliary neighbors, sorted by id.
+	// Its length is min(k, number of selectable peers).
+	Aux []id.ID
+	// WeightedDist is Σ_v f_v · d(v, N ∪ A), the variable part of eq. 1.
+	WeightedDist float64
+	// Cost is the full eq. 1 objective, WeightedDist + Σ_v f_v.
+	Cost float64
+}
+
+// Errors returned by the selection entry points.
+var (
+	ErrNoNeighbors = errors.New("core: no core neighbors and no selectable peers")
+	ErrInfeasible  = errors.New("core: QoS delay bounds are not satisfiable with the given k")
+)
+
+// instance is the validated, canonical form of a selection problem:
+// deduplicated core set, peers sorted by id, frequencies checked.
+type instance struct {
+	space   id.Space
+	core    map[id.ID]bool
+	coreIDs []id.ID // sorted
+	peers   []Peer  // sorted by id, deduplicated (validated)
+	totalF  float64
+	k       int
+	// selectable is the number of peers not already core neighbors.
+	selectable int
+}
+
+func newInstance(space id.Space, core []id.ID, peers []Peer, k int) (*instance, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative k = %d", k)
+	}
+	in := &instance{space: space, core: make(map[id.ID]bool, len(core)), k: k}
+	for _, c := range core {
+		if uint64(c) >= space.Size() {
+			return nil, fmt.Errorf("core: core neighbor %d outside %d-bit space", c, space.Bits())
+		}
+		in.core[c] = true
+	}
+	in.coreIDs = make([]id.ID, 0, len(in.core))
+	for c := range in.core {
+		in.coreIDs = append(in.coreIDs, c)
+	}
+	sort.Slice(in.coreIDs, func(i, j int) bool { return in.coreIDs[i] < in.coreIDs[j] })
+
+	in.peers = append([]Peer(nil), peers...)
+	sort.Slice(in.peers, func(i, j int) bool { return in.peers[i].ID < in.peers[j].ID })
+	for i, p := range in.peers {
+		if uint64(p.ID) >= space.Size() {
+			return nil, fmt.Errorf("core: peer %d outside %d-bit space", p.ID, space.Bits())
+		}
+		if p.Freq < 0 || math.IsNaN(p.Freq) || math.IsInf(p.Freq, 0) {
+			return nil, fmt.Errorf("core: peer %d has invalid frequency %g", p.ID, p.Freq)
+		}
+		if i > 0 && in.peers[i-1].ID == p.ID {
+			return nil, fmt.Errorf("core: duplicate peer id %d", p.ID)
+		}
+		in.totalF += p.Freq
+		if !in.core[p.ID] {
+			in.selectable++
+		}
+	}
+	if len(in.core) == 0 && in.selectable == 0 {
+		return nil, ErrNoNeighbors
+	}
+	if len(in.core) == 0 && k == 0 {
+		return nil, ErrNoNeighbors
+	}
+	return in, nil
+}
+
+// selectablePeers returns the ids of peers eligible as auxiliary
+// neighbors (those not already core), sorted by id.
+func (in *instance) selectablePeers() []id.ID {
+	out := make([]id.ID, 0, in.selectable)
+	for _, p := range in.peers {
+		if !in.core[p.ID] {
+			out = append(out, p.ID)
+		}
+	}
+	return out
+}
+
+// result assembles a Result from a chosen aux set and its weighted
+// distance, sorting for determinism.
+func (in *instance) result(aux []id.ID, wd float64) Result {
+	sorted := append([]id.ID(nil), aux...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return Result{Aux: sorted, WeightedDist: wd, Cost: wd + in.totalF}
+}
+
+// EvalPastry computes Σ_v f_v · d(v, core ∪ aux) under the Pastry prefix
+// distance, directly from the definition. It is the reference evaluator
+// the algorithms are tested against, and is also used to score baseline
+// selections. If a peer has no neighbor at all the distance is b (the
+// worst case, every bit to fix).
+func EvalPastry(space id.Space, core []id.ID, peers []Peer, aux []id.ID) float64 {
+	nbrs := make([]id.ID, 0, len(core)+len(aux))
+	nbrs = append(nbrs, core...)
+	nbrs = append(nbrs, aux...)
+	total := 0.0
+	for _, p := range peers {
+		d := space.Bits()
+		for _, w := range nbrs {
+			if dw := space.PastryDist(w, p.ID); dw < d {
+				d = dw
+			}
+		}
+		total += p.Freq * float64(d)
+	}
+	return total
+}
+
+// EvalPastryDigits is EvalPastry under base-2^digitBits digit distances:
+// Σ_v f_v · ceil((b − LCP)/digitBits) to the nearest neighbor. A peer
+// with no neighbor at all contributes the full digit length.
+func EvalPastryDigits(space id.Space, core []id.ID, peers []Peer, aux []id.ID, digitBits uint) float64 {
+	nbrs := make([]id.ID, 0, len(core)+len(aux))
+	nbrs = append(nbrs, core...)
+	nbrs = append(nbrs, aux...)
+	total := 0.0
+	for _, p := range peers {
+		d := space.Bits() / digitBits
+		for _, w := range nbrs {
+			if dw := space.PastryDistDigits(w, p.ID, digitBits); dw < d {
+				d = dw
+			}
+		}
+		total += p.Freq * float64(d)
+	}
+	return total
+}
+
+// EvalChord computes Σ_v f_v · d(v, core ∪ aux) under the Chord routing
+// distance from node self: the first hop goes to the neighbor w closest
+// to v without overshooting (clockwise from self), and the remainder is
+// the eq. 6 bound d_wv. A peer with no eligible neighbor contributes
+// +Inf times its frequency (0 if its frequency is 0).
+func EvalChord(space id.Space, self id.ID, core []id.ID, peers []Peer, aux []id.ID) float64 {
+	nbrs := make([]id.ID, 0, len(core)+len(aux))
+	nbrs = append(nbrs, core...)
+	nbrs = append(nbrs, aux...)
+	total := 0.0
+	for _, p := range peers {
+		gv := space.Gap(self, p.ID)
+		best := math.Inf(1)
+		for _, w := range nbrs {
+			if space.Gap(self, w) > gv {
+				continue // would overshoot the destination
+			}
+			if d := float64(space.ChordDist(w, p.ID)); d < best {
+				best = d
+			}
+		}
+		if p.Freq > 0 {
+			total += p.Freq * best
+		}
+	}
+	return total
+}

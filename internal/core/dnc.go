@@ -1,0 +1,46 @@
+package core
+
+import "math"
+
+// dncRowMinima computes, for every m in [1, n],
+//
+//	cost[m]  = min over j in [1, m] of val(j, m)
+//	bestJ[m] = the largest j attaining it (0 when every value is +Inf)
+//
+// in O(n log n) evaluations of val, assuming the largest argmin is
+// non-decreasing in m. That holds whenever val(j, m) = E(j) + w(j, m)
+// with w satisfying the inverse quadrangle inequality
+// w(j+1, m+1) - w(j+1, m) <= w(j, m+1) - w(j, m), which the Chord segment
+// cost s(j, m) does: its per-node increment f_{m+1}·d(j, m+1) is
+// non-increasing in j because the eq. 6 distance is monotone in the id
+// gap. Columns with E(j) = +Inf never win and do not disturb
+// monotonicity.
+//
+// cost and bestJ must have length n+1; index 0 is left untouched.
+func dncRowMinima(n int, val func(j, m int) float64, cost []float64, bestJ []int32) {
+	var rec func(mlo, mhi, jlo, jhi int)
+	rec = func(mlo, mhi, jlo, jhi int) {
+		if mlo > mhi {
+			return
+		}
+		mid := (mlo + mhi) / 2
+		best := math.Inf(1)
+		bj := 0
+		hi := min(jhi, mid)
+		for j := jlo; j <= hi; j++ {
+			if v := val(j, mid); v <= best && !math.IsInf(v, 1) {
+				best = v
+				bj = j
+			}
+		}
+		cost[mid] = best
+		bestJ[mid] = int32(bj)
+		loSplit, hiSplit := jhi, jlo
+		if bj > 0 {
+			loSplit, hiSplit = bj, bj
+		}
+		rec(mlo, mid-1, jlo, loSplit)
+		rec(mid+1, mhi, hiSplit, jhi)
+	}
+	rec(1, n, 1, n)
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peercache/internal/id"
+)
+
+// quick-driven property: for any frequency assignment over a fixed peer
+// layout, greedy Pastry equals brute force.
+func TestPastryGreedyBruteQuickProperty(t *testing.T) {
+	space := id.NewSpace(8)
+	coreSet := []id.ID{0b00010000}
+	layout := []id.ID{0b11110000, 0b11001100, 0b10101010, 0b01010101, 0b00001111, 0b00111100}
+	f := func(fs [6]uint8) bool {
+		peers := make([]Peer, len(layout))
+		for i, p := range layout {
+			peers[i] = Peer{ID: p, Freq: float64(fs[i])}
+		}
+		gr, err := SelectPastryGreedy(space, coreSet, peers, 2)
+		if err != nil {
+			return false
+		}
+		want, _, err := BrutePastry(space, coreSet, peers, 2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(gr.WeightedDist-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-driven property: for any frequency assignment, fast Chord equals
+// brute force.
+func TestChordFastBruteQuickProperty(t *testing.T) {
+	space := id.NewSpace(8)
+	self := id.ID(0)
+	coreSet := []id.ID{3, 40}
+	layout := []id.ID{17, 60, 99, 130, 180, 240}
+	f := func(fs [6]uint8) bool {
+		peers := make([]Peer, len(layout))
+		for i, p := range layout {
+			peers[i] = Peer{ID: p, Freq: float64(fs[i])}
+		}
+		fast, err := SelectChordFast(space, self, coreSet, peers, 2)
+		if err != nil {
+			return false
+		}
+		want, _, err := BruteChord(space, self, coreSet, peers, 2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fast.WeightedDist-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Aux outputs are always sorted and duplicate-free, for every algorithm.
+func TestResultsSortedAndUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(2020))
+	for trial := 0; trial < 100; trial++ {
+		space, coreSet, peers, k := randPastryInstance(rng)
+		checks := []Result{}
+		if r, err := SelectPastryGreedy(space, coreSet, peers, k); err == nil {
+			checks = append(checks, r)
+		}
+		if r, err := SelectPastryDP(space, coreSet, peers, k); err == nil {
+			checks = append(checks, r)
+		}
+		spaceC, self, coreC, peersC, kC := randChordInstance(rng, true)
+		if r, err := SelectChordDP(spaceC, self, coreC, peersC, kC); err == nil {
+			checks = append(checks, r)
+		}
+		if r, err := SelectChordFast(spaceC, self, coreC, peersC, kC); err == nil {
+			checks = append(checks, r)
+		}
+		for _, r := range checks {
+			for i := 1; i < len(r.Aux); i++ {
+				if r.Aux[i-1] >= r.Aux[i] {
+					t.Fatalf("aux not sorted/unique: %v", r.Aux)
+				}
+			}
+		}
+	}
+}
+
+// All peers already core: nothing selectable, zero weighted distance.
+func TestAllPeersAreCore(t *testing.T) {
+	space := id.NewSpace(8)
+	peers := []Peer{{ID: 10, Freq: 5}, {ID: 200, Freq: 3}}
+	coreSet := []id.ID{10, 200}
+	for _, sel := range []func() (Result, error){
+		func() (Result, error) { return SelectPastryGreedy(space, coreSet, peers, 3) },
+		func() (Result, error) { return SelectChordFast(space, 0, coreSet, peers, 3) },
+		func() (Result, error) { return SelectChordDP(space, 0, coreSet, peers, 3) },
+	} {
+		r, err := sel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Aux) != 0 {
+			t.Fatalf("Aux = %v, want empty", r.Aux)
+		}
+		if r.WeightedDist != 0 {
+			t.Fatalf("WeightedDist = %g, want 0 (all peers are neighbors)", r.WeightedDist)
+		}
+	}
+}
+
+// Zero-frequency instances are legal: any k-subset costs 0, and the
+// algorithms must not crash or divide by the total.
+func TestAllZeroFrequencies(t *testing.T) {
+	space := id.NewSpace(8)
+	peers := []Peer{{ID: 10}, {ID: 90}, {ID: 170}}
+	r, err := SelectChordFast(space, 0, []id.ID{1}, peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WeightedDist != 0 || r.Cost != 0 {
+		t.Fatalf("zero-frequency result = %+v", r)
+	}
+	if len(r.Aux) != 2 {
+		t.Fatalf("Aux = %v, want 2 picks even with zero mass", r.Aux)
+	}
+}
+
+// Large-instance agreement: a 2000-peer zipf instance where any indexing
+// or overflow bug in the jump tables or the D&C solver would surface.
+func TestChordLargeInstanceAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	space := id.NewSpace(32)
+	rng := rand.New(rand.NewSource(31337))
+	n := 2000
+	seen := make(map[uint64]bool)
+	peers := make([]Peer, 0, n)
+	for len(peers) < n {
+		v := rng.Uint64() >> 32
+		if v == 0 || seen[v] {
+			continue
+		}
+		seen[v] = true
+		peers = append(peers, Peer{ID: id.ID(v), Freq: rng.Float64() * 100})
+	}
+	var coreSet []id.ID
+	coreSet = append(coreSet, peers[0].ID)
+	for i := 1; i < 12; i++ {
+		coreSet = append(coreSet, peers[i*37].ID)
+	}
+	// Include the successor of self=0: the smallest id present.
+	succ := peers[0].ID
+	for _, p := range peers {
+		if p.ID < succ {
+			succ = p.ID
+		}
+	}
+	coreSet = append(coreSet, succ)
+
+	for _, k := range []int{1, 5, 16} {
+		fast, err := SelectChordFast(space, 0, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := SelectChordDP(space, 0, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast.WeightedDist-dp.WeightedDist) > 1e-6*dp.WeightedDist {
+			t.Fatalf("k=%d: fast %.6f vs dp %.6f", k, fast.WeightedDist, dp.WeightedDist)
+		}
+		if ev := EvalChord(space, 0, coreSet, peers, fast.Aux); math.Abs(ev-fast.WeightedDist) > 1e-6*ev {
+			t.Fatalf("k=%d: eval %.6f vs reported %.6f", k, ev, fast.WeightedDist)
+		}
+	}
+}
+
+// Large Pastry instance: greedy vs DP agreement plus eval consistency.
+func TestPastryLargeInstanceAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	space := id.NewSpace(32)
+	rng := rand.New(rand.NewSource(99991))
+	n := 2000
+	seen := make(map[uint64]bool)
+	peers := make([]Peer, 0, n)
+	for len(peers) < n {
+		v := rng.Uint64() >> 32
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		peers = append(peers, Peer{ID: id.ID(v), Freq: rng.Float64() * 100})
+	}
+	coreSet := []id.ID{peers[0].ID, peers[500].ID, peers[999].ID}
+
+	for _, k := range []int{1, 8, 32} {
+		gr, err := SelectPastryGreedy(space, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := SelectPastryDP(space, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gr.WeightedDist-dp.WeightedDist) > 1e-6 {
+			t.Fatalf("k=%d: greedy %.6f vs dp %.6f", k, gr.WeightedDist, dp.WeightedDist)
+		}
+		if ev := EvalPastry(space, coreSet, peers, gr.Aux); math.Abs(ev-gr.WeightedDist) > 1e-6 {
+			t.Fatalf("k=%d: eval %.6f vs reported %.6f", k, ev, gr.WeightedDist)
+		}
+	}
+}
+
+// Convexity (Lemma 4.1's consequence): the optimal Pastry cost sequence
+// over k has non-increasing marginal gains.
+func TestPastryCostConvexInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 50; trial++ {
+		space, coreSet, peers, _ := randPastryInstance(rng)
+		var costs []float64
+		for k := 0; k <= 6; k++ {
+			r, err := SelectPastryGreedy(space, coreSet, peers, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs = append(costs, r.WeightedDist)
+		}
+		for k := 2; k < len(costs); k++ {
+			gainPrev := costs[k-2] - costs[k-1]
+			gain := costs[k-1] - costs[k]
+			if gain > gainPrev+1e-9 {
+				t.Fatalf("trial %d: marginal gain increased at k=%d: %g > %g (costs %v)",
+					trial, k, gain, gainPrev, costs)
+			}
+		}
+	}
+}
+
+// The incremental maintainer must stay correct when frequencies go to
+// zero and back — exercised because zero-frequency subtrees change the
+// penalty terms.
+func TestMaintainerZeroFrequencyTransitions(t *testing.T) {
+	space := id.NewSpace(8)
+	m, err := NewPastryMaintainer(space, []id.ID{0}, []Peer{
+		{ID: 0b11110000, Freq: 5},
+		{ID: 0b11001100, Freq: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFreq(0b11110000, 0)
+	got := m.Select()
+	want, err := SelectPastryGreedy(space, []id.ID{0}, []Peer{
+		{ID: 0b11110000, Freq: 0},
+		{ID: 0b11001100, Freq: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.WeightedDist-want.WeightedDist) > 1e-9 {
+		t.Fatalf("after zeroing: incremental %g vs full %g", got.WeightedDist, want.WeightedDist)
+	}
+	m.SetFreq(0b11110000, 10)
+	if got := m.Select(); got.Aux[0] != 0b11110000 {
+		t.Fatalf("after restore Aux = %v", got.Aux)
+	}
+}
+
+// Scaling all frequencies by a constant must not change the chosen set
+// (the paper remarks the choice is invariant to constant scaling).
+func TestSelectionScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	for trial := 0; trial < 50; trial++ {
+		space, self, coreSet, peers, k := randChordInstance(rng, true)
+		scaled := make([]Peer, len(peers))
+		for i, p := range peers {
+			scaled[i] = Peer{ID: p.ID, Freq: p.Freq * 1000}
+		}
+		a, err := SelectChordFast(space, self, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SelectChordFast(space, self, coreSet, scaled, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.WeightedDist*1000-b.WeightedDist) > 1e-6*(1+b.WeightedDist) {
+			t.Fatalf("trial %d: scaling changed optimum: %g*1000 vs %g", trial, a.WeightedDist, b.WeightedDist)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+// Fuzz targets: decode arbitrary byte strings into selection instances
+// and check that the fast algorithms agree with the exact dynamic
+// programs. Run with `go test -fuzz FuzzChordAgreement ./internal/core`
+// for continuous fuzzing; the seed corpus also runs under plain
+// `go test`.
+
+import (
+	"math"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+// decodeInstance deterministically maps fuzz bytes to a small instance:
+// byte triples become (id, freq) pairs, the first bytes pick core
+// neighbors and k.
+func decodeInstance(data []byte) (space id.Space, self id.ID, core []id.ID, peers []Peer, k int, ok bool) {
+	if len(data) < 8 {
+		return space, 0, nil, nil, 0, false
+	}
+	space = id.NewSpace(8)
+	self = id.ID(data[0])
+	k = int(data[1]%4) + 1
+	nCore := int(data[2]%3) + 1
+	rest := data[3:]
+	seen := map[id.ID]bool{self: true}
+	for i := 0; i+1 < len(rest) && len(peers) < 12; i += 2 {
+		p := id.ID(rest[i])
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		peers = append(peers, Peer{ID: p, Freq: float64(rest[i+1])})
+	}
+	if len(peers) < 2 {
+		return space, 0, nil, nil, 0, false
+	}
+	for i := 0; i < nCore && i < len(peers); i++ {
+		core = append(core, peers[i*len(peers)/nCore].ID)
+	}
+	return space, self, core, peers, k, true
+}
+
+func FuzzChordAgreement(f *testing.F) {
+	f.Add([]byte{0, 2, 1, 10, 5, 60, 1, 120, 9, 200, 3})
+	f.Add([]byte{7, 1, 2, 20, 0, 40, 0, 80, 100, 160, 1, 250, 30})
+	f.Add([]byte{255, 3, 1, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		space, self, coreSet, peers, k, ok := decodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		fast, errF := SelectChordFast(space, self, coreSet, peers, k)
+		dp, errD := SelectChordDP(space, self, coreSet, peers, k)
+		if (errF == nil) != (errD == nil) {
+			t.Fatalf("error disagreement: fast=%v dp=%v", errF, errD)
+		}
+		if errF != nil {
+			t.Skip()
+		}
+		fi, di := math.IsInf(fast.WeightedDist, 1), math.IsInf(dp.WeightedDist, 1)
+		if fi != di {
+			t.Fatalf("infinity disagreement: fast=%v dp=%v", fast.WeightedDist, dp.WeightedDist)
+		}
+		if !fi && math.Abs(fast.WeightedDist-dp.WeightedDist) > 1e-9 {
+			t.Fatalf("cost disagreement: fast=%g dp=%g (self=%d core=%v peers=%v k=%d)",
+				fast.WeightedDist, dp.WeightedDist, self, coreSet, peers, k)
+		}
+		if !fi {
+			ev := EvalChord(space, self, coreSet, peers, fast.Aux)
+			if math.Abs(ev-fast.WeightedDist) > 1e-9 {
+				t.Fatalf("eval disagreement: %g vs %g", ev, fast.WeightedDist)
+			}
+		}
+	})
+}
+
+func FuzzPastryAgreement(f *testing.F) {
+	f.Add([]byte{0, 2, 1, 10, 5, 60, 1, 120, 9, 200, 3})
+	f.Add([]byte{7, 1, 2, 20, 0, 40, 0, 80, 100, 160, 1, 250, 30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		space, _, coreSet, peers, k, ok := decodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		gr, errG := SelectPastryGreedy(space, coreSet, peers, k)
+		dp, errD := SelectPastryDP(space, coreSet, peers, k)
+		if (errG == nil) != (errD == nil) {
+			t.Fatalf("error disagreement: greedy=%v dp=%v", errG, errD)
+		}
+		if errG != nil {
+			t.Skip()
+		}
+		if math.Abs(gr.WeightedDist-dp.WeightedDist) > 1e-9 {
+			t.Fatalf("cost disagreement: greedy=%g dp=%g", gr.WeightedDist, dp.WeightedDist)
+		}
+		ev := EvalPastry(space, coreSet, peers, gr.Aux)
+		if math.Abs(ev-gr.WeightedDist) > 1e-9 {
+			t.Fatalf("eval disagreement: %g vs %g", ev, gr.WeightedDist)
+		}
+	})
+}
+
+// FuzzMaintainerConsistency drives the incremental maintainer with a
+// byte-coded operation sequence and cross-checks against full
+// recomputation at the end.
+func FuzzMaintainerConsistency(f *testing.F) {
+	f.Add([]byte{1, 10, 5, 2, 20, 0, 0, 30, 9})
+	f.Add([]byte{0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		space := id.NewSpace(8)
+		m, err := NewPastryMaintainer(space, []id.ID{0}, []Peer{{ID: 255, Freq: 1}}, 2)
+		if err != nil {
+			t.Skip()
+		}
+		freqs := map[id.ID]float64{255: 1}
+		coreSet := map[id.ID]bool{0: true}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, p, v := data[i]%4, id.ID(data[i+1]), float64(data[i+2])
+			switch op {
+			case 0:
+				if !coreSet[p] {
+					m.SetFreq(p, v)
+					freqs[p] = v
+				}
+			case 1:
+				if !coreSet[p] {
+					m.Remove(p)
+					delete(freqs, p)
+				}
+			case 2:
+				m.SetCore(p, true)
+				coreSet[p] = true
+			case 3:
+				if coreSet[p] && p != 0 {
+					m.SetCore(p, false)
+					delete(coreSet, p)
+					// A demoted core with no recorded frequency
+					// disappears from the maintainer.
+					if _, hasF := freqs[p]; !hasF {
+						_ = p
+					}
+				}
+			}
+		}
+		got := m.Select()
+
+		var coreIDs []id.ID
+		for c := range coreSet {
+			coreIDs = append(coreIDs, c)
+		}
+		var peers []Peer
+		for p, fv := range freqs {
+			peers = append(peers, Peer{ID: p, Freq: fv})
+		}
+		want, err := SelectPastryGreedy(space, coreIDs, peers, 2)
+		if err != nil {
+			t.Skip()
+		}
+		if math.Abs(got.WeightedDist-want.WeightedDist) > 1e-9 {
+			t.Fatalf("incremental %g vs full %g (core=%v peers=%v)",
+				got.WeightedDist, want.WeightedDist, coreIDs, peers)
+		}
+	})
+}

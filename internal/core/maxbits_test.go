@@ -1,0 +1,129 @@
+package core
+
+// Tests at the 63-bit identifier extreme, where any unsigned arithmetic
+// slip (gap sums, jump-table limits, shift widths) would overflow.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+func TestChordMaxBitsAgreement(t *testing.T) {
+	space := id.NewSpace(63)
+	rng := rand.New(rand.NewSource(636363))
+	n := 60
+	seen := map[uint64]bool{}
+	peers := make([]Peer, 0, n)
+	for len(peers) < n {
+		v := rng.Uint64() >> 1 // 63-bit
+		if v == 0 || seen[v] {
+			continue
+		}
+		seen[v] = true
+		peers = append(peers, Peer{ID: id.ID(v), Freq: rng.Float64() * 10})
+	}
+	// Core includes the successor of self=0 plus spread-out ids near the
+	// top of the space (wrap-around stress).
+	succ := peers[0].ID
+	for _, p := range peers {
+		if p.ID < succ {
+			succ = p.ID
+		}
+	}
+	coreSet := []id.ID{succ, peers[10].ID, id.ID(uint64(1)<<62 + 12345)}
+
+	for _, k := range []int{1, 3, 7} {
+		fast, err := SelectChordFast(space, 0, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := SelectChordDP(space, 0, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast.WeightedDist-dp.WeightedDist) > 1e-6 {
+			t.Fatalf("k=%d: fast %g vs dp %g at 63 bits", k, fast.WeightedDist, dp.WeightedDist)
+		}
+		if ev := EvalChord(space, 0, coreSet, peers, fast.Aux); math.Abs(ev-fast.WeightedDist) > 1e-6 {
+			t.Fatalf("k=%d: eval %g vs reported %g at 63 bits", k, ev, fast.WeightedDist)
+		}
+	}
+}
+
+func TestPastryMaxBitsAgreement(t *testing.T) {
+	space := id.NewSpace(63)
+	rng := rand.New(rand.NewSource(717171))
+	n := 60
+	seen := map[uint64]bool{}
+	peers := make([]Peer, 0, n)
+	for len(peers) < n {
+		v := rng.Uint64() >> 1
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		peers = append(peers, Peer{ID: id.ID(v), Freq: rng.Float64() * 10})
+	}
+	coreSet := []id.ID{peers[0].ID, id.ID(uint64(1)<<62 - 1)}
+
+	for _, k := range []int{1, 4} {
+		gr, err := SelectPastryGreedy(space, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := SelectPastryDP(space, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gr.WeightedDist-dp.WeightedDist) > 1e-6 {
+			t.Fatalf("k=%d: greedy %g vs dp %g at 63 bits", k, gr.WeightedDist, dp.WeightedDist)
+		}
+		if ev := EvalPastry(space, coreSet, peers, gr.Aux); math.Abs(ev-gr.WeightedDist) > 1e-6 {
+			t.Fatalf("k=%d: eval %g vs reported %g at 63 bits", k, ev, gr.WeightedDist)
+		}
+	}
+	// Digit variants at 63 bits: digit sizes dividing 63.
+	for _, d := range []uint{3, 7, 9, 21} {
+		gr, err := SelectPastryGreedyDigits(space, coreSet, peers, 3, d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if ev := EvalPastryDigits(space, coreSet, peers, gr.Aux, d); math.Abs(ev-gr.WeightedDist) > 1e-6 {
+			t.Fatalf("d=%d: eval %g vs reported %g", d, ev, gr.WeightedDist)
+		}
+	}
+}
+
+// Wrap-around stress: peers clustered around the top of the ring where
+// gaps cross zero.
+func TestChordWraparoundCluster(t *testing.T) {
+	space := id.NewSpace(63)
+	top := uint64(1)<<63 - 1
+	self := id.ID(top - 5)
+	peers := []Peer{
+		{ID: id.ID(top - 4), Freq: 1}, // just ahead of self
+		{ID: id.ID(top), Freq: 3},     // at the very top
+		{ID: 0, Freq: 7},              // wraps to zero
+		{ID: 3, Freq: 2},
+		{ID: id.ID(uint64(1) << 40), Freq: 5},
+	}
+	coreSet := []id.ID{id.ID(top - 4)}
+	fast, err := SelectChordFast(space, self, coreSet, peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := SelectChordDP(space, self, coreSet, peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := BruteChord(space, self, coreSet, peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.WeightedDist-want) > 1e-9 || math.Abs(dp.WeightedDist-want) > 1e-9 {
+		t.Fatalf("wraparound: fast %g dp %g brute %g", fast.WeightedDist, dp.WeightedDist, want)
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"peercache/internal/id"
+	"peercache/internal/trie"
+)
+
+// ptable is the per-vertex table of the Pastry trie algorithms: cost[j] is
+// C(T_a, j), the minimum cost contributed within the subtree when j
+// auxiliary pointers are placed in it (eq. 3), and left[j] is the number
+// of those pointers assigned to child 0 (used for reconstruction; unused
+// for leaves and single-child vertices, where the split is forced).
+type ptable struct {
+	cost []float64
+	left []int32
+}
+
+// jmax returns the largest pointer count the table covers.
+func (t *ptable) jmax() int { return len(t.cost) - 1 }
+
+// mergeMode selects between the paper's two table-combination strategies.
+type mergeMode int
+
+const (
+	// mergeDP enumerates all j+1 splits per entry: the O(nk²b)
+	// algorithm of Section IV-A.
+	mergeDP mergeMode = iota
+	// mergeGreedy extends the optimal (j-1)-split by one pointer on
+	// either side, relying on the nesting property (P): the O(nkb)
+	// algorithm of Section IV-B.
+	mergeGreedy
+)
+
+// pastrySolver carries the shared state of one Pastry selection run.
+type pastrySolver struct {
+	tr   *trie.Trie
+	k    int
+	mode mergeMode
+	// digitBits is the digit size d: ids are sequences of base-2^d
+	// digits (footnote 2 of the paper) and distances count digits.
+	// 1 reproduces the binary exposition.
+	digitBits uint
+	// req marks vertices whose subtree must contain a neighbor (QoS
+	// delay bounds, Section IV-D). Nil when unconstrained.
+	req map[*trie.Vertex]bool
+}
+
+// buildPastryTrie constructs the id trie for an instance: every peer in V
+// as a weighted leaf, plus zero-frequency leaves for core neighbors the
+// node has not seen queries for (they still attract routes).
+func buildPastryTrie(in *instance) *trie.Trie {
+	tr := trie.New(in.space)
+	for _, p := range in.peers {
+		tr.Insert(p.ID, p.Freq, in.core[p.ID])
+	}
+	for _, c := range in.coreIDs {
+		if tr.Leaf(c) == nil {
+			tr.Insert(c, 0, true)
+		}
+	}
+	return tr
+}
+
+// penalty returns the edge term of eq. 2/3 for a child subtree receiving
+// j pointers: F(child) when the child contains no neighbor at all.
+//
+// With base-2^d digits the distance between two ids is the number of
+// digit-aligned ancestors of one that exclude the other, so only
+// subtrees rooted at digit boundaries charge their mass; intermediate
+// binary levels are free. digitBits == 1 charges every level, the
+// paper's binary presentation.
+func (s *pastrySolver) penalty(child *trie.Vertex, j int) float64 {
+	if j == 0 && !child.HasCore() && child.Depth()%s.digitBits == 0 {
+		return child.Freq()
+	}
+	return 0
+}
+
+// computeTable fills v.Tag with the ptable for vertex v, assuming child
+// tables are already computed.
+func (s *pastrySolver) computeTable(v *trie.Vertex) {
+	var t *ptable
+	switch {
+	case v.IsLeaf():
+		jmax := 0
+		if !v.IsCore() {
+			jmax = min(s.k, 1)
+		}
+		t = &ptable{cost: make([]float64, jmax+1)}
+	case v.Child(0) != nil && v.Child(1) != nil:
+		t = s.mergeChildren(v.Child(0), v.Child(1))
+	default:
+		c := v.Child(0)
+		if c == nil {
+			c = v.Child(1)
+		}
+		ct := c.Tag.(*ptable)
+		jmax := ct.jmax()
+		t = &ptable{cost: make([]float64, jmax+1)}
+		for j := 0; j <= jmax; j++ {
+			t.cost[j] = ct.cost[j] + s.penalty(c, j)
+		}
+	}
+	if s.req[v] && !v.HasCore() {
+		t.cost[0] = math.Inf(1)
+	}
+	v.Tag = t
+}
+
+// mergeChildren combines two child tables per eq. 3 (DP) or eq. 4
+// (greedy).
+func (s *pastrySolver) mergeChildren(l, r *trie.Vertex) *ptable {
+	lt, rt := l.Tag.(*ptable), r.Tag.(*ptable)
+	lmax, rmax := lt.jmax(), rt.jmax()
+	jmax := min(s.k, lmax+rmax)
+	t := &ptable{cost: make([]float64, jmax+1), left: make([]int32, jmax+1)}
+
+	at := func(i, j int) float64 {
+		return lt.cost[i] + s.penalty(l, i) + rt.cost[j] + s.penalty(r, j)
+	}
+
+	switch s.mode {
+	case mergeGreedy:
+		li, ri := 0, 0
+		t.cost[0] = at(0, 0)
+		for j := 1; j <= jmax; j++ {
+			a, b := math.Inf(1), math.Inf(1)
+			if li+1 <= lmax {
+				a = at(li+1, ri)
+			}
+			if ri+1 <= rmax {
+				b = at(li, ri+1)
+			}
+			if a <= b {
+				li++
+				t.cost[j] = a
+			} else {
+				ri++
+				t.cost[j] = b
+			}
+			t.left[j] = int32(li)
+		}
+	case mergeDP:
+		for j := 0; j <= jmax; j++ {
+			best, bestL := math.Inf(1), 0
+			lo := max(0, j-rmax)
+			hi := min(j, lmax)
+			for i := lo; i <= hi; i++ {
+				if c := at(i, j-i); c < best {
+					best, bestL = c, i
+				}
+			}
+			t.cost[j] = best
+			t.left[j] = int32(bestL)
+		}
+	}
+	return t
+}
+
+// solve computes all tables bottom-up and returns the root table.
+func (s *pastrySolver) solve() *ptable {
+	var rec func(v *trie.Vertex)
+	rec = func(v *trie.Vertex) {
+		if v == nil {
+			return
+		}
+		rec(v.Child(0))
+		rec(v.Child(1))
+		s.computeTable(v)
+	}
+	rec(s.tr.Root())
+	return s.tr.Root().Tag.(*ptable)
+}
+
+// reconstruct extracts the optimal j-pointer set below v.
+func reconstruct(v *trie.Vertex, j int, out *[]id.ID) {
+	if j == 0 || v == nil {
+		return
+	}
+	if v.IsLeaf() {
+		// j must be 1 on a selectable leaf by construction.
+		*out = append(*out, v.ID())
+		return
+	}
+	l, r := v.Child(0), v.Child(1)
+	if l == nil || r == nil {
+		c := l
+		if c == nil {
+			c = r
+		}
+		reconstruct(c, j, out)
+		return
+	}
+	li := int(v.Tag.(*ptable).left[j])
+	reconstruct(l, li, out)
+	reconstruct(r, j-li, out)
+}
+
+// selectPastry is the common driver for the Pastry entry points.
+// digitBits must divide the identifier length; bounds are expressed in
+// digit units.
+func selectPastry(space id.Space, core []id.ID, peers []Peer, k int, mode mergeMode, digitBits uint, bounds map[id.ID]uint) (Result, error) {
+	if digitBits == 0 || space.Bits()%digitBits != 0 {
+		return Result{}, fmt.Errorf("core: digit size %d does not divide %d-bit ids", digitBits, space.Bits())
+	}
+	in, err := newInstance(space, core, peers, k)
+	if err != nil {
+		return Result{}, err
+	}
+	tr := buildPastryTrie(in)
+	s := &pastrySolver{tr: tr, k: min(k, in.selectable), mode: mode, digitBits: digitBits}
+	if bounds != nil {
+		s.req, err = markRequired(tr, digitBits, bounds)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	root := s.solve()
+	j := min(s.k, root.jmax())
+	// More pointers never cost more; with exactly j = min(k, selectable)
+	// the root table entry is the optimum (Section IV).
+	wd := root.cost[j]
+	if math.IsInf(wd, 1) {
+		return Result{}, ErrInfeasible
+	}
+	aux := make([]id.ID, 0, j)
+	reconstruct(tr.Root(), j, &aux)
+	return in.result(aux, wd), nil
+}
+
+// markRequired translates per-peer distance bounds (in digit units) into
+// required-subtree marks: a peer with bound x needs a neighbor within
+// its digit-aligned ancestor subtree of height x digits (Section IV-D).
+// Bounds >= the digit length are vacuous. An unknown peer id is an
+// error.
+func markRequired(tr *trie.Trie, digitBits uint, bounds map[id.ID]uint) (map[*trie.Vertex]bool, error) {
+	req := make(map[*trie.Vertex]bool)
+	digits := tr.Space().Bits() / digitBits
+	for p, x := range bounds {
+		leaf := tr.Leaf(p)
+		if leaf == nil {
+			return nil, fmt.Errorf("core: QoS bound for unknown peer %d", p)
+		}
+		if x >= digits {
+			continue
+		}
+		v := leaf
+		for h := uint(0); h < x*digitBits; h++ {
+			v = v.Parent()
+		}
+		req[v] = true
+	}
+	return req, nil
+}
+
+// SelectPastryDP selects the optimal k auxiliary neighbors for a Pastry
+// node using the O(nk²b) dynamic program of Section IV-A. core is the set
+// N_s of core neighbors; peers is V with observed frequencies (peers that
+// are also core neighbors are allowed and are never re-selected). If k
+// exceeds the number of selectable peers, all of them are returned.
+func SelectPastryDP(space id.Space, core []id.ID, peers []Peer, k int) (Result, error) {
+	return selectPastry(space, core, peers, k, mergeDP, 1, nil)
+}
+
+// SelectPastryGreedy selects the optimal k auxiliary neighbors using the
+// O(nkb) algorithm of Section IV-B, which exploits the nesting property
+// (P). It returns the same cost as SelectPastryDP.
+func SelectPastryGreedy(space id.Space, core []id.ID, peers []Peer, k int) (Result, error) {
+	return selectPastry(space, core, peers, k, mergeGreedy, 1, nil)
+}
+
+// SelectPastryQoS selects the optimal k auxiliary neighbors subject to
+// per-peer distance bounds (Section IV-D): for each entry (p, x) in
+// bounds, the selection guarantees d(p, N ∪ A) <= x under the prefix
+// distance estimate. It returns ErrInfeasible when the bounds cannot be
+// met with k pointers.
+func SelectPastryQoS(space id.Space, core []id.ID, peers []Peer, k int, bounds map[id.ID]uint) (Result, error) {
+	return selectPastry(space, core, peers, k, mergeDP, 1, bounds)
+}
+
+// SelectPastryGreedyDigits is SelectPastryGreedy for identifiers viewed
+// as sequences of base-2^digitBits digits (footnote 2 of the paper):
+// distances count digits rather than bits. digitBits must divide the
+// identifier length. digitBits = 1 is exactly SelectPastryGreedy;
+// FreePastry deployments use digitBits = 4 (hex digits).
+func SelectPastryGreedyDigits(space id.Space, core []id.ID, peers []Peer, k int, digitBits uint) (Result, error) {
+	return selectPastry(space, core, peers, k, mergeGreedy, digitBits, nil)
+}
+
+// SelectPastryDPDigits is the dynamic-program counterpart of
+// SelectPastryGreedyDigits; both return the same optimal cost.
+func SelectPastryDPDigits(space id.Space, core []id.ID, peers []Peer, k int, digitBits uint) (Result, error) {
+	return selectPastry(space, core, peers, k, mergeDP, digitBits, nil)
+}
+
+// SelectPastryQoSDigits is SelectPastryQoS with digit-based distances;
+// bounds are expressed in digits.
+func SelectPastryQoSDigits(space id.Space, core []id.ID, peers []Peer, k int, digitBits uint, bounds map[id.ID]uint) (Result, error) {
+	return selectPastry(space, core, peers, k, mergeDP, digitBits, bounds)
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+// bruteDigits is the reference optimizer under digit distances.
+func bruteDigits(space id.Space, coreSet []id.ID, peers []Peer, k int, digitBits uint) float64 {
+	in, err := newInstance(space, coreSet, peers, k)
+	if err != nil {
+		panic(err)
+	}
+	best, _ := bruteForce(in.selectablePeers(), k, func(aux []id.ID) float64 {
+		return EvalPastryDigits(space, in.coreIDs, in.peers, aux, digitBits)
+	})
+	return best
+}
+
+func TestPastryDistDigits(t *testing.T) {
+	s := id.NewSpace(8)
+	tests := []struct {
+		u, v id.ID
+		d    uint
+		want uint
+	}{
+		{0b10110010, 0b10110010, 2, 0},
+		{0b10110010, 0b10110011, 2, 1}, // differ in last bit -> last digit
+		{0b10110010, 0b10111111, 2, 2}, // lcp 4 bits -> 4 bits left -> 2 digits
+		{0b00000000, 0b10000000, 4, 2}, // no shared prefix: all 2 hex digits
+		{0b00000000, 0b00001000, 4, 1},
+		{0b10110010, 0b10110010, 8, 0},
+		{0b10110010, 0b00110010, 8, 1}, // single 8-bit digit
+	}
+	for _, tt := range tests {
+		if got := s.PastryDistDigits(tt.u, tt.v, tt.d); got != tt.want {
+			t.Errorf("PastryDistDigits(%08b,%08b,d=%d) = %d, want %d", tt.u, tt.v, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestPastryDistDigitsPanicsOnBadDigit(t *testing.T) {
+	s := id.NewSpace(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-dividing digit size did not panic")
+		}
+	}()
+	s.PastryDistDigits(1, 2, 3)
+}
+
+func TestPastryDistDigitsOneEqualsBitDistance(t *testing.T) {
+	s := id.NewSpace(10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		u := id.ID(rng.Intn(1 << 10))
+		v := id.ID(rng.Intn(1 << 10))
+		if s.PastryDistDigits(u, v, 1) != s.PastryDist(u, v) {
+			t.Fatalf("digit-1 distance differs from bit distance for (%d,%d)", u, v)
+		}
+	}
+}
+
+// The headline correctness result for the footnote-2 extension: for
+// digit sizes 1, 2 and 4, greedy and DP both match brute force under the
+// digit-distance objective.
+func TestPastryDigitsMatchBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4141))
+	for trial := 0; trial < 200; trial++ {
+		bits := uint(4 + 4*rng.Intn(2)) // 4 or 8, divisible by 1,2,4
+		space := id.NewSpace(bits)
+		n := 3 + rng.Intn(10)
+		raw := rng.Perm(int(space.Size()))[:n+2]
+		peers := make([]Peer, n)
+		for i := range peers {
+			peers[i] = Peer{ID: id.ID(raw[i]), Freq: float64(rng.Intn(20))}
+		}
+		coreSet := []id.ID{id.ID(raw[n])}
+		if rng.Intn(2) == 0 {
+			coreSet = append(coreSet, peers[rng.Intn(n)].ID)
+		}
+		k := 1 + rng.Intn(3)
+		for _, d := range []uint{1, 2, 4} {
+			want := bruteDigits(space, coreSet, peers, k, d)
+			gr, err := SelectPastryGreedyDigits(space, coreSet, peers, k, d)
+			if err != nil {
+				t.Fatalf("trial %d d=%d: %v", trial, d, err)
+			}
+			dp, err := SelectPastryDPDigits(space, coreSet, peers, k, d)
+			if err != nil {
+				t.Fatalf("trial %d d=%d: %v", trial, d, err)
+			}
+			if math.Abs(gr.WeightedDist-want) > 1e-9 {
+				t.Fatalf("trial %d d=%d: greedy %g, brute %g", trial, d, gr.WeightedDist, want)
+			}
+			if math.Abs(dp.WeightedDist-want) > 1e-9 {
+				t.Fatalf("trial %d d=%d: dp %g, brute %g", trial, d, dp.WeightedDist, want)
+			}
+			// Reported cost must match the definitional evaluator.
+			if ev := EvalPastryDigits(space, coreSet, peers, gr.Aux, d); math.Abs(ev-gr.WeightedDist) > 1e-9 {
+				t.Fatalf("trial %d d=%d: eval %g vs reported %g", trial, d, ev, gr.WeightedDist)
+			}
+		}
+	}
+}
+
+func TestPastryDigitsRejectsBadDigitSize(t *testing.T) {
+	space := id.NewSpace(8)
+	peers := []Peer{{ID: 1, Freq: 1}}
+	if _, err := SelectPastryGreedyDigits(space, []id.ID{0}, peers, 1, 3); err == nil {
+		t.Error("digit size 3 over 8-bit ids accepted")
+	}
+	if _, err := SelectPastryGreedyDigits(space, []id.ID{0}, peers, 1, 0); err == nil {
+		t.Error("digit size 0 accepted")
+	}
+	if _, err := NewPastryMaintainerDigits(space, []id.ID{0}, peers, 1, 5); err == nil {
+		t.Error("maintainer digit size 5 over 8-bit ids accepted")
+	}
+}
+
+// Hex digits change the optimum: two peers in the same 4-bit branch are
+// "equally far" digit-wise, so mass concentrates differently than under
+// bit distance.
+func TestPastryDigitsChangeSelection(t *testing.T) {
+	space := id.NewSpace(8)
+	coreSet := []id.ID{0b00000000}
+	peers := []Peer{
+		// Under bit distance, 1000_0000 at f=6 beats covering the two
+		// 0b1111xxxx peers; under hex-digit distance the 1111 branch
+		// (combined f=10, both distance 2 digits) wins with one pointer
+		// covering both at distance <=1 digit... the optima may differ.
+		{ID: 0b11110000, Freq: 5},
+		{ID: 0b11110001, Freq: 5},
+		{ID: 0b10000000, Freq: 6},
+	}
+	bit, err := SelectPastryGreedy(space, coreSet, peers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := SelectPastryGreedyDigits(space, coreSet, peers, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must equal their own brute-force optimum; what they select
+	// can legitimately differ.
+	if want := bruteDigits(space, coreSet, peers, 1, 1); math.Abs(bit.WeightedDist-want) > 1e-9 {
+		t.Errorf("bit selection suboptimal: %g vs %g", bit.WeightedDist, want)
+	}
+	if want := bruteDigits(space, coreSet, peers, 1, 4); math.Abs(hex.WeightedDist-want) > 1e-9 {
+		t.Errorf("hex selection suboptimal: %g vs %g", hex.WeightedDist, want)
+	}
+}
+
+// QoS with digit bounds: brute-force cross-check on small instances.
+func TestPastryQoSDigitsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 100; trial++ {
+		space := id.NewSpace(8)
+		n := 3 + rng.Intn(8)
+		raw := rng.Perm(256)[:n+1]
+		peers := make([]Peer, n)
+		for i := range peers {
+			peers[i] = Peer{ID: id.ID(raw[i]), Freq: float64(rng.Intn(10))}
+		}
+		coreSet := []id.ID{id.ID(raw[n])}
+		k := 1 + rng.Intn(2)
+		const d = 2
+		bounds := map[id.ID]uint{}
+		for _, p := range peers {
+			if rng.Intn(4) == 0 {
+				bounds[p.ID] = uint(rng.Intn(4))
+			}
+		}
+		in, err := newInstance(space, coreSet, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := bruteForce(in.selectablePeers(), k, func(aux []id.ID) float64 {
+			for v, x := range bounds {
+				dd := space.Bits() / d
+				for _, w := range append(append([]id.ID{}, in.coreIDs...), aux...) {
+					if dw := space.PastryDistDigits(w, v, d); dw < dd {
+						dd = dw
+					}
+				}
+				if dd > x {
+					return math.Inf(1)
+				}
+			}
+			return EvalPastryDigits(space, in.coreIDs, in.peers, aux, d)
+		})
+		res, err := SelectPastryQoSDigits(space, coreSet, peers, k, d, bounds)
+		if err == ErrInfeasible {
+			if !math.IsInf(want, 1) {
+				t.Fatalf("trial %d: infeasible reported but brute found %g", trial, want)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.WeightedDist-want) > 1e-9 {
+			t.Fatalf("trial %d: QoS digits %g, brute %g", trial, res.WeightedDist, want)
+		}
+	}
+}
+
+// The incremental maintainer under hex digits must track full
+// recomputation.
+func TestMaintainerDigitsMatchesFull(t *testing.T) {
+	space := id.NewSpace(8)
+	rng := rand.New(rand.NewSource(4343))
+	m, err := NewPastryMaintainerDigits(space, []id.ID{0}, []Peer{{ID: 255, Freq: 1}}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := map[id.ID]float64{255: 1}
+	for step := 0; step < 300; step++ {
+		p := id.ID(rng.Intn(255) + 1)
+		f := float64(rng.Intn(10))
+		m.SetFreq(p, f)
+		freqs[p] = f
+		if step%25 != 0 {
+			continue
+		}
+		var peers []Peer
+		for pid, fv := range freqs {
+			peers = append(peers, Peer{ID: pid, Freq: fv})
+		}
+		want, err := SelectPastryGreedyDigits(space, []id.ID{0}, peers, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Select()
+		if math.Abs(got.WeightedDist-want.WeightedDist) > 1e-9 {
+			t.Fatalf("step %d: incremental %g vs full %g", step, got.WeightedDist, want.WeightedDist)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"peercache/internal/id"
+	"peercache/internal/trie"
+)
+
+// PastryMaintainer incrementally maintains the optimal auxiliary-neighbor
+// set for a Pastry node as peer popularities change and peers join or
+// leave (Section IV-C). Construction costs O(nkb); each subsequent update
+// recomputes only the tables on the root-to-leaf path of the affected
+// peer, O(bk) per update. Select returns the current optimum in O(kb).
+//
+// The maintainer is not safe for concurrent use; a node updates it from
+// its own event loop.
+type PastryMaintainer struct {
+	space  id.Space
+	k      int
+	tr     *trie.Trie
+	solver *pastrySolver
+}
+
+// NewPastryMaintainer builds a maintainer over the given initial instance.
+// The same validation as SelectPastryGreedy applies.
+func NewPastryMaintainer(space id.Space, core []id.ID, peers []Peer, k int) (*PastryMaintainer, error) {
+	return NewPastryMaintainerDigits(space, core, peers, k, 1)
+}
+
+// NewPastryMaintainerDigits is NewPastryMaintainer with base-2^digitBits
+// digit distances (footnote 2 of the paper). digitBits must divide the
+// identifier length.
+func NewPastryMaintainerDigits(space id.Space, core []id.ID, peers []Peer, k int, digitBits uint) (*PastryMaintainer, error) {
+	if digitBits == 0 || space.Bits()%digitBits != 0 {
+		return nil, fmt.Errorf("core: digit size %d does not divide %d-bit ids", digitBits, space.Bits())
+	}
+	in, err := newInstance(space, core, peers, k)
+	if err != nil {
+		return nil, err
+	}
+	tr := buildPastryTrie(in)
+	m := &PastryMaintainer{
+		space:  space,
+		k:      k,
+		tr:     tr,
+		solver: &pastrySolver{tr: tr, k: k, mode: mergeGreedy, digitBits: digitBits},
+	}
+	m.solver.solve()
+	return m, nil
+}
+
+// K returns the configured number of auxiliary pointers.
+func (m *PastryMaintainer) K() int { return m.k }
+
+// Len returns the number of peers currently tracked (including
+// zero-frequency core placeholders).
+func (m *PastryMaintainer) Len() int { return m.tr.Len() }
+
+// recomputePath refreshes the tables from v up to the root.
+func (m *PastryMaintainer) recomputePath(v *trie.Vertex) {
+	for u := v; u != nil; u = u.Parent() {
+		m.solver.computeTable(u)
+	}
+}
+
+// SetFreq records the current access frequency of peer p, inserting it if
+// unseen. It panics on negative frequency (mirroring the trie) and is the
+// O(bk) incremental step of Section IV-C.
+func (m *PastryMaintainer) SetFreq(p id.ID, f float64) {
+	if v := m.tr.UpdateFreq(p, f); v != nil {
+		m.recomputePath(v)
+		return
+	}
+	v := m.tr.Insert(p, f, false)
+	m.recomputePath(v)
+}
+
+// Remove forgets peer p. A core neighbor is kept as a zero-frequency
+// routing anchor (it still attracts routes); a regular peer is deleted
+// from the trie. Removing an unknown peer is a no-op.
+func (m *PastryMaintainer) Remove(p id.ID) {
+	v := m.tr.Leaf(p)
+	if v == nil {
+		return
+	}
+	if v.IsCore() {
+		m.tr.UpdateFreq(p, 0)
+		m.recomputePath(v)
+		return
+	}
+	surviving := m.tr.Remove(p)
+	m.recomputePath(surviving)
+}
+
+// SetCore marks or unmarks p as a core neighbor, inserting a
+// zero-frequency leaf when marking an unseen peer. Unmarking a peer that
+// has no recorded frequency removes it entirely.
+func (m *PastryMaintainer) SetCore(p id.ID, core bool) {
+	v := m.tr.Leaf(p)
+	if v == nil {
+		if !core {
+			return
+		}
+		v = m.tr.Insert(p, 0, true)
+		m.recomputePath(v)
+		return
+	}
+	if v.IsCore() == core {
+		return
+	}
+	if !core && v.Freq() == 0 {
+		surviving := m.tr.Remove(p)
+		m.recomputePath(surviving)
+		return
+	}
+	m.tr.SetCore(p, core)
+	m.recomputePath(v)
+}
+
+// Select returns the current optimal auxiliary set. The result matches
+// what SelectPastryGreedy would compute from scratch on the current state.
+func (m *PastryMaintainer) Select() Result {
+	root := m.tr.Root()
+	totalF := root.Freq()
+	t, ok := root.Tag.(*ptable)
+	if !ok || root.Leaves() == 0 {
+		return Result{Aux: []id.ID{}, Cost: totalF}
+	}
+	j := min(m.k, t.jmax())
+	wd := t.cost[j]
+	if math.IsInf(wd, 1) {
+		// Cannot happen without QoS constraints, which the maintainer
+		// does not support; defensive.
+		return Result{Aux: []id.ID{}, WeightedDist: wd, Cost: math.Inf(1)}
+	}
+	aux := make([]id.ID, 0, j)
+	reconstruct(root, j, &aux)
+	in := &instance{totalF: totalF}
+	return in.result(aux, wd)
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+// currentState mirrors the maintainer's state so a fresh full run can be
+// compared against the incremental result.
+type maintMirror struct {
+	freq map[id.ID]float64
+	core map[id.ID]bool
+}
+
+func (mm *maintMirror) instance() ([]id.ID, []Peer) {
+	var core []id.ID
+	for c := range mm.core {
+		core = append(core, c)
+	}
+	var peers []Peer
+	for p, f := range mm.freq {
+		peers = append(peers, Peer{ID: p, Freq: f})
+	}
+	return core, peers
+}
+
+// The incremental O(bk) maintainer must track SelectPastryGreedy exactly
+// across any interleaving of frequency updates, inserts, removals and
+// core changes (Section IV-C).
+func TestMaintainerMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1414))
+	for trial := 0; trial < 30; trial++ {
+		space := id.NewSpace(8)
+		k := 1 + rng.Intn(4)
+
+		mm := &maintMirror{freq: map[id.ID]float64{}, core: map[id.ID]bool{}}
+		// Seed: a couple of core neighbors and a few peers.
+		perm := rng.Perm(256)
+		mm.core[id.ID(perm[0])] = true
+		mm.core[id.ID(perm[1])] = true
+		for i := 2; i < 8; i++ {
+			mm.freq[id.ID(perm[i])] = float64(rng.Intn(10))
+		}
+		core, peers := mm.instance()
+		m, err := NewPastryMaintainer(space, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for step := 0; step < 200; step++ {
+			p := id.ID(perm[rng.Intn(40)])
+			switch rng.Intn(4) {
+			case 0: // set/insert frequency
+				if mm.core[p] {
+					break
+				}
+				f := float64(rng.Intn(10))
+				m.SetFreq(p, f)
+				mm.freq[p] = f
+			case 1: // remove
+				if mm.core[p] {
+					break
+				}
+				m.Remove(p)
+				delete(mm.freq, p)
+			case 2: // promote to core
+				m.SetCore(p, true)
+				mm.core[p] = true
+			case 3: // demote from core
+				if !mm.core[p] {
+					break
+				}
+				m.SetCore(p, false)
+				delete(mm.core, p)
+				if _, seen := mm.freq[p]; !seen {
+					// Maintainer drops zero-frequency ex-cores; mirror
+					// has nothing to do.
+					_ = seen
+				}
+			}
+			if step%20 != 0 {
+				continue
+			}
+			got := m.Select()
+			core, peers := mm.instance()
+			if len(core) == 0 && len(peers) == 0 {
+				continue
+			}
+			want, err := SelectPastryGreedy(space, core, peers, k)
+			if err != nil {
+				// Degenerate states (no neighbors possible) are skipped.
+				continue
+			}
+			if math.Abs(got.WeightedDist-want.WeightedDist) > 1e-9 {
+				t.Fatalf("trial %d step %d: incremental %g vs full %g", trial, step, got.WeightedDist, want.WeightedDist)
+			}
+			// The selected set must achieve the reported cost.
+			if ev := EvalPastry(space, core, peers, got.Aux); math.Abs(ev-got.WeightedDist) > 1e-9 {
+				t.Fatalf("trial %d step %d: eval %g vs reported %g", trial, step, ev, got.WeightedDist)
+			}
+		}
+	}
+}
+
+func TestMaintainerBasics(t *testing.T) {
+	space := id.NewSpace(4)
+	m, err := NewPastryMaintainer(space, []id.ID{0}, []Peer{{ID: 0b1111, Freq: 5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Errorf("K = %d, want 1", m.K())
+	}
+	res := m.Select()
+	if len(res.Aux) != 1 || res.Aux[0] != 0b1111 {
+		t.Fatalf("Aux = %v, want [1111]", res.Aux)
+	}
+	if res.WeightedDist != 0 {
+		t.Errorf("WeightedDist = %g, want 0", res.WeightedDist)
+	}
+
+	// A hotter peer appears: the pointer must move.
+	m.SetFreq(0b1000, 50)
+	res = m.Select()
+	if len(res.Aux) != 1 || res.Aux[0] != 0b1000 {
+		t.Fatalf("after update Aux = %v, want [1000]", res.Aux)
+	}
+
+	// Remove it: pointer moves back.
+	m.Remove(0b1000)
+	res = m.Select()
+	if len(res.Aux) != 1 || res.Aux[0] != 0b1111 {
+		t.Fatalf("after removal Aux = %v, want [1111]", res.Aux)
+	}
+}
+
+func TestMaintainerRemoveCoreKeepsAnchor(t *testing.T) {
+	space := id.NewSpace(4)
+	m, err := NewPastryMaintainer(space, []id.ID{0b0011}, []Peer{
+		{ID: 0b0011, Freq: 4}, {ID: 0b1100, Freq: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Remove(0b0011) // core: frequency zeroed, anchor kept
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (core anchor retained)", m.Len())
+	}
+	res := m.Select()
+	if len(res.Aux) != 1 || res.Aux[0] != 0b1100 {
+		t.Fatalf("Aux = %v, want [1100]", res.Aux)
+	}
+}
+
+func TestMaintainerRemoveUnknownNoop(t *testing.T) {
+	space := id.NewSpace(4)
+	m, err := NewPastryMaintainer(space, []id.ID{0}, []Peer{{ID: 3, Freq: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Remove(9)
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestMaintainerSetCoreUnseenThenDemote(t *testing.T) {
+	space := id.NewSpace(4)
+	m, err := NewPastryMaintainer(space, []id.ID{0}, []Peer{{ID: 3, Freq: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetCore(12, true)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	m.SetCore(12, false) // zero-frequency ex-core disappears
+	if m.Len() != 2 {
+		t.Fatalf("Len after demote = %d, want 2", m.Len())
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+// bruteQoS is a brute-force optimizer that discards subsets violating the
+// distance bounds, for verifying the QoS-constrained algorithms.
+func bruteQoSPastry(space id.Space, core []id.ID, peers []Peer, k int, bounds map[id.ID]uint) float64 {
+	in, err := newInstance(space, core, peers, k)
+	if err != nil {
+		panic(err)
+	}
+	dist := func(v id.ID, aux []id.ID) uint {
+		d := space.Bits()
+		for _, w := range in.coreIDs {
+			if dw := space.PastryDist(w, v); dw < d {
+				d = dw
+			}
+		}
+		for _, w := range aux {
+			if dw := space.PastryDist(w, v); dw < d {
+				d = dw
+			}
+		}
+		return d
+	}
+	best, _ := bruteForce(in.selectablePeers(), k, func(aux []id.ID) float64 {
+		for v, x := range bounds {
+			if dist(v, aux) > x {
+				return math.Inf(1)
+			}
+		}
+		return EvalPastry(space, in.coreIDs, in.peers, aux)
+	})
+	return best
+}
+
+func bruteQoSChord(space id.Space, self id.ID, core []id.ID, peers []Peer, k int, bounds map[id.ID]uint) float64 {
+	p, err := newChordProblem(space, self, core, peers, k)
+	if err != nil {
+		panic(err)
+	}
+	dist := func(v id.ID, aux []id.ID) float64 {
+		gv := space.Gap(self, v)
+		best := math.Inf(1)
+		for _, w := range append(append([]id.ID{}, p.in.coreIDs...), aux...) {
+			if space.Gap(self, w) > gv {
+				continue
+			}
+			if d := float64(space.ChordDist(w, v)); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	best, _ := bruteForce(p.in.selectablePeers(), min(k, p.in.selectable), func(aux []id.ID) float64 {
+		for v, x := range bounds {
+			if dist(v, aux) > float64(x) {
+				return math.Inf(1)
+			}
+		}
+		return EvalChord(space, self, p.in.coreIDs, p.in.peers, aux)
+	})
+	return best
+}
+
+func randBounds(rng *rand.Rand, peers []Peer, bits uint) map[id.ID]uint {
+	bounds := make(map[id.ID]uint)
+	for _, p := range peers {
+		if rng.Intn(4) == 0 {
+			bounds[p.ID] = uint(rng.Intn(int(bits)))
+		}
+	}
+	return bounds
+}
+
+func TestPastryQoSMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1515))
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		space, core, peers, k := randPastryInstance(rng)
+		bounds := randBounds(rng, peers, space.Bits())
+		want := bruteQoSPastry(space, core, peers, k, bounds)
+		res, err := SelectPastryQoS(space, core, peers, k, bounds)
+		if errors.Is(err, ErrInfeasible) {
+			if !math.IsInf(want, 1) {
+				t.Fatalf("trial %d: reported infeasible but brute found %g", trial, want)
+			}
+			infeasible++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		feasible++
+		if math.Abs(res.WeightedDist-want) > 1e-9 {
+			t.Fatalf("trial %d: QoS cost %g, brute %g", trial, res.WeightedDist, want)
+		}
+		// Every bound must actually hold for the returned set.
+		for v, x := range bounds {
+			d := space.Bits()
+			for _, w := range append(append([]id.ID{}, core...), res.Aux...) {
+				if dw := space.PastryDist(w, v); dw < d {
+					d = dw
+				}
+			}
+			if d > x {
+				t.Fatalf("trial %d: bound %d for peer %d violated (d=%d)", trial, x, v, d)
+			}
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Logf("coverage note: feasible=%d infeasible=%d", feasible, infeasible)
+	}
+}
+
+func TestChordQoSMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1616))
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		space, self, core, peers, k := randChordInstance(rng, true)
+		bounds := randBounds(rng, peers, space.Bits())
+		want := bruteQoSChord(space, self, core, peers, k, bounds)
+		res, err := SelectChordQoS(space, self, core, peers, k, bounds)
+		if errors.Is(err, ErrInfeasible) {
+			if !math.IsInf(want, 1) {
+				t.Fatalf("trial %d: reported infeasible but brute found %g", trial, want)
+			}
+			infeasible++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		feasible++
+		if math.Abs(res.WeightedDist-want) > 1e-9 {
+			t.Fatalf("trial %d: QoS cost %g, brute %g", trial, res.WeightedDist, want)
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Logf("coverage note: feasible=%d infeasible=%d", feasible, infeasible)
+	}
+}
+
+func TestQoSNeverCheaperThanUnconstrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(1717))
+	for trial := 0; trial < 100; trial++ {
+		space, core, peers, k := randPastryInstance(rng)
+		bounds := randBounds(rng, peers, space.Bits())
+		free, err := SelectPastryGreedy(space, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SelectPastryQoS(space, core, peers, k, bounds)
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WeightedDist < free.WeightedDist-1e-9 {
+			t.Fatalf("trial %d: constrained %g cheaper than unconstrained %g", trial, res.WeightedDist, free.WeightedDist)
+		}
+	}
+}
+
+func TestQoSEmptyBoundsEqualsUnconstrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(1818))
+	for trial := 0; trial < 50; trial++ {
+		space, core, peers, k := randPastryInstance(rng)
+		free, err := SelectPastryDP(space, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SelectPastryQoS(space, core, peers, k, map[id.ID]uint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.WeightedDist-free.WeightedDist) > 1e-9 {
+			t.Fatalf("trial %d: empty-bounds QoS %g vs plain %g", trial, res.WeightedDist, free.WeightedDist)
+		}
+
+		spaceC, self, coreC, peersC, kC := randChordInstance(rng, true)
+		freeC, err := SelectChordDP(spaceC, self, coreC, peersC, kC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resC, err := SelectChordQoS(spaceC, self, coreC, peersC, kC, map[id.ID]uint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(resC.WeightedDist-freeC.WeightedDist) > 1e-9 {
+			t.Fatalf("trial %d: chord empty-bounds QoS %g vs plain %g", trial, resC.WeightedDist, freeC.WeightedDist)
+		}
+	}
+}
+
+func TestQoSUnknownPeerErrors(t *testing.T) {
+	space := id.NewSpace(4)
+	if _, err := SelectPastryQoS(space, []id.ID{0}, []Peer{{ID: 1, Freq: 1}}, 1, map[id.ID]uint{9: 1}); err == nil {
+		t.Error("Pastry QoS with unknown peer: no error")
+	}
+	if _, err := SelectChordQoS(space, 0, []id.ID{1}, []Peer{{ID: 2, Freq: 1}}, 1, map[id.ID]uint{9: 1}); err == nil {
+		t.Error("Chord QoS with unknown peer: no error")
+	}
+}
+
+func TestPastryQoSForcesColdSubtree(t *testing.T) {
+	// All mass at 1111; a bound on cold peer 0001 forces a pointer into
+	// its height-0 subtree (the leaf itself), overriding pure frequency.
+	space := id.NewSpace(4)
+	core := []id.ID{0b1000}
+	peers := []Peer{
+		{ID: 0b1111, Freq: 100},
+		{ID: 0b0001, Freq: 1},
+	}
+	res, err := SelectPastryQoS(space, core, peers, 1, map[id.ID]uint{0b0001: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 1 || res.Aux[0] != 0b0001 {
+		t.Fatalf("Aux = %v, want [0001]", res.Aux)
+	}
+	// With k=2 both can be satisfied.
+	res, err = SelectPastryQoS(space, core, peers, 2, map[id.ID]uint{0b0001: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 2 {
+		t.Fatalf("Aux = %v, want both peers", res.Aux)
+	}
+}
+
+func TestChordQoSInfeasibleDetected(t *testing.T) {
+	// Two far-apart cold peers each demanding distance 0 but only one
+	// pointer available: infeasible.
+	space := id.NewSpace(6)
+	core := []id.ID{1}
+	peers := []Peer{
+		{ID: 20, Freq: 1},
+		{ID: 40, Freq: 1},
+	}
+	_, err := SelectChordQoS(space, 0, core, peers, 1, map[id.ID]uint{20: 0, 40: 0})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	res, err := SelectChordQoS(space, 0, core, peers, 2, map[id.ID]uint{20: 0, 40: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aux) != 2 {
+		t.Fatalf("Aux = %v, want both", res.Aux)
+	}
+}

@@ -1,0 +1,377 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/sim"
+	"peercache/internal/stats"
+	"peercache/internal/workload"
+)
+
+// ChurnConfig parameterizes a churn-intensive experiment. Defaults match
+// Section VI-C: alternating crash/re-join with exponential mean 900 s,
+// 4 queries per second network-wide, stabilization every 25 s, auxiliary
+// recomputation every 62.5 s.
+type ChurnConfig struct {
+	Protocol Protocol
+	// N is the total node population (about half are up at any time in
+	// steady state, as nodes alternate between alive and dead).
+	N int
+	// Bits is the identifier length (default 32).
+	Bits uint
+	// K is the auxiliary budget; 0 means KFactor·log2(N).
+	K int
+	// KFactor scales the default K (default 1).
+	KFactor int
+	// Alpha is the zipf exponent (default 1.2).
+	Alpha float64
+	// ItemsPerNode sets the corpus size (default 16).
+	ItemsPerNode int
+	// NumRankings is the number of popularity rankings (default 5, the
+	// paper's Chord setting).
+	NumRankings int
+	// MeanLifetime is the mean up-time and down-time in seconds
+	// (default 900).
+	MeanLifetime float64
+	// QueryRate is the network-wide query arrival rate per second
+	// (default 4).
+	QueryRate float64
+	// StabilizeEvery is the per-node stabilization period in seconds
+	// (default 25).
+	StabilizeEvery float64
+	// RecomputeEvery is the per-node auxiliary recomputation period in
+	// seconds (default 62.5).
+	RecomputeEvery float64
+	// HistoryWindow, when positive, resets each node's observed
+	// frequency history this many seconds after it was last used for a
+	// recomputation — a sliding window that discards observations of
+	// owners long since churned away (Section III: frequencies are kept
+	// "within a time window"). 0 keeps cumulative per-lifetime history.
+	HistoryWindow float64
+	// Warmup is the simulated time before measurements start (default
+	// 900 s, one mean lifetime).
+	Warmup float64
+	// Duration is the measured simulated time (default 3600 s).
+	Duration float64
+	// LocalityAware applies to Pastry only (default true).
+	LocalityAware *bool
+	// SuccListLen is the Chord successor-list length (default 8).
+	SuccListLen int
+	// Seed drives every random stream. Churn and query streams are
+	// identical across schemes for a paired comparison.
+	Seed int64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Bits == 0 {
+		c.Bits = 32
+	}
+	if c.KFactor == 0 {
+		c.KFactor = 1
+	}
+	if c.K == 0 {
+		c.K = c.KFactor * Log2(c.N)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.2
+	}
+	if c.ItemsPerNode == 0 {
+		c.ItemsPerNode = 16
+	}
+	if c.NumRankings == 0 {
+		c.NumRankings = 5
+	}
+	if c.MeanLifetime == 0 {
+		c.MeanLifetime = 900
+	}
+	if c.QueryRate == 0 {
+		c.QueryRate = 4
+	}
+	if c.StabilizeEvery == 0 {
+		c.StabilizeEvery = 25
+	}
+	if c.RecomputeEvery == 0 {
+		c.RecomputeEvery = 62.5
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 900
+	}
+	if c.Duration == 0 {
+		c.Duration = 3600
+	}
+	if c.LocalityAware == nil {
+		t := true
+		c.LocalityAware = &t
+	}
+	return c
+}
+
+// ChurnStats summarizes the measured window of one churn run.
+type ChurnStats struct {
+	// Queries is the number of lookups issued in the measured window.
+	Queries int
+	// Failures is the number of lookups that never reached the owner.
+	Failures int
+	// AvgEffHops is the average effective cost (hops plus timeout
+	// retries) over successful lookups.
+	AvgEffHops float64
+	// AvgTimeouts is the average number of timeout retries per
+	// successful lookup.
+	AvgTimeouts float64
+	// MembershipEvents counts crashes plus rejoins over the whole run.
+	MembershipEvents int
+}
+
+// ChurnComparison pairs the two schemes on identical churn and query
+// streams.
+type ChurnComparison struct {
+	Config    ChurnConfig
+	K         int
+	Oblivious ChurnStats
+	Optimal   ChurnStats
+	// Reduction is the percentage reduction in average effective hops
+	// of Optimal versus Oblivious.
+	Reduction float64
+}
+
+// RunChurn simulates one scheme under churn and returns its statistics.
+func RunChurn(cfg ChurnConfig, scheme Scheme) (ChurnStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 4 {
+		return ChurnStats{}, fmt.Errorf("experiment: N = %d too small for churn", cfg.N)
+	}
+	if cfg.K < 0 {
+		return ChurnStats{}, fmt.Errorf("experiment: negative K = %d", cfg.K)
+	}
+	if scheme == CoreOnly {
+		// Valid but uninteresting: aux stays empty; supported for
+		// completeness.
+		_ = scheme
+	}
+	space := id.NewSpace(cfg.Bits)
+	nodeRNG := randx.New(randx.DeriveSeed(cfg.Seed, "nodes"))
+	nodeIDs := make([]id.ID, 0, cfg.N)
+	for _, raw := range randx.UniqueIDs(nodeRNG, cfg.N, space.Size()) {
+		nodeIDs = append(nodeIDs, id.ID(raw))
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+
+	ov, err := buildOverlay(cfg.Protocol, space, nodeIDs, overlayOpts{
+		locality: *cfg.LocalityAware, succList: cfg.SuccListLen, seed: cfg.Seed,
+	})
+	if err != nil {
+		return ChurnStats{}, err
+	}
+
+	w := workload.New(workload.Config{
+		Space:       space,
+		NumItems:    cfg.ItemsPerNode * cfg.N,
+		Alpha:       cfg.Alpha,
+		NumRankings: cfg.NumRankings,
+		Seed:        randx.DeriveSeed(cfg.Seed, "workload"),
+	})
+	for _, x := range nodeIDs {
+		w.RankingOf(x)
+	}
+
+	churnRNG := randx.New(randx.DeriveSeed(cfg.Seed, "churn"))
+	queryRNG := randx.New(randx.DeriveSeed(cfg.Seed, "queries"))
+	phaseRNG := randx.New(randx.DeriveSeed(cfg.Seed, "phases"))
+	selRNG := randx.New(randx.DeriveSeed(cfg.Seed, "oblivious"))
+
+	eng := sim.New()
+	var st ChurnStats
+	end := cfg.Warmup + cfg.Duration
+
+	// Start at steady state: each node is down with probability 1/2.
+	// Draws happen in sorted id order for determinism.
+	down := make(map[id.ID]bool, cfg.N)
+	for _, x := range nodeIDs {
+		if churnRNG.Intn(2) == 0 {
+			down[x] = true
+		}
+	}
+	for _, x := range nodeIDs {
+		if down[x] {
+			if err := ov.Crash(x); err != nil {
+				return ChurnStats{}, err
+			}
+		}
+	}
+	ov.StabilizeAll()
+
+	// Membership lifecycle: alternate alive/dead with Exp(MeanLifetime)
+	// durations.
+	var lifecycle func(x id.ID)
+	lifecycle = func(x id.ID) {
+		eng.After(randx.Exp(churnRNG, cfg.MeanLifetime), func() {
+			if eng.Now() > end {
+				return
+			}
+			if down[x] {
+				if err := ov.Rejoin(x); err == nil {
+					down[x] = false
+					st.MembershipEvents++
+				}
+			} else {
+				if ov.NumAlive() > 2 { // never kill the whole overlay
+					if err := ov.Crash(x); err == nil {
+						down[x] = true
+						st.MembershipEvents++
+					}
+				}
+			}
+			lifecycle(x)
+		})
+	}
+	for _, x := range nodeIDs {
+		lifecycle(x)
+	}
+
+	// Per-node stabilization with random phase.
+	for _, x := range nodeIDs {
+		x := x
+		eng.After(phaseRNG.Float64()*cfg.StabilizeEvery, func() {
+			eng.Every(cfg.StabilizeEvery, func() bool {
+				if eng.Now() > end {
+					return false
+				}
+				ov.Stabilize(x)
+				return true
+			})
+			ov.Stabilize(x)
+		})
+	}
+
+	// Per-node auxiliary recomputation with random phase. With a
+	// history window configured, the counter is rotated after use so
+	// each selection sees roughly the last HistoryWindow seconds.
+	lastReset := make(map[id.ID]float64, cfg.N)
+	recompute := func(x id.ID) {
+		if down[x] {
+			return
+		}
+		peers := ov.Observed(x)
+		if len(peers) == 0 {
+			return
+		}
+		var aux []id.ID
+		switch scheme {
+		case CoreOnly:
+			aux = nil
+		case Oblivious:
+			// Random per-range placement over the live membership; no
+			// query information is used (Section VI-A).
+			aux = ov.SelectOblivious(x, ov.AliveIDs(), cfg.K, selRNG)
+		case Optimal:
+			var err error
+			aux, err = ov.SelectOptimal(x, peers, clampK(cfg.K, len(peers)))
+			if err != nil {
+				aux = nil
+			}
+			// When the observed history is smaller than the budget the
+			// paper's algorithm cannot fill every slot (A_s ⊆ V − N_s);
+			// spend the leftovers like the oblivious scheme does so the
+			// comparison holds the routing-state size fixed.
+			if len(aux) < cfg.K {
+				have := make(map[id.ID]bool, len(aux))
+				for _, a := range aux {
+					have[a] = true
+				}
+				for _, a := range ov.SelectOblivious(x, ov.AliveIDs(), cfg.K, selRNG) {
+					if len(aux) >= cfg.K {
+						break
+					}
+					if !have[a] {
+						have[a] = true
+						aux = append(aux, a)
+					}
+				}
+			}
+		}
+		_ = ov.SetAux(x, aux)
+		if cfg.HistoryWindow > 0 && eng.Now()-lastReset[x] >= cfg.HistoryWindow {
+			ov.ResetObserved(x)
+			lastReset[x] = eng.Now()
+		}
+	}
+	for _, x := range nodeIDs {
+		x := x
+		eng.After(phaseRNG.Float64()*cfg.RecomputeEvery, func() {
+			eng.Every(cfg.RecomputeEvery, func() bool {
+				if eng.Now() > end {
+					return false
+				}
+				recompute(x)
+				return true
+			})
+			recompute(x)
+		})
+	}
+
+	// Poisson query arrivals at the network-wide rate.
+	var nextQuery func()
+	nextQuery = func() {
+		eng.After(randx.Exp(queryRNG, 1/cfg.QueryRate), func() {
+			if eng.Now() > end {
+				return
+			}
+			alive := ov.AliveIDs()
+			if len(alive) == 0 {
+				nextQuery()
+				return
+			}
+			s := alive[queryRNG.Intn(len(alive))]
+			key := w.Key(w.SampleItem(queryRNG, s))
+			hops, timeouts, dest, ok, err := ov.RouteTo(s, key)
+			if err == nil {
+				if ok {
+					ov.Observe(s, dest)
+				}
+				if eng.Now() > cfg.Warmup {
+					st.Queries++
+					if !ok {
+						st.Failures++
+					} else {
+						st.AvgEffHops += float64(hops + timeouts)
+						st.AvgTimeouts += float64(timeouts)
+					}
+				}
+			}
+			nextQuery()
+		})
+	}
+	nextQuery()
+
+	eng.RunUntil(end)
+
+	if succ := st.Queries - st.Failures; succ > 0 {
+		st.AvgEffHops /= float64(succ)
+		st.AvgTimeouts /= float64(succ)
+	}
+	return st, nil
+}
+
+// RunChurnComparison runs Oblivious and Optimal on identical churn and
+// query streams and reports the paper's reduction metric.
+func RunChurnComparison(cfg ChurnConfig) (ChurnComparison, error) {
+	cfg = cfg.withDefaults()
+	obl, err := RunChurn(cfg, Oblivious)
+	if err != nil {
+		return ChurnComparison{}, err
+	}
+	opt, err := RunChurn(cfg, Optimal)
+	if err != nil {
+		return ChurnComparison{}, err
+	}
+	return ChurnComparison{
+		Config:    cfg,
+		K:         cfg.K,
+		Oblivious: obl,
+		Optimal:   opt,
+		Reduction: stats.PercentReduction(obl.AvgEffHops, opt.AvgEffHops),
+	}, nil
+}

@@ -1,0 +1,38 @@
+package experiment
+
+import "fmt"
+
+// ExtDigits reruns the stable Pastry comparison at several routing digit
+// sizes (footnote 2 of the paper; FreePastry deploys with hex digits,
+// d = 4). Larger digits shorten every path — one digit resolves per hop
+// — which compresses the room between the oblivious baseline and the
+// optimum, so the relative reduction shrinks as d grows while the
+// absolute hop counts improve across the board.
+func ExtDigits(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	t := Table{
+		Title:   fmt.Sprintf("Extension — Pastry digit size (footnote 2): stable reduction vs d (n = %d, k = log n)", n),
+		Columns: []string{"digit bits", "avg hops oblivious", "avg hops optimal", "reduction"},
+	}
+	for _, d := range []uint{1, 2, 4} {
+		res, err := RunStable(StableConfig{
+			Protocol:     Pastry,
+			N:            n,
+			Bits:         scale.Bits,
+			DigitBits:    d,
+			ItemsPerNode: scale.ItemsPerNode,
+			NumRankings:  1,
+			Seed:         scale.Seed + int64(d),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("ext-digits d=%d: %w", d, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(d),
+			hops(res.PerScheme[Oblivious].AvgHops),
+			hops(res.PerScheme[Optimal].AvgHops),
+			pct(res.Reduction),
+		})
+	}
+	return t, nil
+}

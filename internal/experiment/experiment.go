@@ -1,0 +1,216 @@
+// Package experiment reproduces the paper's evaluation (Section VI): it
+// builds Chord or Pastry overlays, generates zipfian workloads, selects
+// auxiliary neighbors with the paper's optimal algorithms and with the
+// frequency-oblivious baseline, and measures average lookup hops in
+// stable and churn-intensive regimes.
+//
+// Stable-mode results are exact expectations: every (source, destination)
+// pair is routed once and weighted by its query probability, so the
+// reported averages carry no sampling noise. Churn-mode results are
+// sampled from an event-driven simulation with the paper's parameters
+// (exponential lifetimes, periodic stabilization and recomputation).
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peercache/internal/baseline"
+	"peercache/internal/chord"
+	"peercache/internal/core"
+	"peercache/internal/freq"
+	"peercache/internal/id"
+	"peercache/internal/pastry"
+)
+
+// Protocol selects the overlay under test.
+type Protocol int
+
+const (
+	// Chord is the paper's own event-driven Chord variant (Section
+	// II-B).
+	Chord Protocol = iota
+	// Pastry is the FreePastry-style prefix-routing overlay (Section
+	// II-A).
+	Pastry
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Chord:
+		return "chord"
+	case Pastry:
+		return "pastry"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Scheme selects how auxiliary neighbors are chosen.
+type Scheme int
+
+const (
+	// CoreOnly uses no auxiliary neighbors at all.
+	CoreOnly Scheme = iota
+	// Oblivious is the frequency-oblivious baseline of Section VI-A.
+	Oblivious
+	// Optimal is the paper's frequency-aware optimal selection.
+	Optimal
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case CoreOnly:
+		return "core-only"
+	case Oblivious:
+		return "oblivious"
+	case Optimal:
+		return "optimal"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// overlay abstracts the two simulators behind the operations the harness
+// needs.
+type overlay interface {
+	Space() id.Space
+	AliveIDs() []id.ID
+	NumAlive() int
+	Owner(key id.ID) (id.ID, bool)
+	SetAux(x id.ID, aux []id.ID) error
+	StabilizeAll()
+	Stabilize(x id.ID)
+	Crash(x id.ID) error
+	Rejoin(x id.ID) error
+	// CoreOf returns the node's core neighbor set for selection.
+	CoreOf(x id.ID) []id.ID
+	// RouteTo routes a lookup for key from node from.
+	RouteTo(from, key id.ID) (hops, timeouts int, dest id.ID, ok bool, err error)
+	// Observe records a lookup destination in the node's counter.
+	Observe(x, dest id.ID)
+	// Observed returns the node's observed (peer, count) history.
+	Observed(x id.ID) []core.Peer
+	// ResetObserved clears the node's counter.
+	ResetObserved(x id.ID)
+	// SelectOptimal runs the paper's selector for node x.
+	SelectOptimal(x id.ID, peers []core.Peer, k int) ([]id.ID, error)
+	// SelectOblivious runs the frequency-oblivious baseline for x.
+	SelectOblivious(x id.ID, candidates []id.ID, k int, rng *rand.Rand) []id.ID
+}
+
+// chordOverlay adapts chord.Network.
+type chordOverlay struct{ nw *chord.Network }
+
+func (o chordOverlay) Space() id.Space                 { return o.nw.Space() }
+func (o chordOverlay) AliveIDs() []id.ID               { return o.nw.AliveIDs() }
+func (o chordOverlay) NumAlive() int                   { return o.nw.NumAlive() }
+func (o chordOverlay) Owner(key id.ID) (id.ID, bool)   { return o.nw.Owner(key) }
+func (o chordOverlay) SetAux(x id.ID, a []id.ID) error { return o.nw.SetAux(x, a) }
+func (o chordOverlay) StabilizeAll()                   { o.nw.StabilizeAll() }
+func (o chordOverlay) Stabilize(x id.ID)               { o.nw.Stabilize(x) }
+func (o chordOverlay) Crash(x id.ID) error             { return o.nw.Crash(x) }
+func (o chordOverlay) Rejoin(x id.ID) error            { return o.nw.Rejoin(x) }
+func (o chordOverlay) CoreOf(x id.ID) []id.ID          { return o.nw.Node(x).Fingers() }
+
+func (o chordOverlay) RouteTo(from, key id.ID) (int, int, id.ID, bool, error) {
+	res, err := o.nw.Route(from, key)
+	return res.Hops, res.Timeouts, res.Dest, res.OK, err
+}
+
+func (o chordOverlay) Observe(x, dest id.ID) { o.nw.Node(x).Counter.Observe(dest) }
+
+func (o chordOverlay) Observed(x id.ID) []core.Peer {
+	return peersFromSnapshot(o.nw.Node(x).Counter.Snapshot())
+}
+
+func (o chordOverlay) ResetObserved(x id.ID) { o.nw.Node(x).Counter.Reset() }
+
+func (o chordOverlay) SelectOptimal(x id.ID, peers []core.Peer, k int) ([]id.ID, error) {
+	res, err := core.SelectChordFast(o.nw.Space(), x, o.CoreOf(x), peers, k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Aux, nil
+}
+
+func (o chordOverlay) SelectOblivious(x id.ID, candidates []id.ID, k int, rng *rand.Rand) []id.ID {
+	return baseline.ChordOblivious(o.nw.Space(), x, o.CoreOf(x), candidates, k, rng)
+}
+
+// pastryOverlay adapts pastry.Network.
+type pastryOverlay struct {
+	nw *pastry.Network
+}
+
+func (o pastryOverlay) digitBits() uint { return o.nw.Config().DigitBits }
+
+func (o pastryOverlay) Space() id.Space                 { return o.nw.Space() }
+func (o pastryOverlay) AliveIDs() []id.ID               { return o.nw.AliveIDs() }
+func (o pastryOverlay) NumAlive() int                   { return o.nw.NumAlive() }
+func (o pastryOverlay) Owner(key id.ID) (id.ID, bool)   { return o.nw.Owner(key) }
+func (o pastryOverlay) SetAux(x id.ID, a []id.ID) error { return o.nw.SetAux(x, a) }
+func (o pastryOverlay) StabilizeAll()                   { o.nw.StabilizeAll() }
+func (o pastryOverlay) Stabilize(x id.ID)               { o.nw.Stabilize(x) }
+func (o pastryOverlay) Crash(x id.ID) error             { return o.nw.Crash(x) }
+func (o pastryOverlay) Rejoin(x id.ID) error            { return o.nw.Rejoin(x) }
+func (o pastryOverlay) CoreOf(x id.ID) []id.ID          { return o.nw.Node(x).CoreNeighbors() }
+
+func (o pastryOverlay) RouteTo(from, key id.ID) (int, int, id.ID, bool, error) {
+	res, err := o.nw.Route(from, key)
+	return res.Hops, res.Timeouts, res.Dest, res.OK, err
+}
+
+func (o pastryOverlay) Observe(x, dest id.ID) { o.nw.Node(x).Counter.Observe(dest) }
+
+func (o pastryOverlay) Observed(x id.ID) []core.Peer {
+	return peersFromSnapshot(o.nw.Node(x).Counter.Snapshot())
+}
+
+func (o pastryOverlay) ResetObserved(x id.ID) { o.nw.Node(x).Counter.Reset() }
+
+func (o pastryOverlay) SelectOptimal(x id.ID, peers []core.Peer, k int) ([]id.ID, error) {
+	res, err := core.SelectPastryGreedyDigits(o.nw.Space(), o.CoreOf(x), peers, k, o.digitBits())
+	if err != nil {
+		return nil, err
+	}
+	return res.Aux, nil
+}
+
+func (o pastryOverlay) SelectOblivious(x id.ID, candidates []id.ID, k int, rng *rand.Rand) []id.ID {
+	return baseline.PastryObliviousDigits(o.nw.Space(), x, o.CoreOf(x), candidates, k, o.digitBits(), rng)
+}
+
+// Log2 returns floor(log2(n)), the paper's k = log n unit.
+func Log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func peersFromSnapshot(entries []freq.Entry) []core.Peer {
+	peers := make([]core.Peer, 0, len(entries))
+	for _, e := range entries {
+		peers = append(peers, core.Peer{ID: e.Peer, Freq: float64(e.Count)})
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	return peers
+}
+
+// clampK bounds k by the number of available peers so degenerate early
+// windows do not error out.
+func clampK(k, available int) int {
+	if k > available {
+		return available
+	}
+	if k < 0 {
+		return 0
+	}
+	return k
+}

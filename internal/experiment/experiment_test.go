@@ -1,0 +1,329 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLog2(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10}, {2048, 11}, {1500, 10},
+	}
+	for _, tt := range tests {
+		if got := Log2(tt.n); got != tt.want {
+			t.Errorf("Log2(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Chord.String() != "chord" || Pastry.String() != "pastry" {
+		t.Error("protocol stringers wrong")
+	}
+	if CoreOnly.String() != "core-only" || Oblivious.String() != "oblivious" || Optimal.String() != "optimal" {
+		t.Error("scheme stringers wrong")
+	}
+	if !strings.Contains(Protocol(9).String(), "9") || !strings.Contains(Scheme(9).String(), "9") {
+		t.Error("unknown-value stringers wrong")
+	}
+}
+
+func smallStable(p Protocol) StableConfig {
+	return StableConfig{Protocol: p, N: 96, Bits: 16, ItemsPerNode: 4, Seed: 11}
+}
+
+// The central claim of the paper, at test scale: the optimal selection
+// strictly beats the frequency-oblivious baseline, which beats having no
+// auxiliary neighbors.
+func TestStableSchemeOrdering(t *testing.T) {
+	for _, p := range []Protocol{Chord, Pastry} {
+		res, err := RunStable(smallStable(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := res.PerScheme[CoreOnly].AvgHops
+		obl := res.PerScheme[Oblivious].AvgHops
+		opt := res.PerScheme[Optimal].AvgHops
+		if !(opt < obl && obl < core) {
+			t.Fatalf("%v: expected opt < obl < core, got %.3f / %.3f / %.3f", p, opt, obl, core)
+		}
+		if res.Reduction <= 0 {
+			t.Errorf("%v: non-positive reduction %.2f", p, res.Reduction)
+		}
+		if res.ReductionVsCore <= res.Reduction {
+			t.Errorf("%v: reduction vs core (%.2f) should exceed reduction vs oblivious (%.2f)",
+				p, res.ReductionVsCore, res.Reduction)
+		}
+	}
+}
+
+func TestStableDeterministic(t *testing.T) {
+	a, err := RunStable(smallStable(Chord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStable(smallStable(Chord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{CoreOnly, Oblivious, Optimal} {
+		if a.PerScheme[s].AvgHops != b.PerScheme[s].AvgHops {
+			t.Fatalf("scheme %v not deterministic: %v vs %v", s, a.PerScheme[s], b.PerScheme[s])
+		}
+	}
+}
+
+func TestStableSeedChangesResult(t *testing.T) {
+	a, err := RunStable(smallStable(Chord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallStable(Chord)
+	cfg.Seed = 12
+	b, err := RunStable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PerScheme[Optimal].AvgHops == b.PerScheme[Optimal].AvgHops {
+		t.Error("different seeds produced identical averages (suspicious)")
+	}
+}
+
+func TestStableSampledObservationsClose(t *testing.T) {
+	exact, err := RunStable(smallStable(Chord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallStable(Chord)
+	cfg.ObserveQueries = 512
+	sampled, err := RunStable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selectors optimize the estimated distance, so sampled
+	// frequencies can shift routed hops slightly in either direction —
+	// but with 512 observations they must land close to the exact-mass
+	// result.
+	e, sm := exact.PerScheme[Optimal].AvgHops, sampled.PerScheme[Optimal].AvgHops
+	if math.Abs(e-sm) > 0.1*e {
+		t.Errorf("sampled selection far from exact: %.3f vs %.3f", sm, e)
+	}
+	if sampled.Reduction <= 0 {
+		t.Errorf("sampled reduction %.2f not positive", sampled.Reduction)
+	}
+}
+
+func TestStableKZeroMatchesCoreOnly(t *testing.T) {
+	cfg := smallStable(Chord)
+	cfg.K = -1 // sentinel below: withDefaults treats 0 as "derive"
+	if _, err := RunStable(cfg); err == nil {
+		t.Error("negative K accepted")
+	}
+}
+
+func TestStableErrors(t *testing.T) {
+	if _, err := RunStable(StableConfig{Protocol: Chord, N: 1, Bits: 8}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := RunStable(StableConfig{Protocol: Protocol(9), N: 16, Bits: 8, ItemsPerNode: 1}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestChurnBasics(t *testing.T) {
+	cfg := ChurnConfig{Protocol: Chord, N: 48, Bits: 16, ItemsPerNode: 4, Warmup: 200, Duration: 1200, Seed: 5}
+	st, err := RunChurn(cfg, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries == 0 {
+		t.Fatal("no queries measured")
+	}
+	if st.MembershipEvents == 0 {
+		t.Fatal("no churn happened")
+	}
+	if st.AvgEffHops <= 0 {
+		t.Fatalf("AvgEffHops = %g", st.AvgEffHops)
+	}
+	if float64(st.Failures) > 0.1*float64(st.Queries) {
+		t.Errorf("too many failures: %d/%d", st.Failures, st.Queries)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{Protocol: Chord, N: 48, Bits: 16, ItemsPerNode: 4, Warmup: 100, Duration: 600, Seed: 6}
+	a, err := RunChurn(cfg, Oblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChurn(cfg, Oblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("churn run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// Paired comparison: churn and query streams must be identical across
+// schemes, so both runs see the same number of queries and membership
+// events.
+func TestChurnPairedStreams(t *testing.T) {
+	cfg := ChurnConfig{Protocol: Chord, N: 48, Bits: 16, ItemsPerNode: 4, Warmup: 100, Duration: 900, Seed: 7}
+	cmp, err := RunChurnComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Oblivious.Queries != cmp.Optimal.Queries {
+		t.Errorf("query streams diverged: %d vs %d", cmp.Oblivious.Queries, cmp.Optimal.Queries)
+	}
+	if cmp.Oblivious.MembershipEvents != cmp.Optimal.MembershipEvents {
+		t.Errorf("churn streams diverged: %d vs %d", cmp.Oblivious.MembershipEvents, cmp.Optimal.MembershipEvents)
+	}
+	if math.IsNaN(cmp.Reduction) {
+		t.Error("NaN reduction")
+	}
+}
+
+func TestChurnErrors(t *testing.T) {
+	if _, err := RunChurn(ChurnConfig{Protocol: Chord, N: 2, Bits: 8}, Optimal); err == nil {
+		t.Error("tiny N accepted for churn")
+	}
+}
+
+func TestChurnPastrySupported(t *testing.T) {
+	cfg := ChurnConfig{Protocol: Pastry, N: 48, Bits: 16, ItemsPerNode: 4, Warmup: 100, Duration: 600, Seed: 8}
+	st, err := RunChurn(cfg, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries == 0 {
+		t.Error("no pastry churn queries measured")
+	}
+}
+
+func testScale() Scale {
+	return Scale{
+		Sizes:        []int{48, 96},
+		FixedN:       96,
+		Bits:         16,
+		ItemsPerNode: 2,
+		Warmup:       100,
+		Duration:     400,
+		Seed:         3,
+	}
+}
+
+func TestFiguresProduceTables(t *testing.T) {
+	scale := testScale()
+	for name, fn := range map[string]func(Scale) (Table, error){
+		"fig3": Fig3, "fig4": Fig4, "fig5": Fig5, "fig6": Fig6,
+	} {
+		tb, err := fn(scale)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tb.Rows) == 0 || len(tb.Columns) == 0 {
+			t.Fatalf("%s: empty table", name)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Fatalf("%s: row width %d != %d columns", name, len(row), len(tb.Columns))
+			}
+		}
+		var sb strings.Builder
+		if err := tb.Render(&sb); err != nil {
+			t.Fatalf("%s render: %v", name, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, tb.Columns[0]) || !strings.Contains(out, "---") {
+			t.Errorf("%s: render output malformed:\n%s", name, out)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a     long-column") {
+		t.Errorf("header = %q", lines[1])
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x,with comma", "1"}, {"y", "2"}},
+	}
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "# demo\na,b\n\"x,with comma\",1\ny,2\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}
+
+// The sliding history window must change selection inputs: a windowed
+// run differs from a cumulative-history run on the same streams.
+func TestChurnHistoryWindowTakesEffect(t *testing.T) {
+	base := ChurnConfig{Protocol: Chord, N: 64, Bits: 16, ItemsPerNode: 2,
+		QueryRate: 64, Warmup: 100, Duration: 900, Seed: 21}
+	cum, err := RunChurn(base, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed := base
+	windowed.HistoryWindow = 125
+	win, err := RunChurn(windowed, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same paired streams, so query counts match; the selections (and
+	// therefore hop sums) should differ.
+	if cum.Queries != win.Queries {
+		t.Fatalf("query streams diverged: %d vs %d", cum.Queries, win.Queries)
+	}
+	if cum.AvgEffHops == win.AvgEffHops {
+		t.Error("history window had no effect on routing costs (suspicious)")
+	}
+}
+
+// churnRates implements the two readings of the paper's "4 queries per
+// second" plus overrides.
+func TestChurnRatesReadings(t *testing.T) {
+	var s Scale
+	rate, window := s.churnRates(1024)
+	if rate != 4*1024/2 || window != 250 {
+		t.Errorf("defaults = (%g, %g), want (2048, 250)", rate, window)
+	}
+	s.QueryRatePerNode = -1
+	rate, _ = s.churnRates(1024)
+	if rate != 4 {
+		t.Errorf("network-wide reading = %g, want 4", rate)
+	}
+	s.QueryRatePerNode = 10
+	s.HistoryWindow = 60
+	rate, window = s.churnRates(100)
+	if rate != 10*100/2 || window != 60 {
+		t.Errorf("overrides = (%g, %g), want (500, 60)", rate, window)
+	}
+}

@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"peercache/internal/core"
+	"peercache/internal/freq"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/stats"
+	"peercache/internal/workload"
+)
+
+// This file holds extension experiments beyond the paper's four figures:
+// the QoS premium sweep (Sections IV-D / V-C give the algorithms but no
+// evaluation), the eq. 6 estimate-quality ablation (how conservative the
+// selection-time distance bound is against real routed hops), and the
+// Space-Saving capacity ablation (Section III suggests streaming top-n
+// tracking; this measures what constrained memory costs in selection
+// quality).
+
+// ExtQoS sweeps the fraction of peers carrying a tight delay bound and
+// reports the cost premium the bounds impose on the optimal selection,
+// plus where the bounds become infeasible.
+func ExtQoS(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	bits := scale.Bits
+	if bits == 0 {
+		bits = 32
+	}
+	space := id.NewSpace(bits)
+	rng := randx.New(randx.DeriveSeed(scale.Seed, "ext-qos"))
+
+	raw := randx.UniqueIDs(rng, n+16, space.Size())
+	self := id.ID(raw[n+15])
+	weights := randx.ZipfWeights(n, 1.2)
+	perm := rng.Perm(n)
+	peers := make([]core.Peer, n)
+	for i := range peers {
+		peers[i] = core.Peer{ID: id.ID(raw[i]), Freq: weights[perm[i]] * 1e6}
+	}
+	var coreSet []id.ID
+	succ := peers[0].ID
+	best := space.Gap(self, succ)
+	for _, p := range peers[1:] {
+		if g := space.Gap(self, p.ID); g < best {
+			succ, best = p.ID, g
+		}
+	}
+	coreSet = append(coreSet, succ)
+	for i := 0; i < 10; i++ {
+		coreSet = append(coreSet, id.ID(raw[n+i]))
+	}
+	k := 2 * Log2(n)
+
+	free, err := core.SelectChordDP(space, self, coreSet, peers, k)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		Title:   fmt.Sprintf("Extension — QoS premium: Chord, n = %d, k = %d, bound d <= 3", n, k),
+		Columns: []string{"bounded peers", "cost premium", "premium %", "feasible"},
+	}
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.20, 0.40} {
+		bounded := int(frac * float64(n))
+		if bounded < 1 {
+			bounded = 1
+		}
+		bounds := make(map[id.ID]uint, bounded)
+		// Bound the *least* popular peers — the adversarial case, since
+		// the unconstrained optimum ignores them.
+		byFreq := append([]core.Peer(nil), peers...)
+		sort.Slice(byFreq, func(i, j int) bool { return byFreq[i].Freq < byFreq[j].Freq })
+		for i := 0; i < bounded; i++ {
+			bounds[byFreq[i].ID] = 3
+		}
+		res, err := core.SelectChordQoS(space, self, coreSet, peers, k, bounds)
+		row := []string{fmt.Sprintf("%d (%.0f%%)", bounded, frac*100)}
+		if err != nil {
+			row = append(row, "-", "-", "no")
+		} else {
+			premium := res.Cost - free.Cost
+			row = append(row,
+				fmt.Sprintf("%.0f", premium),
+				fmt.Sprintf("%.2f%%", 100*premium/free.Cost),
+				"yes")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ExtEstimate measures how conservative the selection-time distance
+// estimates are: for random (source, destination) pairs it compares the
+// eq. 6 / prefix estimates against the hops the simulators actually take.
+func ExtEstimate(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	bits := scale.Bits
+	if bits == 0 {
+		bits = 32
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Extension — estimate quality: mean routed hops vs mean estimate (n = %d)", n),
+		Columns: []string{"protocol", "mean estimate", "mean routed", "estimate >= routed", "mean slack"},
+	}
+	for _, proto := range []Protocol{Chord, Pastry} {
+		space := id.NewSpace(bits)
+		rng := randx.New(randx.DeriveSeed(scale.Seed, "ext-estimate"+proto.String()))
+		nodeIDs := make([]id.ID, 0, n)
+		for _, raw := range randx.UniqueIDs(rng, n, space.Size()) {
+			nodeIDs = append(nodeIDs, id.ID(raw))
+		}
+		sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+		ov, err := buildOverlay(proto, space, nodeIDs, overlayOpts{locality: true, seed: scale.Seed})
+		if err != nil {
+			return Table{}, err
+		}
+		var est, routed stats.Running
+		holds := 0
+		trials := 4000
+		for i := 0; i < trials; i++ {
+			from := nodeIDs[rng.Intn(n)]
+			to := nodeIDs[rng.Intn(n)]
+			if from == to {
+				continue
+			}
+			var e float64
+			if proto == Chord {
+				e = float64(space.ChordDist(from, to))
+			} else {
+				e = float64(space.PastryDist(from, to))
+			}
+			hops, timeouts, dest, ok, err := ov.RouteTo(from, to)
+			if err != nil || !ok || dest != to || timeouts != 0 {
+				return Table{}, fmt.Errorf("ext-estimate: clean lookup failed (%v, ok=%v)", err, ok)
+			}
+			est.Add(e)
+			routed.Add(float64(hops))
+			if e >= float64(hops) {
+				holds++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			proto.String(),
+			fmt.Sprintf("%.3f", est.Mean()),
+			fmt.Sprintf("%.3f", routed.Mean()),
+			fmt.Sprintf("%.1f%%", 100*float64(holds)/float64(est.N())),
+			fmt.Sprintf("%.3f", est.Mean()-routed.Mean()),
+		})
+	}
+	return t, nil
+}
+
+// ExtSketch measures the selection-quality cost of constrained-memory
+// frequency tracking: nodes observe a sampled query stream through a
+// Space-Saving sketch of varying capacity and the resulting optimal
+// selection is scored against exact counting.
+func ExtSketch(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	bits := scale.Bits
+	if bits == 0 {
+		bits = 32
+	}
+	items := scale.ItemsPerNode
+	if items == 0 {
+		items = 16
+	}
+	space := id.NewSpace(bits)
+	rng := randx.New(randx.DeriveSeed(scale.Seed, "ext-sketch"))
+
+	raw := randx.UniqueIDs(rng, n, space.Size())
+	nodeIDs := make([]id.ID, n)
+	for i, r := range raw {
+		nodeIDs[i] = id.ID(r)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	self := nodeIDs[0]
+
+	w := workload.New(workload.Config{
+		Space:    space,
+		NumItems: items * n,
+		Alpha:    1.2,
+		Seed:     randx.DeriveSeed(scale.Seed, "ext-sketch-items"),
+	})
+	// Ownership: predecessor among the node set.
+	owner := func(key id.ID) id.ID {
+		i := sort.Search(len(nodeIDs), func(i int) bool { return nodeIDs[i] > key })
+		if i == 0 {
+			i = len(nodeIDs)
+		}
+		return nodeIDs[i-1]
+	}
+
+	var coreSet []id.ID
+	coreSet = append(coreSet, nodeIDs[1]) // successor of self
+	for i := 2; i < len(nodeIDs); i *= 2 {
+		coreSet = append(coreSet, nodeIDs[i])
+	}
+	k := Log2(n)
+
+	// One query stream observed through every counter simultaneously.
+	exact := freq.NewExact()
+	capacities := []int{8, 16, 32, 64, 256}
+	sketches := make([]*freq.SpaceSaving, len(capacities))
+	for i, c := range capacities {
+		sketches[i] = freq.NewSpaceSaving(c)
+	}
+	const observations = 20000
+	for q := 0; q < observations; q++ {
+		dest := owner(w.Key(w.SampleItem(rng, self)))
+		if dest == self {
+			continue
+		}
+		exact.Observe(dest)
+		for _, s := range sketches {
+			s.Observe(dest)
+		}
+	}
+
+	toPeers := func(entries []freq.Entry) []core.Peer {
+		peers := make([]core.Peer, 0, len(entries))
+		for _, e := range entries {
+			peers = append(peers, core.Peer{ID: e.Peer, Freq: float64(e.Count)})
+		}
+		return peers
+	}
+	truePeers := toPeers(exact.Snapshot())
+	// Score any selection against the *true* frequencies.
+	score := func(aux []id.ID) float64 {
+		return core.EvalChord(space, self, coreSet, truePeers, aux)
+	}
+	baselineRes, err := core.SelectChordFast(space, self, coreSet, truePeers, k)
+	if err != nil {
+		return Table{}, err
+	}
+	exactScore := score(baselineRes.Aux)
+
+	t := Table{
+		Title:   fmt.Sprintf("Extension — Space-Saving capacity vs selection quality (n = %d, k = %d, %d observations)", n, k, observations),
+		Columns: []string{"counter", "memory (entries)", "weighted distance", "vs exact"},
+	}
+	t.Rows = append(t.Rows, []string{"exact", fmt.Sprint(exact.Distinct()), fmt.Sprintf("%.0f", exactScore), "+0.0%"})
+	for i, s := range sketches {
+		peers := toPeers(s.Snapshot())
+		kEff := k
+		if kEff > len(peers) {
+			kEff = len(peers)
+		}
+		res, err := core.SelectChordFast(space, self, coreSet, peers, kEff)
+		if err != nil {
+			return Table{}, err
+		}
+		sc := score(res.Aux)
+		overhead := "+0.0%"
+		if exactScore > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", 100*(sc-exactScore)/exactScore)
+		}
+		if math.IsInf(sc, 1) {
+			overhead = "inf"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("space-saving-%d", capacities[i]),
+			fmt.Sprint(capacities[i]),
+			fmt.Sprintf("%.0f", sc),
+			overhead,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtQoS(t *testing.T) {
+	tb, err := ExtQoS(Scale{FixedN: 128, Bits: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	// Premiums must be non-negative and non-decreasing while feasible.
+	prev := -1.0
+	for _, row := range tb.Rows {
+		if row[3] == "no" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad premium cell %q", row[1])
+		}
+		if v < 0 {
+			t.Errorf("negative premium %g", v)
+		}
+		if v < prev-1e-9 {
+			t.Errorf("premium decreased: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestExtEstimate(t *testing.T) {
+	tb, err := ExtEstimate(Scale{FixedN: 128, Bits: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (chord, pastry)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		// The estimate is an upper bound in the steady state: the holds
+		// column must be 100% for chord; pastry's leaf-set shortcut can
+		// only shorten routes, so it must hold there too.
+		if !strings.HasPrefix(row[3], "100.0%") {
+			t.Errorf("%s: estimate bound violated in %s of pairs", row[0], row[3])
+		}
+		est, _ := strconv.ParseFloat(row[1], 64)
+		routed, _ := strconv.ParseFloat(row[2], 64)
+		if est < routed {
+			t.Errorf("%s: mean estimate %.3f below mean routed %.3f", row[0], est, routed)
+		}
+	}
+}
+
+func TestExtSketch(t *testing.T) {
+	tb, err := ExtSketch(Scale{FixedN: 128, Bits: 20, ItemsPerNode: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (exact + 5 capacities)", len(tb.Rows))
+	}
+	// Larger capacity must never be worse than much smaller capacity by
+	// more than noise; the largest capacity should be within 10% of
+	// exact.
+	last := tb.Rows[len(tb.Rows)-1]
+	overhead := strings.TrimSuffix(strings.TrimPrefix(last[3], "+"), "%")
+	v, err := strconv.ParseFloat(overhead, 64)
+	if err != nil {
+		t.Fatalf("bad overhead cell %q", last[3])
+	}
+	if v > 10 {
+		t.Errorf("space-saving-256 overhead %.1f%% too large", v)
+	}
+}
+
+func TestExtReplication(t *testing.T) {
+	tb, err := ExtReplication(Scale{FixedN: 128, Bits: 20, ItemsPerNode: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	plain := parse(tb.Rows[0][1])
+	repl := parse(tb.Rows[1][1])
+	aux := parse(tb.Rows[2][1])
+	if repl >= plain {
+		t.Errorf("replication did not reduce hops: %.3f vs %.3f", repl, plain)
+	}
+	if aux >= plain {
+		t.Errorf("pointer caching did not reduce hops: %.3f vs %.3f", aux, plain)
+	}
+	// Replication must pay real update traffic; pointer caching none.
+	if parse(tb.Rows[1][3]) <= 0 {
+		t.Error("replication hot-update cost should be positive")
+	}
+	if tb.Rows[2][3] != "0.0" {
+		t.Error("pointer caching should have zero update cost")
+	}
+}
+
+func TestExtDigits(t *testing.T) {
+	tb, err := ExtDigits(Scale{FixedN: 96, Bits: 16, ItemsPerNode: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (d = 1, 2, 4)", len(tb.Rows))
+	}
+	// Absolute hop counts must drop as digits grow (one digit per hop),
+	// and every digit size must still show a positive reduction.
+	prevOpt := 1e9
+	for _, row := range tb.Rows {
+		opt, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[2])
+		}
+		if opt >= prevOpt {
+			t.Errorf("optimal hops did not drop with digit size: %.3f after %.3f", opt, prevOpt)
+		}
+		prevOpt = opt
+		red, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad reduction cell %q", row[3])
+		}
+		if red <= 0 {
+			t.Errorf("d=%s: non-positive reduction %q", row[0], row[3])
+		}
+	}
+}
+
+func TestExtPortability(t *testing.T) {
+	tb, err := ExtPortability(Scale{FixedN: 96, Bits: 20, ItemsPerNode: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 overlays", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		obl, err1 := strconv.ParseFloat(row[1], 64)
+		opt, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad cells in %v", row)
+		}
+		if opt >= obl {
+			t.Errorf("%s: optimal %.3f not better than oblivious %.3f", row[0], opt, obl)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: one paper figure regenerated as
+// rows of numbers.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV: a comment line with the title, the
+// header row, then the data rows.
+func (t Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Scale tunes how heavy the figure reproductions are. The zero value
+// gives the paper's full settings; tests and benches shrink it.
+type Scale struct {
+	// Sizes overrides the swept n values (Fig. 3/5); nil keeps the
+	// paper's.
+	Sizes []int
+	// FixedN overrides the fixed n of the k sweeps (Fig. 4/6; paper:
+	// 1024).
+	FixedN int
+	// Bits overrides the id length (paper: 32).
+	Bits uint
+	// ItemsPerNode overrides the corpus density (default 16).
+	ItemsPerNode int
+	// Warmup and Duration override the churn windows (paper-scale
+	// defaults: 900 s and 3600 s).
+	Warmup, Duration float64
+	// QueryRatePerNode overrides the churn query rate per live node
+	// (default 4, reading the paper's "4 queries per second" per node;
+	// the network-wide rate is this times the expected live population
+	// n/2). Set negative to force the network-wide-4/s reading.
+	QueryRatePerNode float64
+	// HistoryWindow overrides the churn observation window in seconds
+	// (default 250 — four recomputation periods; Section III keeps
+	// frequencies "within a time window").
+	HistoryWindow float64
+	// Seed shifts every random stream.
+	Seed int64
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", v) }
+func hops(v float64) string { return fmt.Sprintf("%.3f", v) }
+func (s Scale) sizes(def []int) []int {
+	if len(s.Sizes) > 0 {
+		return s.Sizes
+	}
+	return def
+}
+func (s Scale) fixedN() int {
+	if s.FixedN > 0 {
+		return s.FixedN
+	}
+	return 1024
+}
+
+// churnRates resolves the churn query rate and history window for a
+// population of n nodes.
+func (s Scale) churnRates(n int) (queryRate, window float64) {
+	perNode := s.QueryRatePerNode
+	switch {
+	case perNode < 0:
+		queryRate = 4 // the network-wide reading of Section VI-C
+	case perNode == 0:
+		queryRate = 4 * float64(n) / 2
+	default:
+		queryRate = perNode * float64(n) / 2
+	}
+	window = s.HistoryWindow
+	if window == 0 {
+		window = 250
+	}
+	return queryRate, window
+}
+
+// Fig3 reproduces Figure 3: Pastry, percentage reduction in average hops
+// versus n, with k = log n, for alpha = 1.2 and 0.91, identical item
+// popularity ranking at all nodes.
+func Fig3(scale Scale) (Table, error) {
+	t := Table{
+		Title:   "Figure 3 — Pastry: % reduction in avg hops vs n (k = log n)",
+		Columns: []string{"n", "k", "reduction a=1.2", "reduction a=0.91", "avg hops obliv (1.2)", "avg hops opt (1.2)"},
+	}
+	for _, n := range scale.sizes([]int{256, 512, 1024, 2048}) {
+		var row []string
+		var r12 StableResult
+		for i, alpha := range []float64{1.2, 0.91} {
+			res, err := RunStable(StableConfig{
+				Protocol:     Pastry,
+				N:            n,
+				Bits:         scale.Bits,
+				Alpha:        alpha,
+				ItemsPerNode: scale.ItemsPerNode,
+				NumRankings:  1,
+				Seed:         scale.Seed + int64(n),
+			})
+			if err != nil {
+				return Table{}, fmt.Errorf("fig3 n=%d alpha=%g: %w", n, alpha, err)
+			}
+			if i == 0 {
+				r12 = res
+				row = append(row, fmt.Sprint(n), fmt.Sprint(res.K), pct(res.Reduction))
+			} else {
+				row = append(row, pct(res.Reduction))
+			}
+		}
+		row = append(row, hops(r12.PerScheme[Oblivious].AvgHops), hops(r12.PerScheme[Optimal].AvgHops))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: Pastry, percentage reduction versus k for
+// k in {log n, 2 log n, 3 log n} at fixed n.
+func Fig4(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	t := Table{
+		Title:   fmt.Sprintf("Figure 4 — Pastry: %% reduction in avg hops vs k (n = %d)", n),
+		Columns: []string{"k", "reduction a=1.2", "reduction a=0.91"},
+	}
+	for _, factor := range []int{1, 2, 3} {
+		row := []string{fmt.Sprintf("%d·log n = %d", factor, factor*Log2(n))}
+		for _, alpha := range []float64{1.2, 0.91} {
+			res, err := RunStable(StableConfig{
+				Protocol:     Pastry,
+				N:            n,
+				Bits:         scale.Bits,
+				KFactor:      factor,
+				Alpha:        alpha,
+				ItemsPerNode: scale.ItemsPerNode,
+				NumRankings:  1,
+				Seed:         scale.Seed + int64(factor),
+			})
+			if err != nil {
+				return Table{}, fmt.Errorf("fig4 factor=%d alpha=%g: %w", factor, alpha, err)
+			}
+			row = append(row, pct(res.Reduction))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: Chord, percentage reduction versus n with
+// k = log n, in a stable system and under heavy churn, with five
+// distinct per-node popularity rankings.
+func Fig5(scale Scale) (Table, error) {
+	t := Table{
+		Title:   "Figure 5 — Chord: % reduction in avg hops vs n (k = log n)",
+		Columns: []string{"n", "k", "reduction stable", "reduction churn", "churn queries", "churn fail%"},
+	}
+	for _, n := range scale.sizes([]int{128, 256, 512, 1024}) {
+		stable, err := RunStable(StableConfig{
+			Protocol:     Chord,
+			N:            n,
+			Bits:         scale.Bits,
+			ItemsPerNode: scale.ItemsPerNode,
+			NumRankings:  5,
+			Seed:         scale.Seed + int64(n),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("fig5 stable n=%d: %w", n, err)
+		}
+		rate, window := scale.churnRates(n)
+		churn, err := RunChurnComparison(ChurnConfig{
+			Protocol:      Chord,
+			N:             n,
+			Bits:          scale.Bits,
+			ItemsPerNode:  scale.ItemsPerNode,
+			NumRankings:   5,
+			QueryRate:     rate,
+			HistoryWindow: window,
+			Warmup:        scale.Warmup,
+			Duration:      scale.Duration,
+			Seed:          scale.Seed + int64(n),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("fig5 churn n=%d: %w", n, err)
+		}
+		failPct := 0.0
+		if churn.Optimal.Queries > 0 {
+			failPct = 100 * float64(churn.Optimal.Failures) / float64(churn.Optimal.Queries)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(stable.K),
+			pct(stable.Reduction), pct(churn.Reduction),
+			fmt.Sprint(churn.Optimal.Queries), fmt.Sprintf("%.1f%%", failPct),
+		})
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: Chord, percentage reduction versus k for
+// k in {log n, 2 log n, 3 log n} at fixed n, stable and churn.
+func Fig6(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	t := Table{
+		Title:   fmt.Sprintf("Figure 6 — Chord: %% reduction in avg hops vs k (n = %d)", n),
+		Columns: []string{"k", "reduction stable", "reduction churn"},
+	}
+	for _, factor := range []int{1, 2, 3} {
+		stable, err := RunStable(StableConfig{
+			Protocol:     Chord,
+			N:            n,
+			Bits:         scale.Bits,
+			KFactor:      factor,
+			ItemsPerNode: scale.ItemsPerNode,
+			NumRankings:  5,
+			Seed:         scale.Seed + int64(factor),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("fig6 stable factor=%d: %w", factor, err)
+		}
+		rate, window := scale.churnRates(n)
+		churn, err := RunChurnComparison(ChurnConfig{
+			Protocol:      Chord,
+			N:             n,
+			Bits:          scale.Bits,
+			KFactor:       factor,
+			ItemsPerNode:  scale.ItemsPerNode,
+			NumRankings:   5,
+			QueryRate:     rate,
+			HistoryWindow: window,
+			Warmup:        scale.Warmup,
+			Duration:      scale.Duration,
+			Seed:          scale.Seed + int64(factor),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("fig6 churn factor=%d: %w", factor, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d·log n = %d", factor, factor*Log2(n)),
+			pct(stable.Reduction), pct(churn.Reduction),
+		})
+	}
+	return t, nil
+}

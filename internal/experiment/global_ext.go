@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/stats"
+	"peercache/internal/workload"
+)
+
+// ExtGlobal explores the paper's Section VII future-work question: the
+// algorithms optimize each node locally against the eq. 6 distance
+// estimate, ignoring the auxiliary neighbors other peers install — so
+// the "globally" optimal choice can differ. This experiment measures how
+// much is left on the table.
+//
+// It runs rounds of measured-cost refinement on a stable Chord overlay:
+// given everyone else's current auxiliary sets, each node greedily
+// re-picks its k pointers using *actual routed hop counts* (which see
+// the whole mesh) instead of the analytic estimate, restricted to its
+// top candidates by query mass. Round 0 is the paper's local optimum.
+func ExtGlobal(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	if n > 512 {
+		n = 512 // measured-cost refinement routes O(n·C·T) pairs per round
+	}
+	bits := scale.Bits
+	if bits == 0 {
+		bits = 32
+	}
+	itemsPerNode := scale.ItemsPerNode
+	if itemsPerNode == 0 {
+		itemsPerNode = 8
+	}
+	k := Log2(n)
+	space := id.NewSpace(bits)
+
+	nodeRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-global-nodes"))
+	nodeIDs := make([]id.ID, 0, n)
+	for _, raw := range randx.UniqueIDs(nodeRNG, n, space.Size()) {
+		nodeIDs = append(nodeIDs, id.ID(raw))
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	ov, err := buildOverlay(Chord, space, nodeIDs, overlayOpts{locality: true, seed: scale.Seed})
+	if err != nil {
+		return Table{}, err
+	}
+
+	w := workload.New(workload.Config{
+		Space:       space,
+		NumItems:    itemsPerNode * n,
+		Alpha:       1.2,
+		NumRankings: 5,
+		Seed:        randx.DeriveSeed(scale.Seed, "ext-global-items"),
+	})
+	for _, x := range nodeIDs {
+		w.RankingOf(x)
+	}
+	owner := func(i int) id.ID {
+		o, _ := ov.Owner(w.Key(i))
+		return o
+	}
+	mass := make(map[id.ID]map[id.ID]float64, n)
+	for _, x := range nodeIDs {
+		mass[x] = w.DestMass(x, owner)
+	}
+
+	// Round 0: the paper's local optimum at every node.
+	for _, x := range nodeIDs {
+		peers := make([]core.Peer, 0, len(mass[x]))
+		for d, m := range mass[x] {
+			peers = append(peers, core.Peer{ID: d, Freq: m})
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+		res, err := ov.SelectOptimal(x, peers, clampK(k, len(peers)))
+		if err != nil {
+			return Table{}, err
+		}
+		if err := ov.SetAux(x, res); err != nil {
+			return Table{}, err
+		}
+	}
+
+	measure := func() (float64, error) {
+		st, err := measureExact(ov, nodeIDs, mass)
+		return st.AvgHops, err
+	}
+	local, err := measure()
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		Title:   fmt.Sprintf("Extension — local vs measured-cost global refinement (Chord, n = %d, k = %d)", n, k),
+		Columns: []string{"round", "avg hops", "improvement vs local"},
+	}
+	t.Rows = append(t.Rows, []string{"0 (paper's local optimum)", hops(local), "0.00%"})
+
+	// Refinement rounds: each node greedily re-picks its pointers by
+	// measured cost against the current global mesh.
+	refineNode := func(x id.ID) error {
+		m := mass[x]
+		// Candidates: top 3k destinations by mass.
+		type cand struct {
+			id   id.ID
+			mass float64
+		}
+		cands := make([]cand, 0, len(m))
+		for d, mm := range m {
+			cands = append(cands, cand{d, mm})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].mass != cands[j].mass {
+				return cands[i].mass > cands[j].mass
+			}
+			return cands[i].id < cands[j].id
+		})
+		if len(cands) > 3*k {
+			cands = cands[:3*k]
+		}
+		dests := make([]id.ID, 0, len(m))
+		for d := range m {
+			dests = append(dests, d)
+		}
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+
+		// Measured distance from a candidate pointer c to each dest:
+		// 1 hop to c plus c's routed distance (using the mesh).
+		viaCost := make(map[id.ID][]float64, len(cands))
+		for _, c := range cands {
+			row := make([]float64, len(dests))
+			for i, d := range dests {
+				if c.id == d {
+					row[i] = 1
+					continue
+				}
+				hop, _, dest, ok, err := ov.RouteTo(c.id, d)
+				if err != nil || !ok || dest != d {
+					row[i] = math.Inf(1)
+					continue
+				}
+				row[i] = float64(1 + hop)
+			}
+			viaCost[c.id] = row
+		}
+		// Base distances via core only: clear aux and route.
+		if err := ov.SetAux(x, nil); err != nil {
+			return err
+		}
+		base := make([]float64, len(dests))
+		for i, d := range dests {
+			hop, _, _, ok, err := ov.RouteTo(x, d)
+			if err != nil || !ok {
+				base[i] = math.Inf(1)
+				continue
+			}
+			base[i] = float64(hop)
+		}
+		// Greedy k picks by measured marginal gain.
+		cur := append([]float64(nil), base...)
+		var aux []id.ID
+		chosen := map[id.ID]bool{}
+		for len(aux) < k {
+			bestGain := 0.0
+			var best id.ID
+			found := false
+			for _, c := range cands {
+				if chosen[c.id] {
+					continue
+				}
+				gain := 0.0
+				row := viaCost[c.id]
+				for i, d := range dests {
+					if row[i] < cur[i] {
+						gain += m[d] * (cur[i] - row[i])
+					}
+				}
+				if gain > bestGain {
+					bestGain, best, found = gain, c.id, true
+				}
+			}
+			if !found {
+				break
+			}
+			chosen[best] = true
+			aux = append(aux, best)
+			row := viaCost[best]
+			for i := range dests {
+				if row[i] < cur[i] {
+					cur[i] = row[i]
+				}
+			}
+		}
+		return ov.SetAux(x, aux)
+	}
+
+	orderRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-global-order"))
+	for round := 1; round <= 2; round++ {
+		for _, i := range orderRNG.Perm(len(nodeIDs)) {
+			if err := refineNode(nodeIDs[i]); err != nil {
+				return Table{}, err
+			}
+		}
+		avg, err := measure()
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(round),
+			hops(avg),
+			fmt.Sprintf("%.2f%%", stats.PercentReduction(local, avg)),
+		})
+	}
+	return t, nil
+}

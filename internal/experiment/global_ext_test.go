@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtGlobal(t *testing.T) {
+	tb, err := ExtGlobal(Scale{FixedN: 96, Bits: 18, ItemsPerNode: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (round 0..2)", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	local := parse(tb.Rows[0][1])
+	final := parse(tb.Rows[len(tb.Rows)-1][1])
+	// Measured-cost refinement sees the real mesh, so it must not be
+	// meaningfully worse than the local optimum; typically it improves.
+	if final > local*1.02 {
+		t.Errorf("refinement made things worse: %.3f -> %.3f", local, final)
+	}
+	imp := strings.TrimSuffix(tb.Rows[len(tb.Rows)-1][2], "%")
+	if _, err := strconv.ParseFloat(imp, 64); err != nil {
+		t.Errorf("bad improvement cell %q", tb.Rows[len(tb.Rows)-1][2])
+	}
+}

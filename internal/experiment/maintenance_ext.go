@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peercache/internal/chordproto"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/sim"
+	"peercache/internal/stats"
+)
+
+// ExtMaintenance quantifies the cost side of the paper's routing-table
+// size trade-off (Section I): auxiliary neighbors must be pinged like
+// core entries, so maintenance traffic grows linearly with k while the
+// lookup gain saturates. It runs the message-level Chord protocol
+// (internal/chordproto) to a steady state, then measures per-node
+// maintenance messages per second at several auxiliary budgets, pairing
+// each with the stable-mode hop reduction that budget buys.
+func ExtMaintenance(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	if n > 256 {
+		n = 256 // the message-level protocol is for metering, not scale
+	}
+	bits := scale.Bits
+	if bits == 0 {
+		bits = 32
+	}
+	space := id.NewSpace(bits)
+	logn := Log2(n)
+
+	// Steady-state protocol ring.
+	nodeRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-maint-nodes"))
+	raw := randx.UniqueIDs(nodeRNG, n, space.Size())
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+
+	buildSteady := func() (*chordproto.Network, *sim.Engine, error) {
+		eng := sim.New()
+		nw := chordproto.New(chordproto.Config{Space: space, Seed: scale.Seed},
+			eng, rand.New(rand.NewSource(scale.Seed)))
+		if _, err := nw.Bootstrap(id.ID(raw[0])); err != nil {
+			return nil, nil, err
+		}
+		for i, x := range raw[1:] {
+			x := x
+			eng.At(float64(i)*2, func() {
+				_ = nw.Join(id.ID(x), id.ID(raw[0]), nil)
+			})
+		}
+		eng.RunUntil(float64(n)*2 + 600)
+		return nw, eng, nil
+	}
+
+	t := Table{
+		Title:   fmt.Sprintf("Extension — maintenance traffic vs lookup gain (message-level Chord, n = %d)", n),
+		Columns: []string{"k", "maint msgs/node/s", "vs k=0", "stable hop reduction"},
+	}
+
+	var baseRate float64
+	for _, factor := range []int{0, 1, 2, 3} {
+		k := factor * logn
+		nw, eng, err := buildSteady()
+		if err != nil {
+			return Table{}, err
+		}
+		for _, x := range raw {
+			nw.SetAuxPingCount(id.ID(x), k)
+		}
+		before := nw.Stats().Messages
+		const window = 500.0
+		eng.RunUntil(eng.Now() + window)
+		rate := float64(nw.Stats().Messages-before) / window / float64(n)
+		if factor == 0 {
+			baseRate = rate
+		}
+
+		reduction := "0.0% (no aux)"
+		if k > 0 {
+			res, err := RunStable(StableConfig{
+				Protocol:     Chord,
+				N:            n,
+				Bits:         bits,
+				K:            k,
+				ItemsPerNode: scale.ItemsPerNode,
+				NumRankings:  5,
+				Seed:         scale.Seed,
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			reduction = pct(stats.PercentReduction(res.PerScheme[CoreOnly].AvgHops, res.PerScheme[Optimal].AvgHops))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d·log n = %d", factor, k),
+			fmt.Sprintf("%.3f", rate),
+			fmt.Sprintf("%+.0f%%", 100*(rate-baseRate)/baseRate),
+			reduction,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"peercache/internal/baseline"
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/pgrid"
+	"peercache/internal/randx"
+	"peercache/internal/skipgraph"
+	"peercache/internal/stats"
+	"peercache/internal/tapestry"
+	"peercache/internal/workload"
+)
+
+// ExtPortability runs the paper's Section I applicability claims as a
+// full experiment rather than a single-node demo: on a skip graph, a
+// P-Grid and a Tapestry mesh over the same membership and workload,
+// every node selects k auxiliary neighbors with the matching paper
+// algorithm (Chord's for the skip graph, Pastry's — digit-aware where
+// appropriate — for the trie-structured systems), and the sampled
+// average lookup cost is compared against the frequency-oblivious
+// baseline with the same budget.
+func ExtPortability(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	if n > 512 {
+		n = 512
+	}
+	bits := scale.Bits
+	if bits == 0 {
+		bits = 24
+	}
+	itemsPerNode := scale.ItemsPerNode
+	if itemsPerNode == 0 {
+		itemsPerNode = 8
+	}
+	k := Log2(n)
+	space := id.NewSpace(bits)
+
+	nodeRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-port-nodes"))
+	nodeIDs := make([]id.ID, 0, n)
+	for _, raw := range randx.UniqueIDs(nodeRNG, n, space.Size()) {
+		nodeIDs = append(nodeIDs, id.ID(raw))
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+
+	w := workload.New(workload.Config{
+		Space:       space,
+		NumItems:    itemsPerNode * n,
+		Alpha:       1.2,
+		NumRankings: 1,
+		Seed:        randx.DeriveSeed(scale.Seed, "ext-port-items"),
+	})
+	qryRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-port-queries"))
+	type lookup struct {
+		src id.ID
+		key id.ID
+	}
+	const samples = 30000
+	lookups := make([]lookup, samples)
+	for i := range lookups {
+		src := nodeIDs[qryRNG.Intn(n)]
+		lookups[i] = lookup{src: src, key: w.Key(w.SampleItem(qryRNG, src))}
+	}
+
+	// portOverlay is the minimal surface each foreign overlay offers.
+	type portOverlay struct {
+		name string
+		// owner of a key, for per-node destination masses.
+		owner func(id.ID) id.ID
+		// core neighbor set of a node, for selection.
+		core func(id.ID) []id.ID
+		// install an auxiliary set.
+		setAux func(id.ID, []id.ID) error
+		// route a lookup, returning hops.
+		route func(from, key id.ID) (int, bool)
+		// selectors: the paper algorithm and the oblivious baseline.
+		selOptimal   func(self id.ID, coreSet []id.ID, peers []core.Peer) ([]id.ID, error)
+		selOblivious func(self id.ID, coreSet []id.ID, cands []id.ID) []id.ID
+	}
+
+	selRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-port-obl"))
+
+	sg, err := skipgraph.Build(skipgraph.Config{Space: space, Seed: scale.Seed}, nodeIDs)
+	if err != nil {
+		return Table{}, err
+	}
+	pg, err := pgrid.Build(pgrid.Config{Space: space, Seed: scale.Seed}, nodeIDs)
+	if err != nil {
+		return Table{}, err
+	}
+	tp, err := tapestry.Build(tapestry.Config{Space: space, DigitBits: 4}, nodeIDs)
+	if err != nil {
+		return Table{}, err
+	}
+
+	overlays := []portOverlay{
+		{
+			name:   "skip graph + Chord selector",
+			owner:  sg.Owner,
+			core:   func(x id.ID) []id.ID { return sg.Node(x).Neighbors() },
+			setAux: sg.SetAux,
+			route: func(from, key id.ID) (int, bool) {
+				r, err := sg.Route(from, key)
+				return r.Hops, err == nil && r.OK
+			},
+			selOptimal: func(self id.ID, coreSet []id.ID, peers []core.Peer) ([]id.ID, error) {
+				r, err := core.SelectChordFast(space, self, coreSet, peers, clampK(k, len(peers)))
+				if err != nil {
+					return nil, err
+				}
+				return r.Aux, nil
+			},
+			selOblivious: func(self id.ID, coreSet []id.ID, cands []id.ID) []id.ID {
+				return baseline.ChordOblivious(space, self, coreSet, cands, k, selRNG)
+			},
+		},
+		{
+			name:   "P-Grid + Pastry selector",
+			owner:  pg.Owner,
+			core:   func(x id.ID) []id.ID { return pg.Node(x).References() },
+			setAux: pg.SetAux,
+			route: func(from, key id.ID) (int, bool) {
+				r, err := pg.Route(from, key)
+				return r.Hops, err == nil && r.OK
+			},
+			selOptimal: func(self id.ID, coreSet []id.ID, peers []core.Peer) ([]id.ID, error) {
+				r, err := core.SelectPastryGreedy(space, coreSet, peers, clampK(k, len(peers)))
+				if err != nil {
+					return nil, err
+				}
+				return r.Aux, nil
+			},
+			selOblivious: func(self id.ID, coreSet []id.ID, cands []id.ID) []id.ID {
+				return baseline.PastryOblivious(space, self, coreSet, cands, k, selRNG)
+			},
+		},
+		{
+			name:   "Tapestry (hex) + Pastry selector",
+			owner:  tp.Root,
+			core:   func(x id.ID) []id.ID { return tp.Node(x).Neighbors() },
+			setAux: tp.SetAux,
+			route: func(from, key id.ID) (int, bool) {
+				r, err := tp.Route(from, key)
+				return r.Hops, err == nil && r.OK
+			},
+			selOptimal: func(self id.ID, coreSet []id.ID, peers []core.Peer) ([]id.ID, error) {
+				r, err := core.SelectPastryGreedyDigits(space, coreSet, peers, clampK(k, len(peers)), 4)
+				if err != nil {
+					return nil, err
+				}
+				return r.Aux, nil
+			},
+			selOblivious: func(self id.ID, coreSet []id.ID, cands []id.ID) []id.ID {
+				return baseline.PastryObliviousDigits(space, self, coreSet, cands, k, 4, selRNG)
+			},
+		},
+	}
+
+	t := Table{
+		Title:   fmt.Sprintf("Extension — §I portability at full mesh scale (n = %d, k = %d, every node selects)", n, k),
+		Columns: []string{"overlay + selector", "avg hops oblivious", "avg hops optimal", "reduction"},
+	}
+
+	for _, ov := range overlays {
+		// Per-node exact destination masses under this overlay's
+		// ownership rule.
+		mass := make(map[id.ID]map[id.ID]float64, n)
+		owners := make([]id.ID, w.NumItems())
+		for i := range owners {
+			owners[i] = ov.owner(w.Key(i))
+		}
+		for _, x := range nodeIDs {
+			mass[x] = w.DestMass(x, func(i int) id.ID { return owners[i] })
+		}
+		measure := func() (float64, error) {
+			var r stats.Running
+			for _, l := range lookups {
+				hops, ok := ov.route(l.src, l.key)
+				if !ok {
+					return 0, fmt.Errorf("ext-portability: %s lookup failed", ov.name)
+				}
+				r.Add(float64(hops))
+			}
+			return r.Mean(), nil
+		}
+		install := func(sel func(x id.ID) ([]id.ID, error)) error {
+			for _, x := range nodeIDs {
+				aux, err := sel(x)
+				if err != nil {
+					return err
+				}
+				if err := ov.setAux(x, aux); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		if err := install(func(x id.ID) ([]id.ID, error) {
+			cands := make([]id.ID, 0, len(mass[x]))
+			for d := range mass[x] {
+				cands = append(cands, d)
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			return ov.selOblivious(x, ov.core(x), cands), nil
+		}); err != nil {
+			return Table{}, err
+		}
+		obl, err := measure()
+		if err != nil {
+			return Table{}, err
+		}
+
+		if err := install(func(x id.ID) ([]id.ID, error) {
+			peers := make([]core.Peer, 0, len(mass[x]))
+			for d, m := range mass[x] {
+				peers = append(peers, core.Peer{ID: d, Freq: m})
+			}
+			sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+			return ov.selOptimal(x, ov.core(x), peers)
+		}); err != nil {
+			return Table{}, err
+		}
+		opt, err := measure()
+		if err != nil {
+			return Table{}, err
+		}
+
+		t.Rows = append(t.Rows, []string{
+			ov.name, hops(obl), hops(opt), pct(stats.PercentReduction(obl, opt)),
+		})
+	}
+	return t, nil
+}

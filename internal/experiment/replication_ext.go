@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"peercache/internal/chord"
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/replication"
+	"peercache/internal/stats"
+	"peercache/internal/workload"
+)
+
+// ExtReplication makes the Section I trade-off quantitative: it gives
+// item replication (Beehive-flavored, internal/replication) and
+// auxiliary-neighbor caching the *same extra-state budget* — n·k replica
+// slots versus n·k pointer slots — and compares lookup hops and the
+// per-item-update maintenance traffic on a stable Chord overlay.
+//
+// Replication wins slightly on hops (replicas can answer mid-route) but
+// pays one message per replica on every item update; pointer caching
+// pays nothing, which is the paper's argument for update-heavy
+// workloads like mobile-IP DNS.
+func ExtReplication(scale Scale) (Table, error) {
+	n := scale.fixedN()
+	bits := scale.Bits
+	if bits == 0 {
+		bits = 32
+	}
+	itemsPerNode := scale.ItemsPerNode
+	if itemsPerNode == 0 {
+		itemsPerNode = 16
+	}
+	k := Log2(n)
+	space := id.NewSpace(bits)
+
+	nodeRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-repl-nodes"))
+	nodeIDs := make([]id.ID, 0, n)
+	for _, raw := range randx.UniqueIDs(nodeRNG, n, space.Size()) {
+		nodeIDs = append(nodeIDs, id.ID(raw))
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+
+	nw := chord.New(chord.Config{Space: space})
+	for _, x := range nodeIDs {
+		if _, err := nw.AddNode(x); err != nil {
+			return Table{}, err
+		}
+	}
+	nw.StabilizeAll()
+
+	w := workload.New(workload.Config{
+		Space:    space,
+		NumItems: itemsPerNode * n,
+		Alpha:    1.2,
+		Seed:     randx.DeriveSeed(scale.Seed, "ext-repl-items"),
+	})
+	owners := make([]id.ID, w.NumItems())
+	pop := make([]float64, w.NumItems())
+	for i := range owners {
+		o, _ := nw.Owner(w.Key(i))
+		owners[i] = o
+		pop[i] = w.Prob(nodeIDs[0], i) // single global ranking
+	}
+
+	// One sampled lookup stream evaluated under every scheme.
+	qryRNG := randx.New(randx.DeriveSeed(scale.Seed, "ext-repl-queries"))
+	type lookup struct {
+		src  id.ID
+		item int
+	}
+	const samples = 40000
+	lookups := make([]lookup, samples)
+	for i := range lookups {
+		src := nodeIDs[qryRNG.Intn(n)]
+		lookups[i] = lookup{src: src, item: w.SampleItem(qryRNG, src)}
+	}
+
+	// Scheme 1: plain Chord.
+	var plain stats.Running
+	for _, l := range lookups {
+		res, err := nw.Route(l.src, w.Key(l.item))
+		if err != nil || !res.OK {
+			return Table{}, fmt.Errorf("ext-replication: plain lookup failed")
+		}
+		plain.Add(float64(res.Hops))
+	}
+
+	// Scheme 2: replication with budget n·k replicas; lookups terminate
+	// at the first replica on the plain route.
+	placement, err := replication.Assign(space, nodeIDs, w.Items(), pop, n*k)
+	if err != nil {
+		return Table{}, err
+	}
+	var repl stats.Running
+	for _, l := range lookups {
+		res, path, err := nw.RoutePath(l.src, w.Key(l.item))
+		if err != nil || !res.OK {
+			return Table{}, fmt.Errorf("ext-replication: lookup failed")
+		}
+		repl.Add(float64(placement.CutPath(l.item, path)))
+	}
+
+	// Scheme 3: auxiliary-neighbor caching with the same budget (k
+	// pointers per node), selected from exact destination masses.
+	for _, x := range nodeIDs {
+		mass := w.DestMass(x, func(i int) id.ID { return owners[i] })
+		peers := make([]core.Peer, 0, len(mass))
+		for d, m := range mass {
+			peers = append(peers, core.Peer{ID: d, Freq: m})
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+		res, err := core.SelectChordFast(space, x, nw.Node(x).Fingers(), peers, clampK(k, len(peers)))
+		if err != nil {
+			return Table{}, err
+		}
+		if err := nw.SetAux(x, res.Aux); err != nil {
+			return Table{}, err
+		}
+	}
+	var aux stats.Running
+	for _, l := range lookups {
+		res, err := nw.Route(l.src, w.Key(l.item))
+		if err != nil || !res.OK {
+			return Table{}, fmt.Errorf("ext-replication: aux lookup failed")
+		}
+		aux.Add(float64(res.Hops))
+	}
+
+	// Maintenance traffic per item update: popularity-weighted (mobile
+	// hot hosts move most) and uniform.
+	var updHot, updUniform float64
+	var popTotal float64
+	for i := range owners {
+		updHot += pop[i] * float64(placement.UpdateCost(i))
+		updUniform += float64(placement.UpdateCost(i))
+		popTotal += pop[i]
+	}
+	updHot /= popTotal
+	updUniform /= float64(len(owners))
+
+	statePerNode := float64(placement.TotalReplicas()) / float64(n)
+	t := Table{
+		Title: fmt.Sprintf("Extension — replication vs pointer caching at equal state budget (Chord, n = %d, budget = n·k = %d)", n, n*k),
+		Columns: []string{
+			"scheme", "avg hops", "extra state/node", "upd msgs (hot items)", "upd msgs (uniform)",
+		},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"plain Chord", fmt.Sprintf("%.3f", plain.Mean()), "0", "0.0", "0.0"},
+		[]string{"replication (Beehive-style)", fmt.Sprintf("%.3f", repl.Mean()),
+			fmt.Sprintf("%.1f replicas", statePerNode),
+			fmt.Sprintf("%.1f", updHot), fmt.Sprintf("%.2f", updUniform)},
+		[]string{"pointer caching (paper)", fmt.Sprintf("%.3f", aux.Mean()),
+			fmt.Sprintf("%d pointers", k), "0.0", "0.0"},
+	)
+	return t, nil
+}

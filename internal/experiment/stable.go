@@ -1,0 +1,296 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peercache/internal/chord"
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/pastry"
+	"peercache/internal/randx"
+	"peercache/internal/stats"
+	"peercache/internal/workload"
+)
+
+// StableConfig parameterizes a stable-mode (no churn) experiment.
+// Defaults match Section VI-A: 32-bit ids, k = log n, alpha = 1.2, one
+// global popularity ranking, 16 items per node.
+type StableConfig struct {
+	Protocol Protocol
+	// N is the number of nodes.
+	N int
+	// Bits is the identifier length (default 32).
+	Bits uint
+	// K is the number of auxiliary neighbors per node; 0 means
+	// KFactor·log2(N).
+	K int
+	// KFactor scales the default K (default 1: k = log n).
+	KFactor int
+	// Alpha is the zipf exponent (default 1.2).
+	Alpha float64
+	// ItemsPerNode sets the corpus size N·ItemsPerNode (default 16).
+	ItemsPerNode int
+	// NumRankings is the number of distinct popularity rankings
+	// (default 1 — identical at all nodes).
+	NumRankings int
+	// LocalityAware enables FreePastry's proximity tie-breaking
+	// (Pastry only; default true).
+	LocalityAware *bool
+	// SuccListLen is the Chord successor-list length (default 8).
+	SuccListLen int
+	// DigitBits is the Pastry routing digit size (default 1, the
+	// paper's binary digits; 4 gives FreePastry-style hex digits).
+	DigitBits uint
+	// ObserveQueries, when positive, feeds the selectors sampled
+	// frequencies — each node observes this many queries drawn from its
+	// own popularity distribution before selecting, as the paper's
+	// simulator does — instead of the exact destination masses.
+	// Measurement always uses the exact masses.
+	ObserveQueries int
+	// Seed drives every random stream.
+	Seed int64
+}
+
+func (c StableConfig) withDefaults() StableConfig {
+	if c.Bits == 0 {
+		c.Bits = 32
+	}
+	if c.KFactor == 0 {
+		c.KFactor = 1
+	}
+	if c.K == 0 {
+		c.K = c.KFactor * Log2(c.N)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.2
+	}
+	if c.ItemsPerNode == 0 {
+		c.ItemsPerNode = 16
+	}
+	if c.NumRankings == 0 {
+		c.NumRankings = 1
+	}
+	if c.LocalityAware == nil {
+		t := true
+		c.LocalityAware = &t
+	}
+	return c
+}
+
+// SchemeStats summarizes one scheme's lookups.
+type SchemeStats struct {
+	// AvgHops is the probability-weighted average hop count.
+	AvgHops float64
+	// MaxHops is the worst hop count over all weighted pairs.
+	MaxHops int
+	// PairHops is the distribution of effective hop counts over the
+	// evaluated (source, destination) pairs, unweighted.
+	PairHops *stats.Histogram
+}
+
+// StableResult is the outcome of RunStable.
+type StableResult struct {
+	Config StableConfig
+	// K is the effective auxiliary budget per node.
+	K int
+	// PerScheme holds the measured averages, indexed by Scheme.
+	PerScheme map[Scheme]SchemeStats
+	// Reduction is the paper's metric: percentage reduction in average
+	// hops of Optimal versus Oblivious.
+	Reduction float64
+	// ReductionVsCore compares Optimal against no auxiliary neighbors
+	// at all.
+	ReductionVsCore float64
+}
+
+// RunStable builds the overlay and workload, computes each node's exact
+// per-destination query mass, selects auxiliary neighbors under each
+// scheme, and measures the exact expected lookup cost.
+func RunStable(cfg StableConfig) (StableResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return StableResult{}, fmt.Errorf("experiment: N = %d too small", cfg.N)
+	}
+	if cfg.K < 0 {
+		return StableResult{}, fmt.Errorf("experiment: negative K = %d", cfg.K)
+	}
+	space := id.NewSpace(cfg.Bits)
+	nodeRNG := randx.New(randx.DeriveSeed(cfg.Seed, "nodes"))
+	nodeIDs := make([]id.ID, 0, cfg.N)
+	for _, raw := range randx.UniqueIDs(nodeRNG, cfg.N, space.Size()) {
+		nodeIDs = append(nodeIDs, id.ID(raw))
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+
+	ov, err := buildOverlay(cfg.Protocol, space, nodeIDs, overlayOpts{
+		locality: *cfg.LocalityAware, succList: cfg.SuccListLen,
+		digitBits: cfg.DigitBits, seed: cfg.Seed,
+	})
+	if err != nil {
+		return StableResult{}, err
+	}
+
+	w := workload.New(workload.Config{
+		Space:       space,
+		NumItems:    cfg.ItemsPerNode * cfg.N,
+		Alpha:       cfg.Alpha,
+		NumRankings: cfg.NumRankings,
+		Seed:        randx.DeriveSeed(cfg.Seed, "workload"),
+	})
+	// Fix ranking assignments in deterministic id order.
+	for _, x := range nodeIDs {
+		w.RankingOf(x)
+	}
+
+	// Item ownership under the stable membership.
+	owners := make([]id.ID, w.NumItems())
+	for i := range owners {
+		o, ok := ov.Owner(w.Key(i))
+		if !ok {
+			return StableResult{}, fmt.Errorf("experiment: empty overlay")
+		}
+		owners[i] = o
+	}
+	ownerOf := func(i int) id.ID { return owners[i] }
+
+	// Exact per-destination mass for every source node.
+	mass := make(map[id.ID]map[id.ID]float64, cfg.N)
+	for _, x := range nodeIDs {
+		mass[x] = w.DestMass(x, ownerOf)
+	}
+
+	// The selection input: exact masses, or sampled observation counts
+	// when ObserveQueries is set.
+	selMass := mass
+	if cfg.ObserveQueries > 0 {
+		obsRNG := randx.New(randx.DeriveSeed(cfg.Seed, "observations"))
+		selMass = make(map[id.ID]map[id.ID]float64, cfg.N)
+		for _, x := range nodeIDs {
+			counts := make(map[id.ID]float64)
+			for q := 0; q < cfg.ObserveQueries; q++ {
+				o := owners[w.SampleItem(obsRNG, x)]
+				if o != x {
+					counts[o]++
+				}
+			}
+			selMass[x] = counts
+		}
+	}
+
+	selRNG := randx.New(randx.DeriveSeed(cfg.Seed, "oblivious"))
+	result := StableResult{Config: cfg, K: cfg.K, PerScheme: make(map[Scheme]SchemeStats)}
+
+	for _, scheme := range []Scheme{CoreOnly, Oblivious, Optimal} {
+		for _, x := range nodeIDs {
+			aux, err := selectForNode(ov, x, scheme, selMass[x], cfg.K, selRNG)
+			if err != nil {
+				return StableResult{}, fmt.Errorf("experiment: select %v for node %d: %w", scheme, x, err)
+			}
+			if err := ov.SetAux(x, aux); err != nil {
+				return StableResult{}, err
+			}
+		}
+		st, err := measureExact(ov, nodeIDs, mass)
+		if err != nil {
+			return StableResult{}, err
+		}
+		result.PerScheme[scheme] = st
+	}
+
+	result.Reduction = stats.PercentReduction(result.PerScheme[Oblivious].AvgHops, result.PerScheme[Optimal].AvgHops)
+	result.ReductionVsCore = stats.PercentReduction(result.PerScheme[CoreOnly].AvgHops, result.PerScheme[Optimal].AvgHops)
+	return result, nil
+}
+
+// overlayOpts collects the substrate knobs buildOverlay honors.
+type overlayOpts struct {
+	locality  bool
+	succList  int
+	digitBits uint
+	seed      int64
+}
+
+// buildOverlay constructs a stabilized overlay of the given nodes.
+func buildOverlay(p Protocol, space id.Space, nodeIDs []id.ID, opts overlayOpts) (overlay, error) {
+	switch p {
+	case Chord:
+		nw := chord.New(chord.Config{Space: space, SuccessorListLen: opts.succList})
+		for _, x := range nodeIDs {
+			if _, err := nw.AddNode(x); err != nil {
+				return nil, err
+			}
+		}
+		nw.StabilizeAll()
+		return chordOverlay{nw}, nil
+	case Pastry:
+		nw := pastry.New(pastry.Config{Space: space, LocalityAware: opts.locality, DigitBits: opts.digitBits})
+		coordRNG := randx.New(randx.DeriveSeed(opts.seed, "coords"))
+		for _, x := range nodeIDs {
+			c := pastry.Coord{X: coordRNG.Float64(), Y: coordRNG.Float64()}
+			if _, err := nw.AddNode(x, c); err != nil {
+				return nil, err
+			}
+		}
+		nw.StabilizeAll()
+		return pastryOverlay{nw}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown protocol %v", p)
+	}
+}
+
+// selectForNode computes node x's auxiliary set under the scheme, given
+// its exact destination mass.
+func selectForNode(ov overlay, x id.ID, scheme Scheme, destMass map[id.ID]float64, k int, selRNG *rand.Rand) ([]id.ID, error) {
+	switch scheme {
+	case CoreOnly:
+		return nil, nil
+	case Oblivious:
+		// The frequency-oblivious baseline draws from the whole live
+		// membership (Section VI-A: "selects r auxiliary neighbors at
+		// random in the range (2^i, 2^{i+1}) for all i"), not from the
+		// node's query history — it uses no query information at all.
+		return ov.SelectOblivious(x, ov.AliveIDs(), k, selRNG), nil
+	case Optimal:
+		peers := make([]core.Peer, 0, len(destMass))
+		for d, m := range destMass {
+			peers = append(peers, core.Peer{ID: d, Freq: m})
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+		return ov.SelectOptimal(x, peers, clampK(k, len(peers)))
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheme %v", scheme)
+	}
+}
+
+// measureExact routes every positive-mass (source, destination) pair once
+// and returns the probability-weighted average hop count.
+func measureExact(ov overlay, nodeIDs []id.ID, mass map[id.ID]map[id.ID]float64) (SchemeStats, error) {
+	var wm stats.WeightedMean
+	hist := &stats.Histogram{}
+	maxHops := 0
+	for _, s := range nodeIDs {
+		dests := make([]id.ID, 0, len(mass[s]))
+		for d := range mass[s] {
+			dests = append(dests, d)
+		}
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		for _, t := range dests {
+			hops, timeouts, dest, ok, err := ov.RouteTo(s, t)
+			if err != nil {
+				return SchemeStats{}, err
+			}
+			if !ok || dest != t {
+				return SchemeStats{}, fmt.Errorf("experiment: stable lookup failed from %d to %d", s, t)
+			}
+			eff := hops + timeouts
+			wm.Add(float64(eff), mass[s][t])
+			hist.Add(eff)
+			if eff > maxHops {
+				maxHops = eff
+			}
+		}
+	}
+	return SchemeStats{AvgHops: wm.Mean(), MaxHops: maxHops, PairHops: hist}, nil
+}

@@ -1,0 +1,159 @@
+// Package id implements b-bit ring identifier arithmetic shared by the
+// Chord and Pastry overlays and by the auxiliary-neighbor selection
+// algorithms.
+//
+// Identifiers live on a circular space 0..2^b-1. The package provides the
+// two hop-distance estimates the paper builds on: the Chord distance
+// d_uv = 1 + ceil(log2((v-u) mod 2^b)) (eq. 6) and the Pastry distance
+// b - LCP(u, v) (Section IV).
+package id
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+)
+
+// ID is an identifier on the ring. Only the low Space.Bits bits are
+// meaningful; constructors and arithmetic keep values reduced mod 2^b.
+type ID uint64
+
+// Space describes a 2^Bits identifier circle. The zero value is invalid;
+// use NewSpace.
+type Space struct {
+	bits uint
+	mask uint64
+}
+
+// MaxBits is the largest supported identifier length. 63 keeps every gap
+// representable in an int64 and every sum of distances far from overflow.
+const MaxBits = 63
+
+// NewSpace returns a Space with b-bit identifiers. It panics if b is not in
+// [1, MaxBits]; the identifier length is a static design parameter, so a
+// bad value is a programming error, not a runtime condition.
+func NewSpace(b uint) Space {
+	if b < 1 || b > MaxBits {
+		panic(fmt.Sprintf("id: invalid identifier length %d (want 1..%d)", b, MaxBits))
+	}
+	return Space{bits: b, mask: 1<<b - 1}
+}
+
+// Bits returns the identifier length in bits.
+func (s Space) Bits() uint { return s.bits }
+
+// Size returns 2^b, the number of identifiers on the ring.
+func (s Space) Size() uint64 { return s.mask + 1 }
+
+// Wrap reduces v modulo 2^b.
+func (s Space) Wrap(v uint64) ID { return ID(v & s.mask) }
+
+// Add returns (u + delta) mod 2^b.
+func (s Space) Add(u ID, delta uint64) ID { return ID((uint64(u) + delta) & s.mask) }
+
+// Gap returns the clockwise distance (v - u) mod 2^b. Gap(u, u) is 0.
+func (s Space) Gap(u, v ID) uint64 { return (uint64(v) - uint64(u)) & s.mask }
+
+// CeilLog2 returns ceil(log2(g)) for g >= 1, and 0 for g == 0 or g == 1.
+func CeilLog2(g uint64) uint {
+	if g <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(g - 1))
+}
+
+// ChordDist returns the paper's Chord hop-distance upper bound (eq. 6),
+// the position (1-based) of the leftmost '1' in the clockwise gap
+// (v-u) mod 2^b, i.e. 1 + floor(log2(gap)) for gap >= 1. ChordDist(u, u)
+// is 0: a node is zero hops from itself. The function is deliberately
+// asymmetric, matching clockwise routing.
+func (s Space) ChordDist(u, v ID) uint {
+	return uint(bits.Len64(s.Gap(u, v)))
+}
+
+// CommonPrefixLen returns the number of leading bits (out of b, from the
+// most significant meaningful bit) shared by u and v. It is b when u == v.
+func (s Space) CommonPrefixLen(u, v ID) uint {
+	x := (uint64(u) ^ uint64(v)) & s.mask
+	if x == 0 {
+		return s.bits
+	}
+	return s.bits - uint(bits.Len64(x))
+}
+
+// PastryDist returns the paper's Pastry hop-distance estimate:
+// b - LCP(u, v). It is 0 when u == v and symmetric otherwise.
+func (s Space) PastryDist(u, v ID) uint {
+	return s.bits - s.CommonPrefixLen(u, v)
+}
+
+// PastryDistDigits generalizes PastryDist to digits of digitBits bits
+// (footnote 2 of the paper: ids viewed as sequences of digits with base
+// 2^d): the number of digits left to fix, ceil((b − LCP)/digitBits).
+// digitBits must divide the identifier length; it panics otherwise.
+func (s Space) PastryDistDigits(u, v ID, digitBits uint) uint {
+	if digitBits == 0 || s.bits%digitBits != 0 {
+		panic(fmt.Sprintf("id: digit size %d does not divide %d-bit ids", digitBits, s.bits))
+	}
+	r := s.bits - s.CommonPrefixLen(u, v)
+	return (r + digitBits - 1) / digitBits
+}
+
+// Bit returns bit i of v counting from the most significant meaningful bit
+// (i = 0 is the top bit of the b-bit identifier). It panics if i >= b.
+func (s Space) Bit(v ID, i uint) uint {
+	if i >= s.bits {
+		panic(fmt.Sprintf("id: bit index %d out of range for %d-bit space", i, s.bits))
+	}
+	return uint(uint64(v)>>(s.bits-1-i)) & 1
+}
+
+// SetBit returns v with bit i (MSB-first indexing, as in Bit) set to x.
+func (s Space) SetBit(v ID, i uint, x uint) ID {
+	if i >= s.bits {
+		panic(fmt.Sprintf("id: bit index %d out of range for %d-bit space", i, s.bits))
+	}
+	pos := s.bits - 1 - i
+	if x&1 == 1 {
+		return ID(uint64(v) | 1<<pos)
+	}
+	return ID(uint64(v) &^ (1 << pos))
+}
+
+// Between reports whether x lies strictly inside the clockwise open
+// interval (a, b). The interval wraps; when a == b it denotes the whole
+// ring minus {a}, following the usual Chord convention.
+func (s Space) Between(x, a, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	return s.Gap(a, x) > 0 && s.Gap(a, x) < s.Gap(a, b)
+}
+
+// BetweenIncl reports whether x lies in the clockwise half-open interval
+// (a, b] — the interval Chord uses for successor responsibility.
+func (s Space) BetweenIncl(x, a, b ID) bool {
+	if a == b {
+		return true
+	}
+	g := s.Gap(a, x)
+	return g > 0 && g <= s.Gap(a, b)
+}
+
+// Hash maps an arbitrary byte key onto the identifier space with FNV-1a.
+// It is the stand-in for the cryptographic hash a deployment would use;
+// only uniformity matters for the simulations.
+func (s Space) Hash(key []byte) ID {
+	h := fnv.New64a()
+	h.Write(key)
+	return s.Wrap(h.Sum64())
+}
+
+// HashString is Hash for string keys.
+func (s Space) HashString(key string) ID { return s.Hash([]byte(key)) }
+
+// Format renders v as a zero-padded binary string of exactly b digits,
+// matching the paper's presentation of identifiers.
+func (s Space) Format(v ID) string {
+	return fmt.Sprintf("%0*b", s.bits, uint64(v)&s.mask)
+}

@@ -1,0 +1,313 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpacePanics(t *testing.T) {
+	for _, b := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", b)
+				}
+			}()
+			NewSpace(b)
+		}()
+	}
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := NewSpace(4)
+	if s.Bits() != 4 {
+		t.Fatalf("Bits = %d, want 4", s.Bits())
+	}
+	if s.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", s.Size())
+	}
+	if got := s.Wrap(17); got != 1 {
+		t.Errorf("Wrap(17) = %d, want 1", got)
+	}
+	if got := s.Add(15, 3); got != 2 {
+		t.Errorf("Add(15,3) = %d, want 2", got)
+	}
+}
+
+func TestGap(t *testing.T) {
+	s := NewSpace(4)
+	tests := []struct {
+		u, v ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, 15},
+		{15, 2, 3},
+		{7, 7, 0},
+		{3, 12, 9},
+	}
+	for _, tt := range tests {
+		if got := s.Gap(tt.u, tt.v); got != tt.want {
+			t.Errorf("Gap(%d,%d) = %d, want %d", tt.u, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct {
+		g    uint64
+		want uint
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1 << 20, 20}, {1<<20 + 1, 21},
+	}
+	for _, tt := range tests {
+		if got := CeilLog2(tt.g); got != tt.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.g, got, tt.want)
+		}
+	}
+}
+
+func TestChordDist(t *testing.T) {
+	s := NewSpace(4)
+	tests := []struct {
+		u, v ID
+		want uint
+	}{
+		{0, 0, 0},
+		{0, 1, 1},  // gap 1: leftmost 1 at position 1
+		{0, 2, 2},  // gap 2
+		{0, 3, 2},  // gap 3 = 0b11: leftmost 1 at position 2
+		{0, 4, 3},  // gap 4
+		{0, 5, 3},  // gap 5 = 0b101
+		{0, 8, 4},  // gap 8
+		{0, 9, 4},  // gap 9
+		{0, 15, 4}, // gap 15 = 0b1111
+		{14, 2, 3}, // wrap, gap 4
+	}
+	for _, tt := range tests {
+		if got := s.ChordDist(tt.u, tt.v); got != tt.want {
+			t.Errorf("ChordDist(%d,%d) = %d, want %d", tt.u, tt.v, got, tt.want)
+		}
+	}
+}
+
+// ChordDist must be the position of the leftmost '1' bit of the gap,
+// which is what the paper states below eq. 6.
+func TestChordDistLeftmostOneProperty(t *testing.T) {
+	s := NewSpace(16)
+	f := func(a, b uint16) bool {
+		u, v := s.Wrap(uint64(a)), s.Wrap(uint64(b))
+		g := s.Gap(u, v)
+		want := uint(0)
+		for pos := uint(1); pos <= 16; pos++ {
+			if g&(1<<(pos-1)) != 0 {
+				want = pos // highest set bit wins; keep scanning
+			}
+		}
+		return s.ChordDist(u, v) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	s := NewSpace(4)
+	tests := []struct {
+		u, v ID
+		want uint
+	}{
+		{0b1011, 0b1111, 1},
+		{0b1011, 0b1011, 4},
+		{0b1011, 0b1010, 3},
+		{0b0000, 0b1000, 0},
+		{0b0100, 0b0101, 3},
+	}
+	for _, tt := range tests {
+		if got := s.CommonPrefixLen(tt.u, tt.v); got != tt.want {
+			t.Errorf("CommonPrefixLen(%s,%s) = %d, want %d", s.Format(tt.u), s.Format(tt.v), got, tt.want)
+		}
+	}
+}
+
+// The paper's worked example: the distance between 4-bit ids 1011 and 1111
+// is 3 because the longest prefix match is 1.
+func TestPastryDistPaperExample(t *testing.T) {
+	s := NewSpace(4)
+	if got := s.PastryDist(0b1011, 0b1111); got != 3 {
+		t.Fatalf("PastryDist(1011,1111) = %d, want 3", got)
+	}
+}
+
+func TestPastryDistSymmetricProperty(t *testing.T) {
+	s := NewSpace(24)
+	f := func(a, b uint32) bool {
+		u, v := s.Wrap(uint64(a)), s.Wrap(uint64(b))
+		return s.PastryDist(u, v) == s.PastryDist(v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	s := NewSpace(8)
+	v := ID(0b10110010)
+	wantBits := []uint{1, 0, 1, 1, 0, 0, 1, 0}
+	for i, want := range wantBits {
+		if got := s.Bit(v, uint(i)); got != want {
+			t.Errorf("Bit(%s, %d) = %d, want %d", s.Format(v), i, got, want)
+		}
+	}
+	// Rebuild the id one bit at a time.
+	var r ID
+	for i := uint(0); i < 8; i++ {
+		r = s.SetBit(r, i, s.Bit(v, i))
+	}
+	if r != v {
+		t.Errorf("SetBit round trip = %s, want %s", s.Format(r), s.Format(v))
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	s := NewSpace(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Bit out of range did not panic")
+		}
+	}()
+	s.Bit(0, 4)
+}
+
+func TestBetween(t *testing.T) {
+	s := NewSpace(4)
+	tests := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{5, 3, 8, true},
+		{3, 3, 8, false},
+		{8, 3, 8, false},
+		{1, 14, 3, true},  // wrapping interval
+		{15, 14, 3, true}, // wrapping interval
+		{14, 14, 3, false},
+		{5, 7, 7, true}, // full ring minus {7}
+		{7, 7, 7, false},
+	}
+	for _, tt := range tests {
+		if got := s.Between(tt.x, tt.a, tt.b); got != tt.want {
+			t.Errorf("Between(%d,%d,%d) = %v, want %v", tt.x, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBetweenIncl(t *testing.T) {
+	s := NewSpace(4)
+	tests := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{8, 3, 8, true},
+		{3, 3, 8, false},
+		{9, 3, 8, false},
+		{3, 14, 3, true},
+		{7, 7, 7, true}, // whole ring
+	}
+	for _, tt := range tests {
+		if got := s.BetweenIncl(tt.x, tt.a, tt.b); got != tt.want {
+			t.Errorf("BetweenIncl(%d,%d,%d) = %v, want %v", tt.x, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Exhaustive consistency on a small ring: Between(x,a,b) must match the
+// definition by clockwise gaps for every triple.
+func TestBetweenExhaustiveSmallRing(t *testing.T) {
+	s := NewSpace(3)
+	for a := ID(0); a < 8; a++ {
+		for b := ID(0); b < 8; b++ {
+			for x := ID(0); x < 8; x++ {
+				var want bool
+				if a == b {
+					want = x != a
+				} else {
+					// Walk clockwise from a to b, checking interior.
+					for c := s.Add(a, 1); c != b; c = s.Add(c, 1) {
+						if c == x {
+							want = true
+							break
+						}
+					}
+				}
+				if got := s.Between(x, a, b); got != want {
+					t.Fatalf("Between(%d,%d,%d) = %v, want %v", x, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHashDeterministicAndInRange(t *testing.T) {
+	s := NewSpace(20)
+	a := s.HashString("example.com")
+	b := s.HashString("example.com")
+	if a != b {
+		t.Fatalf("Hash not deterministic: %d vs %d", a, b)
+	}
+	if uint64(a) >= s.Size() {
+		t.Fatalf("Hash out of range: %d >= %d", a, s.Size())
+	}
+	if s.HashString("example.com") == s.HashString("example.org") {
+		t.Error("distinct keys hashed to the same id (possible but indicates a bug at 20 bits for these keys)")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := NewSpace(6)
+	if got := s.Format(5); got != "000101" {
+		t.Errorf("Format(5) = %q, want %q", got, "000101")
+	}
+}
+
+// Gap and Between must agree: x in (a,b) iff gap(a,x) < gap(a,b), gap>0.
+func TestGapBetweenAgreementProperty(t *testing.T) {
+	s := NewSpace(32)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a := s.Wrap(rng.Uint64())
+		b := s.Wrap(rng.Uint64())
+		x := s.Wrap(rng.Uint64())
+		want := false
+		if a == b {
+			want = x != a
+		} else {
+			want = s.Gap(a, x) > 0 && s.Gap(a, x) < s.Gap(a, b)
+		}
+		if got := s.Between(x, a, b); got != want {
+			t.Fatalf("Between(%d,%d,%d) = %v, want %v", x, a, b, got, want)
+		}
+	}
+}
+
+// ChordDist is monotone in the clockwise gap: nodes farther away (in id
+// space) are never estimated closer. The selection algorithms rely on this.
+func TestChordDistMonotoneProperty(t *testing.T) {
+	s := NewSpace(32)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		u := s.Wrap(rng.Uint64())
+		g1 := rng.Uint64() % s.Size()
+		g2 := rng.Uint64() % s.Size()
+		if g1 > g2 {
+			g1, g2 = g2, g1
+		}
+		v1 := s.Add(u, g1)
+		v2 := s.Add(u, g2)
+		if s.ChordDist(u, v1) > s.ChordDist(u, v2) {
+			t.Fatalf("ChordDist not monotone: d(u,u+%d)=%d > d(u,u+%d)=%d",
+				g1, s.ChordDist(u, v1), g2, s.ChordDist(u, v2))
+		}
+	}
+}

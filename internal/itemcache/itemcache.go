@@ -1,0 +1,148 @@
+// Package itemcache models the item-caching alternative the paper's
+// introduction argues against (Section I): nodes cache previously
+// queried items with a TTL, as DNS resolvers do. Cached answers cost
+// zero hops but go stale when items are updated — exactly the
+// frequently-changing-items regime (mobile-IP DNS) where the paper's
+// pointer caching keeps answers fresh.
+//
+// The package provides a TTL cache with explicit version tracking so an
+// experiment can measure both the hop savings and the stale-answer rate,
+// head to head against auxiliary-neighbor pointer caching.
+package itemcache
+
+import (
+	"container/list"
+	"fmt"
+
+	"peercache/internal/id"
+)
+
+// Entry is a cached item: the value version seen at fill time and the
+// simulation time the entry expires.
+type Entry struct {
+	Item      id.ID
+	Version   uint64
+	ExpiresAt float64
+}
+
+// Cache is a fixed-capacity TTL item cache with LRU eviction. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	capacity int
+	ttl      float64
+
+	entries map[id.ID]*list.Element
+	lru     *list.List // front = most recent
+
+	hits, misses, expired uint64
+}
+
+// New returns a cache holding at most capacity items, each valid for ttl
+// seconds after fill. It panics on non-positive capacity or ttl — both
+// are configuration errors.
+func New(capacity int, ttl float64) *Cache {
+	if capacity < 1 {
+		panic(fmt.Sprintf("itemcache: capacity %d", capacity))
+	}
+	if ttl <= 0 {
+		panic(fmt.Sprintf("itemcache: ttl %g", ttl))
+	}
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[id.ID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the maximum number of cached items.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached items (including not-yet-collected
+// expired ones).
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Lookup returns the cached entry for item at time now, if present and
+// unexpired. Expired entries are removed on access.
+func (c *Cache) Lookup(item id.ID, now float64) (Entry, bool) {
+	el, ok := c.entries[item]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	e := el.Value.(Entry)
+	if now >= e.ExpiresAt {
+		c.removeElement(el)
+		c.expired++
+		c.misses++
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e, true
+}
+
+// Fill stores the item's current version at time now, evicting the
+// least-recently-used entry when full.
+func (c *Cache) Fill(item id.ID, version uint64, now float64) {
+	e := Entry{Item: item, Version: version, ExpiresAt: now + c.ttl}
+	if el, ok := c.entries[item]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.capacity {
+		c.removeElement(c.lru.Back())
+	}
+	c.entries[item] = c.lru.PushFront(e)
+}
+
+// Invalidate drops the item if cached (used when an authoritative update
+// notification reaches the node).
+func (c *Cache) Invalidate(item id.ID) {
+	if el, ok := c.entries[item]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *Cache) removeElement(el *list.Element) {
+	delete(c.entries, el.Value.(Entry).Item)
+	c.lru.Remove(el)
+}
+
+// Stats reports cumulative hit/miss/expiry counts.
+func (c *Cache) Stats() (hits, misses, expired uint64) {
+	return c.hits, c.misses, c.expired
+}
+
+// VersionedStore tracks the authoritative version of every item; an
+// update bumps the version. It stands in for the item owners' data in
+// staleness experiments.
+type VersionedStore struct {
+	versions map[id.ID]uint64
+	updates  uint64
+}
+
+// NewVersionedStore returns an empty store; unknown items have version 0.
+func NewVersionedStore() *VersionedStore {
+	return &VersionedStore{versions: make(map[id.ID]uint64)}
+}
+
+// Version returns the item's current authoritative version.
+func (s *VersionedStore) Version(item id.ID) uint64 { return s.versions[item] }
+
+// Update bumps the item's version (the mobile host moved; the record
+// changed) and returns the new version.
+func (s *VersionedStore) Update(item id.ID) uint64 {
+	s.versions[item]++
+	s.updates++
+	return s.versions[item]
+}
+
+// Updates returns the total number of updates applied.
+func (s *VersionedStore) Updates() uint64 { return s.updates }
+
+// Fresh reports whether a cached version matches the authoritative one.
+func (s *VersionedStore) Fresh(item id.ID, cached uint64) bool {
+	return s.versions[item] == cached
+}

@@ -1,0 +1,138 @@
+package itemcache
+
+import (
+	"testing"
+
+	"peercache/internal/id"
+)
+
+func TestNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"capacity": func() { New(0, 10) },
+		"ttl":      func() { New(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLookupFillBasics(t *testing.T) {
+	c := New(4, 30)
+	if _, ok := c.Lookup(1, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Fill(1, 7, 0)
+	e, ok := c.Lookup(1, 10)
+	if !ok || e.Version != 7 || e.Item != 1 {
+		t.Fatalf("entry = %+v ok=%v", e, ok)
+	}
+	hits, misses, expired := c.Stats()
+	if hits != 1 || misses != 1 || expired != 0 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, expired)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(4, 30)
+	c.Fill(1, 1, 0)
+	if _, ok := c.Lookup(1, 29.9); !ok {
+		t.Fatal("expired before TTL")
+	}
+	if _, ok := c.Lookup(1, 30); ok {
+		t.Fatal("hit at TTL boundary")
+	}
+	_, _, expired := c.Stats()
+	if expired != 1 {
+		t.Errorf("expired = %d, want 1", expired)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after expiry collection", c.Len())
+	}
+}
+
+func TestRefillExtendsTTLAndVersion(t *testing.T) {
+	c := New(4, 30)
+	c.Fill(1, 1, 0)
+	c.Fill(1, 2, 20)
+	e, ok := c.Lookup(1, 45)
+	if !ok || e.Version != 2 {
+		t.Fatalf("entry = %+v ok=%v, want version 2 alive at t=45", e, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (refill must not duplicate)", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, 100)
+	c.Fill(1, 1, 0)
+	c.Fill(2, 1, 1)
+	c.Lookup(1, 2)  // 1 becomes most recent
+	c.Fill(3, 1, 3) // evicts 2
+	if _, ok := c.Lookup(2, 4); ok {
+		t.Error("LRU item 2 not evicted")
+	}
+	if _, ok := c.Lookup(1, 4); !ok {
+		t.Error("recently used item 1 evicted")
+	}
+	if _, ok := c.Lookup(3, 4); !ok {
+		t.Error("new item 3 missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(2, 100)
+	c.Fill(1, 1, 0)
+	c.Invalidate(1)
+	c.Invalidate(9) // absent: no-op
+	if _, ok := c.Lookup(1, 1); ok {
+		t.Error("invalidated entry still served")
+	}
+}
+
+func TestVersionedStore(t *testing.T) {
+	s := NewVersionedStore()
+	if s.Version(5) != 0 {
+		t.Error("unknown item version not 0")
+	}
+	if v := s.Update(5); v != 1 {
+		t.Errorf("Update = %d, want 1", v)
+	}
+	s.Update(5)
+	if s.Version(5) != 2 || s.Updates() != 2 {
+		t.Errorf("version=%d updates=%d", s.Version(5), s.Updates())
+	}
+	if s.Fresh(5, 1) {
+		t.Error("stale version reported fresh")
+	}
+	if !s.Fresh(5, 2) {
+		t.Error("current version reported stale")
+	}
+}
+
+// The staleness scenario from the paper's introduction: an entry cached
+// before an update keeps being served (fresh TTL) with the old version.
+func TestStaleServingWindow(t *testing.T) {
+	c := New(4, 60)
+	s := NewVersionedStore()
+	item := id.ID(42)
+	s.Update(item) // version 1
+	c.Fill(item, s.Version(item), 0)
+	s.Update(item) // the mobile host moved: version 2
+	e, ok := c.Lookup(item, 30)
+	if !ok {
+		t.Fatal("entry should still be within TTL")
+	}
+	if s.Fresh(item, e.Version) {
+		t.Fatal("cache serves version 1 but store is at 2: must be stale")
+	}
+}

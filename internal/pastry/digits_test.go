@@ -1,0 +1,165 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func digitNetwork(t *testing.T, rng *rand.Rand, bits, digitBits uint, n int) *Network {
+	t.Helper()
+	nw := New(Config{Space: id.NewSpace(bits), DigitBits: digitBits, LocalityAware: true})
+	for _, x := range randx.UniqueIDs(rng, n, uint64(1)<<bits) {
+		if _, err := nw.AddNode(id.ID(x), Coord{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll()
+	return nw
+}
+
+func TestNewPanicsOnBadDigitSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("digit size 3 over 16-bit ids did not panic")
+		}
+	}()
+	New(Config{Space: id.NewSpace(16), DigitBits: 3})
+}
+
+func TestDigitOf(t *testing.T) {
+	nw := New(Config{Space: id.NewSpace(8), DigitBits: 4})
+	// 0xB7 -> digits 11, 7.
+	if got := nw.digitOf(0xB7, 0); got != 0xB {
+		t.Errorf("digit 0 = %x, want b", got)
+	}
+	if got := nw.digitOf(0xB7, 1); got != 0x7 {
+		t.Errorf("digit 1 = %x, want 7", got)
+	}
+}
+
+func TestRoutingTableSlotsPerDigit(t *testing.T) {
+	// 8-bit ids, hex digits: node 0x00 must fill slot (0, v) for every
+	// digit value v present in the population.
+	nw := New(Config{Space: id.NewSpace(8), DigitBits: 4})
+	ids := []uint64{0x00, 0x13, 0x27, 0x3A, 0xF0}
+	for _, x := range ids {
+		if _, err := nw.AddNode(id.ID(x), Coord{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll()
+	n := nw.Node(0)
+	wantSlots := map[uint]id.ID{0x1: 0x13, 0x2: 0x27, 0x3: 0x3A, 0xF: 0xF0}
+	for v, want := range wantSlots {
+		if !n.hasEntry[0][v] || n.table[0][v] != want {
+			t.Errorf("slot (0,%x) = %v/%02x, want %02x", v, n.hasEntry[0][v], uint64(n.table[0][v]), uint64(want))
+		}
+	}
+	if n.hasEntry[0][0x0] {
+		t.Error("slot for own digit populated")
+	}
+	// Row 1: nodes sharing digit 0 with 0x00 (none besides itself
+	// except... only 0x00 starts with 0x0? 0x13 starts with 1 — so row
+	// 1 should be empty except if another 0x0X exists).
+	for v := uint(0); v < 16; v++ {
+		if n.hasEntry[1][v] {
+			t.Errorf("unexpected row-1 slot %x populated", v)
+		}
+	}
+}
+
+func TestHexRoutingReachesOwner(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nw := digitNetwork(t, rng, 16, 4, 300)
+	ids := nw.AliveIDs()
+	for i := 0; i < 3000; i++ {
+		from := ids[rng.Intn(len(ids))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || res.Timeouts != 0 {
+			t.Fatalf("hex lookup failed: %+v", res)
+		}
+		want, _ := nw.Owner(key)
+		if res.Dest != want {
+			t.Fatalf("Dest = %d, want %d", res.Dest, want)
+		}
+	}
+}
+
+// Hex digits fix 4 bits per hop: average hop counts must come in well
+// below the binary-digit overlay on the same membership.
+func TestHexRoutingFewerHopsThanBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	raw := randx.UniqueIDs(rng, 400, 1<<20)
+	build := func(digitBits uint) *Network {
+		crng := rand.New(rand.NewSource(5))
+		nw := New(Config{Space: id.NewSpace(20), DigitBits: digitBits, LocalityAware: true})
+		for _, x := range raw {
+			if _, err := nw.AddNode(id.ID(x), Coord{crng.Float64(), crng.Float64()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nw.StabilizeAll()
+		return nw
+	}
+	binary := build(1)
+	hex := build(4)
+	qrng := rand.New(rand.NewSource(7))
+	totalBin, totalHex := 0, 0
+	for i := 0; i < 2000; i++ {
+		from := id.ID(raw[qrng.Intn(len(raw))])
+		key := id.ID(qrng.Intn(1 << 20))
+		rb, err := binary.Route(from, key)
+		if err != nil || !rb.OK {
+			t.Fatalf("binary lookup failed: %v %+v", err, rb)
+		}
+		rh, err := hex.Route(from, key)
+		if err != nil || !rh.OK {
+			t.Fatalf("hex lookup failed: %v %+v", err, rh)
+		}
+		totalBin += rb.Hops
+		totalHex += rh.Hops
+	}
+	if totalHex >= totalBin {
+		t.Errorf("hex routing not faster: %d vs %d total hops", totalHex, totalBin)
+	}
+}
+
+// End to end with digit-aware selection: aux chosen under the hex digit
+// metric shorten hex-routed lookups.
+func TestHexAuxReduceHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	nw := digitNetwork(t, rng, 16, 4, 300)
+	ids := nw.AliveIDs()
+	src := ids[0]
+	var far id.ID
+	base := 0
+	for _, to := range ids[1:] {
+		res, err := nw.Route(src, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops > base {
+			base, far = res.Hops, to
+		}
+	}
+	if base < 2 {
+		t.Skip("no multi-hop destination")
+	}
+	if err := nw.SetAux(src, []id.ID{far}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Route(src, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 1 {
+		t.Fatalf("hops with direct aux = %d, want 1", res.Hops)
+	}
+}

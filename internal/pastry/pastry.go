@@ -1,0 +1,551 @@
+// Package pastry is an event-driven Pastry overlay simulator reproducing
+// the behaviours the paper's evaluation depends on (Sections II-A, VI-B):
+// binary prefix routing over a routing table with one row per matched
+// prefix length, a leaf set for final delivery, and FreePastry's
+// locality-aware choice among next-hop candidates, with per-node
+// proximity coordinates standing in for network round-trip times.
+//
+// Auxiliary neighbors installed by the selection layer participate in
+// routing exactly like core entries (Section III: "no change in the
+// underlying routing policy").
+package pastry
+
+import (
+	"fmt"
+	"sort"
+
+	"peercache/internal/freq"
+	"peercache/internal/id"
+)
+
+// Config parameterizes a simulated overlay.
+type Config struct {
+	// Space is the identifier space (the paper uses 32-bit binary ids).
+	Space id.Space
+	// DigitBits is the routing digit size d: ids are sequences of
+	// base-2^d digits (footnote 2 of the paper; FreePastry uses d = 4).
+	// Must divide the identifier length. Defaults to 1 (binary digits,
+	// the paper's exposition).
+	DigitBits uint
+	// LeafSetSize is the total leaf set size (half per side). Defaults
+	// to 8 when 0.
+	LeafSetSize int
+	// MaxHops caps a lookup before it is declared failed. Defaults to
+	// 4·b when 0.
+	MaxHops int
+	// LocalityAware selects FreePastry's behaviour: among equally
+	// useful next-hop candidates pick the one closest in the proximity
+	// space. When false, ties are broken by numeric closeness to the
+	// key (the id-greedy policy the paper's Chord simulator uses).
+	LocalityAware bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DigitBits == 0 {
+		c.DigitBits = 1
+	}
+	if c.LeafSetSize == 0 {
+		c.LeafSetSize = 8
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 4 * int(c.Space.Bits())
+	}
+	return c
+}
+
+// Coord is a point in the proximity space; distances between coordinates
+// model inter-node round-trip times.
+type Coord struct{ X, Y float64 }
+
+func (a Coord) dist2(b Coord) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Node is one Pastry peer.
+type Node struct {
+	id    id.ID
+	alive bool
+	coord Coord
+
+	// table[l] is the row-l routing entry set: table[l][v] is a node
+	// sharing exactly l prefix digits with this node and having digit
+	// value v at position l (hasEntry[l][v] marks populated slots).
+	table    [][]id.ID
+	hasEntry [][]bool
+	leaf     []id.ID
+	// leafCCW/leafCW delimit the clockwise arc [leafCCW, leafCW]
+	// (through this node) that the leaf set covers; equal to id when
+	// the leaf set is empty.
+	leafCCW, leafCW id.ID
+	aux             []id.ID
+
+	// Counter accumulates destinations of lookups this node
+	// originated.
+	Counter *freq.Exact
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() id.ID { return n.id }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Coord returns the node's proximity coordinate.
+func (n *Node) Coord() Coord { return n.coord }
+
+// Leaf returns a copy of the node's leaf set.
+func (n *Node) Leaf() []id.ID { return append([]id.ID(nil), n.leaf...) }
+
+// Aux returns a copy of the node's auxiliary neighbor set.
+func (n *Node) Aux() []id.ID { return append([]id.ID(nil), n.aux...) }
+
+// TableEntries returns the populated routing-table entries.
+func (n *Node) TableEntries() []id.ID {
+	var out []id.ID
+	for l, row := range n.hasEntry {
+		for v, ok := range row {
+			if ok {
+				out = append(out, n.table[l][v])
+			}
+		}
+	}
+	return out
+}
+
+// CoreNeighbors returns the node's core neighbor set as the selection
+// layer sees it: routing table entries plus leaf set, deduplicated.
+func (n *Node) CoreNeighbors() []id.ID {
+	seen := make(map[id.ID]bool)
+	var out []id.ID
+	add := func(w id.ID) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for l, row := range n.hasEntry {
+		for v, ok := range row {
+			if ok {
+				add(n.table[l][v])
+			}
+		}
+	}
+	for _, w := range n.leaf {
+		add(w)
+	}
+	return out
+}
+
+// Network is the simulated overlay.
+type Network struct {
+	cfg   Config
+	nodes map[id.ID]*Node
+	alive []id.ID // sorted
+}
+
+// New returns an empty overlay. It panics if DigitBits does not divide
+// the identifier length — a static configuration error.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	if cfg.Space.Bits()%cfg.DigitBits != 0 {
+		panic(fmt.Sprintf("pastry: digit size %d does not divide %d-bit ids", cfg.DigitBits, cfg.Space.Bits()))
+	}
+	return &Network{cfg: cfg, nodes: make(map[id.ID]*Node)}
+}
+
+// digits returns the id length in digits.
+func (nw *Network) digits() uint { return nw.cfg.Space.Bits() / nw.cfg.DigitBits }
+
+// digitOf returns the i-th digit (MSB-first) of x.
+func (nw *Network) digitOf(x id.ID, i uint) uint {
+	d := nw.cfg.DigitBits
+	shift := nw.cfg.Space.Bits() - (i+1)*d
+	return uint(uint64(x)>>shift) & (1<<d - 1)
+}
+
+// lcpDigits returns the number of leading digits shared by u and v.
+func (nw *Network) lcpDigits(u, v id.ID) uint {
+	return nw.cfg.Space.CommonPrefixLen(u, v) / nw.cfg.DigitBits
+}
+
+// Config returns the effective configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Space returns the identifier space.
+func (nw *Network) Space() id.Space { return nw.cfg.Space }
+
+// NumAlive returns the number of live nodes.
+func (nw *Network) NumAlive() int { return len(nw.alive) }
+
+// AliveIDs returns a copy of the live node ids in ascending order.
+func (nw *Network) AliveIDs() []id.ID { return append([]id.ID(nil), nw.alive...) }
+
+// Node returns the node with the given id, or nil.
+func (nw *Network) Node(x id.ID) *Node { return nw.nodes[x] }
+
+// AddNode creates a live node at the given proximity coordinate with
+// empty routing state; call Stabilize or StabilizeAll to build tables.
+func (nw *Network) AddNode(x id.ID, coord Coord) (*Node, error) {
+	if uint64(x) >= nw.cfg.Space.Size() {
+		return nil, fmt.Errorf("pastry: node %d outside %d-bit space", x, nw.cfg.Space.Bits())
+	}
+	if _, ok := nw.nodes[x]; ok {
+		return nil, fmt.Errorf("pastry: duplicate node %d", x)
+	}
+	rows := nw.digits()
+	slots := uint(1) << nw.cfg.DigitBits
+	n := &Node{
+		id:      x,
+		alive:   true,
+		coord:   coord,
+		Counter: freq.NewExact(),
+	}
+	n.table = make([][]id.ID, rows)
+	n.hasEntry = make([][]bool, rows)
+	for l := uint(0); l < rows; l++ {
+		n.table[l] = make([]id.ID, slots)
+		n.hasEntry[l] = make([]bool, slots)
+	}
+	nw.nodes[x] = n
+	nw.insertAlive(x)
+	return n, nil
+}
+
+// Crash marks a node dead, retaining its routing state.
+func (nw *Network) Crash(x id.ID) error {
+	n := nw.nodes[x]
+	if n == nil || !n.alive {
+		return fmt.Errorf("pastry: crash of absent or dead node %d", x)
+	}
+	n.alive = false
+	nw.removeAlive(x)
+	return nil
+}
+
+// Rejoin brings a crashed node back: auxiliary neighbors are dropped
+// (they are stale) and tables are rebuilt. The observed-frequency
+// history is retained; callers wanting fresh counters Reset explicitly.
+func (nw *Network) Rejoin(x id.ID) error {
+	n := nw.nodes[x]
+	if n == nil || n.alive {
+		return fmt.Errorf("pastry: rejoin of absent or live node %d", x)
+	}
+	n.alive = true
+	n.aux = nil
+	nw.insertAlive(x)
+	nw.Stabilize(x)
+	return nil
+}
+
+func (nw *Network) insertAlive(x id.ID) {
+	i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] >= x })
+	nw.alive = append(nw.alive, 0)
+	copy(nw.alive[i+1:], nw.alive[i:])
+	nw.alive[i] = x
+}
+
+func (nw *Network) removeAlive(x id.ID) {
+	i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] >= x })
+	if i < len(nw.alive) && nw.alive[i] == x {
+		nw.alive = append(nw.alive[:i], nw.alive[i+1:]...)
+	}
+}
+
+// closer reports whether node a is strictly numerically closer to key
+// than node b, on the circular id space. Equidistant pairs (one on each
+// side) are broken in favor of the counter-clockwise node (the key's
+// predecessor side), deterministically.
+func (nw *Network) closer(a, b, key id.ID) bool {
+	s := nw.cfg.Space
+	da, db := circDist(s, a, key), circDist(s, b, key)
+	if da != db {
+		return da < db
+	}
+	// Prefer the predecessor side: gap(a, key) <= gap(b, key).
+	return s.Gap(a, key) < s.Gap(b, key)
+}
+
+func circDist(s id.Space, x, key id.ID) uint64 {
+	g1, g2 := s.Gap(x, key), s.Gap(key, x)
+	if g1 < g2 {
+		return g1
+	}
+	return g2
+}
+
+// Owner returns the live node numerically closest to key (Section II-A:
+// queries are routed to the node numerically closest to the queried
+// key). The second result is false when the overlay is empty.
+func (nw *Network) Owner(key id.ID) (id.ID, bool) {
+	if len(nw.alive) == 0 {
+		return 0, false
+	}
+	// The owner is one of the two neighbors of key in the sorted ring.
+	i := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] > key })
+	succ := nw.alive[i%len(nw.alive)]
+	pred := nw.alive[(i+len(nw.alive)-1)%len(nw.alive)]
+	if nw.closer(pred, succ, key) {
+		return pred, true
+	}
+	return succ, true
+}
+
+// Stabilize rebuilds x's routing table and leaf set from the current
+// membership and prunes dead auxiliary entries. Slot (l, v) is filled
+// with a live node sharing exactly l prefix digits with x and carrying
+// digit v at position l; when several candidates exist the
+// locality-aware mode picks the proximity-closest (FreePastry),
+// otherwise the lowest id.
+func (nw *Network) Stabilize(x id.ID) {
+	n := nw.nodes[x]
+	if n == nil || !n.alive {
+		return
+	}
+	s := nw.cfg.Space
+	b := s.Bits()
+	d := nw.cfg.DigitBits
+	rows := nw.digits()
+	slots := uint(1) << d
+	for l := uint(0); l < rows; l++ {
+		own := nw.digitOf(x, l)
+		for v := uint(0); v < slots; v++ {
+			n.hasEntry[l][v] = false
+			if v == own {
+				continue
+			}
+			// Candidates share x's first l digits and carry digit v
+			// at position l: the contiguous id range [lo, hi].
+			shift := b - (l+1)*d
+			prefixBits := uint64(x) >> (b - l*d) << d // first l digits
+			lo := (prefixBits | uint64(v)) << shift
+			hi := lo + (uint64(1)<<shift - 1)
+			i := sort.Search(len(nw.alive), func(i int) bool { return uint64(nw.alive[i]) >= lo })
+			bestSet := false
+			var best id.ID
+			var bestProx float64
+			for ; i < len(nw.alive) && uint64(nw.alive[i]) <= hi; i++ {
+				w := nw.alive[i]
+				if !nw.cfg.LocalityAware {
+					best, bestSet = w, true // lowest id: first in range
+					break
+				}
+				prox := n.coord.dist2(nw.nodes[w].coord)
+				if !bestSet || prox < bestProx {
+					best, bestProx, bestSet = w, prox, true
+				}
+			}
+			if bestSet {
+				n.table[l][v] = best
+				n.hasEntry[l][v] = true
+			}
+		}
+	}
+	// Leaf set: LeafSetSize/2 nearest live nodes on each side.
+	n.leaf = n.leaf[:0]
+	n.leafCCW, n.leafCW = x, x
+	if len(nw.alive) > 1 {
+		half := nw.cfg.LeafSetSize / 2
+		pos := sort.Search(len(nw.alive), func(i int) bool { return nw.alive[i] >= x })
+		m := len(nw.alive)
+		for c := 1; c <= half && c < m; c++ {
+			n.leafCW = nw.alive[(pos+c)%m]
+			n.leaf = append(n.leaf, n.leafCW)
+		}
+		for c := 1; c <= half && c < m; c++ {
+			n.leafCCW = nw.alive[(pos-c+2*m)%m]
+			n.leaf = append(n.leaf, n.leafCCW)
+		}
+	}
+	// Prune dead auxiliary entries.
+	live := n.aux[:0]
+	for _, a := range n.aux {
+		if an := nw.nodes[a]; an != nil && an.alive {
+			live = append(live, a)
+		}
+	}
+	n.aux = live
+}
+
+// StabilizeAll stabilizes every live node.
+func (nw *Network) StabilizeAll() {
+	for _, x := range nw.AliveIDs() {
+		nw.Stabilize(x)
+	}
+}
+
+// SetAux installs the auxiliary neighbor set of node x.
+func (nw *Network) SetAux(x id.ID, aux []id.ID) error {
+	n := nw.nodes[x]
+	if n == nil {
+		return fmt.Errorf("pastry: SetAux on unknown node %d", x)
+	}
+	for _, a := range aux {
+		if a == x {
+			return fmt.Errorf("pastry: aux of node %d contains itself", x)
+		}
+	}
+	n.aux = append(n.aux[:0:0], aux...)
+	return nil
+}
+
+// RouteResult describes one lookup.
+type RouteResult struct {
+	Dest     id.ID
+	Hops     int
+	Timeouts int
+	OK       bool
+}
+
+// Route performs a lookup for key starting at from, under binary Pastry
+// routing: prefer candidates extending the shared prefix with the key
+// (deepest extension first — the most specific entry wins, exactly as a
+// routing-table row lookup would); fall back to leaf-set style numeric
+// progress when no prefix progress is available. Among equally deep
+// candidates the locality-aware mode picks the proximity-closest live
+// node (FreePastry); otherwise the numerically closest to the key. Dead
+// entries cost one timeout each before the next candidate is tried.
+func (nw *Network) Route(from id.ID, key id.ID) (RouteResult, error) {
+	src := nw.nodes[from]
+	if src == nil || !src.alive {
+		return RouteResult{}, fmt.Errorf("pastry: route from absent or dead node %d", from)
+	}
+	dest, ok := nw.Owner(key)
+	if !ok {
+		return RouteResult{}, fmt.Errorf("pastry: empty overlay")
+	}
+	res := RouteResult{Dest: dest}
+	cur := src
+	for cur.id != dest {
+		if res.Hops >= nw.cfg.MaxHops {
+			return res, nil
+		}
+		next, timeouts := nw.nextHop(cur, key)
+		res.Timeouts += timeouts
+		if next == nil {
+			return res, nil // dead end
+		}
+		cur = next
+		res.Hops++
+	}
+	res.OK = true
+	return res, nil
+}
+
+// nextHop chooses the forwarding target for key at node cur per the
+// standard Pastry rules, returning nil when no candidate advances the
+// query. Dead candidates each cost a timeout.
+//
+//  1. Leaf-set delivery: when the key falls inside cur's leaf-set range,
+//     forward to the numerically closest leaf (final-delivery rule).
+//  2. Prefix progress: forward to a known node sharing a strictly longer
+//     prefix with the key; the deepest extension wins, ties broken by
+//     proximity (locality-aware) or numeric closeness.
+//  3. Rare-case fallback: a known node with an equal-length prefix that
+//     is numerically closer to the key.
+func (nw *Network) nextHop(cur *Node, key id.ID) (*Node, int) {
+	s := nw.cfg.Space
+	l := nw.lcpDigits(cur.id, key)
+	timeouts := 0
+
+	// try returns the node if alive, charging a timeout otherwise.
+	try := func(w id.ID) *Node {
+		n := nw.nodes[w]
+		if n.alive {
+			return n
+		}
+		timeouts++
+		return nil
+	}
+
+	// Rule 1: leaf-set range check. The leaf set spans the clockwise
+	// arc [leafCCW, leafCW] through cur.
+	if len(cur.leaf) > 0 {
+		if s.Gap(cur.leafCCW, key) <= s.Gap(cur.leafCCW, cur.leafCW) {
+			// Try leaves in order of numeric closeness to the key,
+			// nearer than cur itself.
+			leaves := append([]id.ID(nil), cur.leaf...)
+			sort.Slice(leaves, func(i, j int) bool { return nw.closer(leaves[i], leaves[j], key) })
+			for _, w := range leaves {
+				if !nw.closer(w, cur.id, key) {
+					break
+				}
+				if n := try(w); n != nil {
+					return n, timeouts
+				}
+			}
+			// Fall through to the prefix rules when every closer leaf
+			// is dead.
+		}
+	}
+
+	// Gather all known entries once for rules 2 and 3.
+	type cand struct {
+		id   id.ID
+		lcp  uint
+		prox float64
+	}
+	seen := map[id.ID]bool{cur.id: true}
+	var cands []cand
+	add := func(w id.ID) {
+		if seen[w] {
+			return
+		}
+		seen[w] = true
+		c := cand{id: w, lcp: nw.lcpDigits(w, key)}
+		if nw.cfg.LocalityAware {
+			c.prox = cur.coord.dist2(nw.nodes[w].coord)
+		}
+		cands = append(cands, c)
+	}
+	for row, slots := range cur.hasEntry {
+		for v, ok := range slots {
+			if ok {
+				add(cur.table[row][v])
+			}
+		}
+	}
+	for _, w := range cur.leaf {
+		add(w)
+	}
+	for _, w := range cur.aux {
+		add(w)
+	}
+	// Deepest prefix extension wins (Pastry forwards to a node sharing
+	// a strictly longer prefix; the most specific known entry gives the
+	// most progress). Among equally deep candidates the locality-aware
+	// mode picks the proximity-closest live one (FreePastry, Section
+	// VI-C); otherwise the numerically closest to the key — the
+	// analogue of the paper's Chord router picking the entry closest to
+	// the destination.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.lcp != b.lcp {
+			return a.lcp > b.lcp
+		}
+		if nw.cfg.LocalityAware && a.prox != b.prox {
+			return a.prox < b.prox
+		}
+		return nw.closer(a.id, b.id, key)
+	})
+
+	// Rule 2: strictly longer prefix.
+	for _, c := range cands {
+		if c.lcp <= l {
+			break // sorted: no more prefix progress available
+		}
+		if n := try(c.id); n != nil {
+			return n, timeouts
+		}
+	}
+	// Rule 3: equal prefix, numerically closer.
+	for _, c := range cands {
+		if c.lcp != l || !nw.closer(c.id, cur.id, key) {
+			continue
+		}
+		if n := try(c.id); n != nil {
+			return n, timeouts
+		}
+	}
+	return nil, timeouts
+}

@@ -1,0 +1,330 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func buildNetwork(t *testing.T, bits uint, ids []uint64, locality bool) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(len(ids))))
+	nw := New(Config{Space: id.NewSpace(bits), LocalityAware: locality})
+	for _, x := range ids {
+		if _, err := nw.AddNode(id.ID(x), Coord{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll()
+	return nw
+}
+
+func randomNetwork(t *testing.T, rng *rand.Rand, bits uint, n int, locality bool) *Network {
+	t.Helper()
+	nw := New(Config{Space: id.NewSpace(bits), LocalityAware: locality})
+	for _, x := range randx.UniqueIDs(rng, n, uint64(1)<<bits) {
+		if _, err := nw.AddNode(id.ID(x), Coord{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll()
+	return nw
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	nw := New(Config{Space: id.NewSpace(4)})
+	if _, err := nw.AddNode(5, Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode(5, Coord{}); err == nil {
+		t.Error("duplicate AddNode: no error")
+	}
+	if _, err := nw.AddNode(99, Coord{}); err == nil {
+		t.Error("out-of-space AddNode: no error")
+	}
+}
+
+func TestOwnerNumericallyClosest(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{2, 7, 12}, false)
+	tests := []struct {
+		key  id.ID
+		want id.ID
+	}{
+		// 15 is equidistant from 12 and 2; the predecessor side wins.
+		{2, 2}, {4, 2}, {5, 7}, {7, 7}, {9, 7}, {10, 12}, {14, 12}, {0, 2}, {15, 12},
+	}
+	for _, tt := range tests {
+		got, ok := nw.Owner(tt.key)
+		if !ok || got != tt.want {
+			t.Errorf("Owner(%d) = %d, want %d", tt.key, got, tt.want)
+		}
+	}
+}
+
+func TestOwnerEquidistantDeterministic(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{4, 8}, false)
+	// Key 6 is equidistant from 4 and 8; the predecessor side wins.
+	got, _ := nw.Owner(6)
+	if got != 4 {
+		t.Errorf("Owner(6) = %d, want 4 (predecessor side)", got)
+	}
+}
+
+func TestRoutingTableRows(t *testing.T) {
+	// Node 0000 with nodes covering several prefix rows.
+	nw := buildNetwork(t, 4, []uint64{0b0000, 0b1000, 0b0100, 0b0010, 0b0001}, false)
+	n := nw.Node(0)
+	entries := n.TableEntries()
+	want := map[id.ID]bool{0b1000: true, 0b0100: true, 0b0010: true, 0b0001: true}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %v, want 4 rows", entries)
+	}
+	for _, e := range entries {
+		if !want[e] {
+			t.Errorf("unexpected entry %04b", e)
+		}
+	}
+}
+
+func TestRoutingTableLocalityChoosesClosest(t *testing.T) {
+	nw := New(Config{Space: id.NewSpace(4), LocalityAware: true})
+	nw.AddNode(0b0000, Coord{0, 0})
+	nw.AddNode(0b1000, Coord{5, 5}) // row-0 candidate, far
+	nw.AddNode(0b1100, Coord{1, 1}) // row-0 candidate, near
+	nw.StabilizeAll()
+	n := nw.Node(0)
+	if !n.hasEntry[0][1] || n.table[0][1] != 0b1100 {
+		t.Errorf("row 0 entry = %04b, want 1100 (proximity-closest)", n.table[0][1])
+	}
+}
+
+func TestLeafSetBothSides(t *testing.T) {
+	nw := buildNetwork(t, 8, []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, false)
+	leaf := nw.Node(50).Leaf()
+	want := map[id.ID]bool{60: true, 70: true, 80: true, 90: true, 40: true, 30: true, 20: true, 10: true}
+	if len(leaf) != 8 {
+		t.Fatalf("leaf set size = %d, want 8", len(leaf))
+	}
+	for _, w := range leaf {
+		if !want[w] {
+			t.Errorf("unexpected leaf %d", w)
+		}
+	}
+}
+
+func TestRouteReachesOwnerStable(t *testing.T) {
+	for _, locality := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(42))
+		nw := randomNetwork(t, rng, 16, 200, locality)
+		ids := nw.AliveIDs()
+		for i := 0; i < 3000; i++ {
+			from := ids[rng.Intn(len(ids))]
+			key := id.ID(rng.Intn(1 << 16))
+			res, err := nw.Route(from, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK {
+				t.Fatalf("locality=%v: lookup failed in stable network: from=%d key=%d", locality, from, key)
+			}
+			if res.Timeouts != 0 {
+				t.Fatalf("timeouts in stable network: %+v", res)
+			}
+			want, _ := nw.Owner(key)
+			if res.Dest != want {
+				t.Fatalf("Dest = %d, want %d", res.Dest, want)
+			}
+		}
+	}
+}
+
+// In a stable network prefix routing takes O(log n) hops; b is a hard
+// upper bound (one digit per hop plus final leaf-set delivery).
+func TestRouteHopBoundStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	nw := randomNetwork(t, rng, 16, 512, true)
+	ids := nw.AliveIDs()
+	for i := 0; i < 2000; i++ {
+		from := ids[rng.Intn(len(ids))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops > 17 {
+			t.Fatalf("lookup took %d hops", res.Hops)
+		}
+	}
+}
+
+func TestRouteSelfOwned(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{3, 10}, false)
+	res, err := nw.Route(3, 4) // key 4 closest to 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Hops != 0 || res.Dest != 3 {
+		t.Fatalf("res = %+v, want 0-hop self-owned", res)
+	}
+}
+
+func TestRouteFromDeadNodeErrors(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{3, 10}, false)
+	nw.Crash(3)
+	if _, err := nw.Route(3, 5); err == nil {
+		t.Error("route from dead node: no error")
+	}
+	if _, err := nw.Route(9, 5); err == nil {
+		t.Error("route from unknown node: no error")
+	}
+}
+
+// A direct auxiliary pointer shares every bit with the destination, so
+// it is the deepest candidate and the lookup completes in one hop.
+func TestAuxShortcutsReduceHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	nw := randomNetwork(t, rng, 16, 400, true)
+	ids := nw.AliveIDs()
+	from := ids[0]
+	var far id.ID
+	base := 0
+	for _, to := range ids[1:] {
+		res, err := nw.Route(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops > base {
+			base, far = res.Hops, to
+		}
+	}
+	if base < 2 {
+		t.Skip("no multi-hop destination found")
+	}
+	if err := nw.SetAux(from, []id.ID{far}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Route(from, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 1 {
+		t.Fatalf("hops with direct aux = %d, want 1 (got %+v)", res.Hops, res)
+	}
+}
+
+func TestSetAuxValidation(t *testing.T) {
+	nw := buildNetwork(t, 4, []uint64{3, 10}, false)
+	if err := nw.SetAux(3, []id.ID{3}); err == nil {
+		t.Error("self-aux: no error")
+	}
+	if err := nw.SetAux(9, []id.ID{3}); err == nil {
+		t.Error("aux on unknown node: no error")
+	}
+}
+
+func TestCrashRejoinLifecycle(t *testing.T) {
+	nw := buildNetwork(t, 8, []uint64{10, 50, 90, 130, 170, 210}, false)
+	if err := nw.Crash(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Crash(90); err == nil {
+		t.Error("double crash: no error")
+	}
+	if nw.NumAlive() != 5 {
+		t.Fatalf("NumAlive = %d, want 5", nw.NumAlive())
+	}
+	if err := nw.Rejoin(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Rejoin(90); err == nil {
+		t.Error("double rejoin: no error")
+	}
+	n := nw.Node(90)
+	if len(n.Aux()) != 0 {
+		t.Error("rejoin did not drop stale aux")
+	}
+}
+
+func TestChurnThenStabilizeRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	nw := randomNetwork(t, rng, 16, 300, true)
+	ids := nw.AliveIDs()
+	for i := 0; i < 45; i++ {
+		nw.Crash(ids[i*6])
+	}
+	alive := nw.AliveIDs()
+	fails, timeouts := 0, 0
+	for i := 0; i < 500; i++ {
+		from := alive[rng.Intn(len(alive))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			fails++
+		}
+		timeouts += res.Timeouts
+	}
+	if timeouts == 0 {
+		t.Error("expected timeouts on stale entries after churn")
+	}
+	// Some failures are possible mid-churn; they must be rare thanks to
+	// leaf-set redundancy.
+	if fails > 25 {
+		t.Errorf("too many failed lookups mid-churn: %d/500", fails)
+	}
+	nw.StabilizeAll()
+	for i := 0; i < 500; i++ {
+		from := alive[rng.Intn(len(alive))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || res.Timeouts != 0 {
+			t.Fatalf("post-stabilization lookup not clean: %+v", res)
+		}
+	}
+}
+
+func TestStabilizePrunesDeadAux(t *testing.T) {
+	nw := buildNetwork(t, 8, []uint64{10, 50, 90, 130}, false)
+	if err := nw.SetAux(10, []id.ID{90, 130}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Crash(90)
+	nw.Stabilize(10)
+	aux := nw.Node(10).Aux()
+	if len(aux) != 1 || aux[0] != 130 {
+		t.Fatalf("aux after prune = %v, want [130]", aux)
+	}
+}
+
+func TestCoreNeighborsDeduplicated(t *testing.T) {
+	nw := buildNetwork(t, 8, []uint64{10, 50, 90, 130}, false)
+	core := nw.Node(10).CoreNeighbors()
+	seen := map[id.ID]bool{}
+	for _, c := range core {
+		if seen[c] {
+			t.Fatalf("duplicate core neighbor %d", c)
+		}
+		if c == 10 {
+			t.Fatal("node lists itself as core neighbor")
+		}
+		seen[c] = true
+	}
+	if len(core) == 0 {
+		t.Fatal("no core neighbors")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	nw := New(Config{Space: id.NewSpace(8)})
+	cfg := nw.Config()
+	if cfg.LeafSetSize != 8 || cfg.MaxHops != 32 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

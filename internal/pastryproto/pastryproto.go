@@ -1,0 +1,497 @@
+// Package pastryproto is a message-level Pastry implementation of the
+// protocol machinery the paper's evaluation assumes is in place: node
+// arrival by routing a JOIN toward the new id (each node on the path
+// contributes its routing table, the numerically closest node its leaf
+// set, and the joiner then announces itself to everyone it learned of),
+// plus periodic leaf-set and routing-table repair by probing.
+//
+// Like internal/chordproto for Chord, the package validates the oracle
+// abstraction used by the internal/pastry simulator: tests show the
+// protocol's converged leaf sets equal the oracle's exactly, every
+// routing-table slot it fills is correctly placed, and its slot coverage
+// matches the oracle's.
+package pastryproto
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peercache/internal/id"
+	"peercache/internal/sim"
+)
+
+// Config parameterizes a protocol network.
+type Config struct {
+	// Space is the identifier space.
+	Space id.Space
+	// LeafHalf is the number of leaf-set entries per side (default 4).
+	LeafHalf int
+	// RepairEvery is the period of the probe/repair round (default 30 s).
+	RepairEvery float64
+	// MinDelay and MaxDelay bound one-way message latency (defaults
+	// 10 ms and 100 ms).
+	MinDelay, MaxDelay float64
+	// Seed drives latency sampling and repair phases.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafHalf == 0 {
+		c.LeafHalf = 4
+	}
+	if c.RepairEvery == 0 {
+		c.RepairEvery = 30
+	}
+	if c.MinDelay == 0 {
+		c.MinDelay = 0.01
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 0.1
+	}
+	return c
+}
+
+// Node is one protocol participant; all state arrives via messages.
+type Node struct {
+	id       id.ID
+	alive    bool
+	leafHalf int
+
+	// table[l] is the row-l slot for the opposite bit at position l
+	// (binary digits: one slot per row).
+	table    []id.ID
+	hasEntry []bool
+
+	// leafCW/leafCCW are the clockwise and counter-clockwise leaf-set
+	// sides, each sorted nearest-first, at most LeafHalf entries.
+	leafCW, leafCCW []id.ID
+}
+
+// ID returns the node id.
+func (n *Node) ID() id.ID { return n.id }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Leaves returns the node's full leaf set, clockwise side first.
+func (n *Node) Leaves() []id.ID {
+	out := append([]id.ID(nil), n.leafCW...)
+	return append(out, n.leafCCW...)
+}
+
+// TableEntries returns the populated routing-table entries by row.
+func (n *Node) TableEntries() map[int]id.ID {
+	out := make(map[int]id.ID)
+	for l, ok := range n.hasEntry {
+		if ok {
+			out[l] = n.table[l]
+		}
+	}
+	return out
+}
+
+// Stats counts protocol traffic.
+type Stats struct {
+	Messages uint64
+	Timeouts uint64
+	Joins    uint64
+}
+
+// Network is the protocol simulation.
+type Network struct {
+	cfg   Config
+	eng   *sim.Engine
+	rng   *rand.Rand
+	nodes map[id.ID]*Node
+	stats Stats
+}
+
+// New returns an empty protocol network on the given engine.
+func New(cfg Config, eng *sim.Engine, rng *rand.Rand) *Network {
+	return &Network{cfg: cfg.withDefaults(), eng: eng, rng: rng, nodes: make(map[id.ID]*Node)}
+}
+
+// Stats returns cumulative traffic counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Node returns the node with the given id, or nil.
+func (nw *Network) Node(x id.ID) *Node { return nw.nodes[x] }
+
+func (nw *Network) delay() float64 {
+	return nw.cfg.MinDelay + nw.rng.Float64()*(nw.cfg.MaxDelay-nw.cfg.MinDelay)
+}
+
+// rpc models a request/response exchange; onDead fires if the callee is
+// down when the request arrives.
+func (nw *Network) rpc(callee id.ID, handle func(*Node), onDead func()) {
+	nw.eng.After(nw.delay(), func() {
+		c := nw.nodes[callee]
+		if c == nil || !c.alive {
+			nw.stats.Timeouts++
+			if onDead != nil {
+				nw.eng.After(nw.delay(), onDead)
+			}
+			return
+		}
+		nw.stats.Messages += 2
+		nw.eng.After(nw.delay(), func() { handle(c) })
+	})
+}
+
+// Bootstrap creates the first node.
+func (nw *Network) Bootstrap(x id.ID) (*Node, error) {
+	if err := nw.checkNew(x); err != nil {
+		return nil, err
+	}
+	n := nw.newNode(x)
+	nw.scheduleRepair(n)
+	return n, nil
+}
+
+func (nw *Network) checkNew(x id.ID) error {
+	if uint64(x) >= nw.cfg.Space.Size() {
+		return fmt.Errorf("pastryproto: node %d outside %d-bit space", x, nw.cfg.Space.Bits())
+	}
+	if _, ok := nw.nodes[x]; ok {
+		return fmt.Errorf("pastryproto: duplicate node %d", x)
+	}
+	return nil
+}
+
+func (nw *Network) newNode(x id.ID) *Node {
+	b := nw.cfg.Space.Bits()
+	n := &Node{
+		id:       x,
+		alive:    true,
+		leafHalf: nw.cfg.LeafHalf,
+		table:    make([]id.ID, b),
+		hasEntry: make([]bool, b),
+	}
+	nw.nodes[x] = n
+	return n
+}
+
+// Crash kills a node silently.
+func (nw *Network) Crash(x id.ID) error {
+	n := nw.nodes[x]
+	if n == nil || !n.alive {
+		return fmt.Errorf("pastryproto: crash of absent or dead node %d", x)
+	}
+	n.alive = false
+	return nil
+}
+
+// Join routes a JOIN for x through bootstrap: every node on the path
+// contributes its routing table, the final node its leaf set; the joiner
+// then announces itself to every node it learned about. done (optional)
+// fires when the announcement fan-out has been sent.
+func (nw *Network) Join(x, bootstrap id.ID, done func()) error {
+	if err := nw.checkNew(x); err != nil {
+		return err
+	}
+	if b := nw.nodes[bootstrap]; b == nil || !b.alive {
+		return fmt.Errorf("pastryproto: bootstrap %d absent or dead", bootstrap)
+	}
+	n := nw.newNode(x)
+
+	var walk func(cur id.ID, hops int)
+	walk = func(cur id.ID, hops int) {
+		nw.rpc(cur, func(c *Node) {
+			// The path node contributes every entry it knows.
+			for l, ok := range c.hasEntry {
+				if ok {
+					n.learn(nw.cfg.Space, c.table[l])
+				}
+			}
+			n.learn(nw.cfg.Space, c.id)
+			for _, w := range c.Leaves() {
+				n.learn(nw.cfg.Space, w)
+			}
+			next, found := c.nextHop(nw.cfg.Space, x)
+			if !found || hops > 4*int(nw.cfg.Space.Bits()) {
+				// cur is the numerically closest node: finish the join
+				// and announce.
+				nw.stats.Joins++
+				nw.scheduleRepair(n)
+				nw.announce(n)
+				if done != nil {
+					done()
+				}
+				return
+			}
+			walk(next, hops+1)
+		}, func() {
+			// Path node died mid-join; retry from the bootstrap.
+			nw.eng.After(1, func() {
+				if n.alive {
+					walk(bootstrap, 0)
+				}
+			})
+		})
+	}
+	walk(bootstrap, 0)
+	return nil
+}
+
+// announce tells every node the joiner knows about that it exists; they
+// fold it into their own state.
+func (nw *Network) announce(n *Node) {
+	targets := make(map[id.ID]bool)
+	for l, ok := range n.hasEntry {
+		if ok {
+			targets[n.table[l]] = true
+		}
+	}
+	for _, w := range n.Leaves() {
+		targets[w] = true
+	}
+	for w := range targets {
+		nw.rpc(w, func(peer *Node) {
+			peer.learn(nw.cfg.Space, n.id)
+		}, nil)
+	}
+}
+
+// learn folds a newly seen node into this node's routing state: the
+// matching routing-table slot if empty, and the leaf set if it is among
+// the LeafHalf nearest on its side.
+func (n *Node) learn(space id.Space, w id.ID) {
+	if w == n.id {
+		return
+	}
+	l := space.CommonPrefixLen(n.id, w)
+	if int(l) < len(n.table) && !n.hasEntry[l] {
+		n.table[l] = w
+		n.hasEntry[l] = true
+	}
+	n.leafCW = insertLeaf(space, n.leafCW, n.id, w, n.leafHalf, true)
+	n.leafCCW = insertLeaf(space, n.leafCCW, n.id, w, n.leafHalf, false)
+}
+
+// insertLeaf maintains one leaf-set side: sorted nearest-first by
+// clockwise (cw) or counter-clockwise gap, capped at half entries.
+func insertLeaf(space id.Space, side []id.ID, self, w id.ID, half int, cw bool) []id.ID {
+	gap := func(a id.ID) uint64 {
+		if cw {
+			return space.Gap(self, a)
+		}
+		return space.Gap(a, self)
+	}
+	for _, e := range side {
+		if e == w {
+			return side
+		}
+	}
+	side = append(side, w)
+	sort.Slice(side, func(i, j int) bool { return gap(side[i]) < gap(side[j]) })
+	if len(side) > half {
+		side = side[:half]
+	}
+	return side
+}
+
+// nextHop is the standard Pastry forwarding decision for target:
+// leaf-set delivery when the key falls within the leaf arc, else the
+// deepest prefix extension, else an equal-prefix numerically closer
+// node; (0, false) when cur is the closest node it knows.
+func (n *Node) nextHop(space id.Space, target id.ID) (id.ID, bool) {
+	// Rule 1: leaf-set delivery. The leaf arc spans from the farthest
+	// counter-clockwise leaf to the farthest clockwise leaf.
+	if len(n.leafCW) > 0 || len(n.leafCCW) > 0 {
+		ccw, cw := n.id, n.id
+		if len(n.leafCCW) > 0 {
+			ccw = n.leafCCW[len(n.leafCCW)-1]
+		}
+		if len(n.leafCW) > 0 {
+			cw = n.leafCW[len(n.leafCW)-1]
+		}
+		if space.Gap(ccw, target) <= space.Gap(ccw, cw) {
+			best := n.id
+			for _, w := range n.Leaves() {
+				if closer(space, w, best, target) {
+					best = w
+				}
+			}
+			if best != n.id {
+				return best, true
+			}
+			return 0, false // cur is the numerically closest it knows
+		}
+	}
+	// Rule 2: deepest strictly longer prefix.
+	l := space.CommonPrefixLen(n.id, target)
+	bestL := l
+	var best id.ID
+	found := false
+	for row, ok := range n.hasEntry {
+		if ok {
+			if wl := space.CommonPrefixLen(n.table[row], target); wl > bestL {
+				best, bestL, found = n.table[row], wl, true
+			}
+		}
+	}
+	for _, w := range n.Leaves() {
+		if wl := space.CommonPrefixLen(w, target); wl > bestL {
+			best, bestL, found = w, wl, true
+		}
+	}
+	if found {
+		return best, true
+	}
+	// Rule 3: equal prefix, numerically closer.
+	best = n.id
+	for _, w := range n.Leaves() {
+		if space.CommonPrefixLen(w, target) != l {
+			continue
+		}
+		if closer(space, w, best, target) {
+			best, found = w, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+func circDist(space id.Space, x, key id.ID) uint64 {
+	g1, g2 := space.Gap(x, key), space.Gap(key, x)
+	if g1 < g2 {
+		return g1
+	}
+	return g2
+}
+
+// closer reports whether a is strictly numerically closer to key than b,
+// breaking equidistant ties toward the predecessor side — the same
+// deterministic convention the oracle simulator uses for ownership.
+func closer(space id.Space, a, b, key id.ID) bool {
+	da, db := circDist(space, a, key), circDist(space, b, key)
+	if da != db {
+		return da < db
+	}
+	return space.Gap(a, key) < space.Gap(b, key)
+}
+
+// scheduleRepair starts the periodic probe/repair loop: leaf neighbors
+// exchange leaf sets (dead entries drop out, better ones merge in) and
+// dead table entries are cleared and re-filled from the leaves' tables.
+func (nw *Network) scheduleRepair(n *Node) {
+	nw.eng.After(nw.rng.Float64()*nw.cfg.RepairEvery, func() {
+		nw.eng.Every(nw.cfg.RepairEvery, func() bool {
+			if !n.alive {
+				return false
+			}
+			nw.repair(n)
+			return true
+		})
+		nw.repair(n)
+	})
+}
+
+func (nw *Network) repair(n *Node) {
+	space := nw.cfg.Space
+	// Probe every leaf: survivors send their leaf sets and tables.
+	// Entries gossiped back may themselves be stale, so candidates are
+	// pinged before adoption — otherwise dead nodes keep circulating
+	// between peers that drop and re-learn them.
+	adopt := func(w id.ID) {
+		if w == n.id || n.knows(w) {
+			return
+		}
+		nw.rpc(w, func(*Node) {
+			n.learn(space, w)
+		}, nil)
+	}
+	for _, w := range n.Leaves() {
+		w := w
+		nw.rpc(w, func(peer *Node) {
+			for _, v := range peer.Leaves() {
+				adopt(v)
+			}
+			for l, ok := range peer.hasEntry {
+				if ok {
+					adopt(peer.table[l])
+				}
+			}
+		}, func() {
+			n.dropPeer(w)
+		})
+	}
+	// Probe table entries; dead ones are cleared (the next repair or
+	// announcement refills them).
+	for l, ok := range n.hasEntry {
+		if !ok {
+			continue
+		}
+		l, w := l, n.table[l]
+		nw.rpc(w, func(*Node) {}, func() {
+			if n.hasEntry[l] && n.table[l] == w {
+				n.hasEntry[l] = false
+			}
+			n.dropPeer(w)
+		})
+	}
+}
+
+// knows reports whether w already appears in the node's state.
+func (n *Node) knows(w id.ID) bool {
+	for _, e := range n.Leaves() {
+		if e == w {
+			return true
+		}
+	}
+	for l, ok := range n.hasEntry {
+		if ok && n.table[l] == w {
+			return true
+		}
+	}
+	return false
+}
+
+// dropPeer removes a dead peer from all local state.
+func (n *Node) dropPeer(w id.ID) {
+	filter := func(side []id.ID) []id.ID {
+		out := side[:0]
+		for _, e := range side {
+			if e != w {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	n.leafCW = filter(n.leafCW)
+	n.leafCCW = filter(n.leafCCW)
+	for l, ok := range n.hasEntry {
+		if ok && n.table[l] == w {
+			n.hasEntry[l] = false
+		}
+	}
+}
+
+// Route walks the protocol state synchronously (for tests and
+// measurements): the usual Pastry forwarding over the tables and leaf
+// sets the protocol built.
+func (nw *Network) Route(from id.ID, key id.ID) (dest id.ID, hops int, ok bool, err error) {
+	n := nw.nodes[from]
+	if n == nil || !n.alive {
+		return 0, 0, false, fmt.Errorf("pastryproto: route from absent or dead node %d", from)
+	}
+	space := nw.cfg.Space
+	cur := n
+	maxHops := 4 * int(space.Bits())
+	for hops <= maxHops {
+		next, found := cur.nextHop(space, key)
+		if !found {
+			return cur.id, hops, true, nil // cur is the closest it knows
+		}
+		peer := nw.nodes[next]
+		if peer == nil || !peer.alive {
+			return cur.id, hops, false, nil
+		}
+		cur = peer
+		hops++
+	}
+	return cur.id, hops, false, nil
+}

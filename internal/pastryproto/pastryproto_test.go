@@ -1,0 +1,217 @@
+package pastryproto
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+	"peercache/internal/pastry"
+	"peercache/internal/randx"
+	"peercache/internal/sim"
+)
+
+// buildNet bootstraps one node, joins the rest at 5-second intervals
+// through it, and runs the protocol for settle further seconds.
+func buildNet(t *testing.T, bits uint, ids []uint64, settle float64) (*Network, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	nw := New(Config{Space: id.NewSpace(bits), Seed: 1}, eng, rand.New(rand.NewSource(1)))
+	if _, err := nw.Bootstrap(id.ID(ids[0])); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range ids[1:] {
+		x := x
+		eng.At(float64(i)*5, func() {
+			if err := nw.Join(id.ID(x), id.ID(ids[0]), nil); err != nil {
+				t.Errorf("join %d: %v", x, err)
+			}
+		})
+	}
+	eng.RunUntil(float64(len(ids))*5 + settle)
+	return nw, eng
+}
+
+// oracle builds the oracle Pastry simulator over the same ids for
+// comparison (leaf half 4 matches the protocol default).
+func oracle(t *testing.T, bits uint, ids []uint64) *pastry.Network {
+	t.Helper()
+	nw := pastry.New(pastry.Config{Space: id.NewSpace(bits), LeafSetSize: 8})
+	for _, x := range ids {
+		if _, err := nw.AddNode(id.ID(x), pastry.Coord{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll()
+	return nw
+}
+
+// Converged leaf sets must equal the oracle's: the set of the 4 nearest
+// live nodes on each side is unique, so this is an exact check.
+func TestLeafSetsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids := randx.UniqueIDs(rng, 40, 1<<16)
+	nw, _ := buildNet(t, 16, ids, 600)
+	or := oracle(t, 16, ids)
+
+	for _, x := range ids {
+		got := map[id.ID]bool{}
+		for _, w := range nw.Node(id.ID(x)).Leaves() {
+			got[w] = true
+		}
+		want := map[id.ID]bool{}
+		for _, w := range or.Node(id.ID(x)).Leaf() {
+			want[w] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %d: protocol leaves %v, oracle %v", x, got, want)
+		}
+		for w := range want {
+			if !got[w] {
+				t.Fatalf("node %d missing leaf %d (has %v)", x, w, got)
+			}
+		}
+	}
+}
+
+// Every populated routing-table slot must hold a correctly placed node
+// (shares exactly `row` bits), and slot coverage must match the oracle:
+// a row the oracle populates must be populated by the protocol too.
+func TestTableSlotsValidAndCovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ids := randx.UniqueIDs(rng, 60, 1<<16)
+	nw, _ := buildNet(t, 16, ids, 900)
+	or := oracle(t, 16, ids)
+	space := id.NewSpace(16)
+
+	for _, x := range ids {
+		n := nw.Node(id.ID(x))
+		entries := n.TableEntries()
+		for row, w := range entries {
+			if got := space.CommonPrefixLen(id.ID(x), w); got != uint(row) {
+				t.Fatalf("node %d row %d holds %d sharing %d bits", x, row, w, got)
+			}
+			if alive := nw.Node(w); alive == nil || !alive.Alive() {
+				t.Fatalf("node %d row %d holds dead node %d", x, row, w)
+			}
+		}
+		// Coverage: rows the oracle fills must be filled here.
+		oracleRows := map[uint]bool{}
+		for _, e := range or.Node(id.ID(x)).TableEntries() {
+			oracleRows[space.CommonPrefixLen(id.ID(x), e)] = true
+		}
+		for row := range oracleRows {
+			if _, ok := entries[int(row)]; !ok {
+				t.Fatalf("node %d row %d empty but oracle fills it", x, row)
+			}
+		}
+	}
+}
+
+// Routing over the protocol state must deliver every key to the same
+// owner the oracle assigns.
+func TestRoutingMatchesOracleOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ids := randx.UniqueIDs(rng, 50, 1<<16)
+	nw, _ := buildNet(t, 16, ids, 900)
+	or := oracle(t, 16, ids)
+
+	for i := 0; i < 2000; i++ {
+		from := id.ID(ids[rng.Intn(len(ids))])
+		key := id.ID(rng.Intn(1 << 16))
+		dest, hops, ok, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("protocol route failed: from=%d key=%d", from, key)
+		}
+		want, _ := or.Owner(key)
+		if dest != want {
+			t.Fatalf("protocol dest %d, oracle owner %d (key %d)", dest, want, key)
+		}
+		if hops > 20 {
+			t.Errorf("route took %d hops", hops)
+		}
+	}
+}
+
+// Crashed nodes disappear from leaf sets and tables after repair rounds,
+// and routing still reaches the right surviving owners.
+func TestCrashRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ids := randx.UniqueIDs(rng, 50, 1<<16)
+	nw, eng := buildNet(t, 16, ids, 600)
+
+	dead := map[id.ID]bool{}
+	for i := 0; i < len(ids); i += 5 {
+		if err := nw.Crash(id.ID(ids[i])); err != nil {
+			t.Fatal(err)
+		}
+		dead[id.ID(ids[i])] = true
+	}
+	eng.RunUntil(eng.Now() + 600)
+
+	var survivors []uint64
+	for _, x := range ids {
+		if !dead[id.ID(x)] {
+			survivors = append(survivors, x)
+		}
+	}
+	// No survivor references a dead node.
+	for _, x := range survivors {
+		n := nw.Node(id.ID(x))
+		for _, w := range n.Leaves() {
+			if dead[w] {
+				t.Fatalf("node %d still lists dead leaf %d", x, w)
+			}
+		}
+		for row, w := range n.TableEntries() {
+			if dead[w] {
+				t.Fatalf("node %d row %d still lists dead node %d", x, row, w)
+			}
+		}
+	}
+	// Routing among survivors matches the surviving oracle.
+	or := oracle(t, 16, survivors)
+	for i := 0; i < 500; i++ {
+		from := id.ID(survivors[rng.Intn(len(survivors))])
+		key := id.ID(rng.Intn(1 << 16))
+		dest, _, ok, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := or.Owner(key)
+		if !ok || dest != want {
+			t.Fatalf("post-crash route: dest %d ok=%v, want %d", dest, ok, want)
+		}
+	}
+	if nw.Stats().Timeouts == 0 {
+		t.Error("expected timeout-driven failure detection")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	eng := sim.New()
+	nw := New(Config{Space: id.NewSpace(8)}, eng, rand.New(rand.NewSource(1)))
+	if _, err := nw.Bootstrap(999); err == nil {
+		t.Error("out-of-space bootstrap accepted")
+	}
+	if _, err := nw.Bootstrap(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Bootstrap(5); err == nil {
+		t.Error("duplicate bootstrap accepted")
+	}
+	if err := nw.Join(5, 5, nil); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	if err := nw.Join(7, 99, nil); err == nil {
+		t.Error("join via absent bootstrap accepted")
+	}
+	if err := nw.Crash(99); err == nil {
+		t.Error("crash of absent node accepted")
+	}
+	if _, _, _, err := nw.Route(99, 1); err == nil {
+		t.Error("route from absent node accepted")
+	}
+}

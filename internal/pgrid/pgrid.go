@@ -1,0 +1,292 @@
+// Package pgrid implements a P-Grid overlay (Aberer et al.), the
+// trie-structured system the paper lists alongside Tapestry as a direct
+// target for its Pastry techniques (Section I: "the techniques presented
+// for Pastry can be directly applied to Tapestry and PGrid").
+//
+// Each peer is responsible for a binary key-space path (its id prefix);
+// for every level l of its path it keeps references to peers on the
+// other side of that split — exactly the structure of a Pastry routing
+// table row. Routing resolves one bit per hop, so the prefix distance
+// b − LCP is the hop metric and the paper's Pastry selection algorithm
+// applies unchanged.
+package pgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peercache/internal/freq"
+	"peercache/internal/id"
+)
+
+// Config parameterizes a P-Grid.
+type Config struct {
+	// Space is the identifier space; peer paths are id prefixes.
+	Space id.Space
+	// RefsPerLevel is how many references a peer keeps per level
+	// (default 2; P-Grid keeps several for robustness).
+	RefsPerLevel int
+	// MaxHops caps a lookup (default 4·b).
+	MaxHops int
+	// Seed drives reference sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RefsPerLevel == 0 {
+		c.RefsPerLevel = 2
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 4 * int(c.Space.Bits())
+	}
+	return c
+}
+
+// Node is one P-Grid peer.
+type Node struct {
+	id id.ID
+	// pathLen is the length of the peer's responsibility path: the
+	// shortest prefix of its id distinguishing it from every other
+	// peer (the trie depth at which it sits alone).
+	pathLen uint
+	// refs[l] are peers whose paths share exactly l bits with this
+	// peer (the "other side" references at level l).
+	refs [][]id.ID
+	aux  []id.ID
+
+	// Counter accumulates lookup destinations.
+	Counter *freq.Exact
+}
+
+// ID returns the peer id.
+func (n *Node) ID() id.ID { return n.id }
+
+// PathLen returns the peer's responsibility-path length.
+func (n *Node) PathLen() uint { return n.pathLen }
+
+// References returns the deduplicated reference set — the core
+// neighbors for auxiliary selection.
+func (n *Node) References() []id.ID {
+	seen := make(map[id.ID]bool)
+	var out []id.ID
+	for _, level := range n.refs {
+		for _, w := range level {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// Aux returns a copy of the auxiliary set.
+func (n *Node) Aux() []id.ID { return append([]id.ID(nil), n.aux...) }
+
+// Network is a built P-Grid over a fixed peer population.
+type Network struct {
+	cfg    Config
+	sorted []id.ID
+	nodes  map[id.ID]*Node
+}
+
+// Build constructs the grid: each peer's path is its minimal
+// distinguishing prefix, and each level's references are sampled from
+// the peers on the other side of the corresponding trie split.
+func Build(cfg Config, ids []id.ID) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("pgrid: need at least 2 peers, have %d", len(ids))
+	}
+	nw := &Network{cfg: cfg, nodes: make(map[id.ID]*Node, len(ids))}
+	nw.sorted = append([]id.ID(nil), ids...)
+	sort.Slice(nw.sorted, func(i, j int) bool { return nw.sorted[i] < nw.sorted[j] })
+	space := cfg.Space
+	for i, x := range nw.sorted {
+		if uint64(x) >= space.Size() {
+			return nil, fmt.Errorf("pgrid: peer %d outside %d-bit space", x, space.Bits())
+		}
+		if i > 0 && nw.sorted[i-1] == x {
+			return nil, fmt.Errorf("pgrid: duplicate peer %d", x)
+		}
+	}
+	// Path length: 1 + longest LCP with any other peer (sorted
+	// neighbors suffice), capped at b.
+	for i, x := range nw.sorted {
+		longest := uint(0)
+		if i > 0 {
+			if l := space.CommonPrefixLen(x, nw.sorted[i-1]); l > longest {
+				longest = l
+			}
+		}
+		if i+1 < len(nw.sorted) {
+			if l := space.CommonPrefixLen(x, nw.sorted[i+1]); l > longest {
+				longest = l
+			}
+		}
+		pathLen := longest + 1
+		if pathLen > space.Bits() {
+			pathLen = space.Bits()
+		}
+		nw.nodes[x] = &Node{id: x, pathLen: pathLen, Counter: freq.NewExact()}
+	}
+	// References per level: peers sharing exactly l bits form a
+	// contiguous id range; sample RefsPerLevel of them.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, x := range nw.sorted {
+		n := nw.nodes[x]
+		n.refs = make([][]id.ID, n.pathLen)
+		for l := uint(0); l < n.pathLen; l++ {
+			lo, hi := prefixRange(space, x, l)
+			cands := nw.rangePeers(lo, hi)
+			if len(cands) == 0 {
+				continue
+			}
+			picks := cfg.RefsPerLevel
+			if picks > len(cands) {
+				picks = len(cands)
+			}
+			for _, j := range rng.Perm(len(cands))[:picks] {
+				n.refs[l] = append(n.refs[l], cands[j])
+			}
+			sort.Slice(n.refs[l], func(a, b int) bool { return n.refs[l][a] < n.refs[l][b] })
+		}
+	}
+	return nw, nil
+}
+
+// prefixRange returns the id range of peers sharing exactly l bits with
+// x (x's first l bits, bit l flipped).
+func prefixRange(space id.Space, x id.ID, l uint) (uint64, uint64) {
+	b := space.Bits()
+	flipped := space.SetBit(x, l, 1-space.Bit(x, l))
+	shift := b - l - 1
+	lo := uint64(flipped) >> shift << shift
+	return lo, lo + (uint64(1)<<shift - 1)
+}
+
+// rangePeers returns the peers with ids in [lo, hi].
+func (nw *Network) rangePeers(lo, hi uint64) []id.ID {
+	i := sort.Search(len(nw.sorted), func(i int) bool { return uint64(nw.sorted[i]) >= lo })
+	var out []id.ID
+	for ; i < len(nw.sorted) && uint64(nw.sorted[i]) <= hi; i++ {
+		out = append(out, nw.sorted[i])
+	}
+	return out
+}
+
+// Space returns the identifier space.
+func (nw *Network) Space() id.Space { return nw.cfg.Space }
+
+// IDs returns the sorted peer ids (do not modify).
+func (nw *Network) IDs() []id.ID { return nw.sorted }
+
+// Node returns the peer with the given id, or nil.
+func (nw *Network) Node(x id.ID) *Node { return nw.nodes[x] }
+
+// Owner returns the peer responsible for key: the peer with the longest
+// common prefix with the key (whose path covers it, when one does), ties
+// broken toward the numerically closest on the circle and then toward
+// the predecessor — deterministic, and always one of the key's two
+// sorted neighbors, since LCP against a sorted set is maximized there.
+func (nw *Network) Owner(key id.ID) id.ID {
+	space := nw.cfg.Space
+	m := len(nw.sorted)
+	i := sort.Search(m, func(i int) bool { return nw.sorted[i] > key })
+	succ := nw.sorted[i%m]
+	pred := nw.sorted[(i+m-1)%m]
+	lp, ls := space.CommonPrefixLen(pred, key), space.CommonPrefixLen(succ, key)
+	switch {
+	case lp > ls:
+		return pred
+	case ls > lp:
+		return succ
+	}
+	// Equal prefixes: numerically closest, predecessor on a tie.
+	dp, ds := circDist(space, pred, key), circDist(space, succ, key)
+	if ds < dp {
+		return succ
+	}
+	return pred
+}
+
+// circDist is the circular numeric distance between x and key.
+func circDist(space id.Space, x, key id.ID) uint64 {
+	g1, g2 := space.Gap(x, key), space.Gap(key, x)
+	if g1 < g2 {
+		return g1
+	}
+	return g2
+}
+
+// SetAux installs peer x's auxiliary neighbor set.
+func (nw *Network) SetAux(x id.ID, aux []id.ID) error {
+	n := nw.nodes[x]
+	if n == nil {
+		return fmt.Errorf("pgrid: SetAux on unknown peer %d", x)
+	}
+	for _, a := range aux {
+		if a == x {
+			return fmt.Errorf("pgrid: aux of peer %d contains itself", x)
+		}
+	}
+	n.aux = append(n.aux[:0:0], aux...)
+	return nil
+}
+
+// RouteResult describes one lookup.
+type RouteResult struct {
+	Dest id.ID
+	Hops int
+	OK   bool
+}
+
+// Route performs a lookup: at each step forward to the known peer —
+// reference or auxiliary — sharing the longest prefix with the key,
+// provided it extends the current prefix. One bit (at least) resolves
+// per hop.
+func (nw *Network) Route(from id.ID, key id.ID) (RouteResult, error) {
+	src := nw.nodes[from]
+	if src == nil {
+		return RouteResult{}, fmt.Errorf("pgrid: route from unknown peer %d", from)
+	}
+	dest := nw.Owner(key)
+	res := RouteResult{Dest: dest}
+	space := nw.cfg.Space
+	cur := src
+	for cur.id != dest {
+		if res.Hops >= nw.cfg.MaxHops {
+			return res, nil
+		}
+		l := space.CommonPrefixLen(cur.id, key)
+		// Prefer the deepest prefix extension; fall back to numeric
+		// progress among equal-prefix peers (the final subtree walk).
+		var best id.ID
+		bestL := l
+		bestDist := circDist(space, cur.id, key)
+		found := false
+		consider := func(w id.ID) {
+			wl := space.CommonPrefixLen(w, key)
+			wd := circDist(space, w, key)
+			if wl > bestL || (wl == bestL && wd < bestDist) {
+				best, bestL, bestDist, found = w, wl, wd, true
+			}
+		}
+		for _, level := range cur.refs {
+			for _, w := range level {
+				consider(w)
+			}
+		}
+		for _, w := range cur.aux {
+			consider(w)
+		}
+		if !found {
+			return res, nil // dead end
+		}
+		cur = nw.nodes[best]
+		res.Hops++
+	}
+	res.OK = true
+	return res, nil
+}

@@ -1,0 +1,205 @@
+package pgrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func buildGrid(t *testing.T, bits uint, n int, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	raw := randx.UniqueIDs(rng, n, uint64(1)<<bits)
+	ids := make([]id.ID, n)
+	for i, x := range raw {
+		ids[i] = id.ID(x)
+	}
+	nw, err := Build(Config{Space: id.NewSpace(bits), Seed: seed}, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildValidation(t *testing.T) {
+	space := id.NewSpace(8)
+	if _, err := Build(Config{Space: space}, []id.ID{1}); err == nil {
+		t.Error("single peer accepted")
+	}
+	if _, err := Build(Config{Space: space}, []id.ID{1, 1}); err == nil {
+		t.Error("duplicate peers accepted")
+	}
+	if _, err := Build(Config{Space: space}, []id.ID{1, 300}); err == nil {
+		t.Error("out-of-space peer accepted")
+	}
+}
+
+// Paths must be minimal distinguishing prefixes: unique across peers,
+// and one bit longer than the longest LCP with any other peer.
+func TestPathsAreMinimalDistinguishingPrefixes(t *testing.T) {
+	nw := buildGrid(t, 16, 200, 3)
+	ids := nw.IDs()
+	space := nw.Space()
+	for _, x := range ids {
+		n := nw.Node(x)
+		maxL := uint(0)
+		for _, y := range ids {
+			if y == x {
+				continue
+			}
+			if l := space.CommonPrefixLen(x, y); l > maxL {
+				maxL = l
+			}
+		}
+		want := maxL + 1
+		if want > space.Bits() {
+			want = space.Bits()
+		}
+		if n.PathLen() != want {
+			t.Fatalf("peer %d path length %d, want %d", x, n.PathLen(), want)
+		}
+	}
+}
+
+// Every reference at level l must share exactly l bits with the peer.
+func TestReferenceLevels(t *testing.T) {
+	nw := buildGrid(t, 16, 200, 4)
+	space := nw.Space()
+	for _, x := range nw.IDs() {
+		n := nw.Node(x)
+		for l, level := range n.refs {
+			for _, w := range level {
+				if got := space.CommonPrefixLen(x, w); got != uint(l) {
+					t.Fatalf("peer %d level-%d ref %d shares %d bits", x, l, w, got)
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerIsMaxPrefixPeer(t *testing.T) {
+	nw := buildGrid(t, 16, 150, 5)
+	space := nw.Space()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		key := id.ID(rng.Intn(1 << 16))
+		owner := nw.Owner(key)
+		ol := space.CommonPrefixLen(owner, key)
+		for _, y := range nw.IDs() {
+			if space.CommonPrefixLen(y, key) > ol {
+				t.Fatalf("owner %d (lcp %d) not maximal: peer %d is deeper", owner, ol, y)
+			}
+		}
+	}
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	nw := buildGrid(t, 16, 300, 7)
+	rng := rand.New(rand.NewSource(8))
+	ids := nw.IDs()
+	fails := 0
+	for i := 0; i < 3000; i++ {
+		from := ids[rng.Intn(len(ids))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			fails++
+			continue
+		}
+		if res.Dest != nw.Owner(key) {
+			t.Fatalf("Dest %d, want %d", res.Dest, nw.Owner(key))
+		}
+		if res.Hops > 32 {
+			t.Errorf("lookup took %d hops", res.Hops)
+		}
+	}
+	if fails > 0 {
+		t.Fatalf("%d of 3000 lookups failed", fails)
+	}
+}
+
+func TestSetAuxValidation(t *testing.T) {
+	nw := buildGrid(t, 16, 50, 10)
+	x := nw.IDs()[0]
+	if err := nw.SetAux(x, []id.ID{x}); err == nil {
+		t.Error("self-aux accepted")
+	}
+	if err := nw.SetAux(12345, nil); err == nil {
+		t.Error("unknown peer accepted")
+	}
+}
+
+// The paper's portability claim for trie-structured systems: the Pastry
+// selection algorithm run against a P-Grid peer's references cuts its
+// measured lookups.
+func TestPastrySelectionPortsToPGrid(t *testing.T) {
+	nw := buildGrid(t, 20, 400, 11)
+	rng := rand.New(rand.NewSource(12))
+	ids := nw.IDs()
+	src := ids[0]
+
+	alias := randx.NewAlias(randx.ZipfWeights(len(ids)-1, 1.2))
+	perm := rng.Perm(len(ids) - 1)
+	mix := make([]id.ID, 4000)
+	for i := range mix {
+		mix[i] = ids[1+perm[alias.Sample(rng)]]
+		nw.Node(src).Counter.Observe(mix[i])
+	}
+	measure := func() float64 {
+		total := 0
+		for _, dst := range mix {
+			res, err := nw.Route(src, dst)
+			if err != nil || !res.OK {
+				t.Fatalf("lookup failed: %v %+v", err, res)
+			}
+			total += res.Hops
+		}
+		return float64(total) / float64(len(mix))
+	}
+	before := measure()
+
+	var peers []core.Peer
+	for _, e := range nw.Node(src).Counter.Snapshot() {
+		peers = append(peers, core.Peer{ID: e.Peer, Freq: float64(e.Count)})
+	}
+	res, err := core.SelectPastryGreedy(nw.Space(), nw.Node(src).References(), peers, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetAux(src, res.Aux); err != nil {
+		t.Fatal(err)
+	}
+	after := measure()
+	if after >= before {
+		t.Fatalf("selection did not help on P-Grid: %.3f -> %.3f", before, after)
+	}
+	if reduction := 100 * (before - after) / before; reduction < 20 {
+		t.Errorf("reduction only %.1f%% (before %.3f after %.3f)", reduction, before, after)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := buildGrid(t, 16, 100, 13)
+	b := buildGrid(t, 16, 100, 13)
+	for _, x := range a.IDs() {
+		na, nb := a.Node(x), b.Node(x)
+		if na.PathLen() != nb.PathLen() {
+			t.Fatal("path lengths differ across identical builds")
+		}
+		ra, rb := na.References(), nb.References()
+		if len(ra) != len(rb) {
+			t.Fatal("reference sets differ across identical builds")
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatal("references differ across identical builds")
+			}
+		}
+	}
+}

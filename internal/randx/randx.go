@@ -1,0 +1,162 @@
+// Package randx provides the deterministic random primitives used across
+// the simulators and workloads: zipfian popularity weights with arbitrary
+// exponent (the paper sweeps alpha = 1.2 and 0.91, including alpha < 1,
+// which the standard library's rand.Zipf cannot express for finite ranks
+// in the form the paper uses), an O(1) alias-method sampler for arbitrary
+// discrete distributions, and exponential variates for churn lifetimes.
+//
+// Everything is seeded explicitly so every experiment is reproducible
+// bit-for-bit from its configuration.
+package randx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// New returns a rand.Rand seeded with seed. Each simulator component takes
+// its own stream derived from the experiment seed so that changing one
+// component's consumption pattern does not perturb the others.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// DeriveSeed deterministically mixes a parent seed with a component label,
+// yielding independent-looking streams per component (SplitMix64 finalizer).
+func DeriveSeed(parent int64, label string) int64 {
+	h := uint64(parent)
+	for _, c := range label {
+		h ^= uint64(c)
+		h *= 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return int64(h)
+}
+
+// ZipfWeights returns the normalized zipfian probability vector over ranks
+// 1..m: p_i = (1/i^alpha) / H_m(alpha). It panics on m <= 0 or alpha < 0;
+// both indicate a configuration error.
+func ZipfWeights(m int, alpha float64) []float64 {
+	if m <= 0 {
+		panic(fmt.Sprintf("randx: ZipfWeights with m = %d", m))
+	}
+	if alpha < 0 {
+		panic(fmt.Sprintf("randx: ZipfWeights with alpha = %g", alpha))
+	}
+	w := make([]float64, m)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// Alias is a Walker alias-method sampler: O(m) construction, O(1) sampling
+// from an arbitrary discrete distribution. The zero value is not usable;
+// construct with NewAlias.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights, which
+// need not be normalized. It panics if weights is empty, contains a
+// negative or non-finite entry, or sums to zero.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("randx: NewAlias with no weights")
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("randx: NewAlias weight[%d] = %g", i, w))
+		}
+		sum += w
+	}
+	if sum == 0 {
+		panic("randx: NewAlias weights sum to zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Only reachable through floating-point residue; treat as full.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws an outcome index in [0, Len()).
+func (a *Alias) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Exp draws an exponential variate with the given mean. Churn lifetimes in
+// the paper are exponential with mean 900 s.
+func Exp(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Perm fills a permutation of 0..n-1. Thin wrapper kept for symmetry with
+// the other helpers (and to keep simulator code off the global rand).
+func Perm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// UniqueIDs draws n distinct uint64 values < size. It panics if n > size.
+// Identifier assignment for nodes and items uses this to mirror the
+// paper's "randomly-generated identifiers" without collisions.
+func UniqueIDs(rng *rand.Rand, n int, size uint64) []uint64 {
+	if uint64(n) > size {
+		panic(fmt.Sprintf("randx: UniqueIDs n=%d exceeds space size %d", n, size))
+	}
+	seen := make(map[uint64]struct{}, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		v := rng.Uint64() % size
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

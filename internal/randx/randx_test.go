@@ -1,0 +1,194 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	for _, alpha := range []float64{0, 0.91, 1.0, 1.2, 2.5} {
+		w := ZipfWeights(100, alpha)
+		sum := 0.0
+		for _, p := range w {
+			if p < 0 {
+				t.Fatalf("alpha=%g: negative weight", alpha)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("alpha=%g: sum = %g, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestZipfWeightsDecreasing(t *testing.T) {
+	w := ZipfWeights(50, 1.2)
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatalf("weights not non-increasing at %d: %g > %g", i, w[i], w[i-1])
+		}
+	}
+}
+
+func TestZipfWeightsRatios(t *testing.T) {
+	// p_1 / p_2 must equal 2^alpha.
+	w := ZipfWeights(10, 1.2)
+	got := w[0] / w[1]
+	want := math.Pow(2, 1.2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("p1/p2 = %g, want %g", got, want)
+	}
+}
+
+func TestZipfWeightsUniformWhenAlphaZero(t *testing.T) {
+	w := ZipfWeights(8, 0)
+	for i, p := range w {
+		if math.Abs(p-0.125) > 1e-12 {
+			t.Errorf("w[%d] = %g, want 0.125", i, p)
+		}
+	}
+}
+
+func TestZipfWeightsPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"m=0":      func() { ZipfWeights(0, 1) },
+		"alpha=-1": func() { ZipfWeights(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{5, 1, 3, 0, 1}
+	a := NewAlias(weights)
+	rng := New(42)
+	const draws = 500000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(rng)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("outcome %d: frequency %g, want %g", i, got, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight outcome sampled %d times", counts[3])
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := NewAlias([]float64{7})
+	rng := New(1)
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(rng); got != 0 {
+			t.Fatalf("Sample = %d, want 0", got)
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"negative": {1, -1},
+		"zero-sum": {0, 0},
+		"nan":      {math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := New(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Exp(rng, 900)
+	}
+	mean := sum / n
+	if math.Abs(mean-900) > 10 {
+		t.Errorf("exp mean = %g, want ~900", mean)
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	a := DeriveSeed(1, "chord")
+	b := DeriveSeed(1, "pastry")
+	c := DeriveSeed(2, "chord")
+	if a == b || a == c || b == c {
+		t.Errorf("derived seeds collide: %d %d %d", a, b, c)
+	}
+	if a != DeriveSeed(1, "chord") {
+		t.Error("DeriveSeed not deterministic")
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	rng := New(3)
+	ids := UniqueIDs(rng, 1000, 1<<20)
+	seen := make(map[uint64]struct{})
+	for _, v := range ids {
+		if v >= 1<<20 {
+			t.Fatalf("id %d out of range", v)
+		}
+		if _, dup := seen[v]; dup {
+			t.Fatalf("duplicate id %d", v)
+		}
+		seen[v] = struct{}{}
+	}
+	if len(ids) != 1000 {
+		t.Fatalf("got %d ids, want 1000", len(ids))
+	}
+}
+
+func TestUniqueIDsFullSpace(t *testing.T) {
+	rng := New(4)
+	ids := UniqueIDs(rng, 16, 16)
+	if len(ids) != 16 {
+		t.Fatalf("got %d ids, want 16", len(ids))
+	}
+	seen := make(map[uint64]struct{})
+	for _, v := range ids {
+		seen[v] = struct{}{}
+	}
+	if len(seen) != 16 {
+		t.Fatal("UniqueIDs over full space missed values")
+	}
+}
+
+func TestUniqueIDsPanicsWhenTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic when n > size")
+		}
+	}()
+	UniqueIDs(New(1), 17, 16)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	a := New(1234)
+	b := New(1234)
+	alias := NewAlias(ZipfWeights(64, 1.2))
+	for i := 0; i < 1000; i++ {
+		if alias.Sample(a) != alias.Sample(b) {
+			t.Fatal("same seed produced diverging sample streams")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package replication implements a Beehive-flavored item replication
+// scheme (the Section II-C comparison point [16]): popular items are
+// replicated at nodes immediately preceding their owner on the ring, so
+// lookups — which approach a key clockwise through its predecessors —
+// terminate early at the first replica. Replicas are kept synchronously
+// consistent, so every item update costs one message per replica.
+//
+// The scheme makes the paper's trade-off concrete: replication buys hop
+// reductions comparable to auxiliary-neighbor caching, but its
+// maintenance cost scales with the item update rate, while pointer
+// caching's does not (Section I).
+package replication
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"peercache/internal/id"
+)
+
+// Placement is a computed replica assignment over a fixed membership.
+type Placement struct {
+	space id.Space
+	nodes []id.ID // sorted ring membership
+
+	// replicasOf[i] lists the replica nodes of item i (owner excluded),
+	// in placement order (closest predecessor first).
+	replicasOf [][]id.ID
+	owners     []id.ID
+	// holds[node] is the set of item indices replicated at node.
+	holds map[id.ID]map[int]bool
+}
+
+// Assign distributes a global replica budget over items greedily by
+// popularity: each additional replica of item i is worth approximately
+// pop[i] · (log2(m+2) − log2(m+1)) saved hops when the item already has
+// m replicas (each doubling of the replicated predecessor range absorbs
+// about one more routing hop). Replicas are placed at the owner's
+// closest predecessors. nodes must be the sorted live membership; owner
+// assignment is Chord's predecessor rule.
+func Assign(space id.Space, nodes []id.ID, items []id.ID, pop []float64, budget int) (*Placement, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("replication: need at least 2 nodes, have %d", len(nodes))
+	}
+	if len(items) != len(pop) {
+		return nil, fmt.Errorf("replication: %d items but %d popularities", len(items), len(pop))
+	}
+	if !sort.SliceIsSorted(nodes, func(i, j int) bool { return nodes[i] < nodes[j] }) {
+		return nil, fmt.Errorf("replication: nodes not sorted")
+	}
+	p := &Placement{
+		space:      space,
+		nodes:      nodes,
+		replicasOf: make([][]id.ID, len(items)),
+		owners:     make([]id.ID, len(items)),
+		holds:      make(map[id.ID]map[int]bool),
+	}
+	for i, key := range items {
+		p.owners[i] = p.ownerOf(key)
+	}
+
+	// Greedy marginal-gain assignment via a max-heap.
+	h := &gainHeap{}
+	for i := range items {
+		if pop[i] > 0 {
+			heap.Push(h, gainEntry{item: i, gain: pop[i] * marginal(0)})
+		}
+	}
+	maxReplicas := len(nodes) - 1
+	for placed := 0; placed < budget && h.Len() > 0; placed++ {
+		e := heap.Pop(h).(gainEntry)
+		i := e.item
+		m := len(p.replicasOf[i])
+		if m >= maxReplicas {
+			continue
+		}
+		// The m-th replica goes to the (m+1)-th predecessor of the
+		// owner.
+		r := p.predecessor(p.owners[i], m+1)
+		p.replicasOf[i] = append(p.replicasOf[i], r)
+		if p.holds[r] == nil {
+			p.holds[r] = make(map[int]bool)
+		}
+		p.holds[r][i] = true
+		if m+1 < maxReplicas {
+			heap.Push(h, gainEntry{item: i, gain: pop[i] * marginal(m+1)})
+		}
+	}
+	return p, nil
+}
+
+// marginal is the estimated hop gain of the (m+1)-th replica.
+func marginal(m int) float64 {
+	return math.Log2(float64(m+2)) - math.Log2(float64(m+1))
+}
+
+// ownerOf is the predecessor-or-equal rule.
+func (p *Placement) ownerOf(key id.ID) id.ID {
+	i := sort.Search(len(p.nodes), func(i int) bool { return p.nodes[i] > key })
+	if i == 0 {
+		i = len(p.nodes)
+	}
+	return p.nodes[i-1]
+}
+
+// predecessor returns the c-th predecessor of node x on the ring.
+func (p *Placement) predecessor(x id.ID, c int) id.ID {
+	i := sort.Search(len(p.nodes), func(i int) bool { return p.nodes[i] >= x })
+	m := len(p.nodes)
+	return p.nodes[((i-c)%m+m)%m]
+}
+
+// Owner returns item i's owner node.
+func (p *Placement) Owner(i int) id.ID { return p.owners[i] }
+
+// Replicas returns item i's replica count (owner excluded).
+func (p *Placement) Replicas(i int) int { return len(p.replicasOf[i]) }
+
+// TotalReplicas returns the number of replicas placed across all items.
+func (p *Placement) TotalReplicas() int {
+	total := 0
+	for _, r := range p.replicasOf {
+		total += len(r)
+	}
+	return total
+}
+
+// Holds reports whether node x can answer item i (as owner or replica).
+func (p *Placement) Holds(x id.ID, i int) bool {
+	if p.owners[i] == x {
+		return true
+	}
+	return p.holds[x][i]
+}
+
+// UpdateCost returns the number of messages needed to update item i
+// synchronously: one per replica (the owner applies it locally).
+func (p *Placement) UpdateCost(i int) int { return len(p.replicasOf[i]) }
+
+// CutPath returns the effective hop count of a lookup for item i that
+// would have taken the given node path (source first, owner last): the
+// prefix length until the first node holding the item. The source
+// holding the item costs zero hops.
+func (p *Placement) CutPath(i int, path []id.ID) int {
+	for h, x := range path {
+		if p.Holds(x, i) {
+			return h
+		}
+	}
+	return len(path) - 1
+}
+
+// gainHeap is a max-heap of marginal replica gains.
+type gainEntry struct {
+	item int
+	gain float64
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int           { return len(h) }
+func (h gainHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)        { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

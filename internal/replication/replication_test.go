@@ -1,0 +1,169 @@
+package replication
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/chord"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func sortedNodes(rng *rand.Rand, bits uint, n int) []id.ID {
+	raw := randx.UniqueIDs(rng, n, uint64(1)<<bits)
+	out := make([]id.ID, n)
+	for i, r := range raw {
+		out[i] = id.ID(r)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestAssignValidation(t *testing.T) {
+	space := id.NewSpace(8)
+	if _, err := Assign(space, []id.ID{5}, []id.ID{1}, []float64{1}, 1); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, err := Assign(space, []id.ID{5, 9}, []id.ID{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Assign(space, []id.ID{9, 5}, []id.ID{1}, []float64{1}, 1); err == nil {
+		t.Error("unsorted nodes accepted")
+	}
+}
+
+func TestBudgetRespectedAndPopularFirst(t *testing.T) {
+	space := id.NewSpace(10)
+	rng := rand.New(rand.NewSource(1))
+	nodes := sortedNodes(rng, 10, 50)
+	items := []id.ID{10, 200, 300, 400, 900}
+	pop := []float64{100, 1, 1, 1, 50}
+	p, err := Assign(space, nodes, items, pop, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalReplicas() != 12 {
+		t.Fatalf("placed %d replicas, want 12", p.TotalReplicas())
+	}
+	if p.Replicas(0) <= p.Replicas(1) {
+		t.Errorf("hot item got %d replicas, cold got %d", p.Replicas(0), p.Replicas(1))
+	}
+	if p.Replicas(4) <= p.Replicas(2) {
+		t.Errorf("warm item got %d replicas, cold got %d", p.Replicas(4), p.Replicas(2))
+	}
+	// Update cost mirrors replica count.
+	for i := range items {
+		if p.UpdateCost(i) != p.Replicas(i) {
+			t.Errorf("item %d: update cost %d != replicas %d", i, p.UpdateCost(i), p.Replicas(i))
+		}
+	}
+}
+
+func TestZeroPopularityGetsNothing(t *testing.T) {
+	space := id.NewSpace(10)
+	rng := rand.New(rand.NewSource(2))
+	nodes := sortedNodes(rng, 10, 20)
+	p, err := Assign(space, nodes, []id.ID{10, 20}, []float64{5, 0}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replicas(1) != 0 {
+		t.Errorf("zero-popularity item replicated %d times", p.Replicas(1))
+	}
+}
+
+func TestBudgetBeyondCapacity(t *testing.T) {
+	// With n-1 as the per-item cap, a huge budget saturates without
+	// looping forever or double-placing.
+	space := id.NewSpace(10)
+	rng := rand.New(rand.NewSource(3))
+	nodes := sortedNodes(rng, 10, 8)
+	p, err := Assign(space, nodes, []id.ID{10}, []float64{5}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replicas(0) != 7 {
+		t.Fatalf("replicas = %d, want n-1 = 7", p.Replicas(0))
+	}
+}
+
+func TestHoldsOwnerAndReplicas(t *testing.T) {
+	space := id.NewSpace(10)
+	rng := rand.New(rand.NewSource(4))
+	nodes := sortedNodes(rng, 10, 30)
+	items := []id.ID{500}
+	p, err := Assign(space, nodes, items, []float64{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := p.Owner(0)
+	if !p.Holds(owner, 0) {
+		t.Error("owner does not hold its item")
+	}
+	holders := 0
+	for _, x := range nodes {
+		if p.Holds(x, 0) {
+			holders++
+		}
+	}
+	if holders != 4 { // owner + 3 replicas
+		t.Errorf("holders = %d, want 4", holders)
+	}
+}
+
+// Replicas sit at the owner's immediate predecessors, so a routed path
+// must terminate strictly earlier once the item is replicated.
+func TestCutPathShortensRealLookups(t *testing.T) {
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(5))
+	nw := chord.New(chord.Config{Space: space})
+	nodes := sortedNodes(rng, 16, 300)
+	for _, x := range nodes {
+		if _, err := nw.AddNode(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll()
+
+	items := make([]id.ID, 40)
+	pop := make([]float64, len(items))
+	for i := range items {
+		items[i] = id.ID(rng.Intn(1 << 16))
+		pop[i] = rng.Float64() + 0.01
+	}
+	p, err := Assign(space, nodes, items, pop, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totalPlain, totalCut := 0, 0
+	lookups := 0
+	for trial := 0; trial < 2000; trial++ {
+		src := nodes[rng.Intn(len(nodes))]
+		i := rng.Intn(len(items))
+		res, path, err := nw.RoutePath(src, items[i])
+		if err != nil || !res.OK {
+			t.Fatalf("lookup failed: %v %+v", err, res)
+		}
+		if len(path) != res.Hops+1 {
+			t.Fatalf("path length %d inconsistent with %d hops", len(path), res.Hops)
+		}
+		if path[len(path)-1] != res.Dest {
+			t.Fatal("path does not end at the owner")
+		}
+		cut := p.CutPath(i, path)
+		if cut > res.Hops {
+			t.Fatalf("cut path %d longer than full path %d", cut, res.Hops)
+		}
+		totalPlain += res.Hops
+		totalCut += cut
+		lookups++
+	}
+	if totalCut >= totalPlain {
+		t.Errorf("replication saved nothing: %d vs %d hops over %d lookups", totalCut, totalPlain, lookups)
+	}
+}

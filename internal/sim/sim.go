@@ -1,0 +1,115 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock and an ordered event queue. The churn-mode experiments (Section
+// VI-C) schedule node lifetimes, stabilization rounds, auxiliary-neighbor
+// recomputations and query arrivals on it.
+//
+// Events at equal timestamps fire in scheduling order, so a run is fully
+// deterministic given deterministic callbacks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is the simulation clock and event queue. The zero value is not
+// ready; use New.
+type Engine struct {
+	now float64
+	pq  eventQueue
+	seq uint64
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// New returns an engine with the clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %g before now %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay float64, fn func()) { e.At(e.now+delay, fn) }
+
+// Every schedules fn at now+period, now+2·period, ... until fn returns
+// false. It panics on a non-positive period.
+func (e *Engine) Every(period float64, fn func() bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %g", period))
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}
+
+// Step runs the earliest pending event, advancing the clock. It reports
+// whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to exactly t. Events scheduled during processing are honored if due.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Run processes every pending event (including newly scheduled ones)
+// until the queue drains. Callers with self-rescheduling events should
+// use RunUntil instead.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

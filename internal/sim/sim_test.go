@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestOrderingAndClock(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(5, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(9, func() { order = append(order, 3) })
+	e.Run()
+	if e.Now() != 9 {
+		t.Errorf("Now = %g, want 9", e.Now())
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(3, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New()
+	var times []float64
+	e.After(2, func() {
+		times = append(times, e.Now())
+		e.After(3, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 2 || times[1] != 5 {
+		t.Fatalf("times = %v, want [2 5]", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	e.Every(10, func() bool { count++; return true })
+	e.RunUntil(35)
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (ticks at 10,20,30)", count)
+	}
+	if e.Now() != 35 {
+		t.Errorf("Now = %g, want 35", e.Now())
+	}
+	if e.Len() != 1 {
+		t.Errorf("pending = %d, want 1 (next tick)", e.Len())
+	}
+}
+
+func TestEveryStops(t *testing.T) {
+	e := New()
+	count := 0
+	e.Every(1, func() bool {
+		count++
+		return count < 4
+	})
+	e.Run()
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+}
+
+func TestEveryInvalidPeriodPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive period did not panic")
+		}
+	}()
+	e.Every(0, func() bool { return false })
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}

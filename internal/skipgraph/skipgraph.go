@@ -1,0 +1,212 @@
+// Package skipgraph implements a circular skip graph (Aspnes & Shah),
+// the third overlay family the paper names: "the techniques presented
+// for Chord are applicable to SkipGraphs" (Section I). Each node draws a
+// random membership vector; its level-i neighbor is the closest
+// clockwise node agreeing with it on the first i membership bits, so
+// neighbor distances grow geometrically — the same exponential
+// small-world structure as Chord's fingers, which is exactly why the
+// eq. 6 distance estimate and the Chord selection algorithm carry over.
+//
+// Routing is the familiar greedy rule: forward to the known neighbor —
+// level neighbor or auxiliary — closest to the target without
+// overshooting.
+package skipgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peercache/internal/freq"
+	"peercache/internal/id"
+)
+
+// Config parameterizes a skip graph.
+type Config struct {
+	// Space is the identifier space.
+	Space id.Space
+	// MaxHops caps a lookup. Defaults to 4·b when 0.
+	MaxHops int
+	// Seed draws the membership vectors.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxHops == 0 {
+		c.MaxHops = 4 * int(c.Space.Bits())
+	}
+	return c
+}
+
+// Node is one skip-graph participant.
+type Node struct {
+	id         id.ID
+	membership uint64
+	// rights[i] is the level-i clockwise neighbor: the closest node
+	// agreeing on the first i membership bits. Level 0 is the plain
+	// successor. Levels stop once the node is alone in its list.
+	rights []id.ID
+	aux    []id.ID
+
+	// Counter accumulates lookup destinations, the selection input.
+	Counter *freq.Exact
+}
+
+// ID returns the node id.
+func (n *Node) ID() id.ID { return n.id }
+
+// Neighbors returns the node's deduplicated level neighbors — its core
+// neighbor set for auxiliary selection.
+func (n *Node) Neighbors() []id.ID {
+	seen := make(map[id.ID]bool, len(n.rights))
+	var out []id.ID
+	for _, w := range n.rights {
+		if w != n.id && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Aux returns a copy of the auxiliary set.
+func (n *Node) Aux() []id.ID { return append([]id.ID(nil), n.aux...) }
+
+// Levels returns how many list levels the node participates in.
+func (n *Node) Levels() int { return len(n.rights) }
+
+// Network is a built skip graph over a fixed membership (the paper's
+// stable-mode setting).
+type Network struct {
+	cfg    Config
+	sorted []id.ID
+	nodes  map[id.ID]*Node
+}
+
+// Build constructs the skip graph over the given node ids: membership
+// vectors are drawn from the config seed, and every level list is
+// derived from them. Duplicate ids are an error.
+func Build(cfg Config, ids []id.ID) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("skipgraph: need at least 2 nodes, have %d", len(ids))
+	}
+	nw := &Network{cfg: cfg, nodes: make(map[id.ID]*Node, len(ids))}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nw.sorted = append([]id.ID(nil), ids...)
+	sort.Slice(nw.sorted, func(i, j int) bool { return nw.sorted[i] < nw.sorted[j] })
+	for i, x := range nw.sorted {
+		if uint64(x) >= cfg.Space.Size() {
+			return nil, fmt.Errorf("skipgraph: node %d outside %d-bit space", x, cfg.Space.Bits())
+		}
+		if i > 0 && nw.sorted[i-1] == x {
+			return nil, fmt.Errorf("skipgraph: duplicate node %d", x)
+		}
+	}
+	// Membership vectors in id order for determinism.
+	for _, x := range nw.sorted {
+		nw.nodes[x] = &Node{id: x, membership: rng.Uint64(), Counter: freq.NewExact()}
+	}
+	// Level-i right neighbor: the closest clockwise node sharing the
+	// first i membership bits. Stop when alone at a level.
+	m := len(nw.sorted)
+	for pos, x := range nw.sorted {
+		n := nw.nodes[x]
+		for level := 0; level < 64; level++ {
+			mask := uint64(0)
+			if level > 0 {
+				mask = ^uint64(0) << (64 - level)
+			}
+			found := false
+			for step := 1; step < m; step++ {
+				w := nw.sorted[(pos+step)%m]
+				if nw.nodes[w].membership&mask == n.membership&mask {
+					n.rights = append(n.rights, w)
+					found = true
+					break
+				}
+			}
+			if !found {
+				break // alone in this level's list
+			}
+		}
+	}
+	return nw, nil
+}
+
+// Space returns the identifier space.
+func (nw *Network) Space() id.Space { return nw.cfg.Space }
+
+// IDs returns the sorted node ids (do not modify).
+func (nw *Network) IDs() []id.ID { return nw.sorted }
+
+// Node returns the node with the given id, or nil.
+func (nw *Network) Node(x id.ID) *Node { return nw.nodes[x] }
+
+// Owner returns the node responsible for key under the predecessor
+// assignment, mirroring the Chord convention.
+func (nw *Network) Owner(key id.ID) id.ID {
+	i := sort.Search(len(nw.sorted), func(i int) bool { return nw.sorted[i] > key })
+	if i == 0 {
+		i = len(nw.sorted)
+	}
+	return nw.sorted[i-1]
+}
+
+// SetAux installs node x's auxiliary neighbor set.
+func (nw *Network) SetAux(x id.ID, aux []id.ID) error {
+	n := nw.nodes[x]
+	if n == nil {
+		return fmt.Errorf("skipgraph: SetAux on unknown node %d", x)
+	}
+	for _, a := range aux {
+		if a == x {
+			return fmt.Errorf("skipgraph: aux of node %d contains itself", x)
+		}
+	}
+	n.aux = append(n.aux[:0:0], aux...)
+	return nil
+}
+
+// RouteResult describes one lookup.
+type RouteResult struct {
+	Dest id.ID
+	Hops int
+	OK   bool
+}
+
+// Route performs a lookup for key from node from: greedy clockwise
+// forwarding over level neighbors and auxiliaries, never overshooting
+// the owner.
+func (nw *Network) Route(from id.ID, key id.ID) (RouteResult, error) {
+	src := nw.nodes[from]
+	if src == nil {
+		return RouteResult{}, fmt.Errorf("skipgraph: route from unknown node %d", from)
+	}
+	dest := nw.Owner(key)
+	res := RouteResult{Dest: dest}
+	s := nw.cfg.Space
+	cur := src
+	for cur.id != dest {
+		if res.Hops >= nw.cfg.MaxHops {
+			return res, nil
+		}
+		gt := s.Gap(cur.id, dest)
+		var best id.ID
+		bestGap := uint64(0)
+		for _, set := range [][]id.ID{cur.rights, cur.aux} {
+			for _, w := range set {
+				if g := s.Gap(cur.id, w); g > bestGap && g <= gt {
+					best, bestGap = w, g
+				}
+			}
+		}
+		if bestGap == 0 {
+			return res, nil // dead end (cannot happen with a level-0 ring)
+		}
+		cur = nw.nodes[best]
+		res.Hops++
+	}
+	res.OK = true
+	return res, nil
+}

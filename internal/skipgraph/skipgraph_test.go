@@ -1,0 +1,205 @@
+package skipgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func buildGraph(t *testing.T, bits uint, n int, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	raw := randx.UniqueIDs(rng, n, uint64(1)<<bits)
+	ids := make([]id.ID, n)
+	for i, x := range raw {
+		ids[i] = id.ID(x)
+	}
+	nw, err := Build(Config{Space: id.NewSpace(bits), Seed: seed}, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildValidation(t *testing.T) {
+	space := id.NewSpace(8)
+	if _, err := Build(Config{Space: space}, []id.ID{1}); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, err := Build(Config{Space: space}, []id.ID{1, 1}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := Build(Config{Space: space}, []id.ID{1, 999}); err == nil {
+		t.Error("out-of-space id accepted")
+	}
+}
+
+// Level 0 must be the plain successor ring; level i neighbors must agree
+// on the first i membership bits and be the closest such node.
+func TestLevelStructure(t *testing.T) {
+	nw := buildGraph(t, 16, 100, 3)
+	ids := nw.IDs()
+	for pos, x := range ids {
+		n := nw.Node(x)
+		if len(n.rights) == 0 {
+			t.Fatalf("node %d has no levels", x)
+		}
+		succ := ids[(pos+1)%len(ids)]
+		if n.rights[0] != succ {
+			t.Errorf("node %d level-0 neighbor %d, want successor %d", x, n.rights[0], succ)
+		}
+		for level := 1; level < len(n.rights); level++ {
+			mask := ^uint64(0) << (64 - level)
+			w := nw.Node(n.rights[level])
+			if w.membership&mask != n.membership&mask {
+				t.Fatalf("node %d level-%d neighbor disagrees on membership prefix", x, level)
+			}
+			// No closer clockwise node with the same prefix.
+			s := nw.Space()
+			for _, other := range ids {
+				if other == x || other == n.rights[level] {
+					continue
+				}
+				if nw.Node(other).membership&mask != n.membership&mask {
+					continue
+				}
+				if s.Gap(x, other) < s.Gap(x, n.rights[level]) {
+					t.Fatalf("node %d level-%d neighbor %d not closest (found %d)", x, level, n.rights[level], other)
+				}
+			}
+		}
+	}
+}
+
+// Expected levels grow with log n: neighbors form the Chord-like
+// exponential ladder the paper's claim rests on.
+func TestLevelsScaleLogarithmically(t *testing.T) {
+	small := buildGraph(t, 20, 32, 5)
+	big := buildGraph(t, 20, 512, 5)
+	avg := func(nw *Network) float64 {
+		total := 0
+		for _, x := range nw.IDs() {
+			total += nw.Node(x).Levels()
+		}
+		return float64(total) / float64(len(nw.IDs()))
+	}
+	s, b := avg(small), avg(big)
+	if b <= s {
+		t.Errorf("levels did not grow with n: %.2f vs %.2f", s, b)
+	}
+	if b > 3*math.Log2(512) {
+		t.Errorf("levels implausibly large: %.2f", b)
+	}
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	nw := buildGraph(t, 16, 300, 7)
+	rng := rand.New(rand.NewSource(8))
+	ids := nw.IDs()
+	for i := 0; i < 3000; i++ {
+		from := ids[rng.Intn(len(ids))]
+		key := id.ID(rng.Intn(1 << 16))
+		res, err := nw.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("lookup failed: %+v", res)
+		}
+		if res.Dest != nw.Owner(key) {
+			t.Fatalf("Dest %d, want %d", res.Dest, nw.Owner(key))
+		}
+		if res.Hops > 30 {
+			t.Errorf("lookup took %d hops", res.Hops)
+		}
+	}
+}
+
+func TestRouteSelfOwned(t *testing.T) {
+	nw := buildGraph(t, 16, 50, 9)
+	x := nw.IDs()[0]
+	res, err := nw.Route(x, x)
+	if err != nil || !res.OK || res.Hops != 0 {
+		t.Fatalf("self lookup: %+v %v", res, err)
+	}
+}
+
+func TestSetAuxValidation(t *testing.T) {
+	nw := buildGraph(t, 16, 50, 10)
+	x := nw.IDs()[0]
+	if err := nw.SetAux(x, []id.ID{x}); err == nil {
+		t.Error("self-aux accepted")
+	}
+	if err := nw.SetAux(12345, nil); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+// The paper's portability claim, executed: the Chord selection algorithm
+// run against a skip-graph node's neighbors cuts its measured lookups.
+func TestChordSelectionPortsToSkipGraph(t *testing.T) {
+	nw := buildGraph(t, 20, 400, 11)
+	rng := rand.New(rand.NewSource(12))
+	ids := nw.IDs()
+	src := ids[0]
+
+	// Zipf-skewed destination mix, observed in the node's counter.
+	alias := randx.NewAlias(randx.ZipfWeights(len(ids)-1, 1.2))
+	perm := rng.Perm(len(ids) - 1)
+	mix := make([]id.ID, 4000)
+	for i := range mix {
+		mix[i] = ids[1+perm[alias.Sample(rng)]]
+		nw.Node(src).Counter.Observe(mix[i])
+	}
+	measure := func() float64 {
+		total := 0
+		for _, dst := range mix {
+			res, err := nw.Route(src, dst)
+			if err != nil || !res.OK {
+				t.Fatalf("lookup failed: %v %+v", err, res)
+			}
+			total += res.Hops
+		}
+		return float64(total) / float64(len(mix))
+	}
+	before := measure()
+
+	peers := make([]core.Peer, 0)
+	for _, e := range nw.Node(src).Counter.Snapshot() {
+		peers = append(peers, core.Peer{ID: e.Peer, Freq: float64(e.Count)})
+	}
+	res, err := core.SelectChordFast(nw.Space(), src, nw.Node(src).Neighbors(), peers, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetAux(src, res.Aux); err != nil {
+		t.Fatal(err)
+	}
+	after := measure()
+	if after >= before {
+		t.Fatalf("selection did not help on skip graph: %.3f -> %.3f", before, after)
+	}
+	if reduction := 100 * (before - after) / before; reduction < 20 {
+		t.Errorf("reduction only %.1f%% (before %.3f after %.3f)", reduction, before, after)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := buildGraph(t, 16, 100, 13)
+	b := buildGraph(t, 16, 100, 13)
+	for _, x := range a.IDs() {
+		na, nb := a.Node(x), b.Node(x)
+		if na.Levels() != nb.Levels() {
+			t.Fatal("levels differ across identical builds")
+		}
+		for i := range na.rights {
+			if na.rights[i] != nb.rights[i] {
+				t.Fatal("neighbors differ across identical builds")
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: online mean/variance (Welford), percentiles,
+// normal-approximation confidence intervals, and integer hop histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates a stream of observations with Welford's online
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the sample mean (0 for an empty stream).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.mean
+}
+
+// Variance returns the sample variance (n-1 denominator; 0 when n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (r *Running) Stddev() float64 { return math.Sqrt(r.Variance()) }
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval around the mean.
+func (r *Running) CI95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return 1.96 * r.Stddev() / math.Sqrt(float64(r.n))
+}
+
+// WeightedMean accumulates a probability- or frequency-weighted mean,
+// used by the exact-expectation evaluator where each (source, destination)
+// pair contributes its hop count weighted by query probability. The zero
+// value is ready to use.
+type WeightedMean struct {
+	sumW  float64
+	sumWX float64
+}
+
+// Add records value x with non-negative weight w; w <= 0 is ignored.
+func (m *WeightedMean) Add(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	m.sumW += w
+	m.sumWX += w * x
+}
+
+// Weight returns the total accumulated weight.
+func (m *WeightedMean) Weight() float64 { return m.sumW }
+
+// Mean returns the weighted mean (0 when no weight accumulated).
+func (m *WeightedMean) Mean() float64 {
+	if m.sumW == 0 {
+		return 0
+	}
+	return m.sumWX / m.sumW
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty slice
+// or out-of-range p. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %g out of range", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a frequency histogram over small non-negative integers
+// (hop counts). The zero value is ready to use.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+// Add records one observation of value v (v < 0 panics).
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations of value v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Mean returns the mean observed value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Percentile returns the smallest value v such that at least p percent
+// of observations are <= v (nearest-rank). It panics on an empty
+// histogram or p outside [0, 100].
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		panic("stats: Percentile of empty histogram")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %g out of range", p))
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// String renders the histogram as "v:count" pairs, for logs and examples.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for v, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", v, c)
+	}
+	if b.Len() == 0 {
+		return "(empty)"
+	}
+	return b.String()
+}
+
+// PercentReduction returns 100 * (base - ours) / base, the paper's
+// performance metric (Section VI-A): percentage reduction in the average
+// number of hops compared to the frequency-oblivious scheme. It returns 0
+// when base is 0.
+func PercentReduction(base, ours float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - ours) / base
+}

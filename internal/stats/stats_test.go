@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.CI95() != 0 {
+		t.Error("zero-value Running not all-zero")
+	}
+}
+
+func TestRunningKnownValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d, want 8", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", r.Mean())
+	}
+	// Sample variance with n-1: sum of squared deviations = 32, 32/7.
+	if want := 32.0 / 7.0; math.Abs(r.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", r.Variance(), want)
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var r Running
+	var xs []float64
+	for i := 0; i < 10000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		xs = append(xs, x)
+		r.Add(x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	variance := varSum / float64(len(xs)-1)
+	if math.Abs(r.Mean()-mean) > 1e-9 {
+		t.Errorf("Mean = %g, want %g", r.Mean(), mean)
+	}
+	if math.Abs(r.Variance()-variance) > 1e-6 {
+		t.Errorf("Variance = %g, want %g", r.Variance(), variance)
+	}
+	if r.CI95() <= 0 {
+		t.Error("CI95 not positive for non-degenerate stream")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	var m WeightedMean
+	if m.Mean() != 0 {
+		t.Error("empty WeightedMean not 0")
+	}
+	m.Add(10, 1)
+	m.Add(20, 3)
+	m.Add(999, 0)  // ignored
+	m.Add(999, -1) // ignored
+	if math.Abs(m.Mean()-17.5) > 1e-12 {
+		t.Errorf("Mean = %g, want 17.5", m.Mean())
+	}
+	if m.Weight() != 4 {
+		t.Errorf("Weight = %g, want 4", m.Weight())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); math.Abs(got-15) > 1e-12 {
+		t.Errorf("interpolated median = %g, want 15", got)
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Percentile(nil, 50) },
+		"p>100": func() { Percentile([]float64{1}, 101) },
+		"p<0":   func() { Percentile([]float64{1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{0, 1, 1, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(2) != 0 || h.Count(3) != 3 || h.Count(99) != 0 {
+		t.Error("histogram counts wrong")
+	}
+	if want := (0.0 + 2 + 9) / 6; math.Abs(h.Mean()-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", h.Mean(), want)
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %d, want 3", h.Max())
+	}
+	if got := h.String(); got != "0:1 1:2 3:3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Max() != 0 || h.String() != "(empty)" {
+		t.Error("empty histogram misbehaves")
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	var h Histogram
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	h.Add(-1)
+}
+
+func TestPercentReduction(t *testing.T) {
+	tests := []struct {
+		base, ours, want float64
+	}{
+		{10, 5, 50},
+		{10, 10, 0},
+		{10, 12, -20},
+		{0, 5, 0},
+		{4, 1.72, 57.00000000000001},
+	}
+	for _, tt := range tests {
+		if got := PercentReduction(tt.base, tt.ours); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("PercentReduction(%g,%g) = %g, want %g", tt.base, tt.ours, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{1, 1, 2, 3, 3, 3, 4, 9} {
+		h.Add(v)
+	}
+	tests := []struct {
+		p    float64
+		want int
+	}{
+		// Nearest-rank over 8 samples: rank = ceil(p/100*8).
+		{0, 1}, {25, 1}, {50, 3}, {75, 3}, {87.5, 4}, {90, 9}, {100, 9},
+	}
+	for _, tt := range tests {
+		if got := h.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%g) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramPercentilePanics(t *testing.T) {
+	var h Histogram
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty histogram did not panic")
+			}
+		}()
+		h.Percentile(50)
+	}()
+	h.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("p>100 did not panic")
+		}
+	}()
+	h.Percentile(101)
+}

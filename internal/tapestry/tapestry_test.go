@@ -1,0 +1,169 @@
+package tapestry
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/core"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func buildMesh(t *testing.T, bits, digitBits uint, n int, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	raw := randx.UniqueIDs(rng, n, uint64(1)<<bits)
+	ids := make([]id.ID, n)
+	for i, x := range raw {
+		ids[i] = id.ID(x)
+	}
+	nw, err := Build(Config{Space: id.NewSpace(bits), DigitBits: digitBits}, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildValidation(t *testing.T) {
+	space := id.NewSpace(8)
+	if _, err := Build(Config{Space: space, DigitBits: 3}, []id.ID{1, 2}); err == nil {
+		t.Error("non-dividing digit size accepted")
+	}
+	if _, err := Build(Config{Space: space}, []id.ID{1}); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, err := Build(Config{Space: space}, []id.ID{1, 1}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := Build(Config{Space: space}, []id.ID{1, 999}); err == nil {
+		t.Error("out-of-space id accepted")
+	}
+}
+
+// Table slots must hold nodes with the exact (level, digit) relationship.
+func TestTableSlotPlacement(t *testing.T) {
+	nw := buildMesh(t, 16, 4, 200, 3)
+	space := nw.Space()
+	for _, x := range nw.IDs() {
+		n := nw.Node(x)
+		for l := range n.table {
+			for v, w := range n.table[l] {
+				if !n.hasEntry[l][v] {
+					continue
+				}
+				if got := space.CommonPrefixLen(x, w) / 4; got != uint(l) {
+					t.Fatalf("node %x slot (%d,%x) holds %x sharing %d digits", x, l, v, w, got)
+				}
+				if nw.digitOf(w, uint(l)) != uint(v) {
+					t.Fatalf("node %x slot (%d,%x) holds %x with wrong digit", x, l, v, w)
+				}
+			}
+		}
+	}
+}
+
+// The surrogate root must share the key's longest achievable digit
+// prefix: no node is digit-deeper than the root.
+func TestRootIsDeepestPrefixNode(t *testing.T) {
+	nw := buildMesh(t, 16, 4, 150, 5)
+	space := nw.Space()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		key := id.ID(rng.Intn(1 << 16))
+		root := nw.Root(key)
+		if nw.Node(root) == nil {
+			t.Fatalf("root %x is not a member", root)
+		}
+		rl := space.CommonPrefixLen(root, key) / 4
+		for _, y := range nw.IDs() {
+			if space.CommonPrefixLen(y, key)/4 > rl {
+				t.Fatalf("root %x (depth %d) not deepest: %x deeper for key %x", root, rl, y, key)
+			}
+		}
+	}
+}
+
+// Every route from every node must converge on the surrogate root.
+func TestRouteReachesRoot(t *testing.T) {
+	for _, d := range []uint{1, 2, 4} {
+		nw := buildMesh(t, 16, d, 300, 7)
+		rng := rand.New(rand.NewSource(8))
+		ids := nw.IDs()
+		for i := 0; i < 2000; i++ {
+			from := ids[rng.Intn(len(ids))]
+			key := id.ID(rng.Intn(1 << 16))
+			res, err := nw.Route(from, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK {
+				t.Fatalf("d=%d: route failed from %x to key %x (dest %x)", d, from, key, res.Dest)
+			}
+			if res.Dest != nw.Root(key) {
+				t.Fatalf("d=%d: dest %x, root %x", d, res.Dest, nw.Root(key))
+			}
+			if res.Hops > 2*int(16/d) {
+				t.Errorf("d=%d: route took %d hops", d, res.Hops)
+			}
+		}
+	}
+}
+
+func TestSetAuxValidation(t *testing.T) {
+	nw := buildMesh(t, 16, 4, 50, 9)
+	x := nw.IDs()[0]
+	if err := nw.SetAux(x, []id.ID{x}); err == nil {
+		t.Error("self-aux accepted")
+	}
+	if err := nw.SetAux(12345, nil); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+// The paper's claim: Pastry's selection (digit variant) drops measured
+// Tapestry lookups with no routing changes.
+func TestPastrySelectionPortsToTapestry(t *testing.T) {
+	nw := buildMesh(t, 20, 4, 400, 11)
+	rng := rand.New(rand.NewSource(12))
+	ids := nw.IDs()
+	src := ids[0]
+
+	alias := randx.NewAlias(randx.ZipfWeights(len(ids)-1, 1.2))
+	perm := rng.Perm(len(ids) - 1)
+	mix := make([]id.ID, 4000)
+	for i := range mix {
+		mix[i] = ids[1+perm[alias.Sample(rng)]]
+		nw.Node(src).Counter.Observe(mix[i])
+	}
+	measure := func() float64 {
+		total := 0
+		for _, dst := range mix {
+			res, err := nw.Route(src, dst)
+			if err != nil || !res.OK {
+				t.Fatalf("lookup failed: %v %+v", err, res)
+			}
+			total += res.Hops
+		}
+		return float64(total) / float64(len(mix))
+	}
+	before := measure()
+
+	var peers []core.Peer
+	for _, e := range nw.Node(src).Counter.Snapshot() {
+		peers = append(peers, core.Peer{ID: e.Peer, Freq: float64(e.Count)})
+	}
+	res, err := core.SelectPastryGreedyDigits(nw.Space(), nw.Node(src).Neighbors(), peers, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetAux(src, res.Aux); err != nil {
+		t.Fatal(err)
+	}
+	after := measure()
+	if after >= before {
+		t.Fatalf("selection did not help on Tapestry: %.3f -> %.3f", before, after)
+	}
+	if reduction := 100 * (before - after) / before; reduction < 15 {
+		t.Errorf("reduction only %.1f%% (before %.3f after %.3f)", reduction, before, after)
+	}
+}

@@ -1,0 +1,96 @@
+package trie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"peercache/internal/id"
+)
+
+// quick property: for any set of ids and frequencies, the root
+// aggregates equal the direct sums and every pairwise Dist equals the
+// prefix distance.
+func TestAggregatesAndDistQuick(t *testing.T) {
+	s := id.NewSpace(8)
+	f := func(ids [6]uint8, fs [6]uint8, coreMask uint8) bool {
+		tr := New(s)
+		type entry struct {
+			p    id.ID
+			f    float64
+			core bool
+		}
+		var entries []entry
+		seen := map[id.ID]bool{}
+		for i, raw := range ids {
+			p := id.ID(raw)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			e := entry{p: p, f: float64(fs[i]), core: coreMask&(1<<i) != 0}
+			entries = append(entries, e)
+			tr.Insert(e.p, e.f, e.core)
+		}
+		wantF, wantC := 0.0, 0
+		for _, e := range entries {
+			wantF += e.f
+			if e.core {
+				wantC++
+			}
+		}
+		r := tr.Root()
+		if r.Leaves() != len(entries) || r.CoreLeaves() != wantC {
+			return false
+		}
+		if math.Abs(r.Freq()-wantF) > 1e-9 {
+			return false
+		}
+		for _, a := range entries {
+			for _, b := range entries {
+				if tr.Dist(a.p, b.p) != s.PastryDist(a.p, b.p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick property: insert-then-remove leaves the trie exactly as it was
+// for the surviving peers.
+func TestInsertRemoveRoundTripQuick(t *testing.T) {
+	s := id.NewSpace(8)
+	f := func(stay [4]uint8, temp [4]uint8) bool {
+		tr := New(s)
+		seen := map[id.ID]bool{}
+		for _, raw := range stay {
+			p := id.ID(raw)
+			if !seen[p] {
+				seen[p] = true
+				tr.Insert(p, 1, false)
+			}
+		}
+		baseline := tr.Root().Freq()
+		inserted := []id.ID{}
+		for _, raw := range temp {
+			p := id.ID(raw)
+			if !seen[p] {
+				seen[p] = true
+				tr.Insert(p, 2, true)
+				inserted = append(inserted, p)
+			}
+		}
+		for _, p := range inserted {
+			tr.Remove(p)
+		}
+		return math.Abs(tr.Root().Freq()-baseline) < 1e-9 &&
+			tr.Root().CoreLeaves() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

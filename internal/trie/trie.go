@@ -1,0 +1,283 @@
+// Package trie implements the uncompressed binary trie over peer
+// identifiers that underlies the Pastry auxiliary-neighbor selection
+// algorithms (Section IV of the paper).
+//
+// Every leaf sits at depth exactly b, so the height of a vertex (its
+// distance to the closest leaf below it) is b minus its depth, and the
+// distance between two Pastry nodes equals the height of the lowest common
+// ancestor of their leaves (Proposition 4.1).
+//
+// Each vertex aggregates the frequency mass F(T_a), the number of leaves,
+// and the number of core-neighbor leaves in its subtree; the selection
+// algorithms read these aggregates and may attach their own per-vertex
+// state through the Tag field.
+package trie
+
+import (
+	"fmt"
+
+	"peercache/internal/id"
+)
+
+// Vertex is a trie vertex. Internal vertices have up to two children;
+// leaves carry a peer id, its access frequency, and whether the peer is
+// already a core neighbor of the selecting node.
+type Vertex struct {
+	parent *Vertex
+	child  [2]*Vertex
+	depth  uint
+
+	freq       float64 // F(T_a): total leaf frequency in this subtree
+	leaves     int     // number of leaves in this subtree
+	coreLeaves int     // number of core-neighbor leaves in this subtree
+
+	leaf   bool
+	id     id.ID
+	isCore bool
+
+	// Tag is scratch space owned by whatever algorithm is walking the
+	// trie (the DP and greedy selectors store their per-subtree tables
+	// here). The trie itself never touches it beyond clearing on removal.
+	Tag any
+}
+
+// Parent returns the parent vertex, or nil at the root.
+func (v *Vertex) Parent() *Vertex { return v.parent }
+
+// Child returns child i (0 or 1), possibly nil.
+func (v *Vertex) Child(i uint) *Vertex { return v.child[i&1] }
+
+// Depth returns the vertex depth; the root has depth 0.
+func (v *Vertex) Depth() uint { return v.depth }
+
+// Freq returns F(T_a), the sum of leaf frequencies in the subtree.
+func (v *Vertex) Freq() float64 { return v.freq }
+
+// Leaves returns the number of leaves in the subtree.
+func (v *Vertex) Leaves() int { return v.leaves }
+
+// CoreLeaves returns the number of core-neighbor leaves in the subtree.
+func (v *Vertex) CoreLeaves() int { return v.coreLeaves }
+
+// HasCore reports whether the subtree contains a core neighbor.
+func (v *Vertex) HasCore() bool { return v.coreLeaves > 0 }
+
+// Selectable returns the number of leaves eligible as auxiliary neighbors
+// (non-core leaves), the cap on pointers placeable in this subtree.
+func (v *Vertex) Selectable() int { return v.leaves - v.coreLeaves }
+
+// IsLeaf reports whether the vertex is a leaf (a peer).
+func (v *Vertex) IsLeaf() bool { return v.leaf }
+
+// ID returns the peer id of a leaf. It panics on internal vertices.
+func (v *Vertex) ID() id.ID {
+	if !v.leaf {
+		panic("trie: ID on internal vertex")
+	}
+	return v.id
+}
+
+// IsCore reports whether a leaf is a core neighbor. False for internal
+// vertices.
+func (v *Vertex) IsCore() bool { return v.leaf && v.isCore }
+
+// Trie is a binary trie over b-bit peer identifiers.
+type Trie struct {
+	space  id.Space
+	root   *Vertex
+	leaf   map[id.ID]*Vertex
+	height uint
+}
+
+// New returns an empty trie over the given identifier space.
+func New(space id.Space) *Trie {
+	return &Trie{
+		space:  space,
+		root:   &Vertex{},
+		leaf:   make(map[id.ID]*Vertex),
+		height: space.Bits(),
+	}
+}
+
+// Space returns the identifier space the trie is built over.
+func (t *Trie) Space() id.Space { return t.space }
+
+// Root returns the root vertex. The root is never nil, even when empty.
+func (t *Trie) Root() *Vertex { return t.root }
+
+// Len returns the number of peers (leaves) in the trie.
+func (t *Trie) Len() int { return len(t.leaf) }
+
+// Height returns the height of a vertex: its distance to the leaf level
+// (b - depth). By Proposition 4.1 the hop distance between two peers is
+// the Height of their lowest common ancestor.
+func (t *Trie) Height(v *Vertex) uint { return t.height - v.depth }
+
+// Leaf returns the leaf vertex for the given peer id, or nil.
+func (t *Trie) Leaf(p id.ID) *Vertex { return t.leaf[p] }
+
+// Insert adds a peer with the given frequency and core flag. It panics if
+// the peer is already present (callers track membership; a double insert
+// is a bookkeeping bug) or if freq is negative.
+func (t *Trie) Insert(p id.ID, freq float64, core bool) *Vertex {
+	if freq < 0 {
+		panic(fmt.Sprintf("trie: negative frequency %g for %s", freq, t.space.Format(p)))
+	}
+	if _, ok := t.leaf[p]; ok {
+		panic(fmt.Sprintf("trie: duplicate insert of %s", t.space.Format(p)))
+	}
+	v := t.root
+	for i := uint(0); i < t.height; i++ {
+		b := t.space.Bit(p, i)
+		if v.child[b] == nil {
+			v.child[b] = &Vertex{parent: v, depth: i + 1}
+		}
+		v = v.child[b]
+	}
+	v.leaf = true
+	v.id = p
+	v.isCore = core
+	t.leaf[p] = v
+	coreDelta := 0
+	if core {
+		coreDelta = 1
+	}
+	for u := v; u != nil; u = u.parent {
+		u.freq += freq
+		u.leaves++
+		u.coreLeaves += coreDelta
+	}
+	return v
+}
+
+// Remove deletes a peer, pruning now-empty internal vertices. It returns
+// the deepest surviving ancestor (the vertex from which any incremental
+// recomputation must start), or nil if the peer was absent.
+func (t *Trie) Remove(p id.ID) *Vertex {
+	v, ok := t.leaf[p]
+	if !ok {
+		return nil
+	}
+	delete(t.leaf, p)
+	coreDelta := 0
+	if v.isCore {
+		coreDelta = 1
+	}
+	freq := v.freq
+	for u := v; u != nil; u = u.parent {
+		u.freq -= freq
+		u.leaves--
+		u.coreLeaves -= coreDelta
+	}
+	v.leaf = false
+	// Prune the chain of vertices that only existed for this leaf.
+	for v != t.root && v.leaves == 0 {
+		parent := v.parent
+		if parent.child[0] == v {
+			parent.child[0] = nil
+		} else {
+			parent.child[1] = nil
+		}
+		v.parent = nil
+		v.Tag = nil
+		v = parent
+	}
+	return v
+}
+
+// UpdateFreq sets the frequency of an existing peer and propagates the
+// delta to all ancestors. It returns the leaf, or nil if absent.
+func (t *Trie) UpdateFreq(p id.ID, freq float64) *Vertex {
+	if freq < 0 {
+		panic(fmt.Sprintf("trie: negative frequency %g for %s", freq, t.space.Format(p)))
+	}
+	v, ok := t.leaf[p]
+	if !ok {
+		return nil
+	}
+	delta := freq - v.freq
+	for u := v; u != nil; u = u.parent {
+		u.freq += delta
+	}
+	return v
+}
+
+// SetCore marks or unmarks a peer as a core neighbor, updating ancestor
+// counts. It returns the leaf, or nil if absent.
+func (t *Trie) SetCore(p id.ID, core bool) *Vertex {
+	v, ok := t.leaf[p]
+	if !ok {
+		return nil
+	}
+	if v.isCore == core {
+		return v
+	}
+	v.isCore = core
+	delta := 1
+	if !core {
+		delta = -1
+	}
+	for u := v; u != nil; u = u.parent {
+		u.coreLeaves += delta
+	}
+	return v
+}
+
+// LCA returns the lowest common ancestor of two peers present in the trie,
+// or nil if either is absent.
+func (t *Trie) LCA(a, b id.ID) *Vertex {
+	va, vb := t.leaf[a], t.leaf[b]
+	if va == nil || vb == nil {
+		return nil
+	}
+	for va != vb {
+		va = va.parent
+		vb = vb.parent
+	}
+	return va
+}
+
+// Dist returns the trie-derived hop distance between two peers present in
+// the trie: the height of their LCA (equivalently b - LCP). It panics if
+// either peer is absent.
+func (t *Trie) Dist(a, b id.ID) uint {
+	l := t.LCA(a, b)
+	if l == nil {
+		panic("trie: Dist on absent peer")
+	}
+	return t.Height(l)
+}
+
+// WalkLeaves calls fn for every leaf in id order (depth-first, bit 0
+// before bit 1). Iteration stops early if fn returns false.
+func (t *Trie) WalkLeaves(fn func(*Vertex) bool) {
+	var rec func(*Vertex) bool
+	rec = func(v *Vertex) bool {
+		if v == nil {
+			return true
+		}
+		if v.leaf {
+			return fn(v)
+		}
+		return rec(v.child[0]) && rec(v.child[1])
+	}
+	rec(t.root)
+}
+
+// WalkPath calls fn for every vertex on the root-to-leaf path of peer p,
+// root first. It reports whether the peer exists.
+func (t *Trie) WalkPath(p id.ID, fn func(*Vertex)) bool {
+	v, ok := t.leaf[p]
+	if !ok {
+		return false
+	}
+	// Collect and reverse so callers see root first.
+	path := make([]*Vertex, 0, t.height+1)
+	for u := v; u != nil; u = u.parent {
+		path = append(path, u)
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		fn(path[i])
+	}
+	return true
+}

@@ -1,0 +1,304 @@
+package trie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+func space4() id.Space { return id.NewSpace(4) }
+
+func TestInsertAndAggregates(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(0b1011, 2, false)
+	tr.Insert(0b1111, 3, true)
+	tr.Insert(0b0001, 5, false)
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	r := tr.Root()
+	if r.Freq() != 10 {
+		t.Errorf("root freq = %g, want 10", r.Freq())
+	}
+	if r.Leaves() != 3 || r.CoreLeaves() != 1 || r.Selectable() != 2 {
+		t.Errorf("root counts = (%d,%d,%d), want (3,1,2)", r.Leaves(), r.CoreLeaves(), r.Selectable())
+	}
+	// Subtree under leading bit 1 holds 1011 and 1111.
+	one := r.Child(1)
+	if one == nil || one.Freq() != 5 || one.Leaves() != 2 || one.CoreLeaves() != 1 {
+		t.Fatalf("subtree '1' aggregates wrong: %+v", one)
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(3, 1, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert did not panic")
+		}
+	}()
+	tr.Insert(3, 2, false)
+}
+
+func TestNegativeFreqPanics(t *testing.T) {
+	tr := New(space4())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative frequency did not panic")
+		}
+	}()
+	tr.Insert(3, -1, false)
+}
+
+// Proposition 4.1: trie distance equals b - LCP for every pair.
+func TestDistMatchesPastryDist(t *testing.T) {
+	s := id.NewSpace(10)
+	tr := New(s)
+	rng := rand.New(rand.NewSource(5))
+	var ids []id.ID
+	for _, raw := range rng.Perm(1 << 10)[:200] {
+		p := id.ID(raw)
+		tr.Insert(p, 1, false)
+		ids = append(ids, p)
+	}
+	for i := 0; i < 2000; i++ {
+		a := ids[rng.Intn(len(ids))]
+		b := ids[rng.Intn(len(ids))]
+		if got, want := tr.Dist(a, b), s.PastryDist(a, b); got != want {
+			t.Fatalf("Dist(%s,%s) = %d, want %d", s.Format(a), s.Format(b), got, want)
+		}
+	}
+}
+
+func TestDistPaperExample(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(0b1011, 1, false)
+	tr.Insert(0b1111, 1, false)
+	if got := tr.Dist(0b1011, 0b1111); got != 3 {
+		t.Fatalf("Dist(1011,1111) = %d, want 3", got)
+	}
+	if got := tr.Dist(0b1011, 0b1011); got != 0 {
+		t.Fatalf("Dist(x,x) = %d, want 0", got)
+	}
+}
+
+func TestRemovePrunesAndUnwinds(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(0b1011, 2, false)
+	tr.Insert(0b1111, 3, true)
+	surviving := tr.Remove(0b1111)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if tr.Leaf(0b1111) != nil {
+		t.Error("removed leaf still reachable")
+	}
+	r := tr.Root()
+	if r.Freq() != 2 || r.Leaves() != 1 || r.CoreLeaves() != 0 {
+		t.Errorf("root aggregates after remove = (%g,%d,%d), want (2,1,0)", r.Freq(), r.Leaves(), r.CoreLeaves())
+	}
+	// 1011 and 1111 share prefix "1"; after removing 1111 the deepest
+	// surviving ancestor must be the depth-1 vertex for prefix "1".
+	if surviving == nil || surviving.Depth() != 1 {
+		t.Errorf("surviving ancestor depth = %v, want 1", surviving)
+	}
+	// The pruned branch must be fully detached: path below "1" toward
+	// 1111 (prefix "11") is gone.
+	if v := r.Child(1).Child(1); v != nil {
+		t.Error("pruned branch still attached")
+	}
+}
+
+func TestRemoveAbsent(t *testing.T) {
+	tr := New(space4())
+	if tr.Remove(5) != nil {
+		t.Error("Remove of absent peer returned a vertex")
+	}
+}
+
+func TestRemoveLastLeafKeepsRoot(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(7, 1, false)
+	tr.Remove(7)
+	if tr.Root() == nil {
+		t.Fatal("root pruned away")
+	}
+	if tr.Root().Leaves() != 0 || tr.Root().Freq() != 0 {
+		t.Errorf("empty trie root aggregates: %d leaves, %g freq", tr.Root().Leaves(), tr.Root().Freq())
+	}
+}
+
+func TestUpdateFreqPropagates(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(0b0001, 5, false)
+	tr.Insert(0b0010, 1, false)
+	if tr.UpdateFreq(0b0001, 9) == nil {
+		t.Fatal("UpdateFreq returned nil for present peer")
+	}
+	if got := tr.Root().Freq(); got != 10 {
+		t.Errorf("root freq = %g, want 10", got)
+	}
+	if tr.UpdateFreq(0b1000, 1) != nil {
+		t.Error("UpdateFreq on absent peer returned a vertex")
+	}
+}
+
+func TestSetCore(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(0b0001, 5, false)
+	tr.SetCore(0b0001, true)
+	if tr.Root().CoreLeaves() != 1 {
+		t.Error("SetCore(true) did not propagate")
+	}
+	tr.SetCore(0b0001, true) // idempotent
+	if tr.Root().CoreLeaves() != 1 {
+		t.Error("SetCore idempotence broken")
+	}
+	tr.SetCore(0b0001, false)
+	if tr.Root().CoreLeaves() != 0 {
+		t.Error("SetCore(false) did not propagate")
+	}
+}
+
+func TestWalkLeavesInOrder(t *testing.T) {
+	tr := New(space4())
+	for _, p := range []id.ID{0b1010, 0b0001, 0b1111, 0b0100} {
+		tr.Insert(p, 1, false)
+	}
+	var got []id.ID
+	tr.WalkLeaves(func(v *Vertex) bool {
+		got = append(got, v.ID())
+		return true
+	})
+	want := []id.ID{0b0001, 0b0100, 0b1010, 0b1111}
+	if len(got) != len(want) {
+		t.Fatalf("walked %d leaves, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("leaf %d = %04b, want %04b", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkLeavesEarlyStop(t *testing.T) {
+	tr := New(space4())
+	for _, p := range []id.ID{1, 2, 3} {
+		tr.Insert(p, 1, false)
+	}
+	n := 0
+	tr.WalkLeaves(func(v *Vertex) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("visited %d leaves, want 2", n)
+	}
+}
+
+func TestWalkPathRootFirst(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(0b1010, 1, false)
+	var depths []uint
+	ok := tr.WalkPath(0b1010, func(v *Vertex) { depths = append(depths, v.Depth()) })
+	if !ok {
+		t.Fatal("WalkPath reported absent for present peer")
+	}
+	if len(depths) != 5 {
+		t.Fatalf("path length = %d, want 5", len(depths))
+	}
+	for i, d := range depths {
+		if d != uint(i) {
+			t.Errorf("path[%d] depth = %d, want %d", i, d, i)
+		}
+	}
+	if tr.WalkPath(0b0111, func(*Vertex) {}) {
+		t.Error("WalkPath reported present for absent peer")
+	}
+}
+
+// Aggregates must stay exact under a random interleaving of inserts,
+// removals, frequency updates and core toggles.
+func TestAggregateConsistencyUnderChurn(t *testing.T) {
+	s := id.NewSpace(8)
+	tr := New(s)
+	rng := rand.New(rand.NewSource(99))
+	freq := make(map[id.ID]float64)
+	core := make(map[id.ID]bool)
+
+	for step := 0; step < 4000; step++ {
+		p := id.ID(rng.Intn(256))
+		switch rng.Intn(4) {
+		case 0:
+			if _, ok := freq[p]; !ok {
+				f := rng.Float64() * 10
+				c := rng.Intn(4) == 0
+				tr.Insert(p, f, c)
+				freq[p] = f
+				core[p] = c
+			}
+		case 1:
+			if _, ok := freq[p]; ok {
+				tr.Remove(p)
+				delete(freq, p)
+				delete(core, p)
+			}
+		case 2:
+			if _, ok := freq[p]; ok {
+				f := rng.Float64() * 10
+				tr.UpdateFreq(p, f)
+				freq[p] = f
+			}
+		case 3:
+			if _, ok := freq[p]; ok {
+				c := rng.Intn(2) == 0
+				tr.SetCore(p, c)
+				core[p] = c
+			}
+		}
+	}
+
+	wantF, wantN, wantC := 0.0, 0, 0
+	for p, f := range freq {
+		wantF += f
+		wantN++
+		if core[p] {
+			wantC++
+		}
+	}
+	r := tr.Root()
+	if r.Leaves() != wantN || r.CoreLeaves() != wantC {
+		t.Errorf("root counts = (%d,%d), want (%d,%d)", r.Leaves(), r.CoreLeaves(), wantN, wantC)
+	}
+	if math.Abs(r.Freq()-wantF) > 1e-6 {
+		t.Errorf("root freq = %g, want %g", r.Freq(), wantF)
+	}
+	if tr.Len() != wantN {
+		t.Errorf("Len = %d, want %d", tr.Len(), wantN)
+	}
+	// Every recorded leaf must be reachable and correct.
+	for p, f := range freq {
+		v := tr.Leaf(p)
+		if v == nil {
+			t.Fatalf("leaf %s missing", s.Format(p))
+		}
+		if math.Abs(v.Freq()-f) > 1e-9 || v.IsCore() != core[p] {
+			t.Errorf("leaf %s = (%g,%v), want (%g,%v)", s.Format(p), v.Freq(), v.IsCore(), f, core[p])
+		}
+	}
+}
+
+func TestIDPanicsOnInternalVertex(t *testing.T) {
+	tr := New(space4())
+	tr.Insert(0, 1, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("ID on internal vertex did not panic")
+		}
+	}()
+	tr.Root().ID()
+}

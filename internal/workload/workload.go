@@ -1,0 +1,138 @@
+// Package workload generates the query workloads of Section VI-A: a
+// corpus of items with randomly generated identifiers, zipfian item
+// popularities, and either one global popularity ranking (identical at
+// all nodes — the paper's Pastry plots) or several distinct rankings
+// assigned randomly to nodes (the paper's Chord plots use five).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+// Config parameterizes a workload.
+type Config struct {
+	// Space is the identifier space items are hashed into.
+	Space id.Space
+	// NumItems is the corpus size.
+	NumItems int
+	// Alpha is the zipf exponent (the paper sweeps 1.2 and 0.91).
+	Alpha float64
+	// NumRankings is the number of distinct popularity rankings; 1
+	// means identical popularity at all nodes, 5 reproduces the
+	// paper's per-node variation. Defaults to 1 when 0.
+	NumRankings int
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Workload holds the item corpus and per-ranking popularity structure.
+type Workload struct {
+	cfg     Config
+	items   []id.ID
+	weights []float64 // zipf weight by rank
+
+	// rankOf[r][itemIdx] = rank of the item under ranking r.
+	rankOf [][]int
+	// samplers[r] draws item indices under ranking r.
+	samplers []*randx.Alias
+
+	// ranking assignment per node, fixed for the workload's lifetime.
+	nodeRanking map[id.ID]int
+	rankingRNG  *rand.Rand
+}
+
+// New builds a workload. It panics on a non-positive item count (a
+// configuration bug, not a runtime condition).
+func New(cfg Config) *Workload {
+	if cfg.NumItems <= 0 {
+		panic(fmt.Sprintf("workload: NumItems = %d", cfg.NumItems))
+	}
+	if cfg.NumRankings == 0 {
+		cfg.NumRankings = 1
+	}
+	itemRNG := randx.New(randx.DeriveSeed(cfg.Seed, "items"))
+	w := &Workload{
+		cfg:         cfg,
+		weights:     randx.ZipfWeights(cfg.NumItems, cfg.Alpha),
+		nodeRanking: make(map[id.ID]int),
+		rankingRNG:  randx.New(randx.DeriveSeed(cfg.Seed, "node-ranking")),
+	}
+	for _, raw := range randx.UniqueIDs(itemRNG, cfg.NumItems, cfg.Space.Size()) {
+		w.items = append(w.items, id.ID(raw))
+	}
+	permRNG := randx.New(randx.DeriveSeed(cfg.Seed, "rankings"))
+	for r := 0; r < cfg.NumRankings; r++ {
+		rank := make([]int, cfg.NumItems)
+		probs := make([]float64, cfg.NumItems)
+		var perm []int
+		if r == 0 {
+			// Ranking 0 is the identity: item 0 is the most popular.
+			perm = make([]int, cfg.NumItems)
+			for i := range perm {
+				perm[i] = i
+			}
+		} else {
+			perm = permRNG.Perm(cfg.NumItems)
+		}
+		for rnk, itemIdx := range perm {
+			rank[itemIdx] = rnk
+			probs[itemIdx] = w.weights[rnk]
+		}
+		w.rankOf = append(w.rankOf, rank)
+		w.samplers = append(w.samplers, randx.NewAlias(probs))
+	}
+	return w
+}
+
+// Items returns the item keys (do not modify).
+func (w *Workload) Items() []id.ID { return w.items }
+
+// NumItems returns the corpus size.
+func (w *Workload) NumItems() int { return len(w.items) }
+
+// RankingOf returns the popularity ranking index assigned to the node,
+// assigning one uniformly at random (but deterministically per workload
+// seed) on first use. Assignments persist across crash/rejoin cycles.
+func (w *Workload) RankingOf(node id.ID) int {
+	r, ok := w.nodeRanking[node]
+	if !ok {
+		r = w.rankingRNG.Intn(len(w.samplers))
+		w.nodeRanking[node] = r
+	}
+	return r
+}
+
+// Prob returns the probability that a query at the given node targets
+// item itemIdx.
+func (w *Workload) Prob(node id.ID, itemIdx int) float64 {
+	return w.weights[w.rankOf[w.RankingOf(node)][itemIdx]]
+}
+
+// SampleItem draws an item index for a query originating at node.
+func (w *Workload) SampleItem(rng *rand.Rand, node id.ID) int {
+	return w.samplers[w.RankingOf(node)].Sample(rng)
+}
+
+// Key returns the identifier of item itemIdx.
+func (w *Workload) Key(itemIdx int) id.ID { return w.items[itemIdx] }
+
+// DestMass aggregates a node's per-item query distribution into
+// per-destination-node probability mass, given the item-to-owner
+// assignment. The mass for destinations equal to the node itself is
+// dropped (those lookups terminate locally and cost zero hops for every
+// scheme). owner must map every item index.
+func (w *Workload) DestMass(node id.ID, owner func(itemIdx int) id.ID) map[id.ID]float64 {
+	mass := make(map[id.ID]float64)
+	for i := range w.items {
+		o := owner(i)
+		if o == node {
+			continue
+		}
+		mass[o] += w.Prob(node, i)
+	}
+	return mass
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+func testConfig(rankings int) Config {
+	return Config{
+		Space:       id.NewSpace(16),
+		NumItems:    100,
+		Alpha:       1.2,
+		NumRankings: rankings,
+		Seed:        7,
+	}
+}
+
+func TestItemsUniqueAndInSpace(t *testing.T) {
+	w := New(testConfig(1))
+	seen := make(map[id.ID]bool)
+	for _, it := range w.Items() {
+		if uint64(it) >= 1<<16 {
+			t.Fatalf("item %d out of space", it)
+		}
+		if seen[it] {
+			t.Fatalf("duplicate item %d", it)
+		}
+		seen[it] = true
+	}
+	if w.NumItems() != 100 {
+		t.Fatalf("NumItems = %d, want 100", w.NumItems())
+	}
+}
+
+func TestSingleRankingIdenticalAcrossNodes(t *testing.T) {
+	w := New(testConfig(1))
+	for i := 0; i < 10; i++ {
+		if w.RankingOf(id.ID(i)) != 0 {
+			t.Fatalf("node %d got ranking %d, want 0", i, w.RankingOf(id.ID(i)))
+		}
+	}
+	// Under ranking 0 item 0 is most popular.
+	if w.Prob(1, 0) <= w.Prob(1, 50) {
+		t.Error("item 0 not most popular under identity ranking")
+	}
+}
+
+func TestProbsSumToOne(t *testing.T) {
+	w := New(testConfig(5))
+	for node := id.ID(0); node < 10; node++ {
+		sum := 0.0
+		for i := 0; i < w.NumItems(); i++ {
+			sum += w.Prob(node, i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("node %d probs sum to %g", node, sum)
+		}
+	}
+}
+
+func TestRankingAssignmentStable(t *testing.T) {
+	w := New(testConfig(5))
+	first := make(map[id.ID]int)
+	for node := id.ID(0); node < 50; node++ {
+		first[node] = w.RankingOf(node)
+	}
+	for node := id.ID(0); node < 50; node++ {
+		if w.RankingOf(node) != first[node] {
+			t.Fatal("ranking assignment changed between calls")
+		}
+	}
+	// With 5 rankings and 50 nodes, more than one ranking should appear.
+	counts := make(map[int]int)
+	for _, r := range first {
+		counts[r]++
+	}
+	if len(counts) < 2 {
+		t.Error("all nodes got the same ranking out of 5")
+	}
+}
+
+func TestSampleMatchesProb(t *testing.T) {
+	w := New(testConfig(5))
+	rng := randx.New(99)
+	node := id.ID(3)
+	const draws = 200000
+	counts := make([]int, w.NumItems())
+	for i := 0; i < draws; i++ {
+		counts[w.SampleItem(rng, node)]++
+	}
+	for i := 0; i < w.NumItems(); i += 13 {
+		want := w.Prob(node, i)
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("item %d: sampled %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestDestMassAggregatesAndSkipsSelf(t *testing.T) {
+	w := New(testConfig(1))
+	self := id.ID(42)
+	// Owner: items 0..49 -> node 1, items 50..99 -> self.
+	owner := func(i int) id.ID {
+		if i < 50 {
+			return 1
+		}
+		return self
+	}
+	mass := w.DestMass(self, owner)
+	if _, ok := mass[self]; ok {
+		t.Error("DestMass contains self")
+	}
+	want := 0.0
+	for i := 0; i < 50; i++ {
+		want += w.Prob(self, i)
+	}
+	if math.Abs(mass[1]-want) > 1e-12 {
+		t.Errorf("mass[1] = %g, want %g", mass[1], want)
+	}
+}
+
+func TestDeterministicAcrossConstructions(t *testing.T) {
+	a := New(testConfig(5))
+	b := New(testConfig(5))
+	for i := range a.Items() {
+		if a.Items()[i] != b.Items()[i] {
+			t.Fatal("item corpus not deterministic")
+		}
+	}
+	for node := id.ID(0); node < 20; node++ {
+		if a.RankingOf(node) != b.RankingOf(node) {
+			t.Fatal("ranking assignment not deterministic")
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NumItems=0 did not panic")
+		}
+	}()
+	New(Config{Space: id.NewSpace(8), NumItems: 0, Alpha: 1})
+}

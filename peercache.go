@@ -1,0 +1,361 @@
+// Package peercache accelerates lookups in structured peer-to-peer
+// systems by caching auxiliary neighbor pointers chosen from observed
+// peer access frequencies, implementing the algorithms of "Accelerating
+// Lookups in P2P Systems using Peer Caching" (Deb, Linga, Rastogi,
+// Srinivasan — ICDE 2008).
+//
+// Given a node's core neighbors (its Chord finger table or Pastry
+// routing table plus leaf set) and the frequencies with which it has
+// looked up other peers, the package computes the set of k auxiliary
+// neighbors minimizing the expected lookup distance
+//
+//	Cost(A) = Σ_v f_v · (1 + d(v, N ∪ A)),
+//
+// where d is the routing geometry's hop-distance estimate. Selection
+// runs in O(nkb) for Pastry and O(n(b + k log b) log n) for Chord, with
+// exact dynamic programs, QoS-constrained variants, and an O(bk)
+// incremental maintainer also provided.
+//
+// The repository additionally contains full event-driven Chord and
+// Pastry simulators and the experiment harness that regenerates every
+// figure of the paper's evaluation; that layer is re-exported under the
+// Experiment-prefixed names below.
+package peercache
+
+import (
+	"peercache/internal/core"
+	"peercache/internal/experiment"
+	"peercache/internal/freq"
+	"peercache/internal/id"
+)
+
+// Peer is a candidate auxiliary neighbor: a peer identifier and the
+// access frequency the selecting node observed for it. Frequencies are
+// relative weights; only ratios matter.
+type Peer struct {
+	ID   uint64
+	Freq float64
+}
+
+// Selection is the result of choosing auxiliary neighbors.
+type Selection struct {
+	// Aux holds the selected auxiliary neighbor ids, sorted.
+	Aux []uint64
+	// Cost is the objective Σ f_v (1 + d(v, N ∪ A)).
+	Cost float64
+	// WeightedDist is the variable part Σ f_v · d(v, N ∪ A).
+	WeightedDist float64
+}
+
+// MaxBits is the largest supported identifier length in bits.
+const MaxBits = id.MaxBits
+
+func toIDs(xs []uint64) []id.ID {
+	out := make([]id.ID, len(xs))
+	for i, x := range xs {
+		out[i] = id.ID(x)
+	}
+	return out
+}
+
+func toPeers(ps []Peer) []core.Peer {
+	out := make([]core.Peer, len(ps))
+	for i, p := range ps {
+		out[i] = core.Peer{ID: id.ID(p.ID), Freq: p.Freq}
+	}
+	return out
+}
+
+func toBounds(b map[uint64]uint) map[id.ID]uint {
+	if b == nil {
+		return nil
+	}
+	out := make(map[id.ID]uint, len(b))
+	for k, v := range b {
+		out[id.ID(k)] = v
+	}
+	return out
+}
+
+func fromResult(r core.Result) *Selection {
+	aux := make([]uint64, len(r.Aux))
+	for i, a := range r.Aux {
+		aux[i] = uint64(a)
+	}
+	return &Selection{Aux: aux, Cost: r.Cost, WeightedDist: r.WeightedDist}
+}
+
+// SelectChord computes the optimal k auxiliary neighbors for the Chord
+// node self in a 2^bits identifier space, using the paper's fast
+// algorithm (Section V-B, O(n(b + k log b) log n)). core is the node's
+// finger table; peers are the observed lookup destinations with their
+// frequencies. Peers already in core are never selected; if k exceeds
+// the number of selectable peers, all of them are returned.
+func SelectChord(bits uint, self uint64, coreNbrs []uint64, peers []Peer, k int) (*Selection, error) {
+	r, err := core.SelectChordFast(id.NewSpace(bits), id.ID(self), toIDs(coreNbrs), toPeers(peers), k)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// SelectChordExact is SelectChord via the O(n²k) reference dynamic
+// program of Section V-A. It returns the same optimal cost; use it for
+// verification or when n is small.
+func SelectChordExact(bits uint, self uint64, coreNbrs []uint64, peers []Peer, k int) (*Selection, error) {
+	r, err := core.SelectChordDP(id.NewSpace(bits), id.ID(self), toIDs(coreNbrs), toPeers(peers), k)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// SelectChordQoS is SelectChord with per-peer distance bounds (Section
+// V-C): for every entry (p, x) in bounds the selection guarantees
+// d(p, N ∪ A) <= x under the eq. 6 estimate. It returns ErrInfeasible
+// when the bounds cannot all be met with k pointers.
+func SelectChordQoS(bits uint, self uint64, coreNbrs []uint64, peers []Peer, k int, bounds map[uint64]uint) (*Selection, error) {
+	r, err := core.SelectChordQoS(id.NewSpace(bits), id.ID(self), toIDs(coreNbrs), toPeers(peers), k, toBounds(bounds))
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// SelectPastry computes the optimal k auxiliary neighbors for a Pastry
+// node in a 2^bits identifier space, using the paper's O(nkb) greedy
+// algorithm (Section IV-B). core is the node's routing-table and
+// leaf-set membership.
+func SelectPastry(bits uint, coreNbrs []uint64, peers []Peer, k int) (*Selection, error) {
+	r, err := core.SelectPastryGreedy(id.NewSpace(bits), toIDs(coreNbrs), toPeers(peers), k)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// SelectPastryExact is SelectPastry via the O(nk²b) dynamic program of
+// Section IV-A; it returns the same optimal cost.
+func SelectPastryExact(bits uint, coreNbrs []uint64, peers []Peer, k int) (*Selection, error) {
+	r, err := core.SelectPastryDP(id.NewSpace(bits), toIDs(coreNbrs), toPeers(peers), k)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// SelectPastryQoS is SelectPastry with per-peer distance bounds (Section
+// IV-D). It returns ErrInfeasible when the bounds cannot all be met.
+func SelectPastryQoS(bits uint, coreNbrs []uint64, peers []Peer, k int, bounds map[uint64]uint) (*Selection, error) {
+	r, err := core.SelectPastryQoS(id.NewSpace(bits), toIDs(coreNbrs), toPeers(peers), k, toBounds(bounds))
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// SelectPastryDigits is SelectPastry for identifiers viewed as sequences
+// of base-2^digitBits digits (footnote 2 of the paper): the distance is
+// the number of digits left to fix, matching deployments that route on
+// hex digits (digitBits = 4, as FreePastry does). digitBits must divide
+// bits; digitBits = 1 is exactly SelectPastry.
+func SelectPastryDigits(bits, digitBits uint, coreNbrs []uint64, peers []Peer, k int) (*Selection, error) {
+	r, err := core.SelectPastryGreedyDigits(id.NewSpace(bits), toIDs(coreNbrs), toPeers(peers), k, digitBits)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// SelectPastryQoSDigits is SelectPastryDigits with per-peer distance
+// bounds expressed in digits.
+func SelectPastryQoSDigits(bits, digitBits uint, coreNbrs []uint64, peers []Peer, k int, bounds map[uint64]uint) (*Selection, error) {
+	r, err := core.SelectPastryQoSDigits(id.NewSpace(bits), toIDs(coreNbrs), toPeers(peers), k, digitBits, toBounds(bounds))
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// ErrInfeasible is returned by the QoS selectors when the delay bounds
+// cannot be satisfied with the given k.
+var ErrInfeasible = core.ErrInfeasible
+
+// Maintainer incrementally maintains the optimal Pastry auxiliary set as
+// peer popularities change and peers join or leave (Section IV-C). Each
+// update costs O(bk); Select returns the current optimum.
+type Maintainer struct {
+	m *core.PastryMaintainer
+}
+
+// NewPastryMaintainer builds a maintainer over the initial state.
+func NewPastryMaintainer(bits uint, coreNbrs []uint64, peers []Peer, k int) (*Maintainer, error) {
+	m, err := core.NewPastryMaintainer(id.NewSpace(bits), toIDs(coreNbrs), toPeers(peers), k)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintainer{m: m}, nil
+}
+
+// NewPastryMaintainerDigits is NewPastryMaintainer under base-2^digitBits
+// digit distances; digitBits must divide bits.
+func NewPastryMaintainerDigits(bits, digitBits uint, coreNbrs []uint64, peers []Peer, k int) (*Maintainer, error) {
+	m, err := core.NewPastryMaintainerDigits(id.NewSpace(bits), toIDs(coreNbrs), toPeers(peers), k, digitBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintainer{m: m}, nil
+}
+
+// SetFreq records peer p's current access frequency, inserting it if
+// unseen. O(bk).
+func (m *Maintainer) SetFreq(p uint64, f float64) { m.m.SetFreq(id.ID(p), f) }
+
+// Remove forgets peer p (core neighbors are kept as zero-frequency
+// routing anchors). O(bk).
+func (m *Maintainer) Remove(p uint64) { m.m.Remove(id.ID(p)) }
+
+// SetCore marks or unmarks p as a core neighbor. O(bk).
+func (m *Maintainer) SetCore(p uint64, isCore bool) { m.m.SetCore(id.ID(p), isCore) }
+
+// K returns the configured auxiliary budget.
+func (m *Maintainer) K() int { return m.m.K() }
+
+// Select returns the current optimal auxiliary set in O(bk).
+func (m *Maintainer) Select() *Selection { return fromResult(m.m.Select()) }
+
+// ChordMaintainer drives Section III's maintenance policy for a Chord
+// node: observations accumulate, and the optimal selection is
+// recomputed lazily when the observed frequency distribution has
+// drifted past a total-variation threshold since the last computation —
+// the paper's "significant change" criterion.
+type ChordMaintainer struct {
+	m *core.ChordMaintainer
+}
+
+// NewChordMaintainer builds a maintainer for node self with the given
+// core neighbors and auxiliary budget k; driftThreshold in (0, 1] sets
+// how much the distribution must move before Select recomputes.
+func NewChordMaintainer(bits uint, self uint64, coreNbrs []uint64, k int, driftThreshold float64) (*ChordMaintainer, error) {
+	m, err := core.NewChordMaintainer(id.NewSpace(bits), id.ID(self), toIDs(coreNbrs), k, driftThreshold)
+	if err != nil {
+		return nil, err
+	}
+	return &ChordMaintainer{m: m}, nil
+}
+
+// Observe records one lookup destined for peer p.
+func (m *ChordMaintainer) Observe(p uint64) { m.m.Observe(id.ID(p)) }
+
+// SetCore replaces the core neighbor set (after a finger refresh) and
+// invalidates the cached selection.
+func (m *ChordMaintainer) SetCore(coreNbrs []uint64) error { return m.m.SetCore(toIDs(coreNbrs)) }
+
+// Recomputes returns how many times the selection actually ran.
+func (m *ChordMaintainer) Recomputes() int { return m.m.Recomputes }
+
+// Select returns the current auxiliary set, recomputing only past the
+// drift threshold.
+func (m *ChordMaintainer) Select() (*Selection, error) {
+	r, err := m.m.Select()
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(r), nil
+}
+
+// Counter tracks per-peer access frequencies. Exact counters use memory
+// proportional to the number of distinct peers; Space-Saving sketches
+// (Section III's streaming top-n) cap memory at a fixed capacity while
+// guaranteeing every peer with true count above total/capacity stays
+// monitored.
+type Counter struct {
+	c freq.Counter
+}
+
+// NewCounter returns an exact frequency counter.
+func NewCounter() *Counter { return &Counter{c: freq.NewExact()} }
+
+// NewTopNCounter returns a Space-Saving sketch monitoring at most
+// capacity peers.
+func NewTopNCounter(capacity int) *Counter { return &Counter{c: freq.NewSpaceSaving(capacity)} }
+
+// Observe records one lookup destined for peer p.
+func (c *Counter) Observe(p uint64) { c.c.Observe(id.ID(p)) }
+
+// Total returns the number of recorded observations.
+func (c *Counter) Total() uint64 { return c.c.Total() }
+
+// Reset starts a fresh observation window.
+func (c *Counter) Reset() { c.c.Reset() }
+
+// Peers returns the tracked peers as selection input, ordered by
+// descending count.
+func (c *Counter) Peers() []Peer {
+	snap := c.c.Snapshot()
+	out := make([]Peer, len(snap))
+	for i, e := range snap {
+		out[i] = Peer{ID: uint64(e.Peer), Freq: float64(e.Count)}
+	}
+	return out
+}
+
+// The experiment layer (simulators, workloads, figure reproduction) is
+// re-exported so downstream code can drive full evaluations through the
+// public module path. See the internal/experiment package documentation.
+type (
+	// ExperimentStableConfig parameterizes a stable-mode experiment.
+	ExperimentStableConfig = experiment.StableConfig
+	// ExperimentStableResult is the outcome of RunStableExperiment.
+	ExperimentStableResult = experiment.StableResult
+	// ExperimentChurnConfig parameterizes a churn-mode experiment.
+	ExperimentChurnConfig = experiment.ChurnConfig
+	// ExperimentChurnStats summarizes one churn run.
+	ExperimentChurnStats = experiment.ChurnStats
+	// ExperimentChurnComparison pairs both schemes under churn.
+	ExperimentChurnComparison = experiment.ChurnComparison
+	// ExperimentTable is a rendered figure reproduction.
+	ExperimentTable = experiment.Table
+	// ExperimentScale tunes figure-reproduction heaviness.
+	ExperimentScale = experiment.Scale
+	// Protocol selects Chord or Pastry.
+	Protocol = experiment.Protocol
+	// Scheme selects the auxiliary-selection strategy.
+	Scheme = experiment.Scheme
+)
+
+// Protocol and scheme constants, re-exported.
+const (
+	Chord     = experiment.Chord
+	Pastry    = experiment.Pastry
+	CoreOnly  = experiment.CoreOnly
+	Oblivious = experiment.Oblivious
+	Optimal   = experiment.Optimal
+)
+
+// RunStableExperiment measures exact expected lookup costs on a stable
+// overlay under all three schemes.
+func RunStableExperiment(cfg ExperimentStableConfig) (ExperimentStableResult, error) {
+	return experiment.RunStable(cfg)
+}
+
+// RunChurnExperiment measures sampled lookup costs under churn for one
+// scheme.
+func RunChurnExperiment(cfg ExperimentChurnConfig, scheme Scheme) (ExperimentChurnStats, error) {
+	return experiment.RunChurn(cfg, scheme)
+}
+
+// RunChurnComparison runs both schemes on identical churn and query
+// streams.
+func RunChurnComparison(cfg ExperimentChurnConfig) (ExperimentChurnComparison, error) {
+	return experiment.RunChurnComparison(cfg)
+}
+
+// Figure reproductions (Section VI). Each returns a text table matching
+// one figure of the paper; cmd/p2pbench prints them.
+var (
+	Fig3 = experiment.Fig3
+	Fig4 = experiment.Fig4
+	Fig5 = experiment.Fig5
+	Fig6 = experiment.Fig6
+)

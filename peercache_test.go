@@ -1,0 +1,282 @@
+package peercache
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectChordFacade(t *testing.T) {
+	sel, err := SelectChord(16, 0, []uint64{1, 3, 9, 100}, []Peer{
+		{ID: 5000, Freq: 50},
+		{ID: 5020, Freq: 3},
+		{ID: 200, Freq: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Aux) != 1 || sel.Aux[0] != 5000 {
+		t.Fatalf("Aux = %v, want [5000]", sel.Aux)
+	}
+	if sel.Cost != sel.WeightedDist+54 {
+		t.Errorf("Cost = %g, want WeightedDist+54 = %g", sel.Cost, sel.WeightedDist+54)
+	}
+}
+
+func TestSelectChordFastMatchesExactFacade(t *testing.T) {
+	peers := []Peer{
+		{ID: 40, Freq: 9}, {ID: 90, Freq: 2}, {ID: 130, Freq: 7}, {ID: 200, Freq: 1}, {ID: 220, Freq: 4},
+	}
+	fast, err := SelectChord(8, 10, []uint64{11, 20}, peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := SelectChordExact(8, 10, []uint64{11, 20}, peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.Cost-exact.Cost) > 1e-9 {
+		t.Fatalf("fast cost %g != exact cost %g", fast.Cost, exact.Cost)
+	}
+}
+
+func TestSelectPastryFacade(t *testing.T) {
+	gr, err := SelectPastry(8, []uint64{0}, []Peer{
+		{ID: 0b11110000, Freq: 10}, {ID: 0b00001111, Freq: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := SelectPastryExact(8, []uint64{0}, []Peer{
+		{ID: 0b11110000, Freq: 10}, {ID: 0b00001111, Freq: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Aux[0] != 0b11110000 || dp.Cost != gr.Cost {
+		t.Fatalf("greedy %+v vs dp %+v", gr, dp)
+	}
+}
+
+func TestQoSFacade(t *testing.T) {
+	// Infeasible: two distance-0 demands, one slot.
+	_, err := SelectChordQoS(8, 0, []uint64{1}, []Peer{
+		{ID: 50, Freq: 1}, {ID: 100, Freq: 1},
+	}, 1, map[uint64]uint{50: 0, 100: 0})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	sel, err := SelectPastryQoS(8, []uint64{0b10000000}, []Peer{
+		{ID: 0b01010101, Freq: 1}, {ID: 0b11111111, Freq: 100},
+	}, 1, map[uint64]uint{0b01010101: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Aux[0] != 0b01010101 {
+		t.Fatalf("QoS did not force the bounded peer: %v", sel.Aux)
+	}
+}
+
+func TestMaintainerFacade(t *testing.T) {
+	m, err := NewPastryMaintainer(8, []uint64{0}, []Peer{{ID: 0b11110000, Freq: 5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Errorf("K = %d", m.K())
+	}
+	if got := m.Select(); got.Aux[0] != 0b11110000 {
+		t.Fatalf("Aux = %v", got.Aux)
+	}
+	m.SetFreq(0b00001111, 50)
+	if got := m.Select(); got.Aux[0] != 0b00001111 {
+		t.Fatalf("after update Aux = %v", got.Aux)
+	}
+	m.Remove(0b00001111)
+	m.SetCore(0b01010101, true)
+	if got := m.Select(); got.Aux[0] != 0b11110000 {
+		t.Fatalf("after removal Aux = %v", got.Aux)
+	}
+}
+
+func TestCounterFacade(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 5; i++ {
+		c.Observe(7)
+	}
+	c.Observe(9)
+	if c.Total() != 6 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	peers := c.Peers()
+	if len(peers) != 2 || peers[0].ID != 7 || peers[0].Freq != 5 {
+		t.Fatalf("Peers = %v", peers)
+	}
+	c.Reset()
+	if c.Total() != 0 || len(c.Peers()) != 0 {
+		t.Error("Reset did not clear")
+	}
+
+	s := NewTopNCounter(2)
+	for _, p := range []uint64{1, 1, 1, 2, 3, 3} {
+		s.Observe(p)
+	}
+	if got := s.Peers(); len(got) != 2 {
+		t.Fatalf("sketch Peers = %v, want 2 entries", got)
+	}
+}
+
+// Counter output feeds straight into selection: the end-to-end flow a
+// real node performs.
+func TestCounterToSelectionFlow(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 30; i++ {
+		c.Observe(5000)
+	}
+	c.Observe(123)
+	sel, err := SelectChord(16, 0, []uint64{1}, c.Peers(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Aux[0] != 5000 {
+		t.Fatalf("Aux = %v, want the hot peer", sel.Aux)
+	}
+}
+
+// Property: for any frequency assignment over a fixed peer set, the fast
+// Chord selector and the exact DP agree on cost.
+func TestChordFacadeAgreementProperty(t *testing.T) {
+	f := func(f1, f2, f3, f4 uint8) bool {
+		peers := []Peer{
+			{ID: 30, Freq: float64(f1)}, {ID: 80, Freq: float64(f2)},
+			{ID: 150, Freq: float64(f3)}, {ID: 220, Freq: float64(f4)},
+		}
+		fast, err1 := SelectChord(8, 0, []uint64{1}, peers, 2)
+		exact, err2 := SelectChordExact(8, 0, []uint64{1}, peers, 2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(fast.Cost-exact.Cost) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExperimentReexports(t *testing.T) {
+	res, err := RunStableExperiment(ExperimentStableConfig{
+		Protocol: Chord, N: 48, Bits: 16, ItemsPerNode: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerScheme[Optimal].AvgHops >= res.PerScheme[CoreOnly].AvgHops {
+		t.Error("optimal not better than core-only")
+	}
+	st, err := RunChurnExperiment(ExperimentChurnConfig{
+		Protocol: Chord, N: 32, Bits: 16, ItemsPerNode: 2, Warmup: 50, Duration: 300, Seed: 9,
+	}, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries == 0 {
+		t.Error("no churn queries")
+	}
+	cmp, err := RunChurnComparison(ExperimentChurnConfig{
+		Protocol: Chord, N: 32, Bits: 16, ItemsPerNode: 2, Warmup: 50, Duration: 300, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Optimal.Queries != cmp.Oblivious.Queries {
+		t.Error("paired streams diverged")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	if _, err := SelectChord(16, 5, []uint64{5}, []Peer{{ID: 1, Freq: 1}}, 1); err == nil {
+		t.Error("self in core accepted")
+	}
+	if _, err := SelectPastry(16, nil, []Peer{{ID: 1, Freq: 1}}, 0); err == nil {
+		t.Error("no possible neighbors accepted")
+	}
+	if _, err := NewPastryMaintainer(16, []uint64{1}, []Peer{{ID: 2, Freq: -1}}, 1); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestPastryDigitsFacade(t *testing.T) {
+	peers := []Peer{
+		{ID: 0xF0, Freq: 5}, {ID: 0xF1, Freq: 5}, {ID: 0x80, Freq: 6},
+	}
+	sel, err := SelectPastryDigits(8, 4, []uint64{0}, peers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Aux) != 1 {
+		t.Fatalf("Aux = %v", sel.Aux)
+	}
+	if _, err := SelectPastryDigits(8, 3, []uint64{0}, peers, 1); err == nil {
+		t.Error("non-dividing digit size accepted")
+	}
+	q, err := SelectPastryQoSDigits(8, 4, []uint64{0}, peers, 2, map[uint64]uint{0x80: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range q.Aux {
+		if a == 0x80 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("digit QoS did not force bounded peer: %v", q.Aux)
+	}
+	m, err := NewPastryMaintainerDigits(8, 4, []uint64{0}, peers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Select(); len(got.Aux) != 1 {
+		t.Fatalf("maintainer digits Select = %v", got.Aux)
+	}
+}
+
+func TestChordMaintainerFacade(t *testing.T) {
+	m, err := NewChordMaintainer(16, 0, []uint64{1}, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		m.Observe(4000)
+	}
+	sel, err := m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Aux[0] != 4000 || m.Recomputes() != 1 {
+		t.Fatalf("sel=%v recomputes=%d", sel.Aux, m.Recomputes())
+	}
+	if _, err := m.Select(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Recomputes() != 1 {
+		t.Error("recomputed without drift")
+	}
+	for i := 0; i < 200; i++ {
+		m.Observe(9000)
+	}
+	sel, err = m.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Aux[0] != 9000 || m.Recomputes() != 2 {
+		t.Fatalf("after drift sel=%v recomputes=%d", sel.Aux, m.Recomputes())
+	}
+	if err := m.SetCore([]uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChordMaintainer(16, 0, []uint64{1}, 1, 0); err == nil {
+		t.Error("zero drift accepted")
+	}
+}
