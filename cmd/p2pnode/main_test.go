@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/node"
+)
+
+// The daemon must come up, join an existing overlay through the
+// -bootstrap peer, serve as a ring member, and shut down cleanly on
+// context cancellation.
+func TestDaemonJoinsAndServes(t *testing.T) {
+	space := id.NewSpace(16)
+	boot, err := node.Start(node.Config{
+		Space:           space,
+		ID:              1000,
+		Addr:            "127.0.0.1:0",
+		StabilizeEvery:  50 * time.Millisecond,
+		FixFingersEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer // only read after run returns
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-bits", "16",
+			"-id", "30000",
+			"-k", "4",
+			"-bootstrap", boot.Addr(),
+			"-stabilize", "50ms",
+			"-fixfingers", "10ms",
+			"-stats-every", "0",
+		}, &buf)
+	}()
+
+	// The ring of two must form: the bootstrap adopts the daemon as
+	// both successor and predecessor.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		succ := boot.Successor()
+		pred, ok := boot.Predecessor()
+		if succ.ID == 30000 && ok && pred.ID == 30000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never integrated: succ=%v pred=%v ok=%t", succ, pred, ok)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// Keys in (1000, 30000] resolve to the daemon.
+	owner, _, err := boot.Lookup(id.ID(20000))
+	if err != nil || owner.ID != 30000 {
+		t.Fatalf("lookup 20000: owner %v, err %v", owner, err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "listening on") || !strings.Contains(out, "joined via") {
+		t.Fatalf("unexpected daemon output:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-bits", "nope"}, &buf); err == nil {
+		t.Fatal("bad -bits accepted")
+	}
+}
+
+// A daemon with no -bootstrap forms a ring of one and answers its own
+// lookups; a second join through a dead address fails after bounded
+// retries.
+func TestDaemonBootstrapFailureBounded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{
+		"-addr", "127.0.0.1:0",
+		"-bits", "16",
+		"-id", "77",
+		"-bootstrap", "127.0.0.1:1", // nothing listens here
+		"-rpc-timeout", "50ms",
+		"-stabilize", "50ms",
+		"-fixfingers", "10ms",
+		"-stats-every", "0",
+	}, &buf)
+	if err == nil {
+		t.Fatal("join through dead bootstrap succeeded")
+	}
+}

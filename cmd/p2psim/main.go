@@ -6,34 +6,80 @@
 //
 //	p2psim -protocol chord|pastry -mode stable|churn -n 512
 //	       [-k 9] [-kfactor 1] [-alpha 1.2] [-rankings 5] [-items 16]
-//	       [-bits 32] [-seed 1] [-warmup 900] [-duration 3600]
+//	       [-bits 32] [-seed 1] [-warmup 900] [-duration 3600] [-json]
+//
+// With -json the per-scheme statistics are emitted as JSON Lines: one
+// object per scheme, machine-readable, for piping into jq or a plotting
+// script.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"peercache/internal/experiment"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "p2psim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// schemeJSON is one -json output record. Fields that only apply to one
+// mode are omitted in the other.
+type schemeJSON struct {
+	Protocol string  `json:"protocol"`
+	Mode     string  `json:"mode"`
+	Scheme   string  `json:"scheme"`
+	N        int     `json:"n"`
+	K        int     `json:"k"`
+	Alpha    float64 `json:"alpha"`
+	Rankings int     `json:"rankings"`
+	Bits     uint    `json:"bits"`
+	Seed     int64   `json:"seed"`
+
+	AvgHops float64 `json:"avg_hops,omitempty"`
+	MaxHops int     `json:"max_hops,omitempty"`
+	P50     int     `json:"p50,omitempty"`
+	P99     int     `json:"p99,omitempty"`
+
+	AvgEffHops       float64 `json:"avg_eff_hops,omitempty"`
+	AvgTimeouts      float64 `json:"avg_timeouts,omitempty"`
+	Queries          int     `json:"queries,omitempty"`
+	Failures         int     `json:"failures,omitempty"`
+	MembershipEvents int     `json:"membership_events,omitempty"`
+
+	ReductionVsOblivious float64 `json:"reduction_vs_oblivious,omitempty"`
+	ReductionVsCore      float64 `json:"reduction_vs_core,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("p2psim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		protocol = flag.String("protocol", "chord", "overlay protocol: chord or pastry")
-		mode     = flag.String("mode", "stable", "evaluation mode: stable or churn")
-		n        = flag.Int("n", 512, "number of nodes")
-		k        = flag.Int("k", 0, "auxiliary neighbors per node (default kfactor*log2 n)")
-		kfactor  = flag.Int("kfactor", 1, "k as a multiple of log2 n when -k is 0")
-		alpha    = flag.Float64("alpha", 1.2, "zipf exponent for item popularity")
-		rankings = flag.Int("rankings", 0, "distinct popularity rankings (default 1 pastry, 5 chord)")
-		items    = flag.Int("items", 16, "items per node")
-		bits     = flag.Uint("bits", 32, "identifier length in bits")
-		seed     = flag.Int64("seed", 1, "random seed")
-		warmup   = flag.Float64("warmup", 900, "churn warmup seconds")
-		duration = flag.Float64("duration", 3600, "churn measured seconds")
-		observe  = flag.Int("observe", 0, "stable mode: sampled observations per node (0 = exact masses)")
+		protocol = fs.String("protocol", "chord", "overlay protocol: chord or pastry")
+		mode     = fs.String("mode", "stable", "evaluation mode: stable or churn")
+		n        = fs.Int("n", 512, "number of nodes")
+		k        = fs.Int("k", 0, "auxiliary neighbors per node (default kfactor*log2 n)")
+		kfactor  = fs.Int("kfactor", 1, "k as a multiple of log2 n when -k is 0")
+		alpha    = fs.Float64("alpha", 1.2, "zipf exponent for item popularity")
+		rankings = fs.Int("rankings", 0, "distinct popularity rankings (default 1 pastry, 5 chord)")
+		items    = fs.Int("items", 16, "items per node")
+		bits     = fs.Uint("bits", 32, "identifier length in bits")
+		seed     = fs.Int64("seed", 1, "random seed")
+		warmup   = fs.Float64("warmup", 900, "churn warmup seconds")
+		duration = fs.Float64("duration", 3600, "churn measured seconds")
+		observe  = fs.Int("observe", 0, "stable mode: sampled observations per node (0 = exact masses)")
+		jsonOut  = fs.Bool("json", false, "emit per-scheme statistics as JSON Lines")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var proto experiment.Protocol
 	switch *protocol {
@@ -42,7 +88,7 @@ func main() {
 	case "pastry":
 		proto = experiment.Pastry
 	default:
-		fatalf("unknown protocol %q", *protocol)
+		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
 	if *rankings == 0 {
 		if proto == experiment.Chord {
@@ -50,6 +96,21 @@ func main() {
 		} else {
 			*rankings = 1
 		}
+	}
+	emit := func(rec schemeJSON) error {
+		rec.Protocol = proto.String()
+		rec.Mode = *mode
+		rec.N = *n
+		rec.Alpha = *alpha
+		rec.Rankings = *rankings
+		rec.Bits = *bits
+		rec.Seed = *seed
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out, "%s\n", b)
+		return err
 	}
 
 	switch *mode {
@@ -67,18 +128,39 @@ func main() {
 			Seed:           *seed,
 		})
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("protocol=%v mode=stable n=%d k=%d alpha=%g rankings=%d items/node=%d bits=%d seed=%d\n",
+		if *jsonOut {
+			for _, s := range []experiment.Scheme{experiment.CoreOnly, experiment.Oblivious, experiment.Optimal} {
+				st := res.PerScheme[s]
+				rec := schemeJSON{
+					Scheme:  s.String(),
+					K:       res.K,
+					AvgHops: st.AvgHops,
+					MaxHops: st.MaxHops,
+					P50:     st.PairHops.Percentile(50),
+					P99:     st.PairHops.Percentile(99),
+				}
+				if s == experiment.Optimal {
+					rec.ReductionVsOblivious = res.Reduction
+					rec.ReductionVsCore = res.ReductionVsCore
+				}
+				if err := emit(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		fmt.Fprintf(out, "protocol=%v mode=stable n=%d k=%d alpha=%g rankings=%d items/node=%d bits=%d seed=%d\n",
 			proto, *n, res.K, *alpha, *rankings, *items, *bits, *seed)
 		for _, s := range []experiment.Scheme{experiment.CoreOnly, experiment.Oblivious, experiment.Optimal} {
 			st := res.PerScheme[s]
-			fmt.Printf("  %-10s avg hops %.4f  max hops %d  p50 %d  p99 %d\n",
+			fmt.Fprintf(out, "  %-10s avg hops %.4f  max hops %d  p50 %d  p99 %d\n",
 				s, st.AvgHops, st.MaxHops, st.PairHops.Percentile(50), st.PairHops.Percentile(99))
-			fmt.Printf("             pair-hop histogram: %s\n", st.PairHops)
+			fmt.Fprintf(out, "             pair-hop histogram: %s\n", st.PairHops)
 		}
-		fmt.Printf("  reduction vs oblivious: %.1f%%\n", res.Reduction)
-		fmt.Printf("  reduction vs core-only: %.1f%%\n", res.ReductionVsCore)
+		fmt.Fprintf(out, "  reduction vs oblivious: %.1f%%\n", res.Reduction)
+		fmt.Fprintf(out, "  reduction vs core-only: %.1f%%\n", res.ReductionVsCore)
 	case "churn":
 		cmp, err := experiment.RunChurnComparison(experiment.ChurnConfig{
 			Protocol:     proto,
@@ -94,23 +176,42 @@ func main() {
 			Seed:         *seed,
 		})
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("protocol=%v mode=churn n=%d k=%d alpha=%g rankings=%d seed=%d warmup=%gs duration=%gs\n",
+		if *jsonOut {
+			for _, sc := range []struct {
+				name string
+				st   experiment.ChurnStats
+			}{{"oblivious", cmp.Oblivious}, {"optimal", cmp.Optimal}} {
+				rec := schemeJSON{
+					Scheme:           sc.name,
+					K:                cmp.K,
+					AvgEffHops:       sc.st.AvgEffHops,
+					AvgTimeouts:      sc.st.AvgTimeouts,
+					Queries:          sc.st.Queries,
+					Failures:         sc.st.Failures,
+					MembershipEvents: sc.st.MembershipEvents,
+				}
+				if sc.name == "optimal" {
+					rec.ReductionVsOblivious = cmp.Reduction
+				}
+				if err := emit(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		fmt.Fprintf(out, "protocol=%v mode=churn n=%d k=%d alpha=%g rankings=%d seed=%d warmup=%gs duration=%gs\n",
 			proto, *n, cmp.K, *alpha, *rankings, *seed, *warmup, *duration)
 		print := func(name string, st experiment.ChurnStats) {
-			fmt.Printf("  %-10s avg eff hops %.4f  timeouts/lookup %.3f  queries %d  failures %d  membership events %d\n",
+			fmt.Fprintf(out, "  %-10s avg eff hops %.4f  timeouts/lookup %.3f  queries %d  failures %d  membership events %d\n",
 				name, st.AvgEffHops, st.AvgTimeouts, st.Queries, st.Failures, st.MembershipEvents)
 		}
 		print("oblivious", cmp.Oblivious)
 		print("optimal", cmp.Optimal)
-		fmt.Printf("  reduction vs oblivious: %.1f%%\n", cmp.Reduction)
+		fmt.Fprintf(out, "  reduction vs oblivious: %.1f%%\n", cmp.Reduction)
 	default:
-		fatalf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "p2psim: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

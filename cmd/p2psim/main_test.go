@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var goldenArgs = []string{
+	"-protocol", "chord", "-mode", "stable",
+	"-n", "64", "-bits", "16", "-seed", "1", "-json",
+}
+
+// The -json output for a fixed seed is byte-for-byte stable: one JSON
+// object per scheme, in scheme order.
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(goldenArgs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stable_chord.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("-json output drifted from %s (re-run with -update if intended):\n got:\n%s\n want:\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+// Every emitted line must be valid JSON with the scheme and shared
+// parameters filled in.
+func TestJSONWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(goldenArgs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantSchemes := []string{"core-only", "oblivious", "optimal"}
+	if len(lines) != len(wantSchemes) {
+		t.Fatalf("%d lines, want %d:\n%s", len(lines), len(wantSchemes), buf.String())
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if rec["scheme"] != wantSchemes[i] {
+			t.Errorf("line %d scheme %v, want %s", i, rec["scheme"], wantSchemes[i])
+		}
+		if rec["protocol"] != "chord" || rec["mode"] != "stable" {
+			t.Errorf("line %d protocol/mode = %v/%v", i, rec["protocol"], rec["mode"])
+		}
+		if rec["n"] != float64(64) || rec["seed"] != float64(1) {
+			t.Errorf("line %d n/seed = %v/%v", i, rec["n"], rec["seed"])
+		}
+		if _, ok := rec["avg_hops"]; !ok {
+			t.Errorf("line %d missing avg_hops", i)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-protocol", "kademlia"}, &buf); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-mode", "warp"}, &buf); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,7 +34,10 @@ const (
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(17))
+	seed := flag.Int64("seed", 17, "random seed for peer population and lookup mix")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
 	raw := randx.UniqueIDs(rng, n, 1<<bits)
 	ids := make([]id.ID, n)
 	for i, x := range raw {

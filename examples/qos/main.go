@@ -9,6 +9,7 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,12 +18,15 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 3, "random seed for core finger placement")
+	flag.Parse()
+
 	const (
 		bits = 24
 		self = uint64(0)
 		k    = 4
 	)
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewSource(*seed))
 
 	// Core fingers at exponential distances.
 	var core []uint64

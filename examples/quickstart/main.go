@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -14,6 +15,9 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 7, "random seed for the synthetic lookup history")
+	flag.Parse()
+
 	const (
 		bits = 32
 		self = uint64(0)
@@ -31,7 +35,7 @@ func main() {
 	// as Section III of the paper prescribes. We synthesize a skewed
 	// history: a handful of hot peers (a name service's popular zones)
 	// and a long uniform tail.
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(*seed))
 	hot := make([]uint64, 5)
 	for i := range hot {
 		hot[i] = rng.Uint64() >> (64 - bits)

@@ -42,6 +42,19 @@ type Config struct {
 	// RPCTimeout is how long a caller waits before declaring a peer
 	// dead (default 1 s).
 	RPCTimeout float64
+	// LossRate drops each message leg (request or response)
+	// independently with this probability; the caller observes the
+	// loss as an RPC timeout, exactly as it would a dead peer. The
+	// live runtime (internal/node) faces the same ambiguity over real
+	// UDP; this knob lets the simulator validate that the protocol's
+	// retry-through-timeout semantics still converge the ring.
+	LossRate float64
+	// RPCRetries is how many times a caller re-sends an RPC after a
+	// timeout before treating the callee as dead (default 0: a single
+	// timeout is fatal). The live runtime retries, so a lossy network
+	// should be simulated with retries too — otherwise every dropped
+	// leg false-positives a live successor as dead.
+	RPCRetries int
 	// Seed drives latency sampling and stabilization phases.
 	Seed int64
 }
@@ -132,22 +145,35 @@ type Stats struct {
 	Messages uint64
 	// Timeouts counts RPCs abandoned because the callee was dead.
 	Timeouts uint64
+	// Drops counts message legs lost to the configured LossRate.
+	Drops uint64
 	// Joins completed.
 	Joins uint64
 }
 
 // Network is the protocol simulation.
 type Network struct {
-	cfg   Config
-	eng   *sim.Engine
-	rng   *rand.Rand
-	nodes map[id.ID]*Node
-	stats Stats
+	cfg      Config
+	eng      *sim.Engine
+	rng      *rand.Rand
+	nodes    map[id.ID]*Node
+	stats    Stats
+	lossRate float64
 }
 
 // New returns an empty protocol network driven by the given engine.
 func New(cfg Config, eng *sim.Engine, rng *rand.Rand) *Network {
-	return &Network{cfg: cfg.withDefaults(), eng: eng, rng: rng, nodes: make(map[id.ID]*Node)}
+	cfg = cfg.withDefaults()
+	return &Network{cfg: cfg, eng: eng, rng: rng, nodes: make(map[id.ID]*Node), lossRate: cfg.LossRate}
+}
+
+// SetLossRate changes the message-loss probability mid-run (e.g. a
+// lossy phase followed by a clean one).
+func (nw *Network) SetLossRate(p float64) { nw.lossRate = p }
+
+// lost samples whether one message leg is dropped.
+func (nw *Network) lost() bool {
+	return nw.lossRate > 0 && nw.rng.Float64() < nw.lossRate
 }
 
 // Engine returns the driving event engine.
@@ -165,19 +191,46 @@ func (nw *Network) delay() float64 {
 }
 
 // rpc delivers a request to the callee and its response back to the
-// caller, counting two messages; if the callee is dead at delivery time
-// the caller learns it after RPCTimeout.
+// caller, counting one message per delivered leg; if the callee is dead
+// at delivery time, or either leg is lost to LossRate, the caller
+// learns nothing until RPCTimeout expires — a caller cannot tell loss
+// from death. After RPCRetries re-sends all time out, the caller treats
+// the callee as unreachable via the shared onDead path.
 func (nw *Network) rpc(callee id.ID, handle func(*Node), onDead func()) {
+	nw.rpcAttempt(callee, nw.cfg.RPCRetries, handle, onDead)
+}
+
+func (nw *Network) rpcAttempt(callee id.ID, retries int, handle func(*Node), onDead func()) {
+	timedOut := func() {
+		nw.stats.Timeouts++
+		after := onDead
+		if retries > 0 {
+			after = func() { nw.rpcAttempt(callee, retries-1, handle, onDead) }
+		}
+		nw.eng.After(nw.cfg.RPCTimeout, after)
+	}
+	if nw.lost() { // request leg dropped in flight
+		nw.stats.Drops++
+		timedOut()
+		return
+	}
 	nw.eng.After(nw.delay(), func() {
 		c := nw.nodes[callee]
 		if c == nil || !c.alive {
-			nw.stats.Timeouts++
-			nw.eng.After(nw.cfg.RPCTimeout, onDead)
+			timedOut()
 			return
 		}
-		nw.stats.Messages += 2 // request + response
+		nw.stats.Messages++ // request delivered
+		if nw.lost() {      // response leg dropped in flight
+			nw.stats.Drops++
+			timedOut()
+			return
+		}
 		resp := nw.delay()
-		nw.eng.After(resp, func() { handle(c) })
+		nw.eng.After(resp, func() {
+			nw.stats.Messages++ // response delivered
+			handle(c)
+		})
 	})
 }
 

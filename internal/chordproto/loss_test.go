@@ -1,0 +1,132 @@
+package chordproto
+
+import (
+	"math/rand"
+	"testing"
+
+	"peercache/internal/chord"
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/sim"
+)
+
+// A ring built and stabilized under sustained message loss must still
+// converge to exactly the oracle finger tables once the network calms
+// down: every lost leg surfaces as an RPC timeout, the caller treats
+// the peer as unreachable (dropping successors, retrying joins), and
+// the stabilize/fix-fingers machinery must repair all of that damage.
+// This is the retry semantics the live runtime (internal/node) mirrors
+// over real UDP, where loss and death are equally indistinguishable.
+func TestConvergesUnderMessageLoss(t *testing.T) {
+	const (
+		bits     = 12
+		n        = 32
+		lossRate = 0.15
+		lossyFor = 900.0 // seconds of lossy operation after the last join
+	)
+	rng := rand.New(rand.NewSource(21))
+	ids := randx.UniqueIDs(rng, n, 1<<bits)
+
+	eng := sim.New()
+	nw := New(Config{Space: id.NewSpace(bits), LossRate: lossRate, RPCRetries: 2, Seed: 1}, eng, rand.New(rand.NewSource(2)))
+	if _, err := nw.Bootstrap(id.ID(ids[0])); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range ids[1:] {
+		x := x
+		eng.At(float64(i)*5, func() {
+			if err := nw.Join(id.ID(x), id.ID(ids[0]), nil); err != nil {
+				t.Errorf("join %d: %v", x, err)
+			}
+		})
+	}
+	joinsDone := float64(n) * 5
+	eng.RunUntil(joinsDone + lossyFor)
+
+	st := nw.Stats()
+	if st.Drops == 0 {
+		t.Fatalf("loss rate %g produced no drops over %d messages", lossRate, st.Messages)
+	}
+	if st.Joins != n-1 {
+		t.Fatalf("joins completed under loss: %d, want %d", st.Joins, n-1)
+	}
+
+	// Loss ends; the protocol must now converge exactly.
+	nw.SetLossRate(0)
+	eng.RunUntil(eng.Now() + 900)
+
+	oracle := chord.New(chord.Config{Space: id.NewSpace(bits)})
+	for _, x := range ids {
+		if _, err := oracle.AddNode(id.ID(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle.StabilizeAll()
+
+	ring := sortedIDs(ids)
+	for i, x := range ring {
+		node := nw.Node(x)
+		wantSucc := ring[(i+1)%len(ring)]
+		if succ, ok := node.Successor(); !ok || succ != wantSucc {
+			t.Errorf("node %d successor %d (%t), want %d", x, succ, ok, wantSucc)
+		}
+		wantPred := ring[(i+len(ring)-1)%len(ring)]
+		if pred, ok := node.Predecessor(); !ok || pred != wantPred {
+			t.Errorf("node %d predecessor %d (%t), want %d", x, pred, ok, wantPred)
+		}
+		got := node.Fingers()
+		want := oracle.Node(x).Fingers()
+		if len(got) != len(want) {
+			t.Errorf("node %d fingers %v, oracle %v", x, got, want)
+			continue
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Errorf("node %d fingers %v, oracle %v", x, got, want)
+				break
+			}
+		}
+	}
+}
+
+// With every message lost, a lookup must fail cleanly (not hang or
+// succeed), and restoring the loss rate to zero heals the path.
+func TestTotalLossFailsLookupsCleanly(t *testing.T) {
+	eng := sim.New()
+	nw := New(Config{Space: id.NewSpace(10), Seed: 3}, eng, rand.New(rand.NewSource(3)))
+	if _, err := nw.Bootstrap(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Join(600, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(600)
+
+	nw.SetLossRate(1)
+	var called, ok bool
+	if err := nw.Lookup(5, 700, func(_ id.ID, lookupOK bool, _ int) {
+		called, ok = true, lookupOK
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(eng.Now() + 100)
+	if !called || ok {
+		t.Fatalf("lookup under total loss: called=%t ok=%t, want called and not ok", called, ok)
+	}
+	if nw.Stats().Drops == 0 {
+		t.Fatal("no drops counted under total loss")
+	}
+
+	nw.SetLossRate(0)
+	eng.RunUntil(eng.Now() + 300) // let stabilization repair dropped successors
+	called, ok = false, false
+	if err := nw.Lookup(5, 700, func(owner id.ID, lookupOK bool, _ int) {
+		called, ok = true, lookupOK
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(eng.Now() + 100)
+	if !called || !ok {
+		t.Fatalf("lookup after loss cleared: called=%t ok=%t", called, ok)
+	}
+}

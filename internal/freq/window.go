@@ -1,0 +1,84 @@
+package freq
+
+import "peercache/internal/id"
+
+// Windowed is a rotating-bucket counter: observations land in the
+// current bucket, Rotate retires the oldest of the configured buckets,
+// and Snapshot/Total aggregate over all live buckets. It realizes the
+// paper's "past history of accesses within a time window" (Section III)
+// for the live runtime, where traffic shifts over time and a node must
+// forget peers it no longer queries — an Exact counter would keep cold
+// peers in the candidate set forever. The caller drives rotation (the
+// live node ties it to its recompute ticker), which keeps this package
+// free of clocks and fully deterministic under test.
+type Windowed struct {
+	buckets []*Exact
+	cur     int
+}
+
+// NewWindowed returns a counter aggregating over n rotating buckets
+// (n >= 1; with n == 1 each Rotate is a full reset). Observations are
+// forgotten after n rotations.
+func NewWindowed(n int) *Windowed {
+	if n < 1 {
+		n = 1
+	}
+	w := &Windowed{buckets: make([]*Exact, n)}
+	for i := range w.buckets {
+		w.buckets[i] = NewExact()
+	}
+	return w
+}
+
+// Observe implements Counter.
+func (w *Windowed) Observe(p id.ID) { w.buckets[w.cur].Observe(p) }
+
+// Rotate retires the oldest bucket and starts a fresh one; observations
+// older than len(buckets) rotations disappear from Snapshot and Total.
+func (w *Windowed) Rotate() {
+	w.cur = (w.cur + 1) % len(w.buckets)
+	w.buckets[w.cur] = NewExact()
+}
+
+// Total implements Counter: the number of observations still in the
+// window.
+func (w *Windowed) Total() uint64 {
+	var t uint64
+	for _, b := range w.buckets {
+		t += b.Total()
+	}
+	return t
+}
+
+// Count returns p's observation count within the window.
+func (w *Windowed) Count(p id.ID) uint64 {
+	var c uint64
+	for _, b := range w.buckets {
+		c += b.Count(p)
+	}
+	return c
+}
+
+// Snapshot implements Counter, aggregating the live buckets.
+func (w *Windowed) Snapshot() []Entry {
+	merged := make(map[id.ID]uint64)
+	for _, b := range w.buckets {
+		for _, e := range b.Snapshot() {
+			merged[e.Peer] += e.Count
+		}
+	}
+	out := make([]Entry, 0, len(merged))
+	for p, c := range merged {
+		out = append(out, Entry{Peer: p, Count: c})
+	}
+	sortEntries(out)
+	return out
+}
+
+// Reset implements Counter, clearing every bucket.
+func (w *Windowed) Reset() {
+	for i := range w.buckets {
+		w.buckets[i] = NewExact()
+	}
+	w.cur = 0
+}

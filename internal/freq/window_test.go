@@ -1,0 +1,79 @@
+package freq
+
+import (
+	"testing"
+
+	"peercache/internal/id"
+)
+
+func TestWindowedMatchesExactWithinWindow(t *testing.T) {
+	w := NewWindowed(4)
+	e := NewExact()
+	for i := 0; i < 1000; i++ {
+		p := id.ID(i % 37)
+		w.Observe(p)
+		e.Observe(p)
+	}
+	if w.Total() != e.Total() {
+		t.Fatalf("total %d, want %d", w.Total(), e.Total())
+	}
+	ws, es := w.Snapshot(), e.Snapshot()
+	if len(ws) != len(es) {
+		t.Fatalf("snapshot lengths %d vs %d", len(ws), len(es))
+	}
+	for i := range ws {
+		if ws[i].Peer != es[i].Peer || ws[i].Count != es[i].Count {
+			t.Fatalf("entry %d: %+v vs %+v", i, ws[i], es[i])
+		}
+	}
+}
+
+// Observations must disappear exactly after len(buckets) rotations.
+func TestWindowedForgets(t *testing.T) {
+	const buckets = 3
+	w := NewWindowed(buckets)
+	w.Observe(id.ID(1))
+	for r := 1; r < buckets; r++ {
+		w.Rotate()
+		if got := w.Count(1); got != 1 {
+			t.Fatalf("after %d rotations: count %d, want 1", r, got)
+		}
+	}
+	w.Rotate()
+	if got := w.Count(1); got != 0 {
+		t.Fatalf("after %d rotations: count %d, want 0", buckets, got)
+	}
+	if w.Total() != 0 {
+		t.Fatalf("total %d, want 0", w.Total())
+	}
+}
+
+// Rotation retires buckets oldest-first: mass observed later survives
+// rotations that erase earlier mass.
+func TestWindowedRetiresOldestFirst(t *testing.T) {
+	w := NewWindowed(2)
+	w.Observe(id.ID(10)) // bucket 0
+	w.Rotate()
+	w.Observe(id.ID(20)) // bucket 1
+	w.Rotate()           // retires bucket 0 (peer 10)
+	if w.Count(10) != 0 {
+		t.Fatalf("old peer survived: count %d", w.Count(10))
+	}
+	if w.Count(20) != 1 {
+		t.Fatalf("recent peer lost: count %d", w.Count(20))
+	}
+}
+
+func TestWindowedResetAndDegenerate(t *testing.T) {
+	w := NewWindowed(0) // clamped to 1 bucket
+	w.Observe(id.ID(5))
+	w.Rotate() // single bucket: rotate == forget everything
+	if w.Total() != 0 {
+		t.Fatalf("total %d after single-bucket rotate", w.Total())
+	}
+	w.Observe(id.ID(6))
+	w.Reset()
+	if w.Total() != 0 || len(w.Snapshot()) != 0 {
+		t.Fatalf("reset left state: total %d", w.Total())
+	}
+}

@@ -1,0 +1,166 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+)
+
+// TestAuxReducesMeanHopsLive is the acceptance test for the live
+// runtime: a 12-node UDP overlay on loopback converges, every node
+// serves the same seeded Zipf query stream twice — first with core-only
+// routing while the frequency observers accumulate, then after each
+// node recomputes its optimal auxiliary set (eq. 1) from what it
+// observed — and the measured mean hop count of the second pass must be
+// strictly lower. This is the paper's claim exercised end to end over
+// real sockets and real concurrency instead of the discrete-event
+// engine.
+func TestAuxReducesMeanHopsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node loopback test")
+	}
+	const (
+		numNodes = 12
+		k        = 6
+		alpha    = 1.2
+		queries  = 1200
+		seed     = 5
+	)
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(seed))
+	ids := randx.UniqueIDs(rng, numNodes, space.Size())
+	nodes := startCluster(t, space, ids, func(c *Config) {
+		c.AuxCount = k
+		// Recomputation is driven explicitly between the two passes so
+		// both measure a fixed routing state.
+		c.AuxEvery = 0
+	})
+	waitConverged(t, space, nodes, 60*time.Second)
+
+	// Per-source Zipf destination mix over the other nodes, with a
+	// node-specific popularity ranking (the experiment harness's
+	// NumRankings idea): rank r of source i is destsByRank[i][r].
+	alias := randx.NewAlias(randx.ZipfWeights(numNodes-1, alpha))
+	destsByRank := make([][]id.ID, numNodes)
+	for i := range nodes {
+		others := make([]id.ID, 0, numNodes-1)
+		for j, n := range nodes {
+			if j != i {
+				others = append(others, n.ID())
+			}
+		}
+		perm := rng.Perm(len(others))
+		ranked := make([]id.ID, len(others))
+		for r, p := range perm {
+			ranked[r] = others[p]
+		}
+		destsByRank[i] = ranked
+	}
+	type query struct {
+		src    int
+		target id.ID
+	}
+	stream := make([]query, queries)
+	for q := range stream {
+		src := q % numNodes
+		stream[q] = query{src: src, target: destsByRank[src][alias.Sample(rng)]}
+	}
+
+	runStream := func(label string) (meanHops float64) {
+		total := 0
+		for _, q := range stream {
+			owner, hops, err := nodes[q.src].Lookup(q.target)
+			if err != nil {
+				t.Fatalf("%s: lookup %d from node %d: %v", label, q.target, nodes[q.src].ID(), err)
+			}
+			if owner.ID != q.target {
+				t.Fatalf("%s: lookup %d resolved to %d", label, q.target, owner.ID)
+			}
+			total += hops
+		}
+		return float64(total) / float64(len(stream))
+	}
+
+	coreOnly := runStream("core-only")
+	for _, n := range nodes {
+		if len(n.Aux()) != 0 {
+			t.Fatalf("node %d has auxiliary neighbors before any recompute", n.ID())
+		}
+	}
+
+	// Every node selects its auxiliary set from the traffic it just
+	// observed and splices it into routing.
+	installed := 0
+	for _, n := range nodes {
+		got, err := n.RecomputeAux()
+		if err != nil {
+			t.Fatalf("recompute aux at node %d: %v", n.ID(), err)
+		}
+		installed += got
+	}
+	if installed == 0 {
+		t.Fatal("no node installed any auxiliary neighbor")
+	}
+
+	withAux := runStream("with-aux")
+
+	t.Logf("mean hops: core-only %.4f, with %d aux %.4f (%d nodes, %d queries, %d aux entries installed)",
+		coreOnly, k, withAux, numNodes, queries, installed)
+	if !(withAux < coreOnly) {
+		t.Fatalf("auxiliary neighbors did not reduce mean hops: core-only %.4f, with-aux %.4f", coreOnly, withAux)
+	}
+
+	// The caching layer must not have broken correctness or health.
+	for _, n := range nodes {
+		m := n.Metrics()
+		if m.LookupFailures != 0 {
+			t.Errorf("node %d: %d lookup failures", n.ID(), m.LookupFailures)
+		}
+		if m.DecodeErrors != 0 {
+			t.Errorf("node %d: %d decode errors", n.ID(), m.DecodeErrors)
+		}
+	}
+}
+
+// The automatic recompute ticker must install auxiliary neighbors on
+// its own once traffic flows — the fully autonomous mode cmd/p2pnode
+// runs in.
+func TestAuxTickerRecomputes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node loopback test")
+	}
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(9))
+	// 16 nodes with a short successor list: the core set covers only
+	// part of the ring, leaving genuinely cacheable destinations.
+	ids := randx.UniqueIDs(rng, 16, space.Size())
+	nodes := startCluster(t, space, ids, func(c *Config) {
+		c.AuxCount = 3
+		c.AuxEvery = 150 * time.Millisecond
+		c.SuccessorListLen = 2
+	})
+	waitConverged(t, space, nodes, 30*time.Second)
+
+	src := nodes[0]
+	targets := make([]id.ID, 0, len(nodes)-1)
+	for _, n := range nodes[1:] {
+		targets = append(targets, n.ID())
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, target := range targets {
+			if _, _, err := src.Lookup(target); err != nil {
+				t.Fatalf("lookup %d: %v", target, err)
+			}
+		}
+		if len(src.Aux()) > 0 && src.Metrics().AuxRecomputes > 0 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("aux ticker never installed neighbors: aux=%v recomputes=%d",
+		src.Aux(), src.Metrics().AuxRecomputes)
+}

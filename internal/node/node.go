@@ -1,0 +1,551 @@
+// Package node is the live counterpart of the discrete-event simulators:
+// a real UDP-based Chord node hosting the paper's peer-caching layer.
+// Where internal/chordproto exchanges messages inside internal/sim's
+// virtual clock, a node.Node binds a socket, runs the join / stabilize /
+// notify / fix-fingers maintenance protocol as goroutine tickers against
+// wall-clock time, answers iterative find-successor steps from peers,
+// and — the point of the exercise — observes its own lookup traffic in
+// a frequency counter and periodically recomputes the optimal auxiliary
+// neighbor set (eq. 1, via core.SelectChordFast inside a
+// core.ChordMaintainer), splicing the result into every routing
+// decision it makes or answers.
+//
+// Concurrency model: one goroutine reads the socket and handles
+// requests inline (handlers only touch the mutex-guarded routing table
+// and write one reply datagram, so the read loop never blocks on
+// protocol work); responses are correlated to blocked RPC callers
+// through an inflight map keyed by MsgID. The maintenance loops and any
+// number of application Lookup calls run on their own goroutines and
+// issue synchronous RPCs with per-call timeouts and bounded retry.
+package node
+
+import (
+	"fmt"
+	"net"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peercache/internal/core"
+	"peercache/internal/freq"
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Space is the identifier space (required).
+	Space id.Space
+	// ID is the node's ring identifier (must fit in Space).
+	ID id.ID
+	// Addr is the UDP listen address (default "127.0.0.1:0").
+	Addr string
+	// Advertise overrides the address told to peers (default: the
+	// bound address). Needed when binding a wildcard address.
+	Advertise string
+
+	// SuccessorListLen bounds the successor list (default 4, max
+	// wire.MaxSuccs).
+	SuccessorListLen int
+	// AuxCount is k, the auxiliary-neighbor budget (default 0: the
+	// node routes with core entries only).
+	AuxCount int
+
+	// StabilizeEvery is the stabilize/notify period (default 500ms).
+	StabilizeEvery time.Duration
+	// FixFingersEvery is the per-finger refresh period (default
+	// 125ms; one finger per tick, round-robin).
+	FixFingersEvery time.Duration
+	// AuxEvery is the auxiliary recomputation period. 0 (the
+	// default) disables the ticker; RecomputeAux can still be called
+	// explicitly.
+	AuxEvery time.Duration
+	// WindowBuckets is the number of rotating frequency buckets; the
+	// observation window spans WindowBuckets aux ticks (default 4).
+	WindowBuckets int
+	// DriftThreshold is the total-variation drift that triggers an
+	// actual re-selection inside the maintainer (default 0.05).
+	DriftThreshold float64
+
+	// RPCTimeout bounds one RPC attempt (default 500ms).
+	RPCTimeout time.Duration
+	// RPCRetries is how many times a timed-out RPC is retried with a
+	// fresh MsgID (default 2).
+	RPCRetries int
+	// MaxLookupHops aborts runaway lookups (default 64).
+	MaxLookupHops int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Space.Bits() == 0 {
+		return c, fmt.Errorf("node: zero-value id space")
+	}
+	if uint64(c.ID) >= c.Space.Size() {
+		return c, fmt.Errorf("node: id %d outside %d-bit space", c.ID, c.Space.Bits())
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.SuccessorListLen == 0 {
+		c.SuccessorListLen = 4
+	}
+	if c.SuccessorListLen < 1 || c.SuccessorListLen > wire.MaxSuccs {
+		return c, fmt.Errorf("node: successor list length %d outside [1, %d]", c.SuccessorListLen, wire.MaxSuccs)
+	}
+	if c.AuxCount < 0 {
+		return c, fmt.Errorf("node: negative aux count %d", c.AuxCount)
+	}
+	if c.StabilizeEvery == 0 {
+		c.StabilizeEvery = 500 * time.Millisecond
+	}
+	if c.FixFingersEvery == 0 {
+		c.FixFingersEvery = 125 * time.Millisecond
+	}
+	if c.WindowBuckets == 0 {
+		c.WindowBuckets = 4
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.05
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 500 * time.Millisecond
+	}
+	if c.RPCRetries == 0 {
+		c.RPCRetries = 2
+	}
+	if c.MaxLookupHops == 0 {
+		c.MaxLookupHops = 64
+	}
+	return c, nil
+}
+
+// Metrics is a snapshot of the node's counters.
+type Metrics struct {
+	DatagramsIn, DatagramsOut uint64
+	DecodeErrors              uint64
+	RPCs, Retries, Timeouts   uint64
+	Lookups, LookupHops       uint64
+	LookupFailures            uint64
+	AuxRecomputes             uint64
+}
+
+// Node is a running protocol participant. Create with Start, stop with
+// Close.
+type Node struct {
+	cfg  Config
+	self wire.Contact
+	tr   *transport
+	tbl  *table
+
+	// maintMu guards the maintainer and its windowed counter (neither
+	// is goroutine-safe) and the round-robin finger cursor.
+	maintMu    sync.Mutex
+	maint      *core.ChordMaintainer
+	window     *freq.Windowed
+	lastCore   []id.ID // sorted; avoids invalidating the maintainer's cache on no-op SetCore
+	nextFinger uint
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	lookups     atomic.Uint64
+	lookupHops  atomic.Uint64
+	lookupFails atomic.Uint64
+	auxRecomps  atomic.Uint64
+}
+
+// Start binds the UDP socket, starts the read loop and the maintenance
+// tickers, and returns the node as a ring of one. Call Join to enter an
+// existing overlay.
+func Start(cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen address %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	adv := cfg.Advertise
+	if adv == "" {
+		adv = conn.LocalAddr().String()
+	}
+	if len(adv) > wire.MaxAddrLen {
+		conn.Close()
+		return nil, fmt.Errorf("node: advertise address %q exceeds %d bytes", adv, wire.MaxAddrLen)
+	}
+	n := &Node{
+		cfg:    cfg,
+		self:   wire.Contact{ID: cfg.ID, Addr: adv},
+		stop:   make(chan struct{}),
+		window: freq.NewWindowed(cfg.WindowBuckets),
+	}
+	n.tbl = newTable(cfg.Space, n.self, cfg.SuccessorListLen)
+	n.maint, err = core.NewChordMaintainerWithCounter(cfg.Space, cfg.ID, nil, cfg.AuxCount, cfg.DriftThreshold, n.window)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	n.tr = newTransport(conn, n.self, n.handle)
+	n.tr.start()
+
+	n.ticker(cfg.StabilizeEvery, n.stabilize)
+	n.ticker(cfg.FixFingersEvery, n.fixNextFinger)
+	if cfg.AuxEvery > 0 && cfg.AuxCount > 0 {
+		n.ticker(cfg.AuxEvery, func() {
+			n.recomputeAux(true)
+		})
+	}
+	return n, nil
+}
+
+// ticker runs fn every period until Close.
+func (n *Node) ticker(period time.Duration, fn func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn()
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the maintenance loops and shuts the socket down. Safe to
+// call more than once.
+func (n *Node) Close() error {
+	var err error
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		err = n.tr.close()
+		n.wg.Wait()
+	})
+	return err
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() id.ID { return n.self.ID }
+
+// Addr returns the advertised UDP address.
+func (n *Node) Addr() string { return n.self.Addr }
+
+// Contact returns the node's own contact.
+func (n *Node) Contact() wire.Contact { return n.self }
+
+// Successor returns the current immediate successor.
+func (n *Node) Successor() wire.Contact { return n.tbl.successor() }
+
+// Predecessor returns the current predecessor pointer.
+func (n *Node) Predecessor() (wire.Contact, bool) { return n.tbl.predecessor() }
+
+// Fingers returns the populated finger entries.
+func (n *Node) Fingers() []wire.Contact { return n.tbl.fingerList() }
+
+// Aux returns the current auxiliary neighbor set.
+func (n *Node) Aux() []wire.Contact { return n.tbl.auxList() }
+
+// Metrics returns a snapshot of the node's counters.
+func (n *Node) Metrics() Metrics {
+	return Metrics{
+		DatagramsIn:    n.tr.datagramsIn.Load(),
+		DatagramsOut:   n.tr.datagramsOut.Load(),
+		DecodeErrors:   n.tr.decodeErrs.Load(),
+		RPCs:           n.tr.rpcs.Load(),
+		Retries:        n.tr.retries.Load(),
+		Timeouts:       n.tr.timeouts.Load(),
+		Lookups:        n.lookups.Load(),
+		LookupHops:     n.lookupHops.Load(),
+		LookupFailures: n.lookupFails.Load(),
+		AuxRecomputes:  n.auxRecomps.Load(),
+	}
+}
+
+// call is the node's RPC entry point with the configured timeout/retry
+// policy.
+func (n *Node) call(addr string, req *wire.Message) (*wire.Message, error) {
+	return n.tr.call(addr, req, n.cfg.RPCTimeout, n.cfg.RPCRetries)
+}
+
+// Join enters the overlay through a peer listening at bootstrap: an
+// iterative find-successor for the node's own id yields its successor;
+// stabilization then integrates the node into the ring, exactly as in
+// chordproto.Join.
+func (n *Node) Join(bootstrap string) error {
+	cur := bootstrap
+	for hops := 0; hops <= n.cfg.MaxLookupHops; hops++ {
+		resp, err := n.call(cur, &wire.Message{Type: wire.TFindSucc, Target: n.self.ID})
+		if err != nil {
+			return fmt.Errorf("node: join via %s: %w", bootstrap, err)
+		}
+		n.tbl.noteContact(resp.From)
+		if resp.Done {
+			if resp.Found.ID == n.self.ID {
+				return fmt.Errorf("node: join: id %d already taken by %s", n.self.ID, resp.Found.Addr)
+			}
+			n.tbl.adoptSuccessor(resp.Found)
+			return nil
+		}
+		if resp.Next.IsZero() || resp.Next.Addr == cur {
+			return fmt.Errorf("node: join via %s: no progress at %s", bootstrap, cur)
+		}
+		n.tbl.noteContact(resp.Next)
+		cur = resp.Next.Addr
+	}
+	return fmt.Errorf("node: join via %s: exceeded %d hops", bootstrap, n.cfg.MaxLookupHops)
+}
+
+// handle processes one incoming request on the read-loop goroutine. It
+// must not block: local state plus one reply datagram only.
+func (n *Node) handle(m *wire.Message, src *net.UDPAddr) {
+	n.tbl.noteContact(m.From)
+	resp := &wire.Message{MsgID: m.MsgID, From: n.self}
+	switch m.Type {
+	case wire.TPing:
+		resp.Type = wire.TPong
+	case wire.TGetPred:
+		resp.Type = wire.TGetPredResp
+		resp.Pred, resp.HasPred = n.tbl.predecessor()
+		succs := n.tbl.succList()
+		if len(succs) > wire.MaxSuccs {
+			succs = succs[:wire.MaxSuccs]
+		}
+		resp.Succs = succs
+	case wire.TNotify:
+		n.tbl.notify(m.From)
+		resp.Type = wire.TNotifyAck
+	case wire.TFindSucc:
+		resp.Type = wire.TFindSuccResp
+		n.answerFindSucc(m.Target, resp)
+	default:
+		return // unknown request; nothing sensible to reply
+	}
+	n.tr.send(src, resp)
+}
+
+// answerFindSucc fills in one iterative lookup step for target: either
+// the final answer (Done) or the closest preceding contact from the
+// node's fingers, successor list, and auxiliary neighbors.
+func (n *Node) answerFindSucc(target id.ID, resp *wire.Message) {
+	if target == n.self.ID {
+		resp.Done, resp.Found = true, n.self
+		return
+	}
+	s := n.tbl.successor()
+	if s.ID == n.self.ID {
+		// Ring of one: every key is ours.
+		resp.Done, resp.Found = true, n.self
+		return
+	}
+	if n.cfg.Space.BetweenIncl(target, n.self.ID, s.ID) {
+		resp.Done, resp.Found = true, s
+		return
+	}
+	next := n.tbl.closestPreceding(target)
+	if next.ID == n.self.ID {
+		// Defensive: cannot happen while a distinct successor exists,
+		// but never redirect a caller to ourselves.
+		resp.Done, resp.Found = true, s
+		return
+	}
+	resp.Next = next
+}
+
+// FindSuccessor resolves the node responsible for target by driving the
+// iterative lookup: pick the closest preceding contact from local state
+// (auxiliary neighbors included — a cache hit short-circuits the whole
+// walk), then follow each callee's answer until one reports Done. The
+// hop count is the number of lookup RPCs issued, 0 when local state
+// resolves the target outright.
+func (n *Node) FindSuccessor(target id.ID) (wire.Contact, int, error) {
+	if target == n.self.ID {
+		return n.self, 0, nil
+	}
+	s := n.tbl.successor()
+	if s.ID == n.self.ID {
+		return n.self, 0, nil
+	}
+	if n.cfg.Space.BetweenIncl(target, n.self.ID, s.ID) {
+		return s, 0, nil
+	}
+	cur := n.tbl.closestPreceding(target)
+	for hops := 0; hops < n.cfg.MaxLookupHops; {
+		resp, err := n.call(cur.Addr, &wire.Message{Type: wire.TFindSucc, Target: target})
+		hops++
+		if err != nil {
+			// The contact is unreachable: retire it from the routing
+			// state so the maintenance loops repair around it.
+			n.tbl.removeAux(cur.ID)
+			n.tbl.dropSuccessor(cur.ID)
+			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d at %v: %w", target, cur, err)
+		}
+		n.tbl.noteContact(resp.From)
+		if resp.Done {
+			if resp.Found.IsZero() {
+				return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: empty answer from %v", target, cur)
+			}
+			n.tbl.noteContact(resp.Found)
+			return resp.Found, hops, nil
+		}
+		if resp.Next.IsZero() || resp.Next.ID == cur.ID {
+			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: no progress at %v", target, cur)
+		}
+		n.tbl.noteContact(resp.Next)
+		cur = resp.Next
+	}
+	return wire.Contact{}, n.cfg.MaxLookupHops, fmt.Errorf("node: lookup %d: exceeded %d hops", target, n.cfg.MaxLookupHops)
+}
+
+// Lookup is FindSuccessor for application traffic: the resolved owner
+// is recorded in the frequency observer (the input to auxiliary
+// selection, Section III of the paper) and the hop count feeds the
+// node's metrics.
+func (n *Node) Lookup(key id.ID) (wire.Contact, int, error) {
+	owner, hops, err := n.FindSuccessor(key)
+	if err != nil {
+		n.lookupFails.Add(1)
+		return owner, hops, err
+	}
+	n.lookups.Add(1)
+	n.lookupHops.Add(uint64(hops))
+	if owner.ID != n.self.ID {
+		n.maintMu.Lock()
+		n.maint.Observe(owner.ID)
+		n.maintMu.Unlock()
+	}
+	return owner, hops, nil
+}
+
+// stabilize runs one maintenance round: refresh the successor (adopting
+// its predecessor when that node sits between), notify it, rebuild the
+// successor list from its list, and ping the predecessor and every
+// auxiliary entry — Section III's point that auxiliary neighbors ride
+// the same ping process as core ones.
+func (n *Node) stabilize() {
+	s := n.tbl.successor()
+	if s.ID == n.self.ID {
+		// Ring of one: adopt any known predecessor as successor.
+		if p, ok := n.tbl.predecessor(); ok && p.ID != n.self.ID {
+			n.tbl.adoptSuccessor(p)
+		}
+		return
+	}
+	resp, err := n.call(s.Addr, &wire.Message{Type: wire.TGetPred})
+	if err != nil {
+		n.tbl.dropSuccessor(s.ID)
+		return
+	}
+	cand := s
+	if resp.HasPred && resp.Pred.ID != n.self.ID && resp.Pred.Addr != "" &&
+		n.cfg.Space.Between(resp.Pred.ID, n.self.ID, s.ID) {
+		// A closer successor exists — verify it answers before
+		// adopting it (chordproto consults liveness here too).
+		if _, err := n.call(resp.Pred.Addr, &wire.Message{Type: wire.TPing}); err == nil {
+			n.tbl.adoptSuccessor(resp.Pred)
+			cand = resp.Pred
+		}
+	}
+	if _, err := n.call(cand.Addr, &wire.Message{Type: wire.TNotify}); err != nil {
+		n.tbl.dropSuccessor(cand.ID)
+		return
+	}
+	// Successor-list refresh: our successor first, then its list.
+	list := make([]wire.Contact, 0, n.cfg.SuccessorListLen+2)
+	list = append(list, cand)
+	if cand.ID != s.ID {
+		list = append(list, s)
+	}
+	list = append(list, resp.Succs...)
+	n.tbl.setSuccs(list)
+
+	// Predecessor liveness.
+	if p, ok := n.tbl.predecessor(); ok && p.ID != n.self.ID && p.Addr != "" {
+		if _, err := n.call(p.Addr, &wire.Message{Type: wire.TPing}); err != nil {
+			n.tbl.clearPred()
+		}
+	}
+	// Auxiliary liveness pings.
+	for _, a := range n.tbl.auxList() {
+		if _, err := n.call(a.Addr, &wire.Message{Type: wire.TPing}); err != nil {
+			n.tbl.removeAux(a.ID)
+		}
+	}
+}
+
+// fixNextFinger refreshes one finger per tick, round-robin: finger i is
+// the first node in (self+2^i, self+2^{i+1}], found with an iterative
+// lookup; an out-of-interval answer clears the entry (chordproto's
+// interval rule).
+func (n *Node) fixNextFinger() {
+	n.maintMu.Lock()
+	i := n.nextFinger
+	n.nextFinger = (n.nextFinger + 1) % n.cfg.Space.Bits()
+	n.maintMu.Unlock()
+	space := n.cfg.Space
+	start := space.Add(n.self.ID, (uint64(1)<<i)+1)
+	c, _, err := n.FindSuccessor(start)
+	if err != nil {
+		return
+	}
+	g := space.Gap(n.self.ID, c.ID)
+	if c.ID != n.self.ID && g > uint64(1)<<i && g <= uint64(1)<<(i+1) {
+		n.tbl.setFinger(i, c, true)
+	} else {
+		n.tbl.setFinger(i, wire.Contact{}, false)
+	}
+}
+
+// RecomputeAux recomputes the auxiliary neighbor set from the observed
+// frequencies immediately (the ticker does the same on AuxEvery, plus a
+// window rotation). It reports how many of the selected ids were
+// routable; ids whose address the node has never learned are skipped.
+func (n *Node) RecomputeAux() (int, error) {
+	return n.recomputeAux(false)
+}
+
+func (n *Node) recomputeAux(rotate bool) (int, error) {
+	coreIDs := n.tbl.coreIDs()
+	sort.Slice(coreIDs, func(i, j int) bool { return coreIDs[i] < coreIDs[j] })
+	n.maintMu.Lock()
+	if !slices.Equal(coreIDs, n.lastCore) {
+		// SetCore invalidates the maintainer's drift cache, so only
+		// report genuine core changes.
+		if err := n.maint.SetCore(coreIDs); err != nil {
+			n.maintMu.Unlock()
+			return 0, err
+		}
+		n.lastCore = coreIDs
+	}
+	res, err := n.maint.Select()
+	if rotate {
+		n.window.Rotate()
+	}
+	n.maintMu.Unlock()
+	if err != nil {
+		if err == core.ErrNoNeighbors {
+			return 0, nil // nothing observed and no core yet; keep waiting
+		}
+		return 0, err
+	}
+	aux := make([]wire.Contact, 0, len(res.Aux))
+	for _, a := range res.Aux {
+		if addr, ok := n.tbl.addrOf(a); ok {
+			aux = append(aux, wire.Contact{ID: a, Addr: addr})
+		}
+	}
+	n.tbl.setAux(aux)
+	n.auxRecomps.Add(1)
+	return len(aux), nil
+}

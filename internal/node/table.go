@@ -1,0 +1,298 @@
+package node
+
+import (
+	"sync"
+
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// table is the node's mutex-guarded routing state: successor list,
+// predecessor, finger table, auxiliary neighbors, and a contact cache
+// mapping every id the node has ever heard from to its last known UDP
+// address (the live-network analogue of the simulator's global node
+// map — without it a freshly selected auxiliary id would be
+// unroutable). Methods take the lock briefly and never perform I/O, so
+// the packet handler can call them from the read loop.
+type table struct {
+	mu    sync.RWMutex
+	space id.Space
+	self  wire.Contact
+
+	succs   []wire.Contact // nearest first; never empty (falls back to self)
+	maxSucc int
+	pred    wire.Contact
+	hasPred bool
+
+	fingers   []wire.Contact // fingers[i] covers (self+2^i, self+2^{i+1}]
+	hasFinger []bool
+
+	aux []wire.Contact // auxiliary neighbors, the paper's A_s
+
+	addrs map[id.ID]string
+}
+
+func newTable(space id.Space, self wire.Contact, maxSucc int) *table {
+	return &table{
+		space:     space,
+		self:      self,
+		succs:     []wire.Contact{self},
+		maxSucc:   maxSucc,
+		fingers:   make([]wire.Contact, space.Bits()),
+		hasFinger: make([]bool, space.Bits()),
+		addrs:     make(map[id.ID]string),
+	}
+}
+
+// noteContact records c's address. Self and addressless contacts are
+// ignored.
+func (t *table) noteContact(c wire.Contact) {
+	if c.ID == t.self.ID || c.Addr == "" {
+		return
+	}
+	t.mu.Lock()
+	t.addrs[c.ID] = c.Addr
+	t.mu.Unlock()
+}
+
+// addrOf returns the cached address for x.
+func (t *table) addrOf(x id.ID) (string, bool) {
+	t.mu.RLock()
+	a, ok := t.addrs[x]
+	t.mu.RUnlock()
+	return a, ok
+}
+
+// successor returns the first entry of the successor list (self when
+// alone).
+func (t *table) successor() wire.Contact {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.succs[0]
+}
+
+// succList returns a copy of the successor list.
+func (t *table) succList() []wire.Contact {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]wire.Contact(nil), t.succs...)
+}
+
+// setSuccs installs a new successor list: zero contacts are dropped,
+// duplicates keep their first (nearest) occurrence, and the result is
+// truncated to maxSucc. An empty result falls back to self.
+func (t *table) setSuccs(list []wire.Contact) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[id.ID]bool, len(list))
+	out := make([]wire.Contact, 0, t.maxSucc)
+	for _, c := range list {
+		if c.IsZero() || seen[c.ID] {
+			continue
+		}
+		seen[c.ID] = true
+		out = append(out, c)
+		if c.ID != t.self.ID && c.Addr != "" {
+			t.addrs[c.ID] = c.Addr
+		}
+		if len(out) == t.maxSucc {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, t.self)
+	}
+	t.succs = out
+}
+
+// adoptSuccessor prepends c as the new immediate successor.
+func (t *table) adoptSuccessor(c wire.Contact) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.succs[0].ID == c.ID {
+		t.succs[0] = c // refresh the address
+		return
+	}
+	list := append([]wire.Contact{c}, t.succs...)
+	if len(list) > t.maxSucc {
+		list = list[:t.maxSucc]
+	}
+	t.succs = list
+	if c.ID != t.self.ID && c.Addr != "" {
+		t.addrs[c.ID] = c.Addr
+	}
+}
+
+// dropSuccessor removes a dead successor, falling back on the rest of
+// the list (and on self as the last resort, a ring of one until the
+// maintenance loops re-integrate the node).
+func (t *table) dropSuccessor(dead id.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.succs[:0]
+	for _, s := range t.succs {
+		if s.ID != dead {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, t.self)
+	}
+	t.succs = out
+}
+
+// predecessor returns the current predecessor pointer.
+func (t *table) predecessor() (wire.Contact, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pred, t.hasPred
+}
+
+// clearPred forgets the predecessor (its ping timed out).
+func (t *table) clearPred() {
+	t.mu.Lock()
+	t.hasPred = false
+	t.pred = wire.Contact{}
+	t.mu.Unlock()
+}
+
+// notify processes a notify(c): adopt c as predecessor if there is none
+// or c sits between the current predecessor and self.
+func (t *table) notify(c wire.Contact) {
+	if c.ID == t.self.ID || c.Addr == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.hasPred || t.space.Between(c.ID, t.pred.ID, t.self.ID) {
+		t.pred = c
+		t.hasPred = true
+	}
+	t.addrs[c.ID] = c.Addr
+}
+
+// setFinger installs (or clears, when ok is false) finger i.
+func (t *table) setFinger(i uint, c wire.Contact, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hasFinger[i] = ok
+	if ok {
+		t.fingers[i] = c
+		if c.ID != t.self.ID && c.Addr != "" {
+			t.addrs[c.ID] = c.Addr
+		}
+	} else {
+		t.fingers[i] = wire.Contact{}
+	}
+}
+
+// fingerList returns the populated fingers, deduplicated, ascending by
+// interval.
+func (t *table) fingerList() []wire.Contact {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []wire.Contact
+	for i, ok := range t.hasFinger {
+		if !ok {
+			continue
+		}
+		f := t.fingers[i]
+		if len(out) > 0 && out[len(out)-1].ID == f.ID {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// coreIDs returns the node's core neighbor set — fingers and successor
+// list, self excluded — the N_s of eq. 1, fed to the selection
+// maintainer.
+func (t *table) coreIDs() []id.ID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[id.ID]bool)
+	var out []id.ID
+	add := func(c wire.Contact) {
+		if c.IsZero() || c.ID == t.self.ID || seen[c.ID] {
+			return
+		}
+		seen[c.ID] = true
+		out = append(out, c.ID)
+	}
+	for i, ok := range t.hasFinger {
+		if ok {
+			add(t.fingers[i])
+		}
+	}
+	for _, s := range t.succs {
+		add(s)
+	}
+	return out
+}
+
+// setAux installs the auxiliary neighbor set.
+func (t *table) setAux(aux []wire.Contact) {
+	t.mu.Lock()
+	t.aux = append(aux[:0:0], aux...)
+	t.mu.Unlock()
+}
+
+// auxList returns a copy of the auxiliary set.
+func (t *table) auxList() []wire.Contact {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]wire.Contact(nil), t.aux...)
+}
+
+// removeAux drops one auxiliary entry (its liveness ping failed).
+func (t *table) removeAux(dead id.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.aux[:0]
+	for _, a := range t.aux {
+		if a.ID != dead {
+			out = append(out, a)
+		}
+	}
+	t.aux = out
+}
+
+// closestPreceding picks the next hop for target: over fingers,
+// successor list, and auxiliary neighbors, the contact with the largest
+// clockwise gap from self that does not overshoot the target — the
+// candidate window is (self, target], matching the simulator's routing
+// (internal/chord), so an auxiliary pointer at the destination itself
+// is a legal (and ideal, one-hop) next step. Falls back to the
+// successor when nothing qualifies.
+func (t *table) closestPreceding(target id.ID) wire.Contact {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	gt := t.space.Gap(t.self.ID, target)
+	best := t.succs[0]
+	bestGap := uint64(0)
+	consider := func(c wire.Contact) {
+		if c.IsZero() || c.ID == t.self.ID {
+			return
+		}
+		g := t.space.Gap(t.self.ID, c.ID)
+		if g == 0 || g > gt {
+			return // self or overshoot
+		}
+		if g > bestGap {
+			best, bestGap = c, g
+		}
+	}
+	for i, ok := range t.hasFinger {
+		if ok {
+			consider(t.fingers[i])
+		}
+	}
+	for _, s := range t.succs {
+		consider(s)
+	}
+	for _, a := range t.aux {
+		consider(a)
+	}
+	return best
+}

@@ -1,0 +1,200 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peercache/internal/wire"
+)
+
+// Transport errors.
+var (
+	// ErrTimeout is returned by an RPC whose every attempt (initial
+	// send plus retries) expired without a response.
+	ErrTimeout = errors.New("node: rpc timed out")
+	// ErrClosed is returned once the node has shut down.
+	ErrClosed = errors.New("node: closed")
+)
+
+// transport owns the UDP socket: a single read loop decodes datagrams
+// and routes responses to the inflight waiter registered under their
+// MsgID, while requests go to the node's handler. RPCs are synchronous
+// for the caller — register a waiter, send, block on the waiter channel
+// with a timeout — but any number may be in flight concurrently, and
+// the read loop itself never blocks on protocol work (handlers only
+// touch local state and write one reply datagram).
+type transport struct {
+	conn *net.UDPConn
+	self wire.Contact
+	// handler processes incoming requests; set before the read loop
+	// starts and never changed.
+	handler func(m *wire.Message, src *net.UDPAddr)
+
+	mu       sync.Mutex
+	inflight map[uint64]chan *wire.Message
+	nextID   atomic.Uint64
+
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// Counters, all atomic; surfaced through Node.Metrics.
+	datagramsIn  atomic.Uint64
+	datagramsOut atomic.Uint64
+	decodeErrs   atomic.Uint64
+	rpcs         atomic.Uint64
+	retries      atomic.Uint64
+	timeouts     atomic.Uint64
+}
+
+func newTransport(conn *net.UDPConn, self wire.Contact, handler func(*wire.Message, *net.UDPAddr)) *transport {
+	return &transport{
+		conn:     conn,
+		self:     self,
+		handler:  handler,
+		inflight: make(map[uint64]chan *wire.Message),
+		done:     make(chan struct{}),
+	}
+}
+
+// start launches the read loop. Separate from construction so the
+// owning Node can finish wiring itself up before the first datagram can
+// reach the handler.
+func (t *transport) start() {
+	t.wg.Add(1)
+	go t.readLoop()
+}
+
+// readLoop is the node's only socket reader. A response datagram claims
+// (and deregisters) its waiter; delivery cannot block because each
+// waiter channel has capacity 1 and is sent to at most once — whoever
+// deletes the map entry owns the send.
+func (t *transport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			if t.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.datagramsIn.Add(1)
+		m, err := wire.Decode(buf[:n])
+		if err != nil {
+			t.decodeErrs.Add(1)
+			continue
+		}
+		if m.Type.IsResponse() {
+			t.mu.Lock()
+			ch, ok := t.inflight[m.MsgID]
+			if ok {
+				delete(t.inflight, m.MsgID)
+			}
+			t.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+			continue
+		}
+		t.handler(m, src)
+	}
+}
+
+// send encodes and writes one datagram. Failures are counted but not
+// surfaced: over UDP a lost send and a lost packet are the same event,
+// and the caller's timeout handles both.
+func (t *transport) send(dst *net.UDPAddr, m *wire.Message) {
+	b, err := wire.Encode(m)
+	if err != nil {
+		return
+	}
+	if _, err := t.conn.WriteToUDP(b, dst); err == nil {
+		t.datagramsOut.Add(1)
+	}
+}
+
+// call performs one RPC: it fills in From and a fresh MsgID, sends, and
+// waits up to timeout for the paired response, retrying up to retries
+// further times. Each attempt uses a new MsgID, so a response straggling
+// in after its attempt timed out finds no waiter and is dropped rather
+// than being mistaken for an answer to the retry.
+func (t *transport) call(addr string, req *wire.Message, timeout time.Duration, retries int) (*wire.Message, error) {
+	if t.closed.Load() {
+		return nil, ErrClosed
+	}
+	dst, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: rpc %v to %q: %w", req.Type, addr, err)
+	}
+	req.From = t.self
+	want := req.Type.Response()
+	t.rpcs.Add(1)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		msgID := t.nextID.Add(1)
+		req.MsgID = msgID
+		b, err := wire.Encode(req)
+		if err != nil {
+			return nil, err // malformed request: retrying cannot help
+		}
+		ch := make(chan *wire.Message, 1)
+		t.mu.Lock()
+		t.inflight[msgID] = ch
+		t.mu.Unlock()
+		deregister := func() {
+			t.mu.Lock()
+			delete(t.inflight, msgID)
+			t.mu.Unlock()
+		}
+		if _, err := t.conn.WriteToUDP(b, dst); err != nil {
+			deregister()
+			if t.closed.Load() {
+				return nil, ErrClosed
+			}
+			return nil, fmt.Errorf("node: rpc %v to %s: %w", req.Type, addr, err)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(timeout)
+		select {
+		case resp := <-ch:
+			if resp.Type != want {
+				deregister()
+				return nil, fmt.Errorf("node: rpc %v to %s: got %v response", req.Type, addr, resp.Type)
+			}
+			return resp, nil
+		case <-timer.C:
+			deregister()
+			t.timeouts.Add(1)
+		case <-t.done:
+			deregister()
+			return nil, ErrClosed
+		}
+		if attempt >= retries {
+			return nil, fmt.Errorf("node: rpc %v to %s after %d attempts: %w", req.Type, addr, attempt+1, ErrTimeout)
+		}
+		t.retries.Add(1)
+	}
+}
+
+// close shuts the socket down and waits for the read loop to exit.
+func (t *transport) close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.done)
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder. Two invariants: no
+// input panics, and anything that decodes re-encodes to a byte-identical
+// datagram (the codec has exactly one encoding per message).
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 32; i++ {
+		b, err := Encode(randMessage(rng))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, byte(TGetPredResp), 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message fails to encode: %+v: %v", m, err)
+		}
+		if !reflect.DeepEqual(out, data) {
+			t.Fatalf("non-canonical encoding survived decode:\n in  %x\n out %x", data, out)
+		}
+		m2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip:\n first  %+v\n second %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,323 @@
+// Package wire defines the UDP message format of the live node runtime
+// (internal/node): a fixed envelope — protocol version, message type,
+// correlation MsgID, sender contact — followed by a type-specific
+// payload, all in a compact binary encoding.
+//
+// The RPC set is the minimum the Chord maintenance protocol plus the
+// paper's auxiliary-neighbor layer needs:
+//
+//   - Ping/Pong — liveness probes; the stabilization round also pings
+//     auxiliary entries with these (Section III: auxiliary neighbors are
+//     checked by the same ping process as core ones).
+//   - FindSucc/FindSuccResp — one step of an *iterative* find-successor
+//     lookup. The callee either resolves the target to its successor
+//     (Done) or redirects the caller to the closest preceding entry of
+//     its routing state (core fingers, successor list, and auxiliary
+//     neighbors alike, which is how cached peers accelerate everyone's
+//     lookups, not only the caching node's).
+//   - GetPred/GetPredResp — stabilize: the successor reports its
+//     predecessor and successor list.
+//   - Notify/NotifyAck — the caller tells its successor "I might be
+//     your predecessor".
+//
+// Encoding: varint-free fixed-width integers (uint64 big-endian for ids
+// and MsgIDs, uint8 for counts) and length-prefixed UDP address strings.
+// Every message fits comfortably in one datagram: the largest, a
+// GetPredResp with a full successor list, is a few hundred bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"peercache/internal/id"
+)
+
+// Version is the protocol version carried in byte 0 of every datagram.
+// Decode rejects anything else.
+const Version = 1
+
+// Type enumerates the message types.
+type Type uint8
+
+// The RPC set. Requests are even, their responses odd — Type.Response
+// and Type.IsResponse rely on the pairing.
+const (
+	TPing Type = iota
+	TPong
+	TFindSucc
+	TFindSuccResp
+	TGetPred
+	TGetPredResp
+	TNotify
+	TNotifyAck
+	typeCount // sentinel, not a wire value
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t Type) String() string {
+	switch t {
+	case TPing:
+		return "ping"
+	case TPong:
+		return "pong"
+	case TFindSucc:
+		return "find-succ"
+	case TFindSuccResp:
+		return "find-succ-resp"
+	case TGetPred:
+		return "get-pred"
+	case TGetPredResp:
+		return "get-pred-resp"
+	case TNotify:
+		return "notify"
+	case TNotifyAck:
+		return "notify-ack"
+	}
+	return fmt.Sprintf("wire.Type(%d)", uint8(t))
+}
+
+// IsResponse reports whether t is a response type.
+func (t Type) IsResponse() bool { return t&1 == 1 }
+
+// Response returns the response type paired with a request type. It
+// panics on a response type: asking for the response to a response is a
+// programming error.
+func (t Type) Response() Type {
+	if t.IsResponse() {
+		panic(fmt.Sprintf("wire: %v is already a response", t))
+	}
+	return t + 1
+}
+
+// Contact is a routable peer: its ring identifier and UDP address. The
+// simulator never needed addresses — ids indexed a global map — but on a
+// real network every id a node learns is useless without a socket
+// address to reach it at, so the two travel together everywhere.
+type Contact struct {
+	ID   id.ID
+	Addr string
+}
+
+// IsZero reports whether c is the zero contact (used for "no value"
+// slots such as an absent predecessor).
+func (c Contact) IsZero() bool { return c.ID == 0 && c.Addr == "" }
+
+// String implements fmt.Stringer.
+func (c Contact) String() string { return fmt.Sprintf("%d@%s", uint64(c.ID), c.Addr) }
+
+// Message is the decoded form of one datagram.
+type Message struct {
+	// Type selects which payload fields below are meaningful.
+	Type Type
+	// MsgID correlates a response with the request that caused it. The
+	// caller allocates it; the callee echoes it.
+	MsgID uint64
+	// From identifies the sender. Receivers use it to learn live
+	// contacts (notify, predecessor discovery) and to address replies.
+	From Contact
+
+	// Target is the lookup key (TFindSucc).
+	Target id.ID
+	// Done reports that Found resolves Target (TFindSuccResp). When
+	// false, Next is the closest preceding contact to continue with.
+	Done bool
+	// Found is the resolved successor of Target (TFindSuccResp, Done).
+	Found Contact
+	// Next is the redirect contact (TFindSuccResp, !Done).
+	Next Contact
+	// HasPred reports whether Pred is meaningful (TGetPredResp).
+	HasPred bool
+	// Pred is the callee's predecessor (TGetPredResp).
+	Pred Contact
+	// Succs is the callee's successor list, nearest first
+	// (TGetPredResp).
+	Succs []Contact
+}
+
+// Limits enforced by the codec so a hostile datagram cannot make the
+// decoder allocate unboundedly.
+const (
+	// MaxAddrLen bounds one contact address. 255 covers any
+	// host:port and keeps the length prefix a single byte.
+	MaxAddrLen = 255
+	// MaxSuccs bounds the successor list carried by GetPredResp.
+	MaxSuccs = 32
+)
+
+// Decode errors.
+var (
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrVersion    = errors.New("wire: unknown protocol version")
+	ErrType       = errors.New("wire: unknown message type")
+	ErrAddrLen    = errors.New("wire: address too long")
+	ErrSuccCount  = errors.New("wire: successor list too long")
+	ErrTrailing   = errors.New("wire: trailing bytes after payload")
+	ErrBadMessage = errors.New("wire: message fields inconsistent with type")
+)
+
+func appendContact(b []byte, c Contact) ([]byte, error) {
+	if len(c.Addr) > MaxAddrLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrAddrLen, len(c.Addr))
+	}
+	b = binary.BigEndian.AppendUint64(b, uint64(c.ID))
+	b = append(b, byte(len(c.Addr)))
+	return append(b, c.Addr...), nil
+}
+
+func readContact(b []byte) (Contact, []byte, error) {
+	if len(b) < 9 {
+		return Contact{}, nil, ErrTruncated
+	}
+	c := Contact{ID: id.ID(binary.BigEndian.Uint64(b))}
+	n := int(b[8])
+	b = b[9:]
+	if len(b) < n {
+		return Contact{}, nil, ErrTruncated
+	}
+	c.Addr = string(b[:n])
+	return c, b[n:], nil
+}
+
+// Encode serializes m into a fresh buffer. It fails only on messages
+// that violate the codec limits (oversized address or successor list)
+// or carry an unknown type.
+func Encode(m *Message) ([]byte, error) {
+	if m.Type >= typeCount {
+		return nil, fmt.Errorf("%w: %d", ErrType, uint8(m.Type))
+	}
+	b := make([]byte, 0, 64)
+	b = append(b, Version, byte(m.Type))
+	b = binary.BigEndian.AppendUint64(b, m.MsgID)
+	var err error
+	if b, err = appendContact(b, m.From); err != nil {
+		return nil, err
+	}
+	switch m.Type {
+	case TPing, TPong, TGetPred, TNotify, TNotifyAck:
+		// Envelope only.
+	case TFindSucc:
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Target))
+	case TFindSuccResp:
+		if m.Done {
+			b = append(b, 1)
+			if b, err = appendContact(b, m.Found); err != nil {
+				return nil, err
+			}
+		} else {
+			b = append(b, 0)
+			if b, err = appendContact(b, m.Next); err != nil {
+				return nil, err
+			}
+		}
+	case TGetPredResp:
+		if m.HasPred {
+			b = append(b, 1)
+			if b, err = appendContact(b, m.Pred); err != nil {
+				return nil, err
+			}
+		} else {
+			b = append(b, 0)
+		}
+		if len(m.Succs) > MaxSuccs {
+			return nil, fmt.Errorf("%w: %d", ErrSuccCount, len(m.Succs))
+		}
+		b = append(b, byte(len(m.Succs)))
+		for _, s := range m.Succs {
+			if b, err = appendContact(b, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// Decode parses one datagram. It accepts exactly what Encode produces:
+// unknown versions or types, truncated payloads, over-limit lists, and
+// trailing garbage are all errors, never panics — the input is whatever
+// the network delivered.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 2 {
+		return nil, ErrTruncated
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, b[0])
+	}
+	m := &Message{Type: Type(b[1])}
+	if m.Type >= typeCount {
+		return nil, fmt.Errorf("%w: %d", ErrType, b[1])
+	}
+	b = b[2:]
+	if len(b) < 8 {
+		return nil, ErrTruncated
+	}
+	m.MsgID = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	var err error
+	if m.From, b, err = readContact(b); err != nil {
+		return nil, err
+	}
+	switch m.Type {
+	case TPing, TPong, TGetPred, TNotify, TNotifyAck:
+		// Envelope only.
+	case TFindSucc:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		m.Target = id.ID(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	case TFindSuccResp:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("%w: done byte %d", ErrBadMessage, b[0])
+		}
+		m.Done = b[0] == 1
+		b = b[1:]
+		if m.Done {
+			if m.Found, b, err = readContact(b); err != nil {
+				return nil, err
+			}
+		} else {
+			if m.Next, b, err = readContact(b); err != nil {
+				return nil, err
+			}
+		}
+	case TGetPredResp:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("%w: has-pred byte %d", ErrBadMessage, b[0])
+		}
+		m.HasPred = b[0] == 1
+		b = b[1:]
+		if m.HasPred {
+			if m.Pred, b, err = readContact(b); err != nil {
+				return nil, err
+			}
+		}
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		n := int(b[0])
+		b = b[1:]
+		if n > MaxSuccs {
+			return nil, fmt.Errorf("%w: %d", ErrSuccCount, n)
+		}
+		if n > 0 {
+			m.Succs = make([]Contact, n)
+			for i := range m.Succs {
+				if m.Succs[i], b, err = readContact(b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(b))
+	}
+	return m, nil
+}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+// randContact draws a contact with an address of plausible shape and
+// length (including the occasional empty one).
+func randContact(rng *rand.Rand) Contact {
+	n := rng.Intn(24)
+	addr := make([]byte, n)
+	const alphabet = "0123456789.:abcdef[]"
+	for i := range addr {
+		addr[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return Contact{ID: id.ID(rng.Uint64()), Addr: string(addr)}
+}
+
+// randMessage draws a canonical message: only the fields meaningful for
+// the drawn type are populated, matching what the runtime sends.
+func randMessage(rng *rand.Rand) *Message {
+	m := &Message{
+		Type:  Type(rng.Intn(int(typeCount))),
+		MsgID: rng.Uint64(),
+		From:  randContact(rng),
+	}
+	switch m.Type {
+	case TFindSucc:
+		m.Target = id.ID(rng.Uint64())
+	case TFindSuccResp:
+		m.Done = rng.Intn(2) == 0
+		if m.Done {
+			m.Found = randContact(rng)
+		} else {
+			m.Next = randContact(rng)
+		}
+	case TGetPredResp:
+		m.HasPred = rng.Intn(2) == 0
+		if m.HasPred {
+			m.Pred = randContact(rng)
+		}
+		if n := rng.Intn(MaxSuccs + 1); n > 0 {
+			m.Succs = make([]Contact, n)
+			for i := range m.Succs {
+				m.Succs[i] = randContact(rng)
+			}
+		}
+	}
+	return m
+}
+
+// Property: Decode(Encode(m)) == m for every canonical message.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		m := randMessage(rng)
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("#%d encode %+v: %v", i, m, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("#%d decode %+v: %v", i, m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("#%d round trip:\n sent %+v\n got  %+v", i, m, got)
+		}
+	}
+}
+
+// Property: every strict prefix of a valid encoding fails with a decode
+// error, never a panic, never a bogus success.
+func TestTruncationsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		b, err := Encode(randMessage(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := Decode(b[:cut]); err == nil {
+				t.Fatalf("#%d: decode succeeded on %d/%d-byte prefix", i, cut, len(b))
+			}
+		}
+	}
+}
+
+// Property: appending any byte to a valid encoding is rejected.
+func TestTrailingBytesRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		b, err := Encode(randMessage(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(append(b, byte(rng.Intn(256)))); err == nil {
+			t.Fatalf("#%d: decode accepted trailing byte", i)
+		}
+	}
+}
+
+func TestDecodeRejectsBadEnvelope(t *testing.T) {
+	valid, err := Encode(&Message{Type: TPing, MsgID: 7, From: Contact{ID: 1, Addr: "127.0.0.1:9000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), valid...)
+	bad[0] = Version + 1
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	bad = append([]byte(nil), valid...)
+	bad[1] = byte(typeCount)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty datagram accepted")
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	long := make([]byte, MaxAddrLen+1)
+	if _, err := Encode(&Message{Type: TPing, From: Contact{Addr: string(long)}}); err == nil {
+		t.Fatal("oversized address accepted")
+	}
+	m := &Message{Type: TGetPredResp, Succs: make([]Contact, MaxSuccs+1)}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("oversized successor list accepted")
+	}
+	if _, err := Encode(&Message{Type: typeCount}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestResponsePairing(t *testing.T) {
+	pairs := map[Type]Type{
+		TPing:     TPong,
+		TFindSucc: TFindSuccResp,
+		TGetPred:  TGetPredResp,
+		TNotify:   TNotifyAck,
+	}
+	for req, resp := range pairs {
+		if req.IsResponse() {
+			t.Errorf("%v classified as response", req)
+		}
+		if !resp.IsResponse() {
+			t.Errorf("%v not classified as response", resp)
+		}
+		if got := req.Response(); got != resp {
+			t.Errorf("%v.Response() = %v, want %v", req, got, resp)
+		}
+	}
+}
