@@ -39,18 +39,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("p2pnode", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:0", "UDP listen address")
-		bootstrap  = fs.String("bootstrap", "", "address of any overlay member; empty starts a new ring")
-		bits       = fs.Uint("bits", 32, "identifier length in bits")
-		k          = fs.Int("k", 8, "auxiliary-neighbor budget")
-		nodeID     = fs.Uint64("id", 0, "ring id (default: hash of the advertised address)")
-		haveID     = false
-		succLen    = fs.Int("succlist", 4, "successor list length")
-		stabilize  = fs.Duration("stabilize", time.Second, "stabilize period")
-		fixFingers = fs.Duration("fixfingers", 250*time.Millisecond, "per-finger refresh period")
-		auxEvery   = fs.Duration("aux-every", 10*time.Second, "auxiliary recompute period (0 disables)")
-		rpcTimeout = fs.Duration("rpc-timeout", 500*time.Millisecond, "per-attempt RPC timeout")
-		statsEvery = fs.Duration("stats-every", 10*time.Second, "status line period (0 disables)")
+		addr        = fs.String("addr", "127.0.0.1:0", "UDP listen address")
+		bootstrap   = fs.String("bootstrap", "", "address of any overlay member; empty starts a new ring")
+		bits        = fs.Uint("bits", 32, "identifier length in bits")
+		k           = fs.Int("k", 8, "auxiliary-neighbor budget")
+		nodeID      = fs.Uint64("id", 0, "ring id (default: hash of the advertised address)")
+		haveID      = false
+		succLen     = fs.Int("succlist", 4, "successor list length")
+		stabilize   = fs.Duration("stabilize", time.Second, "stabilize period")
+		fixFingers  = fs.Duration("fixfingers", 250*time.Millisecond, "per-finger refresh period")
+		auxEvery    = fs.Duration("aux-every", 10*time.Second, "auxiliary recompute period (0 disables)")
+		rpcTimeout  = fs.Duration("rpc-timeout", 500*time.Millisecond, "per-attempt RPC timeout")
+		statsEvery  = fs.Duration("stats-every", 10*time.Second, "status line period (0 disables)")
+		metricsAddr = fs.String("metrics-addr", "", "serve node metrics as JSON over HTTP at this address (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +72,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		FixFingersEvery:  *fixFingers,
 		AuxEvery:         *auxEvery,
 		RPCTimeout:       *rpcTimeout,
+		// The daemon is the real-network deployment: select the UDP
+		// provider explicitly (tests and simulators pick memnet).
+		Listen: node.ListenUDP,
 	}
 	if haveID {
 		cfg.ID = space.Wrap(*nodeID)
@@ -92,6 +96,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer n.Close()
 	fmt.Fprintf(out, "p2pnode: id %d (%s) listening on %s, k=%d, %d-bit ring\n",
 		n.ID(), space.Format(n.ID()), n.Addr(), *k, *bits)
+
+	if *metricsAddr != "" {
+		srv, bound, err := serveMetrics(n, *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "p2pnode: metrics on http://%s/metrics\n", bound)
+	}
 
 	if *bootstrap != "" {
 		// Bounded retry with backoff: the bootstrap peer may still be

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"peercache/internal/node"
+)
+
+// metricsPayload is the JSON document served at /metrics: the node's
+// identity, a snapshot of its routing-table sizes, and every transport
+// and protocol counter from node.Metrics. One flat document, cheap to
+// scrape, stdlib only.
+type metricsPayload struct {
+	ID   uint64 `json:"id"`
+	Addr string `json:"addr"`
+
+	Successor      uint64 `json:"successor"`
+	HasPredecessor bool   `json:"has_predecessor"`
+	Predecessor    uint64 `json:"predecessor,omitempty"`
+	SuccessorList  int    `json:"successor_list_len"`
+	Fingers        int    `json:"fingers"`
+	Aux            int    `json:"aux"`
+
+	Metrics node.Metrics `json:"metrics"`
+}
+
+func payloadFor(n *node.Node) metricsPayload {
+	p := metricsPayload{
+		ID:            uint64(n.ID()),
+		Addr:          n.Addr(),
+		Successor:     uint64(n.Successor().ID),
+		SuccessorList: len(n.Successors()),
+		Fingers:       len(n.Fingers()),
+		Aux:           len(n.Aux()),
+		Metrics:       n.Metrics(),
+	}
+	if pred, ok := n.Predecessor(); ok {
+		p.HasPredecessor = true
+		p.Predecessor = uint64(pred.ID)
+	}
+	return p
+}
+
+// serveMetrics starts an HTTP server exposing n's metrics as JSON at
+// /metrics on addr (host:0 picks a free port). It returns the server
+// and the bound address; the caller closes the server.
+func serveMetrics(n *node.Node, addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payloadFor(n))
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

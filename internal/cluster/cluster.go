@@ -1,0 +1,177 @@
+// Package cluster boots whole overlays of live nodes (internal/node)
+// over memnet's in-process switchboard, for tests that need scale a
+// socket-per-node harness cannot reach: 50–100 nodes in one process,
+// race detector on, with seeded fault injection and partitions.
+//
+// The harness is deliberately thin — it owns node lifecycle and the
+// oracle convergence check; workloads (query streams, churn schedules,
+// fault scripts) stay in the tests, where their parameters are visible
+// next to the assertions they drive.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+)
+
+// Cluster is a set of running nodes sharing one memnet network.
+type Cluster struct {
+	Space id.Space
+	Net   *memnet.Network
+	Nodes []*node.Node
+}
+
+// Start boots one node per id on nw, joining each through the first.
+// Node i listens on Addr(i) ("mem/<id>"). mod, when non-nil, edits each
+// node's config before start — timings default to tight in-process
+// values (25ms stabilize, 5ms per-finger refresh, 100ms RPC timeout,
+// 1 retry). On error, every node already started is closed.
+func Start(space id.Space, nw *memnet.Network, ids []uint64, mod func(i int, cfg *node.Config)) (*Cluster, error) {
+	c := &Cluster{Space: space, Net: nw, Nodes: make([]*node.Node, 0, len(ids))}
+	for i, x := range ids {
+		cfg := node.Config{
+			Space:           space,
+			ID:              id.ID(x),
+			Addr:            addrFor(id.ID(x)),
+			StabilizeEvery:  25 * time.Millisecond,
+			FixFingersEvery: 5 * time.Millisecond,
+			RPCTimeout:      100 * time.Millisecond,
+			RPCRetries:      1,
+			Listen: func(addr string) (node.PacketConn, error) {
+				return nw.Listen(addr)
+			},
+		}
+		if mod != nil {
+			mod(i, &cfg)
+		}
+		n, err := node.Start(cfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: start node %d: %w", x, err)
+		}
+		c.Nodes = append(c.Nodes, n)
+		if i > 0 {
+			if err := n.Join(c.Nodes[0].Addr()); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: join node %d: %w", x, err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// addrFor is the memnet address convention for a node id.
+func addrFor(x id.ID) string { return fmt.Sprintf("mem/%d", uint64(x)) }
+
+// Addr returns node i's transport address (for partition scripts).
+func (c *Cluster) Addr(i int) string { return c.Nodes[i].Addr() }
+
+// Addrs returns the transport addresses of the given node indices.
+func (c *Cluster) Addrs(indices ...int) []string {
+	out := make([]string, len(indices))
+	for j, i := range indices {
+		out[j] = c.Addr(i)
+	}
+	return out
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.Close()
+	}
+}
+
+// Ring returns the node ids in ring (ascending) order.
+func (c *Cluster) Ring() []id.ID {
+	ring := make([]id.ID, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ring[i] = n.ID()
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i] < ring[j] })
+	return ring
+}
+
+// ExpectedFingers computes the converged finger list of x over the
+// sorted ring: finger i is the nearest node whose clockwise gap from x
+// lies in (2^i, 2^{i+1}], with consecutive duplicates elided — the same
+// oracle the simulator's protocol tests derive.
+func ExpectedFingers(space id.Space, ring []id.ID, x id.ID) []id.ID {
+	var out []id.ID
+	for i := uint(0); i < space.Bits(); i++ {
+		var best id.ID
+		bestGap := uint64(0)
+		found := false
+		for _, y := range ring {
+			g := space.Gap(x, y)
+			if g > uint64(1)<<i && g <= uint64(1)<<(i+1) {
+				if !found || g < bestGap {
+					best, bestGap, found = y, g, true
+				}
+			}
+		}
+		if found && (len(out) == 0 || out[len(out)-1] != best) {
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+// Owner returns the ring member responsible for key k: the first id
+// clockwise from k, inclusive.
+func Owner(ring []id.ID, k id.ID) id.ID {
+	for _, x := range ring {
+		if uint64(x) >= uint64(k) {
+			return x
+		}
+	}
+	return ring[0]
+}
+
+// WaitConverged polls until every node's successor, predecessor, and
+// finger table match the ideal ring of the cluster's current members,
+// or the timeout passes, in which case it returns the last mismatch.
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	ring := c.Ring()
+	pos := make(map[id.ID]int, len(ring))
+	for i, x := range ring {
+		pos[x] = i
+	}
+	check := func() error {
+		for _, n := range c.Nodes {
+			i := pos[n.ID()]
+			wantSucc := ring[(i+1)%len(ring)]
+			wantPred := ring[(i+len(ring)-1)%len(ring)]
+			if got := n.Successor(); got.ID != wantSucc {
+				return fmt.Errorf("node %d successor %d, want %d", n.ID(), got.ID, wantSucc)
+			}
+			if p, ok := n.Predecessor(); !ok || p.ID != wantPred {
+				return fmt.Errorf("node %d predecessor %v (%t), want %d", n.ID(), p.ID, ok, wantPred)
+			}
+			got := n.Fingers()
+			want := ExpectedFingers(c.Space, ring, n.ID())
+			if len(got) != len(want) {
+				return fmt.Errorf("node %d has %d fingers, want %d", n.ID(), len(got), len(want))
+			}
+			for j := range got {
+				if got[j].ID != want[j] {
+					return fmt.Errorf("node %d finger %d is %d, want %d", n.ID(), j, got[j].ID, want[j])
+				}
+			}
+		}
+		return nil
+	}
+	var last error
+	for end := time.Now().Add(timeout); time.Now().Before(end); {
+		if last = check(); last == nil {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: not converged after %v: %w", timeout, last)
+}

@@ -64,6 +64,103 @@ func TestWindowedRetiresOldestFirst(t *testing.T) {
 	}
 }
 
+// A long idle gap — many more rotations than there are buckets, with
+// no observations at all — must drain the window to empty and leave it
+// fully usable: the live node rotates on a timer whether or not traffic
+// flowed, so an overnight-quiet node spins through hundreds of empty
+// rotations and then has to account fresh traffic exactly.
+func TestWindowedLongIdleGap(t *testing.T) {
+	const buckets = 4
+	w := NewWindowed(buckets)
+	for i := 0; i < 100; i++ {
+		w.Observe(id.ID(i % 7))
+	}
+	if w.Total() != 100 {
+		t.Fatalf("total %d before the gap", w.Total())
+	}
+	// Idle: 50 rotations spanning the ring many times over, never
+	// observing anything.
+	for r := 0; r < 50; r++ {
+		w.Rotate()
+	}
+	if w.Total() != 0 || len(w.Snapshot()) != 0 {
+		t.Fatalf("idle gap left residue: total %d, snapshot %v", w.Total(), w.Snapshot())
+	}
+	// The counter must come back exact after the gap.
+	w.Observe(id.ID(3))
+	w.Observe(id.ID(3))
+	w.Observe(id.ID(9))
+	if w.Count(3) != 2 || w.Count(9) != 1 || w.Total() != 3 {
+		t.Fatalf("post-gap counts: 3→%d 9→%d total %d", w.Count(3), w.Count(9), w.Total())
+	}
+	s := w.Snapshot()
+	if len(s) != 2 || s[0].Peer != 3 || s[0].Count != 2 {
+		t.Fatalf("post-gap snapshot %v", s)
+	}
+}
+
+// An observation landing exactly at a rotation boundary belongs to
+// whichever bucket is current at that instant, and its lifetime is
+// measured from that bucket: observed immediately *after* a rotation it
+// survives a full len(buckets) further rotations minus one; observed
+// immediately *before*, it is the oldest content and dies that much
+// sooner. The boundary must not double-count or skip.
+func TestWindowedRotationBoundaryCounts(t *testing.T) {
+	const buckets = 3
+	w := NewWindowed(buckets)
+
+	// Observed just before a rotation: the bucket it sits in becomes
+	// one rotation old immediately.
+	w.Observe(id.ID(1))
+	w.Rotate()
+	// Observed just after the same rotation: a full lifetime ahead.
+	w.Observe(id.ID(2))
+
+	// One more rotation: both still visible (ages 2 and 1 of 3).
+	w.Rotate()
+	if w.Count(1) != 1 || w.Count(2) != 1 {
+		t.Fatalf("after rotation: 1→%d 2→%d", w.Count(1), w.Count(2))
+	}
+	// Third rotation retires peer 1's bucket but not peer 2's.
+	w.Rotate()
+	if w.Count(1) != 0 {
+		t.Fatalf("peer observed pre-boundary survived %d rotations: count %d", buckets, w.Count(1))
+	}
+	if w.Count(2) != 1 {
+		t.Fatalf("peer observed post-boundary died early: count %d", w.Count(2))
+	}
+	if w.Total() != 1 {
+		t.Fatalf("total %d, want 1", w.Total())
+	}
+	// And one more retires peer 2 too.
+	w.Rotate()
+	if w.Count(2) != 0 || w.Total() != 0 {
+		t.Fatalf("peer 2 outlived its window: count %d total %d", w.Count(2), w.Total())
+	}
+}
+
+// Observations split across a rotation boundary for the same peer must
+// aggregate in Count/Snapshot while each half still expires on its own
+// schedule.
+func TestWindowedBoundarySplitAggregates(t *testing.T) {
+	w := NewWindowed(2)
+	w.Observe(id.ID(5))
+	w.Observe(id.ID(5))
+	w.Rotate()
+	w.Observe(id.ID(5))
+	if w.Count(5) != 3 {
+		t.Fatalf("split count %d, want 3", w.Count(5))
+	}
+	s := w.Snapshot()
+	if len(s) != 1 || s[0].Count != 3 {
+		t.Fatalf("split snapshot %v", s)
+	}
+	w.Rotate() // retires the two pre-boundary observations only
+	if w.Count(5) != 1 {
+		t.Fatalf("after retiring the old half: count %d, want 1", w.Count(5))
+	}
+}
+
 func TestWindowedResetAndDegenerate(t *testing.T) {
 	w := NewWindowed(0) // clamped to 1 bucket
 	w.Observe(id.ID(5))

@@ -1,0 +1,359 @@
+// Package memnet is an in-process datagram network: a switchboard that
+// routes packets between registered endpoints with seeded, per-link
+// fault injection. It exists so multi-node tests of the live runtime
+// (internal/node) can boot clusters of 50–100 nodes in one process —
+// no sockets, no port exhaustion, race detector on — and subject them
+// to the failure modes a real network serves up: loss, duplication,
+// latency jitter (and hence reordering), and partitions that appear and
+// heal mid-test.
+//
+// Endpoints satisfy internal/node's PacketConn contract structurally;
+// this package deliberately imports nothing from internal/node so the
+// node package's own tests can use it without an import cycle.
+//
+// # Fault model
+//
+// Faults are applied per directed link (sender address → receiver
+// address) at send time, each sampled from the network's single seeded
+// RNG:
+//
+//   - Drop: with probability Drop the datagram vanishes. The sender
+//     sees a successful write — exactly like UDP.
+//   - Duplicate: with probability Dup a second copy is delivered, with
+//     its own independently sampled delay.
+//   - Delay: each delivered copy waits a uniform duration in
+//     [MinDelay, MaxDelay] before arriving. Because each datagram
+//     samples independently, MaxDelay > MinDelay yields reordering;
+//     with both zero, delivery is synchronous and in order.
+//   - Partition: a named partition splits addresses into members and
+//     non-members; every datagram crossing the boundary (either
+//     direction) is blocked while the partition is up. Partitions are
+//     independent: a datagram passes only if no active partition
+//     separates its two endpoints. Heal removes one by name.
+//
+// Unroutable destinations and full receive queues silently drop the
+// datagram (counted in Stats), again matching UDP: the protocol layer's
+// timeout/retry policy is what handles delivery failure, and memnet
+// must not give tests a stronger network than production has.
+//
+// # Determinism
+//
+// All fault sampling draws from one RNG seeded at construction, under
+// the network mutex. Given a fixed seed and a deterministic order of
+// sends, the fault pattern is exactly reproducible. Concurrent senders
+// make the interleaving — and therefore which send draws which random
+// number — subject to goroutine scheduling, so cluster tests get
+// statistical determinism (same seed → same distribution, reliably
+// passing assertions) rather than bit-identical traces. Single-threaded
+// tests get full determinism.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// LinkPolicy is the fault profile of one directed link (or the default
+// for links without an override). The zero value is a perfect link:
+// instant, lossless, exactly-once.
+type LinkPolicy struct {
+	// Drop is the probability in [0,1] that a datagram is lost.
+	Drop float64
+	// Dup is the probability in [0,1] that a datagram is delivered
+	// twice.
+	Dup float64
+	// MinDelay and MaxDelay bound the uniform per-datagram latency.
+	// MaxDelay > MinDelay makes reordering possible.
+	MinDelay, MaxDelay time.Duration
+}
+
+// Stats counts what the switchboard did with the datagrams offered to
+// it. Delivered counts copies handed to a receiver queue (a duplicated
+// datagram that both arrives counts twice).
+type Stats struct {
+	Delivered  uint64 // copies enqueued at a receiver
+	Dropped    uint64 // lost to LinkPolicy.Drop
+	Duplicated uint64 // extra copies created by LinkPolicy.Dup
+	Blocked    uint64 // blocked by an active partition
+	Unroutable uint64 // destination address not registered (or closed)
+	Overflow   uint64 // receiver queue full
+}
+
+// inboxCap bounds each endpoint's receive queue, standing in for the
+// kernel's UDP socket buffer: a receiver that cannot drain fast enough
+// loses datagrams rather than exerting backpressure on senders.
+const inboxCap = 512
+
+type packet struct {
+	from string
+	data []byte
+}
+
+// Network is the switchboard. All methods are safe for concurrent use.
+type Network struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	endpoints  map[string]*Endpoint
+	def        LinkPolicy
+	links      map[[2]string]LinkPolicy
+	partitions map[string]map[string]bool // name → member set
+	nextAuto   int
+	stats      Stats
+}
+
+// New returns an empty network whose fault sampling derives from seed.
+func New(seed int64) *Network {
+	return &Network{
+		rng:        rand.New(rand.NewSource(seed)),
+		endpoints:  make(map[string]*Endpoint),
+		links:      make(map[[2]string]LinkPolicy),
+		partitions: make(map[string]map[string]bool),
+	}
+}
+
+// SetDefaultPolicy installs the fault profile used by every link
+// without a specific override. It applies to datagrams sent after the
+// call.
+func (n *Network) SetDefaultPolicy(p LinkPolicy) {
+	n.mu.Lock()
+	n.def = p
+	n.mu.Unlock()
+}
+
+// SetLinkPolicy overrides the fault profile of the directed link
+// from → to. Call it twice with the arguments swapped for a symmetric
+// fault.
+func (n *Network) SetLinkPolicy(from, to string, p LinkPolicy) {
+	n.mu.Lock()
+	n.links[[2]string{from, to}] = p
+	n.mu.Unlock()
+}
+
+// Partition raises (or replaces) the named partition: datagrams
+// between a member and a non-member are blocked in both directions
+// until Heal(name). Members keep talking to members, non-members to
+// non-members. Multiple named partitions compose: a datagram passes
+// only if no active partition separates its endpoints.
+func (n *Network) Partition(name string, members ...string) {
+	set := make(map[string]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	n.mu.Lock()
+	n.partitions[name] = set
+	n.mu.Unlock()
+}
+
+// Heal removes the named partition. Healing a partition that is not up
+// is a no-op.
+func (n *Network) Heal(name string) {
+	n.mu.Lock()
+	delete(n.partitions, name)
+	n.mu.Unlock()
+}
+
+// Stats returns a snapshot of the delivery counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Listen registers a new endpoint under addr, or under an
+// auto-assigned "mem/N" address when addr is empty. Registering an
+// address that is already bound is an error (unlike a real bind there
+// is no SO_REUSEADDR escape hatch — a clash in a test is a bug).
+func (n *Network) Listen(addr string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		addr = fmt.Sprintf("mem/%d", n.nextAuto)
+		n.nextAuto++
+	}
+	if _, taken := n.endpoints[addr]; taken {
+		return nil, fmt.Errorf("memnet: address %q already bound", addr)
+	}
+	e := &Endpoint{
+		net:   n,
+		addr:  addr,
+		inbox: make(chan packet, inboxCap),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[addr] = e
+	return e, nil
+}
+
+// CloseAll closes every registered endpoint, for test cleanup.
+func (n *Network) CloseAll() {
+	n.mu.Lock()
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, e := range n.endpoints {
+		eps = append(eps, e)
+	}
+	n.mu.Unlock()
+	for _, e := range eps {
+		e.Close()
+	}
+}
+
+// separated reports whether any active partition puts a and b on
+// opposite sides. Caller holds n.mu.
+func (n *Network) separated(a, b string) bool {
+	for _, set := range n.partitions {
+		if set[a] != set[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// route applies the fault model to one datagram from src to dst and
+// schedules the surviving copies for delivery.
+func (n *Network) route(src, dst string, data []byte) {
+	n.mu.Lock()
+	e, ok := n.endpoints[dst]
+	if !ok || e.isClosed() {
+		n.stats.Unroutable++
+		n.mu.Unlock()
+		return
+	}
+	if n.separated(src, dst) {
+		n.stats.Blocked++
+		n.mu.Unlock()
+		return
+	}
+	pol, ok := n.links[[2]string{src, dst}]
+	if !ok {
+		pol = n.def
+	}
+	if pol.Drop > 0 && n.rng.Float64() < pol.Drop {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	copies := 1
+	if pol.Dup > 0 && n.rng.Float64() < pol.Dup {
+		copies = 2
+		n.stats.Duplicated++
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		delays[i] = pol.MinDelay
+		if jitter := pol.MaxDelay - pol.MinDelay; jitter > 0 {
+			delays[i] += time.Duration(n.rng.Int63n(int64(jitter) + 1))
+		}
+	}
+	n.mu.Unlock()
+
+	// The receiver keeps its own copy: the sender is free to reuse its
+	// buffer the moment WriteTo returns, exactly as with a socket.
+	p := packet{from: src, data: append([]byte(nil), data...)}
+	for i, d := range delays {
+		pkt := p
+		if i > 0 {
+			// Independent copy for the duplicate so a receiver
+			// mutating one datagram in place cannot corrupt the other.
+			pkt.data = append([]byte(nil), data...)
+		}
+		if d == 0 {
+			e.enqueue(pkt)
+		} else {
+			time.AfterFunc(d, func() { e.enqueue(pkt) })
+		}
+	}
+}
+
+// Endpoint is one bound address on the network. It satisfies
+// internal/node's PacketConn contract.
+type Endpoint struct {
+	net  *Network
+	addr string
+
+	inbox chan packet
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// LocalAddr returns the address the endpoint is registered under.
+func (e *Endpoint) LocalAddr() string { return e.addr }
+
+// ReadFrom blocks for the next datagram, copies it into p (truncating
+// like recvfrom if p is too small), and returns the sender's address.
+// After Close it returns an error wrapping net.ErrClosed.
+func (e *Endpoint) ReadFrom(p []byte) (int, string, error) {
+	select {
+	case pkt := <-e.inbox:
+		return copy(p, pkt.data), pkt.from, nil
+	case <-e.done:
+		return 0, "", fmt.Errorf("memnet: read %s: %w", e.addr, net.ErrClosed)
+	}
+}
+
+// WriteTo offers one datagram to the switchboard. The returned length
+// is always len(p) on success: loss, blocking, and unroutability are
+// invisible to the sender, as over UDP.
+func (e *Endpoint) WriteTo(p []byte, addr string) (int, error) {
+	if e.isClosed() {
+		return 0, fmt.Errorf("memnet: write %s: %w", e.addr, net.ErrClosed)
+	}
+	e.net.route(e.addr, addr, p)
+	return len(p), nil
+}
+
+// isClosed reports whether Close has run, via the done channel — safe
+// from any goroutine without touching e.mu (which Close holds while
+// arranging shutdown).
+func (e *Endpoint) isClosed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close deregisters the endpoint: blocked and future ReadFrom calls
+// return net.ErrClosed, future WriteTo calls fail, and datagrams in
+// flight toward it are counted Unroutable. Idempotent.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}
+
+// enqueue appends one delivered packet to the inbox, dropping it when
+// the queue is full or the endpoint has closed.
+func (e *Endpoint) enqueue(pkt packet) {
+	select {
+	case <-e.done:
+		e.net.mu.Lock()
+		e.net.stats.Unroutable++
+		e.net.mu.Unlock()
+		return
+	default:
+	}
+	select {
+	case e.inbox <- pkt:
+		e.net.mu.Lock()
+		e.net.stats.Delivered++
+		e.net.mu.Unlock()
+	default:
+		e.net.mu.Lock()
+		e.net.stats.Overflow++
+		e.net.mu.Unlock()
+	}
+}

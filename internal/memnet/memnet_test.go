@@ -1,0 +1,398 @@
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func mustListen(t *testing.T, n *Network, addr string) *Endpoint {
+	t.Helper()
+	e, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// A perfect (zero-policy) link delivers every datagram, in order, with
+// the sender's address attached.
+func TestPerfectLinkDeliversInOrder(t *testing.T) {
+	n := New(1)
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	for i := 0; i < 100; i++ {
+		if _, err := a.WriteTo([]byte{byte(i)}, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	for i := 0; i < 100; i++ {
+		got, from, err := b.ReadFrom(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if from != "a" || got != 1 || buf[0] != byte(i) {
+			t.Fatalf("datagram %d: got %d bytes %v from %q", i, got, buf[:got], from)
+		}
+	}
+	if s := n.Stats(); s.Delivered != 100 || s.Dropped+s.Blocked+s.Duplicated+s.Unroutable+s.Overflow != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// The receiver must own its bytes: mutating the sender's buffer after
+// WriteTo must not corrupt the delivered datagram.
+func TestDeliveryCopiesData(t *testing.T) {
+	n := New(1)
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	msg := []byte("payload")
+	a.WriteTo(msg, "b")
+	copy(msg, "clobber")
+	buf := make([]byte, 16)
+	got, _, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:got]) != "payload" {
+		t.Fatalf("delivered %q", buf[:got])
+	}
+}
+
+// Drop loss is sampled from the seeded RNG: the same seed must lose the
+// same datagrams, and the loss count must be near the configured rate.
+func TestDropIsSeededAndDeterministic(t *testing.T) {
+	deliveredPattern := func(seed int64) []bool {
+		n := New(seed)
+		n.SetDefaultPolicy(LinkPolicy{Drop: 0.5})
+		a, _ := n.Listen("a")
+		b, _ := n.Listen("b")
+		defer a.Close()
+		defer b.Close()
+		var pattern []bool
+		for i := 0; i < 400; i++ {
+			a.WriteTo([]byte{1}, "b")
+			select {
+			case <-b.inbox:
+				pattern = append(pattern, true)
+			default:
+				pattern = append(pattern, false)
+			}
+		}
+		return pattern
+	}
+	p1, p2 := deliveredPattern(42), deliveredPattern(42)
+	delivered := 0
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed diverged at datagram %d", i)
+		}
+		if p1[i] {
+			delivered++
+		}
+	}
+	if delivered < 140 || delivered > 260 {
+		t.Fatalf("drop 0.5 delivered %d/400", delivered)
+	}
+	p3 := deliveredPattern(43)
+	same := 0
+	for i := range p1 {
+		if p1[i] == p3[i] {
+			same++
+		}
+	}
+	if same == len(p1) {
+		t.Fatal("different seeds produced identical loss patterns")
+	}
+}
+
+// Dup 1.0 delivers exactly two copies of every datagram.
+func TestDuplication(t *testing.T) {
+	n := New(7)
+	n.SetDefaultPolicy(LinkPolicy{Dup: 1.0})
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	const sent = 20
+	for i := 0; i < sent; i++ {
+		a.WriteTo([]byte{byte(i)}, "b")
+	}
+	buf := make([]byte, 4)
+	counts := make(map[byte]int)
+	for i := 0; i < 2*sent; i++ {
+		got, _, err := b.ReadFrom(buf)
+		if err != nil || got != 1 {
+			t.Fatalf("read %d: n=%d err=%v", i, got, err)
+		}
+		counts[buf[0]]++
+	}
+	for i := 0; i < sent; i++ {
+		if counts[byte(i)] != 2 {
+			t.Fatalf("datagram %d delivered %d times", i, counts[byte(i)])
+		}
+	}
+	if s := n.Stats(); s.Duplicated != sent || s.Delivered != 2*sent {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// Latency jitter must reorder an in-order burst (seed chosen so it
+// does) while losing nothing.
+func TestJitterReorders(t *testing.T) {
+	n := New(3)
+	n.SetDefaultPolicy(LinkPolicy{MinDelay: 0, MaxDelay: 10 * time.Millisecond})
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	const sent = 50
+	for i := 0; i < sent; i++ {
+		a.WriteTo([]byte{byte(i)}, "b")
+	}
+	buf := make([]byte, 4)
+	var order []byte
+	for i := 0; i < sent; i++ {
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, buf[0])
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatalf("10ms jitter produced no reordering: %v", order)
+	}
+}
+
+// A named partition blocks exactly the links that cross it, in both
+// directions, and healing restores them.
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(5)
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	c := mustListen(t, n, "c")
+	buf := make([]byte, 4)
+
+	expect := func(e *Endpoint, want string) {
+		t.Helper()
+		got, from, err := e.ReadFrom(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if from != want || got != 1 {
+			t.Fatalf("got %d bytes from %q, want %q", got, from, want)
+		}
+	}
+	expectNothing := func(e *Endpoint) {
+		t.Helper()
+		select {
+		case pkt := <-e.inbox:
+			t.Fatalf("unexpected delivery from %q", pkt.from)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	n.Partition("cut", "a")
+	a.WriteTo([]byte{1}, "b") // member → non-member: blocked
+	b.WriteTo([]byte{2}, "a") // non-member → member: blocked
+	expectNothing(b)
+	expectNothing(a)
+	b.WriteTo([]byte{3}, "c") // both outside: flows
+	expect(c, "b")
+	if s := n.Stats(); s.Blocked != 2 {
+		t.Fatalf("blocked %d, want 2", s.Blocked)
+	}
+
+	n.Heal("cut")
+	a.WriteTo([]byte{4}, "b")
+	expect(b, "a")
+	b.WriteTo([]byte{5}, "a")
+	expect(a, "b")
+}
+
+// Independent partitions compose: a datagram passes only when no active
+// partition separates the endpoints.
+func TestPartitionsCompose(t *testing.T) {
+	n := New(5)
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	n.Partition("p1", "a", "b") // a,b together
+	n.Partition("p2", "a")      // but p2 separates them
+	a.WriteTo([]byte{1}, "b")
+	select {
+	case <-b.inbox:
+		t.Fatal("datagram crossed an active partition")
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Heal("p2")
+	a.WriteTo([]byte{2}, "b")
+	buf := make([]byte, 4)
+	if _, from, err := b.ReadFrom(buf); err != nil || from != "a" {
+		t.Fatalf("after heal: from=%q err=%v", from, err)
+	}
+}
+
+// Per-link overrides beat the default policy, per direction.
+func TestLinkPolicyOverride(t *testing.T) {
+	n := New(9)
+	n.SetDefaultPolicy(LinkPolicy{Drop: 1.0})
+	n.SetLinkPolicy("a", "b", LinkPolicy{}) // a→b perfect, b→a defaults to total loss
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	a.WriteTo([]byte{1}, "b")
+	buf := make([]byte, 4)
+	if _, from, err := b.ReadFrom(buf); err != nil || from != "a" {
+		t.Fatalf("override link: from=%q err=%v", from, err)
+	}
+	b.WriteTo([]byte{2}, "a")
+	select {
+	case <-a.inbox:
+		t.Fatal("reverse direction ignored the default drop policy")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// Close semantics: blocked readers unblock with net.ErrClosed, writes
+// fail, in-flight datagrams toward a closed endpoint count Unroutable,
+// and double close is a no-op.
+func TestCloseSemantics(t *testing.T) {
+	n := New(11)
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+
+	readErr := make(chan error, 1)
+	go func() {
+		_, _, err := a.ReadFrom(make([]byte, 4))
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("blocked read returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock ReadFrom")
+	}
+	if _, err := a.WriteTo([]byte{1}, "b"); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write on closed endpoint: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	b.WriteTo([]byte{1}, "a")
+	if s := n.Stats(); s.Unroutable != 1 {
+		t.Fatalf("send to closed endpoint: stats %+v", s)
+	}
+	// The address is free again.
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatalf("rebinding closed address: %v", err)
+	}
+}
+
+// Listen enforces unique addresses and auto-assigns when asked.
+func TestListenAddresses(t *testing.T) {
+	n := New(13)
+	mustListen(t, n, "x")
+	if _, err := n.Listen("x"); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+	e1 := mustListen(t, n, "")
+	e2 := mustListen(t, n, "")
+	if e1.LocalAddr() == e2.LocalAddr() {
+		t.Fatalf("auto-assigned addresses collide: %q", e1.LocalAddr())
+	}
+}
+
+// A receiver that never drains loses datagrams past the queue bound
+// instead of blocking its senders.
+func TestOverflowDropsInsteadOfBlocking(t *testing.T) {
+	n := New(17)
+	a := mustListen(t, n, "a")
+	mustListen(t, n, "b")
+	const sent = inboxCap + 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < sent; i++ {
+			a.WriteTo([]byte{1}, "b")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender blocked on a full receiver")
+	}
+	s := n.Stats()
+	if s.Overflow != 50 || s.Delivered != inboxCap {
+		t.Fatalf("stats %+v, want %d delivered / 50 overflow", s, inboxCap)
+	}
+}
+
+// Sending to an address nobody bound is silently dropped, like UDP to a
+// dead port.
+func TestUnroutable(t *testing.T) {
+	n := New(19)
+	a := mustListen(t, n, "a")
+	if _, err := a.WriteTo([]byte{1}, "ghost"); err != nil {
+		t.Fatalf("unroutable send errored: %v", err)
+	}
+	if s := n.Stats(); s.Unroutable != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// Concurrent traffic through the switchboard must be race-free and lose
+// nothing on perfect links (smoke test for -race).
+func TestConcurrentTraffic(t *testing.T) {
+	n := New(23)
+	const peers = 8
+	eps := make([]*Endpoint, peers)
+	for i := range eps {
+		eps[i] = mustListen(t, n, fmt.Sprintf("p%d", i))
+	}
+	const each = 50
+	errs := make(chan error, 2*peers)
+	for i := range eps {
+		go func(i int) {
+			for q := 0; q < each; q++ {
+				dst := fmt.Sprintf("p%d", (i+1+q%(peers-1))%peers)
+				if _, err := eps[i].WriteTo([]byte{byte(i)}, dst); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := range eps {
+		go func(i int) {
+			buf := make([]byte, 4)
+			for q := 0; q < each; q++ {
+				if _, _, err := eps[i].ReadFrom(buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < 2*peers; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("concurrent traffic deadlocked")
+		}
+	}
+}

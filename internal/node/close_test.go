@@ -1,0 +1,139 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/wire"
+)
+
+// memConfig is fastConfig over an in-process memnet network instead of
+// a UDP socket.
+func memConfig(nw *memnet.Network, space id.Space, x id.ID) Config {
+	cfg := fastConfig(space, x)
+	cfg.Addr = fmt.Sprintf("mem/%d", uint64(x))
+	cfg.Listen = func(addr string) (PacketConn, error) { return nw.Listen(addr) }
+	return cfg
+}
+
+// Close must tear the node down completely — every goroutine it started
+// (read loop, tickers, and any RPC they were blocked in) must exit —
+// even when called while RPCs are in flight against a peer that will
+// never answer. The goroutine-count assertion is the leak detector; the
+// documented shutdown ordering in Node.Close is what makes it pass.
+func TestCloseNoGoroutineLeaksWithInflightRPCs(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	space := id.NewSpace(16)
+	nw := memnet.New(1)
+	const numNodes = 8
+	nodes := make([]*Node, numNodes)
+	for i := range nodes {
+		cfg := memConfig(nw, space, id.ID(1000*(i+1)))
+		cfg.RPCTimeout = 10 * time.Second // in-flight calls must be cut short by Close, not by expiry
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+
+	// Park several RPCs per node against a blackhole address (memnet
+	// silently drops unroutable datagrams, so the calls sit blocked in
+	// their response wait).
+	var wg sync.WaitGroup
+	errs := make(chan error, numNodes*4)
+	for _, n := range nodes {
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func(n *Node) {
+				defer wg.Done()
+				_, err := n.call("mem/blackhole", &wire.Message{Type: wire.TPing})
+				errs <- err
+			}(n)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let the calls reach their blocked select
+
+	start := time.Now()
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("close with in-flight RPCs took %v; calls were not cut short", elapsed)
+	}
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("in-flight call returned %v, want ErrClosed", err)
+		}
+	}
+
+	// Double close stays a no-op, and post-close RPCs fail immediately.
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+		if _, err := n.call("mem/blackhole", &wire.Message{Type: wire.TPing}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-close call returned %v, want ErrClosed", err)
+		}
+	}
+
+	// Every node goroutine must be gone. Poll briefly: runtime
+	// bookkeeping (timer goroutines, the race runtime) can lag a tick
+	// behind the Close returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines before %d, after close %d\n%s", before, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// A node shutting down while peers keep sending to it must not answer
+// after Close: the peer's datagrams land unroutable and its RPCs time
+// out, it does not hang or crash.
+func TestCloseStopsAnswering(t *testing.T) {
+	space := id.NewSpace(16)
+	nw := memnet.New(2)
+	a, err := Start(memConfig(nw, space, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Start(memConfig(nw, space, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// b answers while alive...
+	if _, err := a.call(b.Addr(), &wire.Message{Type: wire.TPing}); err != nil {
+		t.Fatalf("ping live peer: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and is deaf after Close: the RPC must exhaust its attempts.
+	if _, err := a.call(b.Addr(), &wire.Message{Type: wire.TPing}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ping closed peer returned %v, want ErrTimeout", err)
+	}
+}

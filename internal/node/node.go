@@ -1,16 +1,23 @@
 // Package node is the live counterpart of the discrete-event simulators:
-// a real UDP-based Chord node hosting the paper's peer-caching layer.
-// Where internal/chordproto exchanges messages inside internal/sim's
-// virtual clock, a node.Node binds a socket, runs the join / stabilize /
-// notify / fix-fingers maintenance protocol as goroutine tickers against
-// wall-clock time, answers iterative find-successor steps from peers,
-// and — the point of the exercise — observes its own lookup traffic in
-// a frequency counter and periodically recomputes the optimal auxiliary
-// neighbor set (eq. 1, via core.SelectChordFast inside a
-// core.ChordMaintainer), splicing the result into every routing
-// decision it makes or answers.
+// a real datagram-based Chord node hosting the paper's peer-caching
+// layer. Where internal/chordproto exchanges messages inside
+// internal/sim's virtual clock, a node.Node opens a datagram endpoint,
+// runs the join / stabilize / notify / fix-fingers maintenance protocol
+// as goroutine tickers against wall-clock time, answers iterative
+// find-successor steps from peers, and — the point of the exercise —
+// observes its own lookup traffic in a frequency counter and
+// periodically recomputes the optimal auxiliary neighbor set (eq. 1,
+// via core.SelectChordFast inside a core.ChordMaintainer), splicing the
+// result into every routing decision it makes or answers.
 //
-// Concurrency model: one goroutine reads the socket and handles
+// The transport is pluggable: everything here depends only on the
+// PacketConn contract (packetconn.go). Production nodes run over real
+// UDP sockets via ListenUDP (cmd/p2pnode selects it; it is also the
+// default); tests run 50+ node clusters in one process over
+// internal/memnet's fault-injecting switchboard, which satisfies the
+// same contract.
+//
+// Concurrency model: one goroutine reads the endpoint and handles
 // requests inline (handlers only touch the mutex-guarded routing table
 // and write one reply datagram, so the read loop never blocks on
 // protocol work); responses are correlated to blocked RPC callers
@@ -21,7 +28,7 @@ package node
 
 import (
 	"fmt"
-	"net"
+	"math/rand"
 	"slices"
 	"sort"
 	"sync"
@@ -40,7 +47,8 @@ type Config struct {
 	Space id.Space
 	// ID is the node's ring identifier (must fit in Space).
 	ID id.ID
-	// Addr is the UDP listen address (default "127.0.0.1:0").
+	// Addr is the listen address, interpreted by the Listen provider
+	// (default "127.0.0.1:0", an ephemeral UDP port under ListenUDP).
 	Addr string
 	// Advertise overrides the address told to peers (default: the
 	// bound address). Needed when binding a wildcard address.
@@ -76,6 +84,16 @@ type Config struct {
 	RPCRetries int
 	// MaxLookupHops aborts runaway lookups (default 64).
 	MaxLookupHops int
+
+	// Listen opens the node's datagram endpoint (default ListenUDP,
+	// the real-socket provider). Tests swap in memnet to run whole
+	// clusters in one process; Addr is interpreted by the provider.
+	Listen Listener
+	// DisableHealProbe turns off the per-stabilize probe of one random
+	// cached contact. The probe is what lets two rings that diverged
+	// during a network partition merge again after it heals; disable
+	// it only in tests that need a fully quiescent node.
+	DisableHealProbe bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -118,6 +136,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxLookupHops == 0 {
 		c.MaxLookupHops = 64
 	}
+	if c.Listen == nil {
+		c.Listen = ListenUDP
+	}
 	return c, nil
 }
 
@@ -147,6 +168,11 @@ type Node struct {
 	lastCore   []id.ID // sorted; avoids invalidating the maintainer's cache on no-op SetCore
 	nextFinger uint
 
+	// probeRNG picks the heal-probe target. Only the stabilize ticker
+	// goroutine touches it, so it needs no lock; seeding it from the
+	// node id keeps multi-node tests reproducible.
+	probeRNG *rand.Rand
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -157,7 +183,8 @@ type Node struct {
 	auxRecomps  atomic.Uint64
 }
 
-// Start binds the UDP socket, starts the read loop and the maintenance
+// Start opens the datagram endpoint through the configured Listener
+// (real UDP by default), starts the read loop and the maintenance
 // tickers, and returns the node as a ring of one. Call Join to enter an
 // existing overlay.
 func Start(cfg Config) (*Node, error) {
@@ -165,27 +192,24 @@ func Start(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	laddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("node: listen address %q: %w", cfg.Addr, err)
-	}
-	conn, err := net.ListenUDP("udp", laddr)
+	conn, err := cfg.Listen(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 	adv := cfg.Advertise
 	if adv == "" {
-		adv = conn.LocalAddr().String()
+		adv = conn.LocalAddr()
 	}
 	if len(adv) > wire.MaxAddrLen {
 		conn.Close()
 		return nil, fmt.Errorf("node: advertise address %q exceeds %d bytes", adv, wire.MaxAddrLen)
 	}
 	n := &Node{
-		cfg:    cfg,
-		self:   wire.Contact{ID: cfg.ID, Addr: adv},
-		stop:   make(chan struct{}),
-		window: freq.NewWindowed(cfg.WindowBuckets),
+		cfg:      cfg,
+		self:     wire.Contact{ID: cfg.ID, Addr: adv},
+		stop:     make(chan struct{}),
+		window:   freq.NewWindowed(cfg.WindowBuckets),
+		probeRNG: rand.New(rand.NewSource(int64(cfg.ID) + 1)),
 	}
 	n.tbl = newTable(cfg.Space, n.self, cfg.SuccessorListLen)
 	n.maint, err = core.NewChordMaintainerWithCounter(cfg.Space, cfg.ID, nil, cfg.AuxCount, cfg.DriftThreshold, n.window)
@@ -224,8 +248,24 @@ func (n *Node) ticker(period time.Duration, fn func()) {
 	}()
 }
 
-// Close stops the maintenance loops and shuts the socket down. Safe to
-// call more than once.
+// Close stops the maintenance loops and shuts the endpoint down. Safe
+// to call more than once, and safe to call while RPCs are in flight.
+//
+// Shutdown ordering, which the goroutine-leak test in close_test.go
+// pins down:
+//
+//  1. n.stop is closed: every ticker goroutine exits at its next select.
+//  2. The transport closes its done channel, so every RPC currently
+//     blocked in call — including ones issued by a ticker mid-round —
+//     returns ErrClosed immediately instead of waiting out its timeout.
+//  3. The endpoint is closed, unblocking the read loop's ReadFrom, and
+//     the transport waits for the read loop to return.
+//  4. n.wg.Wait() collects the ticker goroutines (now unblocked by 2).
+//
+// After Close returns, no goroutine started by this node survives and
+// no new datagram can be sent: transport.send and call both fail
+// against the closed endpoint, so a straggling caller cannot write to
+// the network post-close.
 func (n *Node) Close() error {
 	var err error
 	n.stopOnce.Do(func() {
@@ -239,7 +279,7 @@ func (n *Node) Close() error {
 // ID returns the node's ring identifier.
 func (n *Node) ID() id.ID { return n.self.ID }
 
-// Addr returns the advertised UDP address.
+// Addr returns the advertised transport address.
 func (n *Node) Addr() string { return n.self.Addr }
 
 // Contact returns the node's own contact.
@@ -247,6 +287,9 @@ func (n *Node) Contact() wire.Contact { return n.self }
 
 // Successor returns the current immediate successor.
 func (n *Node) Successor() wire.Contact { return n.tbl.successor() }
+
+// Successors returns a copy of the successor list, nearest first.
+func (n *Node) Successors() []wire.Contact { return n.tbl.succList() }
 
 // Predecessor returns the current predecessor pointer.
 func (n *Node) Predecessor() (wire.Contact, bool) { return n.tbl.predecessor() }
@@ -309,7 +352,7 @@ func (n *Node) Join(bootstrap string) error {
 
 // handle processes one incoming request on the read-loop goroutine. It
 // must not block: local state plus one reply datagram only.
-func (n *Node) handle(m *wire.Message, src *net.UDPAddr) {
+func (n *Node) handle(m *wire.Message, src string) {
 	n.tbl.noteContact(m.From)
 	resp := &wire.Message{MsgID: m.MsgID, From: n.self}
 	switch m.Type {
@@ -432,8 +475,11 @@ func (n *Node) Lookup(key id.ID) (wire.Contact, int, error) {
 // its predecessor when that node sits between), notify it, rebuild the
 // successor list from its list, and ping the predecessor and every
 // auxiliary entry — Section III's point that auxiliary neighbors ride
-// the same ping process as core ones.
+// the same ping process as core ones. Each round ends with a heal
+// probe (healProbe) so rings separated by a network partition find each
+// other again once it lifts.
 func (n *Node) stabilize() {
+	defer n.healProbe()
 	s := n.tbl.successor()
 	if s.ID == n.self.ID {
 		// Ring of one: adopt any known predecessor as successor.
@@ -481,6 +527,44 @@ func (n *Node) stabilize() {
 		if _, err := n.call(a.Addr, &wire.Message{Type: wire.TPing}); err != nil {
 			n.tbl.removeAux(a.ID)
 		}
+	}
+}
+
+// healProbe pings one random contact from the address cache and, if it
+// answers and sits between this node and its current successor, adopts
+// it as the new successor. This is the partition-repair mechanism:
+// stabilize and notify only ever talk to nodes already in the routing
+// state, so two rings that diverged while a partition was up would
+// otherwise never re-merge — every node of each ring is perfectly happy
+// with its own subring. The cache still remembers contacts from before
+// the split, and once a single probe re-adopts a cross-ring successor,
+// the ordinary stabilize/notify rounds propagate the merge exactly as
+// they integrate concurrent joins. A node that has collapsed to a ring
+// of one adopts any live probed contact, which also re-enters a node
+// that was fully isolated.
+//
+// The probe is a single attempt (no retries) so a dead or unreachable
+// cache entry costs at most one RPCTimeout per stabilize round.
+func (n *Node) healProbe() {
+	if n.cfg.DisableHealProbe {
+		return
+	}
+	c, ok := n.tbl.randomCached(n.probeRNG)
+	if !ok {
+		return
+	}
+	resp, err := n.tr.call(c.Addr, &wire.Message{Type: wire.TPing}, n.cfg.RPCTimeout, 0)
+	if err != nil {
+		return
+	}
+	live := resp.From
+	if live.IsZero() || live.ID == n.self.ID || live.Addr == "" {
+		return
+	}
+	n.tbl.noteContact(live)
+	s := n.tbl.successor()
+	if s.ID == n.self.ID || n.cfg.Space.Between(live.ID, n.self.ID, s.ID) {
+		n.tbl.adoptSuccessor(live)
 	}
 }
 

@@ -1,0 +1,95 @@
+package node
+
+import (
+	"fmt"
+	"net"
+)
+
+// PacketConn is the datagram transport the node runtime depends on. It
+// is the seam between the protocol machinery (transport.go, node.go) and
+// the medium datagrams actually cross: production nodes run over real
+// UDP sockets (ListenUDP, selected by cmd/p2pnode), while tests run
+// whole clusters over internal/memnet's in-process switchboard, which
+// satisfies this interface structurally without importing this package.
+//
+// Addresses are opaque strings. The runtime never parses them — it only
+// compares them and hands them back to WriteTo — so a provider is free
+// to use "host:port", "mem/7", or anything else, as long as the string
+// a peer advertises (its LocalAddr) routes back to it on the same
+// network.
+//
+// Semantics every provider must honor, because the retry and shutdown
+// logic is built on them:
+//
+//   - Delivery is best-effort and unordered, like UDP. Loss, duplication
+//     and reordering are all legal; the transport's timeout/retry policy
+//     and MsgID correlation absorb them.
+//   - ReadFrom blocks until a datagram arrives or the endpoint is
+//     closed; after Close it must return an error satisfying
+//     errors.Is(err, net.ErrClosed) so the read loop knows to exit
+//     rather than spin.
+//   - WriteTo never blocks indefinitely. A send the network cannot
+//     deliver (unroutable address, full receiver) is dropped, not an
+//     error — over a datagram network a failed send and a lost packet
+//     are indistinguishable to the caller anyway.
+//   - Close unblocks any in-flight ReadFrom and makes subsequent
+//     WriteTo calls fail; it is idempotent.
+type PacketConn interface {
+	// ReadFrom blocks for the next datagram, copies it into p, and
+	// returns its length and the sender's address.
+	ReadFrom(p []byte) (n int, from string, err error)
+	// WriteTo sends one datagram to addr, best-effort.
+	WriteTo(p []byte, addr string) (n int, err error)
+	// LocalAddr returns the bound address peers can reach this
+	// endpoint at.
+	LocalAddr() string
+	// Close shuts the endpoint down, unblocking ReadFrom.
+	Close() error
+}
+
+// Listener opens a PacketConn bound to addr. Config.Listen takes one;
+// ListenUDP is the production implementation.
+type Listener func(addr string) (PacketConn, error)
+
+// ListenUDP is the real-network provider: it binds a UDP socket and
+// adapts *net.UDPConn to the PacketConn contract. cmd/p2pnode selects
+// it explicitly; it is also the default when Config.Listen is nil, so
+// library users keep the PR-1 behavior unchanged.
+func ListenUDP(addr string) (PacketConn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen address %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return &udpConn{conn: conn}, nil
+}
+
+// udpConn adapts *net.UDPConn. Address strings are the usual
+// "host:port" form; WriteTo re-resolves them per send, which for
+// literal ip:port strings is a cheap parse (no DNS).
+type udpConn struct {
+	conn *net.UDPConn
+}
+
+func (u *udpConn) ReadFrom(p []byte) (int, string, error) {
+	n, src, err := u.conn.ReadFromUDP(p)
+	if err != nil {
+		return n, "", err
+	}
+	return n, src.String(), nil
+}
+
+func (u *udpConn) WriteTo(p []byte, addr string) (int, error) {
+	dst, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("node: send to %q: %w", addr, err)
+	}
+	return u.conn.WriteToUDP(p, dst)
+}
+
+func (u *udpConn) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+func (u *udpConn) Close() error { return u.conn.Close() }

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"math/rand"
 	"sync"
 
 	"peercache/internal/id"
@@ -9,8 +10,8 @@ import (
 
 // table is the node's mutex-guarded routing state: successor list,
 // predecessor, finger table, auxiliary neighbors, and a contact cache
-// mapping every id the node has ever heard from to its last known UDP
-// address (the live-network analogue of the simulator's global node
+// mapping every id the node has ever heard from to its last known
+// transport address (the live-network analogue of the simulator's global node
 // map — without it a freshly selected auxiliary id would be
 // unroutable). Methods take the lock briefly and never perform I/O, so
 // the packet handler can call them from the read loop.
@@ -53,6 +54,23 @@ func (t *table) noteContact(c wire.Contact) {
 	t.mu.Lock()
 	t.addrs[c.ID] = c.Addr
 	t.mu.Unlock()
+}
+
+// randomCached reservoir-samples one contact from the address cache
+// (the heal probe's candidate pool: every peer the node has ever heard
+// from, including ones long dropped from the routing state).
+func (t *table) randomCached(rng *rand.Rand) (wire.Contact, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var pick wire.Contact
+	i := 0
+	for x, addr := range t.addrs {
+		if rng.Intn(i+1) == 0 {
+			pick = wire.Contact{ID: x, Addr: addr}
+		}
+		i++
+	}
+	return pick, i > 0
 }
 
 // addrOf returns the cached address for x.

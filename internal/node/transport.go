@@ -20,19 +20,23 @@ var (
 	ErrClosed = errors.New("node: closed")
 )
 
-// transport owns the UDP socket: a single read loop decodes datagrams
-// and routes responses to the inflight waiter registered under their
-// MsgID, while requests go to the node's handler. RPCs are synchronous
-// for the caller — register a waiter, send, block on the waiter channel
-// with a timeout — but any number may be in flight concurrently, and
-// the read loop itself never blocks on protocol work (handlers only
-// touch local state and write one reply datagram).
+// transport owns the datagram endpoint: a single read loop decodes
+// datagrams and routes responses to the inflight waiter registered under
+// their MsgID, while requests go to the node's handler. RPCs are
+// synchronous for the caller — register a waiter, send, block on the
+// waiter channel with a timeout — but any number may be in flight
+// concurrently, and the read loop itself never blocks on protocol work
+// (handlers only touch local state and write one reply datagram).
+//
+// The transport is medium-agnostic: it speaks only PacketConn, so the
+// same correlation/retry machinery runs unchanged over a real UDP
+// socket or memnet's in-process fault-injecting switchboard.
 type transport struct {
-	conn *net.UDPConn
+	conn PacketConn
 	self wire.Contact
 	// handler processes incoming requests; set before the read loop
 	// starts and never changed.
-	handler func(m *wire.Message, src *net.UDPAddr)
+	handler func(m *wire.Message, src string)
 
 	mu       sync.Mutex
 	inflight map[uint64]chan *wire.Message
@@ -51,7 +55,7 @@ type transport struct {
 	timeouts     atomic.Uint64
 }
 
-func newTransport(conn *net.UDPConn, self wire.Contact, handler func(*wire.Message, *net.UDPAddr)) *transport {
+func newTransport(conn PacketConn, self wire.Contact, handler func(*wire.Message, string)) *transport {
 	return &transport{
 		conn:     conn,
 		self:     self,
@@ -69,15 +73,15 @@ func (t *transport) start() {
 	go t.readLoop()
 }
 
-// readLoop is the node's only socket reader. A response datagram claims
-// (and deregisters) its waiter; delivery cannot block because each
-// waiter channel has capacity 1 and is sent to at most once — whoever
-// deletes the map entry owns the send.
+// readLoop is the node's only endpoint reader. A response datagram
+// claims (and deregisters) its waiter; delivery cannot block because
+// each waiter channel has capacity 1 and is sent to at most once —
+// whoever deletes the map entry owns the send.
 func (t *transport) readLoop() {
 	defer t.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		n, src, err := t.conn.ReadFromUDP(buf)
+		n, src, err := t.conn.ReadFrom(buf)
 		if err != nil {
 			if t.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return
@@ -107,14 +111,14 @@ func (t *transport) readLoop() {
 }
 
 // send encodes and writes one datagram. Failures are counted but not
-// surfaced: over UDP a lost send and a lost packet are the same event,
-// and the caller's timeout handles both.
-func (t *transport) send(dst *net.UDPAddr, m *wire.Message) {
+// surfaced: over a datagram network a lost send and a lost packet are
+// the same event, and the caller's timeout handles both.
+func (t *transport) send(dst string, m *wire.Message) {
 	b, err := wire.Encode(m)
 	if err != nil {
 		return
 	}
-	if _, err := t.conn.WriteToUDP(b, dst); err == nil {
+	if _, err := t.conn.WriteTo(b, dst); err == nil {
 		t.datagramsOut.Add(1)
 	}
 }
@@ -123,14 +127,12 @@ func (t *transport) send(dst *net.UDPAddr, m *wire.Message) {
 // waits up to timeout for the paired response, retrying up to retries
 // further times. Each attempt uses a new MsgID, so a response straggling
 // in after its attempt timed out finds no waiter and is dropped rather
-// than being mistaken for an answer to the retry.
+// than being mistaken for an answer to the retry. (The same rule also
+// makes duplicated datagrams harmless: the second copy of a response
+// finds its waiter already claimed and is discarded.)
 func (t *transport) call(addr string, req *wire.Message, timeout time.Duration, retries int) (*wire.Message, error) {
 	if t.closed.Load() {
 		return nil, ErrClosed
-	}
-	dst, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("node: rpc %v to %q: %w", req.Type, addr, err)
 	}
 	req.From = t.self
 	want := req.Type.Response()
@@ -153,13 +155,14 @@ func (t *transport) call(addr string, req *wire.Message, timeout time.Duration, 
 			delete(t.inflight, msgID)
 			t.mu.Unlock()
 		}
-		if _, err := t.conn.WriteToUDP(b, dst); err != nil {
+		if _, err := t.conn.WriteTo(b, addr); err != nil {
 			deregister()
 			if t.closed.Load() {
 				return nil, ErrClosed
 			}
 			return nil, fmt.Errorf("node: rpc %v to %s: %w", req.Type, addr, err)
 		}
+		t.datagramsOut.Add(1)
 		if !timer.Stop() {
 			select {
 			case <-timer.C:
@@ -188,7 +191,11 @@ func (t *transport) call(addr string, req *wire.Message, timeout time.Duration, 
 	}
 }
 
-// close shuts the socket down and waits for the read loop to exit.
+// close shuts the endpoint down and waits for the read loop to exit.
+// Ordering matters: done is closed first so every blocked call returns
+// ErrClosed immediately, then the endpoint close unblocks the read
+// loop's ReadFrom; only then does close return, guaranteeing no
+// transport goroutine survives it.
 func (t *transport) close() error {
 	if t.closed.Swap(true) {
 		return nil
