@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/node"
+)
+
+// End to end over real UDP loopback: a one-node ring, then put / get /
+// resolve through the CLI entry point.
+func TestPutGetResolveAgainstLiveNode(t *testing.T) {
+	space := id.NewSpace(16)
+	n, err := node.Start(node.Config{
+		Space:          space,
+		ID:             100,
+		Addr:           "127.0.0.1:0",
+		StabilizeEvery: 50 * time.Millisecond,
+		RPCTimeout:     250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	base := []string{"-node", n.Addr(), "-bits", "16"}
+
+	var out strings.Builder
+	if err := run(append(base, "put", "greeting", "hello world"), &out); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if !strings.Contains(out.String(), "at node 100") || !strings.Contains(out.String(), "version 1") {
+		t.Fatalf("put output %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "get", "greeting"), &out); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "hello world\n") {
+		t.Fatalf("get output %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "resolve", "greeting"), &out); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if !strings.Contains(out.String(), "owned by node 100") {
+		t.Fatalf("resolve output %q", out.String())
+	}
+
+	// -raw addresses items by decimal ring id directly.
+	out.Reset()
+	if err := run(append(base, "-raw", "put", "4242", "by-id"), &out); err != nil {
+		t.Fatalf("raw put: %v", err)
+	}
+	out.Reset()
+	if err := run(append(base, "-raw", "get", "4242"), &out); err != nil {
+		t.Fatalf("raw get: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "by-id\n") {
+		t.Fatalf("raw get output %q", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "get", "no-such-key"), &out); err == nil {
+		t.Fatal("get of missing key succeeded")
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"put", "k", "v"}, &out); err == nil {
+		t.Fatal("missing -node accepted")
+	}
+	if err := run([]string{"-node", "127.0.0.1:1", "frob", "k"}, &out); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"-node", "127.0.0.1:1", "-bits", "16", "-raw", "put", "99999", "v"}, &out); err == nil {
+		t.Fatal("out-of-space raw key accepted")
+	}
+	if err := run([]string{"-node", "127.0.0.1:1", "put", "k"}, &out); err == nil {
+		t.Fatal("put without value accepted")
+	}
+}

@@ -9,9 +9,10 @@ import (
 )
 
 // metricsPayload is the JSON document served at /metrics: the node's
-// identity, a snapshot of its routing-table sizes, and every transport
-// and protocol counter from node.Metrics. One flat document, cheap to
-// scrape, stdlib only.
+// identity, a snapshot of its routing-table sizes, the current
+// auxiliary-neighbor list, the data-plane store counters, and every
+// transport and protocol counter from node.Metrics. One flat document,
+// cheap to scrape, stdlib only.
 type metricsPayload struct {
 	ID   uint64 `json:"id"`
 	Addr string `json:"addr"`
@@ -23,18 +24,62 @@ type metricsPayload struct {
 	Fingers        int    `json:"fingers"`
 	Aux            int    `json:"aux"`
 
+	// AuxNeighbors is the live auxiliary set. An entry whose id is a
+	// key's ring position rather than a node id is a position-aliased
+	// pointer: its address is the key owner's.
+	AuxNeighbors []contactJSON `json:"aux_neighbors"`
+
+	Store storeStats `json:"store"`
+
 	Metrics node.Metrics `json:"metrics"`
 }
 
+type contactJSON struct {
+	ID   uint64 `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// storeStats mirrors the data-plane subset of node.Metrics under
+// scrape-stable names.
+type storeStats struct {
+	ItemsOwned   int    `json:"items_owned"`
+	ItemsReplica int    `json:"items_replica"`
+	ItemsCached  int    `json:"items_cached"`
+	PutsServed   uint64 `json:"puts_served"`
+	GetsServed   uint64 `json:"gets_served"`
+	ReplicasIn   uint64 `json:"replicas_in"`
+	ReplicasOut  uint64 `json:"replicas_out"`
+	Promotions   uint64 `json:"promotions"`
+	Demotions    uint64 `json:"demotions"`
+}
+
 func payloadFor(n *node.Node) metricsPayload {
+	m := n.Metrics()
+	aux := n.Aux()
+	auxJSON := make([]contactJSON, len(aux))
+	for i, a := range aux {
+		auxJSON[i] = contactJSON{ID: uint64(a.ID), Addr: a.Addr}
+	}
 	p := metricsPayload{
 		ID:            uint64(n.ID()),
 		Addr:          n.Addr(),
 		Successor:     uint64(n.Successor().ID),
 		SuccessorList: len(n.Successors()),
 		Fingers:       len(n.Fingers()),
-		Aux:           len(n.Aux()),
-		Metrics:       n.Metrics(),
+		Aux:           len(aux),
+		AuxNeighbors:  auxJSON,
+		Store: storeStats{
+			ItemsOwned:   m.ItemsOwned,
+			ItemsReplica: m.ItemsReplica,
+			ItemsCached:  m.ItemsCached,
+			PutsServed:   m.PutsServed,
+			GetsServed:   m.GetsServed,
+			ReplicasIn:   m.ReplicasIn,
+			ReplicasOut:  m.ReplicasOut,
+			Promotions:   m.Promotions,
+			Demotions:    m.Demotions,
+		},
+		Metrics: m,
 	}
 	if pred, ok := n.Predecessor(); ok {
 		p.HasPredecessor = true

@@ -78,6 +78,108 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// scrape fetches and decodes one metrics payload.
+func scrape(t *testing.T, addr string) metricsPayload {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p metricsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The payload must carry the data-plane store counters and the live
+// auxiliary-neighbor list, including position-aliased entries pointing
+// at a hot key's owner.
+func TestMetricsReportStoreAndAuxNeighbors(t *testing.T) {
+	space := id.NewSpace(16)
+	cfg := func(x id.ID) node.Config {
+		return node.Config{
+			Space:           space,
+			ID:              x,
+			Addr:            "127.0.0.1:0",
+			AuxCount:        2,
+			StabilizeEvery:  50 * time.Millisecond,
+			FixFingersEvery: 10 * time.Millisecond,
+			RPCTimeout:      250 * time.Millisecond,
+		}
+	}
+	a, err := node.Start(cfg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := node.Start(cfg(40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); a.Successor().ID != b.ID(); {
+		if time.Now().After(deadline) {
+			t.Fatal("ring never formed")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	key := id.ID(10000) // (100, 40000] -> owned by b
+	if _, err := a.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get(key); err != nil { // remote fetch, fills a's cache
+		t.Fatal(err)
+	}
+	if _, err := a.RecomputeAux(); err != nil {
+		t.Fatal(err)
+	}
+
+	srvA, addrA, err := serveMetrics(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, addrB, err := serveMetrics(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	pa := scrape(t, addrA)
+	if pa.Store.ItemsCached != 1 {
+		t.Fatalf("a items_cached %d, want 1", pa.Store.ItemsCached)
+	}
+	if pa.Metrics.PutsIssued != 1 || pa.Metrics.GetsIssued != 1 {
+		t.Fatalf("a issued counters %+v", pa.Metrics)
+	}
+	// The key's id was observed as lookup traffic, so the recomputed aux
+	// set contains a position-aliased pointer: the key's ring position,
+	// addressed at its owner.
+	found := false
+	for _, aux := range pa.AuxNeighbors {
+		if aux.ID == uint64(key) && aux.Addr == b.Addr() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("a aux_neighbors %v lack the aliased hot-key pointer {%d %s}", pa.AuxNeighbors, key, b.Addr())
+	}
+	if pa.Aux != len(pa.AuxNeighbors) {
+		t.Fatalf("aux count %d disagrees with list %v", pa.Aux, pa.AuxNeighbors)
+	}
+
+	pb := scrape(t, addrB)
+	if pb.Store.ItemsOwned != 1 || pb.Store.PutsServed < 1 || pb.Store.GetsServed < 1 {
+		t.Fatalf("b store stats %+v", pb.Store)
+	}
+}
+
 // The -metrics-addr flag must wire the endpoint into the daemon and
 // announce the bound address.
 func TestDaemonMetricsFlag(t *testing.T) {

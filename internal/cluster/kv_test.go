@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/randx"
+)
+
+// TestClusterKVDurabilityAndItemAuxGain is the acceptance test for the
+// live data plane: 56 nodes over memnet storing a real keyspace, with
+// replication factor 2 and the item cache disabled so every number below
+// is about routing and durability, not local caching. Phases:
+//
+//  1. Boot, converge, PUT every key through rotating sources, and wait
+//     until replication has given each key at least factor copies.
+//  2. Cut 12 nodes off, wait for the minority to diverge into its own
+//     subring (both sides promote replicas they are now responsible
+//     for), then heal.
+//  3. After oracle reconvergence, require full durability: every key
+//     GETs its exact value, ownership reconciles back to exactly one
+//     owner per key, and the replica placement recovers to ≥ factor
+//     copies — no owned key lost across the partition.
+//  4. Drive a per-source Zipf GET stream twice: aux-disabled while the
+//     frequency observers accumulate the *key* ids, then after every
+//     node recomputes its auxiliary set from that item-driven
+//     distribution. The with-aux mean GET hop count must undercut the
+//     baseline by at least 30% (PR 2's control-plane analogue measured
+//     2.22 → 1.10 on node-id streams), and some of the installed aux
+//     pointers must be position-aliased — sitting on a key's ring
+//     position, addressed at its owner.
+//
+// Everything is seeded; runs race-enabled within the package's
+// two-minute budget.
+func TestClusterKVDurabilityAndItemAuxGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("56-node in-process cluster test")
+	}
+	const (
+		numNodes  = 56
+		numCut    = 12
+		numKeys   = 80
+		k         = 8 // auxiliary budget
+		factor    = 2 // replication factor
+		alpha     = 1.2
+		perSource = 30
+		seed      = 23
+	)
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(seed))
+	ids := randx.UniqueIDs(rng, numNodes, space.Size())
+
+	nw := memnet.New(seed)
+	nw.SetDefaultPolicy(memnet.LinkPolicy{
+		Dup:      0.02,
+		MaxDelay: time.Millisecond,
+	})
+
+	cl, err := Start(space, nw, ids, func(i int, cfg *node.Config) {
+		cfg.AuxCount = k
+		cfg.AuxEvery = 0 // recomputation driven explicitly between passes
+		cfg.ReplicationFactor = factor
+		cfg.ReplicateEvery = 150 * time.Millisecond
+		cfg.ItemCacheCapacity = -1 // hop counts must measure routing, not caching
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(60 * time.Second); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+	ring := cl.Ring()
+	nodeIDs := make(map[id.ID]bool, numNodes)
+	for _, x := range ring {
+		nodeIDs[x] = true
+	}
+
+	// Phase 1: populate. Keys are random ring positions, values derived
+	// from them; PUTs rotate through every node as source.
+	keys := make([]id.ID, numKeys)
+	for i, v := range randx.UniqueIDs(rng, numKeys, space.Size()) {
+		keys[i] = id.ID(v)
+	}
+	valueOf := func(key id.ID) []byte { return []byte(fmt.Sprintf("value-%d", key)) }
+	for j, key := range keys {
+		src := cl.Nodes[j%numNodes]
+		put, err := src.Put(key, valueOf(key))
+		if err != nil {
+			t.Fatalf("put %d from node %d: %v", key, src.ID(), err)
+		}
+		if want := Owner(ring, key); put.Owner.ID != want {
+			t.Fatalf("put %d landed at %d, want owner %d", key, put.Owner.ID, want)
+		}
+	}
+	// copies counts the nodes holding key in their store (owner or
+	// replica — never the disabled cache).
+	copies := func(key id.ID) int {
+		c := 0
+		for _, n := range cl.Nodes {
+			if v, _, ok := n.Item(key); ok {
+				if !bytes.Equal(v, valueOf(key)) {
+					t.Fatalf("node %d stores %q under key %d", n.ID(), v, key)
+				}
+				c++
+			}
+		}
+		return c
+	}
+	waitPlacement := func(label string, deadline time.Duration) {
+		end := time.Now().Add(deadline)
+		for {
+			short := 0
+			for _, key := range keys {
+				if copies(key) < factor {
+					short++
+				}
+			}
+			if short == 0 {
+				return
+			}
+			if time.Now().After(end) {
+				t.Fatalf("%s: %d/%d keys below %d copies", label, short, numKeys, factor)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	waitPlacement("initial replication", 30*time.Second)
+	t.Logf("phase 1: %d keys stored, every key at >= %d copies", numKeys, factor)
+
+	// Phase 2: partition the first numCut nodes; both sides reorganize
+	// and promote the replicas they have become responsible for.
+	cut := make([]int, numCut)
+	minorityRing := make([]id.ID, numCut)
+	for i := range cut {
+		cut[i] = i
+		minorityRing[i] = cl.Nodes[i].ID()
+	}
+	sortIDs(minorityRing)
+	nw.Partition("split", cl.Addrs(cut...)...)
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		err := func() error {
+			for _, i := range cut {
+				n := cl.Nodes[i]
+				if got, want := n.Successor().ID, ringSuccessor(minorityRing, n.ID()); got != want {
+					return fmt.Errorf("minority node %d successor %d, want %d", n.ID(), got, want)
+				}
+			}
+			return nil
+		}()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("minority never formed its own subring: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Log("phase 2: minority diverged into its own subring")
+
+	nw.Heal("split")
+	if err := cl.WaitConverged(60 * time.Second); err != nil {
+		t.Fatalf("post-heal reconvergence: %v", err)
+	}
+
+	// Phase 3: durability. Every key must come back with its exact
+	// value; ownership must reconcile to exactly one owner per key
+	// (promoted duplicates demote once responsibility returns); and the
+	// replica placement must recover to the full factor.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		err := func() error {
+			for j, key := range keys {
+				src := cl.Nodes[(j*7+3)%numNodes]
+				got, err := src.Get(key)
+				if err != nil {
+					return fmt.Errorf("get %d from node %d: %w", key, src.ID(), err)
+				}
+				if !bytes.Equal(got.Value, valueOf(key)) {
+					t.Fatalf("key %d returned %q, want %q", key, got.Value, valueOf(key))
+				}
+			}
+			owned := 0
+			for _, n := range cl.Nodes {
+				owned += n.Metrics().ItemsOwned
+			}
+			if owned != numKeys {
+				return fmt.Errorf("%d owned items across the cluster, want %d", owned, numKeys)
+			}
+			return nil
+		}()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("durability not restored after heal: %v", err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	waitPlacement("post-heal replication", 30*time.Second)
+	promotions := uint64(0)
+	for _, n := range cl.Nodes {
+		promotions += n.Metrics().Promotions
+	}
+	if promotions == 0 {
+		t.Fatal("partition+heal exercised no replica promotion")
+	}
+	t.Logf("phase 3: all %d keys durable after heal (%d promotions cluster-wide)", numKeys, promotions)
+
+	// Phase 4: per-source Zipf popularity over the keyspace.
+	alias := randx.NewAlias(randx.ZipfWeights(numKeys, alpha))
+	keysByRank := make([][]id.ID, numNodes)
+	for i := range cl.Nodes {
+		perm := rng.Perm(numKeys)
+		ranked := make([]id.ID, numKeys)
+		for r, p := range perm {
+			ranked[r] = keys[p]
+		}
+		keysByRank[i] = ranked
+	}
+	type query struct {
+		src int
+		key id.ID
+	}
+	stream := make([]query, numNodes*perSource)
+	for q := range stream {
+		src := q % numNodes
+		stream[q] = query{src: src, key: keysByRank[src][alias.Sample(rng)]}
+	}
+	runStream := func(label string) float64 {
+		total := 0
+		for _, q := range stream {
+			got, err := cl.Nodes[q.src].Get(q.key)
+			if err != nil {
+				t.Fatalf("%s: get %d from node %d: %v", label, q.key, cl.Nodes[q.src].ID(), err)
+			}
+			if !bytes.Equal(got.Value, valueOf(q.key)) {
+				t.Fatalf("%s: key %d returned %q", label, q.key, got.Value)
+			}
+			total += got.Hops
+		}
+		return float64(total) / float64(len(stream))
+	}
+
+	baseline := runStream("aux-disabled")
+	installed, aliased := 0, 0
+	for _, n := range cl.Nodes {
+		got, err := n.RecomputeAux()
+		if err != nil {
+			t.Fatalf("recompute aux at node %d: %v", n.ID(), err)
+		}
+		installed += got
+		for _, a := range n.Aux() {
+			if !nodeIDs[a.ID] {
+				aliased++
+			}
+		}
+	}
+	if installed == 0 {
+		t.Fatal("no node installed any auxiliary neighbor")
+	}
+	if aliased == 0 {
+		t.Fatal("no position-aliased aux pointer: item-driven selection never targeted a key position")
+	}
+	withAux := runStream("with-aux")
+
+	t.Logf("mean GET hops: aux-disabled %.4f, item-driven k=%d aux %.4f (%d aux installed, %d position-aliased)",
+		baseline, k, withAux, installed, aliased)
+	t.Logf("memnet: %+v", nw.Stats())
+	if withAux > 0.70*baseline {
+		t.Fatalf("item-driven aux cut mean GET hops only %.4f -> %.4f; need >= 30%% reduction",
+			baseline, withAux)
+	}
+	for _, n := range cl.Nodes {
+		if m := n.Metrics(); m.DecodeErrors != 0 {
+			t.Errorf("node %d: %d decode errors", n.ID(), m.DecodeErrors)
+		}
+	}
+}

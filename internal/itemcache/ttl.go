@@ -1,0 +1,138 @@
+package itemcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"peercache/internal/id"
+)
+
+// TTLCache is the live-runtime sibling of Cache: a mutex-guarded,
+// capacity-bounded LRU cache over wall-clock time, generic in what it
+// stores. Where Cache models the paper's item-caching comparison inside
+// the simulator (float64 virtual time, single-threaded), TTLCache is
+// built for the data plane in internal/node, where the read loop, the
+// replication ticker, and any number of application Get calls touch the
+// cache concurrently: every method takes the lock, and eviction under
+// concurrent fills never exceeds capacity (itemcache's concurrency test
+// pins this down).
+//
+// The caller passes `now` explicitly, keeping the cache deterministic
+// under test and free of its own clock reads on hot paths that already
+// have one.
+type TTLCache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+
+	entries map[id.ID]*list.Element
+	lru     *list.List // front = most recent
+
+	hits, misses, expired, evicted uint64
+}
+
+type ttlEntry[V any] struct {
+	key     id.ID
+	value   V
+	expires time.Time
+}
+
+// NewTTL returns a cache holding at most capacity entries, each valid
+// for ttl after its fill. It panics on non-positive capacity or ttl —
+// both are configuration errors.
+func NewTTL[V any](capacity int, ttl time.Duration) *TTLCache[V] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("itemcache: capacity %d", capacity))
+	}
+	if ttl <= 0 {
+		panic(fmt.Sprintf("itemcache: ttl %v", ttl))
+	}
+	return &TTLCache[V]{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[id.ID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the maximum number of cached entries.
+func (c *TTLCache[V]) Capacity() int { return c.capacity }
+
+// Len returns the number of cached entries, including expired ones not
+// yet collected by an access.
+func (c *TTLCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Get returns the value cached under key at time now, if present and
+// unexpired. Expired entries are removed on access.
+func (c *TTLCache[V]) Get(key id.ID, now time.Time) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	e := el.Value.(*ttlEntry[V])
+	if !now.Before(e.expires) {
+		c.removeLocked(el)
+		c.expired++
+		c.misses++
+		return zero, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e.value, true
+}
+
+// Put stores value under key at time now, refreshing the TTL and LRU
+// position of an existing entry, and evicting the least-recently-used
+// entry when the cache is full.
+func (c *TTLCache[V]) Put(key id.ID, value V, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*ttlEntry[V])
+		e.value = value
+		e.expires = now.Add(c.ttl)
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.capacity {
+		c.removeLocked(c.lru.Back())
+		c.evicted++
+	}
+	c.entries[key] = c.lru.PushFront(&ttlEntry[V]{key: key, value: value, expires: now.Add(c.ttl)})
+}
+
+// Invalidate drops the entry under key if present.
+func (c *TTLCache[V]) Invalidate(key id.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+}
+
+func (c *TTLCache[V]) removeLocked(el *list.Element) {
+	delete(c.entries, el.Value.(*ttlEntry[V]).key)
+	c.lru.Remove(el)
+}
+
+// TTLStats is a snapshot of the cache's cumulative counters.
+type TTLStats struct {
+	Hits, Misses, Expired, Evicted uint64
+}
+
+// Stats returns the cumulative hit/miss/expiry/eviction counts.
+func (c *TTLCache[V]) Stats() TTLStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return TTLStats{Hits: c.hits, Misses: c.misses, Expired: c.expired, Evicted: c.evicted}
+}

@@ -1,0 +1,196 @@
+package itemcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+)
+
+func TestTTLCacheBasics(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewTTL[string](2, time.Second)
+	if _, ok := c.Get(1, now); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, "a", now)
+	if v, ok := c.Get(1, now); !ok || v != "a" {
+		t.Fatalf("got %q/%t, want a/true", v, ok)
+	}
+	// Expiry is per entry, from its last Put.
+	if _, ok := c.Get(1, now.Add(time.Second)); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry not collected: len %d", c.Len())
+	}
+	// Overwrite refreshes the TTL.
+	c.Put(2, "b", now)
+	c.Put(2, "b2", now.Add(500*time.Millisecond))
+	if v, ok := c.Get(2, now.Add(1400*time.Millisecond)); !ok || v != "b2" {
+		t.Fatalf("refreshed entry: got %q/%t", v, ok)
+	}
+	s := c.Stats()
+	if s.Expired != 1 {
+		t.Fatalf("expired count %d, want 1", s.Expired)
+	}
+}
+
+func TestTTLCacheLRUEviction(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewTTL[int](3, time.Hour)
+	for i := 1; i <= 3; i++ {
+		c.Put(id.ID(i), i, now)
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := c.Get(1, now); !ok {
+		t.Fatal("miss on fresh entry")
+	}
+	c.Put(4, 4, now)
+	if _, ok := c.Get(2, now); ok {
+		t.Fatal("LRU victim survived")
+	}
+	for _, k := range []id.ID{1, 3, 4} {
+		if _, ok := c.Get(k, now); !ok {
+			t.Fatalf("key %d evicted, want 2 evicted", k)
+		}
+	}
+	if got := c.Stats().Evicted; got != 1 {
+		t.Fatalf("evicted count %d, want 1", got)
+	}
+}
+
+// Eviction under concurrent access: many goroutines fill and read a
+// small cache over overlapping key ranges. The invariants — checked both
+// during the storm (Len from a racing goroutine) and after it — are that
+// occupancy never exceeds capacity and the cache stays internally
+// consistent (every surviving key still returns its own value). Run with
+// -race this doubles as the data-race proof for the node's cached-copy
+// path, where the read loop fills while application Gets read.
+func TestTTLCacheConcurrentEviction(t *testing.T) {
+	const (
+		capacity   = 16
+		goroutines = 8
+		opsEach    = 2000
+		keyRange   = 64 // 4x capacity: constant eviction pressure
+	)
+	c := NewTTL[uint64](capacity, time.Hour)
+	now := time.Unix(0, 0)
+
+	stop := make(chan struct{})
+	observerDone := make(chan struct{})
+	go func() { // racing occupancy observer
+		defer close(observerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := c.Len(); n > capacity {
+				t.Errorf("occupancy %d exceeds capacity %d", n, capacity)
+				return
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < opsEach; i++ {
+				k := id.ID((uint64(g)*2654435761 + uint64(i)) % keyRange)
+				switch i % 3 {
+				case 0, 1:
+					c.Put(k, uint64(k)*10, now)
+				case 2:
+					if v, ok := c.Get(k, now); ok && v != uint64(k)*10 {
+						t.Errorf("key %d returned foreign value %d", k, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	<-observerDone
+
+	if n := c.Len(); n > capacity {
+		t.Fatalf("final occupancy %d exceeds capacity %d", n, capacity)
+	}
+	// Every surviving entry must map to its own value.
+	for k := 0; k < keyRange; k++ {
+		if v, ok := c.Get(id.ID(k), now); ok && v != uint64(k)*10 {
+			t.Fatalf("key %d holds foreign value %d", k, v)
+		}
+	}
+	s := c.Stats()
+	if s.Evicted == 0 {
+		t.Fatal("no eviction under 4x overcommit")
+	}
+	t.Logf("concurrent storm: %+v, final len %d", s, c.Len())
+}
+
+// Invalidate under concurrent fills must neither panic nor leave the
+// map and LRU list disagreeing.
+func TestTTLCacheConcurrentInvalidate(t *testing.T) {
+	c := NewTTL[int](8, time.Hour)
+	now := time.Unix(0, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := id.ID(i % 16)
+				if g%2 == 0 {
+					c.Put(k, i, now)
+				} else {
+					c.Invalidate(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Fatalf("len %d exceeds capacity", n)
+	}
+}
+
+func TestTTLCachePanicsOnBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		capacity int
+		ttl      time.Duration
+	}{{0, time.Second}, {-1, time.Second}, {1, 0}, {1, -time.Second}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTTL(%d, %v) did not panic", tc.capacity, tc.ttl)
+				}
+			}()
+			NewTTL[int](tc.capacity, tc.ttl)
+		}()
+	}
+}
+
+func BenchmarkTTLCachePutGet(b *testing.B) {
+	c := NewTTL[[]byte](1024, time.Hour)
+	now := time.Unix(0, 0)
+	val := []byte("value")
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := id.ID(i % 2048)
+			if i%2 == 0 {
+				c.Put(k, val, now)
+			} else {
+				c.Get(k, now)
+			}
+			i++
+		}
+	})
+	_ = fmt.Sprint(c.Len())
+}

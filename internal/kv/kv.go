@@ -1,0 +1,278 @@
+// Package kv is a standalone client for the overlay's data plane. It
+// resolves a key's owner by driving the same iterative find-successor
+// protocol the ring members use among themselves, then issues the PUT
+// or GET RPC against the owner directly — all from an anonymous
+// endpoint that never joins the ring. The client's datagrams carry a
+// zero sender contact (no id, no address), which ring members ignore
+// when updating their routing state, so any number of clients can come
+// and go without disturbing the overlay; replies ride the transport
+// source address, not the advertised contact.
+//
+// The client speaks node.PacketConn, so it runs over real UDP
+// (cmd/p2pkv) and over memnet in tests, against the same nodes either
+// way.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/node"
+	"peercache/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrNotFound reports a GET for a key the ring does not store.
+	ErrNotFound = errors.New("kv: key not found")
+	// ErrStoreFull reports a PUT the owner refused for capacity.
+	ErrStoreFull = errors.New("kv: store full at owner")
+	// ErrTimeout is returned by an RPC whose every attempt expired.
+	ErrTimeout = errors.New("kv: rpc timed out")
+	// ErrClosed is returned once the client has shut down.
+	ErrClosed = errors.New("kv: closed")
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// Space is the ring's identifier space (required; must match the
+	// nodes' -bits).
+	Space id.Space
+	// Bootstrap is the address of any ring member (required); every
+	// lookup starts there.
+	Bootstrap string
+	// Addr is the local bind address (default "127.0.0.1:0").
+	Addr string
+	// Timeout bounds one RPC attempt (default 500ms).
+	Timeout time.Duration
+	// Retries is how many times a timed-out RPC is retried with a fresh
+	// MsgID (default 2).
+	Retries int
+	// MaxHops aborts runaway lookups (default 64).
+	MaxHops int
+	// Listen opens the datagram endpoint (default node.ListenUDP).
+	Listen node.Listener
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Space.Bits() == 0 {
+		return c, fmt.Errorf("kv: zero-value id space")
+	}
+	if c.Bootstrap == "" {
+		return c, fmt.Errorf("kv: no bootstrap address")
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 64
+	}
+	if c.Listen == nil {
+		c.Listen = node.ListenUDP
+	}
+	return c, nil
+}
+
+// Client is an anonymous data-plane endpoint. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	conn node.PacketConn
+
+	mu       sync.Mutex
+	inflight map[uint64]chan *wire.Message
+	nextID   atomic.Uint64
+
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// Dial opens a client endpoint. It performs no network traffic yet; the
+// bootstrap node is first contacted by the first operation.
+func Dial(cfg Config) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := cfg.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	c := &Client{
+		cfg:      cfg,
+		conn:     conn,
+		inflight: make(map[uint64]chan *wire.Message),
+		done:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close shuts the endpoint down; blocked RPCs return ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// readLoop delivers responses to their registered waiter; anything else
+// (a request — nothing should send us one — or an unclaimed straggler)
+// is dropped.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := c.conn.ReadFrom(buf)
+		if err != nil {
+			if c.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		m, err := wire.Decode(buf[:n])
+		if err != nil || !m.Type.IsResponse() {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.inflight[m.MsgID]
+		if ok {
+			delete(c.inflight, m.MsgID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+// call is the client's RPC primitive: fresh MsgID per attempt, so late
+// or duplicated responses find no waiter (the node transport's rule).
+// The request's From stays zero — the anonymous contact.
+func (c *Client) call(addr string, req *wire.Message) (*wire.Message, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	want := req.Type.Response()
+	for attempt := 0; ; attempt++ {
+		msgID := c.nextID.Add(1)
+		req.MsgID = msgID
+		b, err := wire.Encode(req)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan *wire.Message, 1)
+		c.mu.Lock()
+		c.inflight[msgID] = ch
+		c.mu.Unlock()
+		deregister := func() {
+			c.mu.Lock()
+			delete(c.inflight, msgID)
+			c.mu.Unlock()
+		}
+		if _, err := c.conn.WriteTo(b, addr); err != nil {
+			deregister()
+			if c.closed.Load() {
+				return nil, ErrClosed
+			}
+			return nil, fmt.Errorf("kv: rpc %v to %s: %w", req.Type, addr, err)
+		}
+		timer := time.NewTimer(c.cfg.Timeout)
+		select {
+		case resp := <-ch:
+			timer.Stop()
+			if resp.Type != want {
+				return nil, fmt.Errorf("kv: rpc %v to %s: got %v response", req.Type, addr, resp.Type)
+			}
+			return resp, nil
+		case <-timer.C:
+			deregister()
+		case <-c.done:
+			timer.Stop()
+			deregister()
+			return nil, ErrClosed
+		}
+		if attempt >= c.cfg.Retries {
+			return nil, fmt.Errorf("kv: rpc %v to %s after %d attempts: %w", req.Type, addr, attempt+1, ErrTimeout)
+		}
+	}
+}
+
+// Resolve finds the node currently responsible for key, driving the
+// iterative lookup from the bootstrap node. The returned hop count is
+// the number of find-successor RPCs spent.
+func (c *Client) Resolve(key id.ID) (wire.Contact, int, error) {
+	if uint64(key) >= c.cfg.Space.Size() {
+		return wire.Contact{}, 0, fmt.Errorf("kv: key %d outside %d-bit space", key, c.cfg.Space.Bits())
+	}
+	cur := c.cfg.Bootstrap
+	hops := 0
+	for ; hops <= c.cfg.MaxHops; hops++ {
+		resp, err := c.call(cur, &wire.Message{Type: wire.TFindSucc, Target: key})
+		if err != nil {
+			return wire.Contact{}, hops, fmt.Errorf("kv: resolve %d at %s: %w", key, cur, err)
+		}
+		if resp.Done {
+			if resp.Found.IsZero() {
+				return wire.Contact{}, hops, fmt.Errorf("kv: resolve %d: empty answer from %s", key, cur)
+			}
+			return resp.Found, hops + 1, nil
+		}
+		if resp.Next.IsZero() || resp.Next.Addr == cur {
+			return wire.Contact{}, hops, fmt.Errorf("kv: resolve %d: no progress at %s", key, cur)
+		}
+		cur = resp.Next.Addr
+	}
+	return wire.Contact{}, hops, fmt.Errorf("kv: resolve %d: exceeded %d hops", key, c.cfg.MaxHops)
+}
+
+// Put stores value under key at the key's owner and returns the owner
+// and the item's new version.
+func (c *Client) Put(key id.ID, value []byte) (wire.Contact, uint64, error) {
+	if len(value) > wire.MaxValueLen {
+		return wire.Contact{}, 0, fmt.Errorf("kv: put %d: %w", key, wire.ErrValueLen)
+	}
+	owner, _, err := c.Resolve(key)
+	if err != nil {
+		return wire.Contact{}, 0, err
+	}
+	resp, err := c.call(owner.Addr, &wire.Message{Type: wire.TPut, Key: key, Value: value})
+	if err != nil {
+		return owner, 0, fmt.Errorf("kv: put %d at %v: %w", key, owner, err)
+	}
+	if !resp.OK {
+		return owner, 0, fmt.Errorf("kv: put %d at %v: %w", key, owner, ErrStoreFull)
+	}
+	return owner, resp.Version, nil
+}
+
+// Get fetches the value stored under key from the key's owner.
+func (c *Client) Get(key id.ID) ([]byte, uint64, error) {
+	owner, _, err := c.Resolve(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.call(owner.Addr, &wire.Message{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, 0, fmt.Errorf("kv: get %d at %v: %w", key, owner, err)
+	}
+	if !resp.OK {
+		return nil, 0, fmt.Errorf("kv: get %d at %v: %w", key, owner, ErrNotFound)
+	}
+	return resp.Value, resp.Version, nil
+}

@@ -1,0 +1,127 @@
+package kv_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"peercache/internal/cluster"
+	"peercache/internal/id"
+	"peercache/internal/kv"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/wire"
+)
+
+func startRing(t *testing.T, space id.Space, ids []uint64) (*cluster.Cluster, *memnet.Network) {
+	t.Helper()
+	nw := memnet.New(1)
+	c, err := cluster.Start(space, nw, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c, nw
+}
+
+func dial(t *testing.T, c *cluster.Cluster, nw *memnet.Network) *kv.Client {
+	t.Helper()
+	cl, err := kv.Dial(kv.Config{
+		Space:     c.Space,
+		Bootstrap: c.Addr(0),
+		Addr:      "mem/client",
+		Timeout:   100 * time.Millisecond,
+		Listen:    func(addr string) (node.PacketConn, error) { return nw.Listen(addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestClientPutGetAgainstRing(t *testing.T) {
+	space := id.NewSpace(16)
+	c, nw := startRing(t, space, []uint64{100, 20000, 40000})
+	cl := dial(t, c, nw)
+
+	key := id.ID(10000) // owned by 20000
+	owner, version, err := cl.Put(key, []byte("hello"))
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if owner.ID != 20000 || version != 1 {
+		t.Fatalf("put landed at %d v%d, want 20000 v1", owner.ID, version)
+	}
+	val, version, err := cl.Get(key)
+	if err != nil || !bytes.Equal(val, []byte("hello")) || version != 1 {
+		t.Fatalf("get: %q v%d, %v", val, version, err)
+	}
+	// Overwrite bumps the version at the owner.
+	if _, version, err = cl.Put(key, []byte("hello2")); err != nil || version != 2 {
+		t.Fatalf("overwrite: v%d, %v", version, err)
+	}
+	if val, _, err = cl.Get(key); err != nil || !bytes.Equal(val, []byte("hello2")) {
+		t.Fatalf("get after overwrite: %q, %v", val, err)
+	}
+	if _, _, err := cl.Get(id.ID(50000)); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("get of missing key: %v, want ErrNotFound", err)
+	}
+	if _, _, err := cl.Put(key, make([]byte, wire.MaxValueLen+1)); !errors.Is(err, wire.ErrValueLen) {
+		t.Fatalf("oversized put: %v, want ErrValueLen", err)
+	}
+
+	// Resolve alone works and counts its RPCs.
+	got, hops, err := cl.Resolve(key)
+	if err != nil || got.ID != 20000 || hops < 1 {
+		t.Fatalf("resolve: %v in %d hops, %v", got, hops, err)
+	}
+
+	// The anonymity invariant: a client never enters the ring's routing
+	// state. No member may know the client's address as a contact.
+	for _, n := range c.Nodes {
+		contacts := append(n.Successors(), n.Fingers()...)
+		contacts = append(contacts, n.Aux()...)
+		if p, ok := n.Predecessor(); ok {
+			contacts = append(contacts, p)
+		}
+		for _, ct := range contacts {
+			if ct.Addr == "mem/client" {
+				t.Fatalf("node %d adopted the client as contact %v", n.ID(), ct)
+			}
+		}
+	}
+}
+
+func TestClientAgainstDeadBootstrap(t *testing.T) {
+	space := id.NewSpace(16)
+	nw := memnet.New(2)
+	cl, err := kv.Dial(kv.Config{
+		Space:     space,
+		Bootstrap: "mem/nobody",
+		Addr:      "mem/client",
+		Timeout:   50 * time.Millisecond,
+		Retries:   1,
+		Listen:    func(addr string) (node.PacketConn, error) { return nw.Listen(addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Get(1); !errors.Is(err, kv.ErrTimeout) {
+		t.Fatalf("get via dead bootstrap: %v, want ErrTimeout", err)
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	if _, err := kv.Dial(kv.Config{Bootstrap: "x"}); err == nil {
+		t.Fatal("zero space accepted")
+	}
+	if _, err := kv.Dial(kv.Config{Space: id.NewSpace(16)}); err == nil {
+		t.Fatal("missing bootstrap accepted")
+	}
+}

@@ -1,0 +1,284 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/replication"
+	"peercache/internal/wire"
+)
+
+// Owner-hint cache dimensions. The hints only have to survive between a
+// key's lookups and the next aux recomputation; a stale hint costs one
+// extra redirect (the old owner's find-successor answer points onward),
+// so the cache can be small and short-lived.
+const (
+	ownerHintCapacity = 1024
+	ownerHintTTL      = 2 * time.Minute
+)
+
+var (
+	// ErrNotFound reports a GET for a key nobody stores.
+	ErrNotFound = errors.New("node: key not found")
+	// ErrStoreFull reports a PUT refused because the owner's store is at
+	// capacity. The store never evicts to make room — see store's doc.
+	ErrStoreFull = errors.New("node: store full")
+)
+
+// cachedCopy is a locally cached copy of a remote item, the paper's hot
+// item kept at the requesting peer. Copies are read-through only: they
+// are filled on the GET path, serve later GETs without any network
+// traffic, expire on the item-cache TTL, and are invalidated by a local
+// PUT. A remote writer's update is invisible until then — the TTL is
+// the staleness bound.
+type cachedCopy struct {
+	value   []byte
+	version uint64
+}
+
+// PutResult reports where a PUT landed.
+type PutResult struct {
+	// Owner is the node that accepted the value.
+	Owner wire.Contact
+	// Version is the item's new version at the owner (1 for a new key).
+	Version uint64
+	// Hops is the number of lookup RPCs spent resolving the owner; the
+	// PUT RPC itself is not counted.
+	Hops int
+}
+
+// GetResult carries a resolved value.
+type GetResult struct {
+	Value   []byte
+	Version uint64
+	// Hops is the number of lookup RPCs spent resolving the owner; the
+	// GET RPC itself is not counted. 0 when served locally.
+	Hops int
+	// Local is true when the store or the item cache answered without
+	// touching the network.
+	Local bool
+}
+
+// Put stores value under key. The key's owner is resolved with the same
+// iterative lookup GETs use (so PUT traffic feeds auxiliary selection
+// too), then receives the value in a PUT RPC — or stores it directly
+// when this node turns out to be the owner. The owner assigns the
+// version and replicates the item to its successors on the replication
+// ticker.
+func (n *Node) Put(key id.ID, value []byte) (PutResult, error) {
+	if uint64(key) >= n.cfg.Space.Size() {
+		return PutResult{}, fmt.Errorf("node: key %d outside %d-bit space", key, n.cfg.Space.Bits())
+	}
+	if len(value) > wire.MaxValueLen {
+		return PutResult{}, fmt.Errorf("node: put %d: %w", key, wire.ErrValueLen)
+	}
+	n.putsIssued.Add(1)
+	if n.cache != nil {
+		// Never serve our own overwritten value from a stale copy.
+		n.cache.Invalidate(key)
+	}
+	owner, hops, err := n.Lookup(key)
+	if err != nil {
+		return PutResult{}, err
+	}
+	if owner.ID == n.self.ID {
+		version, ok := n.store.putOwned(key, value, time.Now())
+		if !ok {
+			return PutResult{}, fmt.Errorf("node: put %d: %w", key, ErrStoreFull)
+		}
+		return PutResult{Owner: owner, Version: version, Hops: hops}, nil
+	}
+	resp, err := n.call(owner.Addr, &wire.Message{Type: wire.TPut, Key: key, Value: value})
+	if err != nil {
+		return PutResult{}, fmt.Errorf("node: put %d at %v: %w", key, owner, err)
+	}
+	if !resp.OK {
+		return PutResult{}, fmt.Errorf("node: put %d at %v: %w", key, owner, ErrStoreFull)
+	}
+	return PutResult{Owner: owner, Version: resp.Version, Hops: hops}, nil
+}
+
+// Get resolves key to its value: first from the local store (this node
+// owns or replicates the key), then from the item cache (a hot item
+// fetched before), and only then over the network — resolve the owner
+// with the frequency-observed iterative lookup and fetch the value with
+// a GET RPC, caching the copy for subsequent calls. The local tiers
+// never misreport absence: a store or cache miss falls through to the
+// owner, and only the owner's answer produces ErrNotFound.
+func (n *Node) Get(key id.ID) (GetResult, error) {
+	if uint64(key) >= n.cfg.Space.Size() {
+		return GetResult{}, fmt.Errorf("node: key %d outside %d-bit space", key, n.cfg.Space.Bits())
+	}
+	n.getsIssued.Add(1)
+	now := time.Now()
+	if value, version, ok := n.store.get(key, now); ok {
+		n.storeHits.Add(1)
+		return GetResult{Value: value, Version: version, Local: true}, nil
+	}
+	if n.cache != nil {
+		if c, ok := n.cache.Get(key, now); ok {
+			n.cacheHits.Add(1)
+			return GetResult{Value: c.value, Version: c.version, Local: true}, nil
+		}
+	}
+	owner, hops, err := n.Lookup(key)
+	if err != nil {
+		return GetResult{Hops: hops}, err
+	}
+	if owner.ID == n.self.ID {
+		// We own the key and the store already missed.
+		return GetResult{Hops: hops}, fmt.Errorf("node: get %d: %w", key, ErrNotFound)
+	}
+	resp, err := n.call(owner.Addr, &wire.Message{Type: wire.TGet, Key: key})
+	if err != nil {
+		return GetResult{Hops: hops}, fmt.Errorf("node: get %d at %v: %w", key, owner, err)
+	}
+	if !resp.OK {
+		return GetResult{Hops: hops}, fmt.Errorf("node: get %d at %v: %w", key, owner, ErrNotFound)
+	}
+	if n.cache != nil {
+		n.cache.Put(key, cachedCopy{value: resp.Value, version: resp.Version}, now)
+	}
+	return GetResult{Value: resp.Value, Version: resp.Version, Hops: hops}, nil
+}
+
+// handlePut, handleGet, and handleReplicate run on the read-loop
+// goroutine (see handle): store calls only, no I/O beyond the one reply
+// the caller sends.
+
+func (n *Node) handlePut(m *wire.Message, resp *wire.Message) {
+	n.putsServed.Add(1)
+	version, ok := n.store.putOwned(m.Key, m.Value, time.Now())
+	resp.OK, resp.Version = ok, version
+}
+
+func (n *Node) handleGet(m *wire.Message, resp *wire.Message) {
+	n.getsServed.Add(1)
+	if value, version, ok := n.store.get(m.Key, time.Now()); ok {
+		resp.OK, resp.Value, resp.Version = true, value, version
+	}
+}
+
+func (n *Node) handleReplicate(m *wire.Message) {
+	n.replicasIn.Add(1)
+	n.store.applyReplica(m.Key, m.Value, m.Version, time.Now())
+}
+
+// Item reports the value this node itself stores under key — as owner
+// or replica holder — without network traffic, frequency observation,
+// or cache consultation. Introspection only (tests, tooling); use Get
+// to read through the overlay.
+func (n *Node) Item(key id.ID) (value []byte, version uint64, ok bool) {
+	return n.store.get(key, time.Now())
+}
+
+// ownsKey reports whether this node is currently responsible for key:
+// its predecessor is known and key lies in (pred, self]. Ring
+// membership checks in the lookup path use it so that an owner claims
+// its keys outright — in particular when a position-aliased aux pointer
+// lands a lookup directly on the owner, whose successor-interval rule
+// alone would route the query all the way around the ring.
+func (n *Node) ownsKey(key id.ID) bool {
+	p, ok := n.tbl.predecessor()
+	if !ok || p.ID == n.self.ID {
+		return false
+	}
+	return n.cfg.Space.BetweenIncl(key, p.ID, n.self.ID)
+}
+
+// ReplicationRound runs one reconciliation and replication pass. The
+// ticker calls it every ReplicateEvery; stabilize calls it early when
+// the replica target set changes. The pass is anti-entropy: every owned
+// item is re-pushed to the current targets with one-way Replicate
+// datagrams each round, so lost pushes, churned successors, and healed
+// partitions all converge without acks or retransmit state.
+func (n *Node) ReplicationRound() {
+	now := time.Now()
+	var responsible func(id.ID) bool
+	p, hasPred := n.tbl.predecessor()
+	switch {
+	case hasPred && p.ID != n.self.ID:
+		pid := p.ID
+		responsible = func(k id.ID) bool { return n.cfg.Space.BetweenIncl(k, pid, n.self.ID) }
+	case !hasPred && n.tbl.successor().ID == n.self.ID:
+		// Ring of one: every key is ours.
+		responsible = func(id.ID) bool { return true }
+	}
+	promoted, handoff := n.store.reconcile(now, responsible)
+	n.promotions.Add(uint64(promoted))
+	n.demotions.Add(uint64(len(handoff)))
+	// Hand demoted items to their new owner. Loss is tolerable: the item
+	// stays here as a replica, and in the scenarios that demote (a
+	// healed partition, a join splitting our range) the new owner has
+	// been accumulating the key's traffic anyway.
+	for _, it := range handoff {
+		owner, _, err := n.FindSuccessor(it.key)
+		if err != nil || owner.ID == n.self.ID || owner.Addr == "" {
+			continue
+		}
+		n.sendReplica(owner.Addr, it)
+	}
+	targets := n.replicaTargets()
+	if len(targets) == 0 {
+		return
+	}
+	for _, it := range n.store.owned() {
+		for _, t := range targets {
+			n.sendReplica(t.Addr, it)
+		}
+	}
+}
+
+func (n *Node) sendReplica(addr string, it ownedItem) {
+	n.replicasOut.Add(1)
+	n.tr.send(addr, &wire.Message{Type: wire.TReplicate, From: n.self, Key: it.key, Value: it.value, Version: it.version})
+}
+
+// replicaTargets resolves replication.Targets against the current
+// successor list, keeping the contacts' addresses.
+func (n *Node) replicaTargets() []wire.Contact {
+	succs := n.tbl.succList()
+	ids := make([]id.ID, len(succs))
+	addrs := make(map[id.ID]string, len(succs))
+	for i, s := range succs {
+		ids[i] = s.ID
+		if _, ok := addrs[s.ID]; !ok {
+			addrs[s.ID] = s.Addr
+		}
+	}
+	tids := replication.Targets(n.self.ID, ids, n.cfg.ReplicationFactor)
+	out := make([]wire.Contact, 0, len(tids))
+	for _, t := range tids {
+		if addrs[t] != "" {
+			out = append(out, wire.Contact{ID: t, Addr: addrs[t]})
+		}
+	}
+	return out
+}
+
+// replicateOnSuccChange triggers a replication round as soon as the
+// replica target set differs from the one last pushed to, so a new or
+// recovered successor receives its copies within a stabilize period
+// instead of a replication period.
+func (n *Node) replicateOnSuccChange() {
+	if n.cfg.ReplicationFactor < 2 || n.cfg.ReplicateEvery <= 0 {
+		return
+	}
+	targets := n.replicaTargets()
+	ids := make([]id.ID, len(targets))
+	for i, t := range targets {
+		ids[i] = t.ID
+	}
+	n.replMu.Lock()
+	changed := !slices.Equal(ids, n.lastReplTargets)
+	if changed {
+		n.lastReplTargets = ids
+	}
+	n.replMu.Unlock()
+	if changed {
+		n.ReplicationRound()
+	}
+}

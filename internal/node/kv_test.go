@@ -1,0 +1,184 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// A ring of one owns everything: PUT and GET stay local, and a missing
+// key is reported by the owner itself.
+func TestKVSingleNode(t *testing.T) {
+	space := id.NewSpace(16)
+	n, err := Start(fastConfig(space, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	put, err := n.Put(7, []byte("hello"))
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if put.Owner.ID != n.ID() || put.Version != 1 || put.Hops != 0 {
+		t.Fatalf("put result %+v, want owner self, version 1, 0 hops", put)
+	}
+	// Overwrite bumps the version.
+	if put, err = n.Put(7, []byte("hello2")); err != nil || put.Version != 2 {
+		t.Fatalf("overwrite: %+v, %v, want version 2", put, err)
+	}
+	got, err := n.Get(7)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(got.Value, []byte("hello2")) || got.Version != 2 || !got.Local {
+		t.Fatalf("get result %+v, want hello2/v2 served locally", got)
+	}
+	if _, err := n.Get(8); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get of missing key: %v, want ErrNotFound", err)
+	}
+
+	// Bounds: oversized values and out-of-space keys are rejected before
+	// any network traffic.
+	if _, err := n.Put(7, make([]byte, wire.MaxValueLen+1)); !errors.Is(err, wire.ErrValueLen) {
+		t.Fatalf("oversized put: %v, want ErrValueLen", err)
+	}
+	if _, err := n.Put(id.ID(space.Size()), []byte("x")); err == nil {
+		t.Fatal("put with out-of-space key succeeded")
+	}
+	if _, err := n.Get(id.ID(space.Size())); err == nil {
+		t.Fatal("get with out-of-space key succeeded")
+	}
+
+	m := n.Metrics()
+	if m.ItemsOwned != 1 || m.PutsIssued != 2 || m.GetsIssued != 2 || m.StoreHits != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// PUT and GET route across the ring to the key's owner; a repeated GET
+// is served from the requester's item cache without network traffic.
+func TestKVAcrossRingAndCache(t *testing.T) {
+	space := id.NewSpace(16)
+	nodes := startCluster(t, space, []uint64{100, 20000, 40000}, nil)
+	waitConverged(t, space, nodes, 10*time.Second)
+	a, b := nodes[0], nodes[1]
+
+	key := id.ID(10000) // (100, 20000] -> owned by b
+	put, err := a.Put(key, []byte("routed"))
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if put.Owner.ID != b.ID() {
+		t.Fatalf("put owner %d, want %d", put.Owner.ID, b.ID())
+	}
+	if v, ver, ok := b.store.get(key, time.Now()); !ok || !bytes.Equal(v, []byte("routed")) || ver != 1 {
+		t.Fatalf("owner store holds %q/%d/%t", v, ver, ok)
+	}
+
+	got, err := a.Get(key)
+	if err != nil || got.Local || !bytes.Equal(got.Value, []byte("routed")) {
+		t.Fatalf("first get %+v, %v: want remote hit", got, err)
+	}
+	got, err = a.Get(key)
+	if err != nil || !got.Local || !bytes.Equal(got.Value, []byte("routed")) {
+		t.Fatalf("second get %+v, %v: want cached local hit", got, err)
+	}
+	if m := a.Metrics(); m.CacheHits != 1 || m.ItemsCached != 1 {
+		t.Fatalf("metrics after cached get: %+v", m)
+	}
+	// A local PUT invalidates the cached copy, so the next GET sees the
+	// new value immediately.
+	if _, err := a.Put(key, []byte("routed2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, err = a.Get(key)
+	if err != nil || got.Local || !bytes.Equal(got.Value, []byte("routed2")) {
+		t.Fatalf("get after overwrite %+v, %v: want fresh remote value", got, err)
+	}
+	// >= rather than ==: a retried RPC (slow CI) is served twice.
+	if m := b.Metrics(); m.PutsServed < 2 || m.GetsServed < 2 {
+		t.Fatalf("owner served counters: %+v", m)
+	}
+}
+
+// A full store refuses new keys and the refusal travels back over the
+// wire as a failed PutAck.
+func TestKVPutRejectedWhenStoreFull(t *testing.T) {
+	space := id.NewSpace(16)
+	nodes := startCluster(t, space, []uint64{100, 40000}, func(c *Config) {
+		if c.ID == 40000 {
+			c.StoreCapacity = 1
+		}
+		c.ReplicateEvery = -1 // keep the stores exactly as the PUTs leave them
+	})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a := nodes[0]
+
+	if _, err := a.Put(1000, []byte("first")); err != nil { // owner: 40000
+		t.Fatalf("first put: %v", err)
+	}
+	if _, err := a.Put(2000, []byte("second")); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("second put: %v, want ErrStoreFull", err)
+	}
+	// Overwrites of stored keys are always accepted.
+	if put, err := a.Put(1000, []byte("first2")); err != nil || put.Version != 2 {
+		t.Fatalf("overwrite on full store: %+v, %v", put, err)
+	}
+}
+
+// Owned items are replicated to the successor, and when the owner dies
+// the successor promotes its replica and serves the key.
+func TestKVReplicationSurvivesOwnerFailure(t *testing.T) {
+	space := id.NewSpace(16)
+	nodes := startCluster(t, space, []uint64{100, 20000, 40000}, func(c *Config) {
+		c.ReplicateEvery = 100 * time.Millisecond
+	})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	key := id.ID(10000) // owned by b (20000); replica goes to c (40000)
+	if _, err := a.Put(key, []byte("durable")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, _, ok := c.store.get(key, time.Now()); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never reached successor: c metrics %+v", c.Metrics())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	b.Close()
+	// The ring heals around the dead owner; c becomes responsible for
+	// the key, promotes its replica, and answers a's GET.
+	for {
+		got, err := a.Get(key)
+		if err == nil {
+			if !bytes.Equal(got.Value, []byte("durable")) {
+				t.Fatalf("recovered value %q", got.Value)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("key lost after owner failure: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Promotion needs c's predecessor pointer to heal around the dead
+	// owner first, so it can lag the first successful GET (which a
+	// replica answers just as well).
+	for c.Metrics().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("successor never promoted its replica: %+v", c.Metrics())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"peercache/internal/core"
 	"peercache/internal/freq"
 	"peercache/internal/id"
+	"peercache/internal/itemcache"
 	"peercache/internal/wire"
 )
 
@@ -84,6 +85,33 @@ type Config struct {
 	RPCRetries int
 	// MaxLookupHops aborts runaway lookups (default 64).
 	MaxLookupHops int
+
+	// ReplicationFactor is the total number of copies of each owned
+	// item, the owner included (default 2; 1 keeps items on their owner
+	// only). The owner pushes copies to its first factor-1 distinct
+	// successors; when the successor list is shorter the placement
+	// degrades gracefully and recovers with the membership.
+	ReplicationFactor int
+	// ReplicateEvery is the replication/reconciliation period: each
+	// round re-pushes every owned item to the current successor targets
+	// (anti-entropy — successor changes are picked up automatically),
+	// promotes replicas the node has become responsible for, and hands
+	// off items whose keys have left its range (default 5s; negative
+	// disables the ticker, ReplicationRound can still be called).
+	ReplicateEvery time.Duration
+	// StoreCapacity bounds the item store, owned and replica items
+	// together (default 4096). A full store rejects new keys.
+	StoreCapacity int
+	// StoreTTL expires store items that have not been written or
+	// replica-refreshed within it (default 0: items never expire).
+	StoreTTL time.Duration
+	// ItemCacheCapacity bounds the local cache of item copies picked up
+	// on the GET path — the paper's peer caching of hot items (default
+	// 256; negative disables the cache).
+	ItemCacheCapacity int
+	// ItemCacheTTL bounds how stale a cached copy may be served
+	// (default 30s).
+	ItemCacheTTL time.Duration
 
 	// Listen opens the node's datagram endpoint (default ListenUDP,
 	// the real-socket provider). Tests swap in memnet to run whole
@@ -136,6 +164,33 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxLookupHops == 0 {
 		c.MaxLookupHops = 64
 	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.ReplicationFactor < 1 {
+		return c, fmt.Errorf("node: replication factor %d below 1", c.ReplicationFactor)
+	}
+	if c.ReplicateEvery == 0 {
+		c.ReplicateEvery = 5 * time.Second
+	}
+	if c.StoreCapacity == 0 {
+		c.StoreCapacity = 4096
+	}
+	if c.StoreCapacity < 0 {
+		return c, fmt.Errorf("node: negative store capacity %d", c.StoreCapacity)
+	}
+	if c.StoreTTL < 0 {
+		return c, fmt.Errorf("node: negative store TTL %v", c.StoreTTL)
+	}
+	if c.ItemCacheCapacity == 0 {
+		c.ItemCacheCapacity = 256
+	}
+	if c.ItemCacheTTL == 0 {
+		c.ItemCacheTTL = 30 * time.Second
+	}
+	if c.ItemCacheTTL < 0 {
+		return c, fmt.Errorf("node: negative item cache TTL %v", c.ItemCacheTTL)
+	}
 	if c.Listen == nil {
 		c.Listen = ListenUDP
 	}
@@ -150,6 +205,18 @@ type Metrics struct {
 	Lookups, LookupHops       uint64
 	LookupFailures            uint64
 	AuxRecomputes             uint64
+
+	// Data plane (kv.go). Issued counters track this node acting as a
+	// client, Served counters track it answering peers; StoreHits and
+	// CacheHits are GETs answered locally without touching the network.
+	PutsIssued, GetsIssued  uint64
+	PutsServed, GetsServed  uint64
+	StoreHits, CacheHits    uint64
+	ReplicasIn, ReplicasOut uint64
+	Promotions, Demotions   uint64
+
+	// Gauges: current item counts by authority.
+	ItemsOwned, ItemsReplica, ItemsCached int
 }
 
 // Node is a running protocol participant. Create with Start, stop with
@@ -173,6 +240,19 @@ type Node struct {
 	// node id keeps multi-node tests reproducible.
 	probeRNG *rand.Rand
 
+	// Data plane (kv.go): the authoritative item store, the bounded
+	// cache of copies picked up on the GET path (nil when disabled),
+	// and the key→owner hint cache that lets recomputeAux alias an aux
+	// pointer at a hot key's ring position to the owner's address.
+	store      *store
+	cache      *itemcache.TTLCache[cachedCopy]
+	ownerHints *itemcache.TTLCache[wire.Contact]
+
+	// replMu guards the target set of the last replication push, so
+	// stabilize can trigger an extra round when the successors change.
+	replMu          sync.Mutex
+	lastReplTargets []id.ID
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -181,6 +261,12 @@ type Node struct {
 	lookupHops  atomic.Uint64
 	lookupFails atomic.Uint64
 	auxRecomps  atomic.Uint64
+
+	putsIssued, getsIssued  atomic.Uint64
+	putsServed, getsServed  atomic.Uint64
+	storeHits, cacheHits    atomic.Uint64
+	replicasIn, replicasOut atomic.Uint64
+	promotions, demotions   atomic.Uint64
 }
 
 // Start opens the datagram endpoint through the configured Listener
@@ -217,6 +303,11 @@ func Start(cfg Config) (*Node, error) {
 		conn.Close()
 		return nil, err
 	}
+	n.store = newStore(cfg.StoreCapacity, cfg.StoreTTL)
+	if cfg.ItemCacheCapacity > 0 {
+		n.cache = itemcache.NewTTL[cachedCopy](cfg.ItemCacheCapacity, cfg.ItemCacheTTL)
+	}
+	n.ownerHints = itemcache.NewTTL[wire.Contact](ownerHintCapacity, ownerHintTTL)
 	n.tr = newTransport(conn, n.self, n.handle)
 	n.tr.start()
 
@@ -226,6 +317,9 @@ func Start(cfg Config) (*Node, error) {
 		n.ticker(cfg.AuxEvery, func() {
 			n.recomputeAux(true)
 		})
+	}
+	if cfg.ReplicateEvery > 0 {
+		n.ticker(cfg.ReplicateEvery, n.ReplicationRound)
 	}
 	return n, nil
 }
@@ -302,6 +396,11 @@ func (n *Node) Aux() []wire.Contact { return n.tbl.auxList() }
 
 // Metrics returns a snapshot of the node's counters.
 func (n *Node) Metrics() Metrics {
+	owned, replicas := n.store.counts()
+	cached := 0
+	if n.cache != nil {
+		cached = n.cache.Len()
+	}
 	return Metrics{
 		DatagramsIn:    n.tr.datagramsIn.Load(),
 		DatagramsOut:   n.tr.datagramsOut.Load(),
@@ -313,6 +412,19 @@ func (n *Node) Metrics() Metrics {
 		LookupHops:     n.lookupHops.Load(),
 		LookupFailures: n.lookupFails.Load(),
 		AuxRecomputes:  n.auxRecomps.Load(),
+		PutsIssued:     n.putsIssued.Load(),
+		GetsIssued:     n.getsIssued.Load(),
+		PutsServed:     n.putsServed.Load(),
+		GetsServed:     n.getsServed.Load(),
+		StoreHits:      n.storeHits.Load(),
+		CacheHits:      n.cacheHits.Load(),
+		ReplicasIn:     n.replicasIn.Load(),
+		ReplicasOut:    n.replicasOut.Load(),
+		Promotions:     n.promotions.Load(),
+		Demotions:      n.demotions.Load(),
+		ItemsOwned:     owned,
+		ItemsReplica:   replicas,
+		ItemsCached:    cached,
 	}
 }
 
@@ -372,6 +484,15 @@ func (n *Node) handle(m *wire.Message, src string) {
 	case wire.TFindSucc:
 		resp.Type = wire.TFindSuccResp
 		n.answerFindSucc(m.Target, resp)
+	case wire.TPut:
+		resp.Type = wire.TPutAck
+		n.handlePut(m, resp)
+	case wire.TGet:
+		resp.Type = wire.TGetResp
+		n.handleGet(m, resp)
+	case wire.TReplicate:
+		n.handleReplicate(m)
+		return // one-way: no response
 	default:
 		return // unknown request; nothing sensible to reply
 	}
@@ -382,7 +503,7 @@ func (n *Node) handle(m *wire.Message, src string) {
 // the final answer (Done) or the closest preceding contact from the
 // node's fingers, successor list, and auxiliary neighbors.
 func (n *Node) answerFindSucc(target id.ID, resp *wire.Message) {
-	if target == n.self.ID {
+	if target == n.self.ID || n.ownsKey(target) {
 		resp.Done, resp.Found = true, n.self
 		return
 	}
@@ -413,7 +534,7 @@ func (n *Node) answerFindSucc(target id.ID, resp *wire.Message) {
 // hop count is the number of lookup RPCs issued, 0 when local state
 // resolves the target outright.
 func (n *Node) FindSuccessor(target id.ID) (wire.Contact, int, error) {
-	if target == n.self.ID {
+	if target == n.self.ID || n.ownsKey(target) {
 		return n.self, 0, nil
 	}
 	s := n.tbl.successor()
@@ -451,10 +572,20 @@ func (n *Node) FindSuccessor(target id.ID) (wire.Contact, int, error) {
 	return wire.Contact{}, n.cfg.MaxLookupHops, fmt.Errorf("node: lookup %d: exceeded %d hops", target, n.cfg.MaxLookupHops)
 }
 
-// Lookup is FindSuccessor for application traffic: the resolved owner
-// is recorded in the frequency observer (the input to auxiliary
-// selection, Section III of the paper) and the hop count feeds the
-// node's metrics.
+// Lookup is FindSuccessor for application traffic: the looked-up key is
+// recorded in the frequency observer (the input to auxiliary selection,
+// Section III of the paper) and the hop count feeds the node's metrics.
+//
+// The observer sees the key's own ring position, not the owner's node
+// id: auxiliary selection then optimizes for the item access
+// distribution the data plane actually produces. When a selected
+// position has no node on it, recomputeAux aliases the aux pointer to
+// the key's owner through the owner-hint cache recorded here — the
+// pointer sits exactly at the hot key, so closestPreceding picks it for
+// that key's lookups and the owner finishes them in one hop via its
+// ownership check. For lookups whose key is a node id (the control
+// plane's joins and finger fixes), position and owner coincide and the
+// behavior is unchanged.
 func (n *Node) Lookup(key id.ID) (wire.Contact, int, error) {
 	owner, hops, err := n.FindSuccessor(key)
 	if err != nil {
@@ -465,8 +596,11 @@ func (n *Node) Lookup(key id.ID) (wire.Contact, int, error) {
 	n.lookupHops.Add(uint64(hops))
 	if owner.ID != n.self.ID {
 		n.maintMu.Lock()
-		n.maint.Observe(owner.ID)
+		n.maint.Observe(key)
 		n.maintMu.Unlock()
+		if owner.Addr != "" {
+			n.ownerHints.Put(key, owner, time.Now())
+		}
 	}
 	return owner, hops, nil
 }
@@ -528,6 +662,9 @@ func (n *Node) stabilize() {
 			n.tbl.removeAux(a.ID)
 		}
 	}
+	// Push owned items to any new replica holders right away instead of
+	// waiting out the replication tick.
+	n.replicateOnSuccChange()
 }
 
 // healProbe pings one random contact from the address cache and, if it
@@ -624,9 +761,19 @@ func (n *Node) recomputeAux(rotate bool) (int, error) {
 		return 0, err
 	}
 	aux := make([]wire.Contact, 0, len(res.Aux))
+	now := time.Now()
 	for _, a := range res.Aux {
 		if addr, ok := n.tbl.addrOf(a); ok {
 			aux = append(aux, wire.Contact{ID: a, Addr: addr})
+			continue
+		}
+		// The selected id is a key's ring position, not a node the
+		// table knows: alias the aux pointer to the key's owner. The
+		// entry sits exactly at the hot key, so closestPreceding picks
+		// it for that key's lookups and the owner's ownership check
+		// finishes them in one hop.
+		if owner, ok := n.ownerHints.Get(a, now); ok {
+			aux = append(aux, wire.Contact{ID: a, Addr: owner.Addr})
 		}
 	}
 	n.tbl.setAux(aux)

@@ -1,0 +1,41 @@
+package replication
+
+import "peercache/internal/id"
+
+// Targets returns the nodes that should hold replicas of the items owned
+// by self, given its current successor list (nearest first) and the
+// desired replication factor — the total number of copies including the
+// owner's own. The result is the first factor-1 distinct successors,
+// with self and duplicate entries removed while preserving order.
+//
+// The successor list is allowed to be shorter than the factor demands:
+// after heavy churn or a partition, a node may see only one live
+// successor (or none) while needing two replicas. Targets then returns
+// every usable successor rather than failing — the owner keeps the data
+// durable on whatever peers remain, and the next replication round
+// restores the full factor once the successor list recovers. Callers
+// can detect degraded placement by comparing len(result) to factor-1.
+//
+// A factor below 2 means "owner only": no replicas, nil result.
+func Targets(self id.ID, succs []id.ID, factor int) []id.ID {
+	if factor < 2 || len(succs) == 0 {
+		return nil
+	}
+	want := factor - 1
+	out := make([]id.ID, 0, want)
+	seen := make(map[id.ID]bool, len(succs))
+	for _, s := range succs {
+		if s == self || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+		if len(out) == want {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

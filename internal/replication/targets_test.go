@@ -1,0 +1,66 @@
+package replication
+
+import (
+	"reflect"
+	"testing"
+
+	"peercache/internal/id"
+)
+
+func TestTargetsPicksNearestDistinctSuccessors(t *testing.T) {
+	succs := []id.ID{10, 20, 30, 40}
+	got := Targets(5, succs, 3)
+	if want := []id.ID{10, 20}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("targets %v, want %v", got, want)
+	}
+}
+
+func TestTargetsSkipsSelfAndDuplicates(t *testing.T) {
+	// A successor list degraded by churn can contain self (ring of one
+	// fallback) and duplicates (merging lists from two peers).
+	succs := []id.ID{5, 10, 10, 20, 5, 30}
+	got := Targets(5, succs, 3)
+	if want := []id.ID{10, 20}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("targets %v, want %v", got, want)
+	}
+}
+
+// The successor set shrinking below the replication factor must degrade
+// gracefully: every usable successor is returned, never an error, and
+// the shortfall is visible as len(result) < factor-1.
+func TestTargetsSuccessorSetBelowFactor(t *testing.T) {
+	cases := []struct {
+		name   string
+		succs  []id.ID
+		factor int
+		want   []id.ID
+	}{
+		{"one successor, factor 3", []id.ID{10}, 3, []id.ID{10}},
+		{"two successors, factor 4", []id.ID{10, 20}, 4, []id.ID{10, 20}},
+		{"only self left", []id.ID{5}, 2, nil},
+		{"empty list", nil, 2, nil},
+		{"self and dup collapse below factor", []id.ID{5, 10, 10}, 3, []id.ID{10}},
+	}
+	for _, tc := range cases {
+		got := Targets(5, tc.succs, tc.factor)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: targets %v, want %v", tc.name, got, tc.want)
+		}
+		if len(got) >= tc.factor {
+			t.Errorf("%s: %d targets with factor %d would exceed the factor copies", tc.name, len(got), tc.factor)
+		}
+	}
+}
+
+func TestTargetsFactorBelowTwo(t *testing.T) {
+	succs := []id.ID{10, 20}
+	if got := Targets(5, succs, 1); got != nil {
+		t.Fatalf("factor 1 returned %v, want nil", got)
+	}
+	if got := Targets(5, succs, 0); got != nil {
+		t.Fatalf("factor 0 returned %v, want nil", got)
+	}
+	if got := Targets(5, succs, -3); got != nil {
+		t.Fatalf("negative factor returned %v, want nil", got)
+	}
+}

@@ -20,10 +20,24 @@
 //   - Notify/NotifyAck — the caller tells its successor "I might be
 //     your predecessor".
 //
+// The data plane adds the item operations the routing layer exists to
+// accelerate:
+//
+//   - Put/PutAck — store a value under a key at its owner. The caller
+//     resolves the owner with the iterative lookup first; the owner
+//     stores the value and acks with the version it assigned.
+//   - Get/GetResp — fetch the value stored under a key from the node
+//     believed to own (or hold a copy of) it.
+//   - Replicate — one-way: an owner pushes a versioned copy of an owned
+//     item to a successor. There is no ack; the replication ticker
+//     re-sends every owned item each round, so a lost Replicate heals
+//     at the next tick (anti-entropy, not acknowledgement).
+//
 // Encoding: varint-free fixed-width integers (uint64 big-endian for ids
-// and MsgIDs, uint8 for counts) and length-prefixed UDP address strings.
-// Every message fits comfortably in one datagram: the largest, a
-// GetPredResp with a full successor list, is a few hundred bytes.
+// and MsgIDs, uint8 for counts, uint16 for value lengths) and
+// length-prefixed UDP address strings. Every message fits comfortably in
+// one datagram: the largest, a Put or Replicate carrying a full
+// MaxValueLen value, is a little over 4 KiB.
 package wire
 
 import (
@@ -42,7 +56,9 @@ const Version = 1
 type Type uint8
 
 // The RPC set. Requests are even, their responses odd — Type.Response
-// and Type.IsResponse rely on the pairing.
+// and Type.IsResponse rely on the pairing. TReplicate is the one
+// exception: it is a one-way push with no paired response, so it takes
+// an even (request) code and must never be used with Type.Response.
 const (
 	TPing Type = iota
 	TPong
@@ -52,6 +68,11 @@ const (
 	TGetPredResp
 	TNotify
 	TNotifyAck
+	TPut
+	TPutAck
+	TGet
+	TGetResp
+	TReplicate
 	typeCount // sentinel, not a wire value
 )
 
@@ -74,6 +95,16 @@ func (t Type) String() string {
 		return "notify"
 	case TNotifyAck:
 		return "notify-ack"
+	case TPut:
+		return "put"
+	case TPutAck:
+		return "put-ack"
+	case TGet:
+		return "get"
+	case TGetResp:
+		return "get-resp"
+	case TReplicate:
+		return "replicate"
 	}
 	return fmt.Sprintf("wire.Type(%d)", uint8(t))
 }
@@ -82,11 +113,16 @@ func (t Type) String() string {
 func (t Type) IsResponse() bool { return t&1 == 1 }
 
 // Response returns the response type paired with a request type. It
-// panics on a response type: asking for the response to a response is a
-// programming error.
+// panics on a response type — asking for the response to a response is a
+// programming error — and on TReplicate, which is one-way by design: a
+// replica push is repeated by the next anti-entropy round instead of
+// being acknowledged.
 func (t Type) Response() Type {
 	if t.IsResponse() {
 		panic(fmt.Sprintf("wire: %v is already a response", t))
+	}
+	if t == TReplicate {
+		panic("wire: replicate is one-way and has no response")
 	}
 	return t + 1
 }
@@ -134,6 +170,20 @@ type Message struct {
 	// Succs is the callee's successor list, nearest first
 	// (TGetPredResp).
 	Succs []Contact
+
+	// Key is the item key (TPut, TGet, TReplicate).
+	Key id.ID
+	// OK reports success: the value was stored (TPutAck) or found
+	// (TGetResp). When false the Value/Version fields are absent.
+	OK bool
+	// Value is the item payload, at most MaxValueLen bytes (TPut,
+	// TReplicate, and TGetResp when OK). A zero-length value is legal
+	// and decodes as nil.
+	Value []byte
+	// Version is the owner-assigned item version: PutAck reports the
+	// version the write received, GetResp the version served, Replicate
+	// the version pushed (TPutAck/TGetResp when OK, TReplicate).
+	Version uint64
 }
 
 // Limits enforced by the codec so a hostile datagram cannot make the
@@ -144,6 +194,12 @@ const (
 	MaxAddrLen = 255
 	// MaxSuccs bounds the successor list carried by GetPredResp.
 	MaxSuccs = 32
+	// MaxValueLen bounds one item value (Put, GetResp, Replicate). The
+	// cap keeps the largest datagram a little over 4 KiB — safely under
+	// any UDP path MTU worth worrying about once fragmentation is
+	// accepted, and small enough that a hostile datagram cannot make the
+	// decoder allocate more than this per value.
+	MaxValueLen = 4096
 )
 
 // Decode errors.
@@ -153,9 +209,36 @@ var (
 	ErrType       = errors.New("wire: unknown message type")
 	ErrAddrLen    = errors.New("wire: address too long")
 	ErrSuccCount  = errors.New("wire: successor list too long")
+	ErrValueLen   = errors.New("wire: value too long")
 	ErrTrailing   = errors.New("wire: trailing bytes after payload")
 	ErrBadMessage = errors.New("wire: message fields inconsistent with type")
 )
+
+func appendValue(b []byte, v []byte) ([]byte, error) {
+	if len(v) > MaxValueLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrValueLen, len(v))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(v)))
+	return append(b, v...), nil
+}
+
+func readValue(b []byte) ([]byte, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n > MaxValueLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrValueLen, n)
+	}
+	if len(b) < n {
+		return nil, nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, b, nil // canonical: zero-length decodes as nil
+	}
+	return append([]byte(nil), b[:n]...), b[n:], nil
+}
 
 func appendContact(b []byte, c Contact) ([]byte, error) {
 	if len(c.Addr) > MaxAddrLen {
@@ -229,6 +312,36 @@ func Encode(m *Message) ([]byte, error) {
 				return nil, err
 			}
 		}
+	case TPut:
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Key))
+		if b, err = appendValue(b, m.Value); err != nil {
+			return nil, err
+		}
+	case TPutAck:
+		if m.OK {
+			b = append(b, 1)
+			b = binary.BigEndian.AppendUint64(b, m.Version)
+		} else {
+			b = append(b, 0)
+		}
+	case TGet:
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Key))
+	case TGetResp:
+		if m.OK {
+			b = append(b, 1)
+			if b, err = appendValue(b, m.Value); err != nil {
+				return nil, err
+			}
+			b = binary.BigEndian.AppendUint64(b, m.Version)
+		} else {
+			b = append(b, 0)
+		}
+	case TReplicate:
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Key))
+		if b, err = appendValue(b, m.Value); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint64(b, m.Version)
 	}
 	return b, nil
 }
@@ -315,6 +428,68 @@ func Decode(b []byte) (*Message, error) {
 				}
 			}
 		}
+	case TPut:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		m.Key = id.ID(binary.BigEndian.Uint64(b))
+		if m.Value, b, err = readValue(b[8:]); err != nil {
+			return nil, err
+		}
+	case TPutAck:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("%w: ok byte %d", ErrBadMessage, b[0])
+		}
+		m.OK = b[0] == 1
+		b = b[1:]
+		if m.OK {
+			if len(b) < 8 {
+				return nil, ErrTruncated
+			}
+			m.Version = binary.BigEndian.Uint64(b)
+			b = b[8:]
+		}
+	case TGet:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		m.Key = id.ID(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	case TGetResp:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("%w: ok byte %d", ErrBadMessage, b[0])
+		}
+		m.OK = b[0] == 1
+		b = b[1:]
+		if m.OK {
+			if m.Value, b, err = readValue(b); err != nil {
+				return nil, err
+			}
+			if len(b) < 8 {
+				return nil, ErrTruncated
+			}
+			m.Version = binary.BigEndian.Uint64(b)
+			b = b[8:]
+		}
+	case TReplicate:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		m.Key = id.ID(binary.BigEndian.Uint64(b))
+		if m.Value, b, err = readValue(b[8:]); err != nil {
+			return nil, err
+		}
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		m.Version = binary.BigEndian.Uint64(b)
+		b = b[8:]
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(b))

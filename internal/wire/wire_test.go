@@ -49,8 +49,47 @@ func randMessage(rng *rand.Rand) *Message {
 				m.Succs[i] = randContact(rng)
 			}
 		}
+	case TPut:
+		m.Key = id.ID(rng.Uint64())
+		m.Value = randValue(rng)
+	case TPutAck:
+		m.OK = rng.Intn(2) == 0
+		if m.OK {
+			m.Version = rng.Uint64()
+		}
+	case TGet:
+		m.Key = id.ID(rng.Uint64())
+	case TGetResp:
+		m.OK = rng.Intn(2) == 0
+		if m.OK {
+			m.Value = randValue(rng)
+			m.Version = rng.Uint64()
+		}
+	case TReplicate:
+		m.Key = id.ID(rng.Uint64())
+		m.Value = randValue(rng)
+		m.Version = rng.Uint64()
 	}
 	return m
+}
+
+// randValue draws a value of plausible length — nil about a quarter of
+// the time (zero-length values decode as nil, so canonical messages
+// never carry a non-nil empty slice), occasionally at the MaxValueLen
+// limit.
+func randValue(rng *rand.Rand) []byte {
+	var n int
+	switch rng.Intn(4) {
+	case 0:
+		return nil
+	case 1:
+		n = MaxValueLen - rng.Intn(2)
+	default:
+		n = 1 + rng.Intn(64)
+	}
+	v := make([]byte, n)
+	rng.Read(v)
+	return v
 }
 
 // Property: Decode(Encode(m)) == m for every canonical message.
@@ -135,6 +174,51 @@ func TestEncodeRejectsOversize(t *testing.T) {
 	if _, err := Encode(&Message{Type: typeCount}); err == nil {
 		t.Fatal("unknown type accepted")
 	}
+	big := make([]byte, MaxValueLen+1)
+	for _, typ := range []Type{TPut, TReplicate} {
+		if _, err := Encode(&Message{Type: typ, Value: big}); err == nil {
+			t.Fatalf("%v: oversized value accepted", typ)
+		}
+	}
+	if _, err := Encode(&Message{Type: TGetResp, OK: true, Value: big}); err == nil {
+		t.Fatal("get-resp: oversized value accepted")
+	}
+}
+
+// A decoded value length may not exceed MaxValueLen even when the
+// datagram carries that many bytes: the length prefix is 16-bit, so
+// without the check a hostile sender could make receivers hold 64 KiB
+// per message.
+func TestDecodeRejectsOversizedValue(t *testing.T) {
+	ok, err := Encode(&Message{Type: TPut, Key: 5, Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The value length prefix sits after envelope + 8-byte key; patch it
+	// to MaxValueLen+1 and pad the payload to match.
+	cut := len(ok) - 3 // 2-byte length + 1 value byte
+	bad := append([]byte(nil), ok[:cut]...)
+	bad = append(bad, byte((MaxValueLen+1)>>8), byte((MaxValueLen+1)&0xff))
+	bad = append(bad, make([]byte, MaxValueLen+1)...)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("oversized value length accepted")
+	}
+}
+
+// Empty values are canonical as nil: an encoded zero-length value must
+// decode to a nil slice so the fuzz round-trip invariant holds.
+func TestEmptyValueDecodesNil(t *testing.T) {
+	b, err := Encode(&Message{Type: TPut, Key: 9, Value: []byte{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value != nil {
+		t.Fatalf("zero-length value decoded as %#v, want nil", m.Value)
+	}
 }
 
 func TestResponsePairing(t *testing.T) {
@@ -143,6 +227,8 @@ func TestResponsePairing(t *testing.T) {
 		TFindSucc: TFindSuccResp,
 		TGetPred:  TGetPredResp,
 		TNotify:   TNotifyAck,
+		TPut:      TPutAck,
+		TGet:      TGetResp,
 	}
 	for req, resp := range pairs {
 		if req.IsResponse() {
@@ -155,4 +241,18 @@ func TestResponsePairing(t *testing.T) {
 			t.Errorf("%v.Response() = %v, want %v", req, got, resp)
 		}
 	}
+	// Replicate is one-way: routed like a request (the read loop hands
+	// it to the handler), but asking for its response is a programming
+	// error the type system flags at the first misuse.
+	if TReplicate.IsResponse() {
+		t.Error("replicate classified as response")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("TReplicate.Response() did not panic")
+			}
+		}()
+		TReplicate.Response()
+	}()
 }
