@@ -1,7 +1,10 @@
-// Command p2pnode runs one live UDP Chord node with the paper's
-// peer-caching layer: it joins an overlay, serves iterative
-// find-successor lookups, and periodically recomputes its optimal
-// auxiliary neighbors from the traffic it observes (eq. 1).
+// Command p2pnode runs one live UDP overlay node with the paper's
+// peer-caching layer: it joins an overlay, serves iterative lookups,
+// and periodically recomputes its optimal auxiliary neighbors from the
+// traffic it observes (eq. 1). The routing geometry is selectable with
+// -proto: chord (successor list + fingers, the default) or pastry
+// (leaf set + prefix rows); every node of one overlay must run the
+// same geometry.
 //
 // Bootstrap the first node, then join others through it:
 //
@@ -24,6 +27,9 @@ import (
 
 	"peercache/internal/id"
 	"peercache/internal/node"
+	"peercache/internal/node/chordring"
+	"peercache/internal/node/pastryring"
+	"peercache/internal/node/ring"
 )
 
 func main() {
@@ -41,13 +47,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:0", "UDP listen address")
 		bootstrap   = fs.String("bootstrap", "", "address of any overlay member; empty starts a new ring")
+		proto       = fs.String("proto", "chord", "routing geometry: chord or pastry")
 		bits        = fs.Uint("bits", 32, "identifier length in bits")
 		k           = fs.Int("k", 8, "auxiliary-neighbor budget")
 		nodeID      = fs.Uint64("id", 0, "ring id (default: hash of the advertised address)")
 		haveID      = false
-		succLen     = fs.Int("succlist", 4, "successor list length")
+		succLen     = fs.Int("succlist", 4, "near-neighbor list length (successor list / one leaf-set side)")
 		stabilize   = fs.Duration("stabilize", time.Second, "stabilize period")
-		fixFingers  = fs.Duration("fixfingers", 250*time.Millisecond, "per-finger refresh period")
+		fixFingers  = fs.Duration("fixfingers", 250*time.Millisecond, "long-range table entry refresh period")
 		auxEvery    = fs.Duration("aux-every", 10*time.Second, "auxiliary recompute period (0 disables)")
 		rpcTimeout  = fs.Duration("rpc-timeout", 500*time.Millisecond, "per-attempt RPC timeout")
 		statsEvery  = fs.Duration("stats-every", 10*time.Second, "status line period (0 disables)")
@@ -62,10 +69,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	})
 
+	var newRing ring.Factory
+	switch *proto {
+	case "chord":
+		newRing = chordring.New
+	case "pastry":
+		newRing = pastryring.New
+	default:
+		return fmt.Errorf("unknown -proto %q (chord or pastry)", *proto)
+	}
+
 	space := id.NewSpace(*bits)
 	cfg := node.Config{
 		Space:            space,
 		Addr:             *addr,
+		NewRing:          newRing,
 		AuxCount:         *k,
 		SuccessorListLen: *succLen,
 		StabilizeEvery:   *stabilize,
@@ -94,8 +112,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	defer n.Close()
-	fmt.Fprintf(out, "p2pnode: id %d (%s) listening on %s, k=%d, %d-bit ring\n",
-		n.ID(), space.Format(n.ID()), n.Addr(), *k, *bits)
+	fmt.Fprintf(out, "p2pnode: %s id %d (%s) listening on %s, k=%d, %d-bit ring\n",
+		n.Protocol(), n.ID(), space.Format(n.ID()), n.Addr(), *k, *bits)
 
 	if *metricsAddr != "" {
 		srv, bound, err := serveMetrics(n, *metricsAddr)
@@ -149,8 +167,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				predStr = fmt.Sprint(pred.ID)
 			}
 			fmt.Fprintf(out,
-				"p2pnode: succ=%d pred=%s fingers=%d aux=%d | rpcs=%d retries=%d timeouts=%d | lookups=%d hops=%d recomputes=%d\n",
-				succ.ID, predStr, len(n.Fingers()), len(n.Aux()),
+				"p2pnode: succ=%d pred=%s table=%d aux=%d | rpcs=%d retries=%d timeouts=%d | lookups=%d hops=%d recomputes=%d\n",
+				succ.ID, predStr, n.TableSize(), len(n.Aux()),
 				m.RPCs, m.Retries, m.Timeouts, m.Lookups, m.LookupHops, m.AuxRecomputes)
 		}
 	}

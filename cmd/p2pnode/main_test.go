@@ -9,6 +9,7 @@ import (
 
 	"peercache/internal/id"
 	"peercache/internal/node"
+	"peercache/internal/node/pastryring"
 )
 
 // The daemon must come up, join an existing overlay through the
@@ -84,6 +85,80 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(context.Background(), []string{"-bits", "nope"}, &buf); err == nil {
 		t.Fatal("bad -bits accepted")
+	}
+	if err := run(context.Background(), []string{"-proto", "kademlia"}, &buf); err == nil {
+		t.Fatal("unknown -proto accepted")
+	}
+}
+
+// The -proto pastry daemon must join a Pastry overlay and integrate
+// into the bootstrap's leaf set, exactly as the Chord daemon does into
+// the successor ring.
+func TestDaemonPastryJoinsAndServes(t *testing.T) {
+	space := id.NewSpace(16)
+	boot, err := node.Start(node.Config{
+		Space:           space,
+		ID:              1000,
+		Addr:            "127.0.0.1:0",
+		NewRing:         pastryring.New,
+		StabilizeEvery:  50 * time.Millisecond,
+		FixFingersEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer // only read after run returns
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-proto", "pastry",
+			"-bits", "16",
+			"-id", "30000",
+			"-k", "4",
+			"-bootstrap", boot.Addr(),
+			"-stabilize", "50ms",
+			"-fixfingers", "10ms",
+			"-stats-every", "0",
+		}, &buf)
+	}()
+
+	// The overlay of two must form: the bootstrap holds the daemon on
+	// both leaf-set sides.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		succ := boot.Successor()
+		pred, ok := boot.Predecessor()
+		if succ.ID == 30000 && ok && pred.ID == 30000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never integrated: succ=%v pred=%v ok=%t", succ, pred, ok)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// 20000 is numerically closer to the daemon than to the bootstrap.
+	owner, _, err := boot.Lookup(id.ID(20000))
+	if err != nil || owner.ID != 30000 {
+		t.Fatalf("lookup 20000: owner %v, err %v", owner, err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pastry id 30000") || !strings.Contains(out, "joined via") {
+		t.Fatalf("unexpected daemon output:\n%s", out)
 	}
 }
 

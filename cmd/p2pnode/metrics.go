@@ -16,13 +16,18 @@ import (
 type metricsPayload struct {
 	ID   uint64 `json:"id"`
 	Addr string `json:"addr"`
+	// Protocol names the routing geometry ("chord", "pastry").
+	Protocol string `json:"protocol"`
 
 	Successor      uint64 `json:"successor"`
 	HasPredecessor bool   `json:"has_predecessor"`
 	Predecessor    uint64 `json:"predecessor,omitempty"`
 	SuccessorList  int    `json:"successor_list_len"`
-	Fingers        int    `json:"fingers"`
-	Aux            int    `json:"aux"`
+	// TableSize counts the populated long-range routing-table entries
+	// of whatever geometry runs: distinct fingers on Chord, populated
+	// prefix rows on Pastry.
+	TableSize int `json:"table_size"`
+	Aux       int `json:"aux"`
 
 	// AuxNeighbors is the live auxiliary set. An entry whose id is a
 	// key's ring position rather than a node id is a position-aliased
@@ -63,9 +68,10 @@ func payloadFor(n *node.Node) metricsPayload {
 	p := metricsPayload{
 		ID:            uint64(n.ID()),
 		Addr:          n.Addr(),
+		Protocol:      n.Protocol(),
 		Successor:     uint64(n.Successor().ID),
 		SuccessorList: len(n.Successors()),
-		Fingers:       len(n.Fingers()),
+		TableSize:     n.TableSize(),
 		Aux:           len(aux),
 		AuxNeighbors:  auxJSON,
 		Store: storeStats{

@@ -10,6 +10,7 @@ import (
 
 	"peercache/internal/id"
 	"peercache/internal/node"
+	"peercache/internal/node/pastryring"
 )
 
 // runWithTimeout drives the daemon's run with a bounded context, for
@@ -73,8 +74,66 @@ func TestMetricsEndpoint(t *testing.T) {
 	if p.Successor != 4242 || p.SuccessorList != 1 {
 		t.Fatalf("ring of one reported successor=%d list=%d", p.Successor, p.SuccessorList)
 	}
+	if p.Protocol != "chord" {
+		t.Fatalf("protocol %q, want chord", p.Protocol)
+	}
+	if p.TableSize != n.TableSize() {
+		t.Fatalf("table_size %d, want %d", p.TableSize, n.TableSize())
+	}
 	if p.Metrics.Lookups != 1 {
 		t.Fatalf("lookups %d, want 1", p.Metrics.Lookups)
+	}
+}
+
+// The payload must report the active geometry's name and its table
+// size — prefix rows, not fingers — when the node runs Pastry.
+func TestMetricsProtocolPastry(t *testing.T) {
+	space := id.NewSpace(16)
+	cfg := func(x id.ID) node.Config {
+		return node.Config{
+			Space:           space,
+			ID:              x,
+			Addr:            "127.0.0.1:0",
+			NewRing:         pastryring.New,
+			StabilizeEvery:  50 * time.Millisecond,
+			FixFingersEvery: 10 * time.Millisecond,
+			RPCTimeout:      250 * time.Millisecond,
+		}
+	}
+	a, err := node.Start(cfg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := node.Start(cfg(40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); a.Successor().ID != b.ID(); {
+		if time.Now().After(deadline) {
+			t.Fatal("pastry pair never formed")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	srv, addr, err := serveMetrics(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := scrape(t, addr)
+	if p.Protocol != "pastry" {
+		t.Fatalf("protocol %q, want pastry", p.Protocol)
+	}
+	if p.Successor != uint64(b.ID()) {
+		t.Fatalf("successor %d, want %d", p.Successor, b.ID())
+	}
+	if p.TableSize != a.TableSize() || p.TableSize == 0 {
+		t.Fatalf("table_size %d, node reports %d", p.TableSize, a.TableSize())
 	}
 }
 

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/node/pastryring"
+	"peercache/internal/randx"
+)
+
+// TestClusterPastryAuxGain is the acceptance test for the pluggable
+// routing geometry: the same 56-node memnet overlay the Chord cluster
+// test runs, but with every node on pastryring — leaf sets and prefix
+// rows maintained over TLeafProbe/TRowExchange instead of successor
+// stabilization — under duplication and latency jitter. Phases:
+//
+//  1. Boot through the Pastry join walk and converge to the leaf-set
+//     and coverable-row oracle.
+//  2. Drive a per-source Zipf lookup stream twice — core-only while the
+//     frequency observers accumulate, then after every node runs the
+//     paper's greedy Pastry selection (core.PastryMaintainer) over what
+//     it observed — and require the with-aux mean hop count strictly
+//     below core-only.
+//
+// Everything is seeded; the whole test runs race-enabled.
+func TestClusterPastryAuxGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("56-node in-process cluster test")
+	}
+	const (
+		numNodes  = 56
+		leafHalf  = 4
+		k         = 8 // auxiliary budget
+		alpha     = 1.2
+		perSource = 50
+		seed      = 23
+	)
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(seed))
+	ids := randx.UniqueIDs(rng, numNodes, space.Size())
+
+	nw := memnet.New(seed)
+	nw.SetDefaultPolicy(memnet.LinkPolicy{
+		Dup:      0.02,
+		MaxDelay: time.Millisecond, // jitter ⇒ reordering
+	})
+
+	cl, err := Start(space, nw, ids, func(i int, cfg *node.Config) {
+		cfg.NewRing = pastryring.New
+		cfg.SuccessorListLen = leafHalf
+		cfg.AuxCount = k
+		cfg.AuxEvery = 0 // recomputation driven explicitly between passes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, n := range cl.Nodes {
+		if got := n.Protocol(); got != "pastry" {
+			t.Fatalf("node %d protocol %q, want pastry", n.ID(), got)
+		}
+	}
+	if err := cl.WaitConvergedPastry(leafHalf, 60*time.Second); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+	t.Log("phase 1: converged to pastry leaf/row oracle")
+
+	// Phase 2: per-source Zipf destination mix over the other nodes,
+	// with a node-specific popularity ranking — the same workload shape
+	// as the Chord cluster test, so the two geometries' aux gains are
+	// comparable.
+	alias := randx.NewAlias(randx.ZipfWeights(numNodes-1, alpha))
+	destsByRank := make([][]id.ID, numNodes)
+	for i := range cl.Nodes {
+		others := make([]id.ID, 0, numNodes-1)
+		for j, n := range cl.Nodes {
+			if j != i {
+				others = append(others, n.ID())
+			}
+		}
+		perm := rng.Perm(len(others))
+		ranked := make([]id.ID, len(others))
+		for r, p := range perm {
+			ranked[r] = others[p]
+		}
+		destsByRank[i] = ranked
+	}
+	type query struct {
+		src    int
+		target id.ID
+	}
+	stream := make([]query, numNodes*perSource)
+	for q := range stream {
+		src := q % numNodes
+		stream[q] = query{src: src, target: destsByRank[src][alias.Sample(rng)]}
+	}
+	runStream := func(label string) float64 {
+		total := 0
+		for _, q := range stream {
+			owner, hops, err := cl.Nodes[q.src].Lookup(q.target)
+			if err != nil {
+				t.Fatalf("%s: lookup %d from node %d: %v", label, q.target, cl.Nodes[q.src].ID(), err)
+			}
+			if owner.ID != q.target {
+				t.Fatalf("%s: lookup %d resolved to %d", label, q.target, owner.ID)
+			}
+			total += hops
+		}
+		return float64(total) / float64(len(stream))
+	}
+
+	coreOnly := runStream("core-only")
+	for _, n := range cl.Nodes {
+		if len(n.Aux()) != 0 {
+			t.Fatalf("node %d has auxiliary neighbors before any recompute", n.ID())
+		}
+	}
+	installed := 0
+	for _, n := range cl.Nodes {
+		got, err := n.RecomputeAux()
+		if err != nil {
+			t.Fatalf("recompute aux at node %d: %v", n.ID(), err)
+		}
+		installed += got
+	}
+	if installed == 0 {
+		t.Fatal("no node installed any auxiliary neighbor")
+	}
+	withAux := runStream("with-aux")
+
+	s := nw.Stats()
+	t.Logf("mean hops: core-only %.4f, with k=%d aux %.4f (%d nodes, %d queries, %d aux installed)",
+		coreOnly, k, withAux, numNodes, len(stream), installed)
+	t.Logf("memnet: %+v", s)
+	if !(withAux < coreOnly) {
+		t.Fatalf("auxiliary neighbors did not reduce mean hops: core-only %.4f, with-aux %.4f", coreOnly, withAux)
+	}
+	if s.Duplicated == 0 {
+		t.Fatal("duplication policy never fired")
+	}
+	for _, n := range cl.Nodes {
+		if m := n.Metrics(); m.DecodeErrors != 0 {
+			t.Errorf("node %d: %d decode errors", n.ID(), m.DecodeErrors)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/node/chordring"
+	"peercache/internal/node/pastryring"
+	"peercache/internal/node/ring"
+	"peercache/internal/wire"
+)
+
+// geometries enumerates the in-tree routing factories; the splice
+// edge-case tests below run identically against each, pinning down that
+// the auxiliary set is a pure overlay in both: installing, removing, or
+// losing an aux entry never perturbs the core routing state.
+var geometries = []struct {
+	name    string
+	factory ring.Factory
+}{
+	{"chord", chordring.New},
+	{"pastry", pastryring.New},
+}
+
+// waitRing polls until every node's nearest neighbors match the sorted
+// ring — successor and predecessor in Chord terms, the first entry of
+// each leaf-set side in Pastry terms; the accessors coincide, which is
+// what lets this wait (and the kv plane above it) stay protocol-blind.
+func waitRing(t *testing.T, nodes []*Node, deadline time.Duration) {
+	t.Helper()
+	ring := make([]id.ID, len(nodes))
+	for i, n := range nodes {
+		ring[i] = n.ID()
+	}
+	sortIDs(ring)
+	pos := make(map[id.ID]int, len(ring))
+	for i, x := range ring {
+		pos[x] = i
+	}
+	check := func() error {
+		for _, n := range nodes {
+			i := pos[n.ID()]
+			wantSucc := ring[(i+1)%len(ring)]
+			wantPred := ring[(i+len(ring)-1)%len(ring)]
+			if got := n.Successor(); got.ID != wantSucc {
+				return fmt.Errorf("node %d successor %d, want %d", n.ID(), got.ID, wantSucc)
+			}
+			if p, ok := n.Predecessor(); !ok || p.ID != wantPred {
+				return fmt.Errorf("node %d predecessor %v (%t), want %d", n.ID(), p.ID, ok, wantPred)
+			}
+		}
+		return nil
+	}
+	var last error
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		if last = check(); last == nil {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("ring did not form: %v", last)
+}
+
+func sortIDs(xs []id.ID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// An auxiliary entry that duplicates a core neighbor must be a harmless
+// no-op: lookups stay correct while it is installed, and removing it
+// removes only the overlay — the core route it shadowed survives.
+func TestAuxSpliceDuplicatesCoreNeighbor(t *testing.T) {
+	for _, g := range geometries {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			space := id.NewSpace(16)
+			nodes := startCluster(t, space, []uint64{1000, 30000, 50000}, func(cfg *Config) {
+				cfg.NewRing = g.factory
+			})
+			waitRing(t, nodes, 20*time.Second)
+			a := nodes[0]
+			succ := a.Successor() // node 30000: already a core neighbor
+
+			lookupAll := func(label string) {
+				for _, m := range nodes[1:] {
+					owner, _, err := a.Lookup(m.ID())
+					if err != nil || owner.ID != m.ID() {
+						t.Fatalf("%s: lookup %d: owner %v, err %v", label, m.ID(), owner, err)
+					}
+				}
+			}
+			a.Ring().SetAux([]wire.Contact{succ})
+			if got := a.Aux(); len(got) != 1 || got[0].ID != succ.ID {
+				t.Fatalf("aux after install: %v", got)
+			}
+			lookupAll("aux shadowing core")
+
+			a.Ring().RemoveAux(succ.ID)
+			if got := a.Aux(); len(got) != 0 {
+				t.Fatalf("aux after removal: %v", got)
+			}
+			if got := a.Successor(); got.ID != succ.ID {
+				t.Fatalf("removing the aux overlay evicted core successor: %v", got)
+			}
+			lookupAll("after aux removal")
+		})
+	}
+}
+
+// A lookup that routes through an auxiliary pointer whose target has
+// departed must recover: the failed hop retires the aux entry from the
+// routing state and the next attempt resolves through core neighbors.
+func TestAuxSpliceTargetDepartsMidLookup(t *testing.T) {
+	for _, g := range geometries {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			space := id.NewSpace(16)
+			// Near-neighbor lists of one, so neither Chord's successor
+			// interval nor Pastry's (otherwise ring-covering, underfull)
+			// leaf arc short-circuits the lookup before the aux splice
+			// gets considered.
+			nodes := startCluster(t, space, []uint64{1000, 30000, 50000}, func(cfg *Config) {
+				cfg.NewRing = g.factory
+				cfg.SuccessorListLen = 1
+			})
+			waitRing(t, nodes, 20*time.Second)
+			b, src := nodes[1], nodes[2]
+
+			// A position-aliased aux pointer at key 20000 (owned by b in
+			// both geometries; from src the key is neither in the
+			// successor interval nor the leaf arc) whose address belongs
+			// to a departed peer, so the splice is a dead end exactly on
+			// the measured path.
+			key := id.ID(20000)
+			src.Ring().SetAux([]wire.Contact{{ID: key, Addr: "127.0.0.1:1"}})
+
+			deadline := time.Now().Add(20 * time.Second)
+			for {
+				owner, _, err := src.Lookup(key)
+				if err == nil && owner.ID == b.ID() {
+					break // recovered through core routing
+				}
+				if err == nil {
+					t.Fatalf("lookup %d resolved to %v, want %d", key, owner, b.ID())
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("lookup never recovered from departed aux target: %v", err)
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			for _, e := range src.Aux() {
+				if e.ID == key {
+					t.Fatalf("dead aux entry %v still installed", e)
+				}
+			}
+		})
+	}
+}
+
+// AuxCount = 0 must disable the overlay cleanly in both geometries: an
+// explicit recompute selects nothing, installs nothing, and returns no
+// error, while core routing keeps resolving.
+func TestAuxSpliceZeroBudgetDisables(t *testing.T) {
+	for _, g := range geometries {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			space := id.NewSpace(16)
+			nodes := startCluster(t, space, []uint64{1000, 30000}, func(cfg *Config) {
+				cfg.NewRing = g.factory
+				cfg.AuxCount = 0
+			})
+			waitRing(t, nodes, 20*time.Second)
+			a, b := nodes[0], nodes[1]
+			for i := 0; i < 10; i++ {
+				if owner, _, err := a.Lookup(b.ID()); err != nil || owner.ID != b.ID() {
+					t.Fatalf("lookup %d: owner %v, err %v", b.ID(), owner, err)
+				}
+			}
+			for _, n := range nodes {
+				installed, err := n.RecomputeAux()
+				if err != nil {
+					t.Fatalf("node %d recompute with k=0: %v", n.ID(), err)
+				}
+				if installed != 0 || len(n.Aux()) != 0 {
+					t.Fatalf("node %d installed aux with k=0: %d, %v", n.ID(), installed, n.Aux())
+				}
+			}
+			if owner, _, err := a.Lookup(b.ID()); err != nil || owner.ID != b.ID() {
+				t.Fatalf("post-recompute lookup: owner %v, err %v", owner, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,522 @@
+// Package chordring is the Chord geometry of the live node runtime: the
+// successor list, predecessor pointer, and finger table that
+// internal/node embedded directly before the ring.Routing split, now
+// behind the protocol-agnostic contract. The runtime drives it with
+// tickers (Stabilize, RepairTable) and iterative lookups (NextHop); the
+// paired aux maintainer wraps core.ChordMaintainer, the paper's
+// selection policy for the ring distance metric, over a rotating
+// frequency window.
+package chordring
+
+import (
+	"fmt"
+	"sync"
+
+	"peercache/internal/core"
+	"peercache/internal/freq"
+	"peercache/internal/id"
+	"peercache/internal/node/ring"
+	"peercache/internal/wire"
+)
+
+// Ring is the Chord routing state plus the maintenance protocol over
+// it. Methods take the lock briefly and perform I/O only through the
+// Host, so the runtime may call them from the read loop (NextHop, Owns,
+// HandleRequest) and its tickers concurrently.
+type Ring struct {
+	h       ring.Host
+	space   id.Space
+	self    wire.Contact
+	maxHops int
+
+	mu      sync.RWMutex
+	succs   []wire.Contact // nearest first; never empty (falls back to self)
+	maxSucc int
+	pred    wire.Contact
+	hasPred bool
+
+	fingers   []wire.Contact // fingers[i] covers (self+2^i, self+2^{i+1}]
+	hasFinger []bool
+
+	aux []wire.Contact // auxiliary neighbors, the paper's A_s
+
+	nextFinger uint // round-robin cursor for RepairTable
+}
+
+// New builds the Chord geometry and its drift-gated selection
+// maintainer. It is the default ring.Factory of node.Config.
+func New(h ring.Host, o ring.Options) (ring.Routing, ring.AuxMaintainer, error) {
+	space, self := h.Space(), h.Self()
+	r := &Ring{
+		h:         h,
+		space:     space,
+		self:      self,
+		maxHops:   o.MaxLookupHops,
+		succs:     []wire.Contact{self},
+		maxSucc:   o.NeighborListLen,
+		fingers:   make([]wire.Contact, space.Bits()),
+		hasFinger: make([]bool, space.Bits()),
+	}
+	window := freq.NewWindowed(o.WindowBuckets)
+	m, err := core.NewChordMaintainerWithCounter(space, self.ID, nil, o.AuxCount, o.DriftThreshold, window)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, &auxPolicy{m: m, window: window}, nil
+}
+
+// Protocol implements ring.Routing.
+func (r *Ring) Protocol() string { return "chord" }
+
+// Join enters the overlay through a peer listening at bootstrap: an
+// iterative find-successor for the node's own id yields its successor;
+// stabilization then integrates the node into the ring, exactly as in
+// chordproto.Join.
+func (r *Ring) Join(bootstrap string) error {
+	cur := bootstrap
+	for hops := 0; hops <= r.maxHops; hops++ {
+		resp, err := r.h.Call(cur, &wire.Message{Type: wire.TFindSucc, Target: r.self.ID})
+		if err != nil {
+			return fmt.Errorf("chordring: join via %s: %w", bootstrap, err)
+		}
+		r.h.Note(resp.From)
+		if resp.Done {
+			if resp.Found.ID == r.self.ID {
+				return fmt.Errorf("chordring: join: id %d already taken by %s", r.self.ID, resp.Found.Addr)
+			}
+			r.adoptSuccessor(resp.Found)
+			return nil
+		}
+		if resp.Next.IsZero() || resp.Next.Addr == cur {
+			return fmt.Errorf("chordring: join via %s: no progress at %s", bootstrap, cur)
+		}
+		r.h.Note(resp.Next)
+		cur = resp.Next.Addr
+	}
+	return fmt.Errorf("chordring: join via %s: exceeded %d hops", bootstrap, r.maxHops)
+}
+
+// NextHop answers one iterative lookup step for target: either the
+// final answer (done) or the closest preceding contact from the node's
+// fingers, successor list, and auxiliary neighbors.
+func (r *Ring) NextHop(target id.ID) (wire.Contact, bool) {
+	if target == r.self.ID || r.Owns(target) {
+		return r.self, true
+	}
+	s := r.successor()
+	if s.ID == r.self.ID {
+		// Ring of one: every key is ours.
+		return r.self, true
+	}
+	if r.space.BetweenIncl(target, r.self.ID, s.ID) {
+		return s, true
+	}
+	next := r.closestPreceding(target)
+	if next.ID == r.self.ID {
+		// Defensive: cannot happen while a distinct successor exists,
+		// but never redirect a caller to ourselves.
+		return s, true
+	}
+	return next, false
+}
+
+// Owns reports whether this node is currently responsible for key: its
+// predecessor is known and key lies in (pred, self]. An owner claims
+// its keys outright in the lookup path — in particular when a
+// position-aliased aux pointer lands a lookup directly on the owner,
+// whose successor-interval rule alone would route the query all the way
+// around the ring.
+func (r *Ring) Owns(key id.ID) bool {
+	r.mu.RLock()
+	p, ok := r.pred, r.hasPred
+	r.mu.RUnlock()
+	if !ok || p.ID == r.self.ID {
+		return false
+	}
+	return r.space.BetweenIncl(key, p.ID, r.self.ID)
+}
+
+// Responsible implements ring.Routing: `(pred, self]` when a
+// predecessor is known, everything on a ring of one, unknown otherwise.
+func (r *Ring) Responsible() (func(id.ID) bool, bool) {
+	r.mu.RLock()
+	p, hasPred := r.pred, r.hasPred
+	alone := r.succs[0].ID == r.self.ID
+	r.mu.RUnlock()
+	switch {
+	case hasPred && p.ID != r.self.ID:
+		pid := p.ID
+		return func(k id.ID) bool { return r.space.BetweenIncl(k, pid, r.self.ID) }, true
+	case !hasPred && alone:
+		// Ring of one: every key is ours.
+		return func(id.ID) bool { return true }, true
+	}
+	return nil, false
+}
+
+// HandleRequest answers the Chord maintenance RPCs.
+func (r *Ring) HandleRequest(m *wire.Message, resp *wire.Message) bool {
+	switch m.Type {
+	case wire.TGetPred:
+		resp.Type = wire.TGetPredResp
+		resp.Pred, resp.HasPred = r.Predecessor()
+		succs := r.succList()
+		if len(succs) > wire.MaxSuccs {
+			succs = succs[:wire.MaxSuccs]
+		}
+		resp.Succs = succs
+	case wire.TNotify:
+		r.notify(m.From)
+		resp.Type = wire.TNotifyAck
+	default:
+		return false
+	}
+	return true
+}
+
+// Stabilize runs one maintenance round: refresh the successor (adopting
+// its predecessor when that node sits between), notify it, rebuild the
+// successor list from its list, and check the predecessor's liveness.
+func (r *Ring) Stabilize() {
+	s := r.successor()
+	if s.ID == r.self.ID {
+		// Ring of one: adopt any known predecessor as successor.
+		if p, ok := r.Predecessor(); ok && p.ID != r.self.ID {
+			r.adoptSuccessor(p)
+		}
+		return
+	}
+	resp, err := r.h.Call(s.Addr, &wire.Message{Type: wire.TGetPred})
+	if err != nil {
+		r.dropSuccessor(s.ID)
+		return
+	}
+	cand := s
+	if resp.HasPred && resp.Pred.ID != r.self.ID && resp.Pred.Addr != "" &&
+		r.space.Between(resp.Pred.ID, r.self.ID, s.ID) {
+		// A closer successor exists — verify it answers before
+		// adopting it (chordproto consults liveness here too).
+		if _, err := r.h.Call(resp.Pred.Addr, &wire.Message{Type: wire.TPing}); err == nil {
+			r.adoptSuccessor(resp.Pred)
+			cand = resp.Pred
+		}
+	}
+	if _, err := r.h.Call(cand.Addr, &wire.Message{Type: wire.TNotify}); err != nil {
+		r.dropSuccessor(cand.ID)
+		return
+	}
+	// Successor-list refresh: our successor first, then its list.
+	list := make([]wire.Contact, 0, r.maxSucc+2)
+	list = append(list, cand)
+	if cand.ID != s.ID {
+		list = append(list, s)
+	}
+	list = append(list, resp.Succs...)
+	r.setSuccs(list)
+
+	// Predecessor liveness.
+	if p, ok := r.Predecessor(); ok && p.ID != r.self.ID && p.Addr != "" {
+		if _, err := r.h.Call(p.Addr, &wire.Message{Type: wire.TPing}); err != nil {
+			r.clearPred()
+		}
+	}
+}
+
+// RepairTable refreshes one finger per call, round-robin: finger i is
+// the first node in (self+2^i, self+2^{i+1}], found with an iterative
+// lookup; an out-of-interval answer clears the entry (chordproto's
+// interval rule).
+func (r *Ring) RepairTable() {
+	r.mu.Lock()
+	i := r.nextFinger
+	r.nextFinger = (r.nextFinger + 1) % r.space.Bits()
+	r.mu.Unlock()
+	start := r.space.Add(r.self.ID, (uint64(1)<<i)+1)
+	c, _, err := r.h.Resolve(start)
+	if err != nil {
+		return
+	}
+	g := r.space.Gap(r.self.ID, c.ID)
+	if c.ID != r.self.ID && g > uint64(1)<<i && g <= uint64(1)<<(i+1) {
+		r.setFinger(i, c, true)
+	} else {
+		r.setFinger(i, wire.Contact{}, false)
+	}
+}
+
+// Heal folds a live contact rediscovered by the runtime's heal probe
+// back into the ring: adopt it as successor when it sits between this
+// node and the current successor, or unconditionally on a ring of one.
+// This is the partition-repair mechanism — stabilize and notify only
+// ever talk to nodes already in the routing state, so two rings that
+// diverged while a partition was up would otherwise never re-merge.
+func (r *Ring) Heal(live wire.Contact) {
+	if live.IsZero() || live.ID == r.self.ID || live.Addr == "" {
+		return
+	}
+	s := r.successor()
+	if s.ID == r.self.ID || r.space.Between(live.ID, r.self.ID, s.ID) {
+		r.adoptSuccessor(live)
+	}
+}
+
+// DropPeer retires an unreachable peer from the successor list and the
+// auxiliary set (fingers heal on their own round-robin refresh).
+func (r *Ring) DropPeer(x id.ID) {
+	r.RemoveAux(x)
+	r.dropSuccessor(x)
+}
+
+// Successors returns a copy of the successor list.
+func (r *Ring) Successors() []wire.Contact { return r.succList() }
+
+// Predecessor returns the current predecessor pointer.
+func (r *Ring) Predecessor() (wire.Contact, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pred, r.hasPred
+}
+
+// TableList returns the populated fingers, deduplicated, ascending by
+// interval.
+func (r *Ring) TableList() []wire.Contact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []wire.Contact
+	for i, ok := range r.hasFinger {
+		if !ok {
+			continue
+		}
+		f := r.fingers[i]
+		if len(out) > 0 && out[len(out)-1].ID == f.ID {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TableSize counts distinct populated finger entries.
+func (r *Ring) TableSize() int { return len(r.TableList()) }
+
+// CoreIDs returns the node's core neighbor set — fingers and successor
+// list, self excluded — the N_s of eq. 1, fed to the selection
+// maintainer.
+func (r *Ring) CoreIDs() []id.ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := make(map[id.ID]bool)
+	var out []id.ID
+	add := func(c wire.Contact) {
+		if c.IsZero() || c.ID == r.self.ID || seen[c.ID] {
+			return
+		}
+		seen[c.ID] = true
+		out = append(out, c.ID)
+	}
+	for i, ok := range r.hasFinger {
+		if ok {
+			add(r.fingers[i])
+		}
+	}
+	for _, s := range r.succs {
+		add(s)
+	}
+	return out
+}
+
+// Aux returns a copy of the auxiliary set.
+func (r *Ring) Aux() []wire.Contact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]wire.Contact(nil), r.aux...)
+}
+
+// SetAux installs the auxiliary neighbor set.
+func (r *Ring) SetAux(aux []wire.Contact) {
+	r.mu.Lock()
+	r.aux = append(aux[:0:0], aux...)
+	r.mu.Unlock()
+}
+
+// RemoveAux drops one auxiliary entry (its liveness ping failed).
+func (r *Ring) RemoveAux(dead id.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.aux[:0]
+	for _, a := range r.aux {
+		if a.ID != dead {
+			out = append(out, a)
+		}
+	}
+	r.aux = out
+}
+
+// successor returns the first entry of the successor list (self when
+// alone).
+func (r *Ring) successor() wire.Contact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.succs[0]
+}
+
+func (r *Ring) succList() []wire.Contact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]wire.Contact(nil), r.succs...)
+}
+
+// setSuccs installs a new successor list: zero contacts are dropped,
+// duplicates keep their first (nearest) occurrence, and the result is
+// truncated to maxSucc. An empty result falls back to self.
+func (r *Ring) setSuccs(list []wire.Contact) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[id.ID]bool, len(list))
+	out := make([]wire.Contact, 0, r.maxSucc)
+	for _, c := range list {
+		if c.IsZero() || seen[c.ID] {
+			continue
+		}
+		seen[c.ID] = true
+		out = append(out, c)
+		r.h.Note(c)
+		if len(out) == r.maxSucc {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, r.self)
+	}
+	r.succs = out
+}
+
+// adoptSuccessor prepends c as the new immediate successor.
+func (r *Ring) adoptSuccessor(c wire.Contact) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.succs[0].ID == c.ID {
+		r.succs[0] = c // refresh the address
+		return
+	}
+	list := append([]wire.Contact{c}, r.succs...)
+	if len(list) > r.maxSucc {
+		list = list[:r.maxSucc]
+	}
+	r.succs = list
+	r.h.Note(c)
+}
+
+// dropSuccessor removes a dead successor, falling back on the rest of
+// the list (and on self as the last resort, a ring of one until the
+// maintenance loops re-integrate the node).
+func (r *Ring) dropSuccessor(dead id.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.succs[:0]
+	for _, s := range r.succs {
+		if s.ID != dead {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, r.self)
+	}
+	r.succs = out
+}
+
+func (r *Ring) clearPred() {
+	r.mu.Lock()
+	r.hasPred = false
+	r.pred = wire.Contact{}
+	r.mu.Unlock()
+}
+
+// notify processes a notify(c): adopt c as predecessor if there is none
+// or c sits between the current predecessor and self.
+func (r *Ring) notify(c wire.Contact) {
+	if c.ID == r.self.ID || c.Addr == "" {
+		return
+	}
+	r.mu.Lock()
+	if !r.hasPred || r.space.Between(c.ID, r.pred.ID, r.self.ID) {
+		r.pred = c
+		r.hasPred = true
+	}
+	r.mu.Unlock()
+	r.h.Note(c)
+}
+
+// setFinger installs (or clears, when ok is false) finger i.
+func (r *Ring) setFinger(i uint, c wire.Contact, ok bool) {
+	r.mu.Lock()
+	r.hasFinger[i] = ok
+	if ok {
+		r.fingers[i] = c
+	} else {
+		r.fingers[i] = wire.Contact{}
+	}
+	r.mu.Unlock()
+	if ok {
+		r.h.Note(c)
+	}
+}
+
+// closestPreceding picks the next hop for target: over fingers,
+// successor list, and auxiliary neighbors, the contact with the largest
+// clockwise gap from self that does not overshoot the target — the
+// candidate window is (self, target], matching the simulator's routing
+// (internal/chord), so an auxiliary pointer at the destination itself
+// is a legal (and ideal, one-hop) next step. Falls back to the
+// successor when nothing qualifies.
+func (r *Ring) closestPreceding(target id.ID) wire.Contact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	gt := r.space.Gap(r.self.ID, target)
+	best := r.succs[0]
+	bestGap := uint64(0)
+	consider := func(c wire.Contact) {
+		if c.IsZero() || c.ID == r.self.ID {
+			return
+		}
+		g := r.space.Gap(r.self.ID, c.ID)
+		if g == 0 || g > gt {
+			return // self or overshoot
+		}
+		if g > bestGap {
+			best, bestGap = c, g
+		}
+	}
+	for i, ok := range r.hasFinger {
+		if ok {
+			consider(r.fingers[i])
+		}
+	}
+	for _, s := range r.succs {
+		consider(s)
+	}
+	for _, a := range r.aux {
+		consider(a)
+	}
+	return best
+}
+
+// auxPolicy adapts core.ChordMaintainer (plus its rotating frequency
+// window) to the ring.AuxMaintainer contract. The runtime serializes
+// calls, so no locking here.
+type auxPolicy struct {
+	m      *core.ChordMaintainer
+	window *freq.Windowed
+}
+
+func (a *auxPolicy) Observe(key id.ID)         { a.m.Observe(key) }
+func (a *auxPolicy) SetCore(ids []id.ID) error { return a.m.SetCore(ids) }
+func (a *auxPolicy) Rotate()                   { a.window.Rotate() }
+
+func (a *auxPolicy) Select() ([]id.ID, error) {
+	res, err := a.m.Select()
+	if err != nil {
+		return nil, err
+	}
+	return res.Aux, nil
+}

@@ -175,37 +175,20 @@ func (n *Node) Item(key id.ID) (value []byte, version uint64, ok bool) {
 	return n.store.get(key, time.Now())
 }
 
-// ownsKey reports whether this node is currently responsible for key:
-// its predecessor is known and key lies in (pred, self]. Ring
-// membership checks in the lookup path use it so that an owner claims
-// its keys outright — in particular when a position-aliased aux pointer
-// lands a lookup directly on the owner, whose successor-interval rule
-// alone would route the query all the way around the ring.
-func (n *Node) ownsKey(key id.ID) bool {
-	p, ok := n.tbl.predecessor()
-	if !ok || p.ID == n.self.ID {
-		return false
-	}
-	return n.cfg.Space.BetweenIncl(key, p.ID, n.self.ID)
-}
-
 // ReplicationRound runs one reconciliation and replication pass. The
 // ticker calls it every ReplicateEvery; stabilize calls it early when
 // the replica target set changes. The pass is anti-entropy: every owned
 // item is re-pushed to the current targets with one-way Replicate
 // datagrams each round, so lost pushes, churned successors, and healed
-// partitions all converge without acks or retransmit state.
+// partitions all converge without acks or retransmit state. The
+// authority predicate comes from the routing geometry (Chord: `(pred,
+// self]`; Pastry: numeric closeness over the leaf set); while the
+// geometry cannot tell yet, reconciliation skips promotion/demotion.
 func (n *Node) ReplicationRound() {
 	now := time.Now()
-	var responsible func(id.ID) bool
-	p, hasPred := n.tbl.predecessor()
-	switch {
-	case hasPred && p.ID != n.self.ID:
-		pid := p.ID
-		responsible = func(k id.ID) bool { return n.cfg.Space.BetweenIncl(k, pid, n.self.ID) }
-	case !hasPred && n.tbl.successor().ID == n.self.ID:
-		// Ring of one: every key is ours.
-		responsible = func(id.ID) bool { return true }
+	responsible, ok := n.rt.Responsible()
+	if !ok {
+		responsible = nil
 	}
 	promoted, handoff := n.store.reconcile(now, responsible)
 	n.promotions.Add(uint64(promoted))
@@ -237,10 +220,10 @@ func (n *Node) sendReplica(addr string, it ownedItem) {
 	n.tr.send(addr, &wire.Message{Type: wire.TReplicate, From: n.self, Key: it.key, Value: it.value, Version: it.version})
 }
 
-// replicaTargets resolves replication.Targets against the current
-// successor list, keeping the contacts' addresses.
+// replicaTargets resolves replication.Targets against the geometry's
+// near-neighbor list, keeping the contacts' addresses.
 func (n *Node) replicaTargets() []wire.Contact {
-	succs := n.tbl.succList()
+	succs := n.rt.Successors()
 	ids := make([]id.ID, len(succs))
 	addrs := make(map[id.ID]string, len(succs))
 	for i, s := range succs {

@@ -1,24 +1,32 @@
-// Package node is the live counterpart of the discrete-event simulators:
-// a real datagram-based Chord node hosting the paper's peer-caching
-// layer. Where internal/chordproto exchanges messages inside
+// Package node is the live counterpart of the discrete-event
+// simulators: a real datagram-based overlay node hosting the paper's
+// peer-caching layer. Where the simulators exchange messages inside
 // internal/sim's virtual clock, a node.Node opens a datagram endpoint,
-// runs the join / stabilize / notify / fix-fingers maintenance protocol
-// as goroutine tickers against wall-clock time, answers iterative
-// find-successor steps from peers, and — the point of the exercise —
-// observes its own lookup traffic in a frequency counter and
-// periodically recomputes the optimal auxiliary neighbor set (eq. 1,
-// via core.SelectChordFast inside a core.ChordMaintainer), splicing the
-// result into every routing decision it makes or answers.
+// runs maintenance protocol rounds as goroutine tickers against
+// wall-clock time, answers iterative find-successor steps from peers,
+// and — the point of the exercise — observes its own lookup traffic in
+// a frequency counter and periodically recomputes the optimal auxiliary
+// neighbor set, splicing the result into every routing decision it
+// makes or answers.
 //
-// The transport is pluggable: everything here depends only on the
-// PacketConn contract (packetconn.go). Production nodes run over real
-// UDP sockets via ListenUDP (cmd/p2pnode selects it; it is also the
-// default); tests run 50+ node clusters in one process over
+// The routing geometry is pluggable: the runtime here owns the
+// transport, RPC correlation, the iterative lookup driver, the kv data
+// plane, replication, the contact-address cache, and the tickers, while
+// everything protocol-specific lives behind the ring.Routing and
+// ring.AuxMaintainer interfaces (internal/node/ring). Chord
+// (internal/node/chordring, the default) and Pastry
+// (internal/node/pastryring) implement them today; Config.NewRing
+// selects the geometry.
+//
+// The transport is equally pluggable: everything here depends only on
+// the PacketConn contract (packetconn.go). Production nodes run over
+// real UDP sockets via ListenUDP (cmd/p2pnode selects it; it is also
+// the default); tests run 50+ node clusters in one process over
 // internal/memnet's fault-injecting switchboard, which satisfies the
 // same contract.
 //
 // Concurrency model: one goroutine reads the endpoint and handles
-// requests inline (handlers only touch the mutex-guarded routing table
+// requests inline (handlers only touch the mutex-guarded routing state
 // and write one reply datagram, so the read loop never blocks on
 // protocol work); responses are correlated to blocked RPC callers
 // through an inflight map keyed by MsgID. The maintenance loops and any
@@ -27,6 +35,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -36,9 +45,10 @@ import (
 	"time"
 
 	"peercache/internal/core"
-	"peercache/internal/freq"
 	"peercache/internal/id"
 	"peercache/internal/itemcache"
+	"peercache/internal/node/chordring"
+	"peercache/internal/node/ring"
 	"peercache/internal/wire"
 )
 
@@ -55,17 +65,24 @@ type Config struct {
 	// bound address). Needed when binding a wildcard address.
 	Advertise string
 
-	// SuccessorListLen bounds the successor list (default 4, max
-	// wire.MaxSuccs).
+	// NewRing selects the routing geometry and its auxiliary-selection
+	// policy (default chordring.New; pastryring.New is the other
+	// in-tree geometry). The factory runs before the transport starts.
+	NewRing ring.Factory
+
+	// SuccessorListLen bounds the geometry's near-neighbor list: the
+	// successor list in Chord, one leaf-set side in Pastry (default 4,
+	// max wire.MaxSuccs).
 	SuccessorListLen int
 	// AuxCount is k, the auxiliary-neighbor budget (default 0: the
 	// node routes with core entries only).
 	AuxCount int
 
-	// StabilizeEvery is the stabilize/notify period (default 500ms).
+	// StabilizeEvery is the near-neighbor maintenance period (default
+	// 500ms).
 	StabilizeEvery time.Duration
-	// FixFingersEvery is the per-finger refresh period (default
-	// 125ms; one finger per tick, round-robin).
+	// FixFingersEvery is the long-range-table repair period (default
+	// 125ms; one entry per tick, round-robin).
 	FixFingersEvery time.Duration
 	// AuxEvery is the auxiliary recomputation period. 0 (the
 	// default) disables the ticker; RecomputeAux can still be called
@@ -133,6 +150,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Addr == "" {
 		c.Addr = "127.0.0.1:0"
+	}
+	if c.NewRing == nil {
+		c.NewRing = chordring.New
 	}
 	if c.SuccessorListLen == 0 {
 		c.SuccessorListLen = 4
@@ -225,15 +245,25 @@ type Node struct {
 	cfg  Config
 	self wire.Contact
 	tr   *transport
-	tbl  *table
 
-	// maintMu guards the maintainer and its windowed counter (neither
-	// is goroutine-safe) and the round-robin finger cursor.
-	maintMu    sync.Mutex
-	maint      *core.ChordMaintainer
-	window     *freq.Windowed
-	lastCore   []id.ID // sorted; avoids invalidating the maintainer's cache on no-op SetCore
-	nextFinger uint
+	// rt is the routing geometry; everything protocol-specific
+	// (successors vs. leaves, fingers vs. prefix rows) lives behind it.
+	rt ring.Routing
+
+	// maintMu guards the aux maintainer (not goroutine-safe) and the
+	// core-set dedupe that avoids invalidating its cache on no-op
+	// SetCore calls.
+	maintMu  sync.Mutex
+	aux      ring.AuxMaintainer
+	lastCore []id.ID // sorted
+
+	// addrMu guards the contact cache: every id the node has ever heard
+	// from, mapped to its last known transport address (the live-network
+	// analogue of the simulator's global node map — without it a freshly
+	// selected auxiliary id would be unroutable). Shared by all
+	// geometries; the heal probe samples it.
+	addrMu sync.RWMutex
+	addrs  map[id.ID]string
 
 	// probeRNG picks the heal-probe target. Only the stabilize ticker
 	// goroutine touches it, so it needs no lock; seeding it from the
@@ -269,10 +299,24 @@ type Node struct {
 	promotions, demotions   atomic.Uint64
 }
 
+// host adapts a Node to the ring.Host surface its geometry programs
+// against.
+type host struct{ n *Node }
+
+func (h host) Self() wire.Contact { return h.n.self }
+func (h host) Space() id.Space    { return h.n.cfg.Space }
+func (h host) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	return h.n.call(addr, req)
+}
+func (h host) Send(addr string, m *wire.Message)               { h.n.tr.send(addr, m) }
+func (h host) Resolve(target id.ID) (wire.Contact, int, error) { return h.n.FindSuccessor(target) }
+func (h host) Note(c wire.Contact)                             { h.n.noteContact(c) }
+func (h host) AddrOf(x id.ID) (string, bool)                   { return h.n.addrOf(x) }
+
 // Start opens the datagram endpoint through the configured Listener
-// (real UDP by default), starts the read loop and the maintenance
-// tickers, and returns the node as a ring of one. Call Join to enter an
-// existing overlay.
+// (real UDP by default), builds the routing geometry, starts the read
+// loop and the maintenance tickers, and returns the node as a ring of
+// one. Call Join to enter an existing overlay.
 func Start(cfg Config) (*Node, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -294,25 +338,33 @@ func Start(cfg Config) (*Node, error) {
 		cfg:      cfg,
 		self:     wire.Contact{ID: cfg.ID, Addr: adv},
 		stop:     make(chan struct{}),
-		window:   freq.NewWindowed(cfg.WindowBuckets),
+		addrs:    make(map[id.ID]string),
 		probeRNG: rand.New(rand.NewSource(int64(cfg.ID) + 1)),
-	}
-	n.tbl = newTable(cfg.Space, n.self, cfg.SuccessorListLen)
-	n.maint, err = core.NewChordMaintainerWithCounter(cfg.Space, cfg.ID, nil, cfg.AuxCount, cfg.DriftThreshold, n.window)
-	if err != nil {
-		conn.Close()
-		return nil, err
 	}
 	n.store = newStore(cfg.StoreCapacity, cfg.StoreTTL)
 	if cfg.ItemCacheCapacity > 0 {
 		n.cache = itemcache.NewTTL[cachedCopy](cfg.ItemCacheCapacity, cfg.ItemCacheTTL)
 	}
 	n.ownerHints = itemcache.NewTTL[wire.Contact](ownerHintCapacity, ownerHintTTL)
+	// The transport exists before the factory runs (so the geometry can
+	// capture a working Host) but starts reading only after, so no
+	// request races the geometry's construction.
 	n.tr = newTransport(conn, n.self, n.handle)
+	n.rt, n.aux, err = cfg.NewRing(host{n}, ring.Options{
+		NeighborListLen: cfg.SuccessorListLen,
+		MaxLookupHops:   cfg.MaxLookupHops,
+		AuxCount:        cfg.AuxCount,
+		WindowBuckets:   cfg.WindowBuckets,
+		DriftThreshold:  cfg.DriftThreshold,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	n.tr.start()
 
 	n.ticker(cfg.StabilizeEvery, n.stabilize)
-	n.ticker(cfg.FixFingersEvery, n.fixNextFinger)
+	n.ticker(cfg.FixFingersEvery, n.rt.RepairTable)
 	if cfg.AuxEvery > 0 && cfg.AuxCount > 0 {
 		n.ticker(cfg.AuxEvery, func() {
 			n.recomputeAux(true)
@@ -379,20 +431,41 @@ func (n *Node) Addr() string { return n.self.Addr }
 // Contact returns the node's own contact.
 func (n *Node) Contact() wire.Contact { return n.self }
 
-// Successor returns the current immediate successor.
-func (n *Node) Successor() wire.Contact { return n.tbl.successor() }
+// Protocol names the active routing geometry.
+func (n *Node) Protocol() string { return n.rt.Protocol() }
 
-// Successors returns a copy of the successor list, nearest first.
-func (n *Node) Successors() []wire.Contact { return n.tbl.succList() }
+// Ring exposes the routing geometry for introspection (tests, tools).
+func (n *Node) Ring() ring.Routing { return n.rt }
+
+// Successor returns the current immediate successor (self when alone).
+func (n *Node) Successor() wire.Contact {
+	if s := n.rt.Successors(); len(s) > 0 {
+		return s[0]
+	}
+	return n.self
+}
+
+// Successors returns the geometry's near-neighbor list, nearest first
+// (self when alone).
+func (n *Node) Successors() []wire.Contact {
+	if s := n.rt.Successors(); len(s) > 0 {
+		return s
+	}
+	return []wire.Contact{n.self}
+}
 
 // Predecessor returns the current predecessor pointer.
-func (n *Node) Predecessor() (wire.Contact, bool) { return n.tbl.predecessor() }
+func (n *Node) Predecessor() (wire.Contact, bool) { return n.rt.Predecessor() }
 
-// Fingers returns the populated finger entries.
-func (n *Node) Fingers() []wire.Contact { return n.tbl.fingerList() }
+// Fingers returns the populated long-range table entries (Chord:
+// fingers; Pastry: prefix-table rows).
+func (n *Node) Fingers() []wire.Contact { return n.rt.TableList() }
+
+// TableSize counts the populated long-range table entries.
+func (n *Node) TableSize() int { return n.rt.TableSize() }
 
 // Aux returns the current auxiliary neighbor set.
-func (n *Node) Aux() []wire.Contact { return n.tbl.auxList() }
+func (n *Node) Aux() []wire.Contact { return n.rt.Aux() }
 
 // Metrics returns a snapshot of the node's counters.
 func (n *Node) Metrics() Metrics {
@@ -434,56 +507,68 @@ func (n *Node) call(addr string, req *wire.Message) (*wire.Message, error) {
 	return n.tr.call(addr, req, n.cfg.RPCTimeout, n.cfg.RPCRetries)
 }
 
-// Join enters the overlay through a peer listening at bootstrap: an
-// iterative find-successor for the node's own id yields its successor;
-// stabilization then integrates the node into the ring, exactly as in
-// chordproto.Join.
-func (n *Node) Join(bootstrap string) error {
-	cur := bootstrap
-	for hops := 0; hops <= n.cfg.MaxLookupHops; hops++ {
-		resp, err := n.call(cur, &wire.Message{Type: wire.TFindSucc, Target: n.self.ID})
-		if err != nil {
-			return fmt.Errorf("node: join via %s: %w", bootstrap, err)
-		}
-		n.tbl.noteContact(resp.From)
-		if resp.Done {
-			if resp.Found.ID == n.self.ID {
-				return fmt.Errorf("node: join: id %d already taken by %s", n.self.ID, resp.Found.Addr)
-			}
-			n.tbl.adoptSuccessor(resp.Found)
-			return nil
-		}
-		if resp.Next.IsZero() || resp.Next.Addr == cur {
-			return fmt.Errorf("node: join via %s: no progress at %s", bootstrap, cur)
-		}
-		n.tbl.noteContact(resp.Next)
-		cur = resp.Next.Addr
+// noteContact records c's address in the contact cache. Self and
+// addressless contacts are ignored — in particular the zero sender
+// contact of anonymous kv clients never pollutes routing state.
+func (n *Node) noteContact(c wire.Contact) {
+	if c.ID == n.self.ID || c.Addr == "" {
+		return
 	}
-	return fmt.Errorf("node: join via %s: exceeded %d hops", bootstrap, n.cfg.MaxLookupHops)
+	n.addrMu.Lock()
+	n.addrs[c.ID] = c.Addr
+	n.addrMu.Unlock()
+}
+
+// addrOf returns the cached address for x.
+func (n *Node) addrOf(x id.ID) (string, bool) {
+	n.addrMu.RLock()
+	a, ok := n.addrs[x]
+	n.addrMu.RUnlock()
+	return a, ok
+}
+
+// randomCached reservoir-samples one contact from the address cache
+// (the heal probe's candidate pool: every peer the node has ever heard
+// from, including ones long dropped from the routing state).
+func (n *Node) randomCached(rng *rand.Rand) (wire.Contact, bool) {
+	n.addrMu.RLock()
+	defer n.addrMu.RUnlock()
+	var pick wire.Contact
+	i := 0
+	for x, addr := range n.addrs {
+		if rng.Intn(i+1) == 0 {
+			pick = wire.Contact{ID: x, Addr: addr}
+		}
+		i++
+	}
+	return pick, i > 0
+}
+
+// Join enters the overlay through a peer listening at bootstrap,
+// delegating the protocol-specific walk (and duplicate-id detection) to
+// the geometry.
+func (n *Node) Join(bootstrap string) error {
+	return n.rt.Join(bootstrap)
 }
 
 // handle processes one incoming request on the read-loop goroutine. It
-// must not block: local state plus one reply datagram only.
+// must not block: local state plus one reply datagram only. Types the
+// runtime does not own are offered to the geometry; unknown requests
+// are dropped without a reply.
 func (n *Node) handle(m *wire.Message, src string) {
-	n.tbl.noteContact(m.From)
+	n.noteContact(m.From)
 	resp := &wire.Message{MsgID: m.MsgID, From: n.self}
 	switch m.Type {
 	case wire.TPing:
 		resp.Type = wire.TPong
-	case wire.TGetPred:
-		resp.Type = wire.TGetPredResp
-		resp.Pred, resp.HasPred = n.tbl.predecessor()
-		succs := n.tbl.succList()
-		if len(succs) > wire.MaxSuccs {
-			succs = succs[:wire.MaxSuccs]
-		}
-		resp.Succs = succs
-	case wire.TNotify:
-		n.tbl.notify(m.From)
-		resp.Type = wire.TNotifyAck
 	case wire.TFindSucc:
 		resp.Type = wire.TFindSuccResp
-		n.answerFindSucc(m.Target, resp)
+		hop, done := n.rt.NextHop(m.Target)
+		if done {
+			resp.Done, resp.Found = true, hop
+		} else {
+			resp.Next = hop
+		}
 	case wire.TPut:
 		resp.Type = wire.TPutAck
 		n.handlePut(m, resp)
@@ -494,79 +579,45 @@ func (n *Node) handle(m *wire.Message, src string) {
 		n.handleReplicate(m)
 		return // one-way: no response
 	default:
-		return // unknown request; nothing sensible to reply
+		if !n.rt.HandleRequest(m, resp) {
+			return // unknown request; nothing sensible to reply
+		}
 	}
 	n.tr.send(src, resp)
 }
 
-// answerFindSucc fills in one iterative lookup step for target: either
-// the final answer (Done) or the closest preceding contact from the
-// node's fingers, successor list, and auxiliary neighbors.
-func (n *Node) answerFindSucc(target id.ID, resp *wire.Message) {
-	if target == n.self.ID || n.ownsKey(target) {
-		resp.Done, resp.Found = true, n.self
-		return
-	}
-	s := n.tbl.successor()
-	if s.ID == n.self.ID {
-		// Ring of one: every key is ours.
-		resp.Done, resp.Found = true, n.self
-		return
-	}
-	if n.cfg.Space.BetweenIncl(target, n.self.ID, s.ID) {
-		resp.Done, resp.Found = true, s
-		return
-	}
-	next := n.tbl.closestPreceding(target)
-	if next.ID == n.self.ID {
-		// Defensive: cannot happen while a distinct successor exists,
-		// but never redirect a caller to ourselves.
-		resp.Done, resp.Found = true, s
-		return
-	}
-	resp.Next = next
-}
-
 // FindSuccessor resolves the node responsible for target by driving the
-// iterative lookup: pick the closest preceding contact from local state
-// (auxiliary neighbors included — a cache hit short-circuits the whole
-// walk), then follow each callee's answer until one reports Done. The
-// hop count is the number of lookup RPCs issued, 0 when local state
-// resolves the target outright.
+// iterative lookup: ask the geometry for the best local step (auxiliary
+// neighbors included — a cache hit short-circuits the whole walk), then
+// follow each callee's answer until one reports Done. The hop count is
+// the number of lookup RPCs issued, 0 when local state resolves the
+// target outright.
 func (n *Node) FindSuccessor(target id.ID) (wire.Contact, int, error) {
-	if target == n.self.ID || n.ownsKey(target) {
-		return n.self, 0, nil
+	cur, done := n.rt.NextHop(target)
+	if done {
+		return cur, 0, nil
 	}
-	s := n.tbl.successor()
-	if s.ID == n.self.ID {
-		return n.self, 0, nil
-	}
-	if n.cfg.Space.BetweenIncl(target, n.self.ID, s.ID) {
-		return s, 0, nil
-	}
-	cur := n.tbl.closestPreceding(target)
 	for hops := 0; hops < n.cfg.MaxLookupHops; {
 		resp, err := n.call(cur.Addr, &wire.Message{Type: wire.TFindSucc, Target: target})
 		hops++
 		if err != nil {
 			// The contact is unreachable: retire it from the routing
 			// state so the maintenance loops repair around it.
-			n.tbl.removeAux(cur.ID)
-			n.tbl.dropSuccessor(cur.ID)
+			n.rt.DropPeer(cur.ID)
 			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d at %v: %w", target, cur, err)
 		}
-		n.tbl.noteContact(resp.From)
+		n.noteContact(resp.From)
 		if resp.Done {
 			if resp.Found.IsZero() {
 				return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: empty answer from %v", target, cur)
 			}
-			n.tbl.noteContact(resp.Found)
+			n.noteContact(resp.Found)
 			return resp.Found, hops, nil
 		}
 		if resp.Next.IsZero() || resp.Next.ID == cur.ID {
 			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: no progress at %v", target, cur)
 		}
-		n.tbl.noteContact(resp.Next)
+		n.noteContact(resp.Next)
 		cur = resp.Next
 	}
 	return wire.Contact{}, n.cfg.MaxLookupHops, fmt.Errorf("node: lookup %d: exceeded %d hops", target, n.cfg.MaxLookupHops)
@@ -581,8 +632,8 @@ func (n *Node) FindSuccessor(target id.ID) (wire.Contact, int, error) {
 // distribution the data plane actually produces. When a selected
 // position has no node on it, recomputeAux aliases the aux pointer to
 // the key's owner through the owner-hint cache recorded here — the
-// pointer sits exactly at the hot key, so closestPreceding picks it for
-// that key's lookups and the owner finishes them in one hop via its
+// pointer sits exactly at the hot key, so next-hop selection picks it
+// for that key's lookups and the owner finishes them in one hop via its
 // ownership check. For lookups whose key is a node id (the control
 // plane's joins and finger fixes), position and owner coincide and the
 // behavior is unchanged.
@@ -596,7 +647,7 @@ func (n *Node) Lookup(key id.ID) (wire.Contact, int, error) {
 	n.lookupHops.Add(uint64(hops))
 	if owner.ID != n.self.ID {
 		n.maintMu.Lock()
-		n.maint.Observe(key)
+		n.aux.Observe(key)
 		n.maintMu.Unlock()
 		if owner.Addr != "" {
 			n.ownerHints.Put(key, owner, time.Now())
@@ -605,80 +656,35 @@ func (n *Node) Lookup(key id.ID) (wire.Contact, int, error) {
 	return owner, hops, nil
 }
 
-// stabilize runs one maintenance round: refresh the successor (adopting
-// its predecessor when that node sits between), notify it, rebuild the
-// successor list from its list, and ping the predecessor and every
-// auxiliary entry — Section III's point that auxiliary neighbors ride
-// the same ping process as core ones. Each round ends with a heal
-// probe (healProbe) so rings separated by a network partition find each
+// stabilize runs one maintenance round: the geometry's near-neighbor
+// protocol first, then the runtime-owned pieces that are the same for
+// every geometry — auxiliary liveness pings (Section III's point that
+// auxiliary neighbors ride the same ping process as core ones), a
+// replication push when the replica target set changed, and the heal
+// probe that lets rings separated by a network partition find each
 // other again once it lifts.
 func (n *Node) stabilize() {
-	defer n.healProbe()
-	s := n.tbl.successor()
-	if s.ID == n.self.ID {
-		// Ring of one: adopt any known predecessor as successor.
-		if p, ok := n.tbl.predecessor(); ok && p.ID != n.self.ID {
-			n.tbl.adoptSuccessor(p)
-		}
-		return
-	}
-	resp, err := n.call(s.Addr, &wire.Message{Type: wire.TGetPred})
-	if err != nil {
-		n.tbl.dropSuccessor(s.ID)
-		return
-	}
-	cand := s
-	if resp.HasPred && resp.Pred.ID != n.self.ID && resp.Pred.Addr != "" &&
-		n.cfg.Space.Between(resp.Pred.ID, n.self.ID, s.ID) {
-		// A closer successor exists — verify it answers before
-		// adopting it (chordproto consults liveness here too).
-		if _, err := n.call(resp.Pred.Addr, &wire.Message{Type: wire.TPing}); err == nil {
-			n.tbl.adoptSuccessor(resp.Pred)
-			cand = resp.Pred
-		}
-	}
-	if _, err := n.call(cand.Addr, &wire.Message{Type: wire.TNotify}); err != nil {
-		n.tbl.dropSuccessor(cand.ID)
-		return
-	}
-	// Successor-list refresh: our successor first, then its list.
-	list := make([]wire.Contact, 0, n.cfg.SuccessorListLen+2)
-	list = append(list, cand)
-	if cand.ID != s.ID {
-		list = append(list, s)
-	}
-	list = append(list, resp.Succs...)
-	n.tbl.setSuccs(list)
-
-	// Predecessor liveness.
-	if p, ok := n.tbl.predecessor(); ok && p.ID != n.self.ID && p.Addr != "" {
-		if _, err := n.call(p.Addr, &wire.Message{Type: wire.TPing}); err != nil {
-			n.tbl.clearPred()
-		}
-	}
-	// Auxiliary liveness pings.
-	for _, a := range n.tbl.auxList() {
+	n.rt.Stabilize()
+	for _, a := range n.rt.Aux() {
 		if _, err := n.call(a.Addr, &wire.Message{Type: wire.TPing}); err != nil {
-			n.tbl.removeAux(a.ID)
+			n.rt.RemoveAux(a.ID)
 		}
 	}
-	// Push owned items to any new replica holders right away instead of
-	// waiting out the replication tick.
 	n.replicateOnSuccChange()
+	n.healProbe()
 }
 
-// healProbe pings one random contact from the address cache and, if it
-// answers and sits between this node and its current successor, adopts
-// it as the new successor. This is the partition-repair mechanism:
-// stabilize and notify only ever talk to nodes already in the routing
-// state, so two rings that diverged while a partition was up would
-// otherwise never re-merge — every node of each ring is perfectly happy
-// with its own subring. The cache still remembers contacts from before
-// the split, and once a single probe re-adopts a cross-ring successor,
-// the ordinary stabilize/notify rounds propagate the merge exactly as
-// they integrate concurrent joins. A node that has collapsed to a ring
-// of one adopts any live probed contact, which also re-enters a node
-// that was fully isolated.
+// healProbe pings one random contact from the address cache and offers
+// any live answer to the geometry's Heal. This is the partition-repair
+// mechanism: the maintenance protocol only ever talks to nodes already
+// in the routing state, so two overlays that diverged while a partition
+// was up would otherwise never re-merge — every node of each side is
+// perfectly happy with its own subring. The cache still remembers
+// contacts from before the split, and once a single probe re-adopts a
+// cross-ring neighbor, the ordinary maintenance rounds propagate the
+// merge exactly as they integrate concurrent joins. A node that has
+// collapsed to a ring of one adopts any live probed contact, which also
+// re-enters a node that was fully isolated.
 //
 // The probe is a single attempt (no retries) so a dead or unreachable
 // cache entry costs at most one RPCTimeout per stabilize round.
@@ -686,7 +692,7 @@ func (n *Node) healProbe() {
 	if n.cfg.DisableHealProbe {
 		return
 	}
-	c, ok := n.tbl.randomCached(n.probeRNG)
+	c, ok := n.randomCached(n.probeRNG)
 	if !ok {
 		return
 	}
@@ -698,34 +704,8 @@ func (n *Node) healProbe() {
 	if live.IsZero() || live.ID == n.self.ID || live.Addr == "" {
 		return
 	}
-	n.tbl.noteContact(live)
-	s := n.tbl.successor()
-	if s.ID == n.self.ID || n.cfg.Space.Between(live.ID, n.self.ID, s.ID) {
-		n.tbl.adoptSuccessor(live)
-	}
-}
-
-// fixNextFinger refreshes one finger per tick, round-robin: finger i is
-// the first node in (self+2^i, self+2^{i+1}], found with an iterative
-// lookup; an out-of-interval answer clears the entry (chordproto's
-// interval rule).
-func (n *Node) fixNextFinger() {
-	n.maintMu.Lock()
-	i := n.nextFinger
-	n.nextFinger = (n.nextFinger + 1) % n.cfg.Space.Bits()
-	n.maintMu.Unlock()
-	space := n.cfg.Space
-	start := space.Add(n.self.ID, (uint64(1)<<i)+1)
-	c, _, err := n.FindSuccessor(start)
-	if err != nil {
-		return
-	}
-	g := space.Gap(n.self.ID, c.ID)
-	if c.ID != n.self.ID && g > uint64(1)<<i && g <= uint64(1)<<(i+1) {
-		n.tbl.setFinger(i, c, true)
-	} else {
-		n.tbl.setFinger(i, wire.Contact{}, false)
-	}
+	n.noteContact(live)
+	n.rt.Heal(live)
 }
 
 // RecomputeAux recomputes the auxiliary neighbor set from the observed
@@ -737,46 +717,46 @@ func (n *Node) RecomputeAux() (int, error) {
 }
 
 func (n *Node) recomputeAux(rotate bool) (int, error) {
-	coreIDs := n.tbl.coreIDs()
+	coreIDs := n.rt.CoreIDs()
 	sort.Slice(coreIDs, func(i, j int) bool { return coreIDs[i] < coreIDs[j] })
 	n.maintMu.Lock()
 	if !slices.Equal(coreIDs, n.lastCore) {
 		// SetCore invalidates the maintainer's drift cache, so only
 		// report genuine core changes.
-		if err := n.maint.SetCore(coreIDs); err != nil {
+		if err := n.aux.SetCore(coreIDs); err != nil {
 			n.maintMu.Unlock()
 			return 0, err
 		}
 		n.lastCore = coreIDs
 	}
-	res, err := n.maint.Select()
+	ids, err := n.aux.Select()
 	if rotate {
-		n.window.Rotate()
+		n.aux.Rotate()
 	}
 	n.maintMu.Unlock()
 	if err != nil {
-		if err == core.ErrNoNeighbors {
+		if errors.Is(err, core.ErrNoNeighbors) {
 			return 0, nil // nothing observed and no core yet; keep waiting
 		}
 		return 0, err
 	}
-	aux := make([]wire.Contact, 0, len(res.Aux))
+	aux := make([]wire.Contact, 0, len(ids))
 	now := time.Now()
-	for _, a := range res.Aux {
-		if addr, ok := n.tbl.addrOf(a); ok {
+	for _, a := range ids {
+		if addr, ok := n.addrOf(a); ok {
 			aux = append(aux, wire.Contact{ID: a, Addr: addr})
 			continue
 		}
 		// The selected id is a key's ring position, not a node the
-		// table knows: alias the aux pointer to the key's owner. The
-		// entry sits exactly at the hot key, so closestPreceding picks
+		// cache knows: alias the aux pointer to the key's owner. The
+		// entry sits exactly at the hot key, so next-hop selection picks
 		// it for that key's lookups and the owner's ownership check
 		// finishes them in one hop.
 		if owner, ok := n.ownerHints.Get(a, now); ok {
 			aux = append(aux, wire.Contact{ID: a, Addr: owner.Addr})
 		}
 	}
-	n.tbl.setAux(aux)
+	n.rt.SetAux(aux)
 	n.auxRecomps.Add(1)
 	return len(aux), nil
 }

@@ -1,0 +1,180 @@
+// Package ring defines the contract between the protocol-agnostic live
+// node runtime (internal/node) and a pluggable routing geometry. The
+// runtime owns everything a geometry should not care about — the
+// datagram transport, RPC timeouts and retries, the iterative lookup
+// driver, the kv data plane, replication, the contact-address cache,
+// and the tickers — while the geometry owns the routing state and the
+// decisions only it can make: the next hop toward a key, whether this
+// node is responsible for a key, which wire messages each maintenance
+// tick sends, and how incoming protocol requests mutate the table.
+//
+// Two geometries implement the contract today: chordring (successor
+// list + finger table + `(pred, self]` ownership, the default) and
+// pastryring (leaf set + prefix routing table + numeric-closeness
+// ownership). Each pairs its Routing with an AuxMaintainer that turns
+// the node's observed lookup frequencies into the paper's auxiliary
+// neighbor set — core.ChordMaintainer for the ring distance metric,
+// core.PastryMaintainer for the prefix metric — so the peer-caching
+// layer rides on top of either geometry unchanged.
+//
+// Adding a third geometry means implementing Routing (and, if the
+// paper's selection framework has a metric for it, an AuxMaintainer)
+// and passing its Factory as node.Config.NewRing; the runtime, data
+// plane, cluster harness, and cmd/p2pnode need no changes. See
+// DESIGN.md's "Routing/AuxMaintainer contract" section for the
+// step-by-step recipe.
+package ring
+
+import (
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// Host is the runtime surface a Routing implementation programs
+// against. All methods are safe for concurrent use. Call and Resolve
+// perform network I/O and must not be used from HandleRequest (which
+// runs on the read loop); Send is fire-and-forget and is safe anywhere.
+type Host interface {
+	// Self returns this node's own contact.
+	Self() wire.Contact
+	// Space returns the identifier space.
+	Space() id.Space
+	// Call issues one RPC with the node's timeout/retry policy.
+	Call(addr string, req *wire.Message) (*wire.Message, error)
+	// Send transmits one datagram without waiting for a response. The
+	// geometry must fill every field including From.
+	Send(addr string, m *wire.Message)
+	// Resolve runs a full iterative lookup for target through the
+	// runtime's retry/hop-count machinery (chordring's finger refresh
+	// uses it; a geometry that repairs purely by gossip never needs it).
+	Resolve(target id.ID) (wire.Contact, int, error)
+	// Note records a contact in the runtime's address cache, the pool
+	// the heal probe samples and aux aliasing resolves against.
+	Note(c wire.Contact)
+	// AddrOf looks up a cached address for x.
+	AddrOf(x id.ID) (string, bool)
+}
+
+// Options carries the geometry-relevant slice of node.Config.
+type Options struct {
+	// NeighborListLen bounds the geometry's near-neighbor list: the
+	// successor list in Chord, one leaf-set side in Pastry.
+	NeighborListLen int
+	// MaxLookupHops bounds join walks and lookups.
+	MaxLookupHops int
+	// AuxCount is k, the auxiliary-neighbor budget.
+	AuxCount int
+	// WindowBuckets and DriftThreshold parameterize the AuxMaintainer's
+	// frequency window and recomputation trigger.
+	WindowBuckets  int
+	DriftThreshold float64
+}
+
+// Routing is a live routing geometry. The runtime calls NextHop,
+// Owns, Responsible, and HandleRequest from the read loop and from
+// concurrent lookups, and the maintenance methods from its tickers, so
+// implementations guard their state with their own lock and never
+// perform I/O except through the Host — and never from HandleRequest.
+type Routing interface {
+	// Protocol names the geometry ("chord", "pastry"); surfaced in
+	// metrics and logs.
+	Protocol() string
+
+	// Join integrates the node into an existing overlay through a peer
+	// at bootstrap. It must detect a duplicate identifier and return an
+	// error without corrupting the remote ring.
+	Join(bootstrap string) error
+
+	// NextHop answers one step of an iterative lookup: the contact to
+	// forward to, or (with done) the contact that resolves target. The
+	// runtime uses it both to answer TFindSucc from peers and as the
+	// first step of its own lookups; auxiliary entries installed via
+	// SetAux must be considered here — that splice is the paper's whole
+	// mechanism.
+	NextHop(target id.ID) (hop wire.Contact, done bool)
+
+	// Owns reports whether this node is currently responsible for key.
+	// The lookup path uses it so an owner claims its keys outright (in
+	// particular when a position-aliased aux pointer lands a lookup
+	// directly on the owner).
+	Owns(key id.ID) bool
+
+	// Responsible returns the data plane's authority predicate for
+	// store reconciliation, or ok=false while the geometry cannot yet
+	// tell (e.g. Chord before a predecessor is known) — the store then
+	// skips promotions and demotions for the round.
+	Responsible() (pred func(key id.ID) bool, ok bool)
+
+	// HandleRequest answers a geometry-specific request (for Chord
+	// TGetPred/TNotify, for Pastry TRowExchange/TLeafProbe) by filling
+	// resp, whose MsgID and From the runtime has set. It returns false
+	// for types the geometry does not own, and must not block: local
+	// state (plus at most Host.Note) and one reply only — never Call,
+	// Send, or Resolve, which would stall the read loop.
+	HandleRequest(req *wire.Message, resp *wire.Message) bool
+
+	// Stabilize runs one near-neighbor maintenance round (Chord:
+	// successor/predecessor stabilization; Pastry: leaf-set probes).
+	Stabilize()
+
+	// RepairTable runs one long-range-table maintenance step (Chord:
+	// fix one finger; Pastry: probe one prefix-table entry).
+	RepairTable()
+
+	// Heal offers a live contact rediscovered by the runtime's heal
+	// probe; the geometry folds it back in if it improves the table.
+	Heal(live wire.Contact)
+
+	// DropPeer retires an unreachable peer from all routing state.
+	DropPeer(x id.ID)
+
+	// Successors returns the contacts that replicas of owned items go
+	// to, nearest first (Chord: the successor list; Pastry: the
+	// clockwise leaf-set side). Empty when the node is alone.
+	Successors() []wire.Contact
+	// Predecessor returns the nearest counter-clockwise neighbor.
+	Predecessor() (wire.Contact, bool)
+
+	// TableList returns the populated long-range table entries.
+	TableList() []wire.Contact
+	// TableSize is len(TableList()) without the copy, for metrics.
+	TableSize() int
+
+	// CoreIDs returns the geometry's core neighbor set N_s (eq. 1 of
+	// the paper) — every peer the table routes through, self excluded —
+	// fed to the AuxMaintainer before each selection.
+	CoreIDs() []id.ID
+
+	// Aux, SetAux, and RemoveAux manage the installed auxiliary
+	// neighbor set A_s. The runtime owns selection and liveness; the
+	// geometry only stores the set and splices it into NextHop.
+	Aux() []wire.Contact
+	SetAux(aux []wire.Contact)
+	RemoveAux(x id.ID)
+}
+
+// AuxMaintainer is the selection policy behind a geometry's auxiliary
+// set: it accumulates the node's lookup-frequency observations and
+// recomputes the optimal k auxiliary ids on demand. The runtime
+// serializes all calls under one mutex, so implementations need no
+// internal locking.
+type AuxMaintainer interface {
+	// Observe records one lookup for key (the key's own ring position,
+	// not its owner's id — see node.Lookup).
+	Observe(key id.ID)
+	// SetCore replaces the core neighbor set the selection works
+	// around. The runtime deduplicates no-op updates before calling.
+	SetCore(core []id.ID) error
+	// Select returns the currently optimal auxiliary ids. It returns
+	// core.ErrNoNeighbors while there is nothing to select from (no
+	// core and nothing observed); the runtime treats that as "keep
+	// waiting", not as failure.
+	Select() ([]id.ID, error)
+	// Rotate ages the frequency window one bucket (called once per aux
+	// recomputation tick).
+	Rotate()
+}
+
+// Factory builds a geometry bound to a Host. It must not perform
+// network I/O: the transport is not running yet when it is called.
+type Factory func(h Host, o Options) (Routing, AuxMaintainer, error)

@@ -21,6 +21,20 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, byte(TGetPredResp), 0, 0, 0, 0, 0, 0, 0, 0})
+	// The unassigned type slot between TReplicate and TRowExchange.
+	f.Add([]byte{Version, byte(typeHole), 0, 0, 0, 0, 0, 0, 0, 0})
+	// A row list whose count byte promises more rows than the datagram
+	// carries: must be ErrTruncated, never a short-but-accepted list.
+	if b, err := Encode(&Message{
+		Type: TRowExchangeResp,
+		From: Contact{ID: 1, Addr: "mem/1"},
+		Rows: []Row{{Index: 0, Entry: Contact{ID: 2, Addr: "mem/2"}}, {Index: 3, Entry: Contact{ID: 9, Addr: "mem/9"}}},
+	}); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(b)
+		f.Add(b[:len(b)-4]) // cut into the last row
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)

@@ -33,6 +33,20 @@
 //     re-sends every owned item each round, so a lost Replicate heals
 //     at the next tick (anti-entropy, not acknowledgement).
 //
+// The Pastry geometry (internal/node/pastryring) adds its own
+// maintenance pair; Chord nodes never send or answer these, and the
+// ring-agnostic runtime routes them to whichever geometry is active:
+//
+//   - RowExchange/RowExchangeResp — the callee returns its populated
+//     prefix-routing-table rows. Sent to every node on a join walk (each
+//     path node shares a prefix with the joiner one row deeper, so its
+//     table seeds exactly the rows the joiner needs) and periodically to
+//     one leaf.
+//   - LeafProbe/LeafProbeResp — liveness probe of a leaf-set member
+//     that doubles as gossip: the callee returns its leaf set, and folds
+//     the caller into its own state (which is how a joiner announces
+//     itself — a one-way LeafProbe to everyone it learned of).
+//
 // Encoding: varint-free fixed-width integers (uint64 big-endian for ids
 // and MsgIDs, uint8 for counts, uint16 for value lengths) and
 // length-prefixed UDP address strings. Every message fits comfortably in
@@ -58,7 +72,10 @@ type Type uint8
 // The RPC set. Requests are even, their responses odd — Type.Response
 // and Type.IsResponse rely on the pairing. TReplicate is the one
 // exception: it is a one-way push with no paired response, so it takes
-// an even (request) code and must never be used with Type.Response.
+// an even (request) code and must never be used with Type.Response;
+// the odd code after it (typeHole) is permanently unassigned and both
+// Encode and Decode reject it, keeping the even/odd pairing intact for
+// every later type.
 const (
 	TPing Type = iota
 	TPong
@@ -73,8 +90,16 @@ const (
 	TGet
 	TGetResp
 	TReplicate
+	typeHole // 13: the response slot one-way TReplicate never uses; not a wire value
+	TRowExchange
+	TRowExchangeResp
+	TLeafProbe
+	TLeafProbeResp
 	typeCount // sentinel, not a wire value
 )
+
+// validType reports whether t may appear on the wire.
+func validType(t Type) bool { return t < typeCount && t != typeHole }
 
 // String implements fmt.Stringer for diagnostics.
 func (t Type) String() string {
@@ -105,6 +130,14 @@ func (t Type) String() string {
 		return "get-resp"
 	case TReplicate:
 		return "replicate"
+	case TRowExchange:
+		return "row-exchange"
+	case TRowExchangeResp:
+		return "row-exchange-resp"
+	case TLeafProbe:
+		return "leaf-probe"
+	case TLeafProbeResp:
+		return "leaf-probe-resp"
 	}
 	return fmt.Sprintf("wire.Type(%d)", uint8(t))
 }
@@ -143,6 +176,17 @@ func (c Contact) IsZero() bool { return c.ID == 0 && c.Addr == "" }
 // String implements fmt.Stringer.
 func (c Contact) String() string { return fmt.Sprintf("%d@%s", uint64(c.ID), c.Addr) }
 
+// Row is one populated slot of a Pastry-style prefix routing table:
+// Index is the row number — the length of the identifier prefix the
+// entry shares with the table's owner — and Entry the contact that
+// occupies the slot. A RowExchangeResp carries rows in strictly
+// ascending Index order (each node has exactly one slot per row), which
+// the codec enforces so every row list has one canonical encoding.
+type Row struct {
+	Index uint8
+	Entry Contact
+}
+
 // Message is the decoded form of one datagram.
 type Message struct {
 	// Type selects which payload fields below are meaningful.
@@ -170,6 +214,13 @@ type Message struct {
 	// Succs is the callee's successor list, nearest first
 	// (TGetPredResp).
 	Succs []Contact
+	// Rows is the callee's populated prefix-table rows, strictly
+	// ascending by Row.Index (TRowExchangeResp).
+	Rows []Row
+	// Leaves is the callee's leaf set, clockwise side nearest-first
+	// then counter-clockwise side nearest-first; on small rings the two
+	// sides may repeat a contact (TLeafProbeResp).
+	Leaves []Contact
 
 	// Key is the item key (TPut, TGet, TReplicate).
 	Key id.ID
@@ -200,6 +251,12 @@ const (
 	// accepted, and small enough that a hostile datagram cannot make the
 	// decoder allocate more than this per value.
 	MaxValueLen = 4096
+	// MaxRows bounds the prefix-table rows carried by RowExchangeResp
+	// and is also the exclusive upper bound on Row.Index: a 64-bit
+	// identifier space has at most 64 rows.
+	MaxRows = 64
+	// MaxLeaves bounds the leaf set carried by LeafProbeResp.
+	MaxLeaves = 32
 )
 
 // Decode errors.
@@ -209,6 +266,8 @@ var (
 	ErrType       = errors.New("wire: unknown message type")
 	ErrAddrLen    = errors.New("wire: address too long")
 	ErrSuccCount  = errors.New("wire: successor list too long")
+	ErrRowCount   = errors.New("wire: routing-table row list too long")
+	ErrLeafCount  = errors.New("wire: leaf set too long")
 	ErrValueLen   = errors.New("wire: value too long")
 	ErrTrailing   = errors.New("wire: trailing bytes after payload")
 	ErrBadMessage = errors.New("wire: message fields inconsistent with type")
@@ -267,7 +326,7 @@ func readContact(b []byte) (Contact, []byte, error) {
 // that violate the codec limits (oversized address or successor list)
 // or carry an unknown type.
 func Encode(m *Message) ([]byte, error) {
-	if m.Type >= typeCount {
+	if !validType(m.Type) {
 		return nil, fmt.Errorf("%w: %d", ErrType, uint8(m.Type))
 	}
 	b := make([]byte, 0, 64)
@@ -342,6 +401,34 @@ func Encode(m *Message) ([]byte, error) {
 			return nil, err
 		}
 		b = binary.BigEndian.AppendUint64(b, m.Version)
+	case TRowExchange, TLeafProbe:
+		// Envelope only: the sender's contact is the whole request.
+	case TRowExchangeResp:
+		if len(m.Rows) > MaxRows {
+			return nil, fmt.Errorf("%w: %d", ErrRowCount, len(m.Rows))
+		}
+		b = append(b, byte(len(m.Rows)))
+		prev := -1
+		for _, r := range m.Rows {
+			if int(r.Index) <= prev || r.Index >= MaxRows {
+				return nil, fmt.Errorf("%w: row index %d after %d", ErrBadMessage, r.Index, prev)
+			}
+			prev = int(r.Index)
+			b = append(b, r.Index)
+			if b, err = appendContact(b, r.Entry); err != nil {
+				return nil, err
+			}
+		}
+	case TLeafProbeResp:
+		if len(m.Leaves) > MaxLeaves {
+			return nil, fmt.Errorf("%w: %d", ErrLeafCount, len(m.Leaves))
+		}
+		b = append(b, byte(len(m.Leaves)))
+		for _, c := range m.Leaves {
+			if b, err = appendContact(b, c); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return b, nil
 }
@@ -358,7 +445,7 @@ func Decode(b []byte) (*Message, error) {
 		return nil, fmt.Errorf("%w: %d", ErrVersion, b[0])
 	}
 	m := &Message{Type: Type(b[1])}
-	if m.Type >= typeCount {
+	if !validType(m.Type) {
 		return nil, fmt.Errorf("%w: %d", ErrType, b[1])
 	}
 	b = b[2:]
@@ -490,6 +577,50 @@ func Decode(b []byte) (*Message, error) {
 		}
 		m.Version = binary.BigEndian.Uint64(b)
 		b = b[8:]
+	case TRowExchange, TLeafProbe:
+		// Envelope only.
+	case TRowExchangeResp:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		n := int(b[0])
+		b = b[1:]
+		if n > MaxRows {
+			return nil, fmt.Errorf("%w: %d", ErrRowCount, n)
+		}
+		prev := -1
+		for i := 0; i < n; i++ {
+			if len(b) < 1 {
+				return nil, ErrTruncated
+			}
+			r := Row{Index: b[0]}
+			b = b[1:]
+			if int(r.Index) <= prev || r.Index >= MaxRows {
+				return nil, fmt.Errorf("%w: row index %d after %d", ErrBadMessage, r.Index, prev)
+			}
+			prev = int(r.Index)
+			if r.Entry, b, err = readContact(b); err != nil {
+				return nil, err
+			}
+			m.Rows = append(m.Rows, r)
+		}
+	case TLeafProbeResp:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		n := int(b[0])
+		b = b[1:]
+		if n > MaxLeaves {
+			return nil, fmt.Errorf("%w: %d", ErrLeafCount, n)
+		}
+		if n > 0 {
+			m.Leaves = make([]Contact, n)
+			for i := range m.Leaves {
+				if m.Leaves[i], b, err = readContact(b); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(b))

@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"peercache/internal/id"
@@ -27,6 +29,9 @@ func randMessage(rng *rand.Rand) *Message {
 		Type:  Type(rng.Intn(int(typeCount))),
 		MsgID: rng.Uint64(),
 		From:  randContact(rng),
+	}
+	if m.Type == typeHole {
+		m.Type = TRowExchange // the unassigned slot never goes on the wire
 	}
 	switch m.Type {
 	case TFindSucc:
@@ -69,6 +74,22 @@ func randMessage(rng *rand.Rand) *Message {
 		m.Key = id.ID(rng.Uint64())
 		m.Value = randValue(rng)
 		m.Version = rng.Uint64()
+	case TRowExchangeResp:
+		if n := rng.Intn(MaxRows + 1); n > 0 {
+			idx := rng.Perm(MaxRows)[:n]
+			sort.Ints(idx)
+			m.Rows = make([]Row, n)
+			for i := range m.Rows {
+				m.Rows[i] = Row{Index: uint8(idx[i]), Entry: randContact(rng)}
+			}
+		}
+	case TLeafProbeResp:
+		if n := rng.Intn(MaxLeaves + 1); n > 0 {
+			m.Leaves = make([]Contact, n)
+			for i := range m.Leaves {
+				m.Leaves[i] = randContact(rng)
+			}
+		}
 	}
 	return m
 }
@@ -221,14 +242,73 @@ func TestEmptyValueDecodesNil(t *testing.T) {
 	}
 }
 
+// The unassigned type slot after one-way TReplicate must never pass the
+// codec in either direction, or a stray datagram could smuggle a type
+// the runtime has no handler contract for.
+func TestTypeHoleRejected(t *testing.T) {
+	if _, err := Encode(&Message{Type: typeHole}); !errors.Is(err, ErrType) {
+		t.Fatalf("encode of hole type: %v, want ErrType", err)
+	}
+	valid, err := Encode(&Message{Type: TPing, From: Contact{ID: 1, Addr: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid[1] = byte(typeHole)
+	if _, err := Decode(valid); !errors.Is(err, ErrType) {
+		t.Fatalf("decode of hole type: %v, want ErrType", err)
+	}
+}
+
+// Row lists have one canonical encoding: strictly ascending indexes
+// below MaxRows. Duplicates, descending order, out-of-range indexes, and
+// truncated row payloads are rejected with the documented errors.
+func TestRowExchangeCanonical(t *testing.T) {
+	c := Contact{ID: 3, Addr: "mem/3"}
+	for _, bad := range [][]Row{
+		{{Index: 5, Entry: c}, {Index: 5, Entry: c}}, // duplicate
+		{{Index: 9, Entry: c}, {Index: 2, Entry: c}}, // descending
+		{{Index: MaxRows, Entry: c}},                 // out of range
+	} {
+		if _, err := Encode(&Message{Type: TRowExchangeResp, Rows: bad}); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("encode rows %v: %v, want ErrBadMessage", bad, err)
+		}
+	}
+	ok, err := Encode(&Message{Type: TRowExchangeResp, Rows: []Row{{Index: 1, Entry: c}, {Index: 4, Entry: c}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two row indexes in place: same length, no longer ascending.
+	swapped := append([]byte(nil), ok...)
+	rowStart := len(swapped) - 2*(1+9+len(c.Addr))
+	swapped[rowStart], swapped[rowStart+1+9+len(c.Addr)] = 4, 1
+	if _, err := Decode(swapped); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("decode unordered rows: %v, want ErrBadMessage", err)
+	}
+	// Every strict prefix that cuts into the row list is a truncation,
+	// never a short-but-valid list: the count byte pins the length.
+	for cut := rowStart; cut < len(ok); cut++ {
+		if _, err := Decode(ok[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("decode %d/%d-byte prefix: %v, want ErrTruncated", cut, len(ok), err)
+		}
+	}
+	if _, err := Encode(&Message{Type: TRowExchangeResp, Rows: make([]Row, MaxRows+1)}); !errors.Is(err, ErrRowCount) {
+		t.Fatal("oversized row list accepted")
+	}
+	if _, err := Encode(&Message{Type: TLeafProbeResp, Leaves: make([]Contact, MaxLeaves+1)}); !errors.Is(err, ErrLeafCount) {
+		t.Fatal("oversized leaf set accepted")
+	}
+}
+
 func TestResponsePairing(t *testing.T) {
 	pairs := map[Type]Type{
-		TPing:     TPong,
-		TFindSucc: TFindSuccResp,
-		TGetPred:  TGetPredResp,
-		TNotify:   TNotifyAck,
-		TPut:      TPutAck,
-		TGet:      TGetResp,
+		TPing:        TPong,
+		TFindSucc:    TFindSuccResp,
+		TGetPred:     TGetPredResp,
+		TNotify:      TNotifyAck,
+		TPut:         TPutAck,
+		TGet:         TGetResp,
+		TRowExchange: TRowExchangeResp,
+		TLeafProbe:   TLeafProbeResp,
 	}
 	for req, resp := range pairs {
 		if req.IsResponse() {
