@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A tiny all-green run: exit code 0, and the -json verdict parses with
+// the fields CI greps for.
+func TestRunJSONVerdict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live cluster")
+	}
+	var out, errb bytes.Buffer
+	code, err := run([]string{
+		"-proto", "chord", "-seed", "1", "-events", "30",
+		"-nodes", "8", "-keys", "16", "-quiesce", "15", "-json",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout:\n%s", code, out.String())
+	}
+	var v struct {
+		Proto    string `json:"proto"`
+		Seed     int64  `json:"seed"`
+		OK       bool   `json:"ok"`
+		Events   int    `json:"events_run"`
+		Schedule []any  `json:"schedule"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("verdict is not JSON: %v\n%s", err, out.String())
+	}
+	if !v.OK || v.Proto != "chord" || v.Seed != 1 || v.Events != 30 {
+		t.Fatalf("unexpected verdict: %+v", v)
+	}
+	if v.Schedule != nil {
+		t.Fatal("passing verdict embedded a schedule dump")
+	}
+}
+
+// Bad flags are harness errors, reported on stderr with exit 2
+// semantics (run returns the error).
+func TestRunRejectsUnknownProto(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-proto", "kademlia"}, &out, &errb)
+	if err == nil || code != 2 {
+		t.Fatalf("code %d, err %v; want 2 with error", code, err)
+	}
+	if !strings.Contains(err.Error(), "kademlia") {
+		t.Fatalf("error does not name the bad proto: %v", err)
+	}
+}

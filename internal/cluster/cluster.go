@@ -37,7 +37,7 @@ func Start(space id.Space, nw *memnet.Network, ids []uint64, mod func(i int, cfg
 		cfg := node.Config{
 			Space:           space,
 			ID:              id.ID(x),
-			Addr:            addrFor(id.ID(x)),
+			Addr:            AddrFor(id.ID(x)),
 			StabilizeEvery:  25 * time.Millisecond,
 			FixFingersEvery: 5 * time.Millisecond,
 			RPCTimeout:      100 * time.Millisecond,
@@ -65,8 +65,10 @@ func Start(space id.Space, nw *memnet.Network, ids []uint64, mod func(i int, cfg
 	return c, nil
 }
 
-// addrFor is the memnet address convention for a node id.
-func addrFor(x id.ID) string { return fmt.Sprintf("mem/%d", uint64(x)) }
+// AddrFor is the memnet address convention for a node id; exported so
+// harnesses that manage node lifecycle themselves (internal/soak) stay
+// address-compatible with clusters started here.
+func AddrFor(x id.ID) string { return fmt.Sprintf("mem/%d", uint64(x)) }
 
 // Addr returns node i's transport address (for partition scripts).
 func (c *Cluster) Addr(i int) string { return c.Nodes[i].Addr() }
@@ -133,42 +135,61 @@ func Owner(ring []id.ID, k id.ID) id.ID {
 	return ring[0]
 }
 
-// WaitConverged polls until every node's successor, predecessor, and
-// finger table match the ideal ring of the cluster's current members,
-// or the timeout passes, in which case it returns the last mismatch.
-func (c *Cluster) WaitConverged(timeout time.Duration) error {
-	ring := c.Ring()
+// RingOf returns the given nodes' ids in ring (ascending) order — the
+// membership oracle the Check* functions judge against.
+func RingOf(nodes []*node.Node) []id.ID {
+	ring := make([]id.ID, len(nodes))
+	for i, n := range nodes {
+		ring[i] = n.ID()
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i] < ring[j] })
+	return ring
+}
+
+// CheckChordConverged is the Chord convergence oracle as a pure,
+// single-shot check over an arbitrary node list: every node's
+// successor, predecessor, and finger table must match the ideal ring
+// of exactly those nodes. It returns the first mismatch, nil when
+// converged. WaitConverged polls it; harnesses with their own clock
+// (internal/soak) call it directly.
+func CheckChordConverged(space id.Space, nodes []*node.Node) error {
+	ring := RingOf(nodes)
 	pos := make(map[id.ID]int, len(ring))
 	for i, x := range ring {
 		pos[x] = i
 	}
-	check := func() error {
-		for _, n := range c.Nodes {
-			i := pos[n.ID()]
-			wantSucc := ring[(i+1)%len(ring)]
-			wantPred := ring[(i+len(ring)-1)%len(ring)]
-			if got := n.Successor(); got.ID != wantSucc {
-				return fmt.Errorf("node %d successor %d, want %d", n.ID(), got.ID, wantSucc)
-			}
-			if p, ok := n.Predecessor(); !ok || p.ID != wantPred {
-				return fmt.Errorf("node %d predecessor %v (%t), want %d", n.ID(), p.ID, ok, wantPred)
-			}
-			got := n.Fingers()
-			want := ExpectedFingers(c.Space, ring, n.ID())
-			if len(got) != len(want) {
-				return fmt.Errorf("node %d has %d fingers, want %d", n.ID(), len(got), len(want))
-			}
-			for j := range got {
-				if got[j].ID != want[j] {
-					return fmt.Errorf("node %d finger %d is %d, want %d", n.ID(), j, got[j].ID, want[j])
-				}
+	for _, n := range nodes {
+		i := pos[n.ID()]
+		wantSucc := ring[(i+1)%len(ring)]
+		wantPred := ring[(i+len(ring)-1)%len(ring)]
+		if got := n.Successor(); got.ID != wantSucc {
+			return fmt.Errorf("node %d successor %d, want %d", n.ID(), got.ID, wantSucc)
+		}
+		if p, ok := n.Predecessor(); !ok || p.ID != wantPred {
+			return fmt.Errorf("node %d predecessor %v (%t), want %d", n.ID(), p.ID, ok, wantPred)
+		}
+		got := n.Fingers()
+		want := ExpectedFingers(space, ring, n.ID())
+		if len(got) != len(want) {
+			return fmt.Errorf("node %d has %d fingers, want %d", n.ID(), len(got), len(want))
+		}
+		for j := range got {
+			if got[j].ID != want[j] {
+				return fmt.Errorf("node %d finger %d is %d, want %d", n.ID(), j, got[j].ID, want[j])
 			}
 		}
-		return nil
 	}
+	return nil
+}
+
+// WaitConverged polls CheckChordConverged until every node's successor,
+// predecessor, and finger table match the ideal ring of the cluster's
+// current members, or the timeout passes, in which case it returns the
+// last mismatch.
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
 	var last error
 	for end := time.Now().Add(timeout); time.Now().Before(end); {
-		if last = check(); last == nil {
+		if last = CheckChordConverged(c.Space, c.Nodes); last == nil {
 			return nil
 		}
 		time.Sleep(25 * time.Millisecond)

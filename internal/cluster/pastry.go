@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"peercache/internal/id"
+	"peercache/internal/node"
 	"peercache/internal/node/pastryring"
 	"peercache/internal/wire"
 )
@@ -43,54 +44,60 @@ func CoverableRows(space id.Space, ring []id.ID, x id.ID) map[uint]bool {
 	return out
 }
 
-// WaitConvergedPastry polls until every node's leaf-set sides equal the
-// ideal ring's and its populated prefix-table row set equals the
-// coverable-row oracle (each entry a live member in the right row), or
-// the timeout passes, in which case it returns the last mismatch. The
-// cluster must have been started with pastryring.New and half as the
-// nodes' SuccessorListLen.
-func (c *Cluster) WaitConvergedPastry(half int, timeout time.Duration) error {
-	ring := c.Ring()
+// CheckPastryConverged is the Pastry convergence oracle as a pure,
+// single-shot check over an arbitrary node list: every node's leaf-set
+// sides must equal the ideal ring's and its populated prefix-table row
+// set must equal the coverable-row oracle (each entry a live member in
+// the right row). The nodes must have been started with pastryring.New
+// and half as their SuccessorListLen. It returns the first mismatch,
+// nil when converged. WaitConvergedPastry polls it; harnesses with
+// their own clock (internal/soak) call it directly.
+func CheckPastryConverged(space id.Space, nodes []*node.Node, half int) error {
+	ring := RingOf(nodes)
 	member := make(map[id.ID]bool, len(ring))
 	for _, x := range ring {
 		member[x] = true
 	}
-	check := func() error {
-		for _, n := range c.Nodes {
-			pr, ok := n.Ring().(*pastryring.Ring)
-			if !ok {
-				return fmt.Errorf("node %d is not a pastryring node", n.ID())
+	for _, n := range nodes {
+		pr, ok := n.Ring().(*pastryring.Ring)
+		if !ok {
+			return fmt.Errorf("node %d is not a pastryring node", n.ID())
+		}
+		wantCW, wantCCW := ExpectedLeaves(ring, n.ID(), half)
+		cw, ccw := pr.Leaves()
+		if err := matchSide("cw", n.ID(), wantCW, cw); err != nil {
+			return err
+		}
+		if err := matchSide("ccw", n.ID(), wantCCW, ccw); err != nil {
+			return err
+		}
+		coverable := CoverableRows(space, ring, n.ID())
+		rows := pr.Rows()
+		if len(rows) != len(coverable) {
+			return fmt.Errorf("node %d has %d rows, want %d", n.ID(), len(rows), len(coverable))
+		}
+		for l, e := range rows {
+			if !coverable[l] {
+				return fmt.Errorf("node %d row %d populated but not coverable", n.ID(), l)
 			}
-			wantCW, wantCCW := ExpectedLeaves(ring, n.ID(), half)
-			cw, ccw := pr.Leaves()
-			if err := matchSide("cw", n.ID(), wantCW, cw); err != nil {
-				return err
+			if !member[e.ID] {
+				return fmt.Errorf("node %d row %d holds non-member %d", n.ID(), l, e.ID)
 			}
-			if err := matchSide("ccw", n.ID(), wantCCW, ccw); err != nil {
-				return err
-			}
-			coverable := CoverableRows(c.Space, ring, n.ID())
-			rows := pr.Rows()
-			if len(rows) != len(coverable) {
-				return fmt.Errorf("node %d has %d rows, want %d", n.ID(), len(rows), len(coverable))
-			}
-			for l, e := range rows {
-				if !coverable[l] {
-					return fmt.Errorf("node %d row %d populated but not coverable", n.ID(), l)
-				}
-				if !member[e.ID] {
-					return fmt.Errorf("node %d row %d holds non-member %d", n.ID(), l, e.ID)
-				}
-				if got := c.Space.CommonPrefixLen(n.ID(), e.ID); got != l {
-					return fmt.Errorf("node %d row %d holds %d with prefix %d", n.ID(), l, e.ID, got)
-				}
+			if got := space.CommonPrefixLen(n.ID(), e.ID); got != l {
+				return fmt.Errorf("node %d row %d holds %d with prefix %d", n.ID(), l, e.ID, got)
 			}
 		}
-		return nil
 	}
+	return nil
+}
+
+// WaitConvergedPastry polls CheckPastryConverged until every node's
+// leaf sets and prefix rows match the oracle, or the timeout passes,
+// in which case it returns the last mismatch.
+func (c *Cluster) WaitConvergedPastry(half int, timeout time.Duration) error {
 	var last error
 	for end := time.Now().Add(timeout); time.Now().Before(end); {
-		if last = check(); last == nil {
+		if last = CheckPastryConverged(c.Space, c.Nodes, half); last == nil {
 			return nil
 		}
 		time.Sleep(25 * time.Millisecond)

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peercache/internal/id"
+)
+
+// Property P (Section IV-B, eq. 4): Pastry's greedy selection nests —
+// the optimal k-set is contained in the optimal (k+1)-set. The DP-free
+// maintainer leans on this to extend a selection instead of resolving
+// from scratch, so the property must survive arbitrary frequency
+// churn, not just the static instances the eq.-4 derivation covers.
+// Two maintainers over the identical instance, differing only in k,
+// receive the same random SetFreq batches; after every batch the
+// smaller selection must be a subset of the larger.
+func TestPastryMaintainerNestingQuick(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := id.NewSpace(8)
+		k := 1 + rng.Intn(4)
+
+		perm := rng.Perm(int(space.Size()))
+		ncore := 1 + rng.Intn(3)
+		core := make([]id.ID, ncore)
+		for i := range core {
+			core[i] = id.ID(perm[i])
+		}
+		npeers := k + 2 + rng.Intn(12)
+		peers := make([]Peer, npeers)
+		for i := range peers {
+			peers[i] = Peer{ID: id.ID(perm[ncore+i]), Freq: float64(rng.Intn(8))}
+		}
+
+		small, err := NewPastryMaintainer(space, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := NewPastryMaintainer(space, core, peers, k+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for batch := 0; batch < 12; batch++ {
+			for u := 0; u < 3; u++ {
+				p := peers[rng.Intn(npeers)].ID
+				f := float64(rng.Intn(10))
+				small.SetFreq(p, f)
+				large.SetFreq(p, f)
+			}
+			if !nests(small.Select().Aux, large.Select().Aux) {
+				t.Logf("seed %d batch %d: Aux(k=%d) ⊄ Aux(k=%d)", seed, batch, k, k+1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nests reports small ⊆ large; both are sorted by id (Result.Aux
+// contract), so a single merge walk suffices.
+func nests(small, large []id.ID) bool {
+	j := 0
+	for _, s := range small {
+		for j < len(large) && large[j] < s {
+			j++
+		}
+		if j == len(large) || large[j] != s {
+			return false
+		}
+		j++
+	}
+	return true
+}

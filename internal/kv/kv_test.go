@@ -125,3 +125,43 @@ func TestClientConfigValidation(t *testing.T) {
 		t.Fatal("missing bootstrap accepted")
 	}
 }
+
+// A lost GET response — not a lost request — must be absorbed by the
+// client's retry loop. The ring answers Resolve at the bootstrap (100's
+// successor covers the key), so the owner's first datagram to the
+// client is exactly the GET response; DropNext removes precisely that
+// one and the retried RPC must come back with the same value.
+func TestClientRetriesDroppedGetResponse(t *testing.T) {
+	space := id.NewSpace(16)
+	c, nw := startRing(t, space, []uint64{100, 20000, 40000})
+	cl := dial(t, c, nw)
+
+	key := id.ID(10000) // owned by 20000
+	if _, _, err := cl.Put(key, []byte("survives")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	dropped := nw.Stats().Dropped
+	nw.DropNext("mem/20000", "mem/client", 1)
+	val, version, err := cl.Get(key)
+	if err != nil {
+		t.Fatalf("get with dropped response: %v", err)
+	}
+	if !bytes.Equal(val, []byte("survives")) || version != 1 {
+		t.Fatalf("get returned %q v%d, want \"survives\" v1", val, version)
+	}
+	// The drop must actually have hit — otherwise the retry path was
+	// never exercised and the test is vacuous.
+	if got := nw.Stats().Dropped; got != dropped+1 {
+		t.Fatalf("dropped %d datagrams during the get, want exactly 1", got-dropped)
+	}
+
+	// The forced drop is one-shot: a subsequent get sails through with
+	// no further loss.
+	if _, _, err := cl.Get(key); err != nil {
+		t.Fatalf("get after drop consumed: %v", err)
+	}
+	if got := nw.Stats().Dropped; got != dropped+1 {
+		t.Fatalf("drop survived past its count: %d total", got-dropped)
+	}
+}

@@ -1,0 +1,130 @@
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// CloseAll must be race-free against concurrent Listen: every endpoint
+// that Listen successfully registers ends up closed, and once CloseAll
+// has run no further Listen can sneak an endpoint (and the goroutines
+// a caller would hang off it) into a network nobody will clean up.
+// This is the dedicated stress test for the snapshot-then-close window
+// documented on Network: run it under -race with many listeners racing
+// one CloseAll.
+func TestCloseAllListenRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		n := New(int64(round))
+		const listeners = 32
+		var wg sync.WaitGroup
+		registered := make(chan *Endpoint, listeners)
+		start := make(chan struct{})
+		for i := 0; i < listeners; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				e, err := n.Listen(fmt.Sprintf("racer/%d/%d", round, i))
+				if err != nil {
+					if !errors.Is(err, net.ErrClosed) {
+						t.Errorf("listen: unexpected error %v", err)
+					}
+					return
+				}
+				registered <- e
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			n.CloseAll()
+		}()
+		close(start)
+		wg.Wait()
+		n.CloseAll() // the network is terminal; a second sweep is a no-op
+		close(registered)
+
+		// Every Listen that won its race must have had its endpoint
+		// closed by one of the CloseAll sweeps: reads fail immediately
+		// instead of blocking on an inbox nobody will ever drain.
+		for e := range registered {
+			if !e.isClosed() {
+				t.Fatalf("endpoint %s survived CloseAll", e.LocalAddr())
+			}
+			if _, _, err := e.ReadFrom(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+				t.Fatalf("read on %s after CloseAll: %v", e.LocalAddr(), err)
+			}
+		}
+		if _, err := n.Listen(""); !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("listen after CloseAll: err %v, want net.ErrClosed", err)
+		}
+	}
+}
+
+// DropNext is exact: precisely the requested number of datagrams on
+// the directed link vanish, then the link reverts to its policy.
+func TestDropNextExactCount(t *testing.T) {
+	n := New(7)
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	n.DropNext("a", "b", 2)
+	for i := 0; i < 5; i++ {
+		if _, err := a.WriteTo([]byte{byte(i)}, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 4)
+	for want := byte(2); want < 5; want++ {
+		got, _, err := b.ReadFrom(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 || buf[0] != want {
+			t.Fatalf("got %v, want [%d]", buf[:got], want)
+		}
+	}
+	// The reverse direction never had a forced drop.
+	if _, err := b.WriteTo([]byte{9}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := a.ReadFrom(buf); err != nil || got != 1 || buf[0] != 9 {
+		t.Fatalf("reverse link: %v %v", buf[:got], err)
+	}
+	if s := n.Stats(); s.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", s.Dropped)
+	}
+}
+
+// HealAll drops every active partition at once and reports which.
+func TestHealAllRemovesEveryPartition(t *testing.T) {
+	n := New(3)
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	n.Partition("east", "a")
+	n.Partition("west", "b")
+	if _, err := a.WriteTo([]byte{1}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Stats(); s.Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", s.Blocked)
+	}
+	names := n.HealAll()
+	if len(names) != 2 || names[0] != "east" || names[1] != "west" {
+		t.Fatalf("HealAll = %v, want [east west]", names)
+	}
+	if _, err := a.WriteTo([]byte{2}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if got, _, err := b.ReadFrom(buf); err != nil || got != 1 || buf[0] != 2 {
+		t.Fatalf("post-heal delivery: %v %v", buf[:got], err)
+	}
+	if again := n.HealAll(); len(again) != 0 {
+		t.Fatalf("second HealAll = %v, want empty", again)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -93,14 +94,27 @@ type packet struct {
 }
 
 // Network is the switchboard. All methods are safe for concurrent use.
+//
+// Lock order: Network.mu is a leaf lock — nothing else is acquired
+// while it is held. Endpoint.Close takes Endpoint.mu and then
+// Network.mu (to deregister), so code holding Network.mu must never
+// take an Endpoint.mu; that is why CloseAll snapshots the endpoint set
+// under Network.mu and closes each endpoint only after releasing it,
+// and why the closed flag below (rather than holding the lock across
+// the closes) is what makes CloseAll/Listen race-free: a Listen that
+// wins the lock before CloseAll is included in the snapshot, and one
+// that loses sees closed and fails instead of registering an endpoint
+// nobody will ever close.
 type Network struct {
 	mu         sync.Mutex
 	rng        *rand.Rand
 	endpoints  map[string]*Endpoint
 	def        LinkPolicy
 	links      map[[2]string]LinkPolicy
+	dropNext   map[[2]string]int // directed link → datagrams left to force-drop
 	partitions map[string]map[string]bool // name → member set
 	nextAuto   int
+	closed     bool // set by CloseAll; Listen fails afterwards
 	stats      Stats
 }
 
@@ -110,6 +124,7 @@ func New(seed int64) *Network {
 		rng:        rand.New(rand.NewSource(seed)),
 		endpoints:  make(map[string]*Endpoint),
 		links:      make(map[[2]string]LinkPolicy),
+		dropNext:   make(map[[2]string]int),
 		partitions: make(map[string]map[string]bool),
 	}
 }
@@ -155,6 +170,37 @@ func (n *Network) Heal(name string) {
 	n.mu.Unlock()
 }
 
+// HealAll removes every active partition and returns their names in
+// sorted order, so scenario drivers can restore full connectivity at a
+// quiescent point without tracking which partitions they raised.
+func (n *Network) HealAll() []string {
+	n.mu.Lock()
+	names := make([]string, 0, len(n.partitions))
+	for name := range n.partitions {
+		names = append(names, name)
+	}
+	n.partitions = make(map[string]map[string]bool)
+	n.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// DropNext forces the next count datagrams offered on the directed
+// link from → to to be dropped, regardless of the link's probabilistic
+// policy. Unlike LinkPolicy.Drop this is exact and deterministic even
+// under concurrent senders, which is what targeted retry-path tests
+// need ("lose precisely the first GET response"). Forced drops count
+// in Stats.Dropped. Calling it again replaces any remaining count.
+func (n *Network) DropNext(from, to string, count int) {
+	n.mu.Lock()
+	if count <= 0 {
+		delete(n.dropNext, [2]string{from, to})
+	} else {
+		n.dropNext[[2]string{from, to}] = count
+	}
+	n.mu.Unlock()
+}
+
 // Stats returns a snapshot of the delivery counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -166,9 +212,13 @@ func (n *Network) Stats() Stats {
 // auto-assigned "mem/N" address when addr is empty. Registering an
 // address that is already bound is an error (unlike a real bind there
 // is no SO_REUSEADDR escape hatch — a clash in a test is a bug).
+// After CloseAll the network is terminal and Listen always fails.
 func (n *Network) Listen(addr string) (*Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("memnet: listen %q: %w", addr, net.ErrClosed)
+	}
 	if addr == "" {
 		addr = fmt.Sprintf("mem/%d", n.nextAuto)
 		n.nextAuto++
@@ -186,9 +236,15 @@ func (n *Network) Listen(addr string) (*Endpoint, error) {
 	return e, nil
 }
 
-// CloseAll closes every registered endpoint, for test cleanup.
+// CloseAll closes every registered endpoint and marks the network
+// terminal: any Listen racing with (or following) CloseAll either
+// registers before the flag flips — and is then closed here — or
+// fails with net.ErrClosed. Without the flag a Listen landing between
+// the snapshot and the closes would leave a live endpoint (and its
+// reader goroutine) behind forever. For test cleanup. Idempotent.
 func (n *Network) CloseAll() {
 	n.mu.Lock()
+	n.closed = true
 	eps := make([]*Endpoint, 0, len(n.endpoints))
 	for _, e := range n.endpoints {
 		eps = append(eps, e)
@@ -225,7 +281,18 @@ func (n *Network) route(src, dst string, data []byte) {
 		n.mu.Unlock()
 		return
 	}
-	pol, ok := n.links[[2]string{src, dst}]
+	link := [2]string{src, dst}
+	if left, forced := n.dropNext[link]; forced {
+		if left <= 1 {
+			delete(n.dropNext, link)
+		} else {
+			n.dropNext[link] = left - 1
+		}
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	pol, ok := n.links[link]
 	if !ok {
 		pol = n.def
 	}

@@ -1,0 +1,201 @@
+// Aux eviction bound under a crashed target, table-driven over both
+// geometries. External test package: the soak clock (internal/soak)
+// imports internal/cluster which imports internal/node, so these tests
+// must sit outside package node to avoid the cycle — which also pins
+// that the whole scenario is expressible through the exported API.
+package node_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/node/chordring"
+	"peercache/internal/node/pastryring"
+	"peercache/internal/node/ring"
+	"peercache/internal/soak"
+)
+
+// evictGeometries mirrors the package-internal table in
+// aux_splice_test.go for the external tests here.
+var evictGeometries = []struct {
+	name    string
+	factory ring.Factory
+}{
+	{"chord", chordring.New},
+	{"pastry", pastryring.New},
+}
+
+func startEvictNode(t *testing.T, nw *memnet.Network, space id.Space, x uint64, factory ring.Factory, bootstrap string) *node.Node {
+	t.Helper()
+	n, err := node.Start(node.Config{
+		Space:            space,
+		ID:               id.ID(x),
+		Addr:             fmt.Sprintf("mem/%d", x),
+		NewRing:          factory,
+		AuxCount:         2,
+		StabilizeEvery:   25 * time.Millisecond,
+		FixFingersEvery:  5 * time.Millisecond,
+		RPCTimeout:       100 * time.Millisecond,
+		RPCRetries:       1,
+		Listen:           func(addr string) (node.PacketConn, error) { return nw.Listen(addr) },
+		DisableHealProbe: true, // the crashed target must stay gone
+	})
+	if err != nil {
+		t.Fatalf("start %d: %v", x, err)
+	}
+	t.Cleanup(func() { n.Close() })
+	if bootstrap != "" {
+		if err := n.Join(bootstrap); err != nil {
+			t.Fatalf("join %d: %v", x, err)
+		}
+	}
+	return n
+}
+
+// waitRingFormed polls under the soak clock until each node's nearest
+// neighbors match the sorted ring (the accessors coincide across
+// geometries, so the wait is protocol-blind).
+func waitRingFormed(t *testing.T, clock *soak.Clock, nodes []*node.Node) {
+	t.Helper()
+	ring := make([]id.ID, len(nodes))
+	for i, n := range nodes {
+		ring[i] = n.ID()
+	}
+	for i := 1; i < len(ring); i++ {
+		for j := i; j > 0 && ring[j] < ring[j-1]; j-- {
+			ring[j], ring[j-1] = ring[j-1], ring[j]
+		}
+	}
+	pos := make(map[id.ID]int, len(ring))
+	for i, x := range ring {
+		pos[x] = i
+	}
+	err := clock.WaitUntil(2000, func() error {
+		for _, n := range nodes {
+			i := pos[n.ID()]
+			if got := n.Successor(); got.ID != ring[(i+1)%len(ring)] {
+				return fmt.Errorf("node %d successor %d", n.ID(), got.ID)
+			}
+			if p, ok := n.Predecessor(); !ok || p.ID != ring[(i+len(ring)-1)%len(ring)] {
+				return fmt.Errorf("node %d predecessor %v (%t)", n.ID(), p.ID, ok)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ring did not form: %v", err)
+	}
+}
+
+// auxEntryAt reports whether n has an auxiliary entry routed at addr.
+func auxEntryAt(n *node.Node, addr string) bool {
+	for _, a := range n.Aux() {
+		if a.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// When the node behind an installed auxiliary pointer crashes, the
+// entry must be evicted within a bounded number of steps AND stay out
+// across explicit recomputes: the stabilize ping that detects the dead
+// target also retires the contact-cache and owner-hint state the
+// pointer was installed from, so a recompute cannot reinstall the dead
+// address from a stale cache — the evict/reinstall livelock this test
+// exists to catch. All budgets are soak-clock steps, not ad-hoc
+// sleeps.
+func TestAuxEvictionBoundWhenTargetCrashes(t *testing.T) {
+	for _, g := range evictGeometries {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			clock := soak.NewClock(10 * time.Millisecond)
+			nw := memnet.New(11)
+			space := id.NewSpace(16)
+			// Key 35000's owner is node 40000 in both geometries: Chord
+			// takes the first node clockwise from the key, Pastry the
+			// numerically closest. From node 1000 the key is neither in
+			// the successor interval nor adjacent, so lookups for it
+			// route — and the aux splice matters.
+			const hotKey = id.ID(35000)
+			a := startEvictNode(t, nw, space, 1000, g.factory, "")
+			b := startEvictNode(t, nw, space, 20000, g.factory, a.Addr())
+			c := startEvictNode(t, nw, space, 40000, g.factory, a.Addr())
+			d := startEvictNode(t, nw, space, 50000, g.factory, a.Addr())
+			waitRingFormed(t, clock, []*node.Node{a, b, c, d})
+
+			// Make the key hot at a, then recompute until the
+			// owner-aliased aux pointer {hotKey -> c's address} is
+			// installed. The install itself may need a few rounds (the
+			// hint cache fills from the lookups).
+			if err := clock.WaitUntil(500, func() error {
+				if _, _, err := a.Lookup(hotKey); err != nil {
+					return fmt.Errorf("lookup: %w", err)
+				}
+				if _, err := a.RecomputeAux(); err != nil {
+					return fmt.Errorf("recompute: %w", err)
+				}
+				if !auxEntryAt(a, c.Addr()) {
+					return fmt.Errorf("aux %v lacks alias to %s", a.Aux(), c.Addr())
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("aux pointer never installed: %v", err)
+			}
+
+			if err := c.Crash(); err != nil {
+				t.Fatalf("crash: %v", err)
+			}
+
+			// Eviction bound: the stabilize round pings the aux entry,
+			// fails, and retires it. 200 steps (2s) covers several ping
+			// timeouts with margin; the point is that the bound exists.
+			if err := clock.WaitUntil(200, func() error {
+				if auxEntryAt(a, c.Addr()) {
+					return fmt.Errorf("dead aux %s still installed", c.Addr())
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("aux entry not evicted within bound: %v", err)
+			}
+
+			// Bounded means once, not once per recompute: explicit
+			// recomputes — with the key still hot in the observation
+			// window — must not resurrect the dead address from the
+			// contact or owner-hint caches.
+			for i := 0; i < 5; i++ {
+				if _, err := a.RecomputeAux(); err != nil {
+					t.Fatalf("recompute %d: %v", i, err)
+				}
+				if auxEntryAt(a, c.Addr()) {
+					t.Fatalf("recompute %d reinstalled dead aux %s", i, c.Addr())
+				}
+				clock.Step()
+			}
+
+			// The overlay itself must have recovered: the hot key's
+			// lookups re-resolve to the new owner (d in Chord — the
+			// next node clockwise; b or d in Pastry by closeness), and
+			// any re-aliased aux entry points at a live node.
+			if err := clock.WaitUntil(500, func() error {
+				owner, _, err := a.Lookup(hotKey)
+				if err != nil {
+					return err
+				}
+				if owner.ID == c.ID() {
+					return fmt.Errorf("lookup still resolves to crashed node %d", owner.ID)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("lookup never recovered past the crashed owner: %v", err)
+			}
+			if auxEntryAt(a, c.Addr()) {
+				t.Fatalf("post-recovery aux still aliases the dead address: %v", a.Aux())
+			}
+		})
+	}
+}

@@ -175,6 +175,26 @@ func (n *Node) Item(key id.ID) (value []byte, version uint64, ok bool) {
 	return n.store.get(key, time.Now())
 }
 
+// ItemInfo is ItemDetail's snapshot of one locally stored item.
+type ItemInfo struct {
+	Value   []byte
+	Version uint64
+	// Owned distinguishes an owned copy from a replica — the authority
+	// split the exactly-one-owner invariant checker counts across a
+	// cluster.
+	Owned bool
+}
+
+// ItemDetail is Item plus the copy's authority, again without network
+// traffic or cache consultation. Introspection only.
+func (n *Node) ItemDetail(key id.ID) (ItemInfo, bool) {
+	value, version, owned, ok := n.store.info(key, time.Now())
+	if !ok {
+		return ItemInfo{}, false
+	}
+	return ItemInfo{Value: value, Version: version, Owned: owned}, true
+}
+
 // ReplicationRound runs one reconciliation and replication pass. The
 // ticker calls it every ReplicateEvery; stabilize calls it early when
 // the replica target set changes. The pass is anti-entropy: every owned

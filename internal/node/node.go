@@ -412,11 +412,39 @@ func (n *Node) ticker(period time.Duration, fn func()) {
 // no new datagram can be sent: transport.send and call both fail
 // against the closed endpoint, so a straggling caller cannot write to
 // the network post-close.
-func (n *Node) Close() error {
+func (n *Node) Close() error { return n.shutdown(false) }
+
+// Crash stops the node as a crash-stop failure for tests and the soak
+// harness: the transport dies first — mid-protocol, with tickers still
+// running — so peers see the node vanish exactly as they would a
+// killed process, and only then are the maintenance goroutines
+// collected. No handoff, no final replication push; whatever the
+// replicas already hold is all that survives. Like Close it reaps
+// every goroutine before returning (the crash being simulated is the
+// node's, not the test harness's) and is idempotent with it: whichever
+// of Close/Crash runs first wins, the other is a no-op.
+func (n *Node) Crash() error { return n.shutdown(true) }
+
+// Leave departs gracefully: one final replication round hands off and
+// re-pushes every owned item before the node shuts down. The pushes
+// are one-way datagrams, so durability across a leave is still the
+// replication factor's job — a caller that needs certainty must verify
+// another holder has the data before calling (the soak harness does).
+func (n *Node) Leave() error {
+	n.ReplicationRound()
+	return n.Close()
+}
+
+func (n *Node) shutdown(crash bool) error {
 	var err error
 	n.stopOnce.Do(func() {
-		close(n.stop)
-		err = n.tr.close()
+		if crash {
+			err = n.tr.close()
+			close(n.stop)
+		} else {
+			close(n.stop)
+			err = n.tr.close()
+		}
 		n.wg.Wait()
 	})
 	return err
@@ -525,6 +553,17 @@ func (n *Node) addrOf(x id.ID) (string, bool) {
 	a, ok := n.addrs[x]
 	n.addrMu.RUnlock()
 	return a, ok
+}
+
+// forgetAddr drops x's contact-cache entry, but only while it still
+// maps to the address that just failed — a concurrent noteContact may
+// have learned a fresher address, and that one must survive.
+func (n *Node) forgetAddr(x id.ID, failed string) {
+	n.addrMu.Lock()
+	if n.addrs[x] == failed {
+		delete(n.addrs, x)
+	}
+	n.addrMu.Unlock()
 }
 
 // randomCached reservoir-samples one contact from the address cache
@@ -668,6 +707,18 @@ func (n *Node) stabilize() {
 	for _, a := range n.rt.Aux() {
 		if _, err := n.call(a.Addr, &wire.Message{Type: wire.TPing}); err != nil {
 			n.rt.RemoveAux(a.ID)
+			// Also retire the caches the entry was installed from, or
+			// the very next recompute would re-select the id, find the
+			// same dead address, and reinstall the entry — an evict/
+			// reinstall loop that never converges. Dropping the caches
+			// bounds eviction: once a recompute runs after this round,
+			// the id either resolves to a live address learned since or
+			// is skipped. (The aux id is a node id for directly selected
+			// entries — forget its contact-cache address — and a key
+			// position for owner-aliased ones — invalidate its owner
+			// hint; the wrong-side call of each pair is a no-op.)
+			n.forgetAddr(a.ID, a.Addr)
+			n.ownerHints.Invalidate(a.ID)
 		}
 	}
 	n.replicateOnSuccChange()

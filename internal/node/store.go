@@ -184,6 +184,20 @@ func (s *store) owned() []ownedItem {
 	return out
 }
 
+// info reports one key's state including its authority, for
+// introspection: checkers counting owners across a cluster need to
+// distinguish an owned copy from a replica, which get deliberately
+// hides.
+func (s *store) info(key id.ID, now time.Time) (value []byte, version uint64, owned, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, exists := s.items[key]
+	if !exists || s.expiredLocked(it, now) {
+		return nil, 0, false, false
+	}
+	return it.value, it.version, it.kind == kindOwned, true
+}
+
 // counts returns the current owned and replica item counts.
 func (s *store) counts() (owned, replicas int) {
 	s.mu.Lock()

@@ -1,0 +1,167 @@
+package soak
+
+import (
+	"fmt"
+
+	"peercache/internal/memnet"
+)
+
+// The checker contract: a checker is a nullary closure over the engine
+// returning the current deviation (nil when the invariant holds), and
+// the window polls it under the step clock with a bounded budget —
+// Clock.WaitUntil(budget, check). Checkers must be read-only probes of
+// node introspection APIs (ItemDetail, Aux, the Ring accessors): the
+// maintenance tickers are what move the cluster toward the invariant,
+// the checker only observes. A deviation that outlasts its budget is a
+// Violation. See DESIGN.md §7.
+
+// quiesce runs one quiescent window: restore the network to perfect
+// (heal every partition, cancel any ramp), wait for the convergence
+// oracle, then run the data-plane and aux checkers. Any violation
+// halts the scenario after the window — later checks still run, so a
+// verdict shows every invariant the state breaks, not just the first.
+func (e *engine) quiesce() {
+	e.v.Windows++
+	healed := e.nw.HealAll()
+	e.parts = nil
+	e.nw.SetDefaultPolicy(memnet.LinkPolicy{})
+	e.o.Logf("soak: window %d: %d live nodes, healed %v", e.v.Windows, len(e.live), healed)
+
+	if err := e.clock.WaitUntil(e.o.ConvergeSteps, e.convergeCheck); err != nil {
+		e.violate("converge", "%v", err)
+		// Without a converged ring the remaining invariants are not
+		// judgeable: ownership is still legitimately in motion.
+		return
+	}
+	if err := e.clock.WaitUntil(e.o.SettleSteps, e.ownerUniqueCheck); err != nil {
+		e.violate("owner-unique", "%v", err)
+	}
+	if err := e.clock.WaitUntil(e.o.SettleSteps, e.durabilityCheck); err != nil {
+		e.violate("durability", "%v", err)
+	}
+	if err := e.clock.WaitUntil(e.o.SettleSteps, e.auxValidCheck); err != nil {
+		e.violate("aux-valid", "%v", err)
+	}
+	e.countStranded()
+	e.o.Logf("soak: window %d done at step %d", e.v.Windows, e.clock.Steps())
+}
+
+// convergeCheck compares every live node's routing state against the
+// protocol's cluster oracle.
+func (e *engine) convergeCheck() error {
+	return convergeChecks[e.o.Proto](e.space, e.live, e.o.SuccessorListLen)
+}
+
+// ownerUniqueCheck enforces single owned authority: no key may be held
+// as owned by two live nodes at once. (Zero owners is judged by the
+// durability checker — a key can legitimately be mid-handoff, and
+// countStranded reports the lasting zero-owner cases.) Dual ownership
+// is exactly what a lost demotion produces after a partition heals,
+// and it converges to one owner within a replication round once the
+// ring has converged — hence a polled check, not a one-shot.
+func (e *engine) ownerUniqueCheck() error {
+	for k, ks := range e.ledger {
+		if len(ks.written) == 0 {
+			continue
+		}
+		owners := 0
+		var where []uint64
+		for _, n := range e.live {
+			if it, ok := n.ItemDetail(k); ok && it.Owned {
+				owners++
+				where = append(where, uint64(n.ID()))
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("key %d owned by %d nodes %v", k, owners, where)
+		}
+	}
+	return nil
+}
+
+// durabilityCheck enforces the acknowledged-write invariant: every
+// acked, non-forfeited key must have a live copy at version ≥ the
+// acked version, and no copy of any key may carry a value that was
+// never written (phantom). Copies never regress — versions only grow
+// at a holder, demotion keeps the bytes — so the only way to lose one
+// is to lose its holders, which the ledger converts into forfeits at
+// crash/leave time.
+func (e *engine) durabilityCheck() error {
+	for k, ks := range e.ledger {
+		best := uint64(0)
+		found := false
+		for _, n := range e.live {
+			it, ok := n.ItemDetail(k)
+			if !ok {
+				continue
+			}
+			if !ks.written[string(it.Value)] {
+				return fmt.Errorf("key %d: node %d holds phantom value %q", k, n.ID(), it.Value)
+			}
+			found = true
+			if it.Version > best {
+				best = it.Version
+			}
+		}
+		if ks.acked && !ks.forfeited {
+			if !found {
+				return fmt.Errorf("key %d: acked at version %d, no live copy", k, ks.ackVersion)
+			}
+			if best < ks.ackVersion {
+				return fmt.Errorf("key %d: acked at version %d, best live copy %d", k, ks.ackVersion, best)
+			}
+		}
+	}
+	return nil
+}
+
+// auxValidCheck enforces bounded eviction of stale auxiliary pointers:
+// after a quiescent settle, every installed aux entry must resolve to
+// a live node's address. The runtime's stabilize round pings each aux
+// entry and, on failure, retires both the entry and the caches it was
+// installed from (node.go), so a dead pointer survives at most the
+// ping timeout plus one recompute — well inside the settle budget. An
+// entry that persists past it means the evict/reinstall loop the cache
+// invalidation exists to break is back.
+func (e *engine) auxValidCheck() error {
+	liveAddr := make(map[string]bool, len(e.live))
+	for _, n := range e.live {
+		liveAddr[n.Addr()] = true
+	}
+	for _, n := range e.live {
+		for _, a := range n.Aux() {
+			if !liveAddr[a.Addr] {
+				return fmt.Errorf("node %d aux %d -> %s points at no live node", n.ID(), a.ID, a.Addr)
+			}
+		}
+	}
+	return nil
+}
+
+// countStranded tallies keys that exist only as replicas — the ring
+// owner holds no copy, so overlay Gets miss while the bytes survive.
+// This is the known one-shot-handoff gap in the data plane (a demoted
+// owner's single handoff datagram can be lost); the soak reports it as
+// a stat so its frequency is visible, without failing the run.
+func (e *engine) countStranded() {
+	stranded := 0
+	for k, ks := range e.ledger {
+		if len(ks.written) == 0 {
+			continue
+		}
+		owners, copies := 0, 0
+		for _, n := range e.live {
+			if it, ok := n.ItemDetail(k); ok {
+				copies++
+				if it.Owned {
+					owners++
+				}
+			}
+		}
+		if owners == 0 && copies > 0 {
+			stranded++
+			e.o.Logf("soak: window %d: key %d stranded (%d replica copies, no owner)", e.v.Windows, k, copies)
+		}
+	}
+	e.v.Stranded += stranded
+}

@@ -1,0 +1,56 @@
+package soak
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is the harness's virtualized step clock. The live runtime runs
+// maintenance on wall-clock tickers, so the harness cannot freeze time
+// the way the discrete-event simulators do; what it can do is quantize
+// it. Every wait in the harness is expressed as a bounded number of
+// uniform steps, so schedules, convergence budgets, and eviction
+// bounds are written — and replayed, and reported — in steps rather
+// than in raw sleeps scattered through the code. One step is one tick
+// of real time for the nodes' tickers to make progress in.
+type Clock struct {
+	tick  time.Duration
+	steps int
+}
+
+// NewClock returns a clock advancing tick per step.
+func NewClock(tick time.Duration) *Clock {
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	return &Clock{tick: tick}
+}
+
+// Tick returns the real duration of one step.
+func (c *Clock) Tick() time.Duration { return c.tick }
+
+// Steps returns how many steps have elapsed since construction.
+func (c *Clock) Steps() int { return c.steps }
+
+// Step advances the clock by one step.
+func (c *Clock) Step() {
+	time.Sleep(c.tick)
+	c.steps++
+}
+
+// WaitUntil steps the clock until cond returns nil, for at most
+// maxSteps steps. cond is checked once before the first step, so an
+// already-true condition costs nothing. On budget exhaustion it
+// returns the condition's last error wrapped with the budget — the
+// violation text a checker reports.
+func (c *Clock) WaitUntil(maxSteps int, cond func() error) error {
+	err := cond()
+	for s := 0; err != nil && s < maxSteps; s++ {
+		c.Step()
+		err = cond()
+	}
+	if err != nil {
+		return fmt.Errorf("not satisfied within %d steps (%v): %w", maxSteps, time.Duration(maxSteps)*c.tick, err)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package soak
+
+import (
+	"math/rand"
+
+	"peercache/internal/randx"
+)
+
+// EventKind names one scripted action in a soak schedule.
+type EventKind string
+
+// The event vocabulary. Workload events (put/get/lookup) exercise the
+// data and lookup planes; membership events (join/leave/crash) churn
+// the overlay; fault events (partition/heal/ramp) reshape the network
+// underneath it.
+const (
+	EvPut       EventKind = "put"
+	EvGet       EventKind = "get"
+	EvLookup    EventKind = "lookup"
+	EvJoin      EventKind = "join"
+	EvLeave     EventKind = "leave"
+	EvCrash     EventKind = "crash"
+	EvPartition EventKind = "partition"
+	EvHeal      EventKind = "heal"
+	EvRamp      EventKind = "ramp"
+)
+
+// Event is one schedule entry. Selector fields (Src, Pick, Key) are
+// raw draws resolved against the live state at execution time (modulo
+// the live set, the id pool, the active partitions…), so a schedule
+// stays meaningful — and a seed replayable — even though membership at
+// event N depends on how events 0..N-1 went. The JSON form is what the
+// runner dumps on an invariant violation.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Kind EventKind `json:"kind"`
+	// Src selects the acting node (workload source, join bootstrap,
+	// leave/crash victim, partition arc offset) out of the live set.
+	Src int `json:"src,omitempty"`
+	// Key selects the key (index into the key universe) for put/get/
+	// lookup, Zipf-distributed so auxiliary selection has hot keys to
+	// chase during the soak.
+	Key int `json:"key,omitempty"`
+	// Pick is the secondary selector: partition arc length, heal
+	// target, ramp intensity step.
+	Pick int `json:"pick,omitempty"`
+	// Frac parameterizes a loss/latency ramp in [0,1]; the executor
+	// maps it onto the bounded fault envelope.
+	Frac float64 `json:"frac,omitempty"`
+}
+
+// Weighted kind frequencies: the workload dominates (the invariants
+// are only interesting while traffic flows), churn and faults arrive
+// steadily, and heals trail partitions so splits do not pile up.
+var kindWeights = []struct {
+	kind EventKind
+	w    int
+}{
+	{EvPut, 22},
+	{EvGet, 29},
+	{EvLookup, 18},
+	{EvJoin, 8},
+	{EvLeave, 4},
+	{EvCrash, 5},
+	{EvPartition, 4},
+	{EvHeal, 4},
+	{EvRamp, 6},
+}
+
+// Generate draws an n-event schedule from rng. Key indices over a
+// universe of keys ranks follow Zipf(zipfAlpha) through an alias
+// sampler. Generation is sequential and prefix-stable: the first k
+// events of Generate(rng, n, keys) equal Generate(rng, k, keys) for
+// the same rng state, so truncating a run does not reshuffle what ran.
+// The generator does not track feasibility — the executor skips events
+// the live state cannot honor (and counts them), which keeps the
+// schedule a pure function of the seed.
+func Generate(rng *rand.Rand, n, keys int) []Event {
+	total := 0
+	for _, kw := range kindWeights {
+		total += kw.w
+	}
+	zipf := randx.NewAlias(randx.ZipfWeights(keys, zipfAlpha))
+	events := make([]Event, n)
+	for i := range events {
+		ev := Event{Seq: i}
+		// Each event consumes a fixed number of draws regardless of
+		// kind, another prefix-stability guard: a reader tweaking the
+		// executor cannot shift which draw feeds which event.
+		roll := rng.Intn(total)
+		ev.Src = rng.Intn(1 << 30)
+		ev.Pick = rng.Intn(1 << 30)
+		ev.Key = zipf.Sample(rng)
+		ev.Frac = rng.Float64()
+		for _, kw := range kindWeights {
+			if roll < kw.w {
+				ev.Kind = kw.kind
+				break
+			}
+			roll -= kw.w
+		}
+		events[i] = ev
+	}
+	return events
+}
+
+// zipfAlpha skews the workload's key popularity; 1.2 matches the
+// paper's primary experiment configuration.
+const zipfAlpha = 1.2

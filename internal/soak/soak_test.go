@@ -1,0 +1,149 @@
+package soak
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The schedule is a pure function of the seed, and prefix-stable: the
+// first k events of an n-event schedule equal the k-event schedule
+// from the same rng state. Both properties are what make a verdict's
+// seed a complete reproduction recipe.
+func TestScheduleDeterministicAndPrefixStable(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(42)), 500, 32)
+	b := Generate(rand.New(rand.NewSource(42)), 500, 32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	prefix := Generate(rand.New(rand.NewSource(42)), 120, 32)
+	if !reflect.DeepEqual(a[:120], prefix) {
+		t.Fatal("schedule is not prefix-stable under truncation")
+	}
+	c := Generate(rand.New(rand.NewSource(43)), 500, 32)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Every kind in the vocabulary should appear in a long enough
+// schedule, in roughly its configured proportion.
+func TestScheduleCoversVocabulary(t *testing.T) {
+	events := Generate(rand.New(rand.NewSource(7)), 2000, 32)
+	counts := make(map[EventKind]int)
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	total := 0
+	for _, kw := range kindWeights {
+		total += kw.w
+	}
+	for _, kw := range kindWeights {
+		got := counts[kw.kind]
+		want := 2000 * kw.w / total
+		if got < want/2 || got > want*2 {
+			t.Errorf("kind %s: %d events, want about %d", kw.kind, got, want)
+		}
+	}
+}
+
+// Events round-trip through JSON — the schedule dump a failing verdict
+// embeds must reconstruct the exact events.
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Generate(rand.New(rand.NewSource(3)), 50, 16)
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Event
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("schedule did not survive a JSON round trip")
+	}
+}
+
+// WaitUntil's budget is the eviction/convergence bound the checkers
+// lean on: it must return nil as soon as the condition holds and wrap
+// the last condition error when the budget runs out.
+func TestClockWaitUntil(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	calls := 0
+	err := c.WaitUntil(10, func() error {
+		calls++
+		if calls >= 3 {
+			return nil
+		}
+		return errNotYet
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("WaitUntil: err %v after %d calls", err, calls)
+	}
+	if c.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", c.Steps())
+	}
+	err = c.WaitUntil(4, func() error { return errNotYet })
+	if err == nil {
+		t.Fatal("exhausted WaitUntil returned nil")
+	}
+	if got := c.Steps(); got != 6 {
+		t.Fatalf("Steps = %d, want 6", got)
+	}
+}
+
+var errNotYet = errTest("not yet")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// A short end-to-end soak per geometry: the run must complete with
+// zero violations and a populated verdict. This is the tier-1 smoke of
+// the whole harness; cmd/p2psoak and the nightly job run the long
+// versions.
+func TestSoakShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs a live cluster")
+	}
+	for _, proto := range []string{"chord", "pastry"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			v, err := Run(Options{
+				Proto:        proto,
+				Seed:         1,
+				Events:       40,
+				Nodes:        8,
+				Keys:         16,
+				QuiesceEvery: 20,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !v.OK {
+				b, _ := json.MarshalIndent(v, "", "  ")
+				t.Fatalf("soak verdict not OK:\n%s", b)
+			}
+			if v.EventsRun != 40 || v.Windows < 2 {
+				t.Fatalf("ran %d events over %d windows, want 40 over >=2", v.EventsRun, v.Windows)
+			}
+			if v.Puts == 0 || v.Schedule != nil {
+				t.Fatalf("puts=%d schedule=%v, want workload executed and no schedule dump on pass", v.Puts, v.Schedule != nil)
+			}
+		})
+	}
+}
+
+// Unknown protocols and degenerate sizes are harness errors, not
+// verdicts.
+func TestSoakOptionValidation(t *testing.T) {
+	if _, err := Run(Options{Proto: "kademlia"}); err == nil {
+		t.Fatal("unknown proto accepted")
+	}
+	if _, err := Run(Options{Proto: "chord", Nodes: 2}); err == nil {
+		t.Fatal("2-node soak accepted")
+	}
+}
