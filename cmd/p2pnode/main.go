@@ -2,9 +2,9 @@
 // peer-caching layer: it joins an overlay, serves iterative lookups,
 // and periodically recomputes its optimal auxiliary neighbors from the
 // traffic it observes (eq. 1). The routing geometry is selectable with
-// -proto: chord (successor list + fingers, the default) or pastry
-// (leaf set + prefix rows); every node of one overlay must run the
-// same geometry.
+// -proto: chord (successor list + fingers, the default), pastry (leaf
+// set + prefix rows), or kademlia (XOR-metric k-buckets); every node of
+// one overlay must run the same geometry.
 //
 // Bootstrap the first node, then join others through it:
 //
@@ -28,6 +28,7 @@ import (
 	"peercache/internal/id"
 	"peercache/internal/node"
 	"peercache/internal/node/chordring"
+	"peercache/internal/node/kadring"
 	"peercache/internal/node/pastryring"
 	"peercache/internal/node/ring"
 )
@@ -47,12 +48,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:0", "UDP listen address")
 		bootstrap   = fs.String("bootstrap", "", "address of any overlay member; empty starts a new ring")
-		proto       = fs.String("proto", "chord", "routing geometry: chord or pastry")
+		proto       = fs.String("proto", "chord", "routing geometry: chord, pastry, or kademlia")
 		bits        = fs.Uint("bits", 32, "identifier length in bits")
 		k           = fs.Int("k", 8, "auxiliary-neighbor budget")
 		nodeID      = fs.Uint64("id", 0, "ring id (default: hash of the advertised address)")
 		haveID      = false
 		succLen     = fs.Int("succlist", 4, "near-neighbor list length (successor list / one leaf-set side)")
+		alpha       = fs.Int("alpha", 0, "lookup probe concurrency α (0 uses the default of 3; 1 walks serially)")
+		bucketSize  = fs.Int("bucket-size", 0, "kademlia k-bucket capacity (0 uses the default of 20)")
 		stabilize   = fs.Duration("stabilize", time.Second, "stabilize period")
 		fixFingers  = fs.Duration("fixfingers", 250*time.Millisecond, "long-range table entry refresh period")
 		auxEvery    = fs.Duration("aux-every", 10*time.Second, "auxiliary recompute period (0 disables)")
@@ -75,8 +78,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		newRing = chordring.New
 	case "pastry":
 		newRing = pastryring.New
+	case "kademlia":
+		newRing = kadring.New
 	default:
-		return fmt.Errorf("unknown -proto %q (chord or pastry)", *proto)
+		return fmt.Errorf("unknown -proto %q (chord, pastry, or kademlia)", *proto)
 	}
 
 	space := id.NewSpace(*bits)
@@ -86,6 +91,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		NewRing:          newRing,
 		AuxCount:         *k,
 		SuccessorListLen: *succLen,
+		LookupAlpha:      *alpha,
+		BucketSize:       *bucketSize,
 		StabilizeEvery:   *stabilize,
 		FixFingersEvery:  *fixFingers,
 		AuxEvery:         *auxEvery,

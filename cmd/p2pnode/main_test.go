@@ -9,6 +9,7 @@ import (
 
 	"peercache/internal/id"
 	"peercache/internal/node"
+	"peercache/internal/node/kadring"
 	"peercache/internal/node/pastryring"
 )
 
@@ -86,8 +87,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-bits", "nope"}, &buf); err == nil {
 		t.Fatal("bad -bits accepted")
 	}
-	if err := run(context.Background(), []string{"-proto", "kademlia"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-proto", "tapestry"}, &buf); err == nil {
 		t.Fatal("unknown -proto accepted")
+	}
+	if err := run(context.Background(), []string{"-alpha", "99"}, &buf); err == nil {
+		t.Fatal("out-of-range -alpha accepted")
 	}
 }
 
@@ -158,6 +162,80 @@ func TestDaemonPastryJoinsAndServes(t *testing.T) {
 	}
 	out := buf.String()
 	if !strings.Contains(out, "pastry id 30000") || !strings.Contains(out, "joined via") {
+		t.Fatalf("unexpected daemon output:\n%s", out)
+	}
+}
+
+// The -proto kademlia daemon must join a Kademlia overlay over real
+// UDP: the bootstrap adopts it as its nearest contact, XOR-owned keys
+// resolve to it, and the non-default -alpha and -bucket-size flags ride
+// through to the node config.
+func TestDaemonKademliaJoinsAndServes(t *testing.T) {
+	space := id.NewSpace(16)
+	boot, err := node.Start(node.Config{
+		Space:           space,
+		ID:              1000,
+		Addr:            "127.0.0.1:0",
+		NewRing:         kadring.New,
+		StabilizeEvery:  50 * time.Millisecond,
+		FixFingersEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer // only read after run returns
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-proto", "kademlia",
+			"-bits", "16",
+			"-id", "30000",
+			"-k", "4",
+			"-alpha", "2",
+			"-bucket-size", "8",
+			"-bootstrap", boot.Addr(),
+			"-stabilize", "50ms",
+			"-fixfingers", "10ms",
+			"-stats-every", "0",
+		}, &buf)
+	}()
+
+	// The overlay of two must form: the bootstrap's nearest contact is
+	// the daemon.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		succ := boot.Successor()
+		if succ.ID == 30000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never integrated: succ=%v", succ)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// 20000 is XOR-closer to the daemon (XOR 15120) than to the
+	// bootstrap (XOR 19912).
+	owner, _, err := boot.Lookup(id.ID(20000))
+	if err != nil || owner.ID != 30000 {
+		t.Fatalf("lookup 20000: owner %v, err %v", owner, err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kademlia id 30000") || !strings.Contains(out, "joined via") {
 		t.Fatalf("unexpected daemon output:\n%s", out)
 	}
 }

@@ -16,7 +16,8 @@ import (
 type metricsPayload struct {
 	ID   uint64 `json:"id"`
 	Addr string `json:"addr"`
-	// Protocol names the routing geometry ("chord", "pastry").
+	// Protocol names the routing geometry ("chord", "pastry",
+	// "kademlia").
 	Protocol string `json:"protocol"`
 
 	Successor      uint64 `json:"successor"`
@@ -25,9 +26,11 @@ type metricsPayload struct {
 	SuccessorList  int    `json:"successor_list_len"`
 	// TableSize counts the populated long-range routing-table entries
 	// of whatever geometry runs: distinct fingers on Chord, populated
-	// prefix rows on Pastry.
+	// prefix rows on Pastry, bucket contacts on Kademlia.
 	TableSize int `json:"table_size"`
 	Aux       int `json:"aux"`
+	// Alpha is the lookup driver's live probe concurrency.
+	Alpha int `json:"alpha"`
 
 	// AuxNeighbors is the live auxiliary set. An entry whose id is a
 	// key's ring position rather than a node id is a position-aliased
@@ -73,6 +76,7 @@ func payloadFor(n *node.Node) metricsPayload {
 		SuccessorList: len(n.Successors()),
 		TableSize:     n.TableSize(),
 		Aux:           len(aux),
+		Alpha:         m.Alpha,
 		AuxNeighbors:  auxJSON,
 		Store: storeStats{
 			ItemsOwned:   m.ItemsOwned,

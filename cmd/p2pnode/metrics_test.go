@@ -166,6 +166,10 @@ func TestMetricsReportStoreAndAuxNeighbors(t *testing.T) {
 			StabilizeEvery:  50 * time.Millisecond,
 			FixFingersEvery: 10 * time.Millisecond,
 			RPCTimeout:      250 * time.Millisecond,
+			// Owner-only copies: a replica of the hot key landing on a
+			// would turn its Get into a local store hit that never fills
+			// the item cache the assertions below count.
+			ReplicationFactor: 1,
 		}
 	}
 	a, err := node.Start(cfg(100))

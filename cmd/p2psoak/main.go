@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	p2psoak -proto chord|pastry [-seed 1] [-events 200] [-nodes 16]
+//	p2psoak -proto chord|pastry|kademlia [-seed 1] [-events 200] [-nodes 16]
 //	        [-keys 32] [-quiesce 50] [-aux 4] [-tick 10ms] [-json] [-v]
 //
 // The process exits 0 when every invariant held, 1 on any violation,
@@ -39,7 +39,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("p2psoak", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		proto   = fs.String("proto", "chord", "routing geometry: chord or pastry")
+		proto   = fs.String("proto", "chord", "routing geometry: chord, pastry, or kademlia")
 		seed    = fs.Int64("seed", 1, "scenario seed; a verdict's seed replays its schedule")
 		events  = fs.Int("events", 200, "schedule length")
 		nodes   = fs.Int("nodes", 16, "initial cluster size")

@@ -46,11 +46,11 @@ func TestRunJSONVerdict(t *testing.T) {
 // semantics (run returns the error).
 func TestRunRejectsUnknownProto(t *testing.T) {
 	var out, errb bytes.Buffer
-	code, err := run([]string{"-proto", "kademlia"}, &out, &errb)
+	code, err := run([]string{"-proto", "tapestry"}, &out, &errb)
 	if err == nil || code != 2 {
 		t.Fatalf("code %d, err %v; want 2 with error", code, err)
 	}
-	if !strings.Contains(err.Error(), "kademlia") {
+	if !strings.Contains(err.Error(), "tapestry") {
 		t.Fatalf("error does not name the bad proto: %v", err)
 	}
 }

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/node"
+	"peercache/internal/node/kadring"
+)
+
+// OwnerKademlia returns the member responsible for key under the XOR
+// metric: the one closest to the key. Distinct ids never tie in XOR
+// distance, so the owner is unique — the Kademlia analogue of Owner.
+func OwnerKademlia(members []id.ID, key id.ID) id.ID {
+	best := members[0]
+	for _, x := range members[1:] {
+		if uint64(x)^uint64(key) < uint64(best)^uint64(key) {
+			best = x
+		}
+	}
+	return best
+}
+
+// ExpectedBucket returns the members of x's bucket-i region: every
+// other member sharing exactly i leading bits with x. A converged
+// k-bucket holds min(|region|, bucketSize) of these — all of them when
+// the region fits.
+func ExpectedBucket(space id.Space, members []id.ID, x id.ID, i uint) []id.ID {
+	var out []id.ID
+	for _, y := range members {
+		if y != x && space.CommonPrefixLen(x, y) == i {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// CheckKademliaConverged is the Kademlia convergence oracle as a pure,
+// single-shot check over an arbitrary node list: every node's bucket i
+// must hold exactly min(|region_i|, bucketSize) live members whose
+// common prefix length with the node is exactly i, with set equality
+// whenever the region fits the bucket (a region larger than the bucket
+// leaves the choice of which k members to keep to LRU order, so only
+// fullness and membership are checked there). The nodes must have been
+// started with kadring.New and bucketSize as their BucketSize. It
+// returns the first mismatch, nil when converged. WaitConvergedKademlia
+// polls it; harnesses with their own clock (internal/soak) call it
+// directly.
+func CheckKademliaConverged(space id.Space, nodes []*node.Node, bucketSize int) error {
+	members := RingOf(nodes)
+	member := make(map[id.ID]bool, len(members))
+	for _, x := range members {
+		member[x] = true
+	}
+	for _, n := range nodes {
+		kr, ok := n.Ring().(*kadring.Ring)
+		if !ok {
+			return fmt.Errorf("node %d is not a kadring node", n.ID())
+		}
+		buckets := kr.Buckets()
+		for i := uint(0); i < space.Bits(); i++ {
+			region := ExpectedBucket(space, members, n.ID(), i)
+			want := len(region)
+			if want > bucketSize {
+				want = bucketSize
+			}
+			got := buckets[i]
+			if len(got) != want {
+				return fmt.Errorf("node %d bucket %d has %d entries, want %d (region %d)",
+					n.ID(), i, len(got), want, len(region))
+			}
+			seen := make(map[id.ID]bool, len(got))
+			for _, c := range got {
+				if !member[c.ID] {
+					return fmt.Errorf("node %d bucket %d holds non-member %d", n.ID(), i, c.ID)
+				}
+				if cpl := space.CommonPrefixLen(n.ID(), c.ID); cpl != i {
+					return fmt.Errorf("node %d bucket %d holds %d with prefix %d", n.ID(), i, c.ID, cpl)
+				}
+				if seen[c.ID] {
+					return fmt.Errorf("node %d bucket %d holds %d twice", n.ID(), i, c.ID)
+				}
+				seen[c.ID] = true
+			}
+			if len(region) <= bucketSize {
+				for _, y := range region {
+					if !seen[y] {
+						return fmt.Errorf("node %d bucket %d missing region member %d", n.ID(), i, y)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WaitConvergedKademlia polls CheckKademliaConverged until every node's
+// buckets match the expected-bucket-coverage oracle, or the timeout
+// passes, in which case it returns the last mismatch.
+func (c *Cluster) WaitConvergedKademlia(bucketSize int, timeout time.Duration) error {
+	var last error
+	for end := time.Now().Add(timeout); time.Now().Before(end); {
+		if last = CheckKademliaConverged(c.Space, c.Nodes, bucketSize); last == nil {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: kademlia not converged after %v: %w", timeout, last)
+}

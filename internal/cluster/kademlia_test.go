@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/node/kadring"
+	"peercache/internal/randx"
+)
+
+// TestClusterKademliaPartitionHealDurabilityAuxGain is the acceptance
+// test for the third live geometry: the same 56-node memnet overlay the
+// Chord and Pastry cluster tests run, but with every node on kadring —
+// XOR k-buckets maintained over FIND_NODE walks, ping-before-evict, and
+// hearsay adoption instead of successor stabilization. The bucket size
+// is deliberately tiny (3, against the production default of 20) so a
+// 56-node overlay actually routes in multiple hops; at k=20 every node
+// would know every other and the aux comparison would measure nothing.
+// Phases:
+//
+//  1. Boot through the Kademlia join walk and converge to the
+//     expected-bucket-coverage oracle; PUT a keyspace through rotating
+//     sources, owners checked against the XOR oracle, and wait for
+//     replication factor 2 placement.
+//  2. Cut 12 nodes off; wait until the minority provably reorganizes
+//     into its own overlay (its buckets satisfy the oracle computed
+//     over minority members alone). Heal, reconverge to the full
+//     oracle.
+//  3. Require full durability: every key GETs its exact value — also
+//     through the combined FIND_VALUE walk — ownership reconciles to
+//     exactly one owner per key, and placement recovers to >= factor
+//     copies. No owned key lost across the partition.
+//  4. Drive a per-source Zipf lookup stream twice — aux-disabled while
+//     the frequency observers accumulate, then after every node runs
+//     the XOR-adapted greedy selection (core.KademliaMaintainer) over
+//     what it observed — and require the with-aux mean hop count
+//     strictly below aux-disabled, same seed and stream.
+//
+// Everything is seeded; runs race-enabled.
+func TestClusterKademliaPartitionHealDurabilityAuxGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("56-node in-process cluster test")
+	}
+	const (
+		numNodes   = 56
+		numCut     = 12
+		numKeys    = 64
+		bucketSize = 3
+		k          = 8 // auxiliary budget
+		factor     = 2 // replication factor
+		alpha      = 1.2
+		perSource  = 30
+		seed       = 31
+	)
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(seed))
+	ids := randx.UniqueIDs(rng, numNodes, space.Size())
+
+	nw := memnet.New(seed)
+	nw.SetDefaultPolicy(memnet.LinkPolicy{
+		Dup:      0.02,
+		MaxDelay: time.Millisecond, // jitter ⇒ reordering
+	})
+
+	cl, err := Start(space, nw, ids, func(i int, cfg *node.Config) {
+		cfg.NewRing = kadring.New
+		cfg.BucketSize = bucketSize
+		cfg.AuxCount = k
+		cfg.AuxEvery = 0 // recomputation driven explicitly between passes
+		cfg.ReplicationFactor = factor
+		cfg.ReplicateEvery = 150 * time.Millisecond
+		cfg.ItemCacheCapacity = -1 // hop counts must measure routing, not caching
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, n := range cl.Nodes {
+		if got := n.Protocol(); got != "kademlia" {
+			t.Fatalf("node %d protocol %q, want kademlia", n.ID(), got)
+		}
+	}
+	if err := cl.WaitConvergedKademlia(bucketSize, 90*time.Second); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+	members := RingOf(cl.Nodes)
+	nodeIDs := make(map[id.ID]bool, numNodes)
+	for _, x := range members {
+		nodeIDs[x] = true
+	}
+	t.Log("phase 1: converged to kademlia bucket oracle")
+
+	// Populate: random key positions, values derived from them, PUTs
+	// rotating through every node; each must land on the XOR owner.
+	keys := make([]id.ID, numKeys)
+	for i, v := range randx.UniqueIDs(rng, numKeys, space.Size()) {
+		keys[i] = id.ID(v)
+	}
+	valueOf := func(key id.ID) []byte { return []byte(fmt.Sprintf("value-%d", key)) }
+	for j, key := range keys {
+		src := cl.Nodes[j%numNodes]
+		put, err := src.Put(key, valueOf(key))
+		if err != nil {
+			t.Fatalf("put %d from node %d: %v", key, src.ID(), err)
+		}
+		if want := OwnerKademlia(members, key); put.Owner.ID != want {
+			t.Fatalf("put %d landed at %d, want XOR owner %d", key, put.Owner.ID, want)
+		}
+	}
+	copies := func(key id.ID) int {
+		c := 0
+		for _, n := range cl.Nodes {
+			if v, _, ok := n.Item(key); ok {
+				if !bytes.Equal(v, valueOf(key)) {
+					t.Fatalf("node %d stores %q under key %d", n.ID(), v, key)
+				}
+				c++
+			}
+		}
+		return c
+	}
+	waitPlacement := func(label string, deadline time.Duration) {
+		end := time.Now().Add(deadline)
+		for {
+			short := 0
+			for _, key := range keys {
+				if copies(key) < factor {
+					short++
+				}
+			}
+			if short == 0 {
+				return
+			}
+			if time.Now().After(end) {
+				t.Fatalf("%s: %d/%d keys below %d copies", label, short, numKeys, factor)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	waitPlacement("initial replication", 30*time.Second)
+	t.Logf("phase 1: %d keys stored, every key at >= %d copies", numKeys, factor)
+
+	// Phase 2: partition the first numCut nodes. The divergence oracle
+	// is the bucket check computed over minority members only: it holds
+	// once every dead majority contact has been evicted and the
+	// minority's own regions are re-covered.
+	cut := make([]int, numCut)
+	for i := range cut {
+		cut[i] = i
+	}
+	minority := cl.Nodes[:numCut]
+	nw.Partition("split", cl.Addrs(cut...)...)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		err := CheckKademliaConverged(space, minority, bucketSize)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("minority never reorganized into its own overlay: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Log("phase 2: minority reorganized into its own overlay")
+
+	nw.Heal("split")
+	if err := cl.WaitConvergedKademlia(bucketSize, 90*time.Second); err != nil {
+		t.Fatalf("post-heal reconvergence: %v", err)
+	}
+	t.Log("phase 2: healed and reconverged to full bucket oracle")
+
+	// Phase 3: durability. Every key must come back with its exact
+	// value — through Get and through the combined FIND_VALUE walk —
+	// and ownership must reconcile to exactly one owner per key.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		err := func() error {
+			for j, key := range keys {
+				src := cl.Nodes[(j*7+3)%numNodes]
+				got, err := src.Get(key)
+				if err != nil {
+					return fmt.Errorf("get %d from node %d: %w", key, src.ID(), err)
+				}
+				if !bytes.Equal(got.Value, valueOf(key)) {
+					t.Fatalf("key %d returned %q, want %q", key, got.Value, valueOf(key))
+				}
+			}
+			owned := 0
+			for _, n := range cl.Nodes {
+				owned += n.Metrics().ItemsOwned
+			}
+			if owned != numKeys {
+				return fmt.Errorf("%d owned items across the cluster, want %d", owned, numKeys)
+			}
+			return nil
+		}()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("durability not restored after heal: %v", err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	for j, key := range keys {
+		src := cl.Nodes[(j*11+5)%numNodes]
+		got, err := src.FindValue(key)
+		if err != nil {
+			t.Fatalf("find-value %d from node %d: %v", key, src.ID(), err)
+		}
+		if !bytes.Equal(got.Value, valueOf(key)) {
+			t.Fatalf("find-value %d returned %q, want %q", key, got.Value, valueOf(key))
+		}
+	}
+	waitPlacement("post-heal replication", 30*time.Second)
+	t.Logf("phase 3: all %d keys durable after heal, via GET and FIND_VALUE", numKeys)
+
+	// Phase 4: per-source Zipf destination mix over the other nodes —
+	// the same workload shape as the Chord and Pastry cluster tests, so
+	// the three geometries' aux gains are comparable.
+	zipf := randx.NewAlias(randx.ZipfWeights(numNodes-1, alpha))
+	destsByRank := make([][]id.ID, numNodes)
+	for i := range cl.Nodes {
+		others := make([]id.ID, 0, numNodes-1)
+		for j, n := range cl.Nodes {
+			if j != i {
+				others = append(others, n.ID())
+			}
+		}
+		perm := rng.Perm(len(others))
+		ranked := make([]id.ID, len(others))
+		for r, p := range perm {
+			ranked[r] = others[p]
+		}
+		destsByRank[i] = ranked
+	}
+	type query struct {
+		src    int
+		target id.ID
+	}
+	stream := make([]query, numNodes*perSource)
+	for q := range stream {
+		src := q % numNodes
+		stream[q] = query{src: src, target: destsByRank[src][zipf.Sample(rng)]}
+	}
+	runStream := func(label string) float64 {
+		total := 0
+		for _, q := range stream {
+			owner, hops, err := cl.Nodes[q.src].Lookup(q.target)
+			if err != nil {
+				t.Fatalf("%s: lookup %d from node %d: %v", label, q.target, cl.Nodes[q.src].ID(), err)
+			}
+			if owner.ID != q.target {
+				t.Fatalf("%s: lookup %d resolved to %d", label, q.target, owner.ID)
+			}
+			total += hops
+		}
+		return float64(total) / float64(len(stream))
+	}
+
+	auxDisabled := runStream("aux-disabled")
+	installed := 0
+	for _, n := range cl.Nodes {
+		got, err := n.RecomputeAux()
+		if err != nil {
+			t.Fatalf("recompute aux at node %d: %v", n.ID(), err)
+		}
+		installed += got
+	}
+	if installed == 0 {
+		t.Fatal("no node installed any auxiliary neighbor")
+	}
+	withAux := runStream("with-aux")
+
+	s := nw.Stats()
+	t.Logf("mean hops: aux-disabled %.4f, with k=%d XOR-adapted aux %.4f (%d nodes, %d queries, %d aux installed)",
+		auxDisabled, k, withAux, numNodes, len(stream), installed)
+	t.Logf("memnet: %+v", s)
+	if !(withAux < auxDisabled) {
+		t.Fatalf("XOR-adapted aux did not reduce mean hops: aux-disabled %.4f, with-aux %.4f", auxDisabled, withAux)
+	}
+	if s.Blocked == 0 {
+		t.Fatal("partition blocked no datagrams")
+	}
+	if s.Duplicated == 0 {
+		t.Fatal("duplication policy never fired")
+	}
+	for _, n := range cl.Nodes {
+		if m := n.Metrics(); m.DecodeErrors != 0 {
+			t.Errorf("node %d: %d decode errors", n.ID(), m.DecodeErrors)
+		}
+	}
+}
+
+// TestClusterRacingBeatsSerialUnderLoss pins the point of α-parallel
+// lookup racing: on a lossy network, hedging up to α probes per step
+// lets a lookup win through whichever peer answers first instead of
+// burning a full timeout-and-retry budget on every dropped datagram. Two
+// identical seeded Chord overlays run the same lookup stream under 10%
+// loss, differing only in LookupAlpha; the raced run must finish the
+// stream faster with fewer retries. Failure counts are only
+// sanity-bounded, not compared: which datagrams drop diverges between
+// the runs as soon as their traffic differs, so a handful of
+// loss-induced failures lands on either side by luck. (α=1's exact
+// serial equivalence is pinned white-box in internal/node.)
+func TestClusterRacingBeatsSerialUnderLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node in-process cluster test")
+	}
+	const (
+		numNodes = 16
+		lookups  = 500
+		seed     = 41
+	)
+	run := func(alpha int) (elapsed time.Duration, failed int, retries uint64) {
+		space := id.NewSpace(16)
+		rng := rand.New(rand.NewSource(seed))
+		ids := randx.UniqueIDs(rng, numNodes, space.Size())
+		nw := memnet.New(seed)
+		cl, err := Start(space, nw, ids, func(i int, cfg *node.Config) {
+			cfg.LookupAlpha = alpha
+			cfg.RPCRetries = 2
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.WaitConverged(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		// Loss switches on only after the ring is up, so convergence
+		// and the loss experiment stay independent.
+		nw.SetDefaultPolicy(memnet.LinkPolicy{Drop: 0.10})
+
+		ring := cl.Ring()
+		start := time.Now()
+		for q := 0; q < lookups; q++ {
+			src := cl.Nodes[q%numNodes]
+			key := id.ID(rng.Uint64() & (space.Size() - 1))
+			owner, _, err := src.Lookup(key)
+			// An error is a full retry budget lost to drops; a wrong
+			// owner is a transiently mutilated ring (drops DropPeer live
+			// successors, and a node missing its predecessor overclaims).
+			// Both count as the stream's loss-induced failures.
+			if err != nil || owner.ID != Owner(ring, key) {
+				failed++
+			}
+		}
+		elapsed = time.Since(start)
+		for _, n := range cl.Nodes {
+			retries += n.Metrics().Retries
+		}
+		if s := nw.Stats(); s.Dropped == 0 {
+			t.Fatalf("alpha %d: loss policy never fired: %+v", alpha, s)
+		}
+		return elapsed, failed, retries
+	}
+
+	serialT, serialFailed, serialRetries := run(1)
+	racedT, racedFailed, racedRetries := run(3)
+	t.Logf("serial α=1: %v, %d/%d failed, %d retries", serialT, serialFailed, lookups, serialRetries)
+	t.Logf("raced  α=3: %v, %d/%d failed, %d retries", racedT, racedFailed, lookups, racedRetries)
+	if max := lookups / 10; serialFailed > max || racedFailed > max {
+		t.Fatalf("10%% loss broke lookups wholesale: serial %d, raced %d failed of %d (cap %d)",
+			serialFailed, racedFailed, lookups, max)
+	}
+	if racedRetries >= serialRetries {
+		t.Fatalf("racing did not cut retries under 10%% loss: α=3 spent %d, α=1 spent %d", racedRetries, serialRetries)
+	}
+	if racedT >= serialT {
+		t.Fatalf("racing was not faster under 10%% loss: α=3 took %v, α=1 took %v", racedT, serialT)
+	}
+}

@@ -68,6 +68,10 @@ func TestClusterKVDurabilityAndItemAuxGain(t *testing.T) {
 		cfg.ReplicationFactor = factor
 		cfg.ReplicateEvery = 150 * time.Millisecond
 		cfg.ItemCacheCapacity = -1 // hop counts must measure routing, not caching
+		// This is the suite's heaviest RPC stream (3360 gets over 56
+		// nodes); under the race detector a scheduling stall can exceed
+		// the default two 100ms attempts, so give every call one more.
+		cfg.RPCRetries = 2
 	})
 	if err != nil {
 		t.Fatal(err)

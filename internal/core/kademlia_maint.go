@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/bits"
+
+	"peercache/internal/id"
+)
+
+// Kademlia adaptation of the paper's selection framework (the paper
+// treats Pastry and Chord; Kademlia's XOR metric slots into the same
+// eq. 1 objective). After a first hop to neighbor w, a Kademlia lookup
+// for v still has to fix every bit below the highest bit where w and v
+// differ — each FIND_NODE step clears at least one more leading bit of
+// XOR(w, v) — so the residual hop bound is the index of v's k-bucket at
+// w:
+//
+//	d(w, v) = ⌈log2⌉ of XOR(w, v) = b − LCP(w, v).
+//
+// That is exactly the Pastry prefix distance of Section IV, so the trie
+// dynamic program, the greedy/merge algorithm, the nesting property
+// (P), and the O(bk) incremental maintainer all apply verbatim; only
+// the framing changes. KademliaMaintainer is that reuse made explicit,
+// and EvalKademlia is an independent evaluator computing the distance
+// straight from the XOR definition (the equivalence with EvalPastry is
+// pinned by tests, not assumed).
+
+// KademliaMaintainer incrementally maintains the optimal
+// auxiliary-neighbor set for a Kademlia node under the XOR bucket-ladder
+// distance. It is the Pastry maintainer under a distance identity; see
+// the package comment above. Not safe for concurrent use.
+type KademliaMaintainer struct {
+	*PastryMaintainer
+}
+
+// NewKademliaMaintainer builds a maintainer over the given initial
+// instance. The same validation as NewPastryMaintainer applies.
+func NewKademliaMaintainer(space id.Space, core []id.ID, peers []Peer, k int) (*KademliaMaintainer, error) {
+	m, err := NewPastryMaintainer(space, core, peers, k)
+	if err != nil {
+		return nil, err
+	}
+	return &KademliaMaintainer{PastryMaintainer: m}, nil
+}
+
+// SelectKademliaGreedy computes the optimal k auxiliary neighbors for
+// the XOR bucket-ladder distance from scratch, O(nkb).
+func SelectKademliaGreedy(space id.Space, core []id.ID, peers []Peer, k int) (Result, error) {
+	return SelectPastryGreedy(space, core, peers, k)
+}
+
+// KademliaDist is the XOR bucket-ladder distance d(u, v): the number of
+// significant bits of XOR(u, v), i.e. the index (counted from the
+// deepest bucket) of the k-bucket v falls into at u. 0 iff u == v.
+func KademliaDist(space id.Space, u, v id.ID) uint {
+	return uint(bits.Len64(uint64(u) ^ uint64(v)))
+}
+
+// EvalKademlia computes Σ_v f_v · d(v, core ∪ aux) under the XOR
+// bucket-ladder distance, directly from the definition — the reference
+// evaluator the reuse of the Pastry machinery is verified against. A
+// peer with no neighbor at all contributes the full b bits.
+func EvalKademlia(space id.Space, core []id.ID, peers []Peer, aux []id.ID) float64 {
+	nbrs := make([]id.ID, 0, len(core)+len(aux))
+	nbrs = append(nbrs, core...)
+	nbrs = append(nbrs, aux...)
+	total := 0.0
+	for _, p := range peers {
+		d := space.Bits()
+		for _, w := range nbrs {
+			if dw := KademliaDist(space, w, p.ID); dw < d {
+				d = dw
+			}
+		}
+		total += p.Freq * float64(d)
+	}
+	return total
+}

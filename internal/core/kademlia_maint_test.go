@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"peercache/internal/id"
+)
+
+// The Kademlia reuse rests on one identity: the XOR bucket-ladder
+// distance equals the Pastry prefix distance for every pair in the
+// space. Exhaustive over an 8-bit space — this is the theorem the thin
+// KademliaMaintainer wrapper depends on, so it is pinned, not assumed.
+func TestKademliaDistEqualsPastryPrefixDist(t *testing.T) {
+	space := id.NewSpace(8)
+	for u := uint64(0); u < space.Size(); u++ {
+		for v := uint64(0); v < space.Size(); v++ {
+			got := KademliaDist(space, id.ID(u), id.ID(v))
+			want := space.Bits() - space.CommonPrefixLen(id.ID(u), id.ID(v))
+			if u == v {
+				want = 0
+			}
+			if got != want {
+				t.Fatalf("KademliaDist(%d, %d) = %d, want b-LCP = %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// EvalKademlia is computed straight from the XOR definition;
+// EvalPastry from the prefix trie. Equal cost on random instances is
+// the end-to-end check that SelectKademliaGreedy really optimizes the
+// Kademlia objective.
+func TestEvalKademliaMatchesEvalPastry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	space := id.NewSpace(10)
+	for trial := 0; trial < 200; trial++ {
+		perm := rng.Perm(int(space.Size()))
+		core := []id.ID{id.ID(perm[0]), id.ID(perm[1])}
+		peers := make([]Peer, 12)
+		for i := range peers {
+			peers[i] = Peer{ID: id.ID(perm[2+i]), Freq: float64(rng.Intn(9))}
+		}
+		aux := []id.ID{peers[0].ID, peers[5].ID}
+		kad := EvalKademlia(space, core, peers, aux)
+		pas := EvalPastry(space, core, peers, aux)
+		if kad != pas {
+			t.Fatalf("trial %d: EvalKademlia %v != EvalPastry %v", trial, kad, pas)
+		}
+	}
+}
+
+// SelectKademliaGreedy must beat or match every same-size aux set the
+// instance admits, measured by the independent XOR evaluator. Small
+// instances, exhaustive alternatives.
+func TestSelectKademliaGreedyOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	space := id.NewSpace(6)
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(int(space.Size()))
+		core := []id.ID{id.ID(perm[0])}
+		peers := make([]Peer, 8)
+		for i := range peers {
+			peers[i] = Peer{ID: id.ID(perm[1+i]), Freq: float64(1 + rng.Intn(7))}
+		}
+		k := 2
+		res, err := SelectKademliaGreedy(space, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := EvalKademlia(space, core, peers, res.Aux)
+		if got != res.WeightedDist {
+			t.Fatalf("trial %d: reported cost %v, evaluator says %v", trial, res.WeightedDist, got)
+		}
+		// Every 2-subset of the candidate peers.
+		for i := 0; i < len(peers); i++ {
+			for j := i + 1; j < len(peers); j++ {
+				alt := EvalKademlia(space, core, peers, []id.ID{peers[i].ID, peers[j].ID})
+				if alt < got {
+					t.Fatalf("trial %d: greedy cost %v beaten by {%d, %d} at %v",
+						trial, got, peers[i].ID, peers[j].ID, alt)
+				}
+			}
+		}
+	}
+}
+
+// Property P carries over to the Kademlia wrapper: Aux(k) ⊆ Aux(k+1)
+// must survive arbitrary SetFreq churn when both maintainers see the
+// identical update stream. Same shape as the Pastry quick test — run
+// against KademliaMaintainer to pin that the embedding does not break
+// the incremental path.
+func TestKademliaMaintainerNestingQuick(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := id.NewSpace(8)
+		k := 1 + rng.Intn(4)
+
+		perm := rng.Perm(int(space.Size()))
+		ncore := 1 + rng.Intn(3)
+		core := make([]id.ID, ncore)
+		for i := range core {
+			core[i] = id.ID(perm[i])
+		}
+		npeers := k + 2 + rng.Intn(12)
+		peers := make([]Peer, npeers)
+		for i := range peers {
+			peers[i] = Peer{ID: id.ID(perm[ncore+i]), Freq: float64(rng.Intn(8))}
+		}
+
+		small, err := NewKademliaMaintainer(space, core, peers, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := NewKademliaMaintainer(space, core, peers, k+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for batch := 0; batch < 12; batch++ {
+			for u := 0; u < 3; u++ {
+				p := peers[rng.Intn(npeers)].ID
+				f := float64(rng.Intn(10))
+				small.SetFreq(p, f)
+				large.SetFreq(p, f)
+			}
+			if !nests(small.Select().Aux, large.Select().Aux) {
+				t.Logf("seed %d batch %d: Aux(k=%d) ⊄ Aux(k=%d)", seed, batch, k, k+1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The maintainer's incremental selection must agree with the
+// from-scratch greedy after churn — the wrapper inherits this from
+// Pastry, but the contract is Kademlia's own now, so it gets its own
+// pin.
+func TestKademliaMaintainerTracksGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	space := id.NewSpace(8)
+	perm := rng.Perm(int(space.Size()))
+	core := []id.ID{id.ID(perm[0]), id.ID(perm[1])}
+	peers := make([]Peer, 10)
+	for i := range peers {
+		peers[i] = Peer{ID: id.ID(perm[2+i]), Freq: float64(1 + rng.Intn(8))}
+	}
+	m, err := NewKademliaMaintainer(space, core, peers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := append([]Peer(nil), peers...)
+	for round := 0; round < 30; round++ {
+		i := rng.Intn(len(cur))
+		f := float64(rng.Intn(12))
+		cur[i].Freq = f
+		m.SetFreq(cur[i].ID, f)
+		want, err := SelectKademliaGreedy(space, core, cur, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Select()
+		if got.WeightedDist != want.WeightedDist {
+			t.Fatalf("round %d: maintainer cost %v, greedy %v", round, got.WeightedDist, want.WeightedDist)
+		}
+		if !reflect.DeepEqual(got.Aux, want.Aux) && EvalKademlia(space, core, cur, got.Aux) != EvalKademlia(space, core, cur, want.Aux) {
+			t.Fatalf("round %d: maintainer aux %v costs differently than greedy %v", round, got.Aux, want.Aux)
+		}
+	}
+}

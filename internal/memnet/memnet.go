@@ -111,7 +111,7 @@ type Network struct {
 	endpoints  map[string]*Endpoint
 	def        LinkPolicy
 	links      map[[2]string]LinkPolicy
-	dropNext   map[[2]string]int // directed link → datagrams left to force-drop
+	dropNext   map[[2]string]int          // directed link → datagrams left to force-drop
 	partitions map[string]map[string]bool // name → member set
 	nextAuto   int
 	closed     bool // set by CloseAll; Listen fails afterwards

@@ -10,23 +10,44 @@ import (
 	"testing"
 	"time"
 
+	"peercache/internal/cluster"
 	"peercache/internal/id"
 	"peercache/internal/memnet"
 	"peercache/internal/node"
 	"peercache/internal/node/chordring"
+	"peercache/internal/node/kadring"
 	"peercache/internal/node/pastryring"
 	"peercache/internal/node/ring"
 	"peercache/internal/soak"
 )
 
 // evictGeometries mirrors the package-internal table in
-// aux_splice_test.go for the external tests here.
+// aux_splice_test.go for the external tests here, plus the geometry's
+// full-knowledge wait: successor/predecessor agreement where the ring
+// accessors coincide (Chord, Pastry), the bucket-coverage oracle for
+// Kademlia (four nodes fit every region into the default bucket size,
+// so the oracle demands complete mutual knowledge).
 var evictGeometries = []struct {
 	name    string
 	factory ring.Factory
+	wait    func(t *testing.T, clock *soak.Clock, nodes []*node.Node)
 }{
-	{"chord", chordring.New},
-	{"pastry", pastryring.New},
+	{"chord", chordring.New, waitRingFormed},
+	{"pastry", pastryring.New, waitRingFormed},
+	{"kademlia", kadring.New, waitBucketsFormed},
+}
+
+// waitBucketsFormed polls under the soak clock until the nodes satisfy
+// the Kademlia expected-bucket-coverage oracle.
+func waitBucketsFormed(t *testing.T, clock *soak.Clock, nodes []*node.Node) {
+	t.Helper()
+	space := id.NewSpace(16)
+	err := clock.WaitUntil(2000, func() error {
+		return cluster.CheckKademliaConverged(space, nodes, kadring.DefaultBucketSize)
+	})
+	if err != nil {
+		t.Fatalf("buckets did not form: %v", err)
+	}
 }
 
 func startEvictNode(t *testing.T, nw *memnet.Network, space id.Space, x uint64, factory ring.Factory, bootstrap string) *node.Node {
@@ -116,17 +137,19 @@ func TestAuxEvictionBoundWhenTargetCrashes(t *testing.T) {
 			clock := soak.NewClock(10 * time.Millisecond)
 			nw := memnet.New(11)
 			space := id.NewSpace(16)
-			// Key 35000's owner is node 40000 in both geometries: Chord
-			// takes the first node clockwise from the key, Pastry the
-			// numerically closest. From node 1000 the key is neither in
-			// the successor interval nor adjacent, so lookups for it
-			// route — and the aux splice matters.
+			// Key 35000's owner is node 40000 in all three geometries:
+			// Chord takes the first node clockwise from the key, Pastry
+			// the numerically closest, Kademlia the XOR-closest
+			// (35000 XOR 40000 = 5368, the smallest of the four). From
+			// node 1000 the key is neither in the successor interval nor
+			// adjacent, so lookups for it route — and the aux splice
+			// matters.
 			const hotKey = id.ID(35000)
 			a := startEvictNode(t, nw, space, 1000, g.factory, "")
 			b := startEvictNode(t, nw, space, 20000, g.factory, a.Addr())
 			c := startEvictNode(t, nw, space, 40000, g.factory, a.Addr())
 			d := startEvictNode(t, nw, space, 50000, g.factory, a.Addr())
-			waitRingFormed(t, clock, []*node.Node{a, b, c, d})
+			g.wait(t, clock, []*node.Node{a, b, c, d})
 
 			// Make the key hot at a, then recompute until the
 			// owner-aliased aux pointer {hotKey -> c's address} is
@@ -179,8 +202,9 @@ func TestAuxEvictionBoundWhenTargetCrashes(t *testing.T) {
 
 			// The overlay itself must have recovered: the hot key's
 			// lookups re-resolve to the new owner (d in Chord — the
-			// next node clockwise; b or d in Pastry by closeness), and
-			// any re-aliased aux entry points at a live node.
+			// next node clockwise; b or d in Pastry by closeness; d in
+			// Kademlia — XOR-closest survivor), and any re-aliased aux
+			// entry points at a live node.
 			if err := clock.WaitUntil(500, func() error {
 				owner, _, err := a.Lookup(hotKey)
 				if err != nil {

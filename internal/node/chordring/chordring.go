@@ -10,6 +10,7 @@ package chordring
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"peercache/internal/core"
@@ -82,7 +83,21 @@ func (r *Ring) Join(bootstrap string) error {
 		r.h.Note(resp.From)
 		if resp.Done {
 			if resp.Found.ID == r.self.ID {
-				return fmt.Errorf("chordring: join: id %d already taken by %s", r.self.ID, resp.Found.Addr)
+				if resp.Found.Addr != "" && resp.Found.Addr != r.self.Addr {
+					return fmt.Errorf("chordring: join: id %d already taken by %s", r.self.ID, resp.Found.Addr)
+				}
+				// The walk resolved to this node's own contact: the
+				// overlay learned the joiner mid-walk (request
+				// envelopes carry From, and gossip spreads it) and the
+				// last hop routed its id straight back. Not a
+				// collision — adopt the answering node as the
+				// provisional successor and let stabilization settle
+				// the exact position.
+				if !resp.From.IsZero() && resp.From.ID != r.self.ID {
+					r.adoptSuccessor(resp.From)
+					return nil
+				}
+				return fmt.Errorf("chordring: join via %s: resolved to self with no usable peer", bootstrap)
 			}
 			r.adoptSuccessor(resp.Found)
 			return nil
@@ -118,6 +133,79 @@ func (r *Ring) NextHop(target id.ID) (wire.Contact, bool) {
 		return s, true
 	}
 	return next, false
+}
+
+// LookupRequest implements ring.Routing: Chord lookups step with
+// TFindSucc.
+func (r *Ring) LookupRequest(target id.ID) *wire.Message {
+	return &wire.Message{Type: wire.TFindSucc, Target: target}
+}
+
+// ParseLookupResponse implements ring.Routing: a find-succ response is
+// either the final answer or a single redirect candidate.
+func (r *Ring) ParseLookupResponse(target id.ID, resp *wire.Message) (wire.Contact, bool, []wire.Contact) {
+	if resp.Done {
+		return resp.Found, true, nil
+	}
+	return wire.Contact{}, false, []wire.Contact{resp.Next}
+}
+
+// Distance implements ring.Routing: the clockwise gap remaining from
+// the candidate to the target, so the α-parallel driver prefers the
+// closest preceding contact exactly as closestPreceding does.
+func (r *Ring) Distance(target, candidate id.ID) uint64 {
+	return r.space.Gap(candidate, target)
+}
+
+// Candidates returns next-hop candidates for target, best first: the
+// NextHop pick, then the rest of the `(self, target]` window — fingers,
+// successor list, and auxiliary neighbors — by descending gap from
+// self, i.e. closest to the target first.
+func (r *Ring) Candidates(target id.ID, max int) []wire.Contact {
+	hop, done := r.NextHop(target)
+	out := []wire.Contact{hop}
+	if done || max <= 1 {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	gt := r.space.Gap(r.self.ID, target)
+	type cand struct {
+		c wire.Contact
+		g uint64
+	}
+	seen := map[id.ID]bool{hop.ID: true, r.self.ID: true}
+	var cs []cand
+	add := func(c wire.Contact) {
+		if c.IsZero() || seen[c.ID] {
+			return
+		}
+		g := r.space.Gap(r.self.ID, c.ID)
+		if g == 0 || g > gt {
+			return // self or overshoot
+		}
+		seen[c.ID] = true
+		cs = append(cs, cand{c, g})
+	}
+	for i, ok := range r.hasFinger {
+		if ok {
+			add(r.fingers[i])
+		}
+	}
+	for _, s := range r.succs {
+		add(s)
+	}
+	for _, a := range r.aux {
+		add(a)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].g > cs[j].g })
+	for _, x := range cs {
+		if len(out) >= max {
+			break
+		}
+		out = append(out, x.c)
+	}
+	return out
 }
 
 // Owns reports whether this node is currently responsible for key: its

@@ -1,0 +1,157 @@
+package kadring
+
+import (
+	"fmt"
+	"testing"
+
+	"peercache/internal/id"
+	"peercache/internal/node/ring"
+	"peercache/internal/wire"
+)
+
+// fakeHost wires Rings together in memory for white-box maintenance
+// tests. Call dispatches to the addressed ring's HandleRequest exactly
+// as the runtime's read loop would (answering the runtime-owned TPing
+// itself, noting the requester only in an address cache the way
+// node.noteContact does — geometries learn pingers from protocol
+// answers, not from pings). Resolve fails the test outright: bucket
+// refresh must not ride the runtime's lookup driver, whose
+// done-at-self short-circuit is exactly what an empty bucket triggers.
+type fakeHost struct {
+	t     *testing.T
+	self  wire.Contact
+	space id.Space
+	net   map[string]*Ring
+}
+
+func (h *fakeHost) Self() wire.Contact { return h.self }
+func (h *fakeHost) Space() id.Space    { return h.space }
+
+func (h *fakeHost) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	peer, ok := h.net[addr]
+	if !ok {
+		return nil, fmt.Errorf("fakehost: no listener at %s", addr)
+	}
+	req.From = h.self
+	resp := &wire.Message{From: peer.self}
+	if req.Type == wire.TPing {
+		resp.Type = wire.TPong
+		return resp, nil
+	}
+	if !peer.HandleRequest(req, resp) {
+		return nil, fmt.Errorf("fakehost: node %d rejected request type %d", peer.self.ID, req.Type)
+	}
+	return resp, nil
+}
+
+func (h *fakeHost) Send(addr string, m *wire.Message) {}
+
+func (h *fakeHost) Resolve(target id.ID) (wire.Contact, int, error) {
+	h.t.Errorf("bucket maintenance called Host.Resolve(%d): refresh must walk FIND_NODE itself", target)
+	return wire.Contact{}, 0, fmt.Errorf("fakehost: resolve unavailable")
+}
+
+func (h *fakeHost) Note(c wire.Contact)           {}
+func (h *fakeHost) AddrOf(x id.ID) (string, bool) { return "", false }
+
+// newTestRing builds one Ring on the shared in-memory net.
+func newTestRing(t *testing.T, space id.Space, net map[string]*Ring, x id.ID) *Ring {
+	t.Helper()
+	self := wire.Contact{ID: x, Addr: fmt.Sprintf("fake/%d", x)}
+	rt, _, err := New(&fakeHost{t: t, self: self, space: space, net: net}, ring.Options{
+		NeighborListLen: 4,
+		BucketSize:      4,
+		MaxLookupHops:   16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.(*Ring)
+	net[self.Addr] = r
+	return r
+}
+
+// TestRepairTableRefreshDiscoversUnknownRegion reproduces the soak
+// harness's kademlia convergence failure in miniature: node A's bucket
+// for C's subtree is empty, so A itself is XOR-closest to that whole
+// subtree among everything A knows — any lookup A drives through the
+// runtime short-circuits at done-self without a single RPC, and the
+// bucket could never fill. The refresh walk must ask the network
+// anyway: probing B (A's only contact) for a target in the subtree
+// surfaces C from B's closest list, the walk probes C directly, and
+// C's own answer — direct evidence, not hearsay — admits it.
+func TestRepairTableRefreshDiscoversUnknownRegion(t *testing.T) {
+	space := id.NewSpace(16)
+	net := make(map[string]*Ring)
+	// A = 0x0000 and B = 0x0001 share 15 leading bits; C = 0x4000
+	// diverges from A at bit 1, so C belongs in A's bucket 1 and is the
+	// subtree's only member.
+	a := newTestRing(t, space, net, 0x0000)
+	b := newTestRing(t, space, net, 0x0001)
+	c := newTestRing(t, space, net, 0x4000)
+
+	a.learn(b.self)
+	b.learn(a.self)
+	b.learn(c.self)
+	c.learn(b.self)
+
+	cBucket := a.bucketIndex(c.self.ID)
+	if got := a.Buckets()[cBucket]; len(got) != 0 {
+		t.Fatalf("precondition: A's bucket %d already holds %v", cBucket, got)
+	}
+	// The trap that motivates the walk: with the bucket empty, A claims
+	// the whole subtree, so a driver that trusts NextHop stops here.
+	// (an even probe: B = 0x0001 must not undercut A's distance on the
+	// low bit)
+	probe := space.SetBit(a.self.ID, 1, 1) | 0x00fe
+	if hop, done := a.NextHop(probe); !done || hop.ID != a.self.ID {
+		t.Fatalf("precondition: A's NextHop(%d) = %d done=%t, want done at self", probe, hop.ID, done)
+	}
+
+	// One full round-robin sweep visits every bucket once; the pass
+	// over bucket 1 must run the refresh walk and admit C.
+	for i := uint(0); i < space.Bits(); i++ {
+		a.RepairTable()
+	}
+	found := false
+	for _, e := range a.Buckets()[cBucket] {
+		if e.ID == c.self.ID && e.Addr == c.self.Addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("after a repair sweep, A's bucket %d = %v, want contact %d", cBucket, a.Buckets()[cBucket], c.self.ID)
+	}
+}
+
+// TestRepairTableRefreshTopsUpUnderfullBucket pins the second half of
+// the refresh contract: a bucket that is populated but short of
+// bucketSize still refreshes after its LRU ping. Node A knows one of
+// the two members of C's subtree; only a walk through that known
+// member can surface the other, because once workload traffic stops
+// nothing else ever mentions it.
+func TestRepairTableRefreshTopsUpUnderfullBucket(t *testing.T) {
+	space := id.NewSpace(16)
+	net := make(map[string]*Ring)
+	a := newTestRing(t, space, net, 0x0000)
+	c1 := newTestRing(t, space, net, 0x4000)
+	c2 := newTestRing(t, space, net, 0x4001)
+
+	a.learn(c1.self)
+	c1.learn(a.self)
+	c1.learn(c2.self)
+	c2.learn(c1.self)
+
+	bucket := a.bucketIndex(c1.self.ID)
+	if bucket != a.bucketIndex(c2.self.ID) {
+		t.Fatalf("setup: %d and %d land in different buckets", c1.self.ID, c2.self.ID)
+	}
+	for i := uint(0); i < space.Bits(); i++ {
+		a.RepairTable()
+	}
+	got := a.Buckets()[bucket]
+	if len(got) != 2 {
+		t.Fatalf("after a repair sweep, A's bucket %d = %v, want both %d and %d",
+			bucket, got, c1.self.ID, c2.self.ID)
+	}
+}

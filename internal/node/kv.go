@@ -1,6 +1,7 @@
 package node
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"slices"
@@ -160,6 +161,73 @@ func (n *Node) handleGet(m *wire.Message, resp *wire.Message) {
 	if value, version, ok := n.store.get(m.Key, time.Now()); ok {
 		resp.OK, resp.Value, resp.Version = true, value, version
 	}
+}
+
+// handleFindValue answers one step of a Kademlia-style value lookup:
+// the value itself when the local store holds the key (as owner or
+// replica holder), otherwise the closest known contacts toward it, in
+// the canonical strictly-ascending id order (the querier re-ranks by
+// its own distance metric; see wire.Message.Closest).
+func (n *Node) handleFindValue(m *wire.Message, resp *wire.Message) {
+	n.getsServed.Add(1)
+	if value, version, ok := n.store.get(m.Key, time.Now()); ok {
+		resp.OK, resp.Value, resp.Version = true, value, version
+		return
+	}
+	cands := n.rt.Candidates(m.Key, wire.MaxClosest)
+	closest := make([]wire.Contact, 0, len(cands))
+	for _, c := range cands {
+		if c.IsZero() || c.Addr == "" || c.ID == m.From.ID {
+			continue
+		}
+		closest = append(closest, c)
+	}
+	slices.SortFunc(closest, func(a, b wire.Contact) int {
+		return cmp.Compare(a.ID, b.ID)
+	})
+	resp.Closest = slices.CompactFunc(closest, func(a, b wire.Contact) bool {
+		return a.ID == b.ID
+	})
+}
+
+// FindValue resolves key to its value with the Kademlia-style combined
+// walk: the local store answers outright, then the item cache, then an
+// α-parallel race of TFindValue probes that terminates at the first
+// peer holding a copy — owner or replica — rather than first resolving
+// the owner and then fetching. Successful remote reads feed the
+// frequency observer and the item cache exactly like Get.
+func (n *Node) FindValue(key id.ID) (GetResult, error) {
+	if uint64(key) >= n.cfg.Space.Size() {
+		return GetResult{}, fmt.Errorf("node: key %d outside %d-bit space", key, n.cfg.Space.Bits())
+	}
+	n.getsIssued.Add(1)
+	now := time.Now()
+	if value, version, ok := n.store.get(key, now); ok {
+		n.storeHits.Add(1)
+		return GetResult{Value: value, Version: version, Local: true}, nil
+	}
+	if n.cache != nil {
+		if c, ok := n.cache.Get(key, now); ok {
+			n.cacheHits.Add(1)
+			return GetResult{Value: c.value, Version: c.version, Local: true}, nil
+		}
+	}
+	out, err := n.race(key, n.rt.Candidates(key, n.cfg.LookupAlpha), true)
+	if err != nil {
+		n.lookupFails.Add(1)
+		return GetResult{Hops: out.hops}, fmt.Errorf("node: get %d: %w", key, err)
+	}
+	n.lookups.Add(1)
+	n.lookupHops.Add(uint64(out.hops))
+	if out.owner.ID != n.self.ID {
+		n.maintMu.Lock()
+		n.aux.Observe(key)
+		n.maintMu.Unlock()
+	}
+	if n.cache != nil {
+		n.cache.Put(key, cachedCopy{value: out.value, version: out.version}, now)
+	}
+	return GetResult{Value: out.value, Version: out.version, Hops: out.hops}, nil
 }
 
 func (n *Node) handleReplicate(m *wire.Message) {

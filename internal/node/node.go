@@ -74,6 +74,14 @@ type Config struct {
 	// successor list in Chord, one leaf-set side in Pastry (default 4,
 	// max wire.MaxSuccs).
 	SuccessorListLen int
+	// BucketSize bounds one Kademlia k-bucket (default 0: the geometry's
+	// own default, 20). The ring geometries ignore it.
+	BucketSize int
+	// LookupAlpha is α, the number of candidate probes the iterative
+	// lookup driver keeps in flight concurrently (default 3, max 16).
+	// 1 reproduces the pre-racing serial walk exactly: one probe at a
+	// time, each chosen by the geometry's NextHop.
+	LookupAlpha int
 	// AuxCount is k, the auxiliary-neighbor budget (default 0: the
 	// node routes with core entries only).
 	AuxCount int
@@ -160,6 +168,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SuccessorListLen < 1 || c.SuccessorListLen > wire.MaxSuccs {
 		return c, fmt.Errorf("node: successor list length %d outside [1, %d]", c.SuccessorListLen, wire.MaxSuccs)
 	}
+	if c.BucketSize < 0 {
+		return c, fmt.Errorf("node: negative bucket size %d", c.BucketSize)
+	}
+	if c.LookupAlpha == 0 {
+		c.LookupAlpha = 3
+	}
+	if c.LookupAlpha < 1 || c.LookupAlpha > 16 {
+		return c, fmt.Errorf("node: lookup alpha %d outside [1, 16]", c.LookupAlpha)
+	}
 	if c.AuxCount < 0 {
 		return c, fmt.Errorf("node: negative aux count %d", c.AuxCount)
 	}
@@ -237,6 +254,8 @@ type Metrics struct {
 
 	// Gauges: current item counts by authority.
 	ItemsOwned, ItemsReplica, ItemsCached int
+	// Alpha is the lookup driver's live probe concurrency.
+	Alpha int
 }
 
 // Node is a running protocol participant. Create with Start, stop with
@@ -352,6 +371,7 @@ func Start(cfg Config) (*Node, error) {
 	n.tr = newTransport(conn, n.self, n.handle)
 	n.rt, n.aux, err = cfg.NewRing(host{n}, ring.Options{
 		NeighborListLen: cfg.SuccessorListLen,
+		BucketSize:      cfg.BucketSize,
 		MaxLookupHops:   cfg.MaxLookupHops,
 		AuxCount:        cfg.AuxCount,
 		WindowBuckets:   cfg.WindowBuckets,
@@ -526,6 +546,7 @@ func (n *Node) Metrics() Metrics {
 		ItemsOwned:     owned,
 		ItemsReplica:   replicas,
 		ItemsCached:    cached,
+		Alpha:          n.cfg.LookupAlpha,
 	}
 }
 
@@ -614,6 +635,9 @@ func (n *Node) handle(m *wire.Message, src string) {
 	case wire.TGet:
 		resp.Type = wire.TGetResp
 		n.handleGet(m, resp)
+	case wire.TFindValue:
+		resp.Type = wire.TFindValueResp
+		n.handleFindValue(m, resp)
 	case wire.TReplicate:
 		n.handleReplicate(m)
 		return // one-way: no response
@@ -626,40 +650,206 @@ func (n *Node) handle(m *wire.Message, src string) {
 }
 
 // FindSuccessor resolves the node responsible for target by driving the
-// iterative lookup: ask the geometry for the best local step (auxiliary
-// neighbors included — a cache hit short-circuits the whole walk), then
-// follow each callee's answer until one reports Done. The hop count is
-// the number of lookup RPCs issued, 0 when local state resolves the
-// target outright.
+// α-parallel iterative lookup: ask the geometry for the best local step
+// (auxiliary neighbors included — a cache hit short-circuits the whole
+// walk), then race up to LookupAlpha concurrent probes over the
+// geometry-ordered candidate frontier until one answers Done. The hop
+// count is the winning response's path depth on success (so a racing
+// lookup reports the length of the path that resolved the key, directly
+// comparable to the serial walk's RPC count) and the number of probes
+// launched on failure; at α=1 both equal the pre-racing serial count
+// exactly.
 func (n *Node) FindSuccessor(target id.ID) (wire.Contact, int, error) {
 	cur, done := n.rt.NextHop(target)
 	if done {
 		return cur, 0, nil
 	}
-	for hops := 0; hops < n.cfg.MaxLookupHops; {
-		resp, err := n.call(cur.Addr, &wire.Message{Type: wire.TFindSucc, Target: target})
-		hops++
-		if err != nil {
+	var seed []wire.Contact
+	if n.cfg.LookupAlpha == 1 {
+		// Exactly the serial walk's first probe; Candidates would pick
+		// the same contact first, but seeding from NextHop keeps α=1
+		// byte-for-byte faithful to the old driver.
+		seed = []wire.Contact{cur}
+	} else {
+		seed = n.rt.Candidates(target, n.cfg.LookupAlpha)
+	}
+	out, err := n.race(target, seed, false)
+	return out.owner, out.hops, err
+}
+
+// raceOutcome is one settled α-parallel lookup: the resolving contact
+// (plus, in value mode, the value it answered with) and the hop count.
+type raceOutcome struct {
+	owner    wire.Contact
+	value    []byte
+	version  uint64
+	hasValue bool
+	hops     int
+}
+
+// probeResult carries one probe's answer back to the race loop.
+type probeResult struct {
+	peer  wire.Contact
+	depth int
+	resp  *wire.Message
+	err   error
+}
+
+// race drives one iterative lookup with up to LookupAlpha probes in
+// flight. The frontier holds unprobed candidates ordered by the
+// geometry's Distance (ties by id); each launched probe carries its
+// path depth — seed contacts are depth 1, contacts learned from a
+// depth-d response are depth d+1 — and the first response that resolves
+// the target wins with hops equal to its depth. The deferred close of
+// the cancel channel aborts the losing probes; their callCancel
+// deregisters each inflight entry, and a response straggling in later
+// finds no waiter and is dropped, so cancelled probes leak nothing (see
+// transport.callCancel).
+//
+// Launches are hedged, not eager: every response or probe failure
+// launches one follow-up probe immediately (the chain a serial walk
+// would make), and an *additional* probe launches only when no event
+// has arrived for RPCTimeout/4. On a healthy network the first probe
+// of each step answers well inside the stagger, so traffic stays at
+// the serial walk's one-probe-per-step; under loss or a stalled peer
+// the hedge fires long before the full timeout-and-retry budget burns,
+// which is where racing wins. Eagerly filling all α slots per step
+// triples healthy-path traffic for nothing — and worse, one scheduling
+// stall then times out α probes at once, and the resulting DropPeer
+// burst can collapse a chord node's entire successor list, after which
+// it answers lookups as a ring of one and overclaims keys it does not
+// own.
+//
+// Failure reporting mirrors the old serial driver: a probe error
+// retires the peer via DropPeer and is remembered verbatim, and when
+// the frontier drains without an answer the lookup fails with (in
+// precedence order) the last probe error, the hop-budget error, a
+// not-found error in value mode, or a no-progress error naming the
+// last peer that answered.
+func (n *Node) race(target id.ID, seed []wire.Contact, valueMode bool) (raceOutcome, error) {
+	alpha := n.cfg.LookupAlpha
+	type frontierEntry struct {
+		c     wire.Contact
+		dist  uint64
+		depth int
+	}
+	var frontier []frontierEntry
+	queried := map[id.ID]bool{n.self.ID: true}
+	push := func(c wire.Contact, depth int) {
+		if c.IsZero() || c.Addr == "" || queried[c.ID] {
+			return
+		}
+		queried[c.ID] = true
+		d := n.rt.Distance(target, c.ID)
+		i := sort.Search(len(frontier), func(i int) bool {
+			return frontier[i].dist > d || (frontier[i].dist == d && frontier[i].c.ID > c.ID)
+		})
+		frontier = append(frontier, frontierEntry{})
+		copy(frontier[i+1:], frontier[i:])
+		frontier[i] = frontierEntry{c: c, dist: d, depth: depth}
+	}
+	for _, c := range seed {
+		push(c, 1)
+	}
+	makeReq := func() *wire.Message {
+		// A fresh message per probe: callCancel stamps MsgID and From,
+		// so concurrent probes must not share one.
+		if valueMode {
+			return &wire.Message{Type: wire.TFindValue, Key: target}
+		}
+		return n.rt.LookupRequest(target)
+	}
+	results := make(chan probeResult, alpha)
+	cancel := make(chan struct{})
+	defer close(cancel)
+	var (
+		inflight int
+		hops     int
+		lastErr  error
+		lastPeer wire.Contact
+	)
+	launch := func() {
+		if inflight < alpha && len(frontier) > 0 && hops < n.cfg.MaxLookupHops {
+			e := frontier[0]
+			frontier = frontier[1:]
+			hops++
+			inflight++
+			go func(e frontierEntry) {
+				resp, err := n.tr.callCancel(e.c.Addr, makeReq(), n.cfg.RPCTimeout, n.cfg.RPCRetries, cancel)
+				results <- probeResult{peer: e.c, depth: e.depth, resp: resp, err: err}
+			}(e)
+		}
+	}
+	stagger := n.cfg.RPCTimeout / 4
+	if stagger <= 0 {
+		stagger = time.Millisecond
+	}
+	hedge := time.NewTimer(stagger)
+	defer hedge.Stop()
+	launch()
+	for inflight > 0 {
+		if !hedge.Stop() {
+			select {
+			case <-hedge.C:
+			default:
+			}
+		}
+		hedge.Reset(stagger)
+		var r probeResult
+		select {
+		case r = <-results:
+		case <-hedge.C:
+			launch()
+			continue
+		}
+		inflight--
+		lastPeer = r.peer
+		if r.err != nil {
 			// The contact is unreachable: retire it from the routing
 			// state so the maintenance loops repair around it.
-			n.rt.DropPeer(cur.ID)
-			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d at %v: %w", target, cur, err)
+			n.rt.DropPeer(r.peer.ID)
+			lastErr = fmt.Errorf("node: lookup %d at %v: %w", target, r.peer, r.err)
+			launch()
+			continue
 		}
-		n.noteContact(resp.From)
-		if resp.Done {
-			if resp.Found.IsZero() {
-				return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: empty answer from %v", target, cur)
+		n.noteContact(r.resp.From)
+		if valueMode {
+			if r.resp.OK {
+				return raceOutcome{owner: r.peer, value: r.resp.Value, version: r.resp.Version, hasValue: true, hops: r.depth}, nil
 			}
-			n.noteContact(resp.Found)
-			return resp.Found, hops, nil
+			for _, c := range r.resp.Closest {
+				n.noteContact(c)
+				push(c, r.depth+1)
+			}
+			launch()
+			continue
 		}
-		if resp.Next.IsZero() || resp.Next.ID == cur.ID {
-			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: no progress at %v", target, cur)
+		found, done, candidates := n.rt.ParseLookupResponse(target, r.resp)
+		if done {
+			if found.IsZero() {
+				lastErr = fmt.Errorf("node: lookup %d: empty answer from %v", target, r.peer)
+				launch()
+				continue
+			}
+			n.noteContact(found)
+			return raceOutcome{owner: found, hops: r.depth}, nil
 		}
-		n.noteContact(resp.Next)
-		cur = resp.Next
+		for _, c := range candidates {
+			n.noteContact(c)
+			push(c, r.depth+1)
+		}
+		launch()
 	}
-	return wire.Contact{}, n.cfg.MaxLookupHops, fmt.Errorf("node: lookup %d: exceeded %d hops", target, n.cfg.MaxLookupHops)
+	if lastErr != nil {
+		return raceOutcome{hops: hops}, lastErr
+	}
+	if hops >= n.cfg.MaxLookupHops {
+		return raceOutcome{hops: hops}, fmt.Errorf("node: lookup %d: exceeded %d hops", target, n.cfg.MaxLookupHops)
+	}
+	if valueMode {
+		return raceOutcome{hops: hops}, fmt.Errorf("node: find-value %d: %w", target, ErrNotFound)
+	}
+	return raceOutcome{hops: hops}, fmt.Errorf("node: lookup %d: no progress at %v", target, lastPeer)
 }
 
 // Lookup is FindSuccessor for application traffic: the looked-up key is

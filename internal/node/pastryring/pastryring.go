@@ -23,6 +23,7 @@ package pastryring
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"peercache/internal/core"
@@ -105,7 +106,23 @@ func (r *Ring) Join(bootstrap string) error {
 		r.h.Note(resp.From)
 		if resp.Done {
 			if resp.Found.ID == r.self.ID {
-				return fmt.Errorf("pastryring: join: id %d already taken by %s", r.self.ID, resp.Found.Addr)
+				if resp.Found.Addr != "" && resp.Found.Addr != r.self.Addr {
+					return fmt.Errorf("pastryring: join: id %d already taken by %s", r.self.ID, resp.Found.Addr)
+				}
+				// The answer is this node's own contact: despite the
+				// route-first ordering, the overlay learned the joiner
+				// mid-walk (every request envelope carries From, and
+				// gossip spreads it) and now routes its id back to it.
+				// That is a join already half-done, not a collision —
+				// seed from the answering node, which sits in the
+				// joiner's numeric vicinity by virtue of having
+				// resolved its id.
+				if !resp.From.IsZero() && resp.From.ID != r.self.ID {
+					r.learn(resp.From)
+					r.collect(resp.From.Addr)
+				}
+				r.announce()
+				return nil
 			}
 			// The numerically closest node's leaf set seeds ours, and
 			// its rows (plus the final path node's, when distinct) seed
@@ -230,6 +247,84 @@ func (r *Ring) NextHop(target id.ID) (wire.Contact, bool) {
 		return r.self, true
 	}
 	return best, false
+}
+
+// LookupRequest implements ring.Routing: Pastry lookups ride the
+// protocol-neutral TFindSucc.
+func (r *Ring) LookupRequest(target id.ID) *wire.Message {
+	return &wire.Message{Type: wire.TFindSucc, Target: target}
+}
+
+// ParseLookupResponse implements ring.Routing: a find-succ response is
+// either the final answer or a single redirect candidate.
+func (r *Ring) ParseLookupResponse(target id.ID, resp *wire.Message) (wire.Contact, bool, []wire.Contact) {
+	if resp.Done {
+		return resp.Found, true, nil
+	}
+	return wire.Contact{}, false, []wire.Contact{resp.Next}
+}
+
+// Distance implements ring.Routing: circular distance to the target —
+// rule 3's numeric-progress measure — ranks concurrent probe
+// candidates.
+func (r *Ring) Distance(target, candidate id.ID) uint64 {
+	return circDist(r.space, candidate, target)
+}
+
+// Candidates returns next-hop candidates for target, best first: the
+// NextHop pick, then the remaining rule-2 contacts by descending prefix
+// depth (first-encounter order within a depth, matching NextHop's
+// tie-break), then rule-3 equal-prefix contacts by numeric closeness.
+// Aux entries participate exactly as in NextHop.
+func (r *Ring) Candidates(target id.ID, max int) []wire.Contact {
+	hop, done := r.NextHop(target)
+	out := []wire.Contact{hop}
+	if done || max <= 1 {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	l := r.space.CommonPrefixLen(r.self.ID, target)
+	seen := map[id.ID]bool{hop.ID: true, r.self.ID: true}
+	type cand struct {
+		c     wire.Contact
+		depth uint
+	}
+	var deeper []cand
+	var equal []wire.Contact
+	visit := func(c wire.Contact) {
+		if c.IsZero() || seen[c.ID] {
+			return
+		}
+		wl := r.space.CommonPrefixLen(c.ID, target)
+		switch {
+		case wl > l:
+			seen[c.ID] = true
+			deeper = append(deeper, cand{c, wl})
+		case wl == l && closer(r.space, c.ID, r.self.ID, target):
+			seen[c.ID] = true
+			equal = append(equal, c)
+		}
+	}
+	r.eachEntry(visit)
+	for _, a := range r.aux {
+		visit(a)
+	}
+	sort.SliceStable(deeper, func(i, j int) bool { return deeper[i].depth > deeper[j].depth })
+	sort.SliceStable(equal, func(i, j int) bool { return closer(r.space, equal[i].ID, equal[j].ID, target) })
+	for _, d := range deeper {
+		if len(out) >= max {
+			return out
+		}
+		out = append(out, d.c)
+	}
+	for _, c := range equal {
+		if len(out) >= max {
+			return out
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // Owns reports whether this node is numerically closest to key among

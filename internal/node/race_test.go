@@ -1,0 +1,117 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/randx"
+	"peercache/internal/wire"
+)
+
+// serialWalk is the pre-racing lookup loop, kept verbatim as the
+// reference the α=1 driver is measured against: one probe at a time,
+// hop counted per call, ending on Done, an empty answer, no progress,
+// or the hop budget. The racing driver with LookupAlpha == 1 must
+// reproduce it exactly — same owner, same hop count, same outcome.
+func serialWalk(n *Node, target id.ID) (wire.Contact, int, error) {
+	cur, done := n.rt.NextHop(target)
+	if done {
+		return cur, 0, nil
+	}
+	for hops := 0; hops < n.cfg.MaxLookupHops; {
+		resp, err := n.call(cur.Addr, n.rt.LookupRequest(target))
+		hops++
+		if err != nil {
+			n.rt.DropPeer(cur.ID)
+			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d at %v: %w", target, cur, err)
+		}
+		n.noteContact(resp.From)
+		found, ok, cands := n.rt.ParseLookupResponse(target, resp)
+		if ok {
+			if found.IsZero() {
+				return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: empty answer from %v", target, cur)
+			}
+			n.noteContact(found)
+			return found, hops, nil
+		}
+		if len(cands) == 0 || cands[0].IsZero() || cands[0].ID == cur.ID {
+			return wire.Contact{}, hops, fmt.Errorf("node: lookup %d: no progress at %v", target, cur)
+		}
+		n.noteContact(cands[0])
+		cur = cands[0]
+	}
+	return wire.Contact{}, n.cfg.MaxLookupHops, fmt.Errorf("node: lookup %d: exceeded %d hops", target, n.cfg.MaxLookupHops)
+}
+
+// On a converged, healthy overlay the α=1 driver must agree with the
+// serial reference on every lookup: same owner and same hop count, from
+// every source to targets across the whole space. Both paths only
+// refresh routing state they already agree on, so running them back to
+// back is comparison under identical state.
+func TestAlphaOneMatchesSerialWalk(t *testing.T) {
+	space := id.NewSpace(16)
+	ids := []uint64{500, 9000, 17000, 26000, 33000, 42000, 50500, 61000}
+	nodes := startCluster(t, space, ids, func(cfg *Config) {
+		cfg.LookupAlpha = 1
+	})
+	waitConverged(t, space, nodes, 20*time.Second)
+
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range nodes {
+		for q := 0; q < 40; q++ {
+			target := id.ID(rng.Uint64() & (space.Size() - 1))
+			wantOwner, wantHops, wantErr := serialWalk(n, target)
+			owner, hops, err := n.FindSuccessor(target)
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("node %d target %d: driver err %v, serial err %v", n.ID(), target, err, wantErr)
+			}
+			if err == nil && (owner.ID != wantOwner.ID || hops != wantHops) {
+				t.Fatalf("node %d target %d: driver (%d, %d hops), serial (%d, %d hops)",
+					n.ID(), target, owner.ID, hops, wantOwner.ID, wantHops)
+			}
+		}
+	}
+}
+
+// Racing cancels the losing probes of every step; a cancelled probe
+// must deregister its message id instead of parking forever in the
+// transport's inflight map. The regression this pins: drive thousands
+// of raced lookups — each one cancelling up to α−1 stragglers — and
+// require every node's inflight map to drain back to empty.
+func TestRacingCancelDrainsInflight(t *testing.T) {
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(47))
+	ids := randx.UniqueIDs(rng, 8, space.Size())
+	nodes := startCluster(t, space, ids, func(cfg *Config) {
+		cfg.LookupAlpha = 3
+	})
+	waitConverged(t, space, nodes, 20*time.Second)
+
+	for round := 0; round < 40; round++ {
+		for _, n := range nodes {
+			target := id.ID(rng.Uint64() & (space.Size() - 1))
+			if _, _, err := n.FindSuccessor(target); err != nil {
+				t.Fatalf("round %d: lookup %d from node %d: %v", round, target, n.ID(), err)
+			}
+		}
+	}
+	// Maintenance RPCs come and go; only a residue that never drains is
+	// a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stuck := 0
+		for _, n := range nodes {
+			stuck += n.tr.inflightLen()
+		}
+		if stuck == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d inflight entries never drained after %d raced lookups", stuck, 40*len(nodes))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -8,14 +8,16 @@
 // node is responsible for a key, which wire messages each maintenance
 // tick sends, and how incoming protocol requests mutate the table.
 //
-// Two geometries implement the contract today: chordring (successor
-// list + finger table + `(pred, self]` ownership, the default) and
+// Three geometries implement the contract today: chordring (successor
+// list + finger table + `(pred, self]` ownership, the default),
 // pastryring (leaf set + prefix routing table + numeric-closeness
+// ownership), and kadring (XOR-metric k-buckets + closest-node
 // ownership). Each pairs its Routing with an AuxMaintainer that turns
 // the node's observed lookup frequencies into the paper's auxiliary
 // neighbor set — core.ChordMaintainer for the ring distance metric,
-// core.PastryMaintainer for the prefix metric — so the peer-caching
-// layer rides on top of either geometry unchanged.
+// core.PastryMaintainer for the prefix metric, core.KademliaMaintainer
+// for the XOR bucket ladder — so the peer-caching layer rides on top
+// of any geometry unchanged.
 //
 // Adding a third geometry means implementing Routing (and, if the
 // paper's selection framework has a metric for it, an AuxMaintainer)
@@ -60,6 +62,9 @@ type Options struct {
 	// NeighborListLen bounds the geometry's near-neighbor list: the
 	// successor list in Chord, one leaf-set side in Pastry.
 	NeighborListLen int
+	// BucketSize bounds one k-bucket in Kademlia (0 means the
+	// geometry's default, 20); the ring geometries ignore it.
+	BucketSize int
 	// MaxLookupHops bounds join walks and lookups.
 	MaxLookupHops int
 	// AuxCount is k, the auxiliary-neighbor budget.
@@ -92,6 +97,35 @@ type Routing interface {
 	// SetAux must be considered here — that splice is the paper's whole
 	// mechanism.
 	NextHop(target id.ID) (hop wire.Contact, done bool)
+
+	// LookupRequest returns the wire request that advances an iterative
+	// lookup for target by one step at a remote peer: TFindSucc for the
+	// ring geometries, TFindNode for Kademlia. The runtime's lookup
+	// driver fills MsgID and From.
+	LookupRequest(target id.ID) *wire.Message
+
+	// ParseLookupResponse interprets one peer's answer to LookupRequest:
+	// done with the resolving contact, or further candidates to probe
+	// (for the ring geometries the single redirect contact, for Kademlia
+	// the closest-contact list). The geometry may fold learned contacts
+	// into its own table — the call runs off the read loop — but must
+	// not perform I/O. The driver validates candidates (drops zero
+	// contacts, itself, and peers it already probed).
+	ParseLookupResponse(target id.ID, resp *wire.Message) (found wire.Contact, done bool, candidates []wire.Contact)
+
+	// Distance ranks lookup candidates for target — smaller is closer:
+	// clockwise gap from the candidate to target for Chord, circular
+	// distance for Pastry, XOR for Kademlia. The α-parallel lookup
+	// driver keeps its probe frontier ordered by it.
+	Distance(target, candidate id.ID) uint64
+
+	// Candidates returns up to max distinct next-hop candidates for
+	// target in the geometry's preference order, best first; when a
+	// lookup is not already done, the first entry must be the same
+	// contact NextHop would return, so an α=1 lookup reproduces the
+	// serial probe sequence exactly. The driver seeds its frontier from
+	// it, and the runtime answers FindValue redirects with it.
+	Candidates(target id.ID, max int) []wire.Contact
 
 	// Owns reports whether this node is currently responsible for key.
 	// The lookup path uses it so an owner claims its keys outright (in

@@ -18,6 +18,10 @@ var (
 	ErrTimeout = errors.New("node: rpc timed out")
 	// ErrClosed is returned once the node has shut down.
 	ErrClosed = errors.New("node: closed")
+	// ErrCancelled is returned by a cancellable RPC whose cancel channel
+	// closed before a response arrived (the α-parallel lookup driver
+	// cancels the losing probes once one response settles a step).
+	ErrCancelled = errors.New("node: rpc cancelled")
 )
 
 // transport owns the datagram endpoint: a single read loop decodes
@@ -131,6 +135,16 @@ func (t *transport) send(dst string, m *wire.Message) {
 // makes duplicated datagrams harmless: the second copy of a response
 // finds its waiter already claimed and is discarded.)
 func (t *transport) call(addr string, req *wire.Message, timeout time.Duration, retries int) (*wire.Message, error) {
+	return t.callCancel(addr, req, timeout, retries, nil)
+}
+
+// callCancel is call with a cancellation channel: when cancel closes
+// before a response arrives, the attempt's inflight entry is
+// deregistered and ErrCancelled returned immediately — no retries. A
+// response straggling in after cancellation finds no waiter and is
+// dropped by the read loop, so cancelled probes can never leak inflight
+// entries or deliver into a dead lookup. A nil cancel never fires.
+func (t *transport) callCancel(addr string, req *wire.Message, timeout time.Duration, retries int, cancel <-chan struct{}) (*wire.Message, error) {
 	if t.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -180,6 +194,9 @@ func (t *transport) call(addr string, req *wire.Message, timeout time.Duration, 
 		case <-timer.C:
 			deregister()
 			t.timeouts.Add(1)
+		case <-cancel:
+			deregister()
+			return nil, ErrCancelled
 		case <-t.done:
 			deregister()
 			return nil, ErrClosed
@@ -189,6 +206,16 @@ func (t *transport) call(addr string, req *wire.Message, timeout time.Duration, 
 		}
 		t.retries.Add(1)
 	}
+}
+
+// inflightLen reports the number of registered RPC waiters — every
+// entry belongs to an attempt that is still blocked in callCancel, so
+// anything else (a cancelled or timed-out probe, say) leaking an entry
+// is a bug the regression tests check for.
+func (t *transport) inflightLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inflight)
 }
 
 // close shuts the endpoint down and waits for the read loop to exit.

@@ -41,6 +41,7 @@ import (
 	"peercache/internal/memnet"
 	"peercache/internal/node"
 	"peercache/internal/node/chordring"
+	"peercache/internal/node/kadring"
 	"peercache/internal/node/pastryring"
 	"peercache/internal/node/ring"
 	"peercache/internal/randx"
@@ -49,7 +50,8 @@ import (
 // Options parameterizes a soak run. The zero value of every field but
 // Proto gets a sensible default.
 type Options struct {
-	// Proto selects the routing geometry: "chord" or "pastry".
+	// Proto selects the routing geometry: "chord", "pastry", or
+	// "kademlia".
 	Proto string
 	// Seed drives every random choice of the run.
 	Seed int64
@@ -122,12 +124,16 @@ var convergeChecks = map[string]func(space id.Space, nodes []*node.Node, half in
 		return cluster.CheckChordConverged(space, nodes)
 	},
 	"pastry": cluster.CheckPastryConverged,
+	"kademlia": func(space id.Space, nodes []*node.Node, _ int) error {
+		return cluster.CheckKademliaConverged(space, nodes, kadring.DefaultBucketSize)
+	},
 }
 
 // ringFactories mirrors convergeChecks for node construction.
 var ringFactories = map[string]ring.Factory{
-	"chord":  chordring.New,
-	"pastry": pastryring.New,
+	"chord":    chordring.New,
+	"pastry":   pastryring.New,
+	"kademlia": kadring.New,
 }
 
 // Violation is one invariant failure, attributed to the quiescent

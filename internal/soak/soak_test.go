@@ -108,7 +108,7 @@ func TestSoakShort(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak runs a live cluster")
 	}
-	for _, proto := range []string{"chord", "pastry"} {
+	for _, proto := range []string{"chord", "pastry", "kademlia"} {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
 			t.Parallel()
@@ -140,7 +140,7 @@ func TestSoakShort(t *testing.T) {
 // Unknown protocols and degenerate sizes are harness errors, not
 // verdicts.
 func TestSoakOptionValidation(t *testing.T) {
-	if _, err := Run(Options{Proto: "kademlia"}); err == nil {
+	if _, err := Run(Options{Proto: "tapestry"}); err == nil {
 		t.Fatal("unknown proto accepted")
 	}
 	if _, err := Run(Options{Proto: "chord", Nodes: 2}); err == nil {

@@ -36,6 +36,27 @@ func FuzzDecode(f *testing.F) {
 		f.Add(b[:len(b)-4]) // cut into the last row
 	}
 
+	// One explicit seed per Kademlia message type, so the corpus reaches
+	// the XOR-lookup arms even before the generator mutates its way there.
+	for _, m := range []*Message{
+		{Type: TFindNode, MsgID: 7, From: Contact{ID: 1, Addr: "mem/1"}, Target: 42},
+		{Type: TFindNodeResp, MsgID: 7, From: Contact{ID: 2, Addr: "mem/2"}, Done: true,
+			Found:   Contact{ID: 42, Addr: "mem/42"},
+			Closest: []Contact{{ID: 3, Addr: "mem/3"}, {ID: 9, Addr: "mem/9"}, {ID: 42, Addr: "mem/42"}}},
+		{Type: TFindValue, MsgID: 8, From: Contact{ID: 1, Addr: "mem/1"}, Key: 42},
+		{Type: TFindValueResp, MsgID: 8, From: Contact{ID: 42, Addr: "mem/42"}, OK: true,
+			Value: []byte("v"), Version: 3},
+		{Type: TFindValueResp, MsgID: 9, From: Contact{ID: 9, Addr: "mem/9"},
+			Closest: []Contact{{ID: 3, Addr: "mem/3"}, {ID: 42, Addr: "mem/42"}}},
+	} {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)-1]) // cut into the tail of the payload
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

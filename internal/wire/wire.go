@@ -47,6 +47,20 @@
 //     the caller into its own state (which is how a joiner announces
 //     itself — a one-way LeafProbe to everyone it learned of).
 //
+// The Kademlia geometry (internal/node/kadring) adds the classic
+// XOR-metric lookup pair, again routed by the runtime only when that
+// geometry is active:
+//
+//   - FindNode/FindNodeResp — one step of an iterative XOR lookup. The
+//     callee answers with the closest contacts it knows to Target
+//     (strictly ascending by id, the canonical order; the caller re-ranks
+//     by XOR distance itself) and, when it believes itself closest, the
+//     resolved owner contact (Done/Found).
+//   - FindValue/FindValueResp — the value-coupled variant: any node on
+//     the path holding a copy of Key answers with the value directly
+//     (OK), otherwise it redirects with its closest contacts exactly
+//     like FindNodeResp.
+//
 // Encoding: varint-free fixed-width integers (uint64 big-endian for ids
 // and MsgIDs, uint8 for counts, uint16 for value lengths) and
 // length-prefixed UDP address strings. Every message fits comfortably in
@@ -95,6 +109,10 @@ const (
 	TRowExchangeResp
 	TLeafProbe
 	TLeafProbeResp
+	TFindNode
+	TFindNodeResp
+	TFindValue
+	TFindValueResp
 	typeCount // sentinel, not a wire value
 )
 
@@ -138,6 +156,14 @@ func (t Type) String() string {
 		return "leaf-probe"
 	case TLeafProbeResp:
 		return "leaf-probe-resp"
+	case TFindNode:
+		return "find-node"
+	case TFindNodeResp:
+		return "find-node-resp"
+	case TFindValue:
+		return "find-value"
+	case TFindValueResp:
+		return "find-value-resp"
 	}
 	return fmt.Sprintf("wire.Type(%d)", uint8(t))
 }
@@ -198,12 +224,14 @@ type Message struct {
 	// contacts (notify, predecessor discovery) and to address replies.
 	From Contact
 
-	// Target is the lookup key (TFindSucc).
+	// Target is the lookup key (TFindSucc, TFindNode).
 	Target id.ID
-	// Done reports that Found resolves Target (TFindSuccResp). When
-	// false, Next is the closest preceding contact to continue with.
+	// Done reports that Found resolves Target (TFindSuccResp,
+	// TFindNodeResp). When false in a TFindSuccResp, Next is the closest
+	// preceding contact to continue with.
 	Done bool
-	// Found is the resolved successor of Target (TFindSuccResp, Done).
+	// Found is the resolved successor of Target (TFindSuccResp and
+	// TFindNodeResp, Done).
 	Found Contact
 	// Next is the redirect contact (TFindSuccResp, !Done).
 	Next Contact
@@ -221,19 +249,26 @@ type Message struct {
 	// then counter-clockwise side nearest-first; on small rings the two
 	// sides may repeat a contact (TLeafProbeResp).
 	Leaves []Contact
+	// Closest is the callee's closest known contacts to the requested
+	// Target or Key, in strictly ascending id order — the canonical
+	// encoding; callers re-rank by XOR distance locally (TFindNodeResp
+	// always, TFindValueResp when !OK).
+	Closest []Contact
 
-	// Key is the item key (TPut, TGet, TReplicate).
+	// Key is the item key (TPut, TGet, TReplicate, TFindValue).
 	Key id.ID
 	// OK reports success: the value was stored (TPutAck) or found
-	// (TGetResp). When false the Value/Version fields are absent.
+	// (TGetResp, TFindValueResp). When false the Value/Version fields
+	// are absent.
 	OK bool
 	// Value is the item payload, at most MaxValueLen bytes (TPut,
-	// TReplicate, and TGetResp when OK). A zero-length value is legal
-	// and decodes as nil.
+	// TReplicate, and TGetResp/TFindValueResp when OK). A zero-length
+	// value is legal and decodes as nil.
 	Value []byte
 	// Version is the owner-assigned item version: PutAck reports the
-	// version the write received, GetResp the version served, Replicate
-	// the version pushed (TPutAck/TGetResp when OK, TReplicate).
+	// version the write received, GetResp and FindValueResp the version
+	// served, Replicate the version pushed (TPutAck/TGetResp/
+	// TFindValueResp when OK, TReplicate).
 	Version uint64
 }
 
@@ -257,6 +292,9 @@ const (
 	MaxRows = 64
 	// MaxLeaves bounds the leaf set carried by LeafProbeResp.
 	MaxLeaves = 32
+	// MaxClosest bounds the closest-contact list carried by
+	// FindNodeResp and FindValueResp.
+	MaxClosest = 16
 )
 
 // Decode errors.
@@ -268,6 +306,7 @@ var (
 	ErrSuccCount  = errors.New("wire: successor list too long")
 	ErrRowCount   = errors.New("wire: routing-table row list too long")
 	ErrLeafCount  = errors.New("wire: leaf set too long")
+	ErrClosest    = errors.New("wire: closest-contact list too long")
 	ErrValueLen   = errors.New("wire: value too long")
 	ErrTrailing   = errors.New("wire: trailing bytes after payload")
 	ErrBadMessage = errors.New("wire: message fields inconsistent with type")
@@ -320,6 +359,56 @@ func readContact(b []byte) (Contact, []byte, error) {
 	}
 	c.Addr = string(b[:n])
 	return c, b[n:], nil
+}
+
+// appendClosest serializes a closest-contact list, enforcing the
+// canonical strictly-ascending-id order (which also forbids duplicate
+// ids) so every list has exactly one encoding.
+func appendClosest(b []byte, cs []Contact) ([]byte, error) {
+	if len(cs) > MaxClosest {
+		return nil, fmt.Errorf("%w: %d", ErrClosest, len(cs))
+	}
+	b = append(b, byte(len(cs)))
+	var err error
+	prev := id.ID(0)
+	for i, c := range cs {
+		if i > 0 && c.ID <= prev {
+			return nil, fmt.Errorf("%w: closest id %d after %d", ErrBadMessage, c.ID, prev)
+		}
+		prev = c.ID
+		if b, err = appendContact(b, c); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// readClosest parses a closest-contact list, rejecting non-canonical
+// (unsorted or duplicate-id) orderings.
+func readClosest(b []byte) ([]Contact, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n > MaxClosest {
+		return nil, nil, fmt.Errorf("%w: %d", ErrClosest, n)
+	}
+	var cs []Contact
+	var err error
+	prev := id.ID(0)
+	for i := 0; i < n; i++ {
+		var c Contact
+		if c, b, err = readContact(b); err != nil {
+			return nil, nil, err
+		}
+		if i > 0 && c.ID <= prev {
+			return nil, nil, fmt.Errorf("%w: closest id %d after %d", ErrBadMessage, c.ID, prev)
+		}
+		prev = c.ID
+		cs = append(cs, c)
+	}
+	return cs, b, nil
 }
 
 // Encode serializes m into a fresh buffer. It fails only on messages
@@ -426,6 +515,35 @@ func Encode(m *Message) ([]byte, error) {
 		b = append(b, byte(len(m.Leaves)))
 		for _, c := range m.Leaves {
 			if b, err = appendContact(b, c); err != nil {
+				return nil, err
+			}
+		}
+	case TFindNode:
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Target))
+	case TFindNodeResp:
+		if m.Done {
+			b = append(b, 1)
+			if b, err = appendContact(b, m.Found); err != nil {
+				return nil, err
+			}
+		} else {
+			b = append(b, 0)
+		}
+		if b, err = appendClosest(b, m.Closest); err != nil {
+			return nil, err
+		}
+	case TFindValue:
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Key))
+	case TFindValueResp:
+		if m.OK {
+			b = append(b, 1)
+			if b, err = appendValue(b, m.Value); err != nil {
+				return nil, err
+			}
+			b = binary.BigEndian.AppendUint64(b, m.Version)
+		} else {
+			b = append(b, 0)
+			if b, err = appendClosest(b, m.Closest); err != nil {
 				return nil, err
 			}
 		}
@@ -619,6 +737,58 @@ func Decode(b []byte) (*Message, error) {
 				if m.Leaves[i], b, err = readContact(b); err != nil {
 					return nil, err
 				}
+			}
+		}
+	case TFindNode:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		m.Target = id.ID(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	case TFindNodeResp:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("%w: done byte %d", ErrBadMessage, b[0])
+		}
+		m.Done = b[0] == 1
+		b = b[1:]
+		if m.Done {
+			if m.Found, b, err = readContact(b); err != nil {
+				return nil, err
+			}
+		}
+		if m.Closest, b, err = readClosest(b); err != nil {
+			return nil, err
+		}
+	case TFindValue:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		m.Key = id.ID(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	case TFindValueResp:
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("%w: ok byte %d", ErrBadMessage, b[0])
+		}
+		m.OK = b[0] == 1
+		b = b[1:]
+		if m.OK {
+			if m.Value, b, err = readValue(b); err != nil {
+				return nil, err
+			}
+			if len(b) < 8 {
+				return nil, ErrTruncated
+			}
+			m.Version = binary.BigEndian.Uint64(b)
+			b = b[8:]
+		} else {
+			if m.Closest, b, err = readClosest(b); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -90,8 +90,47 @@ func randMessage(rng *rand.Rand) *Message {
 				m.Leaves[i] = randContact(rng)
 			}
 		}
+	case TFindNode:
+		m.Target = id.ID(rng.Uint64())
+	case TFindNodeResp:
+		m.Done = rng.Intn(2) == 0
+		if m.Done {
+			m.Found = randContact(rng)
+		}
+		m.Closest = randClosest(rng)
+	case TFindValue:
+		m.Key = id.ID(rng.Uint64())
+	case TFindValueResp:
+		m.OK = rng.Intn(2) == 0
+		if m.OK {
+			m.Value = randValue(rng)
+			m.Version = rng.Uint64()
+		} else {
+			m.Closest = randClosest(rng)
+		}
 	}
 	return m
+}
+
+// randClosest draws a canonical closest-contact list: distinct ids in
+// strictly ascending order, nil about a third of the time.
+func randClosest(rng *rand.Rand) []Contact {
+	n := rng.Intn(MaxClosest + 1)
+	if n == 0 {
+		return nil
+	}
+	ids := make(map[id.ID]bool, n)
+	cs := make([]Contact, 0, n)
+	for len(cs) < n {
+		c := randContact(rng)
+		if ids[c.ID] {
+			continue
+		}
+		ids[c.ID] = true
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+	return cs
 }
 
 // randValue draws a value of plausible length — nil about a quarter of
@@ -299,6 +338,66 @@ func TestRowExchangeCanonical(t *testing.T) {
 	}
 }
 
+// Closest-contact lists have one canonical encoding: strictly ascending
+// ids (which also rules out duplicates). Both directions reject
+// violations, mirroring the strict-ascending row-list rule.
+func TestClosestCanonical(t *testing.T) {
+	c := func(i id.ID) Contact { return Contact{ID: i, Addr: "mem/x"} }
+	for _, bad := range [][]Contact{
+		{c(5), c(5)},        // duplicate id
+		{c(9), c(2)},        // descending
+		{c(1), c(7), c(7)},  // duplicate at tail
+		{c(4), c(12), c(3)}, // unsorted tail
+	} {
+		for _, m := range []*Message{
+			{Type: TFindNodeResp, Closest: bad},
+			{Type: TFindValueResp, Closest: bad},
+		} {
+			if _, err := Encode(m); !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("%v: encode closest %v: %v, want ErrBadMessage", m.Type, bad, err)
+			}
+		}
+	}
+	ok, err := Encode(&Message{Type: TFindNodeResp, Closest: []Contact{c(1), c(4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two contact ids in place: same length, no longer ascending.
+	swapped := append([]byte(nil), ok...)
+	entry := 9 + len("mem/x")
+	start := len(swapped) - 2*entry
+	swapped[start+7], swapped[start+entry+7] = 4, 1
+	if _, err := Decode(swapped); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("decode unordered closest list: %v, want ErrBadMessage", err)
+	}
+	// Every strict prefix that cuts into the list is a truncation, never
+	// a short-but-valid list: the count byte pins the length.
+	for cut := start; cut < len(ok); cut++ {
+		if _, err := Decode(ok[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("decode %d/%d-byte prefix: %v, want ErrTruncated", cut, len(ok), err)
+		}
+	}
+	for _, m := range []*Message{
+		{Type: TFindNodeResp, Closest: make([]Contact, MaxClosest+1)},
+		{Type: TFindValueResp, Closest: make([]Contact, MaxClosest+1)},
+	} {
+		if _, err := Encode(m); !errors.Is(err, ErrClosest) {
+			t.Fatalf("%v: oversized closest list accepted", m.Type)
+		}
+	}
+	// A done byte above 1 is rejected, as is an ok byte above 1 on the
+	// value response.
+	done, err := Encode(&Message{Type: TFindNodeResp, Done: true, Found: c(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done[2+8+9+len("")+0] = 2 // the done byte sits right after the From contact
+	bad := append([]byte(nil), done...)
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("decode done byte 2: %v, want ErrBadMessage", err)
+	}
+}
+
 func TestResponsePairing(t *testing.T) {
 	pairs := map[Type]Type{
 		TPing:        TPong,
@@ -309,6 +408,8 @@ func TestResponsePairing(t *testing.T) {
 		TGet:         TGetResp,
 		TRowExchange: TRowExchangeResp,
 		TLeafProbe:   TLeafProbeResp,
+		TFindNode:    TFindNodeResp,
+		TFindValue:   TFindValueResp,
 	}
 	for req, resp := range pairs {
 		if req.IsResponse() {
