@@ -1,7 +1,8 @@
 // Command p2pbench regenerates the paper's evaluation figures
-// (Section VI) as text tables.
+// (Section VI) as text tables, and — in live mode — measures the real
+// runtime at scale.
 //
-// Usage:
+// Simulator figures:
 //
 //	p2pbench -experiment fig3|fig4|fig5|fig6|all [-quick] [-seed N]
 //	         [-sizes 256,512,1024] [-n 1024] [-items 16] [-bits 32]
@@ -10,20 +11,35 @@
 // Extension experiments: -experiment qos|estimate|sketch|replication|
 // global|maintenance|digits, or "extensions" for all of them.
 //
+// Live benchmark (boots a real memnet overlay per geometry, drives a
+// Zipf workload, emits the BENCH_live.json schema; see
+// docs/BENCHMARKS.md):
+//
+//	p2pbench -live [-proto chord|pastry|kademlia|all] [-n 1024]
+//	         [-seed 1] [-aux 8] [-quick] [-out BENCH_live.json]
+//	         [-compare BENCH_live.json] [-hops-tolerance 0.75]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Schema check only: p2pbench -validate BENCH_live.json
+//
 // Full-scale runs use the paper's parameters (n up to 2048, 32-bit ids,
 // hour-long simulated churn windows) and take minutes; -quick shrinks
-// everything for a fast sanity pass.
+// everything for a fast sanity pass (live mode: n=128).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"peercache/internal/experiment"
+	"peercache/internal/livebench"
 )
 
 func main() {
@@ -32,14 +48,36 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink every parameter for a fast sanity run")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		sizes    = flag.String("sizes", "", "comma-separated n values overriding the sweep (fig3/fig5)")
-		fixedN   = flag.Int("n", 0, "fixed n for the k sweeps (fig4/fig6; default 1024)")
+		fixedN   = flag.Int("n", 0, "fixed n for the k sweeps (fig4/fig6; default 1024); live overlay size")
 		items    = flag.Int("items", 0, "items per node (default 16)")
-		bits     = flag.Uint("bits", 0, "identifier length in bits (default 32)")
+		bits     = flag.Uint("bits", 0, "identifier length in bits (default 32; live default 16)")
 		warmup   = flag.Float64("warmup", 0, "churn warmup seconds (default 900)")
 		duration = flag.Float64("duration", 0, "churn measured seconds (default 3600)")
 		format   = flag.String("format", "text", "output format: text or csv")
+
+		live       = flag.Bool("live", false, "run the live benchmark instead of simulator figures")
+		proto      = flag.String("proto", "all", "live geometry: chord, pastry, kademlia or all")
+		aux        = flag.Int("aux", 8, "live auxiliary-neighbor budget k")
+		out        = flag.String("out", "", "live: write BENCH_live.json here (default: stdout)")
+		compare    = flag.String("compare", "", "live: baseline BENCH_live.json to gate mean hops against")
+		tolerance  = flag.Float64("hops-tolerance", 0.75, "live: allowed mean-hops excess over -compare baseline")
+		validate   = flag.String("validate", "", "validate a BENCH_live.json against the schema and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here (live mode)")
+		memprofile = flag.String("memprofile", "", "write a heap profile here (live mode)")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		if _, err := livebench.Load(*validate); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("p2pbench: %s: valid %s document\n", *validate, livebench.Schema)
+		return
+	}
+	if *live {
+		runLive(*proto, *fixedN, *seed, *bits, *aux, *quick, *out, *compare, *tolerance, *cpuprofile, *memprofile)
+		return
+	}
 
 	scale := experiment.Scale{
 		FixedN:       *fixedN,
@@ -125,6 +163,84 @@ func main() {
 		default:
 			fatalf("unknown format %q (want text or csv)", *format)
 		}
+	}
+}
+
+// runLive executes the live benchmark for the selected geometries and
+// handles output, schema self-validation, baseline comparison, and
+// profiling.
+func runLive(proto string, n int, seed int64, bits uint, aux int, quick bool, out, compare string, tolerance float64, cpuprofile, memprofile string) {
+	protos := livebench.Protos
+	if proto != "all" {
+		protos = []string{proto}
+	}
+	if n == 0 {
+		n = 1024
+		if quick {
+			n = 128
+		}
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var runs []livebench.Result
+	for _, p := range protos {
+		r, err := livebench.Run(livebench.Options{
+			Proto:    p,
+			N:        n,
+			Seed:     seed,
+			Bits:     bits,
+			AuxCount: aux,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runs = append(runs, *r)
+	}
+	file := livebench.NewFile(runs)
+	if err := file.Validate(); err != nil {
+		fatalf("emitted document fails own schema: %v", err)
+	}
+	if out != "" {
+		if err := file.Write(out); err != nil {
+			fatalf("write %s: %v", out, err)
+		}
+		fmt.Fprintf(os.Stderr, "p2pbench: wrote %s\n", out)
+	} else {
+		b, _ := json.MarshalIndent(file, "", "  ")
+		fmt.Println(string(b))
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fatalf("-memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("-memprofile: %v", err)
+		}
+	}
+	if compare != "" {
+		baseline, err := livebench.Load(compare)
+		if err != nil {
+			fatalf("-compare: %v", err)
+		}
+		if err := livebench.Compare(baseline, runs, tolerance); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "p2pbench: mean hops within %.2f of %s baseline\n", tolerance, compare)
 	}
 }
 

@@ -39,7 +39,20 @@ type metricsPayload struct {
 
 	Store storeStats `json:"store"`
 
+	// Traffic is the cumulative wire-level load the node has carried,
+	// under scrape-stable names — the live-overhead numbers the bench
+	// harness aggregates, observable per daemon here.
+	Traffic trafficStats `json:"traffic"`
+
 	Metrics node.Metrics `json:"metrics"`
+}
+
+// trafficStats mirrors the transport subset of node.Metrics.
+type trafficStats struct {
+	DatagramsIn  uint64 `json:"datagrams_in"`
+	DatagramsOut uint64 `json:"datagrams_out"`
+	BytesIn      uint64 `json:"bytes_in"`
+	BytesOut     uint64 `json:"bytes_out"`
 }
 
 type contactJSON struct {
@@ -78,6 +91,12 @@ func payloadFor(n *node.Node) metricsPayload {
 		Aux:           len(aux),
 		Alpha:         m.Alpha,
 		AuxNeighbors:  auxJSON,
+		Traffic: trafficStats{
+			DatagramsIn:  m.DatagramsIn,
+			DatagramsOut: m.DatagramsOut,
+			BytesIn:      m.BytesIn,
+			BytesOut:     m.BytesOut,
+		},
 		Store: storeStats{
 			ItemsOwned:   m.ItemsOwned,
 			ItemsReplica: m.ItemsReplica,

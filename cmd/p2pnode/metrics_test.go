@@ -241,6 +241,22 @@ func TestMetricsReportStoreAndAuxNeighbors(t *testing.T) {
 	if pb.Store.ItemsOwned != 1 || pb.Store.PutsServed < 1 || pb.Store.GetsServed < 1 {
 		t.Fatalf("b store stats %+v", pb.Store)
 	}
+
+	// Both sides exchanged real datagrams (join, put, get), so the
+	// cumulative traffic counters must be live on both, and bytes must
+	// dominate datagrams — every message carries a header.
+	for name, p := range map[string]metricsPayload{"a": pa, "b": pb} {
+		tr := p.Traffic
+		if tr.DatagramsIn == 0 || tr.DatagramsOut == 0 {
+			t.Fatalf("%s traffic datagram counters dead: %+v", name, tr)
+		}
+		if tr.BytesIn <= tr.DatagramsIn || tr.BytesOut <= tr.DatagramsOut {
+			t.Fatalf("%s traffic byte counters implausible: %+v", name, tr)
+		}
+		if tr.DatagramsIn != p.Metrics.DatagramsIn || tr.BytesOut != p.Metrics.BytesOut {
+			t.Fatalf("%s traffic block disagrees with metrics: %+v vs %+v", name, tr, p.Metrics)
+		}
+	}
 }
 
 // The -metrics-addr flag must wire the endpoint into the daemon and

@@ -9,6 +9,7 @@
 //
 //	p2psoak -proto chord|pastry|kademlia [-seed 1] [-events 200] [-nodes 16]
 //	        [-keys 32] [-quiesce 50] [-aux 4] [-tick 10ms] [-json] [-v]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The process exits 0 when every invariant held, 1 on any violation,
 // 2 on a harness error. With -json the verdict is a single JSON
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"peercache/internal/soak"
@@ -49,9 +52,37 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		tick    = fs.Duration("tick", 10*time.Millisecond, "step clock quantum")
 		asJSON  = fs.Bool("json", false, "emit the verdict as one JSON object")
 		verbose = fs.Bool("v", false, "log events and checker progress to stderr")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run here")
+		memprofile = fs.String("memprofile", "", "write a heap profile (post-run, post-GC) here")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return 2, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "p2psoak: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "p2psoak: -memprofile: %v\n", err)
+			}
+		}()
 	}
 	opts := soak.Options{
 		Proto:        *proto,

@@ -59,8 +59,19 @@ func CheckKademliaConverged(space id.Space, nodes []*node.Node, bucketSize int) 
 			return fmt.Errorf("node %d is not a kadring node", n.ID())
 		}
 		buckets := kr.Buckets()
+		// One O(n) pass partitions the membership into all bucket
+		// regions at once; calling ExpectedBucket per bit repeats the
+		// membership scan bits times per node, which is what made this
+		// oracle quadratic-per-poll at 1k nodes.
+		regions := make([][]id.ID, space.Bits())
+		for _, y := range members {
+			if y != n.ID() {
+				cpl := space.CommonPrefixLen(n.ID(), y)
+				regions[cpl] = append(regions[cpl], y)
+			}
+		}
 		for i := uint(0); i < space.Bits(); i++ {
-			region := ExpectedBucket(space, members, n.ID(), i)
+			region := regions[i]
 			want := len(region)
 			if want > bucketSize {
 				want = bucketSize

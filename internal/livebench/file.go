@@ -1,0 +1,158 @@
+package livebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Schema identifies the BENCH_live.json document format. Bump the
+// version on any incompatible field change and teach Validate both.
+const Schema = "peercache-livebench/v1"
+
+// File is the persisted BENCH_live.json document: one run per geometry
+// from a single generation pass, plus provenance.
+type File struct {
+	Schema      string   `json:"schema"`
+	GeneratedAt string   `json:"generated_at"` // RFC 3339 UTC
+	Runs        []Result `json:"runs"`
+}
+
+// NewFile assembles a document from runs, stamped now.
+func NewFile(runs []Result) *File {
+	return &File{
+		Schema:      Schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Runs:        runs,
+	}
+}
+
+// Write marshals the document to path, indented, trailing newline.
+func (f *File) Write(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads and validates a BENCH_live.json document. Unknown fields
+// are rejected: the file is a schema-checked artifact, not a config.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("livebench: %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("livebench: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Validate checks the document against the schema's semantic
+// constraints — the CI job runs this against freshly emitted files so
+// a field that silently stops being populated fails the build instead
+// of committing zeros into the trajectory.
+func (f *File) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", f.Schema, Schema)
+	}
+	if _, err := time.Parse(time.RFC3339, f.GeneratedAt); err != nil {
+		return fmt.Errorf("generated_at: %w", err)
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	known := make(map[string]bool, len(Protos))
+	for _, p := range Protos {
+		known[p] = true
+	}
+	seen := make(map[string]bool)
+	for i, r := range f.Runs {
+		at := func(field string) string {
+			return fmt.Sprintf("run %d (%s): %s", i, r.Proto, field)
+		}
+		if !known[r.Proto] {
+			return fmt.Errorf("run %d: unknown proto %q", i, r.Proto)
+		}
+		if seen[r.Proto] {
+			return fmt.Errorf("run %d: duplicate proto %q", i, r.Proto)
+		}
+		seen[r.Proto] = true
+		pos := map[string]float64{
+			"nodes":                       float64(r.Nodes),
+			"bits":                        float64(r.Bits),
+			"alpha":                       float64(r.Alpha),
+			"keys":                        float64(r.Keys),
+			"zipf_alpha":                  r.ZipfAlpha,
+			"ops":                         float64(r.Ops),
+			"workers":                     float64(r.Workers),
+			"mean_hops":                   r.MeanHops,
+			"mean_latency_us":             r.MeanLatencyUS,
+			"p99_latency_us":              r.P99LatencyUS,
+			"ops_per_sec":                 r.OpsPerSec,
+			"msgs_per_sec":                r.MsgsPerSec,
+			"bytes_per_sec":               r.BytesPerSec,
+			"maint_msgs_per_sec_per_node": r.MaintMsgsPerSecPerNode,
+			"wall_ms":                     float64(r.WallMS),
+		}
+		for field, v := range pos {
+			if v <= 0 {
+				return fmt.Errorf("%s = %g, want > 0", at(field), v)
+			}
+		}
+		nonNeg := map[string]float64{
+			"p50_hops":        r.P50Hops,
+			"p99_hops":        r.P99Hops,
+			"aux_hit_rate":    r.AuxHitRate,
+			"lookup_failures": float64(r.LookupFailures),
+			"stranded_keys":   float64(r.StrandedKeys),
+			"converge_ms":     float64(r.ConvergeMS),
+		}
+		for field, v := range nonNeg {
+			if v < 0 {
+				return fmt.Errorf("%s = %g, want >= 0", at(field), v)
+			}
+		}
+		if r.P99Hops < r.P50Hops {
+			return fmt.Errorf("%s", at("p99_hops below p50_hops"))
+		}
+		if r.AuxHitRate > 1 {
+			return fmt.Errorf("%s = %g, want <= 1", at("aux_hit_rate"), r.AuxHitRate)
+		}
+	}
+	return nil
+}
+
+// Compare gates runs against a committed baseline: for every geometry
+// present in both, the new mean hop count must not exceed the
+// baseline's by more than tolerance. Only hops are gated — they are
+// the routing-quality signal and stable across machine speeds, where
+// latency and throughput are not. Geometries in only one side are
+// ignored, so a quick CI run (smaller n, where hops are lower anyway)
+// still compares meaningfully against the committed full-scale file.
+func Compare(baseline *File, runs []Result, tolerance float64) error {
+	base := make(map[string]Result, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		base[r.Proto] = r
+	}
+	for _, r := range runs {
+		b, ok := base[r.Proto]
+		if !ok {
+			continue
+		}
+		if r.MeanHops > b.MeanHops+tolerance {
+			return fmt.Errorf("livebench: %s mean hops %.3f exceeds baseline %.3f by more than %.2f (n=%d vs baseline n=%d)",
+				r.Proto, r.MeanHops, b.MeanHops, tolerance, r.Nodes, b.Nodes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package livebench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodRun returns a Result that passes every Validate constraint.
+func goodRun(proto string) Result {
+	r := Result{
+		Proto: proto, Nodes: 128, Seed: 1, Bits: 16,
+		AuxCount: 8, Alpha: 2, SuccessorListLen: 4,
+		Keys: 128, ZipfAlpha: 1.2, WarmupOps: 512, Ops: 1024, Workers: 8,
+		StabilizeMS: 50, FixFingersMS: 16, AuxEveryMS: 200,
+		BootMS: 900, ConvergeMS: 80,
+		MeanHops: 1.6, P50Hops: 1, P99Hops: 4,
+		MeanLatencyUS: 300, P50LatencyUS: 200, P99LatencyUS: 900,
+		OpsPerSec: 5000, MsgsPerSec: 20000, BytesPerSec: 800000,
+		AuxHitRate: 0.35, MaintMsgsPerSecPerNode: 30,
+		MaintBytesPerSecPerNode: 1200, WallMS: 9000,
+	}
+	if proto == "kademlia" {
+		r.BucketSize = 8
+	}
+	return r
+}
+
+// A freshly assembled document with sane runs must round-trip through
+// Write and Load, and Load must enforce the schema.
+func TestFileRoundTrip(t *testing.T) {
+	f := NewFile([]Result{goodRun("chord"), goodRun("pastry"), goodRun("kademlia")})
+	if err := f.Validate(); err != nil {
+		t.Fatalf("good document fails validation: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_live.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 3 || got.Runs[0].MeanHops != 1.6 {
+		t.Fatalf("round trip mangled runs: %+v", got.Runs)
+	}
+}
+
+// Load must reject documents CI should never accept: wrong schema tag,
+// unknown fields (stale field renames), and semantically dead values.
+func TestFileValidateRejects(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*File)
+		want   string
+	}{
+		"wrong schema": {
+			mutate: func(f *File) { f.Schema = "peercache-livebench/v0" },
+			want:   "schema",
+		},
+		"bad timestamp": {
+			mutate: func(f *File) { f.GeneratedAt = "yesterday" },
+			want:   "generated_at",
+		},
+		"no runs": {
+			mutate: func(f *File) { f.Runs = nil },
+			want:   "no runs",
+		},
+		"unknown proto": {
+			mutate: func(f *File) { f.Runs[0].Proto = "gnutella" },
+			want:   "unknown proto",
+		},
+		"duplicate proto": {
+			mutate: func(f *File) { f.Runs = append(f.Runs, goodRun("chord")) },
+			want:   "duplicate proto",
+		},
+		"zeroed hops": {
+			mutate: func(f *File) { f.Runs[0].MeanHops = 0 },
+			want:   "mean_hops",
+		},
+		"inverted percentiles": {
+			mutate: func(f *File) { f.Runs[0].P50Hops = 9 },
+			want:   "p99_hops below p50_hops",
+		},
+		"impossible hit rate": {
+			mutate: func(f *File) { f.Runs[0].AuxHitRate = 1.5 },
+			want:   "aux_hit_rate",
+		},
+	}
+	for name, tc := range cases {
+		f := NewFile([]Result{goodRun("chord")})
+		tc.mutate(f)
+		err := f.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", name, err, tc.want)
+		}
+	}
+
+	// Unknown fields mark a schema drift and must fail Load.
+	path := filepath.Join(t.TempDir(), "drift.json")
+	f := NewFile([]Result{goodRun("chord")})
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(b), `"mean_hops"`, `"avg_hops"`, 1)
+	if err := os.WriteFile(path, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a document with an unknown field")
+	}
+}
+
+// Compare gates mean hops per geometry, tolerates small regressions,
+// and ignores geometries missing from either side.
+func TestCompare(t *testing.T) {
+	baseline := NewFile([]Result{goodRun("chord"), goodRun("pastry")})
+
+	ok := goodRun("chord")
+	ok.MeanHops = baseline.Runs[0].MeanHops + 0.5
+	if err := Compare(baseline, []Result{ok}, 0.75); err != nil {
+		t.Fatalf("within-tolerance run rejected: %v", err)
+	}
+
+	bad := goodRun("chord")
+	bad.MeanHops = baseline.Runs[0].MeanHops + 1.0
+	if err := Compare(baseline, []Result{bad}, 0.75); err == nil {
+		t.Fatal("regressed run accepted")
+	}
+
+	novel := goodRun("kademlia") // not in baseline: ignored
+	novel.MeanHops = 99
+	if err := Compare(baseline, []Result{novel}, 0.75); err != nil {
+		t.Fatalf("novel geometry gated against nothing: %v", err)
+	}
+}

@@ -1,7 +1,7 @@
 // Package memnet is an in-process datagram network: a switchboard that
 // routes packets between registered endpoints with seeded, per-link
 // fault injection. It exists so multi-node tests of the live runtime
-// (internal/node) can boot clusters of 50–100 nodes in one process —
+// (internal/node) can boot clusters of 50–10000 nodes in one process —
 // no sockets, no port exhaustion, race detector on — and subject them
 // to the failure modes a real network serves up: loss, duplication,
 // latency jitter (and hence reordering), and partitions that appear and
@@ -39,21 +39,46 @@
 // # Determinism
 //
 // All fault sampling draws from one RNG seeded at construction, under
-// the network mutex. Given a fixed seed and a deterministic order of
-// sends, the fault pattern is exactly reproducible. Concurrent senders
-// make the interleaving — and therefore which send draws which random
-// number — subject to goroutine scheduling, so cluster tests get
-// statistical determinism (same seed → same distribution, reliably
-// passing assertions) rather than bit-identical traces. Single-threaded
-// tests get full determinism.
+// the sampling mutex. Given a fixed seed and a deterministic order of
+// sends, the fault pattern is exactly reproducible; delayed copies are
+// additionally delivered in a stable (due time, send sequence) order,
+// so a single-threaded sender observes one canonical delivery order per
+// seed. Concurrent senders make the interleaving — and therefore which
+// send draws which random number — subject to goroutine scheduling, so
+// cluster tests get statistical determinism (same seed → same
+// distribution, reliably passing assertions) rather than bit-identical
+// traces. Single-threaded tests get full determinism.
+//
+// # Scaling
+//
+// The switchboard is built to carry thousand-node clusters on one
+// process without a global choke point:
+//
+//   - The endpoint registry is sharded by address hash, so concurrent
+//     sends to different destinations take different locks. Fault
+//     policy (default/per-link overrides, partitions, forced drops)
+//     lives behind a read-write lock that the common perfect-network
+//     case only ever read-locks, and the RNG is touched — under its own
+//     mutex — only when the link's policy actually has something to
+//     sample.
+//   - Delayed deliveries go through one central scheduler: a timer heap
+//     drained by a single goroutine, instead of one runtime timer per
+//     datagram in flight. Immediate deliveries (no configured delay)
+//     stay synchronous on the sender's goroutine, exactly as before.
+//     The scheduler goroutine exists only while deliveries are pending,
+//     so an idle or fault-free network runs zero extra goroutines.
+//   - Stats are lock-free atomics.
 package memnet
 
 import (
+	"container/heap"
 	"fmt"
+	"hash/maphash"
 	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -88,63 +113,114 @@ type Stats struct {
 // loses datagrams rather than exerting backpressure on senders.
 const inboxCap = 512
 
+// shardCount is the size of the endpoint registry's shard array. Must
+// be a power of two. 64 shards keep the probability of two concurrent
+// sends colliding on a shard lock negligible at thousand-node scale
+// while costing nothing at two-node scale.
+const shardCount = 64
+
 type packet struct {
 	from string
 	data []byte
 }
 
+// shard is one slice of the endpoint registry with its own lock.
+type shard struct {
+	mu  sync.RWMutex
+	eps map[string]*Endpoint
+}
+
+// counters is the atomic backing store for Stats.
+type counters struct {
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	duplicated atomic.Uint64
+	blocked    atomic.Uint64
+	unroutable atomic.Uint64
+	overflow   atomic.Uint64
+}
+
 // Network is the switchboard. All methods are safe for concurrent use.
 //
-// Lock order: Network.mu is a leaf lock — nothing else is acquired
-// while it is held. Endpoint.Close takes Endpoint.mu and then
-// Network.mu (to deregister), so code holding Network.mu must never
-// take an Endpoint.mu; that is why CloseAll snapshots the endpoint set
-// under Network.mu and closes each endpoint only after releasing it,
-// and why the closed flag below (rather than holding the lock across
-// the closes) is what makes CloseAll/Listen race-free: a Listen that
-// wins the lock before CloseAll is included in the snapshot, and one
-// that loses sees closed and fails instead of registering an endpoint
-// nobody will ever close.
+// Lock order: regMu > shard.mu > (polMu | rngMu | sched.mu). regMu
+// serializes Listen against CloseAll (the only operations that mutate
+// the registry's closed flag together with shard contents); it is never
+// taken on the datagram path. Shard locks are taken for one shard at a
+// time on the send path and are leaves with respect to everything but
+// regMu. Endpoint.Close takes Endpoint.mu and then its shard's lock to
+// deregister, so code holding a shard lock must never take an
+// Endpoint.mu. CloseAll snapshots the endpoint set under regMu+shard
+// locks and closes each endpoint only after releasing them; the closed
+// flag (rather than holding locks across the closes) is what makes
+// CloseAll/Listen race-free: a Listen that wins regMu before CloseAll
+// is included in the snapshot, and one that loses sees closed and fails
+// instead of registering an endpoint nobody will ever close.
 type Network struct {
-	mu         sync.Mutex
-	rng        *rand.Rand
-	endpoints  map[string]*Endpoint
+	seed maphash.Seed
+
+	// regMu serializes registry membership changes (Listen, CloseAll)
+	// and guards closed and nextAuto. Never taken by route.
+	regMu    sync.Mutex
+	closed   bool // set by CloseAll; Listen fails afterwards
+	nextAuto int
+
+	shards [shardCount]shard
+
+	// polMu guards the fault-policy state. The send path read-locks it;
+	// only policy mutators (and a dropNext hit) write-lock.
+	polMu      sync.RWMutex
 	def        LinkPolicy
 	links      map[[2]string]LinkPolicy
 	dropNext   map[[2]string]int          // directed link → datagrams left to force-drop
 	partitions map[string]map[string]bool // name → member set
-	nextAuto   int
-	closed     bool // set by CloseAll; Listen fails afterwards
-	stats      Stats
+
+	// rngMu guards the fault-sampling RNG. Taken only when the link's
+	// policy actually requires a draw, so a perfect network never
+	// serializes senders through it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stats counters
+
+	sched deliveryScheduler
 }
 
 // New returns an empty network whose fault sampling derives from seed.
 func New(seed int64) *Network {
-	return &Network{
+	n := &Network{
+		seed:       maphash.MakeSeed(),
 		rng:        rand.New(rand.NewSource(seed)),
-		endpoints:  make(map[string]*Endpoint),
 		links:      make(map[[2]string]LinkPolicy),
 		dropNext:   make(map[[2]string]int),
 		partitions: make(map[string]map[string]bool),
 	}
+	for i := range n.shards {
+		n.shards[i].eps = make(map[string]*Endpoint)
+	}
+	return n
+}
+
+// shardFor returns the registry shard owning addr.
+func (n *Network) shardFor(addr string) *shard {
+	return &n.shards[maphash.String(n.seed, addr)&(shardCount-1)]
 }
 
 // SetDefaultPolicy installs the fault profile used by every link
 // without a specific override. It applies to datagrams sent after the
 // call.
 func (n *Network) SetDefaultPolicy(p LinkPolicy) {
-	n.mu.Lock()
+	n.polMu.Lock()
 	n.def = p
-	n.mu.Unlock()
+	n.polMu.Unlock()
 }
 
 // SetLinkPolicy overrides the fault profile of the directed link
 // from → to. Call it twice with the arguments swapped for a symmetric
 // fault.
 func (n *Network) SetLinkPolicy(from, to string, p LinkPolicy) {
-	n.mu.Lock()
+	n.polMu.Lock()
 	n.links[[2]string{from, to}] = p
-	n.mu.Unlock()
+	n.polMu.Unlock()
 }
 
 // Partition raises (or replaces) the named partition: datagrams
@@ -157,30 +233,30 @@ func (n *Network) Partition(name string, members ...string) {
 	for _, m := range members {
 		set[m] = true
 	}
-	n.mu.Lock()
+	n.polMu.Lock()
 	n.partitions[name] = set
-	n.mu.Unlock()
+	n.polMu.Unlock()
 }
 
 // Heal removes the named partition. Healing a partition that is not up
 // is a no-op.
 func (n *Network) Heal(name string) {
-	n.mu.Lock()
+	n.polMu.Lock()
 	delete(n.partitions, name)
-	n.mu.Unlock()
+	n.polMu.Unlock()
 }
 
 // HealAll removes every active partition and returns their names in
 // sorted order, so scenario drivers can restore full connectivity at a
 // quiescent point without tracking which partitions they raised.
 func (n *Network) HealAll() []string {
-	n.mu.Lock()
+	n.polMu.Lock()
 	names := make([]string, 0, len(n.partitions))
 	for name := range n.partitions {
 		names = append(names, name)
 	}
 	n.partitions = make(map[string]map[string]bool)
-	n.mu.Unlock()
+	n.polMu.Unlock()
 	sort.Strings(names)
 	return names
 }
@@ -192,20 +268,25 @@ func (n *Network) HealAll() []string {
 // need ("lose precisely the first GET response"). Forced drops count
 // in Stats.Dropped. Calling it again replaces any remaining count.
 func (n *Network) DropNext(from, to string, count int) {
-	n.mu.Lock()
+	n.polMu.Lock()
 	if count <= 0 {
 		delete(n.dropNext, [2]string{from, to})
 	} else {
 		n.dropNext[[2]string{from, to}] = count
 	}
-	n.mu.Unlock()
+	n.polMu.Unlock()
 }
 
 // Stats returns a snapshot of the delivery counters.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		Delivered:  n.stats.delivered.Load(),
+		Dropped:    n.stats.dropped.Load(),
+		Duplicated: n.stats.duplicated.Load(),
+		Blocked:    n.stats.blocked.Load(),
+		Unroutable: n.stats.unroutable.Load(),
+		Overflow:   n.stats.overflow.Load(),
+	}
 }
 
 // Listen registers a new endpoint under addr, or under an
@@ -214,8 +295,8 @@ func (n *Network) Stats() Stats {
 // is no SO_REUSEADDR escape hatch — a clash in a test is a bug).
 // After CloseAll the network is terminal and Listen always fails.
 func (n *Network) Listen(addr string) (*Endpoint, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
 	if n.closed {
 		return nil, fmt.Errorf("memnet: listen %q: %w", addr, net.ErrClosed)
 	}
@@ -223,41 +304,56 @@ func (n *Network) Listen(addr string) (*Endpoint, error) {
 		addr = fmt.Sprintf("mem/%d", n.nextAuto)
 		n.nextAuto++
 	}
-	if _, taken := n.endpoints[addr]; taken {
-		return nil, fmt.Errorf("memnet: address %q already bound", addr)
-	}
 	e := &Endpoint{
 		net:   n,
 		addr:  addr,
 		inbox: make(chan packet, inboxCap),
 		done:  make(chan struct{}),
 	}
-	n.endpoints[addr] = e
+	s := n.shardFor(addr)
+	s.mu.Lock()
+	if _, taken := s.eps[addr]; taken {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("memnet: address %q already bound", addr)
+	}
+	s.eps[addr] = e
+	s.mu.Unlock()
 	return e, nil
 }
 
 // CloseAll closes every registered endpoint and marks the network
 // terminal: any Listen racing with (or following) CloseAll either
-// registers before the flag flips — and is then closed here — or
-// fails with net.ErrClosed. Without the flag a Listen landing between
-// the snapshot and the closes would leave a live endpoint (and its
-// reader goroutine) behind forever. For test cleanup. Idempotent.
+// registers before the flag flips under regMu — and is then closed
+// here — or fails with net.ErrClosed. Without the flag a Listen
+// landing between the snapshot and the closes would leave a live
+// endpoint (and its reader goroutine) behind forever. It also stops
+// the delivery scheduler: pending delayed datagrams are discarded
+// (their receivers are closing anyway) and counted Unroutable. For
+// test cleanup. Idempotent.
 func (n *Network) CloseAll() {
-	n.mu.Lock()
+	n.regMu.Lock()
 	n.closed = true
-	eps := make([]*Endpoint, 0, len(n.endpoints))
-	for _, e := range n.endpoints {
-		eps = append(eps, e)
+	var eps []*Endpoint
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.RLock()
+		for _, e := range s.eps {
+			eps = append(eps, e)
+		}
+		s.mu.RUnlock()
 	}
-	n.mu.Unlock()
+	n.regMu.Unlock()
 	for _, e := range eps {
 		e.Close()
 	}
+	if discarded := n.sched.stop(); discarded > 0 {
+		n.stats.unroutable.Add(uint64(discarded))
+	}
 }
 
-// separated reports whether any active partition puts a and b on
-// opposite sides. Caller holds n.mu.
-func (n *Network) separated(a, b string) bool {
+// separatedLocked reports whether any active partition puts a and b on
+// opposite sides. Caller holds polMu (read or write).
+func (n *Network) separatedLocked(a, b string) bool {
 	for _, set := range n.partitions {
 		if set[a] != set[b] {
 			return true
@@ -269,68 +365,213 @@ func (n *Network) separated(a, b string) bool {
 // route applies the fault model to one datagram from src to dst and
 // schedules the surviving copies for delivery.
 func (n *Network) route(src, dst string, data []byte) {
-	n.mu.Lock()
-	e, ok := n.endpoints[dst]
+	s := n.shardFor(dst)
+	s.mu.RLock()
+	e, ok := s.eps[dst]
+	s.mu.RUnlock()
 	if !ok || e.isClosed() {
-		n.stats.Unroutable++
-		n.mu.Unlock()
+		n.stats.unroutable.Add(1)
 		return
 	}
-	if n.separated(src, dst) {
-		n.stats.Blocked++
-		n.mu.Unlock()
-		return
-	}
+
 	link := [2]string{src, dst}
-	if left, forced := n.dropNext[link]; forced {
-		if left <= 1 {
-			delete(n.dropNext, link)
-		} else {
-			n.dropNext[link] = left - 1
-		}
-		n.stats.Dropped++
-		n.mu.Unlock()
+	n.polMu.RLock()
+	if n.separatedLocked(src, dst) {
+		n.polMu.RUnlock()
+		n.stats.blocked.Add(1)
 		return
 	}
-	pol, ok := n.links[link]
-	if !ok {
+	forced := len(n.dropNext) > 0 // cheap pre-check; exact count below
+	pol, havePol := n.links[link]
+	if !havePol {
 		pol = n.def
 	}
-	if pol.Drop > 0 && n.rng.Float64() < pol.Drop {
-		n.stats.Dropped++
-		n.mu.Unlock()
-		return
-	}
-	copies := 1
-	if pol.Dup > 0 && n.rng.Float64() < pol.Dup {
-		copies = 2
-		n.stats.Duplicated++
-	}
-	delays := make([]time.Duration, copies)
-	for i := range delays {
-		delays[i] = pol.MinDelay
-		if jitter := pol.MaxDelay - pol.MinDelay; jitter > 0 {
-			delays[i] += time.Duration(n.rng.Int63n(int64(jitter) + 1))
+	n.polMu.RUnlock()
+
+	if forced {
+		// Re-check under the write lock: the read-locked peek only says
+		// some link has a forced count, this link may not.
+		n.polMu.Lock()
+		if left, hit := n.dropNext[link]; hit {
+			if left <= 1 {
+				delete(n.dropNext, link)
+			} else {
+				n.dropNext[link] = left - 1
+			}
+			n.polMu.Unlock()
+			n.stats.dropped.Add(1)
+			return
 		}
+		n.polMu.Unlock()
 	}
-	n.mu.Unlock()
+
+	// Sample every fault decision for this datagram in one RNG
+	// critical section, in the fixed order drop → dup → per-copy
+	// delay, so a single-threaded sender draws the same sequence the
+	// pre-sharding switchboard drew for the same seed.
+	copies := 1
+	var delays [2]time.Duration
+	if pol.Drop > 0 || pol.Dup > 0 || pol.MaxDelay > pol.MinDelay {
+		n.rngMu.Lock()
+		if pol.Drop > 0 && n.rng.Float64() < pol.Drop {
+			n.rngMu.Unlock()
+			n.stats.dropped.Add(1)
+			return
+		}
+		if pol.Dup > 0 && n.rng.Float64() < pol.Dup {
+			copies = 2
+			n.stats.duplicated.Add(1)
+		}
+		for i := 0; i < copies; i++ {
+			delays[i] = pol.MinDelay
+			if jitter := pol.MaxDelay - pol.MinDelay; jitter > 0 {
+				delays[i] += time.Duration(n.rng.Int63n(int64(jitter) + 1))
+			}
+		}
+		n.rngMu.Unlock()
+	} else {
+		delays[0] = pol.MinDelay
+		delays[1] = pol.MinDelay
+	}
 
 	// The receiver keeps its own copy: the sender is free to reuse its
 	// buffer the moment WriteTo returns, exactly as with a socket.
 	p := packet{from: src, data: append([]byte(nil), data...)}
-	for i, d := range delays {
+	for i := 0; i < copies; i++ {
 		pkt := p
 		if i > 0 {
 			// Independent copy for the duplicate so a receiver
 			// mutating one datagram in place cannot corrupt the other.
 			pkt.data = append([]byte(nil), data...)
 		}
-		if d == 0 {
+		if delays[i] == 0 {
 			e.enqueue(pkt)
 		} else {
-			time.AfterFunc(d, func() { e.enqueue(pkt) })
+			n.sched.schedule(delays[i], e, pkt)
 		}
 	}
+}
+
+// delivery is one delayed datagram waiting in the scheduler's heap.
+type delivery struct {
+	due time.Time
+	seq uint64 // insertion order; breaks due-time ties deterministically
+	ep  *Endpoint
+	pkt packet
+}
+
+// deliveryHeap orders deliveries by (due, seq): earliest first, and
+// among same-instant deliveries, send order — which is what makes the
+// delivery order of a single-threaded seeded scenario reproducible.
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
+
+// deliveryScheduler drains delayed deliveries with one goroutine and
+// one timer heap, replacing the one-runtime-timer-per-datagram design
+// that capped cluster sizes. The goroutine runs only while the heap is
+// non-empty: schedule starts it on demand, and it exits when the heap
+// drains, so an idle network holds no goroutine and tests that never
+// configure delay never start one.
+type deliveryScheduler struct {
+	mu      sync.Mutex
+	heap    deliveryHeap
+	seq     uint64
+	running bool
+	stopped bool
+	wake    chan struct{} // kicks the drain goroutine when an earlier due arrives
+}
+
+// schedule enqueues one delivery d from now. A stopped scheduler (the
+// network is closing) discards the packet; the caller's endpoints are
+// being closed anyway and the drop is counted by the caller.
+func (s *deliveryScheduler) schedule(d time.Duration, ep *Endpoint, pkt packet) {
+	due := time.Now().Add(d)
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		ep.net.stats.unroutable.Add(1)
+		return
+	}
+	s.seq++
+	heap.Push(&s.heap, delivery{due: due, seq: s.seq, ep: ep, pkt: pkt})
+	if !s.running {
+		s.running = true
+		if s.wake == nil {
+			s.wake = make(chan struct{}, 1)
+		}
+		s.mu.Unlock()
+		go s.drain()
+		return
+	}
+	// Nudge the drain goroutine in case the new delivery is due before
+	// whatever it is currently sleeping toward.
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// drain delivers heap entries in (due, seq) order until the heap is
+// empty or the scheduler stops, then exits.
+func (s *deliveryScheduler) drain() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		if s.stopped || len(s.heap) == 0 {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		if d := s.heap[0].due.Sub(now); d > 0 {
+			s.mu.Unlock()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-s.wake:
+			}
+			continue
+		}
+		dl := heap.Pop(&s.heap).(delivery)
+		s.mu.Unlock()
+		dl.ep.enqueue(dl.pkt)
+	}
+}
+
+// stop marks the scheduler terminal and returns how many pending
+// deliveries it discarded. The drain goroutine, if running, exits at
+// its next wakeup.
+func (s *deliveryScheduler) stop() int {
+	s.mu.Lock()
+	s.stopped = true
+	discarded := len(s.heap)
+	s.heap = nil
+	if s.wake != nil {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+	return discarded
 }
 
 // Endpoint is one bound address on the network. It satisfies
@@ -396,9 +637,12 @@ func (e *Endpoint) Close() error {
 	e.closed = true
 	e.mu.Unlock()
 	close(e.done)
-	e.net.mu.Lock()
-	delete(e.net.endpoints, e.addr)
-	e.net.mu.Unlock()
+	s := e.net.shardFor(e.addr)
+	s.mu.Lock()
+	if s.eps[e.addr] == e {
+		delete(s.eps, e.addr)
+	}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -407,20 +651,14 @@ func (e *Endpoint) Close() error {
 func (e *Endpoint) enqueue(pkt packet) {
 	select {
 	case <-e.done:
-		e.net.mu.Lock()
-		e.net.stats.Unroutable++
-		e.net.mu.Unlock()
+		e.net.stats.unroutable.Add(1)
 		return
 	default:
 	}
 	select {
 	case e.inbox <- pkt:
-		e.net.mu.Lock()
-		e.net.stats.Delivered++
-		e.net.mu.Unlock()
+		e.net.stats.delivered.Add(1)
 	default:
-		e.net.mu.Lock()
-		e.net.stats.Overflow++
-		e.net.mu.Unlock()
+		e.net.stats.overflow.Add(1)
 	}
 }

@@ -37,7 +37,6 @@ package node
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"slices"
 	"sort"
 	"sync"
@@ -142,6 +141,13 @@ type Config struct {
 	// the real-socket provider). Tests swap in memnet to run whole
 	// clusters in one process; Addr is interpreted by the provider.
 	Listen Listener
+	// Scheduler drives the maintenance loops (default: one goroutine
+	// and one time.Ticker per job). Large in-process clusters inject a
+	// shared NewBatchScheduler so thousands of nodes share one timer
+	// heap and a bounded worker pool instead of spawning four ticker
+	// goroutines each. The scheduler must outlive the node: close nodes
+	// before closing a shared scheduler.
+	Scheduler Scheduler
 	// DisableHealProbe turns off the per-stabilize probe of one random
 	// cached contact. The probe is what lets two rings that diverged
 	// during a network partition merge again after it heals; disable
@@ -231,17 +237,27 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Listen == nil {
 		c.Listen = ListenUDP
 	}
+	if c.Scheduler == nil {
+		c.Scheduler = goTickers{}
+	}
 	return c, nil
 }
 
 // Metrics is a snapshot of the node's counters.
 type Metrics struct {
 	DatagramsIn, DatagramsOut uint64
-	DecodeErrors              uint64
-	RPCs, Retries, Timeouts   uint64
-	Lookups, LookupHops       uint64
-	LookupFailures            uint64
-	AuxRecomputes             uint64
+	// BytesIn/BytesOut are cumulative wire bytes through the endpoint
+	// (payload bytes as handed to/from the datagram transport).
+	BytesIn, BytesOut       uint64
+	DecodeErrors            uint64
+	RPCs, Retries, Timeouts uint64
+	Lookups, LookupHops     uint64
+	LookupFailures          uint64
+	AuxRecomputes           uint64
+	// AuxHits counts resolved lookups whose winning first-hop probe hit
+	// a current auxiliary neighbor — the paper's cache-hit event: the
+	// aux shortcut finished the walk in one step.
+	AuxHits uint64
 
 	// Data plane (kv.go). Issued counters track this node acting as a
 	// client, Served counters track it answering peers; StoreHits and
@@ -284,11 +300,6 @@ type Node struct {
 	addrMu sync.RWMutex
 	addrs  map[id.ID]string
 
-	// probeRNG picks the heal-probe target. Only the stabilize ticker
-	// goroutine touches it, so it needs no lock; seeding it from the
-	// node id keeps multi-node tests reproducible.
-	probeRNG *rand.Rand
-
 	// Data plane (kv.go): the authoritative item store, the bounded
 	// cache of copies picked up on the GET path (nil when disabled),
 	// and the key→owner hint cache that lets recomputeAux alias an aux
@@ -302,14 +313,16 @@ type Node struct {
 	replMu          sync.Mutex
 	lastReplTargets []id.ID
 
-	stop     chan struct{}
+	// jobs are the maintenance loops registered with the scheduler;
+	// populated once in Start, then read-only until shutdown.
+	jobs     []JobHandle
 	stopOnce sync.Once
-	wg       sync.WaitGroup
 
 	lookups     atomic.Uint64
 	lookupHops  atomic.Uint64
 	lookupFails atomic.Uint64
 	auxRecomps  atomic.Uint64
+	auxHits     atomic.Uint64
 
 	putsIssued, getsIssued  atomic.Uint64
 	putsServed, getsServed  atomic.Uint64
@@ -354,11 +367,9 @@ func Start(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: advertise address %q exceeds %d bytes", adv, wire.MaxAddrLen)
 	}
 	n := &Node{
-		cfg:      cfg,
-		self:     wire.Contact{ID: cfg.ID, Addr: adv},
-		stop:     make(chan struct{}),
-		addrs:    make(map[id.ID]string),
-		probeRNG: rand.New(rand.NewSource(int64(cfg.ID) + 1)),
+		cfg:   cfg,
+		self:  wire.Contact{ID: cfg.ID, Addr: adv},
+		addrs: make(map[id.ID]string),
 	}
 	n.store = newStore(cfg.StoreCapacity, cfg.StoreTTL)
 	if cfg.ItemCacheCapacity > 0 {
@@ -383,35 +394,22 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n.tr.start()
 
-	n.ticker(cfg.StabilizeEvery, n.stabilize)
-	n.ticker(cfg.FixFingersEvery, n.rt.RepairTable)
+	n.every(cfg.StabilizeEvery, n.stabilize)
+	n.every(cfg.FixFingersEvery, n.rt.RepairTable)
 	if cfg.AuxEvery > 0 && cfg.AuxCount > 0 {
-		n.ticker(cfg.AuxEvery, func() {
+		n.every(cfg.AuxEvery, func() {
 			n.recomputeAux(true)
 		})
 	}
 	if cfg.ReplicateEvery > 0 {
-		n.ticker(cfg.ReplicateEvery, n.ReplicationRound)
+		n.every(cfg.ReplicateEvery, n.ReplicationRound)
 	}
 	return n, nil
 }
 
-// ticker runs fn every period until Close.
-func (n *Node) ticker(period time.Duration, fn func()) {
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		t := time.NewTicker(period)
-		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				fn()
-			case <-n.stop:
-				return
-			}
-		}
-	}()
+// every registers fn with the scheduler to run each period until Close.
+func (n *Node) every(period time.Duration, fn func()) {
+	n.jobs = append(n.jobs, n.cfg.Scheduler.Every(period, fn))
 }
 
 // Close stops the maintenance loops and shuts the endpoint down. Safe
@@ -420,16 +418,19 @@ func (n *Node) ticker(period time.Duration, fn func()) {
 // Shutdown ordering, which the goroutine-leak test in close_test.go
 // pins down:
 //
-//  1. n.stop is closed: every ticker goroutine exits at its next select.
+//  1. Every maintenance job is cancelled: no new round starts (under
+//     the default scheduler the ticker goroutine exits at its next
+//     select).
 //  2. The transport closes its done channel, so every RPC currently
-//     blocked in call — including ones issued by a ticker mid-round —
+//     blocked in call — including ones issued by a round mid-flight —
 //     returns ErrClosed immediately instead of waiting out its timeout.
 //  3. The endpoint is closed, unblocking the read loop's ReadFrom, and
 //     the transport waits for the read loop to return.
-//  4. n.wg.Wait() collects the ticker goroutines (now unblocked by 2).
+//  4. Waiting on each job collects the in-flight maintenance rounds
+//     (now unblocked by 2).
 //
-// After Close returns, no goroutine started by this node survives and
-// no new datagram can be sent: transport.send and call both fail
+// After Close returns, no maintenance code of this node is executing
+// and no new datagram can be sent: transport.send and call both fail
 // against the closed endpoint, so a straggling caller cannot write to
 // the network post-close.
 func (n *Node) Close() error { return n.shutdown(false) }
@@ -459,13 +460,22 @@ func (n *Node) shutdown(crash bool) error {
 	var err error
 	n.stopOnce.Do(func() {
 		if crash {
+			// Crash-stop: the transport dies first, mid-protocol, with
+			// the maintenance jobs still armed — peers see the node
+			// vanish exactly as they would a killed process.
 			err = n.tr.close()
-			close(n.stop)
+			for _, j := range n.jobs {
+				j.Cancel()
+			}
 		} else {
-			close(n.stop)
+			for _, j := range n.jobs {
+				j.Cancel()
+			}
 			err = n.tr.close()
 		}
-		n.wg.Wait()
+		for _, j := range n.jobs {
+			j.Wait()
+		}
 	})
 	return err
 }
@@ -533,6 +543,9 @@ func (n *Node) Metrics() Metrics {
 		LookupHops:     n.lookupHops.Load(),
 		LookupFailures: n.lookupFails.Load(),
 		AuxRecomputes:  n.auxRecomps.Load(),
+		AuxHits:        n.auxHits.Load(),
+		BytesIn:        n.tr.bytesIn.Load(),
+		BytesOut:       n.tr.bytesOut.Load(),
 		PutsIssued:     n.putsIssued.Load(),
 		GetsIssued:     n.getsIssued.Load(),
 		PutsServed:     n.putsServed.Load(),
@@ -563,6 +576,17 @@ func (n *Node) noteContact(c wire.Contact) {
 	if c.ID == n.self.ID || c.Addr == "" {
 		return
 	}
+	// Fast path: almost every note re-records an address the cache
+	// already has (every handled request and parsed response notes its
+	// contacts), so check under the read lock first — at cluster scale
+	// the unconditional write lock here serialized the read loops of
+	// every node in the process.
+	n.addrMu.RLock()
+	known := n.addrs[c.ID] == c.Addr
+	n.addrMu.RUnlock()
+	if known {
+		return
+	}
 	n.addrMu.Lock()
 	n.addrs[c.ID] = c.Addr
 	n.addrMu.Unlock()
@@ -587,21 +611,22 @@ func (n *Node) forgetAddr(x id.ID, failed string) {
 	n.addrMu.Unlock()
 }
 
-// randomCached reservoir-samples one contact from the address cache
-// (the heal probe's candidate pool: every peer the node has ever heard
-// from, including ones long dropped from the routing state).
-func (n *Node) randomCached(rng *rand.Rand) (wire.Contact, bool) {
+// randomCached samples one contact from the address cache (the heal
+// probe's candidate pool: every peer the node has ever heard from,
+// including ones long dropped from the routing state). It takes the
+// first entry of a map iteration — the runtime starts each iteration
+// at a random position, which gives every entry a nonzero chance per
+// round without walking the whole cache. The slight bucket-occupancy
+// bias is irrelevant for a liveness probe, and a full reservoir pass
+// was the top per-round cost at thousand-node scale (O(n) iteration
+// plus an RNG draw per entry, per node, per stabilize round).
+func (n *Node) randomCached() (wire.Contact, bool) {
 	n.addrMu.RLock()
 	defer n.addrMu.RUnlock()
-	var pick wire.Contact
-	i := 0
 	for x, addr := range n.addrs {
-		if rng.Intn(i+1) == 0 {
-			pick = wire.Contact{ID: x, Addr: addr}
-		}
-		i++
+		return wire.Contact{ID: x, Addr: addr}, true
 	}
-	return pick, i > 0
+	return wire.Contact{}, false
 }
 
 // Join enters the overlay through a peer listening at bootstrap,
@@ -815,6 +840,7 @@ func (n *Node) race(target id.ID, seed []wire.Contact, valueMode bool) (raceOutc
 		n.noteContact(r.resp.From)
 		if valueMode {
 			if r.resp.OK {
+				n.noteAuxHit(r)
 				return raceOutcome{owner: r.peer, value: r.resp.Value, version: r.resp.Version, hasValue: true, hops: r.depth}, nil
 			}
 			for _, c := range r.resp.Closest {
@@ -832,6 +858,7 @@ func (n *Node) race(target id.ID, seed []wire.Contact, valueMode bool) (raceOutc
 				continue
 			}
 			n.noteContact(found)
+			n.noteAuxHit(r)
 			return raceOutcome{owner: found, hops: r.depth}, nil
 		}
 		for _, c := range candidates {
@@ -850,6 +877,24 @@ func (n *Node) race(target id.ID, seed []wire.Contact, valueMode bool) (raceOutc
 		return raceOutcome{hops: hops}, fmt.Errorf("node: find-value %d: %w", target, ErrNotFound)
 	}
 	return raceOutcome{hops: hops}, fmt.Errorf("node: lookup %d: no progress at %v", target, lastPeer)
+}
+
+// noteAuxHit records the paper's cache-hit event: the probe that
+// resolved the lookup was a first-hop probe aimed at a current
+// auxiliary neighbor, so the aux shortcut finished the walk in one
+// step. Owner-aliased entries count too — their frontier contact
+// carries the aliased key position as its id, which is exactly what
+// the aux set holds.
+func (n *Node) noteAuxHit(r probeResult) {
+	if r.depth != 1 {
+		return
+	}
+	for _, a := range n.rt.Aux() {
+		if a.ID == r.peer.ID {
+			n.auxHits.Add(1)
+			return
+		}
+	}
 }
 
 // Lookup is FindSuccessor for application traffic: the looked-up key is
@@ -933,7 +978,7 @@ func (n *Node) healProbe() {
 	if n.cfg.DisableHealProbe {
 		return
 	}
-	c, ok := n.randomCached(n.probeRNG)
+	c, ok := n.randomCached()
 	if !ok {
 		return
 	}

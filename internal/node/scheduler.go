@@ -1,0 +1,326 @@
+package node
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Scheduler abstracts how a node's periodic maintenance work (the
+// stabilize / table-repair / aux-recompute / replication rounds) gets
+// driven. The default — one goroutine and one time.Ticker per job —
+// is exactly right for a daemon running a handful of nodes per
+// process: isolation is perfect and the runtime's timer wheel does the
+// batching. It is exactly wrong for a thousand-node in-process
+// cluster, where four tickers per node mean thousands of goroutines
+// doing nothing but sleeping; harnesses (internal/cluster,
+// internal/soak, internal/livebench) inject one shared BatchScheduler
+// instead and collapse all of it into a single timer heap and a small
+// worker pool.
+//
+// Implementations must be safe for concurrent use: nodes register jobs
+// from Start and stop them from Close on arbitrary goroutines.
+type Scheduler interface {
+	// Every schedules fn to run once per period until the returned
+	// handle is stopped. The first run happens no earlier than half a
+	// period from now (implementations may stagger it within one
+	// period to spread load). Runs of one job never overlap: a slow fn
+	// delays its own next run, never stacks it.
+	Every(period time.Duration, fn func()) JobHandle
+}
+
+// JobHandle controls one scheduled job. The two-phase stop mirrors the
+// node's shutdown ordering: Cancel prevents future runs while the
+// transport is being torn down (so an in-flight round's RPCs fail fast
+// instead of waiting out their timeouts), and Wait then collects the
+// in-flight run, guaranteeing no maintenance code is still executing
+// when Close returns.
+type JobHandle interface {
+	// Cancel prevents any future run from starting. It does not wait
+	// for an in-flight run. Idempotent.
+	Cancel()
+	// Wait blocks until no run of the job is executing. Call after
+	// Cancel.
+	Wait()
+}
+
+// goTickers is the default Scheduler: one goroutine per job, exactly
+// the pre-Scheduler behavior of the node runtime.
+type goTickers struct{}
+
+type tickerJob struct {
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+func (goTickers) Every(period time.Duration, fn func()) JobHandle {
+	j := &tickerJob{done: make(chan struct{})}
+	j.wg.Add(1)
+	go func() {
+		defer j.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn()
+			case <-j.done:
+				return
+			}
+		}
+	}()
+	return j
+}
+
+func (j *tickerJob) Cancel() { j.once.Do(func() { close(j.done) }) }
+func (j *tickerJob) Wait()   { j.wg.Wait() }
+
+// BatchScheduler drives any number of periodic jobs with one
+// dispatcher goroutine (a timer heap over next-due times) and a fixed
+// worker pool. It exists for in-process cluster harnesses: a 1024-node
+// cluster registers ~4k maintenance jobs, which as individual tickers
+// would be ~4k goroutines permanently parked in runtime timer code;
+// batched, they are one heap and (by default) a few dozen workers.
+//
+// Jobs are re-armed when their run finishes (next due = completion
+// time + period), so one job never runs concurrently with itself and a
+// stalled fn — a maintenance round waiting out RPC timeouts behind a
+// partition — delays only itself. Distinct jobs sharing the pool can
+// delay each other when every worker is blocked; size workers for the
+// worst expected number of simultaneously-stalled rounds, not for
+// throughput (healthy runs are short; blocking on lost RPCs is what
+// occupies a worker).
+//
+// Initial due times are staggered deterministically across one period
+// (by registration order) so a thousand nodes registering the same
+// stabilize period do not all fire on the same tick forever.
+type BatchScheduler struct {
+	// base anchors the monotonic clock: every due time is a duration
+	// since base, so heap comparisons are two int64s instead of
+	// time.Time unpacking — measurable at ~4k jobs re-arming forever.
+	base time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   batchHeap
+	seq    uint64
+	closed bool
+
+	wake  chan struct{}
+	runCh chan *batchJob
+
+	dispWG sync.WaitGroup
+	workWG sync.WaitGroup
+}
+
+// NewBatchScheduler returns a running scheduler with the given worker
+// count; workers <= 0 selects a default sized for maintenance rounds
+// that may block on RPC timeouts (4×GOMAXPROCS, min 16). Close it only
+// after the nodes using it have closed.
+func NewBatchScheduler(workers int) *BatchScheduler {
+	if workers <= 0 {
+		workers = 4 * runtime.GOMAXPROCS(0)
+		if workers < 16 {
+			workers = 16
+		}
+	}
+	s := &BatchScheduler{
+		base:  time.Now(),
+		wake:  make(chan struct{}, 1),
+		runCh: make(chan *batchJob),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.dispWG.Add(1)
+	go s.dispatch()
+	for i := 0; i < workers; i++ {
+		s.workWG.Add(1)
+		go s.work()
+	}
+	return s
+}
+
+type batchJob struct {
+	s         *BatchScheduler
+	period    time.Duration
+	fn        func()
+	due       time.Duration // monotonic offset from s.base
+	seq       uint64
+	cancelled bool
+	running   bool
+}
+
+type batchHeap []*batchJob
+
+func (h batchHeap) Len() int { return len(h) }
+func (h batchHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h batchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *batchHeap) Push(x any)   { *h = append(*h, x.(*batchJob)) }
+func (h *batchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+func pushJob(h *batchHeap, j *batchJob) { heap.Push(h, j) }
+func popJob(h *batchHeap) *batchJob     { return heap.Pop(h).(*batchJob) }
+
+// Every registers a job. On a closed scheduler the job never runs and
+// its handle is inert.
+func (s *BatchScheduler) Every(period time.Duration, fn func()) JobHandle {
+	j := &batchJob{s: s, period: period, fn: fn}
+	s.mu.Lock()
+	if s.closed {
+		j.cancelled = true
+		s.mu.Unlock()
+		return j
+	}
+	s.seq++
+	j.seq = s.seq
+	// Deterministic stagger: spread first runs across one period by
+	// registration order, so same-period jobs from a large cluster
+	// don't all come due at the same instant every cycle.
+	j.due = time.Since(s.base) + period/2 + time.Duration(j.seq%64)*period/64
+	pushJob(&s.heap, j)
+	s.mu.Unlock()
+	s.kick()
+	return j
+}
+
+// kick nudges the dispatcher out of whatever it is blocked on.
+func (s *BatchScheduler) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch pops due jobs off the heap and hands them to workers. Every
+// blocking point selects on s.wake, so Close (which sets closed and
+// kicks) is guaranteed to reach the top-of-loop closed check; Close
+// must not close runCh until dispatch has returned.
+func (s *BatchScheduler) dispatch() {
+	defer s.dispWG.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		// Discard cancelled entries eagerly so a churned-down cluster's
+		// dead jobs don't linger until their next due time.
+		for len(s.heap) > 0 && s.heap[0].cancelled {
+			popJob(&s.heap)
+		}
+		if len(s.heap) == 0 {
+			s.mu.Unlock()
+			<-s.wake
+			continue
+		}
+		if d := s.heap[0].due - time.Since(s.base); d > 0 {
+			s.mu.Unlock()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-s.wake:
+			}
+			continue
+		}
+		j := popJob(&s.heap)
+		j.running = true
+		s.mu.Unlock()
+		select {
+		case s.runCh <- j:
+		case <-s.wake:
+			// Woken while holding a claimed job: unclaim it so Wait
+			// callers don't hang on a run that never starts, then loop
+			// (the top-of-loop check handles Close; a spurious wake just
+			// requeues the job as immediately due again).
+			s.mu.Lock()
+			j.running = false
+			if !j.cancelled && !s.closed {
+				pushJob(&s.heap, j)
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// work runs jobs handed over by the dispatcher and re-arms them.
+func (s *BatchScheduler) work() {
+	defer s.workWG.Done()
+	for j := range s.runCh {
+		s.mu.Lock()
+		cancelled := j.cancelled
+		s.mu.Unlock()
+		if !cancelled {
+			j.fn()
+		}
+		s.mu.Lock()
+		j.running = false
+		if !j.cancelled && !s.closed {
+			j.due = time.Since(s.base) + j.period
+			pushJob(&s.heap, j)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.kick()
+	}
+}
+
+// Close stops the dispatcher and workers, discards pending jobs, and
+// waits for in-flight runs to finish. Close the nodes using the
+// scheduler first: their shutdown needs a live pool to collect
+// in-flight maintenance rounds. Idempotent.
+func (s *BatchScheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.heap = nil
+	s.mu.Unlock()
+	s.kick()
+	s.dispWG.Wait() // dispatcher gone: nobody can send on runCh anymore
+	close(s.runCh)
+	s.workWG.Wait()
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (j *batchJob) Cancel() {
+	s := j.s
+	s.mu.Lock()
+	j.cancelled = true
+	s.mu.Unlock()
+	s.kick()
+}
+
+func (j *batchJob) Wait() {
+	s := j.s
+	s.mu.Lock()
+	for j.running {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,142 @@
+package node
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Both Scheduler implementations must run a job repeatedly and honor
+// the two-phase Cancel/Wait stop.
+func TestSchedulersRunAndStop(t *testing.T) {
+	batch := NewBatchScheduler(4)
+	defer batch.Close()
+	for name, s := range map[string]Scheduler{
+		"goTickers": goTickers{},
+		"batch":     batch,
+	} {
+		var runs atomic.Int64
+		h := s.Every(2*time.Millisecond, func() { runs.Add(1) })
+		deadline := time.Now().Add(5 * time.Second)
+		for runs.Load() < 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: job ran %d times in 5s, want >= 3", name, runs.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		h.Cancel()
+		h.Cancel() // idempotent
+		h.Wait()
+		stopped := runs.Load()
+		time.Sleep(20 * time.Millisecond)
+		if got := runs.Load(); got != stopped {
+			t.Fatalf("%s: job ran %d more times after Cancel+Wait", name, got-stopped)
+		}
+	}
+}
+
+// Wait must block until an in-flight run has finished — a caller that
+// returns from Cancel+Wait needs the guarantee that no job code is
+// still executing (the node relies on this to tear down its transport
+// safely).
+func TestBatchSchedulerWaitCollectsInFlightRun(t *testing.T) {
+	s := NewBatchScheduler(2)
+	defer s.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var inFn atomic.Bool
+	h := s.Every(time.Millisecond, func() {
+		inFn.Store(true)
+		started <- struct{}{}
+		<-release
+		inFn.Store(false)
+	})
+
+	<-started // a run is now blocked inside fn
+	h.Cancel()
+	waited := make(chan struct{})
+	go func() {
+		h.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+		t.Fatal("Wait returned while the run was still executing")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never returned after the run finished")
+	}
+	if inFn.Load() {
+		t.Fatal("fn still marked in-flight after Wait")
+	}
+}
+
+// A job must never overlap itself: a slow run delays the next one
+// rather than stacking a second execution on another worker.
+func TestBatchSchedulerNoSelfOverlap(t *testing.T) {
+	s := NewBatchScheduler(8)
+	defer s.Close()
+
+	var concurrent, max atomic.Int64
+	h := s.Every(time.Millisecond, func() {
+		c := concurrent.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(3 * time.Millisecond) // slower than the period
+		concurrent.Add(-1)
+	})
+	time.Sleep(50 * time.Millisecond)
+	h.Cancel()
+	h.Wait()
+	if m := max.Load(); m != 1 {
+		t.Fatalf("job overlapped itself: %d concurrent runs observed", m)
+	}
+}
+
+// Many short jobs must share the fixed pool without loss, and Close
+// must collect everything without deadlock while handles are being
+// cancelled concurrently (run under -race).
+func TestBatchSchedulerManyJobsAndClose(t *testing.T) {
+	s := NewBatchScheduler(4)
+	const jobs = 200
+	var runs atomic.Int64
+	handles := make([]JobHandle, jobs)
+	for i := range handles {
+		handles[i] = s.Every(2*time.Millisecond, func() { runs.Add(1) })
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runs.Load() < jobs { // every job fires at least... some do; pool keeps up
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d runs across %d jobs in 10s", runs.Load(), jobs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for _, h := range handles[:jobs/2] {
+		wg.Add(1)
+		go func(h JobHandle) {
+			defer wg.Done()
+			h.Cancel()
+			h.Wait()
+		}(h)
+	}
+	wg.Wait()
+	s.Close()
+	s.Close() // idempotent
+
+	// A closed scheduler hands back inert handles.
+	h := s.Every(time.Millisecond, func() { t.Error("job ran on a closed scheduler") })
+	h.Cancel()
+	h.Wait()
+	time.Sleep(10 * time.Millisecond)
+}

@@ -53,10 +53,25 @@ type transport struct {
 	// Counters, all atomic; surfaced through Node.Metrics.
 	datagramsIn  atomic.Uint64
 	datagramsOut atomic.Uint64
+	bytesIn      atomic.Uint64
+	bytesOut     atomic.Uint64
 	decodeErrs   atomic.Uint64
 	rpcs         atomic.Uint64
 	retries      atomic.Uint64
 	timeouts     atomic.Uint64
+}
+
+// encBufs recycles encode buffers across sends. Both datagram writers
+// (real UDP sockets and memnet endpoints) copy the payload before
+// WriteTo returns, so a buffer can go back in the pool immediately
+// after the write; without this every datagram — including each hop of
+// every lookup — allocated its own encode buffer, the top allocation
+// site in the 1k-node live-bench profile.
+var encBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
 }
 
 func newTransport(conn PacketConn, self wire.Contact, handler func(*wire.Message, string)) *transport {
@@ -93,6 +108,7 @@ func (t *transport) readLoop() {
 			continue
 		}
 		t.datagramsIn.Add(1)
+		t.bytesIn.Add(uint64(n))
 		m, err := wire.Decode(buf[:n])
 		if err != nil {
 			t.decodeErrs.Add(1)
@@ -118,13 +134,18 @@ func (t *transport) readLoop() {
 // surfaced: over a datagram network a lost send and a lost packet are
 // the same event, and the caller's timeout handles both.
 func (t *transport) send(dst string, m *wire.Message) {
-	b, err := wire.Encode(m)
+	bp := encBufs.Get().(*[]byte)
+	b, err := wire.AppendEncode((*bp)[:0], m)
 	if err != nil {
+		encBufs.Put(bp)
 		return
 	}
 	if _, err := t.conn.WriteTo(b, dst); err == nil {
 		t.datagramsOut.Add(1)
+		t.bytesOut.Add(uint64(len(b)))
 	}
+	*bp = b[:0]
+	encBufs.Put(bp)
 }
 
 // call performs one RPC: it fills in From and a fresh MsgID, sends, and
@@ -156,8 +177,10 @@ func (t *transport) callCancel(addr string, req *wire.Message, timeout time.Dura
 	for attempt := 0; ; attempt++ {
 		msgID := t.nextID.Add(1)
 		req.MsgID = msgID
-		b, err := wire.Encode(req)
+		bp := encBufs.Get().(*[]byte)
+		b, err := wire.AppendEncode((*bp)[:0], req)
 		if err != nil {
+			encBufs.Put(bp)
 			return nil, err // malformed request: retrying cannot help
 		}
 		ch := make(chan *wire.Message, 1)
@@ -169,14 +192,19 @@ func (t *transport) callCancel(addr string, req *wire.Message, timeout time.Dura
 			delete(t.inflight, msgID)
 			t.mu.Unlock()
 		}
-		if _, err := t.conn.WriteTo(b, addr); err != nil {
+		_, werr := t.conn.WriteTo(b, addr)
+		n := len(b)
+		*bp = b[:0]
+		encBufs.Put(bp)
+		if werr != nil {
 			deregister()
 			if t.closed.Load() {
 				return nil, ErrClosed
 			}
-			return nil, fmt.Errorf("node: rpc %v to %s: %w", req.Type, addr, err)
+			return nil, fmt.Errorf("node: rpc %v to %s: %w", req.Type, addr, werr)
 		}
 		t.datagramsOut.Add(1)
+		t.bytesOut.Add(uint64(n))
 		if !timer.Stop() {
 			select {
 			case <-timer.C:

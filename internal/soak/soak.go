@@ -213,6 +213,11 @@ type engine struct {
 	space id.Space
 	nw    *memnet.Network
 	clock *Clock
+	// sched is the shared maintenance scheduler every node runs on: one
+	// timer heap and a bounded worker pool instead of four ticker
+	// goroutines per node, which is what keeps 1k-node scenarios from
+	// drowning the runtime in sleeping goroutines.
+	sched *node.BatchScheduler
 
 	live []*node.Node
 	pool []id.ID // FIFO of ids available to join (fresh first, churned-out recycled at the back)
@@ -260,6 +265,7 @@ func Run(o Options) (*Verdict, error) {
 		space:  space,
 		nw:     memnet.New(o.Seed),
 		clock:  NewClock(o.Tick),
+		sched:  node.NewBatchScheduler(0),
 		ledger: make(map[id.ID]*keyState),
 		v:      &Verdict{Proto: o.Proto, Seed: o.Seed, EventsPlanned: o.Events},
 	}
@@ -346,6 +352,7 @@ func (e *engine) startNode(x id.ID, bootstrap string) (*node.Node, error) {
 		ReplicationFactor: e.o.ReplicationFactor,
 		ReplicateEvery:    120 * time.Millisecond,
 		ItemCacheCapacity: -1, // GETs must reach owners: no stale local copies
+		Scheduler:         e.sched,
 		Listen: func(addr string) (node.PacketConn, error) {
 			return e.nw.Listen(addr)
 		},
@@ -397,6 +404,9 @@ func (e *engine) teardown() {
 		n.Close()
 	}
 	e.live = nil
+	// Nodes first, then their scheduler: node.Close waits on in-flight
+	// maintenance rounds, which needs a live worker pool.
+	e.sched.Close()
 	e.nw.CloseAll()
 }
 

@@ -415,11 +415,19 @@ func readClosest(b []byte) ([]Contact, []byte, error) {
 // that violate the codec limits (oversized address or successor list)
 // or carry an unknown type.
 func Encode(m *Message) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode serializes m appending to dst and returns the extended
+// buffer, with Encode's exact semantics otherwise. It exists for hot
+// send paths that recycle buffers: at cluster scale the per-message
+// allocation in Encode was a measurable share of the live benchmark's
+// profile, and appending into a pooled buffer removes it.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	if !validType(m.Type) {
 		return nil, fmt.Errorf("%w: %d", ErrType, uint8(m.Type))
 	}
-	b := make([]byte, 0, 64)
-	b = append(b, Version, byte(m.Type))
+	b := append(dst, Version, byte(m.Type))
 	b = binary.BigEndian.AppendUint64(b, m.MsgID)
 	var err error
 	if b, err = appendContact(b, m.From); err != nil {
