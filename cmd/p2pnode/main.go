@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		bucketSize  = fs.Int("bucket-size", 0, "kademlia k-bucket capacity (0 uses the default of 20)")
 		stabilize   = fs.Duration("stabilize", time.Second, "stabilize period")
 		fixFingers  = fs.Duration("fixfingers", 250*time.Millisecond, "long-range table entry refresh period")
+		fingerBatch = fs.Int("fix-fingers-batch", 1, "long-range table entries refreshed per period (chord only)")
 		auxEvery    = fs.Duration("aux-every", 10*time.Second, "auxiliary recompute period (0 disables)")
 		rpcTimeout  = fs.Duration("rpc-timeout", 500*time.Millisecond, "per-attempt RPC timeout")
 		statsEvery  = fs.Duration("stats-every", 10*time.Second, "status line period (0 disables)")
@@ -95,6 +96,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		BucketSize:       *bucketSize,
 		StabilizeEvery:   *stabilize,
 		FixFingersEvery:  *fixFingers,
+		FixFingersBatch:  *fingerBatch,
 		AuxEvery:         *auxEvery,
 		RPCTimeout:       *rpcTimeout,
 		// The daemon is the real-network deployment: select the UDP

@@ -1,0 +1,207 @@
+// Package chunk layers large-value transfer on the overlay's kv data
+// plane. The plane caps one stored value at wire.MaxValueLen bytes, so
+// a large object is split into fixed-size chunks, each stored under a
+// derived key hashed independently across the ring, plus a versioned,
+// checksummed manifest (total length, chunk size, per-chunk digests)
+// stored under the object's root key. Readers fetch the manifest and
+// then drive a bounded-parallelism chunk fetch engine (fetch.go) that
+// supports both whole-object Get and sequential io.Reader streaming
+// with lookahead prefetch (reader.go).
+//
+// The layer introduces no new wire message types: chunks and manifests
+// are ordinary values moved with the existing put/get/replicate
+// messages, so replication, reconciliation, item caching, and the
+// auxiliary selection machinery all apply to chunk keys unchanged —
+// which is the point: sequential chunk reads are exactly the repeated
+// position-local traffic the paper's aux caches pay off on, and the
+// reader's prefetch resolves upcoming chunk keys through the same
+// lookup path that feeds the frequency observer and owner-hint cache.
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// Manifest format constants.
+const (
+	// manifestMagic opens every encoded manifest ("pcmf").
+	manifestMagic = uint32(0x70636d66)
+	// ManifestVersion is the current manifest encoding version.
+	ManifestVersion = 1
+	// manifestOverhead is the encoded size without digests: magic (4),
+	// version (1), total length (8), chunk size (4), chunk count (4),
+	// trailing checksum (8).
+	manifestOverhead = 4 + 1 + 8 + 4 + 4 + 8
+
+	// DefaultChunkSize is the largest chunk the data plane accepts.
+	DefaultChunkSize = wire.MaxValueLen
+)
+
+// Codec errors.
+var (
+	// ErrBadManifest reports a manifest that fails structural or
+	// checksum validation on decode.
+	ErrBadManifest = errors.New("chunk: bad manifest")
+	// ErrTooLarge reports an object whose manifest would not fit in one
+	// stored value; see MaxObjectLen.
+	ErrTooLarge = errors.New("chunk: object too large")
+)
+
+// Manifest describes one chunked object: the byte length, the split
+// width, and one digest per chunk so a reader verifies every fetched
+// chunk independently before assembling the object.
+type Manifest struct {
+	// TotalLen is the object length in bytes.
+	TotalLen uint64
+	// ChunkSize is the split width; every chunk but the last is exactly
+	// this long, the last carries the tail (1..ChunkSize bytes).
+	ChunkSize uint32
+	// Digests holds the FNV-64a digest of each chunk, in order. Its
+	// length is the chunk count, ceil(TotalLen/ChunkSize).
+	Digests []uint64
+}
+
+// Chunks returns the chunk count.
+func (m *Manifest) Chunks() int { return len(m.Digests) }
+
+// ChunkLen returns the byte length of chunk i.
+func (m *Manifest) ChunkLen(i int) int {
+	if i < len(m.Digests)-1 {
+		return int(m.ChunkSize)
+	}
+	tail := m.TotalLen % uint64(m.ChunkSize)
+	if tail == 0 {
+		return int(m.ChunkSize)
+	}
+	return int(tail)
+}
+
+// check validates the manifest's internal consistency: a legal chunk
+// size and a digest count matching ceil(TotalLen/ChunkSize).
+func (m *Manifest) check() error {
+	if m.ChunkSize == 0 || m.ChunkSize > wire.MaxValueLen {
+		return fmt.Errorf("%w: chunk size %d outside [1, %d]", ErrBadManifest, m.ChunkSize, wire.MaxValueLen)
+	}
+	want := int((m.TotalLen + uint64(m.ChunkSize) - 1) / uint64(m.ChunkSize))
+	if len(m.Digests) != want {
+		return fmt.Errorf("%w: %d digests for %d bytes at chunk size %d (want %d)",
+			ErrBadManifest, len(m.Digests), m.TotalLen, m.ChunkSize, want)
+	}
+	return nil
+}
+
+// MaxObjectLen returns the largest object a manifest can describe at
+// the given chunk size while still fitting in one stored value: the
+// digest list is the manifest's dominant term, so the bound is
+// (MaxValueLen − overhead)/8 chunks.
+func MaxObjectLen(chunkSize int) uint64 {
+	maxChunks := uint64((wire.MaxValueLen - manifestOverhead) / 8)
+	return maxChunks * uint64(chunkSize)
+}
+
+// Encode serializes the manifest: magic, version, total length, chunk
+// size, chunk count, the digest list, and a trailing FNV-64a checksum
+// over everything preceding it. The result always fits in one stored
+// value for any manifest Put accepts.
+func (m *Manifest) Encode() ([]byte, error) {
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	size := manifestOverhead + 8*len(m.Digests)
+	if size > wire.MaxValueLen {
+		return nil, fmt.Errorf("%w: manifest needs %d bytes, limit %d (max %d bytes per object at chunk size %d)",
+			ErrTooLarge, size, wire.MaxValueLen, MaxObjectLen(int(m.ChunkSize)), m.ChunkSize)
+	}
+	b := make([]byte, 0, size)
+	b = binary.BigEndian.AppendUint32(b, manifestMagic)
+	b = append(b, ManifestVersion)
+	b = binary.BigEndian.AppendUint64(b, m.TotalLen)
+	b = binary.BigEndian.AppendUint32(b, m.ChunkSize)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Digests)))
+	for _, d := range m.Digests {
+		b = binary.BigEndian.AppendUint64(b, d)
+	}
+	return binary.BigEndian.AppendUint64(b, Digest(b)), nil
+}
+
+// DecodeManifest parses and validates an encoded manifest: magic,
+// version, checksum, and structural consistency all gate acceptance, so
+// a value that is not a manifest — or a manifest corrupted in flight or
+// at a holder — is rejected rather than driving the fetch engine into
+// garbage chunk keys.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < manifestOverhead {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrBadManifest, len(b), manifestOverhead)
+	}
+	if got := binary.BigEndian.Uint32(b); got != manifestMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadManifest, got)
+	}
+	if v := b[4]; v != ManifestVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadManifest, v, ManifestVersion)
+	}
+	body, sum := b[:len(b)-8], binary.BigEndian.Uint64(b[len(b)-8:])
+	if Digest(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadManifest)
+	}
+	m := &Manifest{
+		TotalLen:  binary.BigEndian.Uint64(b[5:]),
+		ChunkSize: binary.BigEndian.Uint32(b[13:]),
+	}
+	count := binary.BigEndian.Uint32(b[17:])
+	if want := manifestOverhead + 8*int(count); len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes for %d digests, want %d", ErrBadManifest, len(b), count, want)
+	}
+	m.Digests = make([]uint64, count)
+	for i := range m.Digests {
+		m.Digests[i] = binary.BigEndian.Uint64(b[21+8*i:])
+	}
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Digest is the chunk content digest: FNV-64a, matching the id space's
+// hash family — an integrity check against truncation and bit rot, not
+// an adversarial MAC (neither is the ring hash).
+func Digest(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Key derives the ring key of chunk i of the object rooted at root.
+// Each chunk hashes independently, so one object's chunks scatter
+// across the ring and a large write spreads over many owners instead
+// of hot-spotting the root's successor.
+func Key(space id.Space, root id.ID, i int) id.ID {
+	var b [17]byte
+	b[0] = 'c' // domain-separates chunk keys from anything hashing raw ids
+	binary.BigEndian.PutUint64(b[1:], uint64(root))
+	binary.BigEndian.PutUint64(b[9:], uint64(i))
+	return space.Hash(b[:])
+}
+
+// Split cuts value into chunkSize-wide slices (the last one short when
+// the length is not a multiple). The slices alias value. An empty value
+// yields no chunks: the manifest alone records the zero length.
+func Split(value []byte, chunkSize int) [][]byte {
+	if len(value) == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, (len(value)+chunkSize-1)/chunkSize)
+	for off := 0; off < len(value); off += chunkSize {
+		end := off + chunkSize
+		if end > len(value) {
+			end = len(value)
+		}
+		out = append(out, value[off:end])
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+)
+
+// lossyKV wraps a memKV with seeded probabilistic get loss, the
+// package-level analogue of memnet link drop: the fetch engine must
+// ride out transient misses via retry and fail with a typed per-chunk
+// error once a key is persistently gone.
+type lossyKV struct {
+	*memKV
+	mu   chan struct{} // serializes rng
+	rng  *rand.Rand
+	drop float64
+	dead map[id.ID]bool // keys that always fail
+}
+
+func newLossyKV(seed int64, drop float64) *lossyKV {
+	l := &lossyKV{memKV: newMemKV(), mu: make(chan struct{}, 1), rng: rand.New(rand.NewSource(seed)), drop: drop, dead: map[id.ID]bool{}}
+	l.mu <- struct{}{}
+	return l
+}
+
+func (l *lossyKV) Get(key id.ID) ([]byte, int, error) {
+	<-l.mu
+	lost := l.rng.Float64() < l.drop
+	dead := l.dead[key]
+	l.mu <- struct{}{}
+	if dead || lost {
+		return nil, 1, fmt.Errorf("lossykv: key %d dropped", key)
+	}
+	return l.memKV.Get(key)
+}
+
+// TestFetchRetriesThroughLoss: 20% get loss, generous retry budget —
+// the whole object still assembles.
+func TestFetchRetriesThroughLoss(t *testing.T) {
+	kv := newLossyKV(7, 0.20)
+	s := testStore(t, kv, Options{ChunkSize: 256, Window: 4, Retries: 8})
+	value := make([]byte, 20*256+31)
+	rand.New(rand.NewSource(9)).Read(value)
+	root := s.Options().Space.Hash([]byte("lossy"))
+	if _, err := s.PutObject(root, value); err != nil {
+		t.Fatalf("put under loss: %v", err)
+	}
+	got, err := s.GetObject(root)
+	if err != nil {
+		t.Fatalf("get under loss: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("bytes differ after lossy fetch")
+	}
+}
+
+// TestFetchExhaustionTypedError: one chunk's key is persistently dead;
+// retry exhaustion must surface a *chunk.Error naming exactly that
+// chunk's index and derived key, from both GetObject and the streaming
+// reader.
+func TestFetchExhaustionTypedError(t *testing.T) {
+	const deadIndex = 5
+	kv := newLossyKV(11, 0)
+	s := testStore(t, kv, Options{ChunkSize: 256, Window: 3, Retries: 1, RetryBackoff: time.Microsecond})
+	value := make([]byte, 9*256)
+	rand.New(rand.NewSource(10)).Read(value)
+	root := s.Options().Space.Hash([]byte("dead-chunk"))
+	if _, err := s.PutObject(root, value); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	deadKey := Key(s.Options().Space, root, deadIndex)
+	kv.dead[deadKey] = true
+
+	_, err := s.GetObject(root)
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("GetObject: want *chunk.Error, got %v", err)
+	}
+	if ce.Index != deadIndex || ce.Key != deadKey {
+		t.Fatalf("GetObject error names chunk %d key %d, want %d key %d", ce.Index, ce.Key, deadIndex, deadKey)
+	}
+
+	r, err := s.NewReader(root)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	buf := make([]byte, 64)
+	for {
+		_, err = r.Read(buf)
+		if err != nil {
+			break
+		}
+	}
+	ce = nil
+	if !errors.As(err, &ce) || ce.Index != deadIndex {
+		t.Fatalf("stream: want *chunk.Error for chunk %d, got %v", deadIndex, err)
+	}
+	// The error is sticky.
+	if _, err2 := r.Read(buf); !errors.As(err2, &ce) {
+		t.Fatalf("stream error not sticky: %v", err2)
+	}
+}
+
+// TestFetchDeadManifest: a missing manifest is a typed error with
+// index -1.
+func TestFetchDeadManifest(t *testing.T) {
+	kv := newLossyKV(13, 0)
+	s := testStore(t, kv, Options{ChunkSize: 256, Retries: 1, RetryBackoff: time.Microsecond})
+	root := s.Options().Space.Hash([]byte("absent"))
+	_, err := s.GetObject(root)
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Index != -1 || ce.Key != root {
+		t.Fatalf("want manifest *chunk.Error (index -1, key %d), got %v", root, err)
+	}
+}
+
+// TestFetchCorruptChunkRejected: a holder serving truncated or
+// bit-flipped chunk bytes fails digest verification and, with no clean
+// copy to fall back to, surfaces ErrDigest through the typed error.
+func TestFetchCorruptChunkRejected(t *testing.T) {
+	for _, corrupt := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"bit flip", func(b []byte) []byte { b[0] ^= 0x40; return b }},
+		{"extended", func(b []byte) []byte { return append(b, 0xab) }},
+	} {
+		kv := newMemKV()
+		s := testStore(t, kv, Options{ChunkSize: 256, Retries: 1, RetryBackoff: time.Microsecond})
+		value := make([]byte, 3*256+7)
+		rand.New(rand.NewSource(14)).Read(value)
+		root := s.Options().Space.Hash([]byte("corrupt-" + corrupt.name))
+		if _, err := s.PutObject(root, value); err != nil {
+			t.Fatalf("%s: put: %v", corrupt.name, err)
+		}
+		victim := Key(s.Options().Space, root, 1)
+		kv.mu.Lock()
+		kv.m[victim] = corrupt.mutate(kv.m[victim])
+		kv.mu.Unlock()
+		_, err := s.GetObject(root)
+		var ce *Error
+		if !errors.As(err, &ce) || ce.Index != 1 || !errors.Is(err, ErrDigest) {
+			t.Fatalf("%s: want chunk 1 ErrDigest, got %v", corrupt.name, err)
+		}
+	}
+}
+
+// TestFetchCorruptCopyHealedByRetry: the first get of a chunk returns
+// corrupt bytes, the retry returns the clean copy — modelling a bad
+// replica with a good owner; digest verification plus per-chunk retry
+// must transparently recover.
+func TestFetchCorruptCopyHealedByRetry(t *testing.T) {
+	kv := newMemKV()
+	served := map[id.ID]int{}
+	kv.fault = func(key id.ID, stored []byte, gets int) ([]byte, error) {
+		if stored == nil {
+			return nil, fmt.Errorf("memkv: key %d not found", key)
+		}
+		served[key]++
+		if served[key] == 1 {
+			bad := append([]byte(nil), stored...)
+			bad[len(bad)/2] ^= 0xff
+			return bad, nil
+		}
+		return stored, nil
+	}
+	s := testStore(t, kv, Options{ChunkSize: 256, Window: 1, Retries: 2, RetryBackoff: time.Microsecond})
+	value := make([]byte, 4*256+100)
+	rand.New(rand.NewSource(15)).Read(value)
+	root := s.Options().Space.Hash([]byte("bad-replica"))
+	if _, err := s.PutObject(root, value); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// The manifest itself is also served corrupt once; Manifest() must
+	// retry past it too.
+	got, err := s.GetObject(root)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("healed fetch returned wrong bytes")
+	}
+}

@@ -1,0 +1,82 @@
+package chunk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeManifest feeds arbitrary bytes to the manifest decoder. Two
+// invariants: no input panics, and anything accepted is a canonical
+// encoding — it re-encodes byte-identically and re-decodes to the same
+// manifest. Seeds cover valid manifests of several shapes plus the
+// corruption classes the decoder must reject (truncation, bad magic,
+// future version, flipped digests, checksum damage, trailing bytes).
+func FuzzDecodeManifest(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range []struct {
+		total     uint64
+		chunkSize uint32
+	}{
+		{0, 4096},
+		{1, 4096},
+		{4096, 4096},
+		{4097, 4096},
+		{3*4096 + 17, 4096},
+		{700, 256},
+		{508 * 4096, 4096}, // largest manifest that fits a stored value
+	} {
+		chunks := int((shape.total + uint64(shape.chunkSize) - 1) / uint64(shape.chunkSize))
+		m := &Manifest{TotalLen: shape.total, ChunkSize: shape.chunkSize, Digests: make([]uint64, chunks)}
+		for i := range m.Digests {
+			m.Digests[i] = rng.Uint64()
+		}
+		enc, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		// Corrupt-manifest and truncated seeds off the valid encoding.
+		f.Add(enc[:len(enc)/2])
+		if len(enc) > 0 {
+			cut := append([]byte(nil), enc...)
+			cut[0] ^= 0xff // magic
+			f.Add(cut)
+			ver := append([]byte(nil), enc...)
+			ver[4] = ManifestVersion + 1
+			f.Add(ver)
+			sum := append([]byte(nil), enc...)
+			sum[len(sum)-1] ^= 0x01 // checksum
+			f.Add(sum)
+			f.Add(append(append([]byte(nil), enc...), 0)) // trailing byte
+		}
+		if len(enc) > 25 {
+			dig := append([]byte(nil), enc...)
+			dig[22] ^= 0x10 // inside first digest (or count for empty manifests)
+			f.Add(dig)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x70, 0x63, 0x6d, 0x66}) // bare magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded manifest fails to encode: %+v: %v", m, err)
+		}
+		if !reflect.DeepEqual(out, data) {
+			t.Fatalf("non-canonical encoding survived decode:\n in  %x\n out %x", data, out)
+		}
+		m2, err := DecodeManifest(out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip:\n first  %+v\n second %+v", m, m2)
+		}
+	})
+}

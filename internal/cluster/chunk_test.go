@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peercache/internal/chunk"
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/randx"
+)
+
+// TestClusterChunkedStreamSurvivesPartition is the acceptance test for
+// the chunk layer: 56 nodes over memnet at replication factor 2 carry a
+// >1 MiB object (257 chunks + manifest scattered across the ring).
+// Phases:
+//
+//  1. Boot, converge, put the object through the chunk store with
+//     window-8 parallel chunk puts, and wait until every derived chunk
+//     key and the manifest sit at >= factor copies.
+//  2. Cut 12 nodes off, wait for the minority to form its own subring,
+//     heal, reconverge — the partition torture the plain-kv acceptance
+//     test applies, now over an object whose loss needs only one of 258
+//     keys to vanish.
+//  3. Stream the object back byte-exactly twice from fresh origins:
+//     prefetch w=0 (strictly on demand) and w=2. The w=2 stream must
+//     block on measurably fewer per-chunk lookup hops — the prefetcher
+//     resolves chunks i+1..i+2 while chunk i is being consumed, so the
+//     hops are still spent but no longer sit on the reader's critical
+//     path.
+//
+// Seeded; runs race-enabled.
+func TestClusterChunkedStreamSurvivesPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("56-node in-process cluster test")
+	}
+	const (
+		numNodes   = 56
+		numCut     = 12
+		factor     = 2
+		seed       = 31
+		objectSize = 1<<20 + 777 // 257 chunks: 256 full + sub-chunk tail
+	)
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(seed))
+	ids := randx.UniqueIDs(rng, numNodes, space.Size())
+
+	nw := memnet.New(seed)
+	nw.SetDefaultPolicy(memnet.LinkPolicy{
+		Dup:      0.02,
+		MaxDelay: time.Millisecond,
+	})
+
+	cl, err := Start(space, nw, ids, func(i int, cfg *node.Config) {
+		cfg.AuxEvery = 0
+		cfg.ReplicationFactor = factor
+		cfg.ReplicateEvery = 150 * time.Millisecond
+		cfg.ItemCacheCapacity = -1 // hop counts must measure routing, not caching
+		cfg.RPCRetries = 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(60 * time.Second); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+
+	// storeOver builds a chunk store whose data plane is one node: puts
+	// route with Put, reads race FindValue probes, so any holder — owner
+	// or replica — can answer a chunk fetch.
+	storeOver := func(n *node.Node, prefetch int) *chunk.Store {
+		s, err := chunk.New(chunk.FuncKV{
+			PutFunc: func(key id.ID, value []byte) error {
+				_, err := n.Put(key, value)
+				return err
+			},
+			GetFunc: func(key id.ID) ([]byte, int, error) {
+				res, err := n.FindValue(key)
+				if err != nil {
+					return nil, res.Hops, err
+				}
+				return res.Value, res.Hops, nil
+			},
+		}, chunk.Options{Space: space, Window: 8, Prefetch: prefetch, Retries: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Phase 1: put the object and wait for full replica placement of
+	// every derived key.
+	value := make([]byte, objectSize)
+	rng.Read(value)
+	root := space.Hash([]byte("the-movie"))
+	m, err := storeOver(cl.Nodes[7], 0).PutObject(root, value)
+	if err != nil {
+		t.Fatalf("put object: %v", err)
+	}
+	if m.Chunks() != 257 {
+		t.Fatalf("object split into %d chunks, want 257", m.Chunks())
+	}
+	allKeys := make([]id.ID, 0, m.Chunks()+1)
+	allKeys = append(allKeys, root)
+	for i := 0; i < m.Chunks(); i++ {
+		allKeys = append(allKeys, chunk.Key(space, root, i))
+	}
+	copies := func(key id.ID) int {
+		c := 0
+		for _, n := range cl.Nodes {
+			if _, _, ok := n.Item(key); ok {
+				c++
+			}
+		}
+		return c
+	}
+	waitPlacement := func(label string, deadline time.Duration) {
+		t.Helper()
+		end := time.Now().Add(deadline)
+		for {
+			short := 0
+			for _, key := range allKeys {
+				if copies(key) < factor {
+					short++
+				}
+			}
+			if short == 0 {
+				return
+			}
+			if time.Now().After(end) {
+				t.Fatalf("%s: %d/%d keys below %d copies", label, short, len(allKeys), factor)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	waitPlacement("initial replication", 30*time.Second)
+	t.Logf("phase 1: %d bytes in %d chunk keys, every key at >= %d copies", objectSize, len(allKeys), factor)
+
+	// Phase 2: partition the first numCut nodes, let both sides
+	// reorganize, heal, reconverge.
+	cut := make([]int, numCut)
+	minorityRing := make([]id.ID, numCut)
+	for i := range cut {
+		cut[i] = i
+		minorityRing[i] = cl.Nodes[i].ID()
+	}
+	sortIDs(minorityRing)
+	nw.Partition("split", cl.Addrs(cut...)...)
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		err := func() error {
+			for _, i := range cut {
+				n := cl.Nodes[i]
+				if got, want := n.Successor().ID, ringSuccessor(minorityRing, n.ID()); got != want {
+					return fmt.Errorf("minority node %d successor %d, want %d", n.ID(), got, want)
+				}
+			}
+			return nil
+		}()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("minority never formed its own subring: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	nw.Heal("split")
+	if err := cl.WaitConverged(60 * time.Second); err != nil {
+		t.Fatalf("post-heal reconvergence: %v", err)
+	}
+	waitPlacement("post-heal replication", 45*time.Second)
+	t.Log("phase 2: partition healed, placement recovered")
+
+	// Phase 3: stream the object back byte-exactly from two fresh
+	// origins, strictly-on-demand vs prefetch w=2.
+	readStream := func(label string, origin int, prefetch int) chunk.Stats {
+		t.Helper()
+		r, err := storeOver(cl.Nodes[origin], prefetch).NewReader(root)
+		if err != nil {
+			t.Fatalf("%s: open stream: %v", label, err)
+		}
+		defer r.Close()
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("%s: stream: %v", label, err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("%s: streamed bytes differ from the original object", label)
+		}
+		return r.Stats()
+	}
+	st0 := readStream("w=0", 20, 0)
+	st2 := readStream("w=2", 33, 2)
+
+	meanStall := func(st chunk.Stats) time.Duration { return st.WaitTime / time.Duration(st.Chunks) }
+	t.Logf("w=0: ttfb %v, blocked on %d/%d chunks, mean stall %v/chunk, %d blocking hops (%d total fetch hops)",
+		st0.TTFB, st0.WaitChunks, st0.Chunks, meanStall(st0), st0.WaitHops, st0.FetchHops)
+	t.Logf("w=2: ttfb %v, blocked on %d/%d chunks, mean stall %v/chunk, %d blocking hops (%d total fetch hops)",
+		st2.TTFB, st2.WaitChunks, st2.Chunks, meanStall(st2), st2.WaitHops, st2.FetchHops)
+
+	// On-demand blocks on every chunk by construction.
+	if st0.WaitChunks != st0.Chunks {
+		t.Fatalf("w=0 blocked on %d/%d chunks, want all", st0.WaitChunks, st0.Chunks)
+	}
+	// Prefetch must take chunk fetches off the reader's critical path.
+	// The fetch hops are still spent, but they overlap the wait on
+	// earlier chunks, so the per-chunk critical-path stall — the number
+	// that bounds sustained stream throughput — must drop by at least
+	// 30% (three fetches deep, the steady-state pipeline cuts it ~2/3;
+	// the blocked-chunk count drops too, but less sharply, since a
+	// nearly-done prefetch still counts as a block).
+	if st2.WaitChunks >= st0.WaitChunks && meanStall(st2) >= meanStall(st0) {
+		t.Fatal("prefetch w=2 did not reduce blocking at all")
+	}
+	if float64(meanStall(st2)) > 0.70*float64(meanStall(st0)) {
+		t.Fatalf("prefetch w=2 left mean stall %v/chunk vs %v on demand; need >= 30%% reduction",
+			meanStall(st2), meanStall(st0))
+	}
+	for _, n := range cl.Nodes {
+		if m := n.Metrics(); m.DecodeErrors != 0 {
+			t.Errorf("node %d: %d decode errors", n.ID(), m.DecodeErrors)
+		}
+	}
+}

@@ -36,6 +36,11 @@ var (
 	ErrTimeout = errors.New("kv: rpc timed out")
 	// ErrClosed is returned once the client has shut down.
 	ErrClosed = errors.New("kv: closed")
+	// ErrValueTooLarge rejects a plain Put whose value exceeds the wire
+	// limit for one stored value; the chunk layer (PutLarge) is the way
+	// to move such objects. Wraps wire.ErrValueLen so existing checks
+	// keep matching.
+	ErrValueTooLarge = fmt.Errorf("kv: value too large for single put: %w", wire.ErrValueLen)
 )
 
 // Config parameterizes a client.
@@ -245,7 +250,9 @@ func (c *Client) Resolve(key id.ID) (wire.Contact, int, error) {
 // and the item's new version.
 func (c *Client) Put(key id.ID, value []byte) (wire.Contact, uint64, error) {
 	if len(value) > wire.MaxValueLen {
-		return wire.Contact{}, 0, fmt.Errorf("kv: put %d: %w", key, wire.ErrValueLen)
+		return wire.Contact{}, 0, fmt.Errorf(
+			"kv: put %d: %w: value is %d bytes, limit %d — use PutLarge (p2pstream put) for chunked transfer",
+			key, ErrValueTooLarge, len(value), wire.MaxValueLen)
 	}
 	owner, _, err := c.Resolve(key)
 	if err != nil {

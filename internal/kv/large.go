@@ -1,0 +1,105 @@
+package kv
+
+import (
+	"peercache/internal/chunk"
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// LargeOptions tunes the client's chunked-object operations. The zero
+// value is usable: wire-limit chunks, window 4, prefetch 2.
+type LargeOptions struct {
+	// ChunkSize is the split width (default chunk.DefaultChunkSize).
+	ChunkSize int
+	// Window bounds parallel chunk transfers (default 4).
+	Window int
+	// Prefetch is the stream lookahead depth (default 2; set -1 for
+	// strictly on-demand reads).
+	Prefetch int
+}
+
+func (o LargeOptions) resolve() chunk.Options {
+	co := chunk.Options{
+		ChunkSize: o.ChunkSize,
+		Window:    o.Window,
+		Prefetch:  o.Prefetch,
+	}
+	if co.Prefetch == 0 {
+		co.Prefetch = 2
+	} else if co.Prefetch < 0 {
+		co.Prefetch = 0
+	}
+	return co
+}
+
+// chunkStore builds a chunk.Store over this client. Each chunk put/get
+// is an independent Resolve + owner RPC with the client's own retry
+// budget; the chunk layer adds its per-chunk retry (with re-resolution)
+// on top.
+func (c *Client) chunkStore(o LargeOptions) (*chunk.Store, error) {
+	co := o.resolve()
+	co.Space = c.cfg.Space
+	return chunk.New(chunk.FuncKV{
+		PutFunc: func(key id.ID, value []byte) error {
+			_, _, err := c.Put(key, value)
+			return err
+		},
+		GetFunc: func(key id.ID) ([]byte, int, error) {
+			owner, hops, err := c.Resolve(key)
+			if err != nil {
+				return nil, hops, err
+			}
+			b, _, err := c.getAt(owner, key)
+			return b, hops, err
+		},
+	}, co)
+}
+
+// getAt fetches key from a known owner, skipping the resolve Get would
+// repeat.
+func (c *Client) getAt(owner wire.Contact, key id.ID) ([]byte, uint64, error) {
+	resp, err := c.call(owner.Addr, &wire.Message{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !resp.OK {
+		return nil, 0, ErrNotFound
+	}
+	return resp.Value, resp.Version, nil
+}
+
+// PutLarge stores a value of any size the manifest bound allows
+// (see chunk.MaxObjectLen): the value is split into chunks stored under
+// derived keys scattered across the ring, then a checksummed manifest
+// is stored under key. Values that fit a single stored value still go
+// through the chunk layer for a uniform read path. Returns the manifest.
+func (c *Client) PutLarge(key id.ID, value []byte, o LargeOptions) (*chunk.Manifest, error) {
+	s, err := c.chunkStore(o)
+	if err != nil {
+		return nil, err
+	}
+	return s.PutObject(key, value)
+}
+
+// GetLarge fetches and reassembles the whole chunked object stored
+// under key, verifying every chunk digest.
+func (c *Client) GetLarge(key id.ID, o LargeOptions) ([]byte, error) {
+	s, err := c.chunkStore(o)
+	if err != nil {
+		return nil, err
+	}
+	return s.GetObject(key)
+}
+
+// OpenStream opens a sequential reader over the chunked object stored
+// under key. While the caller consumes chunk i, the next Prefetch
+// chunks are resolved and fetched ahead of need — repeated
+// position-local lookups that warm the ring's aux caches along the
+// stream's path. Close the reader when done.
+func (c *Client) OpenStream(key id.ID, o LargeOptions) (*chunk.Reader, error) {
+	s, err := c.chunkStore(o)
+	if err != nil {
+		return nil, err
+	}
+	return s.NewReader(key)
+}

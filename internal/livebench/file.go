@@ -10,7 +10,17 @@ import (
 
 // Schema identifies the BENCH_live.json document format. Bump the
 // version on any incompatible field change and teach Validate both.
-const Schema = "peercache-livebench/v1"
+const (
+	// Schema is the current format: v2 adds the streaming phase
+	// (stream_* fields), fix_fingers_batch, and gates stranded_keys at
+	// exactly zero now that the replication loop repairs stranded
+	// replicas.
+	Schema = "peercache-livebench/v2"
+	// SchemaV1 is the previous format, still loadable so committed
+	// trajectories and older tooling keep working; stream fields and
+	// the stranded gate are not enforced on it.
+	SchemaV1 = "peercache-livebench/v1"
+)
 
 // File is the persisted BENCH_live.json document: one run per geometry
 // from a single generation pass, plus provenance.
@@ -62,8 +72,9 @@ func Load(path string) (*File, error) {
 // a field that silently stops being populated fails the build instead
 // of committing zeros into the trajectory.
 func (f *File) Validate() error {
-	if f.Schema != Schema {
-		return fmt.Errorf("schema %q, want %q", f.Schema, Schema)
+	v2 := f.Schema == Schema
+	if !v2 && f.Schema != SchemaV1 {
+		return fmt.Errorf("schema %q, want %q (or legacy %q)", f.Schema, Schema, SchemaV1)
 	}
 	if _, err := time.Parse(time.RFC3339, f.GeneratedAt); err != nil {
 		return fmt.Errorf("generated_at: %w", err)
@@ -104,6 +115,15 @@ func (f *File) Validate() error {
 			"maint_msgs_per_sec_per_node": r.MaintMsgsPerSecPerNode,
 			"wall_ms":                     float64(r.WallMS),
 		}
+		if v2 {
+			pos["fix_fingers_batch"] = float64(r.FixFingersBatch)
+			pos["stream_object_bytes"] = float64(r.StreamObjectBytes)
+			pos["stream_chunk_size"] = float64(r.StreamChunkSize)
+			pos["stream_chunks"] = float64(r.StreamChunks)
+			pos["stream_reads"] = float64(r.StreamReads)
+			pos["stream_ttfb_us"] = r.StreamTTFBUS
+			pos["stream_mbps"] = r.StreamMBPS
+		}
 		for field, v := range pos {
 			if v <= 0 {
 				return fmt.Errorf("%s = %g, want > 0", at(field), v)
@@ -117,10 +137,19 @@ func (f *File) Validate() error {
 			"stranded_keys":   float64(r.StrandedKeys),
 			"converge_ms":     float64(r.ConvergeMS),
 		}
+		if v2 {
+			nonNeg["stream_prefetch"] = float64(r.StreamPrefetch)
+		}
 		for field, v := range nonNeg {
 			if v < 0 {
 				return fmt.Errorf("%s = %g, want >= 0", at(field), v)
 			}
+		}
+		// v2 promotes stranded keys from a recorded count to a failing
+		// invariant: the repair loop must have drained every one.
+		if v2 && r.StrandedKeys != 0 {
+			return fmt.Errorf("%s = %d, want 0 (the repair loop must drain stranded keys)",
+				at("stranded_keys"), r.StrandedKeys)
 		}
 		if r.P99Hops < r.P50Hops {
 			return fmt.Errorf("%s", at("p99_hops below p50_hops"))
@@ -134,12 +163,18 @@ func (f *File) Validate() error {
 
 // Compare gates runs against a committed baseline: for every geometry
 // present in both, the new mean hop count must not exceed the
-// baseline's by more than tolerance. Only hops are gated — they are
-// the routing-quality signal and stable across machine speeds, where
-// latency and throughput are not. Geometries in only one side are
-// ignored, so a quick CI run (smaller n, where hops are lower anyway)
-// still compares meaningfully against the committed full-scale file.
-func Compare(baseline *File, runs []Result, tolerance float64) error {
+// baseline's by more than hopsTolerance (additive — hops are the
+// routing-quality signal and stable across machine speeds, where
+// latency and throughput are not), and when both sides carry streaming
+// results the new stream TTFB must not exceed the baseline's by more
+// than the multiplicative ttfbTolerance. TTFB is machine-speed
+// sensitive, so its gate is a coarse fell-off-a-cliff guard with
+// generous headroom, not a hop-style budget; it is skipped entirely
+// when either side predates the streaming phase (v1 baselines) or
+// ttfbTolerance is zero. Geometries in only one side are ignored, so a
+// quick CI run (smaller n, where hops are lower anyway) still compares
+// meaningfully against the committed full-scale file.
+func Compare(baseline *File, runs []Result, hopsTolerance, ttfbTolerance float64) error {
 	base := make(map[string]Result, len(baseline.Runs))
 	for _, r := range baseline.Runs {
 		base[r.Proto] = r
@@ -149,9 +184,14 @@ func Compare(baseline *File, runs []Result, tolerance float64) error {
 		if !ok {
 			continue
 		}
-		if r.MeanHops > b.MeanHops+tolerance {
+		if r.MeanHops > b.MeanHops+hopsTolerance {
 			return fmt.Errorf("livebench: %s mean hops %.3f exceeds baseline %.3f by more than %.2f (n=%d vs baseline n=%d)",
-				r.Proto, r.MeanHops, b.MeanHops, tolerance, r.Nodes, b.Nodes)
+				r.Proto, r.MeanHops, b.MeanHops, hopsTolerance, r.Nodes, b.Nodes)
+		}
+		if ttfbTolerance > 0 && r.StreamTTFBUS > 0 && b.StreamTTFBUS > 0 &&
+			r.StreamTTFBUS > b.StreamTTFBUS*ttfbTolerance {
+			return fmt.Errorf("livebench: %s stream ttfb %.0fus exceeds %.1fx the baseline %.0fus (n=%d vs baseline n=%d)",
+				r.Proto, r.StreamTTFBUS, ttfbTolerance, b.StreamTTFBUS, r.Nodes, b.Nodes)
 		}
 	}
 	return nil

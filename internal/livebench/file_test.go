@@ -13,13 +13,15 @@ func goodRun(proto string) Result {
 		Proto: proto, Nodes: 128, Seed: 1, Bits: 16,
 		AuxCount: 8, Alpha: 2, SuccessorListLen: 4,
 		Keys: 128, ZipfAlpha: 1.2, WarmupOps: 512, Ops: 1024, Workers: 8,
-		StabilizeMS: 50, FixFingersMS: 16, AuxEveryMS: 200,
+		StabilizeMS: 50, FixFingersMS: 16, FixFingersBatch: 8, AuxEveryMS: 200,
 		BootMS: 900, ConvergeMS: 80,
 		MeanHops: 1.6, P50Hops: 1, P99Hops: 4,
 		MeanLatencyUS: 300, P50LatencyUS: 200, P99LatencyUS: 900,
 		OpsPerSec: 5000, MsgsPerSec: 20000, BytesPerSec: 800000,
 		AuxHitRate: 0.35, MaintMsgsPerSecPerNode: 30,
 		MaintBytesPerSecPerNode: 1200, WallMS: 9000,
+		StreamObjectBytes: 1 << 20, StreamChunkSize: 4096, StreamChunks: 257,
+		StreamPrefetch: 2, StreamReads: 3, StreamTTFBUS: 2200, StreamMBPS: 35,
 	}
 	if proto == "kademlia" {
 		r.BucketSize = 8
@@ -86,6 +88,18 @@ func TestFileValidateRejects(t *testing.T) {
 			mutate: func(f *File) { f.Runs[0].AuxHitRate = 1.5 },
 			want:   "aux_hit_rate",
 		},
+		"missing stream ttfb": {
+			mutate: func(f *File) { f.Runs[0].StreamTTFBUS = 0 },
+			want:   "stream_ttfb_us",
+		},
+		"missing stream throughput": {
+			mutate: func(f *File) { f.Runs[0].StreamMBPS = 0 },
+			want:   "stream_mbps",
+		},
+		"stranded keys survive in v2": {
+			mutate: func(f *File) { f.Runs[0].StrandedKeys = 3 },
+			want:   "stranded_keys",
+		},
 	}
 	for name, tc := range cases {
 		f := NewFile([]Result{goodRun("chord")})
@@ -115,26 +129,69 @@ func TestFileValidateRejects(t *testing.T) {
 	}
 }
 
-// Compare gates mean hops per geometry, tolerates small regressions,
-// and ignores geometries missing from either side.
+// A legacy v1 document — no stream fields, no batch knob, stranded
+// count recorded rather than gated — must still load and validate.
+func TestFileAcceptsV1(t *testing.T) {
+	f := NewFile([]Result{goodRun("chord")})
+	f.Schema = SchemaV1
+	r := &f.Runs[0]
+	r.FixFingersBatch = 0
+	r.StreamObjectBytes, r.StreamChunkSize, r.StreamChunks = 0, 0, 0
+	r.StreamPrefetch, r.StreamReads = 0, 0
+	r.StreamTTFBUS, r.StreamMBPS = 0, 0
+	r.StrandedKeys = 2
+	if err := f.Validate(); err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("v1 document fails Load: %v", err)
+	}
+}
+
+// Compare gates mean hops per geometry additively and stream TTFB
+// multiplicatively, tolerates small regressions, skips the TTFB gate
+// when a side predates the streaming phase, and ignores geometries
+// missing from either side.
 func TestCompare(t *testing.T) {
 	baseline := NewFile([]Result{goodRun("chord"), goodRun("pastry")})
 
 	ok := goodRun("chord")
 	ok.MeanHops = baseline.Runs[0].MeanHops + 0.5
-	if err := Compare(baseline, []Result{ok}, 0.75); err != nil {
+	if err := Compare(baseline, []Result{ok}, 0.75, 3); err != nil {
 		t.Fatalf("within-tolerance run rejected: %v", err)
 	}
 
 	bad := goodRun("chord")
 	bad.MeanHops = baseline.Runs[0].MeanHops + 1.0
-	if err := Compare(baseline, []Result{bad}, 0.75); err == nil {
+	if err := Compare(baseline, []Result{bad}, 0.75, 3); err == nil {
 		t.Fatal("regressed run accepted")
 	}
 
 	novel := goodRun("kademlia") // not in baseline: ignored
 	novel.MeanHops = 99
-	if err := Compare(baseline, []Result{novel}, 0.75); err != nil {
+	if err := Compare(baseline, []Result{novel}, 0.75, 3); err != nil {
 		t.Fatalf("novel geometry gated against nothing: %v", err)
+	}
+
+	slow := goodRun("chord")
+	slow.StreamTTFBUS = baseline.Runs[0].StreamTTFBUS * 2
+	if err := Compare(baseline, []Result{slow}, 0.75, 3); err != nil {
+		t.Fatalf("within-tolerance ttfb rejected: %v", err)
+	}
+	slow.StreamTTFBUS = baseline.Runs[0].StreamTTFBUS * 4
+	if err := Compare(baseline, []Result{slow}, 0.75, 3); err == nil {
+		t.Fatal("cliff-regressed ttfb accepted")
+	}
+
+	// A v1 baseline carries no stream numbers: the TTFB gate must not
+	// fire against a zero.
+	v1 := NewFile([]Result{goodRun("chord")})
+	v1.Runs[0].StreamTTFBUS = 0
+	if err := Compare(v1, []Result{slow}, 0.75, 3); err != nil {
+		t.Fatalf("ttfb gated against a streamless baseline: %v", err)
 	}
 }

@@ -41,22 +41,31 @@ type Ring struct {
 
 	aux []wire.Contact // auxiliary neighbors, the paper's A_s
 
-	nextFinger uint // round-robin cursor for RepairTable
+	nextFinger  uint // round-robin cursor for RepairTable
+	repairBatch int  // fingers refreshed per RepairTable call
 }
 
 // New builds the Chord geometry and its drift-gated selection
 // maintainer. It is the default ring.Factory of node.Config.
 func New(h ring.Host, o ring.Options) (ring.Routing, ring.AuxMaintainer, error) {
 	space, self := h.Space(), h.Self()
+	batch := o.RepairBatch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > int(space.Bits()) {
+		batch = int(space.Bits())
+	}
 	r := &Ring{
-		h:         h,
-		space:     space,
-		self:      self,
-		maxHops:   o.MaxLookupHops,
-		succs:     []wire.Contact{self},
-		maxSucc:   o.NeighborListLen,
-		fingers:   make([]wire.Contact, space.Bits()),
-		hasFinger: make([]bool, space.Bits()),
+		h:           h,
+		space:       space,
+		self:        self,
+		maxHops:     o.MaxLookupHops,
+		succs:       []wire.Contact{self},
+		maxSucc:     o.NeighborListLen,
+		fingers:     make([]wire.Contact, space.Bits()),
+		hasFinger:   make([]bool, space.Bits()),
+		repairBatch: batch,
 	}
 	window := freq.NewWindowed(o.WindowBuckets)
 	m, err := core.NewChordMaintainerWithCounter(space, self.ID, nil, o.AuxCount, o.DriftThreshold, window)
@@ -310,25 +319,29 @@ func (r *Ring) Stabilize() {
 	}
 }
 
-// RepairTable refreshes one finger per call, round-robin: finger i is
-// the first node in (self+2^i, self+2^{i+1}], found with an iterative
-// lookup; an out-of-interval answer clears the entry (chordproto's
-// interval rule).
+// RepairTable refreshes RepairBatch fingers per call (one by default),
+// round-robin: finger i is the first node in (self+2^i, self+2^{i+1}],
+// found with an iterative lookup; an out-of-interval answer clears the
+// entry (chordproto's interval rule). Batching divides the table's full
+// refresh time by issuing several independent lookups per tick — the
+// lever that pulls large-ring cold-start convergence down from minutes.
 func (r *Ring) RepairTable() {
-	r.mu.Lock()
-	i := r.nextFinger
-	r.nextFinger = (r.nextFinger + 1) % r.space.Bits()
-	r.mu.Unlock()
-	start := r.space.Add(r.self.ID, (uint64(1)<<i)+1)
-	c, _, err := r.h.Resolve(start)
-	if err != nil {
-		return
-	}
-	g := r.space.Gap(r.self.ID, c.ID)
-	if c.ID != r.self.ID && g > uint64(1)<<i && g <= uint64(1)<<(i+1) {
-		r.setFinger(i, c, true)
-	} else {
-		r.setFinger(i, wire.Contact{}, false)
+	for b := 0; b < r.repairBatch; b++ {
+		r.mu.Lock()
+		i := r.nextFinger
+		r.nextFinger = (r.nextFinger + 1) % r.space.Bits()
+		r.mu.Unlock()
+		start := r.space.Add(r.self.ID, (uint64(1)<<i)+1)
+		c, _, err := r.h.Resolve(start)
+		if err != nil {
+			continue
+		}
+		g := r.space.Gap(r.self.ID, c.ID)
+		if c.ID != r.self.ID && g > uint64(1)<<i && g <= uint64(1)<<(i+1) {
+			r.setFinger(i, c, true)
+		} else {
+			r.setFinger(i, wire.Contact{}, false)
+		}
 	}
 }
 

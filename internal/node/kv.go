@@ -74,7 +74,9 @@ func (n *Node) Put(key id.ID, value []byte) (PutResult, error) {
 		return PutResult{}, fmt.Errorf("node: key %d outside %d-bit space", key, n.cfg.Space.Bits())
 	}
 	if len(value) > wire.MaxValueLen {
-		return PutResult{}, fmt.Errorf("node: put %d: %w", key, wire.ErrValueLen)
+		return PutResult{}, fmt.Errorf(
+			"node: put %d: %w: value is %d bytes, limit %d — chunk large objects (internal/chunk, kv.PutLarge, p2pstream)",
+			key, wire.ErrValueLen, len(value), wire.MaxValueLen)
 	}
 	n.putsIssued.Add(1)
 	if n.cache != nil {
@@ -292,6 +294,16 @@ func (n *Node) ReplicationRound() {
 		}
 		n.sendReplica(owner.Addr, it)
 	}
+	// Re-home stranded replicas: a live owner refreshes its replicas
+	// every round, so a replica that has gone several periods without a
+	// refresh has lost its owner somewhere a one-shot handoff could not
+	// reach (crash after demotion, push dropped across a partition).
+	// Resolve the key's current owner and push the copy there; the owner
+	// stores it as a replica and its own reconciliation promotes it to
+	// owned, closing the loop without any new message type. Items this
+	// node itself has become responsible for don't need the network trip:
+	// reconcile above already promoted them.
+	n.repairStranded(now)
 	targets := n.replicaTargets()
 	if len(targets) == 0 {
 		return
@@ -300,6 +312,30 @@ func (n *Node) ReplicationRound() {
 		for _, t := range targets {
 			n.sendReplica(t.Addr, it)
 		}
+	}
+}
+
+// Stranded-repair pacing: a replica is presumed ownerless after
+// strandedAfterPeriods replication periods without a refresh, and one
+// round re-homes at most strandedRepairBatch of them (each repair costs
+// an iterative lookup plus one replicate datagram).
+const (
+	strandedAfterPeriods = 3
+	strandedRepairBatch  = 32
+)
+
+func (n *Node) repairStranded(now time.Time) {
+	if n.cfg.ReplicateEvery <= 0 {
+		return
+	}
+	stale := n.store.staleReplicas(now, strandedAfterPeriods*n.cfg.ReplicateEvery, strandedRepairBatch)
+	for _, it := range stale {
+		owner, _, err := n.FindSuccessor(it.key)
+		if err != nil || owner.ID == n.self.ID || owner.Addr == "" {
+			continue
+		}
+		n.strandedRepairs.Add(1)
+		n.sendReplica(owner.Addr, it)
 	}
 }
 

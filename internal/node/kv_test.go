@@ -182,3 +182,41 @@ func TestKVReplicationSurvivesOwnerFailure(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 }
+
+// FindValue's probe frontier must rank the key's owner side early on
+// chord's asymmetric clockwise metric. The metric measures routing
+// progress toward the key, so the owner — sitting just past it — ranks
+// as the farthest contact in the ring; ordered naively, the walk drains
+// every predecessor (and the hop budget) before probing the one node
+// that holds the value. With the hop budget clamped well below the node
+// count, only owner-side ranking lets every lookup succeed.
+func TestKVFindValueReachesOwnerWithinHopBudget(t *testing.T) {
+	space := id.NewSpace(16)
+	ids := []uint64{100, 2000, 7000, 11000, 16000, 21000, 25000, 29000,
+		33000, 37000, 41000, 45000, 49000, 52000, 55000, 58000,
+		60000, 61500, 63000, 64500}
+	nodes := startCluster(t, space, ids, func(cfg *Config) {
+		cfg.MaxLookupHops = 8 // log2(20) plus slack, far below n
+		cfg.ItemCacheCapacity = -1
+	})
+	waitConverged(t, space, nodes, 30*time.Second)
+
+	// One key per node range: each owner stores one value.
+	for i, x := range ids {
+		key := id.ID(x) // the owner's own id: owned by that node
+		if _, err := nodes[(i+7)%len(nodes)].Put(key, []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d: %v", key, err)
+		}
+	}
+	for i, x := range ids {
+		key := id.ID(x)
+		origin := nodes[(i+11)%len(nodes)]
+		res, err := origin.FindValue(key)
+		if err != nil {
+			t.Fatalf("find-value %d from node %d: %v", key, origin.ID(), err)
+		}
+		if !bytes.Equal(res.Value, []byte{byte(i)}) {
+			t.Fatalf("find-value %d: value %v, want %v", key, res.Value, []byte{byte(i)})
+		}
+	}
+}

@@ -89,8 +89,15 @@ type Config struct {
 	// 500ms).
 	StabilizeEvery time.Duration
 	// FixFingersEvery is the long-range-table repair period (default
-	// 125ms; one entry per tick, round-robin).
+	// 125ms; FixFingersBatch entries per tick, round-robin).
 	FixFingersEvery time.Duration
+	// FixFingersBatch is how many long-range table entries each repair
+	// tick refreshes (default 1, the historical one-finger-per-tick
+	// cadence). Chord honors it — raising it multiplies lookup traffic
+	// per tick but divides cold-start finger convergence time, which is
+	// what large benchmark overlays wait on; Pastry and Kademlia repair
+	// by exchange and ignore it.
+	FixFingersBatch int
 	// AuxEvery is the auxiliary recomputation period. 0 (the
 	// default) disables the ticker; RecomputeAux can still be called
 	// explicitly.
@@ -192,6 +199,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FixFingersEvery == 0 {
 		c.FixFingersEvery = 125 * time.Millisecond
 	}
+	if c.FixFingersBatch == 0 {
+		c.FixFingersBatch = 1
+	}
+	if c.FixFingersBatch < 1 {
+		return c, fmt.Errorf("node: fix-fingers batch %d below 1", c.FixFingersBatch)
+	}
 	if c.WindowBuckets == 0 {
 		c.WindowBuckets = 4
 	}
@@ -267,6 +280,11 @@ type Metrics struct {
 	StoreHits, CacheHits    uint64
 	ReplicasIn, ReplicasOut uint64
 	Promotions, Demotions   uint64
+	// StrandedRepairs counts replica-only items whose owner this node
+	// re-resolved and re-pushed on the anti-entropy ticker — the repair
+	// loop that re-homes keys stranded by a failed handoff (no live
+	// owner refreshing them).
+	StrandedRepairs uint64
 
 	// Gauges: current item counts by authority.
 	ItemsOwned, ItemsReplica, ItemsCached int
@@ -329,6 +347,7 @@ type Node struct {
 	storeHits, cacheHits    atomic.Uint64
 	replicasIn, replicasOut atomic.Uint64
 	promotions, demotions   atomic.Uint64
+	strandedRepairs         atomic.Uint64
 }
 
 // host adapts a Node to the ring.Host surface its geometry programs
@@ -387,6 +406,7 @@ func Start(cfg Config) (*Node, error) {
 		AuxCount:        cfg.AuxCount,
 		WindowBuckets:   cfg.WindowBuckets,
 		DriftThreshold:  cfg.DriftThreshold,
+		RepairBatch:     cfg.FixFingersBatch,
 	})
 	if err != nil {
 		conn.Close()
@@ -533,33 +553,34 @@ func (n *Node) Metrics() Metrics {
 		cached = n.cache.Len()
 	}
 	return Metrics{
-		DatagramsIn:    n.tr.datagramsIn.Load(),
-		DatagramsOut:   n.tr.datagramsOut.Load(),
-		DecodeErrors:   n.tr.decodeErrs.Load(),
-		RPCs:           n.tr.rpcs.Load(),
-		Retries:        n.tr.retries.Load(),
-		Timeouts:       n.tr.timeouts.Load(),
-		Lookups:        n.lookups.Load(),
-		LookupHops:     n.lookupHops.Load(),
-		LookupFailures: n.lookupFails.Load(),
-		AuxRecomputes:  n.auxRecomps.Load(),
-		AuxHits:        n.auxHits.Load(),
-		BytesIn:        n.tr.bytesIn.Load(),
-		BytesOut:       n.tr.bytesOut.Load(),
-		PutsIssued:     n.putsIssued.Load(),
-		GetsIssued:     n.getsIssued.Load(),
-		PutsServed:     n.putsServed.Load(),
-		GetsServed:     n.getsServed.Load(),
-		StoreHits:      n.storeHits.Load(),
-		CacheHits:      n.cacheHits.Load(),
-		ReplicasIn:     n.replicasIn.Load(),
-		ReplicasOut:    n.replicasOut.Load(),
-		Promotions:     n.promotions.Load(),
-		Demotions:      n.demotions.Load(),
-		ItemsOwned:     owned,
-		ItemsReplica:   replicas,
-		ItemsCached:    cached,
-		Alpha:          n.cfg.LookupAlpha,
+		DatagramsIn:     n.tr.datagramsIn.Load(),
+		DatagramsOut:    n.tr.datagramsOut.Load(),
+		DecodeErrors:    n.tr.decodeErrs.Load(),
+		RPCs:            n.tr.rpcs.Load(),
+		Retries:         n.tr.retries.Load(),
+		Timeouts:        n.tr.timeouts.Load(),
+		Lookups:         n.lookups.Load(),
+		LookupHops:      n.lookupHops.Load(),
+		LookupFailures:  n.lookupFails.Load(),
+		AuxRecomputes:   n.auxRecomps.Load(),
+		AuxHits:         n.auxHits.Load(),
+		BytesIn:         n.tr.bytesIn.Load(),
+		BytesOut:        n.tr.bytesOut.Load(),
+		PutsIssued:      n.putsIssued.Load(),
+		GetsIssued:      n.getsIssued.Load(),
+		PutsServed:      n.putsServed.Load(),
+		GetsServed:      n.getsServed.Load(),
+		StoreHits:       n.storeHits.Load(),
+		CacheHits:       n.cacheHits.Load(),
+		ReplicasIn:      n.replicasIn.Load(),
+		ReplicasOut:     n.replicasOut.Load(),
+		Promotions:      n.promotions.Load(),
+		Demotions:       n.demotions.Load(),
+		StrandedRepairs: n.strandedRepairs.Load(),
+		ItemsOwned:      owned,
+		ItemsReplica:    replicas,
+		ItemsCached:     cached,
+		Alpha:           n.cfg.LookupAlpha,
 	}
 }
 
@@ -766,6 +787,21 @@ func (n *Node) race(target id.ID, seed []wire.Contact, valueMode bool) (raceOutc
 		}
 		queried[c.ID] = true
 		d := n.rt.Distance(target, c.ID)
+		if valueMode {
+			// Copies live at the key's owner and the owner's replica
+			// successors — on an asymmetric ring metric (chord's
+			// clockwise gap) those rank as the FARTHEST candidates,
+			// because the metric measures routing progress toward the
+			// key and a holder sits just past it. Ranking by whichever
+			// side of the key is nearer keeps the predecessor walk
+			// converging while probing named holders immediately,
+			// instead of draining every predecessor in the ring (and
+			// the hop budget with it) before the one contact that can
+			// answer. Symmetric metrics (XOR, circular) are unchanged.
+			if rd := n.rt.Distance(c.ID, target); rd < d {
+				d = rd
+			}
+		}
 		i := sort.Search(len(frontier), func(i int) bool {
 			return frontier[i].dist > d || (frontier[i].dist == d && frontier[i].c.ID > c.ID)
 		})

@@ -1,0 +1,80 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+)
+
+// TestStrandedReplicaRepaired: a replica-only key with no live owner —
+// the aftermath of a handoff whose push never landed — is detected by
+// the holder's anti-entropy round (no refresh for several periods) and
+// re-homed to the key's current owner, which promotes it. The soak
+// harness's "stranded" invariant rides on exactly this loop.
+func TestStrandedReplicaRepaired(t *testing.T) {
+	space := id.NewSpace(16)
+	nodes := startCluster(t, space, []uint64{100, 20000, 40000}, func(c *Config) {
+		c.ReplicateEvery = 100 * time.Millisecond
+	})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// Inject a replica of a key owned by b into c only, already stale:
+	// no owner exists anywhere, so nothing will ever refresh it. The
+	// backdated stamp stands in for the periods the key would otherwise
+	// sit unrefreshed.
+	key := id.ID(10000) // (100, 20000] -> b's range
+	value := []byte("stranded")
+	if !c.store.applyReplica(key, value, 7, time.Now().Add(-time.Hour)) {
+		t.Fatal("seed replica rejected")
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if info, ok := b.ItemDetail(key); ok && info.Owned {
+			if !bytes.Equal(info.Value, value) || info.Version != 7 {
+				t.Fatalf("re-homed item %q v%d, want %q v7", info.Value, info.Version, value)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("key never re-homed: b=%v c=%+v", b.Metrics(), c.Metrics())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if got := c.Metrics().StrandedRepairs; got < 1 {
+		t.Fatalf("holder counted %d stranded repairs, want >= 1", got)
+	}
+	// The whole ring can now read the key.
+	got, err := a.Get(key)
+	if err != nil || !bytes.Equal(got.Value, value) {
+		t.Fatalf("get after repair: %+v, %v", got, err)
+	}
+}
+
+// TestFreshReplicaNotRepaired: a replica the owner is actively
+// refreshing must never trigger repair traffic — the staleness window
+// is what separates normal replication from stranding.
+func TestFreshReplicaNotRepaired(t *testing.T) {
+	space := id.NewSpace(16)
+	nodes := startCluster(t, space, []uint64{100, 20000, 40000}, func(c *Config) {
+		c.ReplicateEvery = 100 * time.Millisecond
+	})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a := nodes[0]
+
+	key := id.ID(10000)
+	if _, err := a.Put(key, []byte("healthy")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Let several replication periods elapse: the owner keeps the
+	// replica fresh, so no holder should ever classify it as stranded.
+	time.Sleep(600 * time.Millisecond)
+	for _, n := range nodes {
+		if got := n.Metrics().StrandedRepairs; got != 0 {
+			t.Fatalf("node %d repaired %d healthy replicas", n.ID(), got)
+		}
+	}
+}

@@ -73,6 +73,13 @@ type Options struct {
 	// frequency window and recomputation trigger.
 	WindowBuckets  int
 	DriftThreshold float64
+	// RepairBatch is how many long-range table entries one RepairTable
+	// call refreshes (0 or 1: one per call, the historical behavior).
+	// Chord honors it — each extra finger costs one iterative lookup per
+	// tick but divides the table's full refresh time, which dominates
+	// cold-start convergence at large n. Pastry and Kademlia repair by
+	// row exchange / bucket refresh and ignore it.
+	RepairBatch int
 }
 
 // Routing is a live routing geometry. The runtime calls NextHop,

@@ -184,6 +184,31 @@ func (s *store) owned() []ownedItem {
 	return out
 }
 
+// staleReplicas returns up to max replica items whose last refresh is
+// older than now−olderThan. A live owner re-pushes every replica each
+// replication period, so a replica this stale has no owner refreshing
+// it — the signature of a key stranded by a failed handoff (owner
+// crashed after demotion, push lost across a partition). Returned items
+// have their refreshed stamp bumped, which both paces the repair (a key
+// is re-examined one staleness period later, not every tick) and keeps
+// the store TTL from reaping data the repair loop is actively re-homing.
+func (s *store) staleReplicas(now time.Time, olderThan time.Duration, max int) []ownedItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ownedItem
+	for key, it := range s.items {
+		if it.kind != kindReplica || now.Sub(it.refreshed) < olderThan {
+			continue
+		}
+		it.refreshed = now
+		out = append(out, ownedItem{key: key, value: it.value, version: it.version})
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
 // info reports one key's state including its authority, for
 // introspection: checkers counting owners across a cluster need to
 // distinguish an owned copy from a replica, which get deliberately

@@ -42,6 +42,9 @@ func (e *engine) quiesce() {
 	if err := e.clock.WaitUntil(e.o.SettleSteps, e.auxValidCheck); err != nil {
 		e.violate("aux-valid", "%v", err)
 	}
+	if err := e.clock.WaitUntil(e.o.SettleSteps, e.strandedCheck); err != nil {
+		e.violate("stranded", "%v", err)
+	}
 	e.countStranded()
 	e.o.Logf("soak: window %d done at step %d", e.v.Windows, e.clock.Steps())
 }
@@ -138,11 +141,37 @@ func (e *engine) auxValidCheck() error {
 	return nil
 }
 
-// countStranded tallies keys that exist only as replicas — the ring
-// owner holds no copy, so overlay Gets miss while the bytes survive.
-// This is the known one-shot-handoff gap in the data plane (a demoted
-// owner's single handoff datagram can be lost); the soak reports it as
-// a stat so its frequency is visible, without failing the run.
+// strandedCheck enforces the repair invariant: once the network is
+// quiet, no key may survive only as replicas (copies exist, ring owner
+// holds none — so overlay Gets miss while the bytes survive). The
+// replication loop's stranded-repair pass pushes such replicas back to
+// the resolved owner, bounding the stranded state by the staleness
+// threshold plus a replication round; a key still stranded after the
+// settle budget means that repair loop lost it.
+func (e *engine) strandedCheck() error {
+	for k, ks := range e.ledger {
+		if len(ks.written) == 0 {
+			continue
+		}
+		owners, copies := 0, 0
+		for _, n := range e.live {
+			if it, ok := n.ItemDetail(k); ok {
+				copies++
+				if it.Owned {
+					owners++
+				}
+			}
+		}
+		if owners == 0 && copies > 0 {
+			return fmt.Errorf("key %d stranded: %d replica copies, no owner", k, copies)
+		}
+	}
+	return nil
+}
+
+// countStranded records the stranded residue for the verdict after
+// strandedCheck has been judged — 0 on a passing window, and on a
+// failing one the size of what the repair loop left behind.
 func (e *engine) countStranded() {
 	stranded := 0
 	for k, ks := range e.ledger {

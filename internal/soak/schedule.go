@@ -16,6 +16,8 @@ type EventKind string
 const (
 	EvPut       EventKind = "put"
 	EvGet       EventKind = "get"
+	EvPutLarge  EventKind = "put-large"
+	EvGetLarge  EventKind = "get-large"
 	EvLookup    EventKind = "lookup"
 	EvJoin      EventKind = "join"
 	EvLeave     EventKind = "leave"
@@ -58,6 +60,8 @@ var kindWeights = []struct {
 }{
 	{EvPut, 22},
 	{EvGet, 29},
+	{EvPutLarge, 3},
+	{EvGetLarge, 3},
 	{EvLookup, 18},
 	{EvJoin, 8},
 	{EvLeave, 4},
