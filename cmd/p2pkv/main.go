@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		raw      = fs.Bool("raw", false, "treat <key> as a decimal ring id instead of hashing it")
 		timeout  = fs.Duration("timeout", 500*time.Millisecond, "per-attempt RPC timeout")
 		retries  = fs.Int("retries", 2, "RPC retries after a timeout")
+		ownerRd  = fs.Bool("owner-read", false, "get only from the key's owner; by default any replica may answer (bounded staleness: at worst one anti-entropy round behind)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(out, "usage: p2pkv -node <addr> [flags] put <key> <value>\n")
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		Bootstrap: *nodeAddr,
 		Timeout:   *timeout,
 		Retries:   *retries,
+		OwnerRead: *ownerRd,
 	})
 	if err != nil {
 		return err

@@ -62,6 +62,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		auxEvery    = fs.Duration("aux-every", 10*time.Second, "auxiliary recompute period (0 disables)")
 		rpcTimeout  = fs.Duration("rpc-timeout", 500*time.Millisecond, "per-attempt RPC timeout")
 		statsEvery  = fs.Duration("stats-every", 10*time.Second, "status line period (0 disables)")
+		storeShards = fs.Int("store-shards", 0, "item-store lock shards, rounded up to a power of two (0 uses the default of 16)")
 		metricsAddr = fs.String("metrics-addr", "", "serve node metrics as JSON over HTTP at this address (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +100,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		FixFingersBatch:  *fingerBatch,
 		AuxEvery:         *auxEvery,
 		RPCTimeout:       *rpcTimeout,
+		StoreShards:      *storeShards,
 		// The daemon is the real-network deployment: select the UDP
 		// provider explicitly (tests and simulators pick memnet).
 		Listen: node.ListenUDP,

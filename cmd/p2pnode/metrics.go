@@ -39,6 +39,10 @@ type metricsPayload struct {
 
 	Store storeStats `json:"store"`
 
+	// Replication is the digest anti-entropy subset of node.Metrics
+	// under scrape-stable names.
+	Replication replicationStats `json:"replication"`
+
 	// Traffic is the cumulative wire-level load the node has carried,
 	// under scrape-stable names — the live-overhead numbers the bench
 	// harness aggregates, observable per daemon here.
@@ -66,12 +70,29 @@ type storeStats struct {
 	ItemsOwned   int    `json:"items_owned"`
 	ItemsReplica int    `json:"items_replica"`
 	ItemsCached  int    `json:"items_cached"`
+	Shards       int    `json:"shards"`
 	PutsServed   uint64 `json:"puts_served"`
 	GetsServed   uint64 `json:"gets_served"`
 	ReplicasIn   uint64 `json:"replicas_in"`
 	ReplicasOut  uint64 `json:"replicas_out"`
 	Promotions   uint64 `json:"promotions"`
 	Demotions    uint64 `json:"demotions"`
+	// ReplicaServes counts reads this node answered from a replica
+	// copy (the bounded-staleness read path).
+	ReplicaServes uint64 `json:"replica_serves"`
+}
+
+// replicationStats surfaces the digest anti-entropy counters: how many
+// digest batches were exchanged, the diff actually shipped, full-push
+// fallbacks taken, and the byte totals that make the reduction against
+// the pre-digest protocol observable per daemon.
+type replicationStats struct {
+	DigestsOut        uint64 `json:"digests_out"`
+	DigestsIn         uint64 `json:"digests_in"`
+	DiffKeysOut       uint64 `json:"diff_keys_out"`
+	FullPushFallbacks uint64 `json:"full_push_fallbacks"`
+	ReplBytesOut      uint64 `json:"repl_bytes_out"`
+	ReplBytesFullPush uint64 `json:"repl_bytes_full_push"`
 }
 
 func payloadFor(n *node.Node) metricsPayload {
@@ -98,15 +119,25 @@ func payloadFor(n *node.Node) metricsPayload {
 			BytesOut:     m.BytesOut,
 		},
 		Store: storeStats{
-			ItemsOwned:   m.ItemsOwned,
-			ItemsReplica: m.ItemsReplica,
-			ItemsCached:  m.ItemsCached,
-			PutsServed:   m.PutsServed,
-			GetsServed:   m.GetsServed,
-			ReplicasIn:   m.ReplicasIn,
-			ReplicasOut:  m.ReplicasOut,
-			Promotions:   m.Promotions,
-			Demotions:    m.Demotions,
+			ItemsOwned:    m.ItemsOwned,
+			ItemsReplica:  m.ItemsReplica,
+			ItemsCached:   m.ItemsCached,
+			Shards:        m.StoreShards,
+			PutsServed:    m.PutsServed,
+			GetsServed:    m.GetsServed,
+			ReplicasIn:    m.ReplicasIn,
+			ReplicasOut:   m.ReplicasOut,
+			Promotions:    m.Promotions,
+			Demotions:     m.Demotions,
+			ReplicaServes: m.ReplicaServes,
+		},
+		Replication: replicationStats{
+			DigestsOut:        m.DigestsOut,
+			DigestsIn:         m.DigestsIn,
+			DiffKeysOut:       m.DiffKeysOut,
+			FullPushFallbacks: m.FullPushFallbacks,
+			ReplBytesOut:      m.ReplBytesOut,
+			ReplBytesFullPush: m.ReplBytesFullPush,
 		},
 		Metrics: m,
 	}

@@ -11,6 +11,7 @@ import (
 	"peercache/internal/id"
 	"peercache/internal/node"
 	"peercache/internal/node/pastryring"
+	"peercache/internal/wire"
 )
 
 // runWithTimeout drives the daemon's run with a bounded context, for
@@ -241,6 +242,9 @@ func TestMetricsReportStoreAndAuxNeighbors(t *testing.T) {
 	if pb.Store.ItemsOwned != 1 || pb.Store.PutsServed < 1 || pb.Store.GetsServed < 1 {
 		t.Fatalf("b store stats %+v", pb.Store)
 	}
+	if pa.Store.Shards != 16 || pb.Store.Shards != 16 {
+		t.Fatalf("store shard gauges %d/%d, want the default 16", pa.Store.Shards, pb.Store.Shards)
+	}
 
 	// Both sides exchanged real datagrams (join, put, get), so the
 	// cumulative traffic counters must be live on both, and bytes must
@@ -274,5 +278,108 @@ func TestDaemonMetricsFlag(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("bad -metrics-addr accepted")
+	}
+}
+
+// The replication block must surface the digest anti-entropy counters —
+// batches out/in, the diff shipped, and both byte totals — and the
+// store block the replica-served read count, live from a real round.
+func TestMetricsReportReplication(t *testing.T) {
+	space := id.NewSpace(16)
+	cfg := func(x id.ID) node.Config {
+		return node.Config{
+			Space:             space,
+			ID:                x,
+			Addr:              "127.0.0.1:0",
+			StabilizeEvery:    50 * time.Millisecond,
+			FixFingersEvery:   10 * time.Millisecond,
+			RPCTimeout:        250 * time.Millisecond,
+			ReplicationFactor: 2,
+			ReplicateEvery:    -1, // rounds driven by hand below
+		}
+	}
+	a, err := node.Start(cfg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := node.Start(cfg(40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); a.Successor().ID != b.ID() || b.Successor().ID != a.ID(); {
+		if time.Now().After(deadline) {
+			t.Fatal("ring never formed")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	key := id.ID(10000) // owned by b; its replica target is a
+	if _, err := a.Put(key, []byte("replicated")); err != nil {
+		t.Fatal(err)
+	}
+	b.ReplicationRound()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, _, ok := a.Item(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never reached a")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A GET landing on the replica holder is a replica-served read; a
+	// raw anonymous datagram pins which node answers.
+	conn, err := node.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req, err := wire.Encode(&wire.Message{Type: wire.TGet, MsgID: 1, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.WriteTo(req, a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	if _, _, err := conn.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	srvA, addrA, err := serveMetrics(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, addrB, err := serveMetrics(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	pb := scrape(t, addrB)
+	r := pb.Replication
+	if r.DigestsOut < 1 || r.DiffKeysOut < 1 {
+		t.Fatalf("b replication counters dead: %+v", r)
+	}
+	if r.ReplBytesOut == 0 || r.ReplBytesFullPush == 0 {
+		t.Fatalf("b replication byte counters dead: %+v", r)
+	}
+	if r.DigestsOut != pb.Metrics.DigestsOut || r.ReplBytesOut != pb.Metrics.ReplBytesOut {
+		t.Fatalf("b replication block disagrees with metrics: %+v vs %+v", r, pb.Metrics)
+	}
+
+	pa := scrape(t, addrA)
+	if pa.Replication.DigestsIn < 1 {
+		t.Fatalf("a answered %d digests, want at least 1", pa.Replication.DigestsIn)
+	}
+	if pa.Store.ReplicaServes != 1 {
+		t.Fatalf("a replica_serves %d, want exactly the one raw GET", pa.Store.ReplicaServes)
 	}
 }

@@ -62,6 +62,17 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling per
 	// attempt (default 20ms).
 	RetryBackoff time.Duration
+	// StrongGet, when set, replaces Get on the retry attempts that
+	// follow a digest or manifest-decode mismatch. An any-copy read may
+	// return a bounded-stale replica copy — after an overwrite, up to
+	// one replication period behind the owner — and for
+	// integrity-checked chunk data that staleness surfaces as a digest
+	// mismatch. Re-racing the same any-copy lookup can land on the same
+	// stale holder, so the escalation is an authoritative read (the
+	// key's resolved owner). Plain errors (timeouts, lookup failures)
+	// keep using Get: those are availability problems, where the
+	// any-copy race is the right tool.
+	StrongGet func(id.ID) ([]byte, int, error)
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -176,13 +187,18 @@ func (s *Store) PutObject(root id.ID, value []byte) (*Manifest, error) {
 // Manifest fetches and decodes the manifest stored under root, with the
 // same retry policy as a chunk.
 func (s *Store) Manifest(root id.ID) (*Manifest, error) {
-	var m *Manifest
+	var (
+		m     *Manifest
+		stale bool
+	)
 	err := s.withRetry(root, -1, func() error {
-		b, _, err := s.kv.Get(root)
+		b, _, err := s.get(root, &stale)
 		if err != nil {
 			return err
 		}
-		m, err = DecodeManifest(b)
+		if m, err = DecodeManifest(b); err != nil {
+			stale = true
+		}
 		return err
 	})
 	if err != nil {
@@ -220,19 +236,31 @@ func (s *Store) fetchChunk(m *Manifest, root id.ID, i int) ([]byte, int, error) 
 	var (
 		value []byte
 		hops  int
+		stale bool
 	)
 	err := s.withRetry(key, i, func() error {
-		b, h, err := s.kv.Get(key)
+		b, h, err := s.get(key, &stale)
 		if err != nil {
 			return err
 		}
 		if len(b) != m.ChunkLen(i) || Digest(b) != m.Digests[i] {
+			stale = true
 			return fmt.Errorf("%w: %d bytes, digest %#x", ErrDigest, len(b), Digest(b))
 		}
 		value, hops = b, h
 		return nil
 	})
 	return value, hops, err
+}
+
+// get issues one read attempt: the plain any-copy Get normally, the
+// StrongGet escalation once a previous attempt for this key proved the
+// copy it reached stale (*stale set by the caller's verification).
+func (s *Store) get(key id.ID, stale *bool) ([]byte, int, error) {
+	if *stale && s.o.StrongGet != nil {
+		return s.o.StrongGet(key)
+	}
+	return s.kv.Get(key)
 }
 
 // putChunk stores one value with the retry policy; index names the

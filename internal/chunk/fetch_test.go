@@ -188,3 +188,87 @@ func TestFetchCorruptCopyHealedByRetry(t *testing.T) {
 		t.Fatal("healed fetch returned wrong bytes")
 	}
 }
+
+// TestFetchStaleCopyEscalatesToStrongGet: every any-copy get of one
+// chunk key persistently returns the value the key held before the
+// chunk was stored (a bounded-stale replica answering the race), so
+// plain retries can never converge. With StrongGet set, the first
+// digest mismatch escalates that key's retries to the authoritative
+// read and the object assembles; without it, retries exhaust with
+// ErrDigest.
+func TestFetchStaleCopyEscalatesToStrongGet(t *testing.T) {
+	kv := newMemKV()
+	s := testStore(t, kv, Options{ChunkSize: 256, Window: 2, Retries: 2, RetryBackoff: time.Microsecond})
+	value := make([]byte, 5*256+33)
+	rand.New(rand.NewSource(16)).Read(value)
+	root := s.Options().Space.Hash([]byte("stale-replica"))
+	if _, err := s.PutObject(root, value); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	victim := Key(s.Options().Space, root, 2)
+	stale := []byte("previous tenant of this key")
+	kv.fault = func(key id.ID, stored []byte, gets int) ([]byte, error) {
+		if stored == nil {
+			return nil, fmt.Errorf("memkv: key %d not found", key)
+		}
+		if key == victim {
+			return stale, nil
+		}
+		return stored, nil
+	}
+	if _, err := s.GetObject(root); !errors.Is(err, ErrDigest) {
+		t.Fatalf("without StrongGet: want ErrDigest, got %v", err)
+	}
+
+	strongCalls := 0
+	opts := s.Options()
+	opts.StrongGet = func(key id.ID) ([]byte, int, error) {
+		strongCalls++
+		if key != victim {
+			t.Fatalf("StrongGet called for non-stale key %d", key)
+		}
+		kv.mu.Lock()
+		b := append([]byte(nil), kv.m[key]...)
+		kv.mu.Unlock()
+		return b, 1, nil
+	}
+	s2 := testStore(t, kv, opts)
+	got, err := s2.GetObject(root)
+	if err != nil {
+		t.Fatalf("with StrongGet: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("escalated fetch returned wrong bytes")
+	}
+	if strongCalls != 1 {
+		t.Fatalf("StrongGet calls = %d, want 1 (only the stale key, only after a mismatch)", strongCalls)
+	}
+
+	// The manifest path escalates the same way: the root key is served
+	// a stale non-manifest value by every any-copy read.
+	kv.fault = func(key id.ID, stored []byte, gets int) ([]byte, error) {
+		if stored == nil {
+			return nil, fmt.Errorf("memkv: key %d not found", key)
+		}
+		if key == root {
+			return stale, nil
+		}
+		return stored, nil
+	}
+	opts.StrongGet = func(key id.ID) ([]byte, int, error) {
+		if key != root {
+			t.Fatalf("StrongGet called for key %d, want manifest root %d", key, root)
+		}
+		kv.mu.Lock()
+		b := append([]byte(nil), kv.m[key]...)
+		kv.mu.Unlock()
+		return b, 1, nil
+	}
+	s3 := testStore(t, kv, opts)
+	if got, err = s3.GetObject(root); err != nil {
+		t.Fatalf("manifest escalation: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("manifest-escalated fetch returned wrong bytes")
+	}
+}

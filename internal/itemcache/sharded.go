@@ -1,0 +1,107 @@
+package itemcache
+
+import (
+	"math/bits"
+	"time"
+
+	"peercache/internal/id"
+)
+
+// ShardedTTL partitions a TTLCache across a power-of-two number of
+// independent lock domains by key *prefix* (the top log2(shards) bits
+// of the identifier), mirroring the node store's sharding layout: the
+// read loop, the stabilize ticker, and application lookups all touch
+// the owner-hint cache concurrently, and at cluster scale a single
+// cache mutex serializes them. Each shard is a full TTLCache with its
+// own LRU and its own slice of the capacity, so eviction stays local —
+// a hot prefix evicts within its shard instead of scanning a global
+// list under one lock.
+type ShardedTTL[V any] struct {
+	shards []*TTLCache[V]
+	shift  uint // key >> shift selects the shard
+	mask   uint64
+}
+
+// NewShardedTTL returns a sharded cache of roughly `capacity` total
+// entries (each shard holds ceil(capacity/shards), so the exact global
+// bound rounds up) valid for ttl after fill, over a spaceBits-bit key
+// space. The shard count is rounded up to a power of two and clamped
+// so a shard always covers at least one id prefix. Panics on
+// non-positive capacity or ttl, like NewTTL.
+func NewShardedTTL[V any](capacity int, ttl time.Duration, shards int, spaceBits uint) *ShardedTTL[V] {
+	if shards < 1 {
+		shards = 1
+	}
+	lg := uint(bits.Len(uint(shards - 1))) // ceil(log2(shards))
+	if lg > spaceBits {
+		lg = spaceBits
+	}
+	n := 1 << lg
+	per := (capacity + n - 1) / n
+	s := &ShardedTTL[V]{
+		shards: make([]*TTLCache[V], n),
+		shift:  spaceBits - lg,
+		mask:   uint64(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewTTL[V](per, ttl)
+	}
+	return s
+}
+
+// shardFor routes a key to its prefix shard; the mask folds keys with
+// bits above the id space into a valid shard.
+func (s *ShardedTTL[V]) shardFor(key id.ID) *TTLCache[V] {
+	return s.shards[(uint64(key)>>s.shift)&s.mask]
+}
+
+// ShardCount reports the number of lock domains.
+func (s *ShardedTTL[V]) ShardCount() int { return len(s.shards) }
+
+// Capacity returns the summed capacity of all shards.
+func (s *ShardedTTL[V]) Capacity() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Capacity()
+	}
+	return total
+}
+
+// Len returns the number of cached entries across shards, including
+// expired ones not yet collected by an access.
+func (s *ShardedTTL[V]) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Len()
+	}
+	return total
+}
+
+// Get returns the value cached under key at time now, if present and
+// unexpired.
+func (s *ShardedTTL[V]) Get(key id.ID, now time.Time) (V, bool) {
+	return s.shardFor(key).Get(key, now)
+}
+
+// Put stores value under key at time now.
+func (s *ShardedTTL[V]) Put(key id.ID, value V, now time.Time) {
+	s.shardFor(key).Put(key, value, now)
+}
+
+// Invalidate drops the entry under key if present.
+func (s *ShardedTTL[V]) Invalidate(key id.ID) {
+	s.shardFor(key).Invalidate(key)
+}
+
+// Stats sums the cumulative counters across shards.
+func (s *ShardedTTL[V]) Stats() TTLStats {
+	var t TTLStats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+		t.Expired += st.Expired
+		t.Evicted += st.Evicted
+	}
+	return t
+}

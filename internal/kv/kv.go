@@ -60,6 +60,13 @@ type Config struct {
 	Retries int
 	// MaxHops aborts runaway lookups (default 64).
 	MaxHops int
+	// OwnerRead makes Get resolve the key's owner and read only there,
+	// refusing replica answers. The default (false) lets any copy
+	// holder answer under the data plane's bounded-staleness contract:
+	// the value is at worst one anti-entropy round behind the last
+	// acknowledged write, and the returned version lets the caller
+	// judge. Set it when the read must observe the latest acked write.
+	OwnerRead bool
 	// Listen opens the datagram endpoint (default node.ListenUDP).
 	Listen node.Listener
 }
@@ -268,18 +275,85 @@ func (c *Client) Put(key id.ID, value []byte) (wire.Contact, uint64, error) {
 	return owner, resp.Version, nil
 }
 
-// Get fetches the value stored under key from the key's owner.
+// Get fetches the value stored under key. By default the read walks
+// find-value hops from the bootstrap and the first copy holder answers
+// — owner or replica, under the bounded-staleness contract (the copy is
+// at worst one anti-entropy round behind the last acknowledged write;
+// the returned version is the caller's evidence). With Config.OwnerRead
+// the client instead resolves the owner and reads only there.
 func (c *Client) Get(key id.ID) ([]byte, uint64, error) {
-	owner, _, err := c.Resolve(key)
-	if err != nil {
-		return nil, 0, err
+	if c.cfg.OwnerRead {
+		owner, _, err := c.Resolve(key)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp, err := c.call(owner.Addr, &wire.Message{Type: wire.TGet, Key: key})
+		if err != nil {
+			return nil, 0, fmt.Errorf("kv: get %d at %v: %w", key, owner, err)
+		}
+		if !resp.OK {
+			return nil, 0, fmt.Errorf("kv: get %d at %v: %w", key, owner, ErrNotFound)
+		}
+		return resp.Value, resp.Version, nil
 	}
-	resp, err := c.call(owner.Addr, &wire.Message{Type: wire.TGet, Key: key})
-	if err != nil {
-		return nil, 0, fmt.Errorf("kv: get %d at %v: %w", key, owner, err)
+	return c.findValue(key)
+}
+
+// findValue is the replica-accepting read: one find-value RPC per hop,
+// the next hop chosen from the frontier of discovered contacts by
+// minimal circular distance to the key (either direction — replicas sit
+// just past the key, where a one-directional routing metric would never
+// look). The walk ends at the first value-bearing answer. An
+// unresponsive hop is skipped, not fatal — serving around a dead owner
+// is this read path's purpose — so the walk fails only when the
+// frontier is exhausted: with every probe unanswered it reports the
+// last RPC error, otherwise the consulted nodes around the key held no
+// copy and the key is not stored.
+func (c *Client) findValue(key id.ID) ([]byte, uint64, error) {
+	if uint64(key) >= c.cfg.Space.Size() {
+		return nil, 0, fmt.Errorf("kv: key %d outside %d-bit space", key, c.cfg.Space.Bits())
 	}
-	if !resp.OK {
-		return nil, 0, fmt.Errorf("kv: get %d at %v: %w", key, owner, ErrNotFound)
+	type hop struct {
+		addr string
+		dist uint64
 	}
-	return resp.Value, resp.Version, nil
+	frontier := []hop{{c.cfg.Bootstrap, ^uint64(0)}}
+	visited := map[string]bool{}
+	var lastErr error
+	answered := false
+	for hops := 0; hops <= c.cfg.MaxHops && len(frontier) > 0; hops++ {
+		best := 0
+		for i := range frontier {
+			if frontier[i].dist < frontier[best].dist {
+				best = i
+			}
+		}
+		cur := frontier[best].addr
+		frontier = append(frontier[:best], frontier[best+1:]...)
+		visited[cur] = true
+		resp, err := c.call(cur, &wire.Message{Type: wire.TFindValue, Key: key})
+		if err != nil {
+			lastErr = fmt.Errorf("kv: get %d at %s: %w", key, cur, err)
+			continue
+		}
+		answered = true
+		if resp.OK {
+			return resp.Value, resp.Version, nil
+		}
+		for _, ct := range resp.Closest {
+			if ct.Addr == "" || visited[ct.Addr] {
+				continue
+			}
+			visited[ct.Addr] = true
+			d := min(c.cfg.Space.Gap(ct.ID, key), c.cfg.Space.Gap(key, ct.ID))
+			frontier = append(frontier, hop{ct.Addr, d})
+		}
+	}
+	if !answered && lastErr != nil {
+		return nil, 0, lastErr
+	}
+	if len(frontier) > 0 {
+		return nil, 0, fmt.Errorf("kv: get %d: exceeded %d hops", key, c.cfg.MaxHops)
+	}
+	return nil, 0, fmt.Errorf("kv: get %d: %w", key, ErrNotFound)
 }

@@ -165,3 +165,65 @@ func TestClientRetriesDroppedGetResponse(t *testing.T) {
 		t.Fatalf("drop survived past its count: %d total", got-dropped)
 	}
 }
+
+// The default read accepts replica answers under the bounded-staleness
+// contract: with the owner partitioned away, the walk reaches the
+// replica holder and returns the last replicated version. OwnerRead
+// refuses exactly that — the same read must fail rather than serve a
+// copy whose freshness it cannot prove.
+func TestClientReplicaReadAndOwnerRead(t *testing.T) {
+	space := id.NewSpace(16)
+	c, nw := startRing(t, space, []uint64{100, 20000, 40000})
+	cl := dial(t, c, nw)
+
+	key := id.ID(10000) // owned by 20000, replicated to 40000
+	if _, _, err := cl.Put(key, []byte("replicated")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Force the replica across and verify it landed before partitioning.
+	owner := c.Nodes[1]
+	owner.ReplicationRound()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, ok := c.Nodes[2].Item(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never reached 40000")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	strict, err := kv.Dial(kv.Config{
+		Space:     space,
+		Bootstrap: c.Addr(0),
+		Addr:      "mem/client-strict",
+		Timeout:   100 * time.Millisecond,
+		OwnerRead: true,
+		Listen:    func(addr string) (node.PacketConn, error) { return nw.Listen(addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+
+	nw.Partition("owner-down", c.Addr(1))
+	defer nw.Heal("owner-down")
+
+	// Immediately after the partition the ring still resolves the dead
+	// node as owner, so the owner-only read must fail rather than fall
+	// back to a replica. (Given time the overlay heals and re-resolves
+	// ownership — that recovery is TestKVReplicationSurvivesOwnerFailure's
+	// territory; this window is exactly where the two read modes differ.)
+	if _, _, err := strict.Get(key); err == nil {
+		t.Fatal("owner-read get succeeded with the owner partitioned")
+	}
+
+	val, version, err := cl.Get(key)
+	if err != nil {
+		t.Fatalf("replica-accepting get with owner partitioned: %v", err)
+	}
+	if !bytes.Equal(val, []byte("replicated")) || version != 1 {
+		t.Fatalf("replica read returned %q v%d, want \"replicated\" v1", val, version)
+	}
+}

@@ -11,14 +11,21 @@ import (
 // Schema identifies the BENCH_live.json document format. Bump the
 // version on any incompatible field change and teach Validate both.
 const (
-	// Schema is the current format: v2 adds the streaming phase
-	// (stream_* fields), fix_fingers_batch, and gates stranded_keys at
-	// exactly zero now that the replication loop repairs stranded
-	// replicas.
-	Schema = "peercache-livebench/v2"
-	// SchemaV1 is the previous format, still loadable so committed
-	// trajectories and older tooling keep working; stream fields and
-	// the stranded gate are not enforced on it.
+	// Schema is the current format: v3 adds the replication data plane —
+	// the anti-entropy byte rates (repl_bytes_per_sec against the
+	// full-push counterfactual, and their ratio repl_reduction), the
+	// store shard count, and the hot-key read phase (owner vs any-copy
+	// ops/s plus replica_hit_rate). At full scale (nodes ≥ 1024) a v3
+	// document must show repl_reduction ≥ 5 — the digest protocol's
+	// headline claim is part of the schema, like v2's stranded gate.
+	Schema = "peercache-livebench/v3"
+	// SchemaV2 is the previous format — streaming phase, fix_fingers_batch,
+	// stranded_keys gated at zero — still loadable so committed
+	// trajectories and older tooling keep working; replication fields
+	// are not enforced on it.
+	SchemaV2 = "peercache-livebench/v2"
+	// SchemaV1 is the original format; stream fields and the stranded
+	// gate are not enforced on it either.
 	SchemaV1 = "peercache-livebench/v1"
 )
 
@@ -72,9 +79,10 @@ func Load(path string) (*File, error) {
 // a field that silently stops being populated fails the build instead
 // of committing zeros into the trajectory.
 func (f *File) Validate() error {
-	v2 := f.Schema == Schema
+	v3 := f.Schema == Schema
+	v2 := v3 || f.Schema == SchemaV2
 	if !v2 && f.Schema != SchemaV1 {
-		return fmt.Errorf("schema %q, want %q (or legacy %q)", f.Schema, Schema, SchemaV1)
+		return fmt.Errorf("schema %q, want %q (or legacy %q, %q)", f.Schema, Schema, SchemaV2, SchemaV1)
 	}
 	if _, err := time.Parse(time.RFC3339, f.GeneratedAt); err != nil {
 		return fmt.Errorf("generated_at: %w", err)
@@ -124,6 +132,21 @@ func (f *File) Validate() error {
 			pos["stream_ttfb_us"] = r.StreamTTFBUS
 			pos["stream_mbps"] = r.StreamMBPS
 		}
+		if v3 {
+			pos["replicate_every_ms"] = float64(r.ReplicateEveryMS)
+			pos["store_shards"] = float64(r.StoreShards)
+			pos["repl_bytes_per_sec"] = r.ReplBytesPerSec
+			pos["repl_full_push_bytes_per_sec"] = r.ReplFullPushBytesPerSec
+			pos["repl_reduction"] = r.ReplReduction
+			pos["hot_reads"] = float64(r.HotReads)
+			pos["hot_degraded_reads"] = float64(r.HotDegradedReads)
+			pos["hot_owner_ops_per_sec"] = r.HotOwnerOpsPerSec
+			pos["hot_any_ops_per_sec"] = r.HotAnyOpsPerSec
+			pos["hot_degraded_ops_per_sec"] = r.HotDegradedOpsPerSec
+			// The degraded arm exists to show replicas serving; a zero
+			// hit rate means the replica read path never engaged.
+			pos["replica_hit_rate"] = r.ReplicaHitRate
+		}
 		for field, v := range pos {
 			if v <= 0 {
 				return fmt.Errorf("%s = %g, want > 0", at(field), v)
@@ -140,6 +163,10 @@ func (f *File) Validate() error {
 		if v2 {
 			nonNeg["stream_prefetch"] = float64(r.StreamPrefetch)
 		}
+		if v3 {
+			nonNeg["repl_fallbacks"] = float64(r.ReplFallbacks)
+			nonNeg["hot_failures"] = float64(r.HotFailures)
+		}
 		for field, v := range nonNeg {
 			if v < 0 {
 				return fmt.Errorf("%s = %g, want >= 0", at(field), v)
@@ -150,6 +177,17 @@ func (f *File) Validate() error {
 		if v2 && r.StrandedKeys != 0 {
 			return fmt.Errorf("%s = %d, want 0 (the repair loop must drain stranded keys)",
 				at("stranded_keys"), r.StrandedKeys)
+		}
+		// v3 makes the digest protocol's headline claim part of the
+		// schema at full scale: a committed 1024-node trajectory that
+		// stops showing the ≥5x anti-entropy reduction fails here
+		// instead of silently recording the regression. Small-n quick
+		// runs (fewer owned items per node, so per-message overhead
+		// weighs more) are exempt from the absolute floor; Compare
+		// still gates them against the baseline's ratio.
+		if v3 && r.Nodes >= 1024 && r.ReplReduction < 5 {
+			return fmt.Errorf("%s = %.2f, want >= 5 at n >= 1024 (digest anti-entropy reduction)",
+				at("repl_reduction"), r.ReplReduction)
 		}
 		if r.P99Hops < r.P50Hops {
 			return fmt.Errorf("%s", at("p99_hops below p50_hops"))
@@ -171,10 +209,18 @@ func (f *File) Validate() error {
 // sensitive, so its gate is a coarse fell-off-a-cliff guard with
 // generous headroom, not a hop-style budget; it is skipped entirely
 // when either side predates the streaming phase (v1 baselines) or
-// ttfbTolerance is zero. Geometries in only one side are ignored, so a
-// quick CI run (smaller n, where hops are lower anyway) still compares
-// meaningfully against the committed full-scale file.
-func Compare(baseline *File, runs []Result, hopsTolerance, ttfbTolerance float64) error {
+// ttfbTolerance is zero. When both sides carry replication data (v3),
+// the new run's anti-entropy reduction (repl_reduction, the full-push
+// bytes over the digest bytes actually sent) must not fall below the
+// baseline's divided by replTolerance — the ratio is scale- and
+// machine-stable where the raw byte rates are not (a quick CI run has
+// fewer nodes, so cluster-wide bytes/s is incomparable, but how many
+// bytes the digests save per byte sent is the protocol property being
+// guarded). Zero replTolerance disables that gate. Geometries in only
+// one side are ignored, so a quick CI run (smaller n, where hops are
+// lower anyway) still compares meaningfully against the committed
+// full-scale file.
+func Compare(baseline *File, runs []Result, hopsTolerance, ttfbTolerance, replTolerance float64) error {
 	base := make(map[string]Result, len(baseline.Runs))
 	for _, r := range baseline.Runs {
 		base[r.Proto] = r
@@ -192,6 +238,11 @@ func Compare(baseline *File, runs []Result, hopsTolerance, ttfbTolerance float64
 			r.StreamTTFBUS > b.StreamTTFBUS*ttfbTolerance {
 			return fmt.Errorf("livebench: %s stream ttfb %.0fus exceeds %.1fx the baseline %.0fus (n=%d vs baseline n=%d)",
 				r.Proto, r.StreamTTFBUS, ttfbTolerance, b.StreamTTFBUS, r.Nodes, b.Nodes)
+		}
+		if replTolerance > 0 && r.ReplReduction > 0 && b.ReplReduction > 0 &&
+			r.ReplReduction < b.ReplReduction/replTolerance {
+			return fmt.Errorf("livebench: %s anti-entropy reduction %.2fx below 1/%.1f of the baseline %.2fx (n=%d vs baseline n=%d)",
+				r.Proto, r.ReplReduction, replTolerance, b.ReplReduction, r.Nodes, b.Nodes)
 		}
 	}
 	return nil

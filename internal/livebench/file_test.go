@@ -22,6 +22,11 @@ func goodRun(proto string) Result {
 		MaintBytesPerSecPerNode: 1200, WallMS: 9000,
 		StreamObjectBytes: 1 << 20, StreamChunkSize: 4096, StreamChunks: 257,
 		StreamPrefetch: 2, StreamReads: 3, StreamTTFBUS: 2200, StreamMBPS: 35,
+		ReplicateEveryMS: 2000, StoreShards: 16,
+		ReplBytesPerSec: 4000, ReplFullPushBytesPerSec: 26000, ReplReduction: 6.5,
+		HotReads: 512, HotDegradedReads: 64,
+		HotOwnerOpsPerSec: 3000, HotAnyOpsPerSec: 3100, HotDegradedOpsPerSec: 150,
+		ReplicaHitRate: 0.8,
 	}
 	if proto == "kademlia" {
 		r.BucketSize = 8
@@ -100,6 +105,25 @@ func TestFileValidateRejects(t *testing.T) {
 			mutate: func(f *File) { f.Runs[0].StrandedKeys = 3 },
 			want:   "stranded_keys",
 		},
+		"missing repl bytes": {
+			mutate: func(f *File) { f.Runs[0].ReplBytesPerSec = 0 },
+			want:   "repl_bytes_per_sec",
+		},
+		"missing hot throughput": {
+			mutate: func(f *File) { f.Runs[0].HotAnyOpsPerSec = 0 },
+			want:   "hot_any_ops_per_sec",
+		},
+		"replica path never engaged": {
+			mutate: func(f *File) { f.Runs[0].ReplicaHitRate = 0 },
+			want:   "replica_hit_rate",
+		},
+		"full-scale run below the reduction floor": {
+			mutate: func(f *File) {
+				f.Runs[0].Nodes = 1024
+				f.Runs[0].ReplReduction = 3
+			},
+			want: "repl_reduction",
+		},
 	}
 	for name, tc := range cases {
 		f := NewFile([]Result{goodRun("chord")})
@@ -129,6 +153,17 @@ func TestFileValidateRejects(t *testing.T) {
 	}
 }
 
+// stripRepl zeroes every v3 replication field, as a pre-digest
+// document would carry.
+func stripRepl(r *Result) {
+	r.ReplicateEveryMS, r.StoreShards = 0, 0
+	r.ReplBytesPerSec, r.ReplFullPushBytesPerSec, r.ReplReduction = 0, 0, 0
+	r.ReplFallbacks = 0
+	r.HotReads, r.HotDegradedReads, r.HotFailures = 0, 0, 0
+	r.HotOwnerOpsPerSec, r.HotAnyOpsPerSec, r.HotDegradedOpsPerSec = 0, 0, 0
+	r.ReplicaHitRate = 0
+}
+
 // A legacy v1 document — no stream fields, no batch knob, stranded
 // count recorded rather than gated — must still load and validate.
 func TestFileAcceptsV1(t *testing.T) {
@@ -140,6 +175,7 @@ func TestFileAcceptsV1(t *testing.T) {
 	r.StreamPrefetch, r.StreamReads = 0, 0
 	r.StreamTTFBUS, r.StreamMBPS = 0, 0
 	r.StrandedKeys = 2
+	stripRepl(r)
 	if err := f.Validate(); err != nil {
 		t.Fatalf("v1 document rejected: %v", err)
 	}
@@ -152,38 +188,63 @@ func TestFileAcceptsV1(t *testing.T) {
 	}
 }
 
-// Compare gates mean hops per geometry additively and stream TTFB
-// multiplicatively, tolerates small regressions, skips the TTFB gate
-// when a side predates the streaming phase, and ignores geometries
-// missing from either side.
+// A legacy v2 document — streaming fields present, replication fields
+// absent — must still load and validate, with the stranded gate (a v2
+// constraint) enforced and the replication fields not.
+func TestFileAcceptsV2(t *testing.T) {
+	f := NewFile([]Result{goodRun("chord")})
+	f.Schema = SchemaV2
+	stripRepl(&f.Runs[0])
+	if err := f.Validate(); err != nil {
+		t.Fatalf("v2 document rejected: %v", err)
+	}
+	f.Runs[0].StrandedKeys = 1
+	if err := f.Validate(); err == nil {
+		t.Fatal("v2 document with stranded keys accepted")
+	}
+	f.Runs[0].StrandedKeys = 0
+	path := filepath.Join(t.TempDir(), "v2.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("v2 document fails Load: %v", err)
+	}
+}
+
+// Compare gates mean hops per geometry additively, stream TTFB
+// multiplicatively, and the anti-entropy reduction ratio against a
+// shrink factor; tolerates small regressions, skips gates when a side
+// predates the relevant phase, and ignores geometries missing from
+// either side.
 func TestCompare(t *testing.T) {
 	baseline := NewFile([]Result{goodRun("chord"), goodRun("pastry")})
 
 	ok := goodRun("chord")
 	ok.MeanHops = baseline.Runs[0].MeanHops + 0.5
-	if err := Compare(baseline, []Result{ok}, 0.75, 3); err != nil {
+	if err := Compare(baseline, []Result{ok}, 0.75, 3, 2); err != nil {
 		t.Fatalf("within-tolerance run rejected: %v", err)
 	}
 
 	bad := goodRun("chord")
 	bad.MeanHops = baseline.Runs[0].MeanHops + 1.0
-	if err := Compare(baseline, []Result{bad}, 0.75, 3); err == nil {
+	if err := Compare(baseline, []Result{bad}, 0.75, 3, 2); err == nil {
 		t.Fatal("regressed run accepted")
 	}
 
 	novel := goodRun("kademlia") // not in baseline: ignored
 	novel.MeanHops = 99
-	if err := Compare(baseline, []Result{novel}, 0.75, 3); err != nil {
+	if err := Compare(baseline, []Result{novel}, 0.75, 3, 2); err != nil {
 		t.Fatalf("novel geometry gated against nothing: %v", err)
 	}
 
 	slow := goodRun("chord")
 	slow.StreamTTFBUS = baseline.Runs[0].StreamTTFBUS * 2
-	if err := Compare(baseline, []Result{slow}, 0.75, 3); err != nil {
+	if err := Compare(baseline, []Result{slow}, 0.75, 3, 2); err != nil {
 		t.Fatalf("within-tolerance ttfb rejected: %v", err)
 	}
 	slow.StreamTTFBUS = baseline.Runs[0].StreamTTFBUS * 4
-	if err := Compare(baseline, []Result{slow}, 0.75, 3); err == nil {
+	if err := Compare(baseline, []Result{slow}, 0.75, 3, 2); err == nil {
 		t.Fatal("cliff-regressed ttfb accepted")
 	}
 
@@ -191,7 +252,28 @@ func TestCompare(t *testing.T) {
 	// fire against a zero.
 	v1 := NewFile([]Result{goodRun("chord")})
 	v1.Runs[0].StreamTTFBUS = 0
-	if err := Compare(v1, []Result{slow}, 0.75, 3); err != nil {
+	if err := Compare(v1, []Result{slow}, 0.75, 3, 2); err != nil {
 		t.Fatalf("ttfb gated against a streamless baseline: %v", err)
+	}
+
+	// The anti-entropy gate: a reduction within the shrink factor of
+	// the baseline passes, below it fails, and a baseline without
+	// replication data (v2 and earlier) disables the gate.
+	lessEff := goodRun("chord")
+	lessEff.ReplReduction = baseline.Runs[0].ReplReduction / 1.5
+	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 2); err != nil {
+		t.Fatalf("within-shrink-factor reduction rejected: %v", err)
+	}
+	lessEff.ReplReduction = baseline.Runs[0].ReplReduction / 4
+	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 2); err == nil {
+		t.Fatal("collapsed anti-entropy reduction accepted")
+	}
+	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 0); err != nil {
+		t.Fatalf("disabled repl gate still fired: %v", err)
+	}
+	v2 := NewFile([]Result{goodRun("chord")})
+	stripRepl(&v2.Runs[0])
+	if err := Compare(v2, []Result{lessEff}, 0.75, 3, 2); err != nil {
+		t.Fatalf("repl gated against a pre-digest baseline: %v", err)
 	}
 }

@@ -73,7 +73,12 @@ type Options struct {
 	// refresh dominated converge time). Pastry and Kademlia ignore it.
 	FixFingersBatch int
 
-	// Keys is the preloaded key count (default N).
+	// Keys is the preloaded key count (default 8·N, capped to a quarter
+	// of the id space). Sizing the universe in multiples of N is what
+	// makes the anti-entropy figures representative: each owner then
+	// digests multi-entry batches, which is the regime the digest
+	// protocol's byte reduction is designed for (a one-item overlay
+	// would price only the per-message overhead).
 	Keys int
 	// ZipfAlpha is the workload skew exponent (default 1.2, the paper's
 	// hot sweep).
@@ -86,6 +91,12 @@ type Options struct {
 	// Workers is the client concurrency for the workload phases
 	// (default 8).
 	Workers int
+	// HotReads is the per-arm read count of the hot-key phase: every
+	// worker hammers the single hottest key, once through owner reads
+	// (Get) and once through replica-accepting reads (FindValue), so
+	// the two read contracts are priced against each other on the same
+	// key (default 4·N).
+	HotReads int
 
 	// StreamObjectBytes sizes the streaming-phase object (default
 	// 1 MiB — 257 chunks at the wire-limit chunk size).
@@ -134,13 +145,17 @@ func (o Options) withDefaults() (Options, error) {
 	def(&o.AuxCount, 8)
 	def(&o.SuccessorListLen, 4)
 	def(&o.BucketSize, 8)
-	def(&o.Keys, o.N)
+	def(&o.Keys, 8*o.N)
+	if cap := int(uint64(1) << o.Bits / 4); o.Keys > cap {
+		o.Keys = cap
+	}
 	if o.ZipfAlpha == 0 {
 		o.ZipfAlpha = 1.2
 	}
 	def(&o.WarmupOps, 4*o.N)
 	def(&o.Ops, 8*o.N)
 	def(&o.Workers, 8)
+	def(&o.HotReads, 4*o.N)
 	def(&o.FixFingersBatch, 8)
 	def(&o.StreamObjectBytes, 1<<20)
 	def(&o.StreamReads, 3)
@@ -235,6 +250,46 @@ type Result struct {
 	StreamTTFBUS      float64 `json:"stream_ttfb_us"`
 	StreamMBPS        float64 `json:"stream_mbps"`
 
+	// Replication data plane (schema v3). The anti-entropy window is
+	// measured on the preloaded, write-quiet overlay: one ReplicateEvery
+	// period after the preload (so the round that ships the new items
+	// has passed), two further periods are priced. ReplBytesPerSec is
+	// what the digest protocol actually sent cluster-wide in that
+	// window — digest requests, digest responses, and any diff or
+	// fallback pushes; ReplFullPushBytesPerSec is the counterfactual
+	// the owners maintained alongside it: the bytes the pre-digest
+	// protocol (full push of every owned item per round) would have
+	// sent for the same batches. ReplReduction is their ratio — the
+	// headline anti-entropy saving, ≥5 at full scale.
+	ReplicateEveryMS        int64   `json:"replicate_every_ms"`
+	StoreShards             int     `json:"store_shards"`
+	ReplBytesPerSec         float64 `json:"repl_bytes_per_sec"`
+	ReplFullPushBytesPerSec float64 `json:"repl_full_push_bytes_per_sec"`
+	ReplReduction           float64 `json:"repl_reduction"`
+	// ReplFallbacks counts digest rounds that timed out and fell back
+	// to a full push during the measured window (0 on a quiet overlay).
+	ReplFallbacks uint64 `json:"repl_fallbacks"`
+
+	// Hot-key phase: reads of the single hottest key under the two read
+	// contracts. On the healthy overlay both arms funnel to the owner
+	// (the α-race's first probe rides the warm aux pointer straight
+	// there), so owner and any-copy throughput match — the any-copy
+	// contract costs nothing when nothing is wrong. The degraded arm is
+	// where it pays: with the owner partitioned away, owner reads would
+	// time out to zero, while the race hedges past the dead owner to
+	// the key's replica holders and keeps serving at real throughput.
+	// ReplicaHitRate is the fraction of degraded reads answered from a
+	// replica copy (cluster-wide replica-served count over reads
+	// issued); it decays over a long window as stranded repair promotes
+	// a replica to owner, which is the overlay healing, not a miss.
+	HotReads             int     `json:"hot_reads"`
+	HotDegradedReads     int     `json:"hot_degraded_reads"`
+	HotOwnerOpsPerSec    float64 `json:"hot_owner_ops_per_sec"`
+	HotAnyOpsPerSec      float64 `json:"hot_any_ops_per_sec"`
+	HotDegradedOpsPerSec float64 `json:"hot_degraded_ops_per_sec"`
+	HotFailures          int     `json:"hot_failures"`
+	ReplicaHitRate       float64 `json:"replica_hit_rate"`
+
 	// StrandedKeys counts preloaded keys surviving only as replicas
 	// (no live owner copy) at the end of the run. The replication
 	// loop's stranded repair re-homes such keys within a few periods,
@@ -258,6 +313,24 @@ func snapshot(nodes []*node.Node) counterSnap {
 		s.msgs += m.DatagramsIn + m.DatagramsOut
 		s.bytes += m.BytesIn + m.BytesOut
 		s.auxHits += m.AuxHits
+	}
+	return s
+}
+
+// replSnap is the cluster-wide aggregate of the replication data-plane
+// counters.
+type replSnap struct {
+	out, fullPush, fallbacks, serves uint64
+}
+
+func replSnapshot(nodes []*node.Node) replSnap {
+	var s replSnap
+	for _, n := range nodes {
+		m := n.Metrics()
+		s.out += m.ReplBytesOut
+		s.fullPush += m.ReplBytesFullPush
+		s.fallbacks += m.FullPushFallbacks
+		s.serves += m.ReplicaServes
 	}
 	return s
 }
@@ -313,27 +386,32 @@ func Run(o Options) (*Result, error) {
 		SuccessorListLen: o.SuccessorListLen,
 		Keys:             o.Keys, ZipfAlpha: o.ZipfAlpha,
 		WarmupOps: o.WarmupOps, Ops: o.Ops, Workers: o.Workers,
-		StabilizeMS:     o.StabilizeEvery.Milliseconds(),
-		FixFingersMS:    o.FixFingersEvery.Milliseconds(),
-		FixFingersBatch: o.FixFingersBatch,
-		AuxEveryMS:      o.AuxEvery.Milliseconds(),
-		BootMS:          time.Since(start).Milliseconds(),
+		StabilizeMS:      o.StabilizeEvery.Milliseconds(),
+		FixFingersMS:     o.FixFingersEvery.Milliseconds(),
+		FixFingersBatch:  o.FixFingersBatch,
+		AuxEveryMS:       o.AuxEvery.Milliseconds(),
+		ReplicateEveryMS: o.ReplicateEvery.Milliseconds(),
+		StoreShards:      c.Nodes[0].Metrics().StoreShards,
+		HotReads:         o.HotReads,
+		BootMS:           time.Since(start).Milliseconds(),
 	}
 	if o.Proto == "kademlia" {
 		r.BucketSize = o.BucketSize
 	}
 	o.Logf("livebench: booted in %dms, waiting for convergence", r.BootMS)
 
-	convergeStart := time.Now()
-	switch o.Proto {
-	case "chord":
-		err = c.WaitConverged(o.ConvergeTimeout)
-	case "pastry":
-		err = c.WaitConvergedPastry(o.SuccessorListLen, o.ConvergeTimeout)
-	case "kademlia":
-		err = c.WaitConvergedKademlia(o.BucketSize, o.ConvergeTimeout)
+	waitConverged := func() error {
+		switch o.Proto {
+		case "pastry":
+			return c.WaitConvergedPastry(o.SuccessorListLen, o.ConvergeTimeout)
+		case "kademlia":
+			return c.WaitConvergedKademlia(o.BucketSize, o.ConvergeTimeout)
+		default:
+			return c.WaitConverged(o.ConvergeTimeout)
+		}
 	}
-	if err != nil {
+	convergeStart := time.Now()
+	if err := waitConverged(); err != nil {
 		return nil, fmt.Errorf("livebench: %s n=%d: %w", o.Proto, o.N, err)
 	}
 	r.ConvergeMS = time.Since(convergeStart).Milliseconds()
@@ -348,16 +426,56 @@ func Run(o Options) (*Result, error) {
 	r.MaintMsgsPerSecPerNode = float64(idleAfter.msgs-idleBefore.msgs) / idleSecs / float64(o.N)
 	r.MaintBytesPerSecPerNode = float64(idleAfter.bytes-idleBefore.bytes) / idleSecs / float64(o.N)
 
-	// Preload the key universe through random origins.
+	// Preload the key universe through random origins, sharded across
+	// the workload workers — 8·N sequential puts would dominate the
+	// wall clock at full scale.
 	val := make([]byte, 64)
 	rng.Read(val)
-	for i, k := range keys {
-		origin := c.Nodes[rng.Intn(len(c.Nodes))]
-		if _, err := origin.Put(k, val); err != nil {
-			return nil, fmt.Errorf("livebench: preload put %d (key %d): %w", i, k, err)
+	{
+		var wg sync.WaitGroup
+		errs := make([]error, o.Workers)
+		for w := 0; w < o.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(randx.DeriveSeed(o.Seed, fmt.Sprintf("preload-%d", w))))
+				for i := w; i < len(keys); i += o.Workers {
+					origin := c.Nodes[wrng.Intn(len(c.Nodes))]
+					if _, err := origin.Put(keys[i], val); err != nil {
+						errs[w] = fmt.Errorf("livebench: preload put %d (key %d): %w", i, keys[i], err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
-	o.Logf("livebench: %d keys preloaded, warming up (%d ops)", len(keys), o.WarmupOps)
+	o.Logf("livebench: %d keys preloaded, pricing anti-entropy (%v window)", len(keys), 2*o.ReplicateEvery)
+
+	// Anti-entropy window: the overlay is write-quiet, so after one
+	// period (which lets the round that ships the freshly preloaded
+	// items pass) every further round is steady-state digest traffic.
+	// Two periods guarantee at least one full round per owner
+	// regardless of ticker phase.
+	time.Sleep(o.ReplicateEvery)
+	replBefore := replSnapshot(c.Nodes)
+	replStart := time.Now()
+	time.Sleep(2 * o.ReplicateEvery)
+	replAfter := replSnapshot(c.Nodes)
+	replSecs := time.Since(replStart).Seconds()
+	r.ReplBytesPerSec = float64(replAfter.out-replBefore.out) / replSecs
+	r.ReplFullPushBytesPerSec = float64(replAfter.fullPush-replBefore.fullPush) / replSecs
+	r.ReplFallbacks = replAfter.fallbacks - replBefore.fallbacks
+	if d := replAfter.out - replBefore.out; d > 0 {
+		r.ReplReduction = float64(replAfter.fullPush-replBefore.fullPush) / float64(d)
+	}
+	o.Logf("livebench: anti-entropy %.0f B/s vs %.0f B/s full-push (%.1fx reduction, %d fallbacks), warming up (%d ops)",
+		r.ReplBytesPerSec, r.ReplFullPushBytesPerSec, r.ReplReduction, r.ReplFallbacks, o.WarmupOps)
 
 	// Zipf workload: rank r's popularity ∝ r^-alpha, ranks assigned to
 	// keys in preload order (the mapping is arbitrary but fixed by the
@@ -438,6 +556,10 @@ func Run(o Options) (*Result, error) {
 	r.BytesPerSec = float64(after.bytes-before.bytes) / secs
 	r.AuxHitRate = float64(after.auxHits-before.auxHits) / float64(len(hops)+failures)
 
+	if err := hotPhase(o, c, nw, keys[0], waitConverged, r); err != nil {
+		return nil, err
+	}
+
 	if err := streamPhase(o, c, space, rng, r); err != nil {
 		return nil, err
 	}
@@ -469,6 +591,114 @@ func Run(o Options) (*Result, error) {
 	return r, nil
 }
 
+// hotPhase prices the two read contracts on the single hottest key
+// (Zipf rank 0, so its aux pointers are warm from the measured
+// workload). Two healthy arms first: owner reads (Get — resolve the
+// owner, fetch there) and any-copy reads (FindValue — race find-value
+// probes, take the first copy a holder answers with). On a healthy
+// overlay both funnel to the owner, so their throughputs match: the
+// weaker contract costs nothing when nothing is wrong. The third arm
+// partitions the owner away and repeats the any-copy reads — the
+// regime the replica-served read path exists for: owner reads would
+// time out to zero, while the race hedges past the dead owner to the
+// replica holders the neighborhood advertisement names and keeps
+// serving at real throughput, with ReplicaHitRate of the reads
+// answered from replica copies. The partition is healed and the
+// overlay re-converged against the oracle before the next phase.
+// Origins skip the key's own holders so every read pays the network.
+func hotPhase(o Options, c *cluster.Cluster, nw *memnet.Network, hot id.ID, waitConverged func() error, r *Result) error {
+	arm := func(reads int, read func(*node.Node) error) (float64, int) {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			failures int
+		)
+		start := time.Now()
+		per := reads / o.Workers
+		for w := 0; w < o.Workers; w++ {
+			n := per
+			if w == 0 {
+				n += reads % o.Workers
+			}
+			wg.Add(1)
+			go func(w, n int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(randx.DeriveSeed(o.Seed, fmt.Sprintf("hot-%d", w))))
+				myFail := 0
+				for i := 0; i < n; i++ {
+					origin := c.Nodes[wrng.Intn(len(c.Nodes))]
+					if _, ok := origin.ItemDetail(hot); ok {
+						continue // holders answer locally; not a priced read
+					}
+					// One client-level retry before a read counts as
+					// failed: the kv client gives its callers the same
+					// budget, and a single lost race under an active
+					// partition is availability noise. The retry's cost
+					// stays in the arm's wall clock, so ops/sec still
+					// pays for it.
+					if err := read(origin); err != nil {
+						if err = read(origin); err != nil {
+							myFail++
+						}
+					}
+				}
+				mu.Lock()
+				failures += myFail
+				mu.Unlock()
+			}(w, n)
+		}
+		wg.Wait()
+		return float64(reads) / time.Since(start).Seconds(), failures
+	}
+	ownerRead := func(n *node.Node) error {
+		_, err := n.Get(hot)
+		return err
+	}
+	anyRead := func(n *node.Node) error {
+		_, err := n.FindValue(hot)
+		return err
+	}
+
+	ownerOps, ownerFail := arm(o.HotReads, ownerRead)
+	anyOps, anyFail := arm(o.HotReads, anyRead)
+
+	// The degraded arm is short: each read pays hedged probes past the
+	// dead owner (a quarter RPC timeout each), so a full-length arm
+	// would dominate the bench's wall clock without adding signal.
+	degradedReads := o.HotReads / 8
+	if degradedReads < 64 {
+		degradedReads = 64
+	}
+	var ownerNode *node.Node
+	for _, n := range c.Nodes {
+		if it, ok := n.ItemDetail(hot); ok && it.Owned {
+			ownerNode = n
+			break
+		}
+	}
+	if ownerNode == nil {
+		return fmt.Errorf("livebench: hot key %d has no live owner before the degraded arm", hot)
+	}
+	nw.Partition("livebench-hot-owner", ownerNode.Addr())
+	servesBefore := replSnapshot(c.Nodes).serves
+	degradedOps, degradedFail := arm(degradedReads, anyRead)
+	servesAfter := replSnapshot(c.Nodes).serves
+	nw.Heal("livebench-hot-owner")
+	if err := waitConverged(); err != nil {
+		return fmt.Errorf("livebench: re-converge after the degraded hot arm: %w", err)
+	}
+
+	r.HotDegradedReads = degradedReads
+	r.HotOwnerOpsPerSec = ownerOps
+	r.HotAnyOpsPerSec = anyOps
+	r.HotDegradedOpsPerSec = degradedOps
+	r.HotFailures = ownerFail + anyFail + degradedFail
+	r.ReplicaHitRate = float64(servesAfter-servesBefore) / float64(degradedReads)
+	o.Logf("livebench: hot key %d: owner %.0f ops/s, any-copy %.0f ops/s, owner-down any-copy %.0f ops/s, replica hit rate %.3f (%d failures)",
+		hot, ownerOps, anyOps, degradedOps, r.ReplicaHitRate, r.HotFailures)
+	return nil
+}
+
 // streamPhase puts one large object through the chunk layer and reads
 // it back sequentially from fresh random origins, recording mean TTFB
 // and sustained throughput. Chunk fetches ride the normal lookup path
@@ -483,12 +713,18 @@ func streamPhase(o Options, c *cluster.Cluster, space id.Space, rng *rand.Rand, 
 			},
 			GetFunc: func(key id.ID) ([]byte, int, error) {
 				res, err := n.FindValue(key)
-				if err != nil {
-					return nil, res.Hops, err
-				}
-				return res.Value, res.Hops, nil
+				return res.Value, res.Hops, err
 			},
-		}, chunk.Options{Space: space, Window: 8, Prefetch: o.StreamPrefetch, Retries: 3})
+		}, chunk.Options{Space: space, Window: 8, Prefetch: o.StreamPrefetch, Retries: 3,
+			// A chunk key can collide with a preloaded workload key in
+			// the bench's small id space; the chunk put then bumps that
+			// key's version, and until the next digest round an
+			// any-copy read can be served the bounded-stale preload
+			// value. Escalate digest mismatches to an owner read.
+			StrongGet: func(key id.ID) ([]byte, int, error) {
+				res, err := n.Get(key)
+				return res.Value, res.Hops, err
+			}})
 	}
 	obj := make([]byte, o.StreamObjectBytes)
 	rng.Read(obj)

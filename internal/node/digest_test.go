@@ -1,0 +1,252 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+)
+
+// startMemCluster boots nodes over a memnet switchboard with manual
+// replication (ReplicateEvery < 0 disables the ticker, the
+// successor-change trigger, and stranded repair), so digest tests drive
+// ReplicationRound explicitly and every datagram on the wire is theirs.
+func startMemCluster(t *testing.T, space id.Space, nw *memnet.Network, ids []uint64) []*Node {
+	t.Helper()
+	nodes := make([]*Node, 0, len(ids))
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	for i, x := range ids {
+		cfg := Config{
+			Space:             space,
+			ID:                id.ID(x),
+			Addr:              fmt.Sprintf("mem/%d", x),
+			StabilizeEvery:    25 * time.Millisecond,
+			FixFingersEvery:   5 * time.Millisecond,
+			RPCTimeout:        100 * time.Millisecond,
+			RPCRetries:        1,
+			ReplicationFactor: 2,
+			ReplicateEvery:    -1,
+			Listen: func(addr string) (PacketConn, error) {
+				return nw.Listen(addr)
+			},
+		}
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatalf("start node %d: %v", x, err)
+		}
+		nodes = append(nodes, n)
+		if i > 0 {
+			if err := n.Join(nodes[0].Addr()); err != nil {
+				t.Fatalf("join node %d: %v", x, err)
+			}
+		}
+	}
+	return nodes
+}
+
+// waitReplica polls until n holds key (the one-way Replicate pushes a
+// round emits are delivered asynchronously by the switchboard).
+func waitReplica(t *testing.T, n *Node, key id.ID) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, ok := n.Item(key); ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %d never reached node %d: %+v", key, n.ID(), n.Metrics())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A steady-state replication round ships digests, not data: the first
+// round transfers every item as a diff, subsequent rounds send one
+// digest batch and nothing else, and an overwrite ships exactly the one
+// changed key. The byte counters must show the protocol beating the
+// full-push equivalent once state is in sync.
+func TestDigestRoundShipsOnlyDiff(t *testing.T) {
+	space := id.NewSpace(16)
+	nw := memnet.New(1)
+	nodes := startMemCluster(t, space, nw, []uint64{100, 20000, 40000})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// 20 keys in (100, 20000]: all owned by b, replicated to c.
+	const keys = 20
+	for i := 0; i < keys; i++ {
+		if _, err := a.Put(id.ID(1000+i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %d: %v", 1000+i, err)
+		}
+	}
+
+	b.ReplicationRound()
+	m := b.Metrics()
+	if m.DigestsOut != 1 || m.DiffKeysOut != keys || m.ReplicasOut != keys || m.FullPushFallbacks != 0 {
+		t.Fatalf("first round: %d digests, %d diff keys, %d pushes, %d fallbacks; want 1/%d/%d/0",
+			m.DigestsOut, m.DiffKeysOut, m.ReplicasOut, m.FullPushFallbacks, keys, keys)
+	}
+	for i := 0; i < keys; i++ {
+		waitReplica(t, c, id.ID(1000+i))
+	}
+	if got := c.Metrics().DigestsIn; got != 1 {
+		t.Fatalf("c answered %d digests, want 1", got)
+	}
+
+	// Steady state: two more rounds move digests only.
+	b.ReplicationRound()
+	b.ReplicationRound()
+	m = b.Metrics()
+	if m.DigestsOut != 3 || m.DiffKeysOut != keys || m.ReplicasOut != keys {
+		t.Fatalf("steady state: %d digests, %d diff keys, %d pushes; want 3/%d/%d",
+			m.DigestsOut, m.DiffKeysOut, m.ReplicasOut, keys, keys)
+	}
+	if m.ReplBytesOut == 0 || m.ReplBytesFullPush == 0 || m.ReplBytesOut >= m.ReplBytesFullPush {
+		t.Fatalf("after 3 rounds anti-entropy sent %d bytes vs %d full-push equivalent; want a reduction",
+			m.ReplBytesOut, m.ReplBytesFullPush)
+	}
+
+	// An overwrite ships exactly the changed key.
+	if _, err := a.Put(1000, []byte("v0-new")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	b.ReplicationRound()
+	m2 := b.Metrics()
+	if m2.ReplicasOut != m.ReplicasOut+1 || m2.DiffKeysOut != m.DiffKeysOut+1 {
+		t.Fatalf("overwrite round pushed %d keys (diff %d), want exactly 1 more than %d (%d)",
+			m2.ReplicasOut, m2.DiffKeysOut, m.ReplicasOut, m.DiffKeysOut)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, version, ok := c.Item(1000); ok && version == 2 && bytes.Equal(v, []byte("v0-new")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, version, ok := c.Item(1000)
+			t.Fatalf("c replica after overwrite: %q v%d ok=%t, want v0-new v2", v, version, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// When a replica target never answers digests — a pre-digest peer, a
+// lossy response path — the owner falls back to pushing the whole batch,
+// so convergence never regresses below the PR 3 protocol. Here the
+// response direction c→b is blacked out: b's digest times out, the
+// fallback pushes still land on c, and once the path heals the next
+// round is digest-only again.
+func TestDigestFallbackFullPush(t *testing.T) {
+	space := id.NewSpace(16)
+	nw := memnet.New(1)
+	nodes := startMemCluster(t, space, nw, []uint64{100, 20000, 40000})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	const keys = 5
+	for i := 0; i < keys; i++ {
+		if _, err := a.Put(id.ID(1000+i), []byte("v")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+
+	nw.SetLinkPolicy(c.Addr(), b.Addr(), memnet.LinkPolicy{Drop: 1})
+	b.ReplicationRound()
+	m := b.Metrics()
+	if m.FullPushFallbacks != 1 || m.ReplicasOut != keys {
+		t.Fatalf("blacked-out round: %d fallbacks, %d pushes; want 1, %d", m.FullPushFallbacks, m.ReplicasOut, keys)
+	}
+	for i := 0; i < keys; i++ {
+		waitReplica(t, c, id.ID(1000+i))
+	}
+
+	nw.SetLinkPolicy(c.Addr(), b.Addr(), memnet.LinkPolicy{})
+	b.ReplicationRound()
+	m2 := b.Metrics()
+	if m2.FullPushFallbacks != 1 || m2.ReplicasOut != keys {
+		t.Fatalf("healed round: %d fallbacks, %d pushes; want still 1, %d", m2.FullPushFallbacks, m2.ReplicasOut, keys)
+	}
+}
+
+// The bounded-staleness contract: a replica-served read is never older
+// than the last acknowledged write minus one anti-entropy round. With
+// manual rounds the bound is exact — after the write the replica still
+// holds the previous acked version, and one round closes the gap.
+func TestBoundedStalenessOneRound(t *testing.T) {
+	space := id.NewSpace(16)
+	nw := memnet.New(1)
+	nodes := startMemCluster(t, space, nw, []uint64{100, 20000, 40000})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	key := id.ID(10000) // owned by b, replicated to c
+	if _, err := a.Put(key, []byte("v1")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	b.ReplicationRound()
+	waitReplica(t, c, key)
+	if _, version, ok := c.Item(key); !ok || version != 1 {
+		t.Fatalf("replica at c: v%d ok=%t, want v1", version, ok)
+	}
+
+	if _, err := a.Put(key, []byte("v2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	// Before the round the replica lags the acked write by exactly one
+	// version — the contract's worst case, never worse.
+	if _, version, ok := c.Item(key); !ok || version != 1 {
+		t.Fatalf("replica between rounds: v%d ok=%t, want the previous acked v1", version, ok)
+	}
+	b.ReplicationRound()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, version, ok := c.Item(key); ok && version == 2 && bytes.Equal(v, []byte("v2")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, version, ok := c.Item(key)
+			t.Fatalf("replica after round: %q v%d ok=%t, want v2", v, version, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Get's replica fallback: when the resolved owner is unreachable, the
+// read races a value-mode lookup and any replica holder answers under
+// the bounded-staleness contract, instead of surfacing the owner's RPC
+// error.
+func TestGetFallsBackToReplicaWhenOwnerDown(t *testing.T) {
+	space := id.NewSpace(16)
+	nw := memnet.New(1)
+	nodes := startMemCluster(t, space, nw, []uint64{100, 20000, 40000})
+	waitConverged(t, space, nodes, 10*time.Second)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	key := id.ID(10000) // owned by b, replicated to c
+	if _, err := a.Put(key, []byte("durable")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	b.ReplicationRound()
+	waitReplica(t, c, key)
+
+	// Cut the owner off entirely. a still resolves b as the owner from
+	// its routing state; the GET RPC fails; the fallback race reaches c.
+	nw.Partition("owner-down", b.Addr())
+	defer nw.Heal("owner-down")
+	got, err := a.Get(key)
+	if err != nil {
+		t.Fatalf("get with owner partitioned: %v", err)
+	}
+	if !bytes.Equal(got.Value, []byte("durable")) || got.Version != 1 {
+		t.Fatalf("replica-served read: %q v%d, want durable v1", got.Value, got.Version)
+	}
+	if got := c.Metrics().ReplicaServes; got < 1 {
+		t.Fatalf("c served %d replica reads, want at least 1", got)
+	}
+}

@@ -137,6 +137,23 @@ func (n *Node) Get(key id.ID) (GetResult, error) {
 	}
 	resp, err := n.call(owner.Addr, &wire.Message{Type: wire.TGet, Key: key})
 	if err != nil {
+		// The resolved owner is unreachable. Any replica holder can
+		// still serve the read under the bounded-staleness contract (its
+		// copy is at worst one anti-entropy round behind the last acked
+		// write), so race a value-mode lookup that terminates at the
+		// first copy holder before giving up. The seed adds our own
+		// successor list to the geometry's candidates: ring geometries
+		// exclude contacts past the key as routing overshoot, but
+		// replicas live exactly there (the owner's successors), and
+		// value mode's bidirectional ranking probes whichever side of
+		// the key is nearer.
+		seed := append(n.rt.Candidates(key, n.cfg.LookupAlpha), n.rt.Successors()...)
+		if out, rerr := n.race(key, seed, true); rerr == nil {
+			if n.cache != nil {
+				n.cache.Put(key, cachedCopy{value: out.value, version: out.version}, now)
+			}
+			return GetResult{Value: out.value, Version: out.version, Hops: hops + out.hops}, nil
+		}
 		return GetResult{Hops: hops}, fmt.Errorf("node: get %d at %v: %w", key, owner, err)
 	}
 	if !resp.OK {
@@ -160,8 +177,11 @@ func (n *Node) handlePut(m *wire.Message, resp *wire.Message) {
 
 func (n *Node) handleGet(m *wire.Message, resp *wire.Message) {
 	n.getsServed.Add(1)
-	if value, version, ok := n.store.get(m.Key, time.Now()); ok {
+	if value, version, owned, ok := n.store.info(m.Key, time.Now()); ok {
 		resp.OK, resp.Value, resp.Version = true, value, version
+		if !owned {
+			n.replicaServes.Add(1)
+		}
 	}
 }
 
@@ -172,24 +192,49 @@ func (n *Node) handleGet(m *wire.Message, resp *wire.Message) {
 // its own distance metric; see wire.Message.Closest).
 func (n *Node) handleFindValue(m *wire.Message, resp *wire.Message) {
 	n.getsServed.Add(1)
-	if value, version, ok := n.store.get(m.Key, time.Now()); ok {
+	if value, version, owned, ok := n.store.info(m.Key, time.Now()); ok {
 		resp.OK, resp.Value, resp.Version = true, value, version
+		if !owned {
+			n.replicaServes.Add(1)
+		}
 		return
 	}
-	cands := n.rt.Candidates(m.Key, wire.MaxClosest)
-	closest := make([]wire.Contact, 0, len(cands))
-	for _, c := range cands {
-		if c.IsZero() || c.Addr == "" || c.ID == m.From.ID {
+	// When this node sits in the key's neighborhood — its next hop for
+	// the key is terminal — the head of the successor list joins the
+	// routing candidates: that names the key's owner AND its replica
+	// targets, which ring candidate selection excludes as routing
+	// overshoot. A value walk needs exactly those contacts when the
+	// owner is unreachable and a replica must answer. Successors go
+	// first (nearest first, capped to half the list) so capacity
+	// pressure sheds far-away routing candidates, not the neighborhood.
+	// Far nodes must NOT advertise successors: a reader whose own id
+	// sits just past the key would otherwise see every answerer's
+	// successor chain rank as near-the-key (small reverse distance)
+	// and crawl away from the owner until the hop budget burns out.
+	var pool []wire.Contact
+	if _, done := n.rt.NextHop(m.Key); done {
+		pool = n.rt.Successors()
+		if len(pool) > wire.MaxClosest/2 {
+			pool = pool[:wire.MaxClosest/2]
+		}
+	}
+	pool = append(pool, n.rt.Candidates(m.Key, wire.MaxClosest)...)
+	seen := make(map[id.ID]bool, len(pool))
+	closest := make([]wire.Contact, 0, wire.MaxClosest)
+	for _, c := range pool {
+		if c.IsZero() || c.Addr == "" || c.ID == m.From.ID || seen[c.ID] {
 			continue
 		}
+		seen[c.ID] = true
 		closest = append(closest, c)
+		if len(closest) == wire.MaxClosest {
+			break
+		}
 	}
 	slices.SortFunc(closest, func(a, b wire.Contact) int {
 		return cmp.Compare(a.ID, b.ID)
 	})
-	resp.Closest = slices.CompactFunc(closest, func(a, b wire.Contact) bool {
-		return a.ID == b.ID
-	})
+	resp.Closest = closest
 }
 
 // FindValue resolves key to its value with the Kademlia-style combined
@@ -237,6 +282,24 @@ func (n *Node) handleReplicate(m *wire.Message) {
 	n.store.applyReplica(m.Key, m.Value, m.Version, time.Now())
 }
 
+// handleReplicateDigest answers one anti-entropy digest batch: the Need
+// list is the subset of digest keys whose local copy is missing, older,
+// or checksum-divergent. Matching entries have their TTL refreshed by
+// needFromDigest — the digest doubles as the owner's liveness signal,
+// exactly what a redundant full push used to provide, which is what
+// keeps healthy replicas out of the stranded-repair pass. The digest
+// arrives strictly ascending by key (the codec enforces it), so the
+// Need subset is born in canonical order.
+func (n *Node) handleReplicateDigest(m *wire.Message, resp *wire.Message) {
+	n.digestsIn.Add(1)
+	now := time.Now()
+	for _, e := range m.Digest {
+		if n.store.needFromDigest(e.Key, e.Version, e.Sum, now) {
+			resp.Need = append(resp.Need, e.Key)
+		}
+	}
+}
+
 // Item reports the value this node itself stores under key — as owner
 // or replica holder — without network traffic, frequency observation,
 // or cache consultation. Introspection only (tests, tooling); use Get
@@ -267,13 +330,19 @@ func (n *Node) ItemDetail(key id.ID) (ItemInfo, bool) {
 
 // ReplicationRound runs one reconciliation and replication pass. The
 // ticker calls it every ReplicateEvery; stabilize calls it early when
-// the replica target set changes. The pass is anti-entropy: every owned
-// item is re-pushed to the current targets with one-way Replicate
-// datagrams each round, so lost pushes, churned successors, and healed
-// partitions all converge without acks or retransmit state. The
-// authority predicate comes from the routing geometry (Chord: `(pred,
-// self]`; Pastry: numeric closeness over the leaf set); while the
-// geometry cannot tell yet, reconciliation skips promotion/demotion.
+// the replica target set changes. The pass is anti-entropy, but
+// digest-based: instead of re-pushing every owned item to every target
+// each round (the PR 3 protocol, whose per-round bytes grow with the
+// whole keyspace), the owner summarizes its owned items into
+// (key, version, checksum) digest batches, each target answers with the
+// keys it actually needs, and only those diffs travel as one-way
+// Replicate pushes. A target that does not answer a digest gets the
+// full push of that batch as fallback, so coverage never regresses —
+// lost datagrams, churned successors, and healed partitions still
+// converge without acks or retransmit state. The authority predicate
+// comes from the routing geometry (Chord: `(pred, self]`; Pastry:
+// numeric closeness over the leaf set); while the geometry cannot tell
+// yet, reconciliation skips promotion/demotion.
 func (n *Node) ReplicationRound() {
 	now := time.Now()
 	responsible, ok := n.rt.Responsible()
@@ -295,7 +364,8 @@ func (n *Node) ReplicationRound() {
 		n.sendReplica(owner.Addr, it)
 	}
 	// Re-home stranded replicas: a live owner refreshes its replicas
-	// every round, so a replica that has gone several periods without a
+	// every round — with a digest confirmation now, with a full push
+	// before — so a replica that has gone several periods without a
 	// refresh has lost its owner somewhere a one-shot handoff could not
 	// reach (crash after demotion, push dropped across a partition).
 	// Resolve the key's current owner and push the copy there; the owner
@@ -308,11 +378,81 @@ func (n *Node) ReplicationRound() {
 	if len(targets) == 0 {
 		return
 	}
-	for _, it := range n.store.owned() {
-		for _, t := range targets {
-			n.sendReplica(t.Addr, it)
+	owned := n.store.owned()
+	if len(owned) == 0 {
+		return
+	}
+	// Digest batches must be strictly ascending by key (the canonical
+	// wire order), and sorting once serves every target.
+	slices.SortFunc(owned, func(a, b ownedItem) int { return cmp.Compare(a.key, b.key) })
+	for _, t := range targets {
+		n.replicateTo(t, owned)
+	}
+}
+
+// replicateTo runs the digest protocol against one replica target: the
+// sorted owned items are summarized into MaxDigestEntries-sized digest
+// batches, the target answers each with the keys it needs (absent,
+// older, or checksum-divergent there), and only those diffs ship as
+// Replicate datagrams. The digest RPC is a single attempt — a target
+// that misses one digest costs this round a full push of the batch (the
+// fallback, also taken against pre-digest peers that never answer), not
+// a retry stall; the next round digests again.
+//
+// Byte accounting: ReplBytesOut accumulates what the protocol actually
+// sent (digest requests, diffs, fallback pushes; the target's responses
+// are counted on its side), ReplBytesFullPush what the pre-digest
+// protocol would have sent for the same batches — every item, every
+// round. The pair makes the anti-entropy reduction measurable in a
+// single run, with no baseline at equal scale needed.
+func (n *Node) replicateTo(t wire.Contact, owned []ownedItem) {
+	for start := 0; start < len(owned); start += wire.MaxDigestEntries {
+		batch := owned[start:min(start+wire.MaxDigestEntries, len(owned))]
+		full := uint64(0)
+		for _, it := range batch {
+			full += replicateWireSize(len(n.self.Addr), len(it.value))
+		}
+		n.replBytesFull.Add(full)
+		digest := make([]wire.DigestEntry, len(batch))
+		for i, it := range batch {
+			digest[i] = wire.DigestEntry{Key: it.key, Version: it.version, Sum: it.sum}
+		}
+		req := &wire.Message{Type: wire.TReplicateDigest, From: n.self, Digest: digest}
+		if b, err := wire.Encode(req); err == nil {
+			n.replBytesOut.Add(uint64(len(b)))
+		}
+		n.digestsOut.Add(1)
+		resp, err := n.tr.call(t.Addr, req, n.cfg.RPCTimeout, 0)
+		if err != nil {
+			n.fullPushes.Add(1)
+			for _, it := range batch {
+				n.replBytesOut.Add(uint64(n.sendReplica(t.Addr, it)))
+			}
+			continue
+		}
+		if len(resp.Need) == 0 {
+			continue
+		}
+		n.diffKeysOut.Add(uint64(len(resp.Need)))
+		need := make(map[id.ID]bool, len(resp.Need))
+		for _, k := range resp.Need {
+			need[k] = true
+		}
+		for _, it := range batch {
+			if need[it.key] {
+				n.replBytesOut.Add(uint64(n.sendReplica(t.Addr, it)))
+			}
 		}
 	}
+}
+
+// replicateWireSize is the encoded size of one Replicate datagram:
+// envelope (version 1 + type 1 + msgid 8 + contact id 8 + addr length
+// prefix 1 + addr) + key 8 + value length prefix 2 + value + version 8.
+// Pinned to the codec by a test so the full-push-equivalent accounting
+// cannot drift from what the wire actually costs.
+func replicateWireSize(addrLen, valueLen int) uint64 {
+	return uint64(37 + addrLen + valueLen)
 }
 
 // Stranded-repair pacing: a replica is presumed ownerless after
@@ -339,9 +479,12 @@ func (n *Node) repairStranded(now time.Time) {
 	}
 }
 
-func (n *Node) sendReplica(addr string, it ownedItem) {
+// sendReplica pushes one item as a one-way Replicate datagram and
+// returns the bytes written (0 on a failed send), so callers on the
+// anti-entropy path can attribute the traffic to ReplBytesOut.
+func (n *Node) sendReplica(addr string, it ownedItem) int {
 	n.replicasOut.Add(1)
-	n.tr.send(addr, &wire.Message{Type: wire.TReplicate, From: n.self, Key: it.key, Value: it.value, Version: it.version})
+	return n.tr.send(addr, &wire.Message{Type: wire.TReplicate, From: n.self, Key: it.key, Value: it.value, Version: it.version})
 }
 
 // replicaTargets resolves replication.Targets against the geometry's

@@ -220,3 +220,45 @@ func TestKVFindValueReachesOwnerWithinHopBudget(t *testing.T) {
 		}
 	}
 }
+
+// A value-walk answerer advertises its successor neighborhood only
+// when it actually sits in the key's neighborhood (its next hop for
+// the key is terminal). A far node naming its own successors hands the
+// walk overshoot contacts; the value-mode bidirectional metric ranks
+// any contact just past the reader's own position as near-the-key, so
+// a reader whose id sits shortly past the key would chase successor
+// chains away from the owner until the hop budget burns out (seen
+// live at n = 1024 before the next-hop gate existed).
+func TestKVFindValueClosestGatesSuccessorAdvertisement(t *testing.T) {
+	space := id.NewSpace(16)
+	nodes := startCluster(t, space, []uint64{100, 20000, 40000}, nil)
+	waitConverged(t, space, nodes, 10*time.Second)
+	pred, far := nodes[0], nodes[2] // key 10000: owner 20000, predecessor 100
+
+	key := id.ID(10000)
+	m := &wire.Message{Key: key, From: wire.Contact{ID: 65535, Addr: "q"}}
+
+	var resp wire.Message
+	far.handleFindValue(m, &resp)
+	if len(resp.Closest) == 0 {
+		t.Fatalf("far node %d returned no contacts for key %d", far.ID(), key)
+	}
+	gapToKey := space.Gap(far.ID(), key)
+	for _, c := range resp.Closest {
+		if g := space.Gap(far.ID(), c.ID); g == 0 || g > gapToKey {
+			t.Fatalf("far node %d advertised overshoot contact %d for key %d (closest %v)",
+				far.ID(), c.ID, key, resp.Closest)
+		}
+	}
+
+	resp = wire.Message{}
+	pred.handleFindValue(m, &resp)
+	named := make(map[id.ID]bool, len(resp.Closest))
+	for _, c := range resp.Closest {
+		named[c.ID] = true
+	}
+	if !named[20000] || !named[40000] {
+		t.Fatalf("predecessor %d must name the key's owner and replica target, got %v",
+			pred.ID(), resp.Closest)
+	}
+}

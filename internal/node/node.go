@@ -133,6 +133,12 @@ type Config struct {
 	// StoreCapacity bounds the item store, owned and replica items
 	// together (default 4096). A full store rejects new keys.
 	StoreCapacity int
+	// StoreShards is the number of prefix-sharded lock domains in the
+	// item store and the owner-hint cache (default 16). Rounded up to a
+	// power of two and clamped to the id space; keys partition by their
+	// top log2(shards) identifier bits, so concurrent writers on
+	// distant keys never contend on one mutex.
+	StoreShards int
 	// StoreTTL expires store items that have not been written or
 	// replica-refreshed within it (default 0: items never expire).
 	StoreTTL time.Duration
@@ -235,6 +241,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.StoreCapacity < 0 {
 		return c, fmt.Errorf("node: negative store capacity %d", c.StoreCapacity)
 	}
+	if c.StoreShards == 0 {
+		c.StoreShards = 16
+	}
+	if c.StoreShards < 0 {
+		return c, fmt.Errorf("node: negative store shard count %d", c.StoreShards)
+	}
 	if c.StoreTTL < 0 {
 		return c, fmt.Errorf("node: negative store TTL %v", c.StoreTTL)
 	}
@@ -286,10 +298,33 @@ type Metrics struct {
 	// owner refreshing them).
 	StrandedRepairs uint64
 
+	// Digest anti-entropy (kv.go). DigestsOut counts digest batches this
+	// node sent as an owner, DigestsIn digest batches it answered as a
+	// replica target, DiffKeysOut the keys peers requested after a digest
+	// (the diff actually shipped), and FullPushFallbacks digest batches
+	// that fell back to the full per-item push because the target never
+	// answered the digest.
+	DigestsOut, DigestsIn uint64
+	DiffKeysOut           uint64
+	FullPushFallbacks     uint64
+	// ReplBytesOut is the anti-entropy push phase's actual wire bytes
+	// (digest requests, digest responses served, and Replicate diffs);
+	// ReplBytesFullPush is what the same rounds would have cost under
+	// the pre-digest protocol (every owned item re-pushed to every
+	// target, every round). The ratio is the digest protocol's byte
+	// reduction, independent of scale and tick rate.
+	ReplBytesOut, ReplBytesFullPush uint64
+	// ReplicaServes counts reads this node answered from a replica copy
+	// (TGet or TFindValue on a key it does not own) — the hot-key
+	// capacity that scales with ReplicationFactor.
+	ReplicaServes uint64
+
 	// Gauges: current item counts by authority.
 	ItemsOwned, ItemsReplica, ItemsCached int
 	// Alpha is the lookup driver's live probe concurrency.
 	Alpha int
+	// StoreShards is the item store's lock-domain count.
+	StoreShards int
 }
 
 // Node is a running protocol participant. Create with Start, stop with
@@ -324,7 +359,7 @@ type Node struct {
 	// pointer at a hot key's ring position to the owner's address.
 	store      *store
 	cache      *itemcache.TTLCache[cachedCopy]
-	ownerHints *itemcache.TTLCache[wire.Contact]
+	ownerHints *itemcache.ShardedTTL[wire.Contact]
 
 	// replMu guards the target set of the last replication push, so
 	// stabilize can trigger an extra round when the successors change.
@@ -348,6 +383,11 @@ type Node struct {
 	replicasIn, replicasOut atomic.Uint64
 	promotions, demotions   atomic.Uint64
 	strandedRepairs         atomic.Uint64
+
+	digestsOut, digestsIn       atomic.Uint64
+	diffKeysOut, fullPushes     atomic.Uint64
+	replBytesOut, replBytesFull atomic.Uint64
+	replicaServes               atomic.Uint64
 }
 
 // host adapts a Node to the ring.Host surface its geometry programs
@@ -390,11 +430,11 @@ func Start(cfg Config) (*Node, error) {
 		self:  wire.Contact{ID: cfg.ID, Addr: adv},
 		addrs: make(map[id.ID]string),
 	}
-	n.store = newStore(cfg.StoreCapacity, cfg.StoreTTL)
+	n.store = newStore(cfg.StoreCapacity, cfg.StoreTTL, cfg.StoreShards, cfg.Space.Bits())
 	if cfg.ItemCacheCapacity > 0 {
 		n.cache = itemcache.NewTTL[cachedCopy](cfg.ItemCacheCapacity, cfg.ItemCacheTTL)
 	}
-	n.ownerHints = itemcache.NewTTL[wire.Contact](ownerHintCapacity, ownerHintTTL)
+	n.ownerHints = itemcache.NewShardedTTL[wire.Contact](ownerHintCapacity, ownerHintTTL, cfg.StoreShards, cfg.Space.Bits())
 	// The transport exists before the factory runs (so the geometry can
 	// capture a working Host) but starts reading only after, so no
 	// request races the geometry's construction.
@@ -553,34 +593,42 @@ func (n *Node) Metrics() Metrics {
 		cached = n.cache.Len()
 	}
 	return Metrics{
-		DatagramsIn:     n.tr.datagramsIn.Load(),
-		DatagramsOut:    n.tr.datagramsOut.Load(),
-		DecodeErrors:    n.tr.decodeErrs.Load(),
-		RPCs:            n.tr.rpcs.Load(),
-		Retries:         n.tr.retries.Load(),
-		Timeouts:        n.tr.timeouts.Load(),
-		Lookups:         n.lookups.Load(),
-		LookupHops:      n.lookupHops.Load(),
-		LookupFailures:  n.lookupFails.Load(),
-		AuxRecomputes:   n.auxRecomps.Load(),
-		AuxHits:         n.auxHits.Load(),
-		BytesIn:         n.tr.bytesIn.Load(),
-		BytesOut:        n.tr.bytesOut.Load(),
-		PutsIssued:      n.putsIssued.Load(),
-		GetsIssued:      n.getsIssued.Load(),
-		PutsServed:      n.putsServed.Load(),
-		GetsServed:      n.getsServed.Load(),
-		StoreHits:       n.storeHits.Load(),
-		CacheHits:       n.cacheHits.Load(),
-		ReplicasIn:      n.replicasIn.Load(),
-		ReplicasOut:     n.replicasOut.Load(),
-		Promotions:      n.promotions.Load(),
-		Demotions:       n.demotions.Load(),
-		StrandedRepairs: n.strandedRepairs.Load(),
-		ItemsOwned:      owned,
-		ItemsReplica:    replicas,
-		ItemsCached:     cached,
-		Alpha:           n.cfg.LookupAlpha,
+		DatagramsIn:       n.tr.datagramsIn.Load(),
+		DatagramsOut:      n.tr.datagramsOut.Load(),
+		DecodeErrors:      n.tr.decodeErrs.Load(),
+		RPCs:              n.tr.rpcs.Load(),
+		Retries:           n.tr.retries.Load(),
+		Timeouts:          n.tr.timeouts.Load(),
+		Lookups:           n.lookups.Load(),
+		LookupHops:        n.lookupHops.Load(),
+		LookupFailures:    n.lookupFails.Load(),
+		AuxRecomputes:     n.auxRecomps.Load(),
+		AuxHits:           n.auxHits.Load(),
+		BytesIn:           n.tr.bytesIn.Load(),
+		BytesOut:          n.tr.bytesOut.Load(),
+		PutsIssued:        n.putsIssued.Load(),
+		GetsIssued:        n.getsIssued.Load(),
+		PutsServed:        n.putsServed.Load(),
+		GetsServed:        n.getsServed.Load(),
+		StoreHits:         n.storeHits.Load(),
+		CacheHits:         n.cacheHits.Load(),
+		ReplicasIn:        n.replicasIn.Load(),
+		ReplicasOut:       n.replicasOut.Load(),
+		Promotions:        n.promotions.Load(),
+		Demotions:         n.demotions.Load(),
+		StrandedRepairs:   n.strandedRepairs.Load(),
+		DigestsOut:        n.digestsOut.Load(),
+		DigestsIn:         n.digestsIn.Load(),
+		DiffKeysOut:       n.diffKeysOut.Load(),
+		FullPushFallbacks: n.fullPushes.Load(),
+		ReplBytesOut:      n.replBytesOut.Load(),
+		ReplBytesFullPush: n.replBytesFull.Load(),
+		ReplicaServes:     n.replicaServes.Load(),
+		ItemsOwned:        owned,
+		ItemsReplica:      replicas,
+		ItemsCached:       cached,
+		Alpha:             n.cfg.LookupAlpha,
+		StoreShards:       n.store.shardCount(),
 	}
 }
 
@@ -687,12 +735,21 @@ func (n *Node) handle(m *wire.Message, src string) {
 	case wire.TReplicate:
 		n.handleReplicate(m)
 		return // one-way: no response
+	case wire.TReplicateDigest:
+		resp.Type = wire.TReplicateDigestResp
+		n.handleReplicateDigest(m, resp)
 	default:
 		if !n.rt.HandleRequest(m, resp) {
 			return // unknown request; nothing sensible to reply
 		}
 	}
-	n.tr.send(src, resp)
+	sent := n.tr.send(src, resp)
+	if resp.Type == wire.TReplicateDigestResp {
+		// The digest response is replication-plane traffic: account it
+		// here so cluster-summed ReplBytesOut covers both directions of
+		// the protocol.
+		n.replBytesOut.Add(uint64(sent))
+	}
 }
 
 // FindSuccessor resolves the node responsible for target by driving the

@@ -1,7 +1,9 @@
 package node
 
 import (
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peercache/internal/id"
@@ -28,7 +30,11 @@ const (
 type storedItem struct {
 	value   []byte
 	version uint64
-	kind    itemKind
+	// sum is the FNV-64a checksum of value, maintained on every write so
+	// the anti-entropy digest can summarize an item in 8 bytes without
+	// rehashing the whole store each round.
+	sum  uint64
+	kind itemKind
 	// refreshed is the wall-clock time of the last write or replica
 	// refresh; the optional store TTL expires items against it.
 	refreshed time.Time
@@ -39,29 +45,93 @@ type ownedItem struct {
 	key     id.ID
 	value   []byte
 	version uint64
+	sum     uint64
 }
 
-// store is the node's mutex-guarded, capacity-bounded item store. Unlike
-// a cache it never evicts to make room: losing owned or replicated data
+// valueSum is the FNV-64a hash of a value — the checksum carried by
+// anti-entropy digests. Inlined rather than hash/fnv to stay
+// allocation-free on the write path.
+func valueSum(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// storeShard is one lock domain of the sharded store: a plain map under
+// its own mutex. The pad keeps neighboring shard locks off one cache
+// line so uncontended shards do not false-share.
+type storeShard struct {
+	mu    sync.Mutex
+	items map[id.ID]*storedItem
+	_     [40]byte
+}
+
+// store is the node's sharded, capacity-bounded item store. Unlike a
+// cache it never evicts to make room: losing owned or replicated data
 // silently would break the durability the replication layer exists to
 // provide, so a full store rejects new keys instead (the PutAck carries
-// the refusal back to the writer). Methods take the lock briefly and
-// never perform I/O, so the packet handler can call them from the read
-// loop.
+// the refusal back to the writer).
+//
+// Keys are partitioned across a power-of-two number of shards by id
+// *prefix* (the top log2(shards) bits of the identifier), so a range of
+// consecutive keys — what ring reconciliation and anti-entropy walk —
+// lands in few shards, and independent writers on distant keys never
+// contend on one mutex. The capacity bound is global, enforced with an
+// atomic count (increment-then-rollback, so the bound is never
+// exceeded, exactly matching the single-mutex store's rejection
+// behavior). Methods lock one shard at a time and never perform I/O, so
+// the packet handler can call them from the read loop.
 type store struct {
-	mu       sync.Mutex
+	shards   []storeShard
+	shift    uint // key >> shift selects the shard
+	mask     uint64
 	capacity int
 	ttl      time.Duration // 0 = items never expire
-	items    map[id.ID]*storedItem
+	used     atomic.Int64
 }
 
-func newStore(capacity int, ttl time.Duration) *store {
-	return &store{
+// newStore builds a store of the requested shard count (rounded up to a
+// power of two, clamped so a shard always covers at least one id) over
+// a spaceBits-bit key space.
+func newStore(capacity int, ttl time.Duration, shards int, spaceBits uint) *store {
+	if shards < 1 {
+		shards = 1
+	}
+	lg := uint(bits.Len(uint(shards - 1))) // ceil(log2(shards))
+	if lg > spaceBits {
+		lg = spaceBits
+	}
+	n := 1 << lg
+	s := &store{
+		shards:   make([]storeShard, n),
+		shift:    spaceBits - lg,
+		mask:     uint64(n - 1),
 		capacity: capacity,
 		ttl:      ttl,
-		items:    make(map[id.ID]*storedItem),
 	}
+	for i := range s.shards {
+		s.shards[i].items = make(map[id.ID]*storedItem)
+	}
+	return s
 }
+
+// shardFor routes a key to its prefix shard. The mask guards against
+// keys carrying bits above the id space (wire input is arbitrary
+// uint64s): they fold into a valid shard instead of indexing out of
+// range.
+func (s *store) shardFor(key id.ID) *storeShard {
+	return &s.shards[(uint64(key)>>s.shift)&s.mask]
+}
+
+// shardCount reports the number of lock domains, for metrics.
+func (s *store) shardCount() int { return len(s.shards) }
 
 // putOwned applies a local or remote PUT: the node stores the value as
 // owner and assigns the next version (1 for a new key). A full store
@@ -70,21 +140,25 @@ func newStore(capacity int, ttl time.Duration) *store {
 // replica flips to owned, because the writer just resolved this node as
 // the key's successor.
 func (s *store) putOwned(key id.ID, value []byte, now time.Time) (version uint64, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if it, exists := s.items[key]; exists {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if it, exists := sh.items[key]; exists {
 		it.value = append([]byte(nil), value...)
 		it.version++
+		it.sum = valueSum(value)
 		it.kind = kindOwned
 		it.refreshed = now
 		return it.version, true
 	}
-	if len(s.items) >= s.capacity {
+	if s.used.Add(1) > int64(s.capacity) {
+		s.used.Add(-1)
 		return 0, false
 	}
-	s.items[key] = &storedItem{
+	sh.items[key] = &storedItem{
 		value:     append([]byte(nil), value...),
 		version:   1,
+		sum:       valueSum(value),
 		kind:      kindOwned,
 		refreshed: now,
 	}
@@ -99,34 +173,63 @@ func (s *store) putOwned(key id.ID, value []byte, now time.Time) (version uint64
 // the owner's next anti-entropy round will retry, and by then either
 // capacity or membership has changed.
 func (s *store) applyReplica(key id.ID, value []byte, version uint64, now time.Time) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if it, exists := s.items[key]; exists {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if it, exists := sh.items[key]; exists {
 		if version > it.version {
 			it.value = append([]byte(nil), value...)
 			it.version = version
+			it.sum = valueSum(value)
 		}
 		it.refreshed = now
 		return true
 	}
-	if len(s.items) >= s.capacity {
+	if s.used.Add(1) > int64(s.capacity) {
+		s.used.Add(-1)
 		return false
 	}
-	s.items[key] = &storedItem{
+	sh.items[key] = &storedItem{
 		value:     append([]byte(nil), value...),
 		version:   version,
+		sum:       valueSum(value),
 		kind:      kindReplica,
 		refreshed: now,
 	}
 	return true
 }
 
+// needFromDigest answers one anti-entropy digest entry: does this node
+// need the owner to ship (key, version)? Yes when the key is absent
+// (or expired), the local copy is older, or the version matches but the
+// checksum does not (a divergent copy — corruption, but 8 bytes to
+// detect and one push to heal). When the local copy is current, the
+// digest doubles as the owner's liveness signal for the key: the
+// refreshed stamp is bumped exactly as a redundant full push used to,
+// which is what keeps healthy replicas out of the stranded-repair
+// pass's staleness net.
+func (s *store) needFromDigest(key id.ID, version, sum uint64, now time.Time) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, exists := sh.items[key]
+	if !exists || s.expiredLocked(it, now) {
+		return true
+	}
+	if it.version < version || (it.version == version && it.sum != sum) {
+		return true
+	}
+	it.refreshed = now
+	return false
+}
+
 // get returns the stored value and version for key, owned and replica
 // alike — a replica answering a GET is the point of keeping it.
 func (s *store) get(key id.ID, now time.Time) (value []byte, version uint64, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it, exists := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, exists := sh.items[key]
 	if !exists || s.expiredLocked(it, now) {
 		return nil, 0, false
 	}
@@ -145,25 +248,31 @@ func (s *store) expiredLocked(it *storedItem, now time.Time) bool {
 // current ownership range; a node whose predecessor is unknown cannot
 // judge responsibility and must pass nil, which skips promotion and
 // demotion for the round (data is never reclassified on guesswork).
+// Shards are reconciled one at a time, so concurrent readers of other
+// shards never stall behind the pass.
 func (s *store) reconcile(now time.Time, responsible func(id.ID) bool) (promoted int, handoff []ownedItem) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for key, it := range s.items {
-		if s.expiredLocked(it, now) {
-			delete(s.items, key)
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, it := range sh.items {
+			if s.expiredLocked(it, now) {
+				delete(sh.items, key)
+				s.used.Add(-1)
+				continue
+			}
+			if responsible == nil {
+				continue
+			}
+			switch {
+			case it.kind == kindReplica && responsible(key):
+				it.kind = kindOwned
+				promoted++
+			case it.kind == kindOwned && !responsible(key):
+				it.kind = kindReplica
+				handoff = append(handoff, ownedItem{key: key, value: it.value, version: it.version, sum: it.sum})
+			}
 		}
-		if responsible == nil {
-			continue
-		}
-		switch {
-		case it.kind == kindReplica && responsible(key):
-			it.kind = kindOwned
-			promoted++
-		case it.kind == kindOwned && !responsible(key):
-			it.kind = kindReplica
-			handoff = append(handoff, ownedItem{key: key, value: it.value, version: it.version})
-		}
+		sh.mu.Unlock()
 	}
 	return promoted, handoff
 }
@@ -173,35 +282,46 @@ func (s *store) reconcile(now time.Time, responsible func(id.ID) bool) (promoted
 // (putOwned and applyReplica replace the slice), so the snapshot is safe
 // to encode concurrently.
 func (s *store) owned() []ownedItem {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]ownedItem, 0, len(s.items))
-	for key, it := range s.items {
-		if it.kind == kindOwned {
-			out = append(out, ownedItem{key: key, value: it.value, version: it.version})
+	var out []ownedItem
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, it := range sh.items {
+			if it.kind == kindOwned {
+				out = append(out, ownedItem{key: key, value: it.value, version: it.version, sum: it.sum})
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // staleReplicas returns up to max replica items whose last refresh is
-// older than now−olderThan. A live owner re-pushes every replica each
-// replication period, so a replica this stale has no owner refreshing
-// it — the signature of a key stranded by a failed handoff (owner
-// crashed after demotion, push lost across a partition). Returned items
-// have their refreshed stamp bumped, which both paces the repair (a key
-// is re-examined one staleness period later, not every tick) and keeps
-// the store TTL from reaping data the repair loop is actively re-homing.
+// older than now−olderThan. A live owner refreshes every replica each
+// replication period — with a full push before the digest protocol,
+// with a digest confirmation now — so a replica this stale has no owner
+// maintaining it: the signature of a key stranded by a failed handoff
+// (owner crashed after demotion, push lost across a partition).
+// Returned items have their refreshed stamp bumped, which both paces
+// the repair (a key is re-examined one staleness period later, not
+// every tick) and keeps the store TTL from reaping data the repair loop
+// is actively re-homing.
 func (s *store) staleReplicas(now time.Time, olderThan time.Duration, max int) []ownedItem {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []ownedItem
-	for key, it := range s.items {
-		if it.kind != kindReplica || now.Sub(it.refreshed) < olderThan {
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, it := range sh.items {
+			if it.kind != kindReplica || now.Sub(it.refreshed) < olderThan {
+				continue
+			}
+			it.refreshed = now
+			out = append(out, ownedItem{key: key, value: it.value, version: it.version, sum: it.sum})
+			if len(out) >= max {
+				break
+			}
 		}
-		it.refreshed = now
-		out = append(out, ownedItem{key: key, value: it.value, version: it.version})
+		sh.mu.Unlock()
 		if len(out) >= max {
 			break
 		}
@@ -214,9 +334,10 @@ func (s *store) staleReplicas(now time.Time, olderThan time.Duration, max int) [
 // distinguish an owned copy from a replica, which get deliberately
 // hides.
 func (s *store) info(key id.ID, now time.Time) (value []byte, version uint64, owned, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it, exists := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, exists := sh.items[key]
 	if !exists || s.expiredLocked(it, now) {
 		return nil, 0, false, false
 	}
@@ -225,14 +346,17 @@ func (s *store) info(key id.ID, now time.Time) (value []byte, version uint64, ow
 
 // counts returns the current owned and replica item counts.
 func (s *store) counts() (owned, replicas int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, it := range s.items {
-		if it.kind == kindOwned {
-			owned++
-		} else {
-			replicas++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, it := range sh.items {
+			if it.kind == kindOwned {
+				owned++
+			} else {
+				replicas++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return owned, replicas
 }

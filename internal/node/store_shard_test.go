@@ -1,0 +1,199 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// Shard geometry: counts round up to powers of two, clamp to the id
+// space, and route by key prefix so consecutive keys share a shard.
+func TestStoreShardGeometry(t *testing.T) {
+	cases := []struct {
+		shards    int
+		spaceBits uint
+		want      int
+	}{
+		{1, 16, 1},
+		{2, 16, 2},
+		{3, 16, 4}, // rounds up
+		{16, 16, 16},
+		{16, 3, 8},  // clamped: a shard must cover at least one id
+		{-5, 16, 1}, // nonsense collapses to one shard
+		{0, 16, 1},
+	}
+	for _, c := range cases {
+		s := newStore(100, 0, c.shards, c.spaceBits)
+		if got := s.shardCount(); got != c.want {
+			t.Errorf("newStore(shards=%d, bits=%d): %d shards, want %d", c.shards, c.spaceBits, got, c.want)
+		}
+	}
+
+	// Prefix routing: with 16 shards over 16 bits, the top 4 bits select
+	// the shard, so a run of consecutive keys lands together while keys
+	// differing in the prefix land apart.
+	s := newStore(100, 0, 16, 16)
+	if s.shardFor(0x1000) != s.shardFor(0x1FFF) {
+		t.Error("keys sharing a prefix landed in different shards")
+	}
+	if s.shardFor(0x1000) == s.shardFor(0x2000) {
+		t.Error("keys with distinct prefixes landed in the same shard")
+	}
+	// Keys above the id space (arbitrary wire input) must fold into a
+	// valid shard rather than index out of range.
+	_ = s.shardFor(id.ID(1 << 40))
+}
+
+// The capacity bound is global across shards and behaves exactly like
+// the single-mutex store: new keys are rejected once full, overwrites
+// of known keys always succeed, and expiry frees capacity.
+func TestStoreCapacityGlobalAcrossShards(t *testing.T) {
+	now := time.Now()
+	s := newStore(4, 0, 8, 16)
+	// Spread keys across shards; the 5th insert must fail wherever it
+	// lands.
+	keys := []id.ID{0x0001, 0x2001, 0x4001, 0x6001}
+	for _, k := range keys {
+		if _, ok := s.putOwned(k, []byte("v"), now); !ok {
+			t.Fatalf("put %d rejected below capacity", k)
+		}
+	}
+	if _, ok := s.putOwned(0x8001, []byte("v"), now); ok {
+		t.Fatal("put accepted beyond global capacity")
+	}
+	if ok := s.applyReplica(0xA001, []byte("v"), 1, now); ok {
+		t.Fatal("replica accepted beyond global capacity")
+	}
+	// Overwrites of known keys never count against capacity.
+	if v, ok := s.putOwned(keys[0], []byte("v2"), now); !ok || v != 2 {
+		t.Fatalf("overwrite at capacity: version %d ok %t, want 2 true", v, ok)
+	}
+
+	// Expiry during reconcile frees capacity for new keys.
+	st := newStore(1, 10*time.Millisecond, 8, 16)
+	st.putOwned(0x0001, []byte("v"), now)
+	if _, ok := st.putOwned(0x2001, []byte("v"), now); ok {
+		t.Fatal("second key accepted in capacity-1 store")
+	}
+	st.reconcile(now.Add(20*time.Millisecond), nil)
+	if _, ok := st.putOwned(0x2001, []byte("v"), now.Add(20*time.Millisecond)); !ok {
+		t.Fatal("capacity not reclaimed after expiry")
+	}
+}
+
+// needFromDigest is the replica half of the anti-entropy protocol:
+// absent, older, and checksum-divergent copies are requested; a current
+// copy is not, and the digest match refreshes its TTL exactly as a
+// redundant full push used to — the liveness signal that keeps healthy
+// replicas out of the stranded-repair net.
+func TestStoreNeedFromDigest(t *testing.T) {
+	now := time.Now()
+	s := newStore(10, time.Second, 4, 16)
+	val := []byte("value")
+	sum := valueSum(val)
+
+	if !s.needFromDigest(42, 1, sum, now) {
+		t.Error("absent key not requested")
+	}
+	s.applyReplica(42, val, 1, now)
+	if s.needFromDigest(42, 1, sum, now) {
+		t.Error("current copy requested")
+	}
+	if !s.needFromDigest(42, 2, sum, now) {
+		t.Error("older copy not requested")
+	}
+	if !s.needFromDigest(42, 1, sum+1, now) {
+		t.Error("checksum-divergent copy not requested")
+	}
+	// Expired copies count as absent.
+	if !s.needFromDigest(42, 1, sum, now.Add(2*time.Second)) {
+		t.Error("expired copy not requested")
+	}
+
+	// The TTL refresh: a matching digest at t+900ms must keep the copy
+	// alive past its original t+1s expiry.
+	s2 := newStore(10, time.Second, 4, 16)
+	s2.applyReplica(7, val, 1, now)
+	if s2.needFromDigest(7, 1, sum, now.Add(900*time.Millisecond)) {
+		t.Fatal("current copy requested at 900ms")
+	}
+	if _, _, ok := s2.get(7, now.Add(1800*time.Millisecond)); !ok {
+		t.Error("digest match did not refresh the TTL")
+	}
+}
+
+// Parallel writers, readers, digest answers, and reconcile passes on
+// keys spread across every shard — the refactor's contended paths under
+// the race detector. Correctness assertions are minimal (no torn
+// values, capacity never exceeded); the detector carries the test.
+func TestStoreConcurrentAcrossShards(t *testing.T) {
+	s := newStore(4096, time.Minute, 16, 16)
+	const (
+		workers = 8
+		keysPer = 64
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := id.ID(w << 12) // one prefix region per worker, plus overlap below
+			for r := 0; r < rounds; r++ {
+				now := time.Now()
+				for i := 0; i < keysPer; i++ {
+					k := base + id.ID(i)
+					val := []byte(fmt.Sprintf("w%d-r%d", w, r))
+					s.putOwned(k, val, now)
+					s.applyReplica(k+1, val, uint64(r+1), now)
+					s.needFromDigest(k, uint64(r), valueSum(val), now)
+					if v, _, ok := s.get(k, now); ok && len(v) == 0 {
+						t.Error("torn read: empty value")
+						return
+					}
+				}
+				// Cross-shard passes interleaved with the writes.
+				s.reconcile(now, func(id.ID) bool { return true })
+				s.owned()
+				s.counts()
+				s.staleReplicas(now, time.Hour, 8)
+			}
+		}(w)
+	}
+	wg.Wait()
+	owned, replicas := s.counts()
+	if owned+replicas > 4096 {
+		t.Fatalf("store holds %d items, capacity 4096", owned+replicas)
+	}
+	if int64(owned+replicas) != s.used.Load() {
+		t.Fatalf("used counter %d disagrees with actual count %d", s.used.Load(), owned+replicas)
+	}
+}
+
+// replicateWireSize — the full-push-equivalent accounting — must match
+// what the codec actually produces for a Replicate datagram, or the
+// anti-entropy reduction ratio drifts from reality.
+func TestReplicateWireSizeMatchesCodec(t *testing.T) {
+	for _, valLen := range []int{0, 1, 100, 1024} {
+		addr := "127.0.0.1:49152"
+		m := &wire.Message{
+			Type:    wire.TReplicate,
+			MsgID:   1,
+			From:    wire.Contact{ID: 12345, Addr: addr},
+			Key:     67890,
+			Value:   make([]byte, valLen),
+			Version: 42,
+		}
+		b, err := wire.Encode(m)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if got, want := replicateWireSize(len(addr), valLen), uint64(len(b)); got != want {
+			t.Errorf("replicateWireSize(addr=%d, value=%d) = %d, codec produced %d", len(addr), valLen, got, want)
+		}
+	}
+}

@@ -130,22 +130,27 @@ func (t *transport) readLoop() {
 	}
 }
 
-// send encodes and writes one datagram. Failures are counted but not
-// surfaced: over a datagram network a lost send and a lost packet are
-// the same event, and the caller's timeout handles both.
-func (t *transport) send(dst string, m *wire.Message) {
+// send encodes and writes one datagram, returning the bytes written (0
+// when the send failed — over a datagram network a lost send and a lost
+// packet are the same event, and the caller's timeout handles both; the
+// byte count exists so per-plane accounting like the replication
+// counters can attribute traffic without re-encoding).
+func (t *transport) send(dst string, m *wire.Message) int {
 	bp := encBufs.Get().(*[]byte)
 	b, err := wire.AppendEncode((*bp)[:0], m)
 	if err != nil {
 		encBufs.Put(bp)
-		return
+		return 0
 	}
+	sent := 0
 	if _, err := t.conn.WriteTo(b, dst); err == nil {
 		t.datagramsOut.Add(1)
 		t.bytesOut.Add(uint64(len(b)))
+		sent = len(b)
 	}
 	*bp = b[:0]
 	encBufs.Put(bp)
+	return sent
 }
 
 // call performs one RPC: it fills in From and a fresh MsgID, sends, and

@@ -3,7 +3,10 @@ package soak
 import (
 	"fmt"
 
+	"peercache/internal/id"
 	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/replication"
 )
 
 // The checker contract: a checker is a nullary closure over the engine
@@ -44,6 +47,9 @@ func (e *engine) quiesce() {
 	}
 	if err := e.clock.WaitUntil(e.o.SettleSteps, e.strandedCheck); err != nil {
 		e.violate("stranded", "%v", err)
+	}
+	if err := e.clock.WaitUntil(e.o.SettleSteps, e.replicaFreshCheck); err != nil {
+		e.violate("replica-fresh", "%v", err)
 	}
 	e.countStranded()
 	e.o.Logf("soak: window %d done at step %d", e.v.Windows, e.clock.Steps())
@@ -164,6 +170,66 @@ func (e *engine) strandedCheck() error {
 		}
 		if owners == 0 && copies > 0 {
 			return fmt.Errorf("key %d stranded: %d replica copies, no owner", k, copies)
+		}
+	}
+	return nil
+}
+
+// replicaFreshCheck enforces the bounded-staleness contract the
+// replica-served read path rests on: once the network is quiet and the
+// ring converged, every live node that is a *current* replication
+// target of a key's owner must hold that key at the owner's version —
+// digest anti-entropy defers the bytes by at most one round, and the
+// settle budget covers many rounds. The scope is deliberately the
+// current target set (replication.Targets over the owner's live
+// successor list): a node that rotated out of the set legitimately
+// keeps its last copy until TTL expiry, and serving that copy is
+// exactly the staleness the contract bounds, not a violation. Targets
+// that are no longer live are skipped — the next replication round
+// re-targets around them.
+func (e *engine) replicaFreshCheck() error {
+	if e.o.ReplicationFactor < 2 {
+		return nil
+	}
+	byID := make(map[id.ID]*node.Node, len(e.live))
+	for _, n := range e.live {
+		byID[n.ID()] = n
+	}
+	for k, ks := range e.ledger {
+		if !ks.acked || ks.forfeited {
+			continue
+		}
+		var owner *node.Node
+		var ownerVersion uint64
+		for _, n := range e.live {
+			if it, ok := n.ItemDetail(k); ok && it.Owned {
+				owner = n
+				ownerVersion = it.Version
+				break
+			}
+		}
+		if owner == nil {
+			continue // zero owners is the stranded/durability checkers' territory
+		}
+		succs := owner.Successors()
+		succIDs := make([]id.ID, len(succs))
+		for i, s := range succs {
+			succIDs[i] = s.ID
+		}
+		for _, tgt := range replication.Targets(owner.ID(), succIDs, e.o.ReplicationFactor) {
+			rn, ok := byID[tgt]
+			if !ok {
+				continue
+			}
+			it, ok := rn.ItemDetail(k)
+			if !ok {
+				return fmt.Errorf("key %d: current target %d holds no replica (owner %d at v%d)",
+					k, tgt, owner.ID(), ownerVersion)
+			}
+			if it.Version < ownerVersion {
+				return fmt.Errorf("key %d: replica at target %d stale at v%d, owner %d at v%d",
+					k, tgt, it.Version, owner.ID(), ownerVersion)
+			}
 		}
 	}
 	return nil

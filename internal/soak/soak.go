@@ -609,6 +609,19 @@ func (e *engine) chunkStore(src *node.Node, hops *int) (*chunk.Store, error) {
 		Window:       2,
 		Retries:      1,
 		RetryBackoff: e.o.Tick,
+		// An overwritten chunk key can be served a bounded-stale
+		// replica copy by the any-copy race until the next digest
+		// round; a digest mismatch escalates to an owner read.
+		StrongGet: func(key id.ID) ([]byte, int, error) {
+			res, err := src.Get(key)
+			if err != nil {
+				return nil, 0, err
+			}
+			mu.Lock()
+			*hops += res.Hops
+			mu.Unlock()
+			return res.Value, res.Hops, nil
+		},
 	})
 }
 

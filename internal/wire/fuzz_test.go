@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"peercache/internal/id"
 )
 
 // FuzzDecode feeds arbitrary bytes to the decoder. Two invariants: no
@@ -48,6 +50,28 @@ func FuzzDecode(f *testing.F) {
 			Value: []byte("v"), Version: 3},
 		{Type: TFindValueResp, MsgID: 9, From: Contact{ID: 9, Addr: "mem/9"},
 			Closest: []Contact{{ID: 3, Addr: "mem/3"}, {ID: 42, Addr: "mem/42"}}},
+	} {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)-1]) // cut into the tail of the payload
+	}
+
+	// One explicit seed per digest message shape: a populated digest (the
+	// delta-uvarint arm), an empty digest (count-only payload), and a
+	// need list, plus a truncation cut into each list body.
+	for _, m := range []*Message{
+		{Type: TReplicateDigest, MsgID: 10, From: Contact{ID: 1, Addr: "mem/1"},
+			Digest: []DigestEntry{
+				{Key: 40, Version: 2, Sum: 0x1111111111111111},
+				{Key: 42, Version: 300, Sum: 0x2222222222222222},
+				{Key: 1 << 60, Version: 1, Sum: 0x3333333333333333},
+			}},
+		{Type: TReplicateDigest, MsgID: 11, From: Contact{ID: 2, Addr: "mem/2"}},
+		{Type: TReplicateDigestResp, MsgID: 10, From: Contact{ID: 3, Addr: "mem/3"},
+			Need: []id.ID{40, 1 << 60}},
 	} {
 		b, err := Encode(m)
 		if err != nil {

@@ -30,8 +30,20 @@
 //     believed to own (or hold a copy of) it.
 //   - Replicate — one-way: an owner pushes a versioned copy of an owned
 //     item to a successor. There is no ack; the replication ticker
-//     re-sends every owned item each round, so a lost Replicate heals
-//     at the next tick (anti-entropy, not acknowledgement).
+//     re-sends the item each round it is still needed, so a lost
+//     Replicate heals at the next tick (anti-entropy, not
+//     acknowledgement).
+//   - ReplicateDigest/ReplicateDigestResp — the anti-entropy summary
+//     pair: instead of re-pushing every owned item every round, the
+//     owner sends a digest of (key, version, value checksum) entries in
+//     strictly ascending key order, delta-encoded with minimal uvarints
+//     so a round's summary batches into few datagrams. The replica
+//     answers with the Need list — the subset of keys whose local copy
+//     is missing or older — and only those diffs travel as Replicate
+//     pushes. A matching digest entry doubles as the replica's
+//     freshness confirmation (it refreshes the copy's TTL exactly as a
+//     redundant push used to). Full push remains the fallback when a
+//     peer does not answer digests.
 //
 // The Pastry geometry (internal/node/pastryring) adds its own
 // maintenance pair; Chord nodes never send or answer these, and the
@@ -113,6 +125,8 @@ const (
 	TFindNodeResp
 	TFindValue
 	TFindValueResp
+	TReplicateDigest
+	TReplicateDigestResp
 	typeCount // sentinel, not a wire value
 )
 
@@ -164,6 +178,10 @@ func (t Type) String() string {
 		return "find-value"
 	case TFindValueResp:
 		return "find-value-resp"
+	case TReplicateDigest:
+		return "replicate-digest"
+	case TReplicateDigestResp:
+		return "replicate-digest-resp"
 	}
 	return fmt.Sprintf("wire.Type(%d)", uint8(t))
 }
@@ -211,6 +229,19 @@ func (c Contact) String() string { return fmt.Sprintf("%d@%s", uint64(c.ID), c.A
 type Row struct {
 	Index uint8
 	Entry Contact
+}
+
+// DigestEntry is one item summary in a ReplicateDigest: the key, the
+// owner's current version, and an FNV-64a checksum of the value. A
+// replica needs the item when it has no copy at Key, its copy is older
+// than Version, or the version matches but the checksum does not (a
+// divergent copy — possible only through corruption, but cheap to
+// heal). Digest lists travel in strictly ascending key order; the codec
+// enforces it, so every digest has exactly one encoding.
+type DigestEntry struct {
+	Key     id.ID
+	Version uint64
+	Sum     uint64
 }
 
 // Message is the decoded form of one datagram.
@@ -270,6 +301,14 @@ type Message struct {
 	// served, Replicate the version pushed (TPutAck/TGetResp/
 	// TFindValueResp when OK, TReplicate).
 	Version uint64
+
+	// Digest is the anti-entropy item summary, strictly ascending by
+	// key — the canonical encoding (TReplicateDigest).
+	Digest []DigestEntry
+	// Need lists the keys from a digest whose local copy is missing or
+	// stale, strictly ascending — the canonical encoding
+	// (TReplicateDigestResp).
+	Need []id.ID
 }
 
 // Limits enforced by the codec so a hostile datagram cannot make the
@@ -295,6 +334,11 @@ const (
 	// MaxClosest bounds the closest-contact list carried by
 	// FindNodeResp and FindValueResp.
 	MaxClosest = 16
+	// MaxDigestEntries bounds one ReplicateDigest (and the Need list of
+	// its response). 128 delta-encoded entries keep the worst-case
+	// digest datagram (~3.6 KiB) inside the MaxValueLen envelope while
+	// amortizing the per-datagram overhead across many items.
+	MaxDigestEntries = 128
 )
 
 // Decode errors.
@@ -310,6 +354,7 @@ var (
 	ErrValueLen   = errors.New("wire: value too long")
 	ErrTrailing   = errors.New("wire: trailing bytes after payload")
 	ErrBadMessage = errors.New("wire: message fields inconsistent with type")
+	ErrDigest     = errors.New("wire: digest list too long")
 )
 
 func appendValue(b []byte, v []byte) ([]byte, error) {
@@ -409,6 +454,161 @@ func readClosest(b []byte) ([]Contact, []byte, error) {
 		cs = append(cs, c)
 	}
 	return cs, b, nil
+}
+
+// uvarintLen is the number of bytes the minimal uvarint encoding of v
+// occupies: 1 for zero, otherwise ceil(bits/7).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// readUvarint parses one uvarint, rejecting truncation, 64-bit
+// overflow, and — crucially for the canonical-encoding invariant —
+// non-minimal forms (binary.Uvarint happily accepts 0x80 0x00 as zero;
+// a codec whose decoder accepts two spellings of the same value cannot
+// promise Encode(Decode(b)) == b).
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n == 0 {
+		return 0, nil, ErrTruncated
+	}
+	if n < 0 {
+		return 0, nil, fmt.Errorf("%w: uvarint overflows 64 bits", ErrBadMessage)
+	}
+	if n != uvarintLen(v) {
+		return 0, nil, fmt.Errorf("%w: non-minimal uvarint", ErrBadMessage)
+	}
+	return v, b[n:], nil
+}
+
+// appendDigest serializes a digest list: a count byte, then per entry
+// the key (first absolute, subsequent as strictly positive deltas — the
+// list is canonical strictly-ascending, so deltas are small and the
+// minimal uvarints short), the version as a uvarint, and the fixed
+// 8-byte checksum.
+func appendDigest(b []byte, es []DigestEntry) ([]byte, error) {
+	if len(es) > MaxDigestEntries {
+		return nil, fmt.Errorf("%w: %d entries", ErrDigest, len(es))
+	}
+	b = append(b, byte(len(es)))
+	prev := uint64(0)
+	for i, e := range es {
+		k := uint64(e.Key)
+		if i == 0 {
+			b = binary.AppendUvarint(b, k)
+		} else {
+			if k <= prev {
+				return nil, fmt.Errorf("%w: digest key %d after %d", ErrBadMessage, k, prev)
+			}
+			b = binary.AppendUvarint(b, k-prev)
+		}
+		prev = k
+		b = binary.AppendUvarint(b, e.Version)
+		b = binary.BigEndian.AppendUint64(b, e.Sum)
+	}
+	return b, nil
+}
+
+// readDigest parses a digest list, rejecting non-canonical orderings
+// (a zero delta or a delta that wraps the 64-bit key space both decode
+// to a key ≤ its predecessor).
+func readDigest(b []byte) ([]DigestEntry, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n > MaxDigestEntries {
+		return nil, nil, fmt.Errorf("%w: %d entries", ErrDigest, n)
+	}
+	var es []DigestEntry
+	var err error
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		var d uint64
+		if d, b, err = readUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		k := d
+		if i > 0 {
+			k = prev + d
+			if d == 0 || k <= prev {
+				return nil, nil, fmt.Errorf("%w: digest key delta %d after key %d", ErrBadMessage, d, prev)
+			}
+		}
+		prev = k
+		var e DigestEntry
+		e.Key = id.ID(k)
+		if e.Version, b, err = readUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		if len(b) < 8 {
+			return nil, nil, ErrTruncated
+		}
+		e.Sum = binary.BigEndian.Uint64(b)
+		b = b[8:]
+		es = append(es, e)
+	}
+	return es, b, nil
+}
+
+// appendNeed serializes a need list with the digest key encoding: count
+// byte, then delta-encoded strictly-ascending keys.
+func appendNeed(b []byte, keys []id.ID) ([]byte, error) {
+	if len(keys) > MaxDigestEntries {
+		return nil, fmt.Errorf("%w: %d keys", ErrDigest, len(keys))
+	}
+	b = append(b, byte(len(keys)))
+	prev := uint64(0)
+	for i, key := range keys {
+		k := uint64(key)
+		if i == 0 {
+			b = binary.AppendUvarint(b, k)
+		} else {
+			if k <= prev {
+				return nil, fmt.Errorf("%w: need key %d after %d", ErrBadMessage, k, prev)
+			}
+			b = binary.AppendUvarint(b, k-prev)
+		}
+		prev = k
+	}
+	return b, nil
+}
+
+// readNeed parses a need list, rejecting non-canonical orderings.
+func readNeed(b []byte) ([]id.ID, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n > MaxDigestEntries {
+		return nil, nil, fmt.Errorf("%w: %d keys", ErrDigest, n)
+	}
+	var keys []id.ID
+	var err error
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		var d uint64
+		if d, b, err = readUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		k := d
+		if i > 0 {
+			k = prev + d
+			if d == 0 || k <= prev {
+				return nil, nil, fmt.Errorf("%w: need key delta %d after key %d", ErrBadMessage, d, prev)
+			}
+		}
+		prev = k
+		keys = append(keys, id.ID(k))
+	}
+	return keys, b, nil
 }
 
 // Encode serializes m into a fresh buffer. It fails only on messages
@@ -554,6 +754,14 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 			if b, err = appendClosest(b, m.Closest); err != nil {
 				return nil, err
 			}
+		}
+	case TReplicateDigest:
+		if b, err = appendDigest(b, m.Digest); err != nil {
+			return nil, err
+		}
+	case TReplicateDigestResp:
+		if b, err = appendNeed(b, m.Need); err != nil {
+			return nil, err
 		}
 	}
 	return b, nil
@@ -798,6 +1006,14 @@ func Decode(b []byte) (*Message, error) {
 			if m.Closest, b, err = readClosest(b); err != nil {
 				return nil, err
 			}
+		}
+	case TReplicateDigest:
+		if m.Digest, b, err = readDigest(b); err != nil {
+			return nil, err
+		}
+	case TReplicateDigestResp:
+		if m.Need, b, err = readNeed(b); err != nil {
+			return nil, err
 		}
 	}
 	if len(b) != 0 {

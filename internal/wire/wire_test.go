@@ -108,8 +108,53 @@ func randMessage(rng *rand.Rand) *Message {
 		} else {
 			m.Closest = randClosest(rng)
 		}
+	case TReplicateDigest:
+		m.Digest = randDigest(rng)
+	case TReplicateDigestResp:
+		m.Need = randDigestKeys(rng)
 	}
 	return m
+}
+
+// randDigestKeys draws a canonical digest key list: distinct keys in
+// strictly ascending order, nil about a quarter of the time, with a
+// bias toward clustered keys so the delta encoding's short-varint path
+// is exercised alongside 64-bit jumps.
+func randDigestKeys(rng *rand.Rand) []id.ID {
+	n := rng.Intn(MaxDigestEntries + 1)
+	if n == 0 {
+		return nil
+	}
+	seen := make(map[id.ID]bool, n)
+	keys := make([]id.ID, 0, n)
+	for len(keys) < n {
+		var k id.ID
+		if rng.Intn(2) == 0 && len(keys) > 0 {
+			k = keys[len(keys)-1] + id.ID(1+rng.Intn(1000))
+		} else {
+			k = id.ID(rng.Uint64())
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// randDigest draws a canonical digest list over randDigestKeys.
+func randDigest(rng *rand.Rand) []DigestEntry {
+	keys := randDigestKeys(rng)
+	if len(keys) == 0 {
+		return nil
+	}
+	es := make([]DigestEntry, len(keys))
+	for i, k := range keys {
+		es[i] = DigestEntry{Key: k, Version: rng.Uint64() >> uint(rng.Intn(64)), Sum: rng.Uint64()}
+	}
+	return es
 }
 
 // randClosest draws a canonical closest-contact list: distinct ids in
@@ -398,18 +443,97 @@ func TestClosestCanonical(t *testing.T) {
 	}
 }
 
+// Digest and need lists have one canonical encoding: strictly ascending
+// keys (delta-encoded, so a zero delta or a wrapping delta is the wire
+// image of a violation) with minimal uvarints. Both directions reject
+// duplicates, descending order, oversized lists, non-minimal varints,
+// and truncation.
+func TestDigestCanonical(t *testing.T) {
+	e := func(k id.ID) DigestEntry { return DigestEntry{Key: k, Version: 1, Sum: 2} }
+	for _, bad := range [][]DigestEntry{
+		{e(5), e(5)},       // duplicate key
+		{e(9), e(2)},       // descending
+		{e(1), e(7), e(3)}, // unsorted tail
+	} {
+		if _, err := Encode(&Message{Type: TReplicateDigest, Digest: bad}); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("encode digest %v: %v, want ErrBadMessage", bad, err)
+		}
+	}
+	for _, bad := range [][]id.ID{
+		{5, 5},
+		{9, 2},
+		{1, 7, 3},
+	} {
+		if _, err := Encode(&Message{Type: TReplicateDigestResp, Need: bad}); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("encode need %v: %v, want ErrBadMessage", bad, err)
+		}
+	}
+	if _, err := Encode(&Message{Type: TReplicateDigest, Digest: make([]DigestEntry, MaxDigestEntries+1)}); !errors.Is(err, ErrDigest) {
+		t.Fatal("oversized digest accepted")
+	}
+	if _, err := Encode(&Message{Type: TReplicateDigestResp, Need: make([]id.ID, MaxDigestEntries+1)}); !errors.Is(err, ErrDigest) {
+		t.Fatal("oversized need list accepted")
+	}
+
+	from := Contact{ID: 1, Addr: "mem/1"}
+	ok, err := Encode(&Message{Type: TReplicateDigest, From: from,
+		Digest: []DigestEntry{e(10), e(20)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second entry's key travels as delta 10 (one uvarint byte right
+	// after entry one's fixed 8-byte sum). Zeroing it makes the decoded
+	// key equal its predecessor — the wire image of a duplicate.
+	dup := append([]byte(nil), ok...)
+	dup[len(dup)-10] = 0 // delta(1) + version(1) + sum(8) from the end
+	if _, err := Decode(dup); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("decode zero key delta: %v, want ErrBadMessage", err)
+	}
+	// Every strict prefix that cuts into the digest list is a truncation,
+	// never a short-but-valid list: the count byte pins the length.
+	listStart := 2 + 8 + 9 + len(from.Addr)
+	for cut := listStart; cut < len(ok); cut++ {
+		if _, err := Decode(ok[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("decode %d/%d-byte prefix: %v, want ErrTruncated", cut, len(ok), err)
+		}
+	}
+	// A non-minimal uvarint spells the same value a second way; the
+	// decoder must reject it or Encode(Decode(b)) != b. Key 10 encodes
+	// minimally as 0x0a; 0x8a 0x00 decodes to the same 10.
+	nm := append([]byte(nil), ok[:listStart+1]...) // through the count byte
+	nm = append(nm, 0x8a, 0x00)                    // non-minimal 10
+	nm = append(nm, ok[listStart+2:]...)           // rest of entry one + entry two
+	if _, err := Decode(nm); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("decode non-minimal uvarint: %v, want ErrBadMessage", err)
+	}
+	// A delta that wraps the 64-bit key space decodes to a key below its
+	// predecessor; the decoder must catch the overflow.
+	wrap, err := Encode(&Message{Type: TReplicateDigestResp, From: from, Need: []id.ID{1 << 63, (1 << 63) + 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the 1-byte delta with a 10-byte maximal uvarint (2^64-1):
+	// 1<<63 + 2^64-1 wraps to 1<<63 - 1 < 1<<63.
+	wrap = wrap[:len(wrap)-1]
+	wrap = append(wrap, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	if _, err := Decode(wrap); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("decode wrapping key delta: %v, want ErrBadMessage", err)
+	}
+}
+
 func TestResponsePairing(t *testing.T) {
 	pairs := map[Type]Type{
-		TPing:        TPong,
-		TFindSucc:    TFindSuccResp,
-		TGetPred:     TGetPredResp,
-		TNotify:      TNotifyAck,
-		TPut:         TPutAck,
-		TGet:         TGetResp,
-		TRowExchange: TRowExchangeResp,
-		TLeafProbe:   TLeafProbeResp,
-		TFindNode:    TFindNodeResp,
-		TFindValue:   TFindValueResp,
+		TPing:            TPong,
+		TFindSucc:        TFindSuccResp,
+		TGetPred:         TGetPredResp,
+		TNotify:          TNotifyAck,
+		TPut:             TPutAck,
+		TGet:             TGetResp,
+		TRowExchange:     TRowExchangeResp,
+		TLeafProbe:       TLeafProbeResp,
+		TFindNode:        TFindNodeResp,
+		TFindValue:       TFindValueResp,
+		TReplicateDigest: TReplicateDigestResp,
 	}
 	for req, resp := range pairs {
 		if req.IsResponse() {
