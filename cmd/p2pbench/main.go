@@ -18,7 +18,7 @@
 //	p2pbench -live [-proto chord|pastry|kademlia|all] [-n 1024]
 //	         [-seed 1] [-aux 8] [-quick] [-out BENCH_live.json]
 //	         [-compare BENCH_live.json] [-hops-tolerance 0.75]
-//	         [-ttfb-tolerance 3] [-repl-tolerance 2]
+//	         [-ttfb-tolerance 3] [-repl-tolerance 2] [-p99-tolerance 3]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Schema check only: p2pbench -validate BENCH_live.json
@@ -64,6 +64,7 @@ func main() {
 		tolerance  = flag.Float64("hops-tolerance", 0.75, "live: allowed mean-hops excess over -compare baseline")
 		ttfbTol    = flag.Float64("ttfb-tolerance", 3, "live: allowed stream-TTFB multiple of -compare baseline (0 disables)")
 		replTol    = flag.Float64("repl-tolerance", 2, "live: allowed anti-entropy-reduction shrink factor vs -compare baseline (0 disables)")
+		p99Tol     = flag.Float64("p99-tolerance", 3, "live: allowed WAN-QoS-p99 multiple of -compare baseline (0 disables)")
 		validate   = flag.String("validate", "", "validate a BENCH_live.json against the schema and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here (live mode)")
 		memprofile = flag.String("memprofile", "", "write a heap profile here (live mode)")
@@ -79,7 +80,7 @@ func main() {
 		return
 	}
 	if *live {
-		runLive(*proto, *fixedN, *seed, *bits, *aux, *quick, *out, *compare, *tolerance, *ttfbTol, *replTol, *cpuprofile, *memprofile)
+		runLive(*proto, *fixedN, *seed, *bits, *aux, *quick, *out, *compare, *tolerance, *ttfbTol, *replTol, *p99Tol, *cpuprofile, *memprofile)
 		return
 	}
 
@@ -173,7 +174,7 @@ func main() {
 // runLive executes the live benchmark for the selected geometries and
 // handles output, schema self-validation, baseline comparison, and
 // profiling.
-func runLive(proto string, n int, seed int64, bits uint, aux int, quick bool, out, compare string, tolerance, ttfbTol, replTol float64, cpuprofile, memprofile string) {
+func runLive(proto string, n int, seed int64, bits uint, aux int, quick bool, out, compare string, tolerance, ttfbTol, replTol, p99Tol float64, cpuprofile, memprofile string) {
 	protos := livebench.Protos
 	if proto != "all" {
 		protos = []string{proto}
@@ -241,11 +242,11 @@ func runLive(proto string, n int, seed int64, bits uint, aux int, quick bool, ou
 		if err != nil {
 			fatalf("-compare: %v", err)
 		}
-		if err := livebench.Compare(baseline, runs, tolerance, ttfbTol, replTol); err != nil {
+		if err := livebench.Compare(baseline, runs, tolerance, ttfbTol, replTol, p99Tol); err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "p2pbench: mean hops within %.2f of %s baseline (ttfb gate %.1fx, repl gate 1/%.1f)\n",
-			tolerance, compare, ttfbTol, replTol)
+		fmt.Fprintf(os.Stderr, "p2pbench: mean hops within %.2f of %s baseline (ttfb gate %.1fx, repl gate 1/%.1f, wan p99 gate %.1fx)\n",
+			tolerance, compare, ttfbTol, replTol, p99Tol)
 	}
 }
 

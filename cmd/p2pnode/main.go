@@ -60,6 +60,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fixFingers  = fs.Duration("fixfingers", 250*time.Millisecond, "long-range table entry refresh period")
 		fingerBatch = fs.Int("fix-fingers-batch", 1, "long-range table entries refreshed per period (chord only)")
 		auxEvery    = fs.Duration("aux-every", 10*time.Second, "auxiliary recompute period (0 disables)")
+		auxQoS      = fs.Bool("aux-qos", false, "latency-aware auxiliary selection: weight observed frequencies by measured RTT and force direct pointers to peers over the delay bound")
+		auxQoSBound = fs.Duration("aux-qos-bound", 0, "QoS delay bound on measured RTT (0 uses the 100ms default; negative disables the bound, keeping cost weighting only)")
 		rpcTimeout  = fs.Duration("rpc-timeout", 500*time.Millisecond, "per-attempt RPC timeout")
 		statsEvery  = fs.Duration("stats-every", 10*time.Second, "status line period (0 disables)")
 		storeShards = fs.Int("store-shards", 0, "item-store lock shards, rounded up to a power of two (0 uses the default of 16)")
@@ -99,6 +101,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		FixFingersEvery:  *fixFingers,
 		FixFingersBatch:  *fingerBatch,
 		AuxEvery:         *auxEvery,
+		AuxQoS:           *auxQoS,
+		AuxQoSDelayBound: *auxQoSBound,
 		RPCTimeout:       *rpcTimeout,
 		StoreShards:      *storeShards,
 		// The daemon is the real-network deployment: select the UDP

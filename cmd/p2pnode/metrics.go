@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"time"
 
 	"peercache/internal/node"
 )
@@ -39,6 +40,10 @@ type metricsPayload struct {
 
 	Store storeStats `json:"store"`
 
+	// RTT is the latency plane: the estimator's totals, the QoS
+	// selection counters, and the per-contact smoothed RTT table.
+	RTT rttStats `json:"rtt"`
+
 	// Replication is the digest anti-entropy subset of node.Metrics
 	// under scrape-stable names.
 	Replication replicationStats `json:"replication"`
@@ -62,6 +67,31 @@ type trafficStats struct {
 type contactJSON struct {
 	ID   uint64 `json:"id"`
 	Addr string `json:"addr"`
+}
+
+// rttStats surfaces the measured-latency state behind QoS-aware aux
+// selection: every correlated RPC feeds a per-contact smoothed RTT
+// (EWMA, rtt.go), and the per-contact table here is the scrape-stable
+// view of exactly what the node's cost model currently believes. An
+// entry disappears when its contact is evicted — estimates and
+// addresses live and die together.
+type rttStats struct {
+	Samples       uint64 `json:"samples"`
+	Contacts      int    `json:"contacts"`
+	AuxQoS        bool   `json:"aux_qos"`
+	QoSSelects    uint64 `json:"qos_selects"`
+	QoSInfeasible uint64 `json:"qos_infeasible"`
+
+	PerContact []contactRTTJSON `json:"per_contact"`
+}
+
+// contactRTTJSON is one contact's smoothed RTT, in milliseconds for
+// scrape ergonomics (dashboards want a float, not nanoseconds).
+type contactRTTJSON struct {
+	ID      uint64  `json:"id"`
+	Addr    string  `json:"addr"`
+	SRTTMs  float64 `json:"srtt_ms"`
+	Samples uint64  `json:"samples"`
 }
 
 // storeStats mirrors the data-plane subset of node.Metrics under
@@ -102,6 +132,16 @@ func payloadFor(n *node.Node) metricsPayload {
 	for i, a := range aux {
 		auxJSON[i] = contactJSON{ID: uint64(a.ID), Addr: a.Addr}
 	}
+	rtts := n.ContactRTTs()
+	rttJSON := make([]contactRTTJSON, len(rtts))
+	for i, r := range rtts {
+		rttJSON[i] = contactRTTJSON{
+			ID:      uint64(r.ID),
+			Addr:    r.Addr,
+			SRTTMs:  float64(r.SRTT) / float64(time.Millisecond),
+			Samples: r.Samples,
+		}
+	}
 	p := metricsPayload{
 		ID:            uint64(n.ID()),
 		Addr:          n.Addr(),
@@ -130,6 +170,14 @@ func payloadFor(n *node.Node) metricsPayload {
 			Promotions:    m.Promotions,
 			Demotions:     m.Demotions,
 			ReplicaServes: m.ReplicaServes,
+		},
+		RTT: rttStats{
+			Samples:       m.RTTSamples,
+			Contacts:      m.RTTContacts,
+			AuxQoS:        m.AuxQoS,
+			QoSSelects:    m.AuxQoSSelects,
+			QoSInfeasible: m.AuxQoSInfeasible,
+			PerContact:    rttJSON,
 		},
 		Replication: replicationStats{
 			DigestsOut:        m.DigestsOut,

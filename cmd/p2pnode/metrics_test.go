@@ -8,9 +8,13 @@ import (
 	"testing"
 	"time"
 
+	"peercache/internal/cluster"
 	"peercache/internal/id"
 	"peercache/internal/node"
+	"peercache/internal/node/chordring"
+	"peercache/internal/node/kadring"
 	"peercache/internal/node/pastryring"
+	"peercache/internal/node/ring"
 	"peercache/internal/wire"
 )
 
@@ -260,6 +264,186 @@ func TestMetricsReportStoreAndAuxNeighbors(t *testing.T) {
 		if tr.DatagramsIn != p.Metrics.DatagramsIn || tr.BytesOut != p.Metrics.BytesOut {
 			t.Fatalf("%s traffic block disagrees with metrics: %+v vs %+v", name, tr, p.Metrics)
 		}
+	}
+}
+
+// The rtt block must appear with live estimates on every geometry: the
+// join handshake alone is a correlated RPC, so a freshly joined pair
+// already has per-contact smoothed RTTs on both sides, and the aux_qos
+// flag must reflect the node's configuration through a proto switch.
+func TestMetricsReportRTTAcrossProtocols(t *testing.T) {
+	space := id.NewSpace(16)
+	for _, g := range []struct {
+		proto   string
+		factory ring.Factory
+	}{
+		{"chord", chordring.New},
+		{"pastry", pastryring.New},
+		{"kademlia", kadring.New},
+	} {
+		t.Run(g.proto, func(t *testing.T) {
+			cfg := func(x id.ID) node.Config {
+				return node.Config{
+					Space:           space,
+					ID:              x,
+					Addr:            "127.0.0.1:0",
+					NewRing:         g.factory,
+					AuxQoS:          true,
+					StabilizeEvery:  50 * time.Millisecond,
+					FixFingersEvery: 10 * time.Millisecond,
+					RPCTimeout:      250 * time.Millisecond,
+				}
+			}
+			a, err := node.Start(cfg(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			b, err := node.Start(cfg(40000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			if err := b.Join(a.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Ping(b.Addr()); err != nil {
+				t.Fatal(err)
+			}
+
+			srv, addr, err := serveMetrics(a, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			p := scrape(t, addr)
+			if p.Protocol != g.proto {
+				t.Fatalf("protocol %q, want %q", p.Protocol, g.proto)
+			}
+			r := p.RTT
+			if r.Samples == 0 || r.Contacts == 0 || len(r.PerContact) != r.Contacts {
+				t.Fatalf("rtt block dead or inconsistent: %+v", r)
+			}
+			if !r.AuxQoS {
+				t.Fatal("aux_qos false with the feature configured on")
+			}
+			found := false
+			for _, c := range r.PerContact {
+				if c.ID == uint64(b.ID()) {
+					found = true
+					if c.SRTTMs <= 0 || c.Samples == 0 || c.Addr != b.Addr() {
+						t.Fatalf("estimate for %d implausible: %+v", b.ID(), c)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no per-contact estimate for joined peer %d: %+v", b.ID(), r.PerContact)
+			}
+		})
+	}
+}
+
+// An evicted contact's estimate must disappear from the scrape: when a
+// direct aux pointer's peer dies, the stabilize round retires the
+// pointer and its contact-cache entry together (node.go), and the rtt
+// table — which lives under the same lock — drops the estimate with
+// them. Ids are chosen so c is neither a's successor nor one of its
+// fingers (b shadows it in the only interval containing both), making
+// the recomputed aux entry a direct node pointer, the one whose
+// eviction path forgets the address.
+func TestMetricsRTTDecaysAfterEviction(t *testing.T) {
+	space := id.NewSpace(16)
+	cfg := func(x id.ID) node.Config {
+		return node.Config{
+			Space:            space,
+			ID:               x,
+			Addr:             "127.0.0.1:0",
+			AuxCount:         2,
+			SuccessorListLen: 1,
+			StabilizeEvery:   50 * time.Millisecond,
+			FixFingersEvery:  10 * time.Millisecond,
+			RPCTimeout:       250 * time.Millisecond,
+		}
+	}
+	a, err := node.Start(cfg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := node.Start(cfg(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := node.Start(cfg(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, n := range []*node.Node{b, c} {
+		if err := n.Join(a.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if err := cluster.CheckChordConverged(space, []*node.Node{a, b, c}); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("ring never converged: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Time c directly, observe it as lookup traffic, and install the
+	// direct aux pointer.
+	if err := a.Ping(c.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if owner, _, err := a.Lookup(c.ID()); err != nil || owner.ID != c.ID() {
+		t.Fatalf("lookup of %d: owner %v err %v", c.ID(), owner, err)
+	}
+	if _, err := a.RecomputeAux(); err != nil {
+		t.Fatal(err)
+	}
+	hasAuxC := false
+	for _, x := range a.Aux() {
+		if x.ID == c.ID() {
+			hasAuxC = true
+		}
+	}
+	if !hasAuxC {
+		t.Fatalf("aux %v lacks the direct pointer to %d", a.Aux(), c.ID())
+	}
+
+	srv, addr, err := serveMetrics(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	present := func(p metricsPayload) bool {
+		for _, e := range p.RTT.PerContact {
+			if e.ID == uint64(c.ID()) {
+				return true
+			}
+		}
+		return false
+	}
+	if p := scrape(t, addr); !present(p) {
+		t.Fatalf("estimate for %d missing before eviction: %+v", c.ID(), p.RTT)
+	}
+
+	c.Crash()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if p := scrape(t, addr); !present(p) {
+			if p.RTT.Contacts != len(p.RTT.PerContact) {
+				t.Fatalf("contacts gauge %d disagrees with table %d", p.RTT.Contacts, len(p.RTT.PerContact))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("estimate for %d survived its contact's eviction", c.ID())
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

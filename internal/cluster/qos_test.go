@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/node"
+	"peercache/internal/randx"
+)
+
+// TestClusterQoSAuxBeatsHopGreedyP99 is the end-to-end acceptance test
+// for latency-aware aux selection: on a seeded two-region WAN topology,
+// QoS placement (measured RTTs as costs, delay bound forcing direct
+// pointers to over-bound peers) must beat plain hop-greedy placement on
+// p99 lookup latency for the same overlay and the same query stream.
+//
+// Region assignment follows id bands — the nodes in the top id band
+// live across the WAN. Chord routing closes in on a target through its
+// id neighborhood, so a cross-region walk spends its final hops probing
+// far-region nodes: two to three WAN round trips per far lookup. That
+// is the regime where a direct pointer pays, and exactly what the
+// paper's Section V delay bounds encode. Each source's query mix is
+// heavy near-region traffic plus a light tail of far-region targets:
+//
+//   - hop-greedy selection spends every aux slot on the high-frequency
+//     near targets (cheap lookups that were already cheap), so the far
+//     tail keeps paying multi-WAN walks — that tail is the p99;
+//   - QoS selection sees the far targets' measured RTTs above the delay
+//     bound and pins direct pointers to them, collapsing the tail to a
+//     single WAN round trip.
+//
+// Everything is seeded; the test runs race-enabled in CI.
+func TestClusterQoSAuxBeatsHopGreedyP99(t *testing.T) {
+	if testing.Short() {
+		t.Skip("36-node WAN cluster test")
+	}
+	const (
+		numNodes   = 36
+		numFar     = 10 // top id band lives across the WAN
+		k          = 6  // aux budget
+		nearPerSrc = 6
+		farPerSrc  = 4
+		nearReps   = 10
+		farReps    = 2
+		rttProbes  = 3
+		seed       = 71
+	)
+	space := id.NewSpace(16)
+	rng := rand.New(rand.NewSource(seed))
+	ids := randx.UniqueIDs(rng, numNodes, space.Size())
+
+	sorted := append([]uint64(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	farSet := make(map[uint64]bool, numFar)
+	for _, x := range sorted[numNodes-numFar:] {
+		farSet[x] = true
+	}
+
+	nw := memnet.New(seed)
+	topo := memnet.NewWANTopology(seed, memnet.WANOptions{Regions: 2, Scale: 0.16})
+	for _, x := range ids {
+		r := 0
+		if farSet[x] {
+			r = 1
+		}
+		topo.Pin(AddrFor(id.ID(x)), r)
+	}
+	nw.SetTopology(topo)
+
+	// The topology is deterministic, so the delay envelope is known
+	// before any node starts: the delay bound must separate every
+	// intra-region RTT from every cross-region RTT, or the test's
+	// premise (far peers over bound, near peers under) doesn't hold.
+	var maxNear, minFar time.Duration
+	minFar = time.Hour
+	for _, a := range ids {
+		for _, b := range ids {
+			if a == b {
+				continue
+			}
+			d := topo.Delay(AddrFor(id.ID(a)), AddrFor(id.ID(b)))
+			switch {
+			case farSet[a] != farSet[b]:
+				if d < minFar {
+					minFar = d
+				}
+			case !farSet[a]:
+				if d > maxNear {
+					maxNear = d
+				}
+			}
+		}
+	}
+	if minFar < 2*maxNear {
+		t.Fatalf("seed %d: WAN separation too weak (max intra %v, min inter %v); pick another seed", seed, maxNear, minFar)
+	}
+	bound := maxNear + minFar // between the worst near RTT and the best far RTT
+	t.Logf("topology: intra one-way ≤ %v, inter one-way ≥ %v, delay bound %v", maxNear, minFar, bound)
+
+	cl, err := Start(space, nw, ids, func(i int, cfg *node.Config) {
+		cfg.AuxCount = k
+		cfg.AuxEvery = 0 // recomputation driven explicitly between arms
+		cfg.AuxQoSDelayBound = bound
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(120 * time.Second); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+
+	// Sources are the near-region nodes. Each draws a seeded target mix:
+	// heavy near traffic, light far tail.
+	type source struct {
+		n    *node.Node
+		near []id.ID
+		far  []id.ID
+	}
+	var nearIDs, farIDs []id.ID
+	for _, x := range ids {
+		if farSet[x] {
+			farIDs = append(farIDs, id.ID(x))
+		} else {
+			nearIDs = append(nearIDs, id.ID(x))
+		}
+	}
+	pick := func(from []id.ID, count int, self id.ID) []id.ID {
+		perm := rng.Perm(len(from))
+		out := make([]id.ID, 0, count)
+		for _, p := range perm {
+			if from[p] == self {
+				continue
+			}
+			out = append(out, from[p])
+			if len(out) == count {
+				break
+			}
+		}
+		return out
+	}
+	var sources []source
+	for _, n := range cl.Nodes {
+		if farSet[uint64(n.ID())] {
+			continue
+		}
+		sources = append(sources, source{
+			n:    n,
+			near: pick(nearIDs, nearPerSrc, n.ID()),
+			far:  pick(farIDs, farPerSrc, n.ID()),
+		})
+	}
+
+	// Prime the RTT estimators: chord resolves a target at its
+	// predecessor, so the lookup stream alone never times the far
+	// targets themselves. Active probes are how a latency-aware node
+	// measures candidates (Node.Ping feeds the estimator).
+	for _, s := range sources {
+		for _, tgt := range append(append([]id.ID(nil), s.near...), s.far...) {
+			for p := 0; p < rttProbes; p++ {
+				if err := s.n.Ping(AddrFor(tgt)); err != nil {
+					t.Fatalf("rtt probe %d → %d: %v", s.n.ID(), tgt, err)
+				}
+			}
+		}
+	}
+
+	// runStream drives every source's mix concurrently (one worker per
+	// source, serial within a source) and returns the merged per-lookup
+	// wall latencies.
+	runStream := func(label string) []time.Duration {
+		perSrc := make([][]time.Duration, len(sources))
+		var wg sync.WaitGroup
+		for i, s := range sources {
+			wg.Add(1)
+			go func(i int, s source) {
+				defer wg.Done()
+				var lat []time.Duration
+				for rep := 0; rep < nearReps; rep++ {
+					for _, tgt := range s.near {
+						start := time.Now()
+						if _, _, err := s.n.Lookup(tgt); err != nil {
+							t.Errorf("%s: near lookup %d from %d: %v", label, tgt, s.n.ID(), err)
+							return
+						}
+						lat = append(lat, time.Since(start))
+					}
+					if rep < farReps {
+						for _, tgt := range s.far {
+							start := time.Now()
+							if _, _, err := s.n.Lookup(tgt); err != nil {
+								t.Errorf("%s: far lookup %d from %d: %v", label, tgt, s.n.ID(), err)
+								return
+							}
+							lat = append(lat, time.Since(start))
+						}
+					}
+				}
+				perSrc[i] = lat
+			}(i, s)
+		}
+		wg.Wait()
+		var all []time.Duration
+		for _, l := range perSrc {
+			all = append(all, l...)
+		}
+		return all
+	}
+	pct := func(lat []time.Duration, p float64) time.Duration {
+		s := append([]time.Duration(nil), lat...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[int(float64(len(s)-1)*p)]
+	}
+	recomputeAll := func(label string) {
+		installed := 0
+		for _, n := range cl.Nodes {
+			got, err := n.RecomputeAux()
+			if err != nil {
+				t.Fatalf("%s recompute at node %d: %v", label, n.ID(), err)
+			}
+			installed += got
+		}
+		if installed == 0 {
+			t.Fatalf("%s recompute installed no auxiliary neighbors", label)
+		}
+	}
+
+	// Arm 1: observe the workload, then hop-greedy placement.
+	runStream("observe")
+	recomputeAll("hop-greedy")
+	hop := runStream("hop-greedy")
+
+	// Arm 2: same overlay, same stream, QoS placement.
+	for _, n := range cl.Nodes {
+		n.SetAuxQoS(true)
+	}
+	recomputeAll("qos")
+	var selects, infeasible uint64
+	for _, n := range cl.Nodes {
+		m := n.Metrics()
+		selects += m.AuxQoSSelects
+		infeasible += m.AuxQoSInfeasible
+	}
+	if selects == 0 {
+		t.Fatal("no node ran the QoS selection")
+	}
+	qos := runStream("qos")
+
+	hopP50, hopP99 := pct(hop, 0.50), pct(hop, 0.99)
+	qosP50, qosP99 := pct(qos, 0.50), pct(qos, 0.99)
+	t.Logf("hop-greedy: p50 %v p99 %v (%d lookups)", hopP50, hopP99, len(hop))
+	t.Logf("qos:        p50 %v p99 %v (%d lookups; %d selects, %d infeasible fallbacks)",
+		qosP50, qosP99, len(qos), selects, infeasible)
+	if !(qosP99 < hopP99) {
+		t.Fatalf("QoS placement did not improve p99: hop-greedy %v, qos %v", hopP99, qosP99)
+	}
+}

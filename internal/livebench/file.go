@@ -11,18 +11,24 @@ import (
 // Schema identifies the BENCH_live.json document format. Bump the
 // version on any incompatible field change and teach Validate both.
 const (
-	// Schema is the current format: v3 adds the replication data plane —
-	// the anti-entropy byte rates (repl_bytes_per_sec against the
-	// full-push counterfactual, and their ratio repl_reduction), the
-	// store shard count, and the hot-key read phase (owner vs any-copy
-	// ops/s plus replica_hit_rate). At full scale (nodes ≥ 1024) a v3
-	// document must show repl_reduction ≥ 5 — the digest protocol's
-	// headline claim is part of the schema, like v2's stranded gate.
-	Schema = "peercache-livebench/v3"
-	// SchemaV2 is the previous format — streaming phase, fix_fingers_batch,
-	// stranded_keys gated at zero — still loadable so committed
-	// trajectories and older tooling keep working; replication fields
-	// are not enforced on it.
+	// Schema is the current format: v4 adds the WAN latency phase — the
+	// converged overlay on a seeded coordinate WAN topology, with
+	// hop-greedy and QoS-aware auxiliary selection arms (wall-latency
+	// p50/p99 each), the QoS arm repeated under exponential-lifetime
+	// churn at the paper's session rate, and a flash-crowd arm before
+	// and after one aux adaptation. At full scale (nodes ≥ 1024) the
+	// headline claim is part of the schema: across the document's
+	// full-scale runs, QoS p99 must beat hop-greedy p99 on at least two
+	// geometries.
+	Schema = "peercache-livebench/v4"
+	// SchemaV3 is the previous format — replication data plane
+	// (anti-entropy byte rates, repl_reduction, the hot-key read phase)
+	// — still loadable so committed trajectories and older tooling keep
+	// working; WAN fields are not enforced on it.
+	SchemaV3 = "peercache-livebench/v3"
+	// SchemaV2 added the streaming phase, fix_fingers_batch, and the
+	// stranded_keys-at-zero gate; replication fields are not enforced on
+	// it.
 	SchemaV2 = "peercache-livebench/v2"
 	// SchemaV1 is the original format; stream fields and the stranded
 	// gate are not enforced on it either.
@@ -79,10 +85,11 @@ func Load(path string) (*File, error) {
 // a field that silently stops being populated fails the build instead
 // of committing zeros into the trajectory.
 func (f *File) Validate() error {
-	v3 := f.Schema == Schema
+	v4 := f.Schema == Schema
+	v3 := v4 || f.Schema == SchemaV3
 	v2 := v3 || f.Schema == SchemaV2
 	if !v2 && f.Schema != SchemaV1 {
-		return fmt.Errorf("schema %q, want %q (or legacy %q, %q)", f.Schema, Schema, SchemaV2, SchemaV1)
+		return fmt.Errorf("schema %q, want %q (or legacy %q, %q, %q)", f.Schema, Schema, SchemaV3, SchemaV2, SchemaV1)
 	}
 	if _, err := time.Parse(time.RFC3339, f.GeneratedAt); err != nil {
 		return fmt.Errorf("generated_at: %w", err)
@@ -147,6 +154,28 @@ func (f *File) Validate() error {
 			// hit rate means the replica read path never engaged.
 			pos["replica_hit_rate"] = r.ReplicaHitRate
 		}
+		if v4 {
+			pos["wan_regions"] = float64(r.WANRegions)
+			pos["wan_scale"] = r.WANScale
+			pos["wan_sources"] = float64(r.WANSources)
+			pos["wan_hot_keys"] = float64(r.WANHotKeys)
+			pos["wan_ops"] = float64(r.WANOps)
+			pos["wan_qos_bound_ms"] = r.WANQoSBoundMS
+			pos["wan_hop_p50_us"] = r.WANHopP50US
+			pos["wan_hop_p99_us"] = r.WANHopP99US
+			pos["wan_qos_p50_us"] = r.WANQoSP50US
+			pos["wan_qos_p99_us"] = r.WANQoSP99US
+			pos["wan_churn_mean_life_ms"] = float64(r.WANChurnMeanLifeMS)
+			pos["wan_churn_p50_us"] = r.WANChurnP50US
+			pos["wan_churn_p99_us"] = r.WANChurnP99US
+			pos["wan_flash_reads"] = float64(r.WANFlashReads)
+			pos["wan_flash_p99_us"] = r.WANFlashP99US
+			pos["wan_flash_adapted_p99_us"] = r.WANFlashAdaptedP99US
+			// A run where the constrained optimizer never decided a
+			// selection measured nothing: the QoS arm was hop-greedy with
+			// extra steps.
+			pos["wan_qos_selects"] = float64(r.WANQoSSelects)
+		}
 		for field, v := range pos {
 			if v <= 0 {
 				return fmt.Errorf("%s = %g, want > 0", at(field), v)
@@ -166,6 +195,12 @@ func (f *File) Validate() error {
 		if v3 {
 			nonNeg["repl_fallbacks"] = float64(r.ReplFallbacks)
 			nonNeg["hot_failures"] = float64(r.HotFailures)
+		}
+		if v4 {
+			nonNeg["wan_qos_infeasible"] = float64(r.WANQoSInfeasible)
+			nonNeg["wan_failures"] = float64(r.WANFailures)
+			nonNeg["wan_churn_restarts"] = float64(r.WANChurnRestarts)
+			nonNeg["wan_churn_failures"] = float64(r.WANChurnFailures)
 		}
 		for field, v := range nonNeg {
 			if v < 0 {
@@ -195,6 +230,43 @@ func (f *File) Validate() error {
 		if r.AuxHitRate > 1 {
 			return fmt.Errorf("%s = %g, want <= 1", at("aux_hit_rate"), r.AuxHitRate)
 		}
+		if v4 {
+			if r.WANHopP99US < r.WANHopP50US {
+				return fmt.Errorf("%s", at("wan_hop_p99_us below wan_hop_p50_us"))
+			}
+			if r.WANQoSP99US < r.WANQoSP50US {
+				return fmt.Errorf("%s", at("wan_qos_p99_us below wan_qos_p50_us"))
+			}
+			if r.WANChurnP99US < r.WANChurnP50US {
+				return fmt.Errorf("%s", at("wan_churn_p99_us below wan_churn_p50_us"))
+			}
+			// At the paper's session rate a full-scale churn arm sees
+			// about one departure per second; a zero-restart arm means
+			// the churn machinery silently stopped.
+			if r.Nodes >= 1024 && r.WANChurnRestarts == 0 {
+				return fmt.Errorf("%s = 0, want >= 1 at n >= 1024 (churn arm never churned)", at("wan_churn_restarts"))
+			}
+		}
+	}
+	// v4's headline claim at full scale is cross-run: among the
+	// document's full-scale geometries, latency-aware selection must
+	// beat the frequency-only baseline at the tail on at least two (all,
+	// when the document carries fewer than two).
+	if v4 {
+		fullScale, wins := 0, 0
+		for _, r := range f.Runs {
+			if r.Nodes < 1024 {
+				continue
+			}
+			fullScale++
+			if r.WANQoSP99US < r.WANHopP99US {
+				wins++
+			}
+		}
+		if need := min(2, fullScale); wins < need {
+			return fmt.Errorf("wan_qos_p99_us below wan_hop_p99_us on %d of %d full-scale runs, want >= %d (QoS selection must beat hop-greedy at the tail)",
+				wins, fullScale, need)
+		}
 	}
 	return nil
 }
@@ -216,11 +288,15 @@ func (f *File) Validate() error {
 // machine-stable where the raw byte rates are not (a quick CI run has
 // fewer nodes, so cluster-wide bytes/s is incomparable, but how many
 // bytes the digests save per byte sent is the protocol property being
-// guarded). Zero replTolerance disables that gate. Geometries in only
-// one side are ignored, so a quick CI run (smaller n, where hops are
-// lower anyway) still compares meaningfully against the committed
-// full-scale file.
-func Compare(baseline *File, runs []Result, hopsTolerance, ttfbTolerance, replTolerance float64) error {
+// guarded). Zero replTolerance disables that gate. When both sides
+// carry WAN results (v4), the new run's QoS-arm tail latency
+// (wan_qos_p99_us) must not exceed the baseline's by more than the
+// multiplicative p99Tolerance — like TTFB it is machine-speed
+// sensitive, so the gate is a coarse cliff guard; zero p99Tolerance or
+// a pre-WAN side skips it. Geometries in only one side are ignored, so
+// a quick CI run (smaller n, where hops are lower anyway) still
+// compares meaningfully against the committed full-scale file.
+func Compare(baseline *File, runs []Result, hopsTolerance, ttfbTolerance, replTolerance, p99Tolerance float64) error {
 	base := make(map[string]Result, len(baseline.Runs))
 	for _, r := range baseline.Runs {
 		base[r.Proto] = r
@@ -243,6 +319,11 @@ func Compare(baseline *File, runs []Result, hopsTolerance, ttfbTolerance, replTo
 			r.ReplReduction < b.ReplReduction/replTolerance {
 			return fmt.Errorf("livebench: %s anti-entropy reduction %.2fx below 1/%.1f of the baseline %.2fx (n=%d vs baseline n=%d)",
 				r.Proto, r.ReplReduction, replTolerance, b.ReplReduction, r.Nodes, b.Nodes)
+		}
+		if p99Tolerance > 0 && r.WANQoSP99US > 0 && b.WANQoSP99US > 0 &&
+			r.WANQoSP99US > b.WANQoSP99US*p99Tolerance {
+			return fmt.Errorf("livebench: %s WAN QoS p99 %.0fus exceeds %.1fx the baseline %.0fus (n=%d vs baseline n=%d)",
+				r.Proto, r.WANQoSP99US, p99Tolerance, b.WANQoSP99US, r.Nodes, b.Nodes)
 		}
 	}
 	return nil

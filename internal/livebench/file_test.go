@@ -27,6 +27,14 @@ func goodRun(proto string) Result {
 		HotReads: 512, HotDegradedReads: 64,
 		HotOwnerOpsPerSec: 3000, HotAnyOpsPerSec: 3100, HotDegradedOpsPerSec: 150,
 		ReplicaHitRate: 0.8,
+		WANRegions: 3, WANScale: 0.12, WANSources: 32, WANHotKeys: 16,
+		WANOps: 256, WANQoSBoundMS: 12.5,
+		WANHopP50US: 9000, WANHopP99US: 42000,
+		WANQoSP50US: 8000, WANQoSP99US: 30000,
+		WANQoSSelects: 64, WANQoSInfeasible: 0, WANFailures: 0,
+		WANChurnMeanLifeMS: 900000, WANChurnRestarts: 5,
+		WANChurnP50US: 9500, WANChurnP99US: 48000, WANChurnFailures: 2,
+		WANFlashReads: 128, WANFlashP99US: 52000, WANFlashAdaptedP99US: 18000,
 	}
 	if proto == "kademlia" {
 		r.BucketSize = 8
@@ -124,6 +132,32 @@ func TestFileValidateRejects(t *testing.T) {
 			},
 			want: "repl_reduction",
 		},
+		"missing wan hop p99": {
+			mutate: func(f *File) { f.Runs[0].WANHopP99US = 0 },
+			want:   "wan_hop_p99_us",
+		},
+		"inverted wan qos percentiles": {
+			mutate: func(f *File) { f.Runs[0].WANQoSP50US = f.Runs[0].WANQoSP99US * 2 },
+			want:   "wan_qos_p99_us below wan_qos_p50_us",
+		},
+		"qos selector never engaged": {
+			mutate: func(f *File) { f.Runs[0].WANQoSSelects = 0 },
+			want:   "wan_qos_selects",
+		},
+		"full-scale churn arm never churned": {
+			mutate: func(f *File) {
+				f.Runs[0].Nodes = 1024
+				f.Runs[0].WANChurnRestarts = 0
+			},
+			want: "wan_churn_restarts",
+		},
+		"full-scale qos loses to hop-greedy": {
+			mutate: func(f *File) {
+				f.Runs[0].Nodes = 1024
+				f.Runs[0].WANQoSP99US = f.Runs[0].WANHopP99US + 1
+			},
+			want: "wan_qos_p99_us below wan_hop_p99_us",
+		},
 	}
 	for name, tc := range cases {
 		f := NewFile([]Result{goodRun("chord")})
@@ -164,6 +198,20 @@ func stripRepl(r *Result) {
 	r.ReplicaHitRate = 0
 }
 
+// stripWAN zeroes every v4 WAN-phase field, as a pre-latency-plane
+// document would carry.
+func stripWAN(r *Result) {
+	r.WANRegions, r.WANSources, r.WANHotKeys, r.WANOps = 0, 0, 0, 0
+	r.WANScale, r.WANQoSBoundMS = 0, 0
+	r.WANHopP50US, r.WANHopP99US, r.WANQoSP50US, r.WANQoSP99US = 0, 0, 0, 0
+	r.WANQoSSelects, r.WANQoSInfeasible = 0, 0
+	r.WANFailures, r.WANChurnRestarts, r.WANChurnFailures = 0, 0, 0
+	r.WANChurnMeanLifeMS = 0
+	r.WANChurnP50US, r.WANChurnP99US = 0, 0
+	r.WANFlashReads = 0
+	r.WANFlashP99US, r.WANFlashAdaptedP99US = 0, 0
+}
+
 // A legacy v1 document — no stream fields, no batch knob, stranded
 // count recorded rather than gated — must still load and validate.
 func TestFileAcceptsV1(t *testing.T) {
@@ -176,6 +224,7 @@ func TestFileAcceptsV1(t *testing.T) {
 	r.StreamTTFBUS, r.StreamMBPS = 0, 0
 	r.StrandedKeys = 2
 	stripRepl(r)
+	stripWAN(r)
 	if err := f.Validate(); err != nil {
 		t.Fatalf("v1 document rejected: %v", err)
 	}
@@ -195,6 +244,7 @@ func TestFileAcceptsV2(t *testing.T) {
 	f := NewFile([]Result{goodRun("chord")})
 	f.Schema = SchemaV2
 	stripRepl(&f.Runs[0])
+	stripWAN(&f.Runs[0])
 	if err := f.Validate(); err != nil {
 		t.Fatalf("v2 document rejected: %v", err)
 	}
@@ -212,6 +262,69 @@ func TestFileAcceptsV2(t *testing.T) {
 	}
 }
 
+// A legacy v3 document — replication and hot-key fields present, WAN
+// fields absent — must still load and validate, with the v3 gates (the
+// full-scale reduction floor) enforced and the WAN fields not.
+func TestFileAcceptsV3(t *testing.T) {
+	f := NewFile([]Result{goodRun("chord")})
+	f.Schema = SchemaV3
+	stripWAN(&f.Runs[0])
+	if err := f.Validate(); err != nil {
+		t.Fatalf("v3 document rejected: %v", err)
+	}
+	f.Runs[0].Nodes = 1024
+	f.Runs[0].ReplReduction = 3
+	if err := f.Validate(); err == nil {
+		t.Fatal("v3 document below the full-scale reduction floor accepted")
+	}
+	f.Runs[0].Nodes = 128
+	f.Runs[0].ReplReduction = 6.5
+	path := filepath.Join(t.TempDir(), "v3.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("v3 document fails Load: %v", err)
+	}
+}
+
+// The cross-run full-scale gate: a v4 document whose full-scale runs do
+// not show QoS beating hop-greedy on at least two geometries fails, and
+// a document with a single full-scale run needs only that one.
+func TestFileQoSBeatsHopGate(t *testing.T) {
+	full := func(proto string) Result {
+		r := goodRun(proto)
+		r.Nodes = 1024
+		return r
+	}
+	f := NewFile([]Result{full("chord"), full("pastry"), full("kademlia")})
+	if err := f.Validate(); err != nil {
+		t.Fatalf("three winning full-scale runs rejected: %v", err)
+	}
+	// One loss of three still passes; two losses fail.
+	f.Runs[0].WANQoSP99US = f.Runs[0].WANHopP99US * 1.5
+	if err := f.Validate(); err != nil {
+		t.Fatalf("two of three wins rejected: %v", err)
+	}
+	f.Runs[1].WANQoSP99US = f.Runs[1].WANHopP99US * 1.5
+	if err := f.Validate(); err == nil {
+		t.Fatal("one of three wins accepted")
+	}
+	// A single full-scale run must itself win.
+	solo := NewFile([]Result{full("chord")})
+	solo.Runs[0].WANQoSP99US = solo.Runs[0].WANHopP99US * 1.5
+	if err := solo.Validate(); err == nil {
+		t.Fatal("sole losing full-scale run accepted")
+	}
+	// Small-n documents are exempt: quick CI runs are not where the
+	// headline claim is judged.
+	quick := NewFile([]Result{goodRun("chord")})
+	quick.Runs[0].WANQoSP99US = quick.Runs[0].WANHopP99US * 1.5
+	if err := quick.Validate(); err != nil {
+		t.Fatalf("small-n run gated on the full-scale claim: %v", err)
+	}
+}
+
 // Compare gates mean hops per geometry additively, stream TTFB
 // multiplicatively, and the anti-entropy reduction ratio against a
 // shrink factor; tolerates small regressions, skips gates when a side
@@ -222,29 +335,29 @@ func TestCompare(t *testing.T) {
 
 	ok := goodRun("chord")
 	ok.MeanHops = baseline.Runs[0].MeanHops + 0.5
-	if err := Compare(baseline, []Result{ok}, 0.75, 3, 2); err != nil {
+	if err := Compare(baseline, []Result{ok}, 0.75, 3, 2, 3); err != nil {
 		t.Fatalf("within-tolerance run rejected: %v", err)
 	}
 
 	bad := goodRun("chord")
 	bad.MeanHops = baseline.Runs[0].MeanHops + 1.0
-	if err := Compare(baseline, []Result{bad}, 0.75, 3, 2); err == nil {
+	if err := Compare(baseline, []Result{bad}, 0.75, 3, 2, 3); err == nil {
 		t.Fatal("regressed run accepted")
 	}
 
 	novel := goodRun("kademlia") // not in baseline: ignored
 	novel.MeanHops = 99
-	if err := Compare(baseline, []Result{novel}, 0.75, 3, 2); err != nil {
+	if err := Compare(baseline, []Result{novel}, 0.75, 3, 2, 3); err != nil {
 		t.Fatalf("novel geometry gated against nothing: %v", err)
 	}
 
 	slow := goodRun("chord")
 	slow.StreamTTFBUS = baseline.Runs[0].StreamTTFBUS * 2
-	if err := Compare(baseline, []Result{slow}, 0.75, 3, 2); err != nil {
+	if err := Compare(baseline, []Result{slow}, 0.75, 3, 2, 3); err != nil {
 		t.Fatalf("within-tolerance ttfb rejected: %v", err)
 	}
 	slow.StreamTTFBUS = baseline.Runs[0].StreamTTFBUS * 4
-	if err := Compare(baseline, []Result{slow}, 0.75, 3, 2); err == nil {
+	if err := Compare(baseline, []Result{slow}, 0.75, 3, 2, 3); err == nil {
 		t.Fatal("cliff-regressed ttfb accepted")
 	}
 
@@ -252,7 +365,7 @@ func TestCompare(t *testing.T) {
 	// fire against a zero.
 	v1 := NewFile([]Result{goodRun("chord")})
 	v1.Runs[0].StreamTTFBUS = 0
-	if err := Compare(v1, []Result{slow}, 0.75, 3, 2); err != nil {
+	if err := Compare(v1, []Result{slow}, 0.75, 3, 2, 3); err != nil {
 		t.Fatalf("ttfb gated against a streamless baseline: %v", err)
 	}
 
@@ -261,19 +374,19 @@ func TestCompare(t *testing.T) {
 	// replication data (v2 and earlier) disables the gate.
 	lessEff := goodRun("chord")
 	lessEff.ReplReduction = baseline.Runs[0].ReplReduction / 1.5
-	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 2); err != nil {
+	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 2, 3); err != nil {
 		t.Fatalf("within-shrink-factor reduction rejected: %v", err)
 	}
 	lessEff.ReplReduction = baseline.Runs[0].ReplReduction / 4
-	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 2); err == nil {
+	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 2, 3); err == nil {
 		t.Fatal("collapsed anti-entropy reduction accepted")
 	}
-	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 0); err != nil {
+	if err := Compare(baseline, []Result{lessEff}, 0.75, 3, 0, 3); err != nil {
 		t.Fatalf("disabled repl gate still fired: %v", err)
 	}
 	v2 := NewFile([]Result{goodRun("chord")})
 	stripRepl(&v2.Runs[0])
-	if err := Compare(v2, []Result{lessEff}, 0.75, 3, 2); err != nil {
+	if err := Compare(v2, []Result{lessEff}, 0.75, 3, 2, 3); err != nil {
 		t.Fatalf("repl gated against a pre-digest baseline: %v", err)
 	}
 }

@@ -109,6 +109,36 @@ type Options struct {
 	// reads strictly on demand).
 	StreamPrefetch int
 
+	// WANRegions is the geographic cluster count of the WAN phase's
+	// latency topology (default 3 — enough for a bimodal intra/inter
+	// RTT split without fragmenting 32 sources across too many metros).
+	WANRegions int
+	// WANScale compresses the WAN topology's delays (default 0.12:
+	// worst trans-continental RTT ≈ 40ms, safely under the 250ms RPC
+	// timeout while keeping a 20x intra/inter spread).
+	WANScale float64
+	// WANSources is how many nodes act as measured lookup origins in
+	// the WAN phase (default 32, capped at N/4). Arms toggle QoS on the
+	// sources only, so hop-greedy and QoS measurements route through an
+	// otherwise identical overlay.
+	WANSources int
+	// WANHotKeys is the hot working set of the WAN arms: the Zipf-
+	// hottest ranks, sampled with the workload's skew (default
+	// 2·AuxCount — twice the aux budget, so selection policy decides
+	// which half of the set gets direct pointers).
+	WANHotKeys int
+	// WANOps is the measured lookup count of each WAN arm (default 2·N).
+	WANOps int
+	// WANChurnMeanLife is the mean of the exponential node-lifetime
+	// distribution driving the churn arm (default 900s, the paper's
+	// median session time; the aggregate departure rate is
+	// N/WANChurnMeanLife, so at n=1024 the arm sees roughly one
+	// crash-and-rejoin per second).
+	WANChurnMeanLife time.Duration
+	// WANFlashReads is the per-burst read count of the flash-crowd arm
+	// (default N).
+	WANFlashReads int
+
 	// IdleWindow is how long to watch the converged, idle overlay to
 	// price pure maintenance overhead (default 3s).
 	IdleWindow time.Duration
@@ -160,6 +190,23 @@ func (o Options) withDefaults() (Options, error) {
 	def(&o.StreamObjectBytes, 1<<20)
 	def(&o.StreamReads, 3)
 	def(&o.StreamPrefetch, 2)
+	def(&o.WANRegions, 3)
+	if o.WANScale == 0 {
+		o.WANScale = 0.12
+	}
+	def(&o.WANSources, min(32, o.N/4))
+	if o.WANSources > o.N {
+		o.WANSources = o.N
+	}
+	def(&o.WANHotKeys, 2*o.AuxCount)
+	if o.WANHotKeys > o.Keys {
+		o.WANHotKeys = o.Keys
+	}
+	def(&o.WANOps, 2*o.N)
+	if o.WANChurnMeanLife == 0 {
+		o.WANChurnMeanLife = 900 * time.Second
+	}
+	def(&o.WANFlashReads, o.N)
 	if o.StreamPrefetch < 0 {
 		o.StreamPrefetch = 0 // explicit on-demand
 	}
@@ -290,6 +337,54 @@ type Result struct {
 	HotFailures          int     `json:"hot_failures"`
 	ReplicaHitRate       float64 `json:"replica_hit_rate"`
 
+	// WAN latency phase (schema v4). The converged overlay is moved onto
+	// a seeded coordinate WAN topology (every RPC pays heterogeneous
+	// propagation delay) and WANSources origins drive Zipf lookups over
+	// the WANHotKeys hottest ranks, wall latency per lookup. Four arms:
+	// hop-greedy aux selection (the frequency-only baseline), QoS-aware
+	// selection (measured RTTs weight the objective and the delay bound
+	// forces direct pointers to heavy over-bound targets), the QoS arm
+	// repeated under exponential-lifetime churn (crash-and-rejoin at the
+	// paper's session rate), and a flash crowd on a cold key before and
+	// after one QoS aux adaptation. The headline contract — QoS p99
+	// strictly below hop-greedy p99 — is enforced by Validate at full
+	// scale across the document's geometries.
+	WANRegions    int     `json:"wan_regions"`
+	WANScale      float64 `json:"wan_scale"`
+	WANSources    int     `json:"wan_sources"`
+	WANHotKeys    int     `json:"wan_hot_keys"`
+	WANOps        int     `json:"wan_ops"`
+	WANQoSBoundMS float64 `json:"wan_qos_bound_ms"`
+
+	WANHopP50US float64 `json:"wan_hop_p50_us"`
+	WANHopP99US float64 `json:"wan_hop_p99_us"`
+	WANQoSP50US float64 `json:"wan_qos_p50_us"`
+	WANQoSP99US float64 `json:"wan_qos_p99_us"`
+
+	// WANQoSSelects / WANQoSInfeasible aggregate the sources' QoS
+	// selection counters over the phase: how many aux recomputations the
+	// constrained optimizer decided, and how many fell back because the
+	// delay bound was unsatisfiable. WANFailures counts failed lookups
+	// across the hop, QoS, and flash arms (churn failures are separate —
+	// crashing owners legitimately fail lookups mid-arm).
+	WANQoSSelects    uint64 `json:"wan_qos_selects"`
+	WANQoSInfeasible uint64 `json:"wan_qos_infeasible"`
+	WANFailures      int    `json:"wan_failures"`
+
+	WANChurnMeanLifeMS int64   `json:"wan_churn_mean_life_ms"`
+	WANChurnRestarts   int     `json:"wan_churn_restarts"`
+	WANChurnP50US      float64 `json:"wan_churn_p50_us"`
+	WANChurnP99US      float64 `json:"wan_churn_p99_us"`
+	WANChurnFailures   int     `json:"wan_churn_failures"`
+
+	// Flash crowd: WANFlashP99US is the burst p99 while the cold key is
+	// reached by routing alone; WANFlashAdaptedP99US is the same burst
+	// after the sources' observers absorbed the first one and a QoS aux
+	// recompute installed direct pointers.
+	WANFlashReads        int     `json:"wan_flash_reads"`
+	WANFlashP99US        float64 `json:"wan_flash_p99_us"`
+	WANFlashAdaptedP99US float64 `json:"wan_flash_adapted_p99_us"`
+
 	// StrandedKeys counts preloaded keys surviving only as replicas
 	// (no live owner copy) at the end of the run. The replication
 	// loop's stranded repair re-homes such keys within a few periods,
@@ -354,21 +449,43 @@ func Run(o Options) (*Result, error) {
 
 	nw := memnet.New(o.Seed)
 	sched := node.NewBatchScheduler(0)
+	// The WAN topology and the QoS delay bound derived from it exist
+	// before boot: addresses are deterministic (cluster.AddrFor), so the
+	// bound every node carries in its config — inert until the WAN phase
+	// toggles SetAuxQoS — is a pure function of the run's seed.
+	topo := memnet.NewWANTopology(o.Seed, memnet.WANOptions{Regions: o.WANRegions, Scale: o.WANScale})
+	wanBound := wanQoSBound(topo, ids)
+	// mkCfg is the single source of node configuration: cluster boot
+	// applies it per index, and the churn arm's crash-and-rejoin
+	// restarts reuse it so a reborn node is configured exactly like its
+	// previous life.
+	mkCfg := func(x uint64) node.Config {
+		return node.Config{
+			Space:             space,
+			ID:                id.ID(x),
+			Addr:              cluster.AddrFor(id.ID(x)),
+			NewRing:           factories[o.Proto],
+			SuccessorListLen:  o.SuccessorListLen,
+			BucketSize:        o.BucketSize,
+			AuxCount:          o.AuxCount,
+			StabilizeEvery:    o.StabilizeEvery,
+			FixFingersEvery:   o.FixFingersEvery,
+			FixFingersBatch:   o.FixFingersBatch,
+			AuxEvery:          o.AuxEvery,
+			ReplicateEvery:    o.ReplicateEvery,
+			AuxQoSDelayBound:  wanBound,
+			RPCTimeout:        250 * time.Millisecond,
+			RPCRetries:        1,
+			ItemCacheCapacity: -1, // hops must reach owners: no local copies
+			Scheduler:         sched,
+			Listen: func(addr string) (node.PacketConn, error) {
+				return nw.Listen(addr)
+			},
+		}
+	}
 	o.Logf("livebench: %s n=%d seed=%d: booting", o.Proto, o.N, o.Seed)
 	c, err := cluster.Start(space, nw, ids, func(i int, cfg *node.Config) {
-		cfg.NewRing = factories[o.Proto]
-		cfg.SuccessorListLen = o.SuccessorListLen
-		cfg.BucketSize = o.BucketSize
-		cfg.AuxCount = o.AuxCount
-		cfg.StabilizeEvery = o.StabilizeEvery
-		cfg.FixFingersEvery = o.FixFingersEvery
-		cfg.FixFingersBatch = o.FixFingersBatch
-		cfg.AuxEvery = o.AuxEvery
-		cfg.ReplicateEvery = o.ReplicateEvery
-		cfg.RPCTimeout = 250 * time.Millisecond
-		cfg.RPCRetries = 1
-		cfg.ItemCacheCapacity = -1 // hops must reach owners: no local copies
-		cfg.Scheduler = sched
+		*cfg = mkCfg(ids[i])
 	})
 	if err != nil {
 		sched.Close()
@@ -561,6 +678,10 @@ func Run(o Options) (*Result, error) {
 	}
 
 	if err := streamPhase(o, c, space, rng, r); err != nil {
+		return nil, err
+	}
+
+	if err := wanPhase(o, c, nw, topo, wanBound, keys, mkCfg, waitConverged, r); err != nil {
 		return nil, err
 	}
 
@@ -770,6 +891,333 @@ func streamPhase(o Options, c *cluster.Cluster, space id.Space, rng *rand.Rand, 
 	}
 	r.StreamTTFBUS = ttfbSum / float64(o.StreamReads)
 	r.StreamMBPS = mbpsSum / float64(o.StreamReads)
+	return nil
+}
+
+// wanQoSBound derives the QoS delay bound from the topology before any
+// node boots: sample RTTs between deterministic member addresses,
+// classify each pair intra- or inter-region, and split the gap between
+// the slowest intra RTT and the fastest inter RTT. A contact past the
+// bound is on the far side of a long-haul link, which is exactly the
+// set the QoS selector should force direct pointers to.
+func wanQoSBound(t *memnet.WANTopology, ids []uint64) time.Duration {
+	sample := ids
+	if len(sample) > 96 {
+		sample = sample[:96]
+	}
+	maxIntra, minInter := time.Duration(0), time.Duration(1)<<62
+	for i := 0; i < len(sample); i++ {
+		a := cluster.AddrFor(id.ID(sample[i]))
+		for j := i + 1; j < len(sample); j++ {
+			b := cluster.AddrFor(id.ID(sample[j]))
+			rtt := t.RTT(a, b)
+			if t.RegionOf(a) == t.RegionOf(b) {
+				maxIntra = max(maxIntra, rtt)
+			} else {
+				minInter = min(minInter, rtt)
+			}
+		}
+	}
+	if minInter > time.Duration(1)<<61 {
+		// Degenerate sample (every member hashed into one region): no
+		// long-haul link exists for the bound to separate.
+		return maxIntra * 2
+	}
+	return (maxIntra + minInter) / 2
+}
+
+// wanPhase moves the converged overlay onto the seeded WAN topology and
+// prices auxiliary selection policy under real heterogeneous latency:
+// hop-greedy arm, QoS arm (the source nodes — the only nodes whose RTT
+// tables the workload warms — flip to QoS-aware selection and routing),
+// the QoS arm under paper-rate churn, and a flash crowd on a cold key
+// before and after one aux adaptation. The topology is removed and the
+// overlay re-converged before the caller's stranded drain.
+func wanPhase(o Options, c *cluster.Cluster, nw *memnet.Network, topo *memnet.WANTopology,
+	bound time.Duration, keys []id.ID, mkCfg func(uint64) node.Config,
+	waitConverged func() error, r *Result) error {
+	r.WANRegions, r.WANScale = o.WANRegions, o.WANScale
+	r.WANSources, r.WANHotKeys, r.WANOps = o.WANSources, o.WANHotKeys, o.WANOps
+	r.WANQoSBoundMS = float64(bound) / float64(time.Millisecond)
+	r.WANChurnMeanLifeMS = o.WANChurnMeanLife.Milliseconds()
+	r.WANFlashReads = o.WANFlashReads
+
+	rng := rand.New(rand.NewSource(randx.DeriveSeed(o.Seed, "wan")))
+	perm := rng.Perm(len(c.Nodes))
+	srcIdx := make(map[int]bool, o.WANSources)
+	sources := make([]*node.Node, o.WANSources)
+	for i := 0; i < o.WANSources; i++ {
+		srcIdx[perm[i]] = true
+		sources[i] = c.Nodes[perm[i]]
+	}
+	hot := keys[:o.WANHotKeys]
+	hotAlias := randx.NewAlias(randx.ZipfWeights(len(hot), o.ZipfAlpha))
+
+	nw.SetTopology(topo)
+	o.Logf("livebench: WAN topology on (%d regions, scale %.2f, QoS bound %.1fms), warming %d sources over %d hot keys",
+		o.WANRegions, o.WANScale, r.WANQoSBoundMS, len(sources), len(hot))
+
+	// Warm + prime: each source observes a Zipf-shaped slice of the hot
+	// set (feeding its frequency window) and actively measures each hot
+	// owner — resolve once, then ping. On Chord a lookup resolves at the
+	// owner's predecessor, so without the active measurement step a
+	// source would never hold an RTT estimate for the owners themselves,
+	// and the delay bound would have nothing to judge.
+	{
+		var wg sync.WaitGroup
+		for si, s := range sources {
+			wg.Add(1)
+			go func(si int, s *node.Node) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(randx.DeriveSeed(o.Seed, fmt.Sprintf("wan-warm-%d", si))))
+				for i := 0; i < 4*len(hot); i++ {
+					s.Lookup(hot[hotAlias.Sample(wrng)])
+				}
+				for _, k := range hot {
+					ct, _, err := s.Lookup(k)
+					if err != nil {
+						continue
+					}
+					s.Ping(ct.Addr)
+					s.Ping(ct.Addr)
+				}
+			}(si, s)
+		}
+		wg.Wait()
+	}
+
+	// measure drives ops lookups from the sources through o.Workers
+	// clients and returns per-lookup wall latencies (µs) plus failures.
+	measure := func(tag string, ops int, keyFor func(*rand.Rand) id.ID) ([]int64, int, error) {
+		var (
+			mu        sync.Mutex
+			latencies []int64
+			failures  int
+			wg        sync.WaitGroup
+		)
+		per := ops / o.Workers
+		for w := 0; w < o.Workers; w++ {
+			n := per
+			if w == 0 {
+				n += ops % o.Workers
+			}
+			wg.Add(1)
+			go func(w, n int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(randx.DeriveSeed(o.Seed, fmt.Sprintf("wan-%s-%d", tag, w))))
+				myLat := make([]int64, 0, n)
+				myFail := 0
+				for i := 0; i < n; i++ {
+					origin := sources[wrng.Intn(len(sources))]
+					key := keyFor(wrng)
+					t0 := time.Now()
+					if _, _, err := origin.Lookup(key); err != nil {
+						myFail++
+						continue
+					}
+					myLat = append(myLat, time.Since(t0).Microseconds())
+				}
+				mu.Lock()
+				latencies = append(latencies, myLat...)
+				failures += myFail
+				mu.Unlock()
+			}(w, n)
+		}
+		wg.Wait()
+		if len(latencies) == 0 {
+			return nil, failures, fmt.Errorf("livebench: WAN %s arm: every lookup failed", tag)
+		}
+		return latencies, failures, nil
+	}
+	hotKey := func(wrng *rand.Rand) id.ID { return hot[hotAlias.Sample(wrng)] }
+	recompute := func(nodes []*node.Node) {
+		for _, s := range nodes {
+			if _, err := s.RecomputeAux(); err != nil {
+				o.Logf("livebench: WAN aux recompute on %d: %v", s.ID(), err)
+			}
+		}
+	}
+
+	// Hop-greedy arm: aux recomputed from the warmed observers with the
+	// default frequency-only objective.
+	recompute(c.Nodes)
+	hopLat, hopFail, err := measure("hop", o.WANOps, hotKey)
+	if err != nil {
+		return err
+	}
+	r.WANHopP50US = percentileInt64(hopLat, 50)
+	r.WANHopP99US = percentileInt64(hopLat, 99)
+	o.Logf("livebench: WAN hop-greedy arm: p50 %.0fus p99 %.0fus (%d failures)", r.WANHopP50US, r.WANHopP99US, hopFail)
+
+	// QoS arm: same workload, QoS flipped on the sources only. The
+	// sources are where the latency plane has data — their warm-up fed
+	// both the frequency windows and the RTT tables for hot owners and
+	// recurring walk intermediates — so they both re-select aux under
+	// the cost/bound objective and route each lookup step by proximity
+	// (qosProbeIndex: a near-in-distance candidate with a known-cheap
+	// link is probed ahead of the geometry's blind pick). Every
+	// intermediate node keeps the exact hop-greedy aux state of the
+	// previous arm, so the arms differ in the sources' policy alone —
+	// and the other ~n nodes don't burn this one-core machine's budget
+	// rerunning the QoS optimizer every aux tick, which would inflate
+	// the very wall-clock percentiles under measurement.
+	for _, s := range sources {
+		s.SetAuxQoS(true)
+	}
+	recompute(sources)
+	qosLat, qosFail, err := measure("qos", o.WANOps, hotKey)
+	if err != nil {
+		return err
+	}
+	r.WANQoSP50US = percentileInt64(qosLat, 50)
+	r.WANQoSP99US = percentileInt64(qosLat, 99)
+	o.Logf("livebench: WAN QoS arm: p50 %.0fus p99 %.0fus (%d failures)", r.WANQoSP50US, r.WANQoSP99US, qosFail)
+
+	// Churn arm: the QoS workload again, now with nodes crashing and
+	// rejoining at the aggregate rate n/meanLife of exponential
+	// lifetimes. A victim rejoins under a FRESH id (and thus a fresh
+	// derived address): a departed peer's identity doesn't come back in
+	// a real overlay, and an instant same-id reincarnation is also a
+	// trap — the hot set's position-aliased aux pointers all over the
+	// overlay still name the victim's old position, so every join walk
+	// for that id funnels into the reborn ring-of-one node, which then
+	// answers Done-with-self and claims the keyspace (soak sidesteps
+	// the same trap with delayed id recycling). The convergence oracle
+	// derives the ideal ring from c.Nodes at call time, so swapping the
+	// slot's id keeps the post-phase re-converge honest. Sources are
+	// exempt (they hold the selection state under test); restarted
+	// nodes stay hop-greedy like every other intermediate.
+	stopChurn := make(chan struct{})
+	churnErr := make(chan error, 1)
+	var (
+		churnWG  sync.WaitGroup
+		restarts int
+	)
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		crng := rand.New(rand.NewSource(randx.DeriveSeed(o.Seed, "wan-churn")))
+		// Fresh rejoin ids must dodge every id ever used for a node or a
+		// key — node ids for ring uniqueness, key ids because a node
+		// sitting exactly AT a key's position would shadow the
+		// position-aliased aux entries pointing at the key's owner.
+		used := make(map[uint64]bool, len(c.Nodes)+len(keys))
+		for _, n := range c.Nodes {
+			used[uint64(n.ID())] = true
+		}
+		for _, k := range keys {
+			used[uint64(k)] = true
+		}
+		sp := id.NewSpace(o.Bits)
+		freshID := func() uint64 {
+			for {
+				x := crng.Uint64() % sp.Size()
+				if !used[x] {
+					used[x] = true
+					return x
+				}
+			}
+		}
+		for {
+			gap := time.Duration(crng.ExpFloat64() * float64(o.WANChurnMeanLife) / float64(len(c.Nodes)))
+			select {
+			case <-stopChurn:
+				return
+			case <-time.After(gap):
+			}
+			vi := crng.Intn(len(c.Nodes))
+			if srcIdx[vi] || vi == 0 {
+				continue // the lifetime draw hit an exempt node
+			}
+			old := c.Nodes[vi]
+			old.Close()
+			time.Sleep(150 * time.Millisecond) // downtime before the rejoin
+			x := freshID()
+			var nn *node.Node
+			var err error
+			for attempt := 0; attempt < 5; attempt++ {
+				if nn, err = node.Start(mkCfg(x)); err == nil {
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			if err != nil {
+				churnErr <- fmt.Errorf("livebench: WAN churn: restart %d: %w", x, err)
+				return
+			}
+			for attempt := 0; attempt < 3; attempt++ {
+				if err = nn.Join(sources[crng.Intn(len(sources))].Addr()); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				nn.Close()
+				churnErr <- fmt.Errorf("livebench: WAN churn: rejoin %d: %w", x, err)
+				return
+			}
+			c.Nodes[vi] = nn
+			restarts++
+		}
+	}()
+	churnLat, churnFail, err := measure("churn", o.WANOps, hotKey)
+	close(stopChurn)
+	churnWG.Wait()
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-churnErr:
+		return err
+	default:
+	}
+	r.WANChurnRestarts = restarts
+	r.WANChurnP50US = percentileInt64(churnLat, 50)
+	r.WANChurnP99US = percentileInt64(churnLat, 99)
+	r.WANChurnFailures = churnFail
+	o.Logf("livebench: WAN churn arm: %d restarts, p50 %.0fus p99 %.0fus (%d failures)",
+		restarts, r.WANChurnP50US, r.WANChurnP99US, churnFail)
+
+	// Flash crowd: a cold mid-rank key is hammered by every source. The
+	// first burst pays routing (no aux pointer names a cold key); then
+	// each source actively measures the flash owner and recomputes, and
+	// the second burst shows what one QoS adaptation buys.
+	flash := keys[len(keys)/2]
+	flashKey := func(*rand.Rand) id.ID { return flash }
+	flashLat, flashFail1, err := measure("flash", o.WANFlashReads, flashKey)
+	if err != nil {
+		return err
+	}
+	r.WANFlashP99US = percentileInt64(flashLat, 99)
+	for _, s := range sources {
+		if ct, _, err := s.Lookup(flash); err == nil {
+			s.Ping(ct.Addr)
+			s.Ping(ct.Addr)
+		}
+	}
+	recompute(sources)
+	adaptedLat, flashFail2, err := measure("flash-adapted", o.WANFlashReads, flashKey)
+	if err != nil {
+		return err
+	}
+	r.WANFlashAdaptedP99US = percentileInt64(adaptedLat, 99)
+	o.Logf("livebench: WAN flash crowd on key %d: p99 %.0fus cold, %.0fus adapted",
+		flash, r.WANFlashP99US, r.WANFlashAdaptedP99US)
+
+	for _, s := range c.Nodes {
+		m := s.Metrics()
+		r.WANQoSSelects += m.AuxQoSSelects
+		r.WANQoSInfeasible += m.AuxQoSInfeasible
+		s.SetAuxQoS(false)
+	}
+	r.WANFailures = hopFail + qosFail + flashFail1 + flashFail2
+	if r.WANQoSSelects == 0 {
+		return fmt.Errorf("livebench: WAN phase: the QoS selector never engaged (bound %.1fms)", r.WANQoSBoundMS)
+	}
+
+	nw.SetTopology(nil)
+	if err := waitConverged(); err != nil {
+		return fmt.Errorf("livebench: re-converge after the WAN phase: %w", err)
+	}
 	return nil
 }
 

@@ -173,6 +173,7 @@ type Network struct {
 	links      map[[2]string]LinkPolicy
 	dropNext   map[[2]string]int          // directed link → datagrams left to force-drop
 	partitions map[string]map[string]bool // name → member set
+	topo       Topology                   // nil: no base propagation delay
 
 	// rngMu guards the fault-sampling RNG. Taken only when the link's
 	// policy actually requires a draw, so a perfect network never
@@ -386,6 +387,7 @@ func (n *Network) route(src, dst string, data []byte) {
 	if !havePol {
 		pol = n.def
 	}
+	topo := n.topo
 	n.polMu.RUnlock()
 
 	if forced {
@@ -432,6 +434,17 @@ func (n *Network) route(src, dst string, data []byte) {
 	} else {
 		delays[0] = pol.MinDelay
 		delays[1] = pol.MinDelay
+	}
+
+	// The topology's base propagation delay rides under the sampled
+	// jitter. It is a pure function of (seed, src, dst) — no RNG draws —
+	// so installing a topology shifts deliveries without perturbing the
+	// seeded drop/dup/jitter sequence above.
+	if topo != nil {
+		if base := topo.Delay(src, dst); base > 0 {
+			delays[0] += base
+			delays[1] += base
+		}
 	}
 
 	// The receiver keeps its own copy: the sender is free to reuse its

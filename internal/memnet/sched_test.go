@@ -192,6 +192,157 @@ func TestSeededDeliveryDeterministic(t *testing.T) {
 	}
 }
 
+// The latency topology must compose with every layer of the fault
+// model, in the documented order: partition check first (a blocked link
+// delivers nothing, however short), forced drops next, then the
+// sampled drop/dup decisions, and only then the per-copy delay — to
+// which the topology adds its deterministic base. Table-driven so each
+// interaction is pinned separately.
+func TestTopologyComposesWithLinkPolicy(t *testing.T) {
+	const base = 3 * time.Millisecond
+	flat := DelayFunc(func(from, to string) time.Duration { return base })
+
+	cases := []struct {
+		name        string
+		policy      LinkPolicy
+		partition   bool
+		dropNext    int
+		sent        int
+		wantCopies  int // delivered copies expected
+		wantBlocked uint64
+		wantDropped uint64
+		minDelay    time.Duration // floor on first arrival, 0 to skip
+	}{
+		{
+			name:       "topology only",
+			sent:       1,
+			wantCopies: 1,
+			minDelay:   base,
+		},
+		{
+			name:       "topology under jitter floor",
+			policy:     LinkPolicy{MinDelay: 2 * time.Millisecond, MaxDelay: 4 * time.Millisecond},
+			sent:       1,
+			wantCopies: 1,
+			minDelay:   base + 2*time.Millisecond,
+		},
+		{
+			name:        "partition blocks regardless of topology",
+			partition:   true,
+			sent:        3,
+			wantCopies:  0,
+			wantBlocked: 3,
+		},
+		{
+			name:        "forced drop beats delay",
+			dropNext:    2,
+			sent:        2,
+			wantCopies:  0,
+			wantDropped: 2,
+		},
+		{
+			name:       "duplicate copies both carry the base delay",
+			policy:     LinkPolicy{Dup: 1.0},
+			sent:       1,
+			wantCopies: 2,
+			minDelay:   base,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := New(5)
+			defer n.CloseAll()
+			n.SetTopology(flat)
+			n.SetDefaultPolicy(tc.policy)
+			a := mustListen(t, n, "a")
+			b := mustListen(t, n, "b")
+			if tc.partition {
+				n.Partition("wall", "a")
+			}
+			if tc.dropNext > 0 {
+				n.DropNext("a", "b", tc.dropNext)
+			}
+			start := time.Now()
+			for i := 0; i < tc.sent; i++ {
+				if _, err := a.WriteTo([]byte{byte(i)}, "b"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			buf := make([]byte, 4)
+			for i := 0; i < tc.wantCopies; i++ {
+				if _, _, err := b.ReadFrom(buf); err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 && tc.minDelay > 0 {
+					if elapsed := time.Since(start); elapsed < tc.minDelay {
+						t.Fatalf("first arrival after %v, want ≥ %v", elapsed, tc.minDelay)
+					}
+				}
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				s := n.Stats()
+				if s.Delivered == uint64(tc.wantCopies) && s.Blocked == tc.wantBlocked && s.Dropped == tc.wantDropped {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("stats never settled: %+v (want delivered=%d blocked=%d dropped=%d)",
+						s, tc.wantCopies, tc.wantBlocked, tc.wantDropped)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}
+}
+
+// Installing a topology must not perturb the seeded fault sequence: the
+// topology is a pure function of (seed, src, dst) and consumes no RNG
+// draws, so the same scenario with and without a topology drops and
+// duplicates the exact same datagrams — and two runs with the same seed
+// and the same topology replay byte-identically (delivered multiset).
+func TestTopologySeedDeterminism(t *testing.T) {
+	const count = 300
+	run := func(seed int64, withTopo bool) map[uint16]int {
+		n := New(seed)
+		defer n.CloseAll()
+		if withTopo {
+			n.SetTopology(NewWANTopology(17, WANOptions{Scale: 0.001}))
+		}
+		n.SetDefaultPolicy(LinkPolicy{Drop: 0.2, Dup: 0.1, MaxDelay: time.Millisecond})
+		a := mustListen(t, n, "a")
+		b := mustListen(t, n, "b")
+		sendNumbered(t, n, a, count)
+		got := make(map[uint16]int)
+		buf := make([]byte, 2)
+		for i := uint64(0); i < n.Stats().Delivered; i++ {
+			if _, _, err := b.ReadFrom(buf); err != nil {
+				t.Fatal(err)
+			}
+			got[binary.BigEndian.Uint16(buf)]++
+		}
+		return got
+	}
+
+	bare := run(99, false)
+	topo1 := run(99, true)
+	topo2 := run(99, true)
+	if len(topo1) != len(topo2) {
+		t.Fatalf("same seed+topology delivered %d vs %d distinct seqs", len(topo1), len(topo2))
+	}
+	for v, c := range topo1 {
+		if topo2[v] != c {
+			t.Fatalf("seq %d delivered %d vs %d times across identical seeded runs", v, c, topo2[v])
+		}
+		if bare[v] != c {
+			t.Fatalf("topology perturbed the fault sequence: seq %d delivered %d times with topology, %d without", v, c, bare[v])
+		}
+	}
+	if len(bare) != len(topo1) {
+		t.Fatalf("topology changed the delivered set size: %d without vs %d with", len(bare), len(topo1))
+	}
+}
+
 // With a fixed nonzero delay every datagram shares its due instant's
 // offset, so the heap's (due, seq) order must reduce to send order:
 // the tie-break that makes single-threaded seeded scenarios replay

@@ -1,0 +1,200 @@
+package memnet
+
+// WAN latency topology: a deterministic base propagation delay per
+// directed link, layered under the per-datagram fault model. LinkPolicy
+// models what a queue does to a datagram (loss, duplication, jitter);
+// the topology models where the endpoints *are* — the speed-of-light
+// floor that no retry or scheduling decision can remove. The two
+// compose: route() adds the topology's one-way delay to every surviving
+// copy's sampled jitter, so a lossy trans-continental link behaves like
+// exactly that.
+//
+// Delay assignment must be a pure function of (topology seed, from, to):
+// route() consults it without consuming fault-RNG draws, so installing a
+// topology never perturbs the seeded drop/dup/jitter sequence — a
+// scenario that replayed byte-identically before a topology was added
+// still does, with every delivery shifted by the same deterministic
+// base. That contract is pinned by TestTopologySeedDeterminism.
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Topology assigns a base one-way propagation delay to every directed
+// link. Implementations must be safe for concurrent use and
+// deterministic: route() calls Delay on the datagram path, and the
+// seed-replay contract requires identical answers across runs. A
+// datagram from an address to itself should cost 0.
+type Topology interface {
+	Delay(from, to string) time.Duration
+}
+
+// DelayFunc adapts a function to the Topology interface — the
+// hand-built topologies cluster tests use when they need exact control
+// over which link costs what.
+type DelayFunc func(from, to string) time.Duration
+
+// Delay implements Topology.
+func (f DelayFunc) Delay(from, to string) time.Duration { return f(from, to) }
+
+// SetTopology installs (or, with nil, removes) the network's latency
+// topology. Safe to call while traffic is flowing; datagrams already
+// scheduled keep the delay they were assigned.
+func (n *Network) SetTopology(t Topology) {
+	n.polMu.Lock()
+	n.topo = t
+	n.polMu.Unlock()
+}
+
+// WANOptions parameterizes NewWANTopology. The zero value gives the
+// defaults noted on each field.
+type WANOptions struct {
+	// Regions is the number of geographic clusters addresses hash into
+	// (default 8). More regions widen the RTT distribution's tail.
+	Regions int
+	// Scale multiplies every delay (default 1.0). Benches and tests run
+	// compressed WANs — Scale 0.02 turns a 200 ms RTT into 4 ms — so
+	// wall-clock stays bounded while relative link costs keep the same
+	// shape.
+	Scale float64
+}
+
+// WAN delay model constants (one-way, before WANOptions.Scale). The
+// resulting RTT distribution spans ~1.5 ms (same metro, fast access
+// links) to ~290 ms (antipodal regions, slow access links) with a long
+// right tail — the shape of published WAN RTT measurements (King,
+// iPlane): most pairs in the tens of milliseconds, a heavy minority in
+// the hundreds.
+const (
+	// wanLongHaul converts unit-square region distance to propagation
+	// delay: corner-to-corner ≈ 141 ms one-way ≈ 283 ms RTT.
+	wanLongHaul = 100 * time.Millisecond
+	// wanAccessMin/Max bound each region's last-mile access delay,
+	// drawn log-uniformly so slow access links are the minority.
+	wanAccessMin = 200 * time.Microsecond
+	wanAccessMax = 4 * time.Millisecond
+	// wanIntraBase is the extra metro-area floor between two distinct
+	// addresses in the same region.
+	wanIntraBase = 300 * time.Microsecond
+	// wanSpread is the ± fraction of per-link deterministic variation
+	// (path inflation differs link to link even at equal distance).
+	wanSpread = 0.1
+)
+
+// WANTopology is a seeded, deterministic WAN delay model. Addresses
+// hash into one of Regions clusters placed uniformly at random (by
+// seed) on a unit square; one-way delay is region-to-region propagation
+// plus each endpoint's access delay plus a symmetric per-link spread.
+// Delay(a, b) == Delay(b, a), so measured RTT is 2×Delay. Immutable
+// after construction (Pin calls excepted), hence trivially safe for
+// concurrent Delay calls.
+type WANTopology struct {
+	seed   uint64
+	scale  float64
+	coordX []float64
+	coordY []float64
+	access []time.Duration
+	pins   map[string]int
+}
+
+// NewWANTopology builds a WAN delay model from seed. The same (seed,
+// options) pair always yields the same topology.
+func NewWANTopology(seed int64, o WANOptions) *WANTopology {
+	if o.Regions <= 0 {
+		o.Regions = 8
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &WANTopology{
+		seed:   splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15),
+		scale:  o.Scale,
+		coordX: make([]float64, o.Regions),
+		coordY: make([]float64, o.Regions),
+		access: make([]time.Duration, o.Regions),
+		pins:   make(map[string]int),
+	}
+	logMin := math.Log(float64(wanAccessMin))
+	logMax := math.Log(float64(wanAccessMax))
+	for i := 0; i < o.Regions; i++ {
+		t.coordX[i] = rng.Float64()
+		t.coordY[i] = rng.Float64()
+		t.access[i] = time.Duration(math.Exp(logMin + rng.Float64()*(logMax-logMin)))
+	}
+	return t
+}
+
+// Pin forces addr into region r (mod Regions), overriding the hash
+// assignment — how tests and benches place specific nodes near or far.
+// Call before installing the topology on a live network: Pin is not
+// synchronized against concurrent Delay calls.
+func (t *WANTopology) Pin(addr string, r int) {
+	if r < 0 {
+		r = -r
+	}
+	t.pins[addr] = r % len(t.access)
+}
+
+// RegionOf reports which region addr lives in.
+func (t *WANTopology) RegionOf(addr string) int {
+	if r, ok := t.pins[addr]; ok {
+		return r
+	}
+	return int(splitmix64(fnv64a(addr)^t.seed) % uint64(len(t.access)))
+}
+
+// Delay returns the base one-way propagation delay from one address to
+// another: 0 to itself, symmetric otherwise.
+func (t *WANTopology) Delay(from, to string) time.Duration {
+	if from == to {
+		return 0
+	}
+	i, j := t.RegionOf(from), t.RegionOf(to)
+	base := float64(t.access[i] + t.access[j])
+	if i == j {
+		base += float64(wanIntraBase)
+	} else {
+		dx := t.coordX[i] - t.coordX[j]
+		dy := t.coordY[i] - t.coordY[j]
+		base += math.Sqrt(dx*dx+dy*dy) * float64(wanLongHaul)
+	}
+	return time.Duration(base * t.linkSpread(from, to) * t.scale)
+}
+
+// RTT is the round trip over the symmetric model: 2×Delay.
+func (t *WANTopology) RTT(a, b string) time.Duration {
+	return 2 * t.Delay(a, b)
+}
+
+// linkSpread returns a deterministic per-link factor in
+// [1−wanSpread, 1+wanSpread], identical in both directions.
+func (t *WANTopology) linkSpread(a, b string) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	h := splitmix64(fnv64a(a) ^ splitmix64(fnv64a(b)) ^ t.seed)
+	u := float64(h>>11) / float64(1<<53) // uniform [0,1)
+	return 1 - wanSpread + 2*wanSpread*u
+}
+
+// fnv64a is the 64-bit FNV-1a string hash — unlike maphash it is
+// stable across processes, which the replay-by-seed contract needs.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer, a cheap strong bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

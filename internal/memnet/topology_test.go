@@ -1,0 +1,168 @@
+package memnet
+
+// Conformance tests for the WAN latency topology: the statistical shape
+// of the seeded RTT distribution, determinism by seed, symmetry, and
+// the Pin/Scale/DelayFunc control surfaces the cluster tests and
+// benches build on.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+func wanAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("mem/%04d", i)
+	}
+	return addrs
+}
+
+// The seeded WAN model must produce a realistic RTT distribution:
+// positive, bounded, heterogeneous (a wide p90/p10 spread), with both
+// metro-scale and long-haul pairs present. The seed is fixed, so the
+// assertions are exact-replayable, but they are written against the
+// model's documented envelope, not golden values.
+func TestWANTopologyRTTDistribution(t *testing.T) {
+	topo := NewWANTopology(42, WANOptions{})
+	addrs := wanAddrs(64)
+
+	var rtts []time.Duration
+	for i := range addrs {
+		for j := i + 1; j < len(addrs); j++ {
+			rtt := topo.RTT(addrs[i], addrs[j])
+			if rtt <= 0 {
+				t.Fatalf("RTT(%s, %s) = %v, want > 0", addrs[i], addrs[j], rtt)
+			}
+			rtts = append(rtts, rtt)
+		}
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	pct := func(p float64) time.Duration { return rtts[int(p*float64(len(rtts)-1))] }
+
+	// Envelope: access floor ~0.8 ms RTT, antipodal ceiling well under
+	// half a second even with the +10% link spread.
+	if min := rtts[0]; min < 500*time.Microsecond {
+		t.Errorf("min RTT %v below the access-delay floor", min)
+	}
+	if max := rtts[len(rtts)-1]; max > 500*time.Millisecond {
+		t.Errorf("max RTT %v above the antipodal ceiling", max)
+	}
+	// Heterogeneity: a WAN is not a uniform-latency LAN. The spread
+	// between the fast and slow deciles must be wide.
+	p10, p50, p90 := pct(0.10), pct(0.50), pct(0.90)
+	if p90 < 3*p10 {
+		t.Errorf("p90 %v < 3×p10 %v: distribution too uniform for a WAN", p90, p10)
+	}
+	if p50 < 2*time.Millisecond || p50 > 200*time.Millisecond {
+		t.Errorf("median RTT %v outside the plausible WAN band", p50)
+	}
+	// Both regimes must be represented: same-metro pairs and long-haul
+	// pairs.
+	if rtts[0] > 20*time.Millisecond {
+		t.Errorf("no metro-scale pair: min RTT %v", rtts[0])
+	}
+	if pct(0.95) < 40*time.Millisecond {
+		t.Errorf("no long-haul tail: p95 RTT %v", pct(0.95))
+	}
+}
+
+// Same seed and options → byte-identical delays; a different seed must
+// diverge. This is what lets a soak or bench WAN run be replayed.
+func TestWANTopologySeedDeterminism(t *testing.T) {
+	addrs := wanAddrs(32)
+	a := NewWANTopology(7, WANOptions{Regions: 6})
+	b := NewWANTopology(7, WANOptions{Regions: 6})
+	c := NewWANTopology(8, WANOptions{Regions: 6})
+	diverged := false
+	for i := range addrs {
+		for j := range addrs {
+			da, db := a.Delay(addrs[i], addrs[j]), b.Delay(addrs[i], addrs[j])
+			if da != db {
+				t.Fatalf("same seed diverged on (%s, %s): %v vs %v", addrs[i], addrs[j], da, db)
+			}
+			if da != c.Delay(addrs[i], addrs[j]) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 produced identical topologies")
+	}
+}
+
+// Delay must be symmetric (RTT = 2×Delay), zero to self, and scale
+// linearly with WANOptions.Scale.
+func TestWANTopologySymmetryAndScale(t *testing.T) {
+	full := NewWANTopology(3, WANOptions{})
+	tiny := NewWANTopology(3, WANOptions{Scale: 0.01})
+	addrs := wanAddrs(16)
+	for _, a := range addrs {
+		if d := full.Delay(a, a); d != 0 {
+			t.Fatalf("Delay(%s, %s) = %v, want 0", a, a, d)
+		}
+		for _, b := range addrs {
+			if a == b {
+				continue
+			}
+			if d1, d2 := full.Delay(a, b), full.Delay(b, a); d1 != d2 {
+				t.Fatalf("asymmetric: Delay(%s,%s)=%v Delay(%s,%s)=%v", a, b, d1, b, a, d2)
+			}
+			ratio := float64(full.Delay(a, b)) / float64(tiny.Delay(a, b))
+			if ratio < 90 || ratio > 110 {
+				t.Fatalf("Scale 0.01 gave ratio %.1f on (%s,%s), want ~100", ratio, a, b)
+			}
+		}
+	}
+}
+
+// Pin overrides the hash placement: pinned same-region pairs must be
+// metro-cheap, and pinning must not disturb unpinned addresses.
+func TestWANTopologyPin(t *testing.T) {
+	topo := NewWANTopology(11, WANOptions{Regions: 4})
+	before := topo.Delay("mem/x", "mem/y")
+
+	topo.Pin("near-1", 0)
+	topo.Pin("near-2", 0)
+	topo.Pin("far-1", 2)
+	if r := topo.RegionOf("near-1"); r != 0 {
+		t.Fatalf("RegionOf(near-1) = %d, want 0", r)
+	}
+	if r := topo.RegionOf("far-1"); r != 2 {
+		t.Fatalf("RegionOf(far-1) = %d, want 2", r)
+	}
+	intra := topo.RTT("near-1", "near-2")
+	if intra > 20*time.Millisecond {
+		t.Errorf("same-region RTT %v not metro-scale", intra)
+	}
+	if after := topo.Delay("mem/x", "mem/y"); after != before {
+		t.Errorf("Pin disturbed an unpinned link: %v → %v", before, after)
+	}
+}
+
+// DelayFunc adapts hand-built topologies; the switchboard must honor it
+// on the datagram path: a one-way 5 ms link delays delivery by at least
+// that, with no fault policy configured at all.
+func TestDelayFuncAppliesOnDatagramPath(t *testing.T) {
+	n := New(1)
+	defer n.CloseAll()
+	const oneWay = 5 * time.Millisecond
+	n.SetTopology(DelayFunc(func(from, to string) time.Duration {
+		return oneWay
+	}))
+	a := mustListen(t, n, "a")
+	b := mustListen(t, n, "b")
+	start := time.Now()
+	if _, err := a.WriteTo([]byte("ping"), "b"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, _, err := b.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < oneWay {
+		t.Fatalf("delivered after %v, want ≥ %v", elapsed, oneWay)
+	}
+}

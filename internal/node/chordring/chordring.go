@@ -72,7 +72,7 @@ func New(h ring.Host, o ring.Options) (ring.Routing, ring.AuxMaintainer, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	return r, &auxPolicy{m: m, window: window}, nil
+	return r, &auxPolicy{m: m, window: window, space: space, self: self.ID, k: o.AuxCount}, nil
 }
 
 // Protocol implements ring.Routing.
@@ -103,7 +103,13 @@ func (r *Ring) Join(bootstrap string) error {
 				// provisional successor and let stabilization settle
 				// the exact position.
 				if !resp.From.IsZero() && resp.From.ID != r.self.ID {
+					if r.successorVia(resp.From) {
+						return nil
+					}
 					r.adoptSuccessor(resp.From)
+					return nil
+				}
+				if r.successorVia(wire.Contact{Addr: bootstrap}) {
 					return nil
 				}
 				return fmt.Errorf("chordring: join via %s: resolved to self with no usable peer", bootstrap)
@@ -114,10 +120,65 @@ func (r *Ring) Join(bootstrap string) error {
 		if resp.Next.IsZero() || resp.Next.Addr == cur {
 			return fmt.Errorf("chordring: join via %s: no progress at %s", bootstrap, cur)
 		}
+		if resp.Next.ID == r.self.ID || resp.Next.Addr == r.self.Addr {
+			// The walk is being funneled back at the joiner itself: a
+			// previous incarnation at (or aliased to) this position left
+			// stale aux or finger pointers behind, and following them
+			// would make a freshly reborn ring-of-one claim the whole
+			// keyspace. Repair sideways instead: take the redirecting
+			// peer's successor list and adopt the closest live entry that
+			// is not us, falling back to the redirecting peer itself.
+			if r.successorVia(resp.From) {
+				return nil
+			}
+			if !resp.From.IsZero() && resp.From.ID != r.self.ID && resp.From.Addr != r.self.Addr {
+				r.adoptSuccessor(resp.From)
+				return nil
+			}
+			return fmt.Errorf("chordring: join via %s: redirected to self at %s", bootstrap, cur)
+		}
 		r.h.Note(resp.Next)
 		cur = resp.Next.Addr
 	}
 	return fmt.Errorf("chordring: join via %s: exceeded %d hops", bootstrap, r.maxHops)
+}
+
+// successorVia asks peer for its predecessor/successor-list view and
+// adopts the clockwise-closest live entry that is not this node as the
+// provisional successor (stabilization settles the exact position, as
+// in the resolved-to-self join path). It is the join walk's escape
+// hatch when stale position-aliased pointers route the joiner's own id
+// back at it; returns false when the peer is unreachable or its view
+// contains no usable contact.
+func (r *Ring) successorVia(peer wire.Contact) bool {
+	if peer.Addr == "" || peer.Addr == r.self.Addr {
+		return false
+	}
+	resp, err := r.h.Call(peer.Addr, &wire.Message{Type: wire.TGetPred})
+	if err != nil {
+		return false
+	}
+	r.h.Note(resp.From)
+	// resp.From is the responder's authoritative self-contact, so the
+	// caller-supplied peer (which may be an address-only bootstrap
+	// stub with no id) never needs to be a candidate itself.
+	cands := make([]wire.Contact, 0, len(resp.Succs)+1)
+	cands = append(cands, resp.Succs...)
+	cands = append(cands, resp.From)
+	var best wire.Contact
+	for _, c := range cands {
+		if c.IsZero() || c.Addr == "" || c.ID == r.self.ID || c.Addr == r.self.Addr {
+			continue
+		}
+		if best.IsZero() || r.space.Gap(r.self.ID, c.ID) < r.space.Gap(r.self.ID, best.ID) {
+			best = c
+		}
+	}
+	if best.IsZero() {
+		return false
+	}
+	r.adoptSuccessor(best)
+	return true
 }
 
 // NextHop answers one iterative lookup step for target: either the
@@ -603,19 +664,42 @@ func (r *Ring) closestPreceding(target id.ID) wire.Contact {
 }
 
 // auxPolicy adapts core.ChordMaintainer (plus its rotating frequency
-// window) to the ring.AuxMaintainer contract. The runtime serializes
-// calls, so no locking here.
+// window) to the ring.AuxMaintainer contract. It also implements
+// ring.QoSSelector: the QoS path bypasses the maintainer's drift cache
+// (costs change with every RTT sample, so caching on frequency drift
+// alone would serve stale selections) and runs the Section V-C DP
+// directly on the windowed snapshot, which is why it keeps its own copy
+// of the core set. The runtime serializes calls, so no locking here.
 type auxPolicy struct {
 	m      *core.ChordMaintainer
 	window *freq.Windowed
+	space  id.Space
+	self   id.ID
+	k      int
+	core   []id.ID
 }
 
-func (a *auxPolicy) Observe(key id.ID)         { a.m.Observe(key) }
-func (a *auxPolicy) SetCore(ids []id.ID) error { return a.m.SetCore(ids) }
-func (a *auxPolicy) Rotate()                   { a.window.Rotate() }
+func (a *auxPolicy) Observe(key id.ID) { a.m.Observe(key) }
+func (a *auxPolicy) Rotate()           { a.window.Rotate() }
+
+func (a *auxPolicy) SetCore(ids []id.ID) error {
+	a.core = append(ids[:0:0], ids...)
+	return a.m.SetCore(ids)
+}
 
 func (a *auxPolicy) Select() ([]id.ID, error) {
 	res, err := a.m.Select()
+	if err != nil {
+		return nil, err
+	}
+	return res.Aux, nil
+}
+
+// SelectQoS implements ring.QoSSelector via the Section V-C DP
+// (core.SelectChordQoS), with bounds expressed in ChordDist hops.
+func (a *auxPolicy) SelectQoS(cost func(id.ID) (float64, bool), bound func(id.ID) (uint, bool)) ([]id.ID, error) {
+	peers, bounds := core.QoSInstance(a.window.Snapshot(), a.self, a.core, cost, bound)
+	res, err := core.SelectChordQoS(a.space, a.self, a.core, peers, a.k, bounds)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package chordring
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"peercache/internal/id"
 	"peercache/internal/node/ring"
@@ -24,9 +25,10 @@ func (h *stubHost) Space() id.Space    { return h.space }
 func (h *stubHost) Call(addr string, req *wire.Message) (*wire.Message, error) {
 	return nil, fmt.Errorf("stub: no rpc")
 }
-func (h *stubHost) Send(addr string, m *wire.Message) {}
-func (h *stubHost) Note(c wire.Contact)               {}
-func (h *stubHost) AddrOf(x id.ID) (string, bool)     { return "", false }
+func (h *stubHost) Send(addr string, m *wire.Message)   {}
+func (h *stubHost) Note(c wire.Contact)                 {}
+func (h *stubHost) AddrOf(x id.ID) (string, bool)       { return "", false }
+func (h *stubHost) RTTOf(x id.ID) (time.Duration, bool) { return 0, false }
 func (h *stubHost) Resolve(target id.ID) (wire.Contact, int, error) {
 	h.resolves++
 	for _, m := range h.members {

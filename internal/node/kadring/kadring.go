@@ -959,3 +959,17 @@ func (a *auxPolicy) Select() ([]id.ID, error) {
 	}
 	return m.Select().Aux, nil
 }
+
+// SelectQoS implements ring.QoSSelector. Kademlia's XOR bucket-ladder
+// distance is the Pastry prefix distance under the d = b − LCP identity
+// (see core/kademlia_maint.go), so the Section IV-D bounded selection
+// applies verbatim: bounds are expressed in bucket-index distance,
+// which equals bit-digit prefix distance.
+func (a *auxPolicy) SelectQoS(cost func(id.ID) (float64, bool), bound func(id.ID) (uint, bool)) ([]id.ID, error) {
+	peers, bounds := core.QoSInstance(a.window.Snapshot(), a.self, a.core, cost, bound)
+	res, err := core.SelectPastryQoS(a.space, a.core, peers, a.k, bounds)
+	if err != nil {
+		return nil, err
+	}
+	return res.Aux, nil
+}

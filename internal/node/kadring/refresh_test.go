@@ -3,6 +3,7 @@ package kadring
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"peercache/internal/id"
 	"peercache/internal/node/ring"
@@ -51,8 +52,9 @@ func (h *fakeHost) Resolve(target id.ID) (wire.Contact, int, error) {
 	return wire.Contact{}, 0, fmt.Errorf("fakehost: resolve unavailable")
 }
 
-func (h *fakeHost) Note(c wire.Contact)           {}
-func (h *fakeHost) AddrOf(x id.ID) (string, bool) { return "", false }
+func (h *fakeHost) Note(c wire.Contact)                 {}
+func (h *fakeHost) AddrOf(x id.ID) (string, bool)       { return "", false }
+func (h *fakeHost) RTTOf(x id.ID) (time.Duration, bool) { return 0, false }
 
 // newTestRing builds one Ring on the shared in-memory net.
 func newTestRing(t *testing.T, space id.Space, net map[string]*Ring, x id.ID) *Ring {

@@ -108,6 +108,21 @@ type Config struct {
 	// DriftThreshold is the total-variation drift that triggers an
 	// actual re-selection inside the maintainer (default 0.05).
 	DriftThreshold float64
+	// AuxQoS enables latency-aware aux selection: recomputeAux weights
+	// each observed peer's lookup frequency by its measured smoothed
+	// RTT and runs the paper's delay-bound-constrained selection
+	// (SelectChordQoS / SelectPastryQoS), so the auxiliary budget goes
+	// where it saves the most *time*, not the most hops. Peers whose
+	// smoothed RTT exceeds AuxQoSDelayBound get a hard distance bound
+	// of 0 — they must be reachable in one hop or the selection is
+	// infeasible (the runtime then falls back to the unconstrained
+	// selection and counts it). Togglable at runtime via SetAuxQoS.
+	AuxQoS bool
+	// AuxQoSDelayBound is the smoothed-RTT threshold above which a
+	// peer's lookups must not pay any extra routing hops (default
+	// 100ms; negative disables the bound, leaving pure RTT-weighted
+	// frequency optimization).
+	AuxQoSDelayBound time.Duration
 
 	// RPCTimeout bounds one RPC attempt (default 500ms).
 	RPCTimeout time.Duration
@@ -217,6 +232,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DriftThreshold == 0 {
 		c.DriftThreshold = 0.05
 	}
+	if c.AuxQoSDelayBound == 0 {
+		c.AuxQoSDelayBound = 100 * time.Millisecond
+	}
 	if c.RPCTimeout == 0 {
 		c.RPCTimeout = 500 * time.Millisecond
 	}
@@ -319,6 +337,21 @@ type Metrics struct {
 	// capacity that scales with ReplicationFactor.
 	ReplicaServes uint64
 
+	// Latency plane (rtt.go). RTTSamples counts correlated RPC
+	// responses folded into the per-contact EWMA estimates;
+	// AuxQoSSelects counts aux recomputations that ran the
+	// delay-bound-constrained QoS selection, AuxQoSInfeasible the ones
+	// whose bounds could not be met with the configured aux budget
+	// (the runtime then falls back to the unconstrained selection).
+	RTTSamples       uint64
+	AuxQoSSelects    uint64
+	AuxQoSInfeasible uint64
+	// AuxQoS reports whether QoS-aware aux selection is currently
+	// enabled (Config.AuxQoS, togglable at runtime via SetAuxQoS).
+	AuxQoS bool
+	// RTTContacts is the number of contacts with a live RTT estimate.
+	RTTContacts int
+
 	// Gauges: current item counts by authority.
 	ItemsOwned, ItemsReplica, ItemsCached int
 	// Alpha is the lookup driver's live probe concurrency.
@@ -352,6 +385,10 @@ type Node struct {
 	// geometries; the heal probe samples it.
 	addrMu sync.RWMutex
 	addrs  map[id.ID]string
+	// rtt holds the smoothed per-contact RTT estimates (rtt.go), under
+	// addrMu so estimate eviction is atomic with address eviction:
+	// every estimate has a backing addrs entry.
+	rtt map[id.ID]rttEstimate
 
 	// Data plane (kv.go): the authoritative item store, the bounded
 	// cache of copies picked up on the GET path (nil when disabled),
@@ -376,6 +413,13 @@ type Node struct {
 	lookupFails atomic.Uint64
 	auxRecomps  atomic.Uint64
 	auxHits     atomic.Uint64
+
+	// QoS aux selection (rtt.go, recomputeAux): the runtime toggle and
+	// the selection-outcome counters.
+	auxQoS           atomic.Bool
+	auxQoSSelects    atomic.Uint64
+	auxQoSInfeasible atomic.Uint64
+	rttSamples       atomic.Uint64
 
 	putsIssued, getsIssued  atomic.Uint64
 	putsServed, getsServed  atomic.Uint64
@@ -403,6 +447,7 @@ func (h host) Send(addr string, m *wire.Message)               { h.n.tr.send(add
 func (h host) Resolve(target id.ID) (wire.Contact, int, error) { return h.n.FindSuccessor(target) }
 func (h host) Note(c wire.Contact)                             { h.n.noteContact(c) }
 func (h host) AddrOf(x id.ID) (string, bool)                   { return h.n.addrOf(x) }
+func (h host) RTTOf(x id.ID) (time.Duration, bool)             { return h.n.ContactRTT(x) }
 
 // Start opens the datagram endpoint through the configured Listener
 // (real UDP by default), builds the routing geometry, starts the read
@@ -429,7 +474,9 @@ func Start(cfg Config) (*Node, error) {
 		cfg:   cfg,
 		self:  wire.Contact{ID: cfg.ID, Addr: adv},
 		addrs: make(map[id.ID]string),
+		rtt:   make(map[id.ID]rttEstimate),
 	}
+	n.auxQoS.Store(cfg.AuxQoS)
 	n.store = newStore(cfg.StoreCapacity, cfg.StoreTTL, cfg.StoreShards, cfg.Space.Bits())
 	if cfg.ItemCacheCapacity > 0 {
 		n.cache = itemcache.NewTTL[cachedCopy](cfg.ItemCacheCapacity, cfg.ItemCacheTTL)
@@ -439,6 +486,7 @@ func Start(cfg Config) (*Node, error) {
 	// capture a working Host) but starts reading only after, so no
 	// request races the geometry's construction.
 	n.tr = newTransport(conn, n.self, n.handle)
+	n.tr.onRTT = n.observeRTT
 	n.rt, n.aux, err = cfg.NewRing(host{n}, ring.Options{
 		NeighborListLen: cfg.SuccessorListLen,
 		BucketSize:      cfg.BucketSize,
@@ -624,6 +672,11 @@ func (n *Node) Metrics() Metrics {
 		ReplBytesOut:      n.replBytesOut.Load(),
 		ReplBytesFullPush: n.replBytesFull.Load(),
 		ReplicaServes:     n.replicaServes.Load(),
+		RTTSamples:        n.rttSamples.Load(),
+		AuxQoSSelects:     n.auxQoSSelects.Load(),
+		AuxQoSInfeasible:  n.auxQoSInfeasible.Load(),
+		AuxQoS:            n.auxQoS.Load(),
+		RTTContacts:       n.rttContacts(),
 		ItemsOwned:        owned,
 		ItemsReplica:      replicas,
 		ItemsCached:       cached,
@@ -632,10 +685,27 @@ func (n *Node) Metrics() Metrics {
 	}
 }
 
+// rttContacts is the tracked-estimate count gauge.
+func (n *Node) rttContacts() int {
+	n.addrMu.RLock()
+	defer n.addrMu.RUnlock()
+	return len(n.rtt)
+}
+
 // call is the node's RPC entry point with the configured timeout/retry
 // policy.
 func (n *Node) call(addr string, req *wire.Message) (*wire.Message, error) {
 	return n.tr.call(addr, req, n.cfg.RPCTimeout, n.cfg.RPCRetries)
+}
+
+// Ping sends one liveness probe to addr and waits for the pong. Beyond
+// liveness, the correlated round trip feeds the contact RTT estimator
+// like any other RPC, so harnesses and operators can actively prime
+// latency estimates for peers the lookup path has not yet timed — the
+// measurement step QoS-aware aux selection builds on.
+func (n *Node) Ping(addr string) error {
+	_, err := n.call(addr, &wire.Message{Type: wire.TPing})
+	return err
 }
 
 // noteContact records c's address in the contact cache. Self and
@@ -676,6 +746,7 @@ func (n *Node) forgetAddr(x id.ID, failed string) {
 	n.addrMu.Lock()
 	if n.addrs[x] == failed {
 		delete(n.addrs, x)
+		delete(n.rtt, x) // estimate eviction is atomic with the address
 	}
 	n.addrMu.Unlock()
 }
@@ -798,6 +869,52 @@ type probeResult struct {
 	err   error
 }
 
+// frontierEntry is one unprobed lookup candidate: the contact, its
+// geometry distance to the target (the frontier's sort key), and the
+// path depth its probe would report.
+type frontierEntry struct {
+	c     wire.Contact
+	dist  uint64
+	depth int
+}
+
+// qosProbeWindow caps how many frontier candidates an RTT-aware lookup
+// step inspects. The frontier is distance-sorted, so anything past a
+// short prefix is a worse routing step regardless of link cost.
+const qosProbeWindow = 4
+
+// qosProbeIndex picks the frontier index to probe next when the node
+// routes QoS-aware (proximity route selection, the lookup-side half of
+// the paper's delay model): among the first qosProbeWindow candidates
+// whose geometry distance is within ~2× the best remaining distance —
+// so a cheap-link detour still halves the gap and the walk keeps its
+// O(log n) convergence — the one with the lowest measured smoothed
+// RTT. Candidates without a measurement are skipped (no opinion), and
+// if nothing in the window is measured the geometry's own first pick
+// stands, so the mode degrades to plain greedy exactly where the RTT
+// plane has no data. The 2× test is done as dist>>1 <= best to stay
+// overflow-safe on full-width ring distances.
+func qosProbeIndex(frontier []frontierEntry, rtt func(id.ID) (time.Duration, bool)) int {
+	best := -1
+	var bestRTT time.Duration
+	limit := len(frontier)
+	if limit > qosProbeWindow {
+		limit = qosProbeWindow
+	}
+	for i := 0; i < limit; i++ {
+		if frontier[i].dist>>1 > frontier[0].dist {
+			break // sorted frontier: every later entry is farther still
+		}
+		if d, ok := rtt(frontier[i].c.ID); ok && (best < 0 || d < bestRTT) {
+			best, bestRTT = i, d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
 // race drives one iterative lookup with up to LookupAlpha probes in
 // flight. The frontier holds unprobed candidates ordered by the
 // geometry's Distance (ties by id); each launched probe carries its
@@ -823,6 +940,13 @@ type probeResult struct {
 // it answers lookups as a ring of one and overclaims keys it does not
 // own.
 //
+// With AuxQoS on, each launch routes by proximity instead of taking
+// the frontier head blindly: qosProbeIndex may promote a near-in-
+// distance candidate with a known-cheap link over the geometry's
+// strict pick (see its comment for the convergence argument). The
+// choice is latched once per lookup so a mid-walk SetAuxQoS flip
+// cannot mix policies within one walk.
+//
 // Failure reporting mirrors the old serial driver: a probe error
 // retires the peer via DropPeer and is remembered verbatim, and when
 // the frontier drains without an answer the lookup fails with (in
@@ -831,11 +955,6 @@ type probeResult struct {
 // last peer that answered.
 func (n *Node) race(target id.ID, seed []wire.Contact, valueMode bool) (raceOutcome, error) {
 	alpha := n.cfg.LookupAlpha
-	type frontierEntry struct {
-		c     wire.Contact
-		dist  uint64
-		depth int
-	}
 	var frontier []frontierEntry
 	queried := map[id.ID]bool{n.self.ID: true}
 	push := func(c wire.Contact, depth int) {
@@ -886,10 +1005,15 @@ func (n *Node) race(target id.ID, seed []wire.Contact, valueMode bool) (raceOutc
 		lastErr  error
 		lastPeer wire.Contact
 	)
+	qosRoute := n.auxQoS.Load()
 	launch := func() {
 		if inflight < alpha && len(frontier) > 0 && hops < n.cfg.MaxLookupHops {
-			e := frontier[0]
-			frontier = frontier[1:]
+			i := 0
+			if qosRoute {
+				i = qosProbeIndex(frontier, n.ContactRTT)
+			}
+			e := frontier[i]
+			frontier = append(frontier[:i], frontier[i+1:]...)
 			hops++
 			inflight++
 			go func(e frontierEntry) {
@@ -1087,6 +1211,14 @@ func (n *Node) healProbe() {
 	n.rt.Heal(live)
 }
 
+// SetAuxQoS flips latency-aware aux selection on or off at runtime —
+// what lets a bench A/B hop-greedy against QoS placement on the same
+// live overlay. It takes effect at the next aux recomputation.
+func (n *Node) SetAuxQoS(on bool) { n.auxQoS.Store(on) }
+
+// AuxQoSEnabled reports whether QoS-aware aux selection is active.
+func (n *Node) AuxQoSEnabled() bool { return n.auxQoS.Load() }
+
 // RecomputeAux recomputes the auxiliary neighbor set from the observed
 // frequencies immediately (the ticker does the same on AuxEvery, plus a
 // window rotation). It reports how many of the selected ids were
@@ -1108,7 +1240,7 @@ func (n *Node) recomputeAux(rotate bool) (int, error) {
 		}
 		n.lastCore = coreIDs
 	}
-	ids, err := n.aux.Select()
+	ids, err := n.selectAuxLocked()
 	if rotate {
 		n.aux.Rotate()
 	}
@@ -1138,4 +1270,71 @@ func (n *Node) recomputeAux(rotate bool) (int, error) {
 	n.rt.SetAux(aux)
 	n.auxRecomps.Add(1)
 	return len(aux), nil
+}
+
+// selectAuxLocked picks the next aux id set under maintMu: the plain
+// frequency-greedy selection, or — with AuxQoS on and a geometry that
+// implements ring.QoSSelector — the paper's delay-bound-constrained
+// selection with measured RTTs as peer costs. When the bounds are
+// infeasible (no k-subset can give every far peer a direct pointer)
+// the node drops the bounds but keeps the RTT costs: the retry is the
+// unconstrained cost-weighted optimum, still latency-aware, rather
+// than a silent reversion to hop-greedy. The fallback is counted so
+// benches can see it.
+func (n *Node) selectAuxLocked() ([]id.ID, error) {
+	if !n.auxQoS.Load() {
+		return n.aux.Select()
+	}
+	qs, ok := n.aux.(ring.QoSSelector)
+	if !ok {
+		return n.aux.Select()
+	}
+	ids, err := qs.SelectQoS(n.qosCost, n.qosBound)
+	if errors.Is(err, core.ErrInfeasible) {
+		n.auxQoSInfeasible.Add(1)
+		ids, err = qs.SelectQoS(n.qosCost, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.auxQoSSelects.Add(1)
+	return ids, nil
+}
+
+// peerRTT resolves the latency estimate behind one observed frequency
+// id: directly for a node id the contact cache has timed, and through
+// the owner-hint cache for a key's ring position (the aux pointer
+// would alias to the owner, so the owner's RTT is the right cost).
+func (n *Node) peerRTT(x id.ID) (time.Duration, bool) {
+	if d, ok := n.ContactRTT(x); ok {
+		return d, true
+	}
+	if owner, ok := n.ownerHints.Get(x, time.Now()); ok {
+		return n.ContactRTT(owner.ID)
+	}
+	return 0, false
+}
+
+// qosCost is the QoS selection's cost callback: measured smoothed RTT
+// in milliseconds. Unmeasured peers report false and weigh 1.
+func (n *Node) qosCost(x id.ID) (float64, bool) {
+	d, ok := n.peerRTT(x)
+	if !ok {
+		return 0, false
+	}
+	return float64(d) / float64(time.Millisecond), true
+}
+
+// qosBound is the QoS selection's bound callback: a peer whose
+// smoothed RTT exceeds Config.AuxQoSDelayBound must not pay any extra
+// routing hops — distance bound 0, a direct pointer. A negative
+// configured bound disables bounding entirely.
+func (n *Node) qosBound(x id.ID) (uint, bool) {
+	if n.cfg.AuxQoSDelayBound < 0 {
+		return 0, false
+	}
+	if d, ok := n.peerRTT(x); ok && d > n.cfg.AuxQoSDelayBound {
+		return 0, true
+	}
+	return 0, false
 }

@@ -807,3 +807,15 @@ func (a *auxPolicy) Select() ([]id.ID, error) {
 	}
 	return m.Select().Aux, nil
 }
+
+// SelectQoS implements ring.QoSSelector via the Section IV-D
+// required-subtree DP (core.SelectPastryQoS), with bounds expressed in
+// prefix-digit distance (bit digits, matching the maintainer's metric).
+func (a *auxPolicy) SelectQoS(cost func(id.ID) (float64, bool), bound func(id.ID) (uint, bool)) ([]id.ID, error) {
+	peers, bounds := core.QoSInstance(a.window.Snapshot(), a.self, a.core, cost, bound)
+	res, err := core.SelectPastryQoS(a.space, a.core, peers, a.k, bounds)
+	if err != nil {
+		return nil, err
+	}
+	return res.Aux, nil
+}

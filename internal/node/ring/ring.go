@@ -28,6 +28,8 @@
 package ring
 
 import (
+	"time"
+
 	"peercache/internal/id"
 	"peercache/internal/wire"
 )
@@ -55,6 +57,11 @@ type Host interface {
 	Note(c wire.Contact)
 	// AddrOf looks up a cached address for x.
 	AddrOf(x id.ID) (string, bool)
+	// RTTOf looks up the runtime's smoothed RTT estimate for x —
+	// measured on every correlated RPC the transport completes. False
+	// until at least one response from x has been timed (or after the
+	// contact was evicted from the cache).
+	RTTOf(x id.ID) (time.Duration, bool)
 }
 
 // Options carries the geometry-relevant slice of node.Config.
@@ -214,6 +221,33 @@ type AuxMaintainer interface {
 	// Rotate ages the frequency window one bucket (called once per aux
 	// recomputation tick).
 	Rotate()
+}
+
+// QoSSelector is the optional AuxMaintainer extension for geometries
+// whose selection framework has a delay-bound-constrained variant (the
+// paper's Section IV-D for the prefix metrics, V-C for Chord; all three
+// shipped geometries implement it). The runtime probes for it with a
+// type assertion when Config.AuxQoS is on and serializes calls exactly
+// as it does the base interface.
+type QoSSelector interface {
+	// SelectQoS is Select with a latency model. cost returns the
+	// runtime's relative latency weight for a peer (any unit, as long
+	// as it is consistent — the live node feeds smoothed RTTs); peers
+	// without a cost (false) weigh 1. Each observed peer's frequency is
+	// multiplied by its cost, so the objective Σ f(v)·d(v, N∪A) becomes
+	// expected *latency*, not expected hops. bound returns a hard
+	// geometry-distance bound for a peer (true to constrain it): the
+	// selected set must bring that peer within the bound — bound 0
+	// forces a direct pointer. A nil bound callback constrains nothing
+	// — the cost-weighted unconstrained selection (the runtime's
+	// infeasibility fallback). Returns an error wrapping
+	// core.ErrInfeasible when the bounds cannot all be met with the
+	// configured aux budget; the caller decides the fallback.
+	//
+	// With every cost false and every bound false, SelectQoS must
+	// return a set with the same objective value as Select — pinned by
+	// the live-path property test in internal/node.
+	SelectQoS(cost func(id.ID) (float64, bool), bound func(id.ID) (uint, bool)) ([]id.ID, error)
 }
 
 // Factory builds a geometry bound to a Host. It must not perform

@@ -1,0 +1,97 @@
+package node
+
+// Per-contact smoothed RTT. Every correlated RPC that completes is a
+// free latency measurement: the transport knows exactly when an
+// attempt's datagram went out and when its paired response arrived, and
+// the response's From identifies the peer. The node folds those samples
+// into a TCP-style EWMA per contact, stored alongside the address cache
+// under the same lock so eviction stays atomic: forgetAddr drops a
+// peer's estimate with its address, never leaving an orphaned estimate
+// (the soak suite's latency-sane invariant).
+//
+// The estimates are the live runtime's cost model for the paper's QoS
+// selection (recomputeAux's AuxQoS mode weights observed lookup
+// frequencies by measured RTT and bounds far peers), and are surfaced
+// through ring.Host.RTTOf and the p2pnode metrics JSON.
+
+import (
+	"sort"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/wire"
+)
+
+// rttAlpha is the EWMA smoothing gain — TCP's SRTT constant (RFC 6298):
+// each new sample moves the estimate 1/8 of the way to itself, heavy
+// enough to converge in a dozen samples, light enough to ride out one
+// freak scheduling stall.
+const rttAlpha = 0.125
+
+// rttEstimate is one contact's smoothed RTT state.
+type rttEstimate struct {
+	srtt    float64 // smoothed RTT, nanoseconds
+	samples uint64
+}
+
+// observeRTT folds one measured sample into the peer's estimate. A peer
+// that answered an RPC is by definition a live, routable contact, so
+// the address cache learns it in the same critical section — keeping
+// the invariant that every RTT estimate has a backing address entry.
+// Non-positive samples, self, and zero contacts are ignored.
+func (n *Node) observeRTT(c wire.Contact, sample time.Duration) {
+	if sample <= 0 || c.IsZero() || c.ID == n.self.ID || len(c.Addr) > wire.MaxAddrLen {
+		return
+	}
+	n.addrMu.Lock()
+	n.addrs[c.ID] = c.Addr
+	e := n.rtt[c.ID]
+	if e.samples == 0 {
+		e.srtt = float64(sample)
+	} else {
+		e.srtt += rttAlpha * (float64(sample) - e.srtt)
+	}
+	e.samples++
+	n.rtt[c.ID] = e
+	n.addrMu.Unlock()
+	n.rttSamples.Add(1)
+}
+
+// ContactRTT returns the smoothed RTT to x, if any sample has ever been
+// folded in (and the contact has not been evicted since).
+func (n *Node) ContactRTT(x id.ID) (time.Duration, bool) {
+	n.addrMu.RLock()
+	e, ok := n.rtt[x]
+	n.addrMu.RUnlock()
+	if !ok || e.samples == 0 {
+		return 0, false
+	}
+	return time.Duration(e.srtt), true
+}
+
+// ContactRTTInfo is one contact's latency snapshot, as surfaced in the
+// p2pnode metrics JSON.
+type ContactRTTInfo struct {
+	ID      id.ID
+	Addr    string
+	SRTT    time.Duration
+	Samples uint64
+}
+
+// ContactRTTs snapshots every tracked estimate, sorted by id for
+// deterministic output.
+func (n *Node) ContactRTTs() []ContactRTTInfo {
+	n.addrMu.RLock()
+	out := make([]ContactRTTInfo, 0, len(n.rtt))
+	for x, e := range n.rtt {
+		out = append(out, ContactRTTInfo{
+			ID:      x,
+			Addr:    n.addrs[x],
+			SRTT:    time.Duration(e.srtt),
+			Samples: e.samples,
+		})
+	}
+	n.addrMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

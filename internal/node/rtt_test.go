@@ -1,0 +1,207 @@
+package node
+
+// RTT-estimator conformance: EWMA convergence, shift tracking, decay on
+// contact eviction, sample hygiene (self/zero/non-positive rejected),
+// and the end-to-end path — two live nodes on a memnet link with a
+// known base delay must converge their estimates onto the link's RTT.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"peercache/internal/id"
+	"peercache/internal/memnet"
+	"peercache/internal/wire"
+)
+
+func newRTTNode(t *testing.T) *Node {
+	t.Helper()
+	nw := memnet.New(1)
+	t.Cleanup(nw.CloseAll)
+	n, err := Start(Config{
+		Space:            id.NewSpace(16),
+		ID:               1,
+		Addr:             "mem/1",
+		Listen:           func(addr string) (PacketConn, error) { return nw.Listen(addr) },
+		DisableHealProbe: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func TestRTTEWMAConvergence(t *testing.T) {
+	n := newRTTNode(t)
+	peer := wire.Contact{ID: 7, Addr: "mem/7"}
+
+	// First sample initializes the estimate directly.
+	n.observeRTT(peer, 10*time.Millisecond)
+	if got, ok := n.ContactRTT(7); !ok || got != 10*time.Millisecond {
+		t.Fatalf("after first sample: %v, %t; want exactly 10ms", got, ok)
+	}
+	// A constant stream must hold it there.
+	for i := 0; i < 100; i++ {
+		n.observeRTT(peer, 10*time.Millisecond)
+	}
+	if got, _ := n.ContactRTT(7); got != 10*time.Millisecond {
+		t.Fatalf("constant samples moved the estimate to %v", got)
+	}
+	// A level shift must be tracked: after k samples the residual decays
+	// by (1−α)^k. 50 samples at α=1/8 leave < 0.1% of the 40ms step.
+	for i := 0; i < 50; i++ {
+		n.observeRTT(peer, 50*time.Millisecond)
+	}
+	got, _ := n.ContactRTT(7)
+	if math.Abs(float64(got-50*time.Millisecond)) > float64(time.Millisecond) {
+		t.Fatalf("after shift to 50ms: estimate %v, want within 1ms", got)
+	}
+	if m := n.Metrics(); m.RTTSamples != 151 || m.RTTContacts != 1 {
+		t.Fatalf("metrics: samples=%d contacts=%d, want 151, 1", m.RTTSamples, m.RTTContacts)
+	}
+}
+
+// One outlier among steady samples must nudge, not replace, the
+// estimate — the point of smoothing.
+func TestRTTEWMASmoothsOutliers(t *testing.T) {
+	n := newRTTNode(t)
+	peer := wire.Contact{ID: 9, Addr: "mem/9"}
+	for i := 0; i < 30; i++ {
+		n.observeRTT(peer, 5*time.Millisecond)
+	}
+	n.observeRTT(peer, 500*time.Millisecond) // one GC-pause-shaped freak
+	got, _ := n.ContactRTT(9)
+	want := time.Duration(float64(5*time.Millisecond) + rttAlpha*float64(495*time.Millisecond))
+	if math.Abs(float64(got-want)) > float64(100*time.Microsecond) {
+		t.Fatalf("outlier moved estimate to %v, want ~%v (α-damped)", got, want)
+	}
+}
+
+func TestRTTSampleHygiene(t *testing.T) {
+	n := newRTTNode(t)
+	n.observeRTT(wire.Contact{}, 5*time.Millisecond)    // zero contact
+	n.observeRTT(n.self, 5*time.Millisecond)            // self
+	n.observeRTT(wire.Contact{ID: 3, Addr: "mem/3"}, 0) // non-positive
+	n.observeRTT(wire.Contact{ID: 3, Addr: "mem/3"}, -4*time.Millisecond)
+	if got := n.ContactRTTs(); len(got) != 0 {
+		t.Fatalf("bad samples were tracked: %+v", got)
+	}
+	if _, ok := n.ContactRTT(n.self.ID); ok {
+		t.Fatal("self acquired an RTT estimate")
+	}
+}
+
+// Evicting a contact must evict its estimate with it (no orphans), and
+// only when the failing address is still current.
+func TestRTTDecaysWithContactEviction(t *testing.T) {
+	n := newRTTNode(t)
+	peer := wire.Contact{ID: 11, Addr: "mem/11"}
+	n.observeRTT(peer, 8*time.Millisecond)
+	if _, ok := n.ContactRTT(11); !ok {
+		t.Fatal("estimate missing before eviction")
+	}
+
+	// A stale failure (address already replaced) must not evict.
+	n.noteContact(wire.Contact{ID: 11, Addr: "mem/11-new"})
+	n.forgetAddr(11, "mem/11")
+	if _, ok := n.ContactRTT(11); !ok {
+		t.Fatal("stale-address failure evicted a live estimate")
+	}
+
+	// A current failure must evict estimate and address together.
+	n.forgetAddr(11, "mem/11-new")
+	if _, ok := n.ContactRTT(11); ok {
+		t.Fatal("estimate survived contact eviction")
+	}
+	if _, ok := n.addrOf(11); ok {
+		t.Fatal("address survived forgetAddr")
+	}
+	if m := n.Metrics(); m.RTTContacts != 0 {
+		t.Fatalf("RTTContacts = %d after eviction, want 0", m.RTTContacts)
+	}
+}
+
+// ContactRTTs must come out sorted and carry the backing address.
+func TestContactRTTsSnapshot(t *testing.T) {
+	n := newRTTNode(t)
+	for _, x := range []id.ID{40, 10, 30} {
+		n.observeRTT(wire.Contact{ID: x, Addr: fmt.Sprintf("mem/%d", x)}, time.Duration(x)*time.Millisecond)
+	}
+	got := n.ContactRTTs()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []id.ID{10, 30, 40} {
+		if got[i].ID != want {
+			t.Fatalf("snapshot order %v, want ids ascending", got)
+		}
+		if got[i].Addr != fmt.Sprintf("mem/%d", want) {
+			t.Fatalf("entry %d lost its address: %+v", i, got[i])
+		}
+		if got[i].Samples != 1 || got[i].SRTT != time.Duration(want)*time.Millisecond {
+			t.Fatalf("entry %d corrupted: %+v", i, got[i])
+		}
+	}
+}
+
+// End to end: two live nodes on a memnet link with a 2ms one-way base
+// delay. Every correlated RPC (join, stabilization, explicit lookups)
+// is a sample, and both sides' estimates must land at or above the
+// link's 4ms RTT floor — and within a sane multiple of it.
+func TestRTTMeasuredOnLiveLink(t *testing.T) {
+	nw := memnet.New(3)
+	defer nw.CloseAll()
+	const oneWay = 2 * time.Millisecond
+	nw.SetTopology(memnet.DelayFunc(func(from, to string) time.Duration { return oneWay }))
+
+	space := id.NewSpace(16)
+	mk := func(x uint64, bootstrap string) *Node {
+		n, err := Start(Config{
+			Space:            space,
+			ID:               id.ID(x),
+			Addr:             fmt.Sprintf("mem/%d", x),
+			StabilizeEvery:   20 * time.Millisecond,
+			FixFingersEvery:  10 * time.Millisecond,
+			RPCTimeout:       200 * time.Millisecond,
+			RPCRetries:       1,
+			Listen:           func(addr string) (PacketConn, error) { return nw.Listen(addr) },
+			DisableHealProbe: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		if bootstrap != "" {
+			if err := n.Join(bootstrap); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n
+	}
+	a := mk(100, "")
+	b := mk(200, "mem/100")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ra, oka := a.ContactRTT(200)
+		rb, okb := b.ContactRTT(100)
+		if oka && okb {
+			for _, r := range []time.Duration{ra, rb} {
+				if r < 2*oneWay {
+					t.Fatalf("estimate %v below the link RTT floor %v", r, 2*oneWay)
+				}
+				if r > 20*oneWay {
+					t.Fatalf("estimate %v absurdly above the link RTT %v", r, 2*oneWay)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("estimates never appeared: a→b %v %t, b→a %v %t", ra, oka, rb, okb)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

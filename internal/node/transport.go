@@ -46,6 +46,13 @@ type transport struct {
 	inflight map[uint64]chan *wire.Message
 	nextID   atomic.Uint64
 
+	// onRTT, when set before start, receives one RTT sample per
+	// completed RPC attempt: the elapsed time between an attempt's
+	// datagram going out and its correlated response arriving,
+	// attributed to the responder's contact. Retried attempts measure
+	// from their own send, so a retry cannot inflate the sample.
+	onRTT func(from wire.Contact, sample time.Duration)
+
 	done   chan struct{}
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -197,6 +204,7 @@ func (t *transport) callCancel(addr string, req *wire.Message, timeout time.Dura
 			delete(t.inflight, msgID)
 			t.mu.Unlock()
 		}
+		sentAt := time.Now()
 		_, werr := t.conn.WriteTo(b, addr)
 		n := len(b)
 		*bp = b[:0]
@@ -222,6 +230,9 @@ func (t *transport) callCancel(addr string, req *wire.Message, timeout time.Dura
 			if resp.Type != want {
 				deregister()
 				return nil, fmt.Errorf("node: rpc %v to %s: got %v response", req.Type, addr, resp.Type)
+			}
+			if t.onRTT != nil {
+				t.onRTT(resp.From, time.Since(sentAt))
 			}
 			return resp, nil
 		case <-timer.C:

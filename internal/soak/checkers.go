@@ -2,6 +2,7 @@ package soak
 
 import (
 	"fmt"
+	"time"
 
 	"peercache/internal/id"
 	"peercache/internal/memnet"
@@ -50,6 +51,9 @@ func (e *engine) quiesce() {
 	}
 	if err := e.clock.WaitUntil(e.o.SettleSteps, e.replicaFreshCheck); err != nil {
 		e.violate("replica-fresh", "%v", err)
+	}
+	if err := e.clock.WaitUntil(e.o.SettleSteps, e.latencySaneCheck); err != nil {
+		e.violate("latency-sane", "%v", err)
 	}
 	e.countStranded()
 	e.o.Logf("soak: window %d done at step %d", e.v.Windows, e.clock.Steps())
@@ -229,6 +233,47 @@ func (e *engine) replicaFreshCheck() error {
 			if it.Version < ownerVersion {
 				return fmt.Errorf("key %d: replica at target %d stale at v%d, owner %d at v%d",
 					k, tgt, it.Version, owner.ID(), ownerVersion)
+			}
+		}
+	}
+	return nil
+}
+
+// soakWANScale compresses the WAN topology's delays for Options.WAN
+// runs (see NewWANTopology): 1/50 keeps the worst link RTT around 6ms —
+// real heterogeneity, still inside every step-clock budget.
+const soakWANScale = 0.02
+
+// latencySaneCeiling is the absurdity bar for a smoothed RTT estimate.
+// Every sample is a correlated request/response round trip bounded by
+// the 100ms RPC timeout (startNode), and the EWMA of bounded samples is
+// bounded by their max — an estimate past 1s means the estimator fed on
+// something that was not a round trip.
+const latencySaneCeiling = time.Second
+
+// latencySaneCheck enforces the latency plane's hygiene invariants on
+// every live node's RTT table: every estimate is positive, below the
+// absurdity ceiling, backed by at least one sample, never for the node
+// itself, and — the eviction-atomicity contract of observeRTT and
+// forgetAddr — backed by a live address-cache entry, so churn never
+// leaves an orphaned estimate feeding stale costs into QoS selection.
+func (e *engine) latencySaneCheck() error {
+	for _, n := range e.live {
+		for _, r := range n.ContactRTTs() {
+			if r.ID == n.ID() {
+				return fmt.Errorf("node %d tracks an RTT estimate for itself", n.ID())
+			}
+			if r.Samples == 0 {
+				return fmt.Errorf("node %d: estimate for %d with zero samples", n.ID(), r.ID)
+			}
+			if r.SRTT <= 0 {
+				return fmt.Errorf("node %d: non-positive RTT %v for %d", n.ID(), r.SRTT, r.ID)
+			}
+			if r.SRTT > latencySaneCeiling {
+				return fmt.Errorf("node %d: absurd RTT %v for %d (ceiling %v)", n.ID(), r.SRTT, r.ID, latencySaneCeiling)
+			}
+			if r.Addr == "" {
+				return fmt.Errorf("node %d: orphaned RTT estimate for %d (no address-cache entry)", n.ID(), r.ID)
 			}
 		}
 	}

@@ -85,6 +85,12 @@ type Options struct {
 	// SettleSteps bounds each data-plane checker's polling per window
 	// (default 1000 steps).
 	SettleSteps int
+	// WAN, when true, installs a seeded WAN latency topology over the
+	// whole run (memnet.NewWANTopology at soakWANScale), so every RPC —
+	// maintenance, workload, chaos recovery — pays realistic, per-link
+	// heterogeneous propagation delay and the RTT estimator runs hot for
+	// the latency-sane invariant to judge.
+	WAN bool
 	// Logf, when non-nil, receives progress lines (the runner's -v).
 	Logf func(format string, args ...any)
 }
@@ -189,6 +195,12 @@ type Verdict struct {
 	// passing run).
 	Stranded int `json:"stranded"`
 
+	// RTTSamples is the cluster-wide count of RTT measurements folded
+	// into contact estimators by the nodes still live at the end — the
+	// latency plane's "did it actually run" signal (always positive: any
+	// correlated RPC is a sample, with or without a WAN topology).
+	RTTSamples uint64 `json:"rtt_samples"`
+
 	MeanLookupHops float64      `json:"mean_lookup_hops"`
 	MeanOpMicros   float64      `json:"mean_op_micros"`
 	FinalNodes     int          `json:"final_nodes"`
@@ -283,10 +295,18 @@ func Run(o Options) (*Verdict, error) {
 	}
 	largeIDs := randx.UniqueIDs(rng, largeCount, space.Size())
 
+	nw := memnet.New(o.Seed)
+	if o.WAN {
+		// Compressed WAN: the full inter-region structure (heterogeneous
+		// access links, metro vs long-haul regimes) at 1/50 scale, so the
+		// worst link RTT (~6ms) stays well inside the 100ms RPC timeout
+		// and the step-clock budgets sized for a LAN-speed soak.
+		nw.SetTopology(memnet.NewWANTopology(o.Seed, memnet.WANOptions{Scale: soakWANScale}))
+	}
 	e := &engine{
 		o:            o,
 		space:        space,
-		nw:           memnet.New(o.Seed),
+		nw:           nw,
 		clock:        NewClock(o.Tick),
 		sched:        node.NewBatchScheduler(0),
 		ledger:       make(map[id.ID]*keyState),
@@ -340,6 +360,9 @@ func Run(o Options) (*Verdict, error) {
 	}
 
 	e.v.FinalNodes = len(e.live)
+	for _, n := range e.live {
+		e.v.RTTSamples += n.Metrics().RTTSamples
+	}
 	e.v.Net = e.nw.Stats()
 	e.teardown()
 	e.checkGoroutines(baseline)

@@ -143,6 +143,42 @@ func TestSoakShort(t *testing.T) {
 	}
 }
 
+// The same soak under a seeded WAN latency topology, per geometry: with
+// every RPC paying heterogeneous propagation delay, the run must stay
+// violation-free — in particular the latency-sane invariant (no
+// negative, absurd, self, or orphaned RTT estimate at any quiescent
+// window) — and the estimator must have actually fed on the traffic.
+func TestSoakWANLatencySane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs a live cluster")
+	}
+	for _, proto := range []string{"chord", "pastry", "kademlia"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			v, err := Run(Options{
+				Proto:        proto,
+				Seed:         51,
+				Events:       40,
+				Nodes:        8,
+				Keys:         16,
+				QuiesceEvery: 20,
+				WAN:          true,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !v.OK {
+				b, _ := json.MarshalIndent(v, "", "  ")
+				t.Fatalf("WAN soak verdict not OK:\n%s", b)
+			}
+			if v.RTTSamples == 0 {
+				t.Fatal("no RTT samples collected across the whole WAN soak")
+			}
+		})
+	}
+}
+
 // Unknown protocols and degenerate sizes are harness errors, not
 // verdicts.
 func TestSoakOptionValidation(t *testing.T) {
